@@ -1,0 +1,71 @@
+//! Cost-model calibration and deterministic input generation.
+//!
+//! The paper's testbed nodes are Sun 4/330 workstations; on these dense
+//! kernels they sustain roughly 1 MFLOP/s (a 500×500 matrix multiply takes
+//! ~250 s sequentially in the paper's Fig. 5a). All kernels charge virtual
+//! CPU through a [`Calibration`] so experiments can rescale the machine
+//! without touching the kernels.
+
+use dlb_sim::CpuWork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flops → virtual CPU conversion.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    /// Sustained MFLOP/s of the reference node.
+    pub mflops: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        // Sun 4/330-class.
+        Calibration { mflops: 1.0 }
+    }
+}
+
+impl Calibration {
+    pub fn new(mflops: f64) -> Calibration {
+        assert!(mflops > 0.0);
+        Calibration { mflops }
+    }
+
+    /// CPU work for `flops` floating-point operations.
+    pub fn work_for_flops(&self, flops: f64) -> CpuWork {
+        CpuWork::from_flops(flops, self.mflops)
+    }
+}
+
+/// Deterministic `rows × cols` matrix with entries in `[-1, 1)`.
+pub fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+/// Deterministic vector with entries in `[-1, 1)`.
+pub fn seeded_vector(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_inputs() {
+        assert_eq!(seeded_matrix(4, 4, 9), seeded_matrix(4, 4, 9));
+        assert_ne!(seeded_matrix(4, 4, 9), seeded_matrix(4, 4, 10));
+        assert_eq!(seeded_vector(16, 3), seeded_vector(16, 3));
+    }
+
+    #[test]
+    fn work_scales_inversely_with_mflops() {
+        let slow = Calibration::new(1.0).work_for_flops(1e6);
+        let fast = Calibration::new(10.0).work_for_flops(1e6);
+        assert_eq!(slow.as_secs_f64(), 1.0);
+        assert_eq!(fast.as_secs_f64(), 0.1);
+    }
+}

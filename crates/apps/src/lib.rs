@@ -1,0 +1,31 @@
+//! # dlb-apps — the paper's example applications
+//!
+//! The three routines of Siegell & Steenkiste's Table 1, each as a real
+//! data kernel implementing the matching `dlb-core` kernel trait, paired
+//! with its IR program for the compiler, a sequential reference for
+//! bit-exact verification, and a Sun 4/330-calibrated cost model:
+//!
+//! * [`mm::MatMul`] — matrix multiplication (independent iterations).
+//! * [`sor::Sor`] — successive overrelaxation (pipelined, loop-carried
+//!   dependences, Fig. 3).
+//! * [`lu::Lu`] — LU decomposition (shrinking active set, §4.7).
+//!
+//! Two extensions exercise behaviours the paper discusses but does not
+//! evaluate: [`jacobi::Jacobi`] (data-dependent WHILE termination, §4.1)
+//! and [`quadrature::Quadrature`] (irregular per-iteration costs, §2.1).
+
+#![forbid(unsafe_code)]
+
+pub mod calibration;
+pub mod jacobi;
+pub mod lu;
+pub mod mm;
+pub mod quadrature;
+pub mod sor;
+
+pub use calibration::Calibration;
+pub use jacobi::Jacobi;
+pub use lu::Lu;
+pub use mm::MatMul;
+pub use quadrature::Quadrature;
+pub use sor::Sor;

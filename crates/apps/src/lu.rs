@@ -1,0 +1,197 @@
+//! LU decomposition without pivoting (the paper's LU, §4.7).
+//!
+//! The matrix is stored by columns and distributed by columns. At step `k`
+//! the owner of column `k` broadcasts it (its sub-diagonal part already
+//! holds the multipliers) and every active column `j > k` is updated:
+//!
+//! ```text
+//! a[j][k]  = a[j][k] / a[k][k]          (multiplier)
+//! a[j][i] -= a[j][k] * a[k][i]          for i in k+1..n
+//! ```
+//!
+//! (`a[j]` is column j; the multiplier `a[j][k]` lives in the updated
+//! column — the right-looking kji variant.) The distributed loop's bounds
+//! (`j in k+1..n`) shrink with `k`, so the compiler classifies the program
+//! `Shrinking` and the balancer only ever moves *active* columns.
+//!
+//! Inputs are made diagonally dominant so factorization without pivoting is
+//! stable, and each update is a fixed expression over the broadcast pivot
+//! column, so parallel results are bitwise equal to the sequential
+//! reference no matter how columns move.
+
+use crate::calibration::{seeded_matrix, Calibration};
+use dlb_core::kernels::ShrinkingKernel;
+use dlb_core::msg::UnitData;
+use dlb_sim::CpuWork;
+
+/// The LU application.
+pub struct Lu {
+    n: usize,
+    /// Initial matrix, by columns: `cols[j][i] = A[i][j]`.
+    cols: Vec<Vec<f64>>,
+    cal: Calibration,
+}
+
+impl Lu {
+    /// Build an n×n diagonally-dominant problem (n ≥ 2).
+    pub fn new(n: usize, seed: u64, cal: &Calibration) -> Lu {
+        assert!(n >= 2);
+        let mut cols = seeded_matrix(n, n, seed ^ 0x1);
+        for (j, col) in cols.iter_mut().enumerate() {
+            col[j] += n as f64; // diagonal dominance
+        }
+        Lu {
+            n,
+            cols,
+            cal: *cal,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sequential reference: the packed LU factors (multipliers below the
+    /// diagonal, U on and above), by columns.
+    pub fn sequential(&self) -> Vec<Vec<f64>> {
+        let mut a = self.cols.clone();
+        for k in 0..self.n - 1 {
+            let pivot = a[k].clone();
+            for j in k + 1..self.n {
+                update_column(&mut a[j], &pivot, k);
+            }
+        }
+        a
+    }
+
+    /// Sequential execution time on a dedicated reference node.
+    pub fn sequential_time(&self) -> dlb_sim::SimDuration {
+        let mut total = CpuWork::ZERO;
+        for k in 0..self.n - 1 {
+            total += self.step_cost(k) * (self.n - 1 - k) as u64;
+        }
+        total.dedicated_duration(1.0)
+    }
+
+    /// Extract the factored columns from a gathered run result.
+    pub fn result_cols(result: &[UnitData]) -> Vec<Vec<f64>> {
+        result.iter().map(|u| u[0].clone()).collect()
+    }
+
+    /// Check `L × U ≈ A` for a packed Crout factorization (residual
+    /// max-norm): `L` is lower triangular with the pivots on its diagonal
+    /// (stored at and below the diagonal of each column), `U` is
+    /// unit upper triangular (row multipliers stored above the diagonal).
+    pub fn residual(&self, packed: &[Vec<f64>]) -> f64 {
+        let n = self.n;
+        let mut worst: f64 = 0.0;
+        for j in 0..n {
+            for i in 0..n {
+                let kmax = i.min(j);
+                let mut acc = 0.0;
+                for k in 0..=kmax {
+                    let l = packed[k][i]; // L[i][k], i >= k (column k)
+                    let u = if k == j { 1.0 } else { packed[j][k] }; // U[k][j]
+                    acc += l * u;
+                }
+                worst = worst.max((acc - self.cols[j][i]).abs());
+            }
+        }
+        worst
+    }
+
+    /// The matching IR program.
+    pub fn program(&self) -> dlb_compiler::Program {
+        dlb_compiler::programs::lu(self.n as i64)
+    }
+}
+
+/// The shared update expression (also used by the sequential reference so
+/// results agree bitwise).
+fn update_column(col: &mut [f64], pivot: &[f64], k: usize) {
+    let m = col[k] / pivot[k];
+    col[k] = m;
+    for i in k + 1..col.len() {
+        col[i] -= m * pivot[i];
+    }
+}
+
+impl ShrinkingKernel for Lu {
+    fn n_units(&self) -> usize {
+        self.n
+    }
+
+    fn init_unit(&self, idx: usize) -> Vec<f64> {
+        self.cols[idx].clone()
+    }
+
+    fn pivot_payload(&self, _k: usize, pivot_col: &[f64]) -> Vec<f64> {
+        pivot_col.to_vec()
+    }
+
+    fn update(&self, _j: usize, col: &mut [f64], pivot: &[f64], k: usize) {
+        update_column(col, pivot, k);
+    }
+
+    fn step_cost(&self, k: usize) -> CpuWork {
+        // One division + 2 flops per trailing row.
+        let flops = 1.0 + 2.0 * (self.n - 1 - k) as f64;
+        self.cal.work_for_flops(flops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_reconstructs_matrix() {
+        let lu = Lu::new(24, 3, &Calibration::default());
+        let packed = lu.sequential();
+        let r = lu.residual(&packed);
+        assert!(r < 1e-9, "residual {r}");
+    }
+
+    #[test]
+    fn kernel_update_matches_sequential() {
+        let lu = Lu::new(12, 9, &Calibration::default());
+        let seq = lu.sequential();
+        // Drive the kernel interface directly.
+        let mut cols: Vec<Vec<f64>> = (0..12).map(|j| lu.init_unit(j)).collect();
+        for k in 0..11 {
+            let pivot = lu.pivot_payload(k, &cols[k].clone());
+            for j in k + 1..12 {
+                lu.update(j, &mut cols[j], &pivot, k);
+            }
+        }
+        assert_eq!(cols, seq);
+    }
+
+    #[test]
+    fn step_cost_shrinks() {
+        let lu = Lu::new(100, 0, &Calibration::default());
+        assert!(lu.step_cost(0) > lu.step_cost(50));
+        assert!(lu.step_cost(50) > lu.step_cost(98));
+    }
+
+    #[test]
+    fn sequential_time_positive_and_cubic_ish() {
+        let small = Lu::new(50, 0, &Calibration::default()).sequential_time();
+        let big = Lu::new(100, 0, &Calibration::default()).sequential_time();
+        let ratio = big.as_secs_f64() / small.as_secs_f64();
+        assert!((6.0..10.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn diagonal_dominance_keeps_multipliers_small() {
+        // Crout: the unit-scaled entries are U's rows (stored above the
+        // diagonal); diagonal dominance keeps them below 1.
+        let lu = Lu::new(32, 7, &Calibration::default());
+        let packed = lu.sequential();
+        for j in 0..32 {
+            for k in 0..j {
+                assert!(packed[j][k].abs() < 1.0, "multiplier U[{k}][{j}] too big");
+            }
+        }
+    }
+}

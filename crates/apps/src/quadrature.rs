@@ -1,0 +1,190 @@
+//! Adaptive quadrature — an *irregular* application (§2.1).
+//!
+//! The paper's Table 1 applications all have predictable iteration sizes;
+//! §2.1 warns that many scientific codes do not: "the presence of
+//! conditionals in the distributed loop makes it difficult to predict the
+//! cost of different iterations", and the balancer must cope because it
+//! reasons about measured *rates*, not predicted costs.
+//!
+//! This app integrates a spiky function over `n` sub-intervals with
+//! adaptive interval bisection: units near the spikes recurse deeply and
+//! cost orders of magnitude more than smooth ones. A static block
+//! distribution is badly imbalanced even on dedicated machines; dynamic
+//! balancing fixes it with no application knowledge.
+
+use crate::calibration::Calibration;
+use dlb_core::kernels::IndependentKernel;
+use dlb_core::msg::UnitData;
+use dlb_sim::CpuWork;
+
+/// The integrand: smooth background plus narrow spikes.
+fn f(x: f64) -> f64 {
+    let mut v = (3.0 * x).sin();
+    for &c in &[0.137, 0.391, 0.544, 0.729, 0.918] {
+        v += 0.05 / ((x - c) * (x - c) + 1e-4);
+    }
+    v
+}
+
+/// Recursive adaptive Simpson on `[a, b]`; returns `(integral, evals)`.
+fn adaptive(a: f64, b: f64, fa: f64, fb: f64, fm: f64, eps: f64, depth: u32) -> (f64, u64) {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let h = b - a;
+    let whole = h / 6.0 * (fa + 4.0 * fm + fb);
+    let left = h / 12.0 * (fa + 4.0 * flm + fm);
+    let right = h / 12.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * eps {
+        (left + right + delta / 15.0, 2)
+    } else {
+        let (li, le) = adaptive(a, m, fa, fm, flm, eps / 2.0, depth - 1);
+        let (ri, re) = adaptive(m, b, fm, fb, frm, eps / 2.0, depth - 1);
+        (li + ri, le + re + 2)
+    }
+}
+
+/// One unit = one sub-interval of `[0, 1]`.
+pub struct Quadrature {
+    n: usize,
+    eps: f64,
+    cal: Calibration,
+    /// Function evaluations per unit (precomputed so costs are exact).
+    evals: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl Quadrature {
+    /// Integrate over `n` sub-intervals to tolerance `eps`.
+    pub fn new(n: usize, eps: f64, cal: &Calibration) -> Quadrature {
+        assert!(n > 0 && eps > 0.0);
+        let mut evals = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let (v, e) = Self::integrate_unit(i, n, eps);
+            values.push(v);
+            evals.push(e + 3);
+        }
+        Quadrature {
+            n,
+            eps,
+            cal: *cal,
+            evals,
+            values,
+        }
+    }
+
+    fn integrate_unit(i: usize, n: usize, eps: f64) -> (f64, u64) {
+        let a = i as f64 / n as f64;
+        let b = (i + 1) as f64 / n as f64;
+        let fa = f(a);
+        let fb = f(b);
+        let fm = f(0.5 * (a + b));
+        adaptive(a, b, fa, fb, fm, eps / n as f64, 30)
+    }
+
+    /// Sequential reference: the total integral.
+    pub fn sequential(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Total from a gathered run result.
+    pub fn result_total(result: &[UnitData]) -> f64 {
+        result.iter().map(|u| u[0][0]).sum()
+    }
+
+    /// Sequential execution time on a dedicated reference node.
+    pub fn sequential_time(&self) -> dlb_sim::SimDuration {
+        let total: u64 = self.evals.iter().sum();
+        self.cal
+            .work_for_flops(total as f64 * FLOPS_PER_EVAL)
+            .dedicated_duration(1.0)
+    }
+
+    /// Cost skew: most expensive unit over the mean (the irregularity the
+    /// balancer has to absorb).
+    pub fn skew(&self) -> f64 {
+        let max = *self.evals.iter().max().expect("nonempty") as f64;
+        let mean = self.evals.iter().sum::<u64>() as f64 / self.n as f64;
+        max / mean
+    }
+}
+
+/// ~20 flops per integrand evaluation (5 spike terms + sine).
+const FLOPS_PER_EVAL: f64 = 20.0;
+
+impl IndependentKernel for Quadrature {
+    fn n_units(&self) -> usize {
+        self.n
+    }
+
+    fn invocations(&self) -> u64 {
+        1
+    }
+
+    fn init_unit(&self, _idx: usize) -> UnitData {
+        vec![vec![0.0]]
+    }
+
+    fn compute(&self, idx: usize, unit: &mut UnitData, _invocation: u64) {
+        let (v, _) = Self::integrate_unit(idx, self.n, self.eps);
+        unit[0][0] = v;
+    }
+
+    fn unit_cost(&self) -> CpuWork {
+        // The *average* — what a cost model would guess for a regular loop.
+        let mean = self.evals.iter().sum::<u64>() as f64 / self.n as f64;
+        self.cal.work_for_flops(mean * FLOPS_PER_EVAL)
+    }
+
+    fn unit_cost_for(&self, idx: usize, _invocation: u64) -> CpuWork {
+        self.cal
+            .work_for_flops(self.evals[idx] as f64 * FLOPS_PER_EVAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_is_accurate() {
+        // Reference with a much finer fixed grid.
+        let q = Quadrature::new(64, 1e-9, &Calibration::default());
+        let coarse: f64 = q.sequential();
+        let q2 = Quadrature::new(4096, 1e-12, &Calibration::default());
+        let fine: f64 = q2.sequential();
+        assert!((coarse - fine).abs() < 1e-6, "{coarse} vs {fine}");
+    }
+
+    #[test]
+    fn costs_are_genuinely_irregular() {
+        let q = Quadrature::new(64, 1e-9, &Calibration::default());
+        assert!(
+            q.skew() > 3.0,
+            "expected spiky cost distribution, skew {}",
+            q.skew()
+        );
+    }
+
+    #[test]
+    fn per_unit_cost_reflects_evals() {
+        let q = Quadrature::new(32, 1e-9, &Calibration::default());
+        let max_idx = (0..32).max_by_key(|&i| q.evals[i]).unwrap();
+        let min_idx = (0..32).min_by_key(|&i| q.evals[i]).unwrap();
+        assert!(q.unit_cost_for(max_idx, 0) > q.unit_cost_for(min_idx, 0));
+    }
+
+    #[test]
+    fn kernel_compute_matches_precomputed() {
+        let q = Quadrature::new(16, 1e-8, &Calibration::default());
+        for i in 0..16 {
+            let mut u = q.init_unit(i);
+            q.compute(i, &mut u, 0);
+            assert_eq!(u[0][0], q.values[i]);
+        }
+    }
+}

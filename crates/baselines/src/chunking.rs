@@ -1,0 +1,181 @@
+//! Chunk-size policies for central-queue self-scheduling.
+//!
+//! The paper's §6 surveys the self-scheduling literature it departs from:
+//! slaves pull chunks of iterations from a logically central queue. The
+//! classic policies differ in how the chunk size decreases as the queue
+//! drains:
+//!
+//! * **Fixed** (chunk self-scheduling): constant `k` iterations.
+//! * **GSS** (Polychronopoulos & Kuck 1987): `ceil(R / P)` of the `R`
+//!   remaining iterations.
+//! * **Factoring** (Hummel, Schonberg & Flynn 1991): batches of `P` equal
+//!   chunks covering half the remaining work: `ceil(R / 2P)`.
+//! * **Trapezoid** (Tzen & Ni 1993): chunk sizes decrease linearly from
+//!   `first` to `last`.
+
+/// A chunk-size policy. Policies are stateful (TSS decreases linearly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChunkPolicy {
+    Fixed(u64),
+    Gss,
+    Factoring,
+    Trapezoid { first: u64, last: u64 },
+}
+
+impl ChunkPolicy {
+    /// The paper-recommended trapezoid parameters for `n` iterations on
+    /// `p` processors: first = n/(2p), last = 1.
+    pub fn trapezoid_default(n: u64, p: u64) -> ChunkPolicy {
+        ChunkPolicy::Trapezoid {
+            first: (n / (2 * p.max(1))).max(1),
+            last: 1,
+        }
+    }
+
+    /// Create the mutable scheduling state for a loop of `n` iterations on
+    /// `p` processors.
+    pub fn start(&self, n: u64, p: u64) -> ChunkState {
+        let p = p.max(1);
+        let delta = match *self {
+            ChunkPolicy::Trapezoid { first, last } => {
+                let first = first.max(1);
+                let last = last.max(1).min(first);
+                // C = 2n / (first + last) chunks, linear decrease.
+                let c = (2 * n).div_ceil(first + last).max(2);
+                (first - last) as f64 / (c - 1) as f64
+            }
+            _ => 0.0,
+        };
+        ChunkState {
+            policy: self.clone(),
+            remaining: n,
+            p,
+            issued: 0,
+            tss_delta: delta,
+            tss_next: match *self {
+                ChunkPolicy::Trapezoid { first, .. } => first.max(1) as f64,
+                _ => 0.0,
+            },
+        }
+    }
+}
+
+/// Mutable scheduling state: hands out successive chunk sizes.
+#[derive(Clone, Debug)]
+pub struct ChunkState {
+    policy: ChunkPolicy,
+    remaining: u64,
+    p: u64,
+    issued: u64,
+    tss_delta: f64,
+    tss_next: f64,
+}
+
+impl ChunkState {
+    /// Remaining iterations in the queue.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Number of chunks issued so far.
+    pub fn chunks_issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Take the next chunk (its size), or `None` when the queue is empty.
+    pub fn next_chunk(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let size = match self.policy {
+            ChunkPolicy::Fixed(k) => k.max(1),
+            ChunkPolicy::Gss => self.remaining.div_ceil(self.p),
+            ChunkPolicy::Factoring => self.remaining.div_ceil(2 * self.p),
+            ChunkPolicy::Trapezoid { .. } => {
+                let s = self.tss_next.round().max(1.0) as u64;
+                self.tss_next = (self.tss_next - self.tss_delta).max(1.0);
+                s
+            }
+        }
+        .min(self.remaining)
+        .max(1);
+        self.remaining -= size;
+        self.issued += 1;
+        Some(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(policy: ChunkPolicy, n: u64, p: u64) -> Vec<u64> {
+        let mut st = policy.start(n, p);
+        let mut out = Vec::new();
+        while let Some(c) = st.next_chunk() {
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn all_policies_cover_exactly_n() {
+        for policy in [
+            ChunkPolicy::Fixed(7),
+            ChunkPolicy::Gss,
+            ChunkPolicy::Factoring,
+            ChunkPolicy::trapezoid_default(500, 8),
+        ] {
+            for n in [1u64, 13, 100, 500] {
+                let chunks = drain(policy.clone(), n, 8);
+                assert_eq!(chunks.iter().sum::<u64>(), n, "{policy:?} n={n}");
+                assert!(chunks.iter().all(|&c| c >= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let chunks = drain(ChunkPolicy::Fixed(10), 95, 4);
+        assert_eq!(&chunks[..9], &[10; 9]);
+        assert_eq!(chunks[9], 5);
+    }
+
+    #[test]
+    fn gss_decreases_geometrically() {
+        let chunks = drain(ChunkPolicy::Gss, 100, 4);
+        assert_eq!(chunks[0], 25); // ceil(100/4)
+        assert_eq!(chunks[1], 19); // ceil(75/4)
+        for w in chunks.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(*chunks.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn factoring_halves_per_batch() {
+        let chunks = drain(ChunkPolicy::Factoring, 64, 4);
+        assert_eq!(chunks[0], 8); // 64/(2*4)
+        for w in chunks.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn trapezoid_decreases_linearly() {
+        let chunks = drain(ChunkPolicy::trapezoid_default(512, 8), 512, 8);
+        assert_eq!(chunks[0], 32); // 512/(2*8)
+        for w in chunks.windows(2) {
+            assert!(w[1] <= w[0], "{chunks:?}");
+            assert!(w[0] - w[1] <= 2, "linear step too big: {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(drain(ChunkPolicy::Gss, 0, 4), Vec::<u64>::new());
+        assert_eq!(drain(ChunkPolicy::Fixed(100), 5, 4), vec![5]);
+        let one_proc = drain(ChunkPolicy::Gss, 10, 1);
+        assert_eq!(one_proc, vec![10]);
+    }
+}

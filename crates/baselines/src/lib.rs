@@ -1,0 +1,25 @@
+//! # dlb-baselines — comparison schedulers from the paper's related work
+//!
+//! §6 of Siegell & Steenkiste positions their rate-proportional global
+//! balancer against three families. This crate implements runnable versions
+//! of each on the same simulator and kernels, so the comparison experiments
+//! can actually be run:
+//!
+//! * **Static block distribution** — `dlb-core` with the balancer disabled
+//!   (`BalancerConfig { enabled: false, .. }`).
+//! * **Central-queue self-scheduling** ([`self_sched`]) with the classic
+//!   chunking policies ([`chunking`]): fixed chunks, guided
+//!   self-scheduling, factoring, and trapezoid self-scheduling — including
+//!   the data-shipping costs those schemes incur on distributed memory.
+//! * **Diffusion / near-neighbour balancing** ([`diffusion`]) — local
+//!   exchanges only, no global knowledge.
+
+#![forbid(unsafe_code)]
+
+pub mod chunking;
+pub mod diffusion;
+pub mod self_sched;
+
+pub use chunking::{ChunkPolicy, ChunkState};
+pub use diffusion::{run_diffusion, DiffReport, DiffusionConfig};
+pub use self_sched::{run_self_scheduled, SsReport};

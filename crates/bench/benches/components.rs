@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the runtime's pure components: the
+//! quantum-scheduler CPU model, rate filtering, allocation and shift
+//! planning, chunk policies, and full balancer decisions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlb_baselines::ChunkPolicy;
+use dlb_core::alloc::{plan_adjacent_shifts, plan_direct_moves, proportional_allocation};
+use dlb_core::msg::Status;
+use dlb_core::{Balancer, BalancerConfig, RateFilter};
+use dlb_sim::cpu::{advance, NodeConfig};
+use dlb_sim::{CpuWork, LoadModel, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_cpu_advance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_advance");
+    for (name, load) in [
+        ("dedicated", LoadModel::Dedicated),
+        ("constant1", LoadModel::Constant(1)),
+        (
+            "oscillating",
+            LoadModel::Oscillating {
+                period: SimDuration::from_secs(20),
+                duty: SimDuration::from_secs(10),
+                tasks: 1,
+            },
+        ),
+    ] {
+        let cfg = NodeConfig {
+            speed: 1.0,
+            quantum: SimDuration::from_millis(100),
+            load,
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                advance(
+                    black_box(&cfg),
+                    black_box(SimTime(123_456)),
+                    black_box(CpuWork::from_secs_f64(10.0)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rate_filter(c: &mut Criterion) {
+    c.bench_function("rate_filter_update", |b| {
+        let mut f = RateFilter::default();
+        let mut x = 100.0;
+        b.iter(|| {
+            x = if x > 100.0 { 80.0 } else { 120.0 };
+            black_box(f.update(x))
+        })
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let rates: Vec<f64> = (0..16).map(|i| 1.0 + (i as f64) * 0.1).collect();
+    c.bench_function("proportional_allocation_16", |b| {
+        b.iter(|| proportional_allocation(black_box(2000), black_box(&rates), 1))
+    });
+    let current: Vec<u64> = vec![125; 16];
+    let target = proportional_allocation(2000, &rates, 1);
+    c.bench_function("plan_direct_moves_16", |b| {
+        b.iter(|| plan_direct_moves(black_box(&current), black_box(&target)))
+    });
+    c.bench_function("plan_adjacent_shifts_16", |b| {
+        b.iter(|| plan_adjacent_shifts(black_box(&current), black_box(&target)))
+    });
+}
+
+fn bench_balancer_decision(c: &mut Criterion) {
+    c.bench_function("balancer_on_status", |b| {
+        b.iter_batched(
+            || {
+                let mut bal = Balancer::new(
+                    BalancerConfig::default(),
+                    vec![125; 8],
+                    SimDuration::from_millis(100),
+                    SimDuration::from_millis(2),
+                    10,
+                    1.0,
+                );
+                // Warm all filters.
+                for i in 0..8 {
+                    bal.on_status(&status(i, 100, 125));
+                }
+                bal
+            },
+            |mut bal| bal.on_status(black_box(&status(0, 60, 125))),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn status(slave: usize, done: u64, active: u64) -> Status {
+    Status {
+        slave,
+        invocation: 0,
+        units_done_delta: done,
+        elapsed: SimDuration::from_secs(1),
+        active_units: active,
+        last_applied_seq: u64::MAX,
+        transfers_sent: 0,
+        received_from: vec![0; 8],
+        move_cost_sample: None,
+        interaction_cost_sample: None,
+    }
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_policy_drain_2000");
+    for policy in [
+        ChunkPolicy::Fixed(8),
+        ChunkPolicy::Gss,
+        ChunkPolicy::Factoring,
+        ChunkPolicy::trapezoid_default(2000, 8),
+    ] {
+        g.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                let mut st = policy.start(2000, 8);
+                let mut total = 0;
+                while let Some(sz) = st.next_chunk() {
+                    total += sz;
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cpu_advance,
+    bench_rate_filter,
+    bench_allocation,
+    bench_balancer_decision,
+    bench_chunking
+);
+criterion_main!(benches);

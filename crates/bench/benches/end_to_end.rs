@@ -1,0 +1,65 @@
+//! Criterion end-to-end benchmarks: complete simulated runs of each engine
+//! (small problem sizes so criterion can iterate). These measure the *host*
+//! cost of a full deterministic simulation — the kernel handoffs, message
+//! routing, and real arithmetic — not the virtual time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_apps::{Calibration, Lu, MatMul, Sor};
+use dlb_baselines::{run_self_scheduled, ChunkPolicy};
+use dlb_core::driver::{run, AppSpec, RunConfig};
+use dlb_sim::{LoadModel, NetConfig, NodeConfig};
+use std::sync::Arc;
+
+fn loaded_cfg(p: usize) -> RunConfig {
+    let mut cfg = RunConfig::homogeneous(p);
+    cfg.slave_nodes[0] = NodeConfig::with_load(LoadModel::Constant(1));
+    cfg
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let cal = Calibration::new(0.05);
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+
+    let mm = Arc::new(MatMul::new(64, 1, 1, &cal));
+    let mm_plan = dlb_compiler::compile(&mm.program()).unwrap();
+    g.bench_function("mm64_p4_loaded", |b| {
+        b.iter(|| run(AppSpec::Independent(mm.clone()), &mm_plan, loaded_cfg(4)))
+    });
+
+    let sor = Arc::new(Sor::new(66, 4, 1, &cal));
+    let sor_plan = dlb_compiler::compile(&sor.program()).unwrap();
+    g.bench_function("sor64_p4_loaded", |b| {
+        b.iter(|| run(AppSpec::Pipelined(sor.clone()), &sor_plan, loaded_cfg(4)))
+    });
+
+    let lu = Arc::new(Lu::new(64, 1, &cal));
+    let lu_plan = dlb_compiler::compile(&lu.program()).unwrap();
+    g.bench_function("lu64_p4_loaded", |b| {
+        b.iter(|| run(AppSpec::Shrinking(lu.clone()), &lu_plan, loaded_cfg(4)))
+    });
+
+    g.bench_function("mm64_p4_self_sched_gss", |b| {
+        b.iter(|| {
+            run_self_scheduled(
+                mm.clone(),
+                ChunkPolicy::Gss,
+                loaded_cfg(4).slave_nodes,
+                NodeConfig::default(),
+                NetConfig::default(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_sor_plan", |b| {
+        let p = dlb_compiler::programs::sor(2000, 15);
+        b.iter(|| dlb_compiler::compile(&p).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_runs, bench_compile);
+criterion_main!(benches);

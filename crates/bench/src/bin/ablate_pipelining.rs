@@ -1,0 +1,34 @@
+//! §3.2 ablation: pipelined vs synchronous master–slave interactions as
+//! network latency grows. The paper: "Experiments comparing the pipelined
+//! and synchronous approaches confirm that pipelining is important."
+
+use dlb_apps::{Calibration, MatMul};
+use dlb_bench::one_loaded;
+use dlb_core::driver::{run, AppSpec};
+use dlb_core::InteractionMode;
+use dlb_sim::SimDuration;
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let mm = Arc::new(MatMul::new(500, 1, 1, &cal));
+    let plan = dlb_compiler::compile(&mm.program()).unwrap();
+    println!("# Ablation — pipelined vs synchronous balancer interactions (500x500 MM, 8 slaves, 1 loaded)");
+    println!("net_latency_ms\ttime_pipelined_s\ttime_synchronous_s\tsync_overhead_pct");
+    for latency_ms in [0.1f64, 1.0, 5.0, 20.0, 50.0] {
+        let mut times = Vec::new();
+        for mode in [InteractionMode::Pipelined, InteractionMode::Synchronous] {
+            let mut cfg = one_loaded(8);
+            cfg.net.latency = SimDuration::from_secs_f64(latency_ms / 1e3);
+            cfg.balancer.mode = mode;
+            let r = run(AppSpec::Independent(mm.clone()), &plan, cfg);
+            times.push(r.compute_time.as_secs_f64());
+        }
+        println!(
+            "{latency_ms}\t{:.2}\t{:.2}\t{:.1}",
+            times[0],
+            times[1],
+            100.0 * (times[1] - times[0]) / times[0]
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! §3.2 ablation: the balancer's anti-oscillation refinements — the 10%
+//! projected-improvement threshold and the profitability check — under an
+//! oscillating load.
+
+use dlb_apps::{Calibration, MatMul};
+use dlb_bench::{cluster, oscillating};
+use dlb_core::driver::{run, AppSpec};
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let mm = Arc::new(MatMul::new(500, 2, 1, &cal));
+    let plan = dlb_compiler::compile(&mm.program()).unwrap();
+    println!("# Ablation — threshold & profitability under oscillating load (500x500 MM x2, 4 slaves)");
+    println!("threshold\tprofitability\ttime_s\tunits_moved\tmoves_cancelled");
+    for threshold in [0.0f64, 0.05, 0.10, 0.30] {
+        for profitability in [true, false] {
+            let mut cfg = cluster(4, &[(0, oscillating())]);
+            cfg.balancer.threshold = threshold;
+            cfg.balancer.profitability = profitability;
+            let r = run(AppSpec::Independent(mm.clone()), &plan, cfg);
+            assert_eq!(MatMul::result_c(&r.result), mm.sequential());
+            println!(
+                "{threshold}\t{profitability}\t{:.1}\t{}\t{}",
+                r.compute_time.as_secs_f64(),
+                r.stats.units_moved,
+                r.stats.cancelled_threshold + r.stats.cancelled_profitability,
+            );
+        }
+    }
+}

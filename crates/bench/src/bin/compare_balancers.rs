@@ -1,0 +1,69 @@
+//! Related-work comparison (§6): the paper's DLB vs static distribution,
+//! central-queue self-scheduling (with data shipping), and diffusion, on a
+//! 500×500 MM across environments.
+
+use dlb_apps::{Calibration, MatMul};
+use dlb_baselines::{run_diffusion, run_self_scheduled, ChunkPolicy, DiffusionConfig};
+use dlb_bench::{cluster, oscillating};
+use dlb_core::driver::{run, AppSpec, RunConfig};
+use dlb_sim::{LoadModel, NetConfig, NodeConfig};
+use std::sync::Arc;
+
+fn env_nodes(cfg: &RunConfig) -> Vec<NodeConfig> {
+    cfg.slave_nodes.clone()
+}
+
+fn main() {
+    let cal = Calibration::default();
+    let mm = Arc::new(MatMul::new(500, 1, 1, &cal));
+    let plan = dlb_compiler::compile(&mm.program()).unwrap();
+    let seq = mm.sequential_time();
+    println!("# Balancer comparison — 500x500 MM, 8 slaves (times in s; seq {:.1} s)", seq.as_secs_f64());
+    println!("environment\tstatic\tdlb\tss_gss\tss_factoring\tss_fixed4\tdiffusion");
+    let environments: [(&str, RunConfig); 3] = [
+        ("dedicated", cluster(8, &[])),
+        ("one_loaded", cluster(8, &[(0, LoadModel::Constant(1))])),
+        ("oscillating", cluster(8, &[(0, oscillating())])),
+    ];
+    for (name, base) in environments {
+        let mut static_cfg = cluster(8, &[]);
+        static_cfg.slave_nodes = env_nodes(&base);
+        static_cfg.balancer.enabled = false;
+        let t_static = run(AppSpec::Independent(mm.clone()), &plan, static_cfg)
+            .compute_time
+            .as_secs_f64();
+
+        let mut dlb_cfg = cluster(8, &[]);
+        dlb_cfg.slave_nodes = env_nodes(&base);
+        let t_dlb = run(AppSpec::Independent(mm.clone()), &plan, dlb_cfg)
+            .compute_time
+            .as_secs_f64();
+
+        let ss = |policy: ChunkPolicy| {
+            run_self_scheduled(
+                mm.clone(),
+                policy,
+                env_nodes(&base),
+                NodeConfig::default(),
+                NetConfig::default(),
+            )
+            .elapsed
+            .as_secs_f64()
+        };
+        let t_gss = ss(ChunkPolicy::Gss);
+        let t_fact = ss(ChunkPolicy::Factoring);
+        let t_fix = ss(ChunkPolicy::Fixed(4));
+
+        let t_diff = run_diffusion(
+            mm.clone(),
+            DiffusionConfig::default(),
+            env_nodes(&base),
+            NodeConfig::default(),
+            NetConfig::default(),
+        )
+        .elapsed
+        .as_secs_f64();
+
+        println!("{name}\t{t_static:.1}\t{t_dlb:.1}\t{t_gss:.1}\t{t_fact:.1}\t{t_fix:.1}\t{t_diff:.1}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 4: the three lower bounds on the load-balancing period and the
+//! chosen target, as the measured cost of moving work varies (log sweep).
+
+use dlb_core::FrequencyController;
+use dlb_sim::SimDuration;
+
+fn main() {
+    println!("# Fig 4 — periods affecting load-balancing frequency selection");
+    println!("# quantum 100 ms (bound x5, floor 500 ms); interaction cost 8 ms (x20); movement cost swept (x0.1)");
+    println!("move_cost_s\tmovement_bound_s\tinteraction_bound_s\tquantum_bound_s\ttarget_period_s");
+    for exp in -3..=2 {
+        let move_cost = 10f64.powi(exp);
+        let mut fc = FrequencyController::new(SimDuration::from_millis(100));
+        fc.record_interaction(SimDuration::from_millis(8));
+        fc.record_movement(SimDuration::from_secs_f64(move_cost));
+        let b = fc.bounds();
+        println!(
+            "{move_cost}\t{}\t{}\t{}\t{}",
+            b.movement_bound.as_secs_f64(),
+            b.interaction_bound.as_secs_f64(),
+            b.quantum_bound.as_secs_f64(),
+            b.target.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 5: 500×500 matrix multiplication in a dedicated homogeneous
+//! environment — execution time, speedup, and efficiency for 1..8 slaves,
+//! sequential vs parallel vs parallel with DLB.
+
+use dlb_apps::{Calibration, MatMul};
+use dlb_core::driver::{run, AppSpec, RunConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let mm = Arc::new(MatMul::new(500, 1, 1, &cal));
+    let plan = dlb_compiler::compile(&mm.program()).unwrap();
+    let seq = mm.sequential_time();
+    println!("# Fig 5 — 500x500 MM, dedicated homogeneous environment");
+    println!("# sequential time: {:.1} s", seq.as_secs_f64());
+    println!("procs\ttime_par_s\ttime_dlb_s\tspeedup_par\tspeedup_dlb\teff_par\teff_dlb\tmoved_dlb");
+    for p in 1..=8usize {
+        let mut results = Vec::new();
+        for dlb in [false, true] {
+            let mut cfg = RunConfig::homogeneous(p);
+            cfg.balancer.enabled = dlb;
+            let r = run(AppSpec::Independent(mm.clone()), &plan, cfg);
+            assert_eq!(MatMul::result_c(&r.result), mm.sequential());
+            results.push(r);
+        }
+        let (par, dlb) = (&results[0], &results[1]);
+        println!(
+            "{p}\t{:.1}\t{:.1}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{}",
+            par.compute_time.as_secs_f64(),
+            dlb.compute_time.as_secs_f64(),
+            par.speedup(seq),
+            dlb.speedup(seq),
+            par.efficiency(seq),
+            dlb.efficiency(seq),
+            dlb.stats.units_moved,
+        );
+    }
+}

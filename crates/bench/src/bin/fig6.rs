@@ -1,0 +1,36 @@
+//! Figure 6: 2000×2000 successive overrelaxation in a dedicated homogeneous
+//! environment — execution time, speedup, and efficiency for 1..8 slaves.
+
+use dlb_apps::{Calibration, Sor};
+use dlb_core::driver::{run, AppSpec, RunConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let sor = Arc::new(Sor::new(2000, 15, 1, &cal));
+    let plan = dlb_compiler::compile(&sor.program()).unwrap();
+    let seq = sor.sequential_time();
+    println!("# Fig 6 — 2000x2000 SOR (15 sweeps), dedicated homogeneous environment");
+    println!("# sequential time: {:.1} s", seq.as_secs_f64());
+    println!("procs\ttime_par_s\ttime_dlb_s\tspeedup_par\tspeedup_dlb\teff_par\teff_dlb\tmoved_dlb");
+    for p in 1..=8usize {
+        let mut results = Vec::new();
+        for dlb in [false, true] {
+            let mut cfg = RunConfig::homogeneous(p);
+            cfg.balancer.enabled = dlb;
+            let r = run(AppSpec::Pipelined(sor.clone()), &plan, cfg);
+            results.push(r);
+        }
+        let (par, dlb) = (&results[0], &results[1]);
+        println!(
+            "{p}\t{:.1}\t{:.1}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{}",
+            par.compute_time.as_secs_f64(),
+            dlb.compute_time.as_secs_f64(),
+            par.speedup(seq),
+            dlb.speedup(seq),
+            par.efficiency(seq),
+            dlb.efficiency(seq),
+            dlb.stats.units_moved,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 7: 500×500 MM with one constant competing task on processor 0 —
+//! execution time and efficiency with and without dynamic load balancing.
+
+use dlb_apps::{Calibration, MatMul};
+use dlb_bench::one_loaded;
+use dlb_core::driver::{run, AppSpec};
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let mm = Arc::new(MatMul::new(500, 1, 1, &cal));
+    let plan = dlb_compiler::compile(&mm.program()).unwrap();
+    let seq = mm.sequential_time();
+    println!("# Fig 7 — 500x500 MM, one constant competing task on processor 0");
+    println!("# sequential time (dedicated): {:.1} s", seq.as_secs_f64());
+    println!("procs\ttime_par_s\ttime_dlb_s\teff_par\teff_dlb\tmoved_dlb");
+    for p in 1..=8usize {
+        let mut results = Vec::new();
+        for dlb in [false, true] {
+            let mut cfg = one_loaded(p);
+            cfg.balancer.enabled = dlb;
+            let r = run(AppSpec::Independent(mm.clone()), &plan, cfg);
+            assert_eq!(MatMul::result_c(&r.result), mm.sequential());
+            results.push(r);
+        }
+        let (par, dlb) = (&results[0], &results[1]);
+        println!(
+            "{p}\t{:.1}\t{:.1}\t{:.3}\t{:.3}\t{}",
+            par.compute_time.as_secs_f64(),
+            dlb.compute_time.as_secs_f64(),
+            par.efficiency(seq),
+            dlb.efficiency(seq),
+            dlb.stats.units_moved,
+        );
+    }
+}

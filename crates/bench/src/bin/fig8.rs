@@ -1,0 +1,35 @@
+//! Figure 8: 2000×2000 SOR with one constant competing task on processor 0
+//! — execution time and efficiency with and without DLB.
+
+use dlb_apps::{Calibration, Sor};
+use dlb_bench::one_loaded;
+use dlb_core::driver::{run, AppSpec};
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let sor = Arc::new(Sor::new(2000, 15, 1, &cal));
+    let plan = dlb_compiler::compile(&sor.program()).unwrap();
+    let seq = sor.sequential_time();
+    println!("# Fig 8 — 2000x2000 SOR, one constant competing task on processor 0");
+    println!("# sequential time (dedicated): {:.1} s", seq.as_secs_f64());
+    println!("procs\ttime_par_s\ttime_dlb_s\teff_par\teff_dlb\tmoved_dlb");
+    for p in 1..=8usize {
+        let mut results = Vec::new();
+        for dlb in [false, true] {
+            let mut cfg = one_loaded(p);
+            cfg.balancer.enabled = dlb;
+            let r = run(AppSpec::Pipelined(sor.clone()), &plan, cfg);
+            results.push(r);
+        }
+        let (par, dlb) = (&results[0], &results[1]);
+        println!(
+            "{p}\t{:.1}\t{:.1}\t{:.3}\t{:.3}\t{}",
+            par.compute_time.as_secs_f64(),
+            dlb.compute_time.as_secs_f64(),
+            par.efficiency(seq),
+            dlb.efficiency(seq),
+            dlb.stats.units_moved,
+        );
+    }
+}

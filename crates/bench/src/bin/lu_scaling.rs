@@ -1,0 +1,37 @@
+//! Extension experiment (§4.7): LU decomposition with its shrinking active
+//! set, scaling over slaves, dedicated and loaded. Exercises the
+//! active/inactive-slice tracking and the automatic reduction of balancing
+//! frequency as work units shrink.
+
+use dlb_apps::{Calibration, Lu};
+use dlb_bench::one_loaded;
+use dlb_core::driver::{run, AppSpec, RunConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cal = Calibration::default();
+    let lu = Arc::new(Lu::new(500, 1, &cal));
+    let plan = dlb_compiler::compile(&lu.program()).unwrap();
+    let seq = lu.sequential_time();
+    println!("# LU 500x500 — shrinking active set (seq {:.1} s)", seq.as_secs_f64());
+    println!("procs\tdedicated_s\tloaded_static_s\tloaded_dlb_s\tmoved_dlb");
+    for p in [1usize, 2, 4, 8] {
+        let dedicated = run(
+            AppSpec::Shrinking(lu.clone()),
+            &plan,
+            RunConfig::homogeneous(p),
+        );
+        let mut static_cfg = one_loaded(p);
+        static_cfg.balancer.enabled = false;
+        let loaded_static = run(AppSpec::Shrinking(lu.clone()), &plan, static_cfg);
+        let loaded_dlb = run(AppSpec::Shrinking(lu.clone()), &plan, one_loaded(p));
+        assert_eq!(Lu::result_cols(&loaded_dlb.result), lu.sequential());
+        println!(
+            "{p}\t{:.1}\t{:.1}\t{:.1}\t{}",
+            dedicated.compute_time.as_secs_f64(),
+            loaded_static.compute_time.as_secs_f64(),
+            loaded_dlb.compute_time.as_secs_f64(),
+            loaded_dlb.stats.units_moved,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # dlb-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), plus ablation studies and baseline comparisons. Binaries print
+//! TSV to stdout with a `#`-prefixed header describing the experiment, so
+//! results can be piped into any plotting tool.
+//!
+//! Run e.g. `cargo run --release -p dlb-bench --bin fig5`.
+
+#![forbid(unsafe_code)]
+
+use dlb_core::driver::RunConfig;
+use dlb_sim::{LoadModel, NodeConfig};
+
+/// The paper's environments: `p` homogeneous slaves, optionally with a
+/// competing-load model on some of them.
+pub fn cluster(p: usize, loads: &[(usize, LoadModel)]) -> RunConfig {
+    let mut cfg = RunConfig::homogeneous(p);
+    for (idx, load) in loads {
+        cfg.slave_nodes[*idx] = NodeConfig::with_load(load.clone());
+    }
+    cfg
+}
+
+/// The paper's Figures 7–8 environment: one constant competing task on
+/// processor 0.
+pub fn one_loaded(p: usize) -> RunConfig {
+    cluster(p, &[(0, LoadModel::Constant(1))])
+}
+
+/// The paper's Figure 9 load: 20 s period, 10 s loaded.
+pub fn oscillating() -> LoadModel {
+    LoadModel::Oscillating {
+        period: dlb_sim::SimDuration::from_secs(20),
+        duty: dlb_sim::SimDuration::from_secs(10),
+        tasks: 1,
+    }
+}
+
+/// Print a TSV row.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),+ $(,)?) => {{
+        let cells: Vec<String> = vec![$(format!("{}", $v)),+];
+        println!("{}", cells.join("\t"));
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_applies_loads() {
+        let cfg = one_loaded(4);
+        assert!(!cfg.slave_nodes[0].load.is_dedicated());
+        assert!(cfg.slave_nodes[1].load.is_dedicated());
+        assert_eq!(cfg.slave_nodes.len(), 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Affine expressions over loop indices and symbolic parameters.
+//!
+//! Loop bounds and array subscripts in the IR are affine: a constant plus an
+//! integer-weighted sum of variables (loop indices like `i`, `k`, or problem
+//! parameters like `n`). Affine form is what makes the dependence and
+//! bounds-variation analyses in [`crate::deps`] and [`crate::props`]
+//! decidable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine expression: `constant + Σ coeff·var`.
+///
+/// Variables are interned by name; a `BTreeMap` keeps the representation
+/// canonical (zero coefficients are removed), so `PartialEq` is semantic
+/// equality.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    pub constant: i64,
+    pub terms: BTreeMap<String, i64>,
+}
+
+impl Affine {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression `1·var`.
+    pub fn var(name: impl Into<String>) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(name.into(), 1);
+        Affine { constant: 0, terms }
+    }
+
+    /// The expression `coeff·var`.
+    pub fn scaled_var(name: impl Into<String>, coeff: i64) -> Affine {
+        let mut terms = BTreeMap::new();
+        let name = name.into();
+        if coeff != 0 {
+            terms.insert(name, coeff);
+        }
+        Affine { constant: 0, terms }
+    }
+
+    fn normalize(mut self) -> Affine {
+        self.terms.retain(|_, &mut c| c != 0);
+        self
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    pub fn coeff(&self, var: &str) -> i64 {
+        self.terms.get(var).copied().unwrap_or(0)
+    }
+
+    /// True if the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True if `var` appears with a nonzero coefficient.
+    pub fn uses(&self, var: &str) -> bool {
+        self.coeff(var) != 0
+    }
+
+    /// True if any of `vars` appears.
+    pub fn uses_any<'a>(&self, vars: impl IntoIterator<Item = &'a str>) -> bool {
+        vars.into_iter().any(|v| self.uses(v))
+    }
+
+    /// Names of all variables appearing in the expression.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.keys().map(String::as_str)
+    }
+
+    /// Evaluate with the given variable bindings; returns `None` if an
+    /// unbound variable appears.
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> Option<i64> {
+        let mut total = self.constant;
+        for (v, &c) in &self.terms {
+            total += c * env.get(v)?;
+        }
+        Some(total)
+    }
+
+    /// `self - other` as an affine expression.
+    pub fn diff(&self, other: &Affine) -> Affine {
+        self.clone() - other.clone()
+    }
+}
+
+impl Add for Affine {
+    type Output = Affine;
+    fn add(mut self, rhs: Affine) -> Affine {
+        self.constant += rhs.constant;
+        for (v, c) in rhs.terms {
+            *self.terms.entry(v).or_insert(0) += c;
+        }
+        self.normalize()
+    }
+}
+
+impl Sub for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: Affine) -> Affine {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Affine {
+    type Output = Affine;
+    fn neg(mut self) -> Affine {
+        self.constant = -self.constant;
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl Mul<i64> for Affine {
+    type Output = Affine;
+    fn mul(mut self, k: i64) -> Affine {
+        self.constant *= k;
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.normalize()
+    }
+}
+
+impl Add<i64> for Affine {
+    type Output = Affine;
+    fn add(mut self, k: i64) -> Affine {
+        self.constant += k;
+        self
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(c: i64) -> Affine {
+        Affine::constant(c)
+    }
+}
+
+impl From<&str> for Affine {
+    fn from(v: &str) -> Affine {
+        Affine::var(v)
+    }
+}
+
+impl fmt::Debug for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, &c) in &self.terms {
+            if first {
+                match c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    _ => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else {
+                match c {
+                    1 => write!(f, " + {v}")?,
+                    -1 => write!(f, " - {v}")?,
+                    c if c > 0 => write!(f, " + {c}*{v}")?,
+                    c => write!(f, " - {}*{v}", -c)?,
+                }
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn construction_and_eval() {
+        let e = Affine::var("i") + Affine::constant(3);
+        assert_eq!(e.eval(&env(&[("i", 4)])), Some(7));
+        assert_eq!(e.eval(&env(&[])), None);
+        assert_eq!(e.coeff("i"), 1);
+        assert!(e.uses("i"));
+        assert!(!e.uses("j"));
+    }
+
+    #[test]
+    fn arithmetic_normalizes() {
+        let e = Affine::var("i") - Affine::var("i");
+        assert!(e.is_constant());
+        assert_eq!(e.constant, 0);
+        let e2 = (Affine::var("i") * 2 + Affine::var("j")) - Affine::scaled_var("i", 2);
+        assert_eq!(e2, Affine::var("j"));
+    }
+
+    #[test]
+    fn diff_gives_distance() {
+        // Subscript i-1 vs i: distance -1.
+        let w = Affine::var("i") + Affine::constant(-1);
+        let r = Affine::var("i");
+        let d = w.diff(&r);
+        assert!(d.is_constant());
+        assert_eq!(d.constant, -1);
+    }
+
+    #[test]
+    fn scaled_var_zero_is_constant() {
+        assert!(Affine::scaled_var("i", 0).is_constant());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Affine::constant(5)), "5");
+        assert_eq!(format!("{}", Affine::var("i")), "i");
+        assert_eq!(format!("{}", Affine::var("i") + Affine::constant(-1)), "i - 1");
+        assert_eq!(
+            format!("{}", Affine::scaled_var("n", 2) + Affine::var("i") + Affine::constant(3)),
+            "i + 2*n + 3"
+        );
+        assert_eq!(format!("{}", -Affine::var("i")), "-i");
+    }
+
+    #[test]
+    fn vars_iterates() {
+        let e = Affine::var("a") + Affine::var("b");
+        let vs: Vec<&str> = e.vars().collect();
+        assert_eq!(vs, vec!["a", "b"]);
+    }
+}

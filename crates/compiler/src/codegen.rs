@@ -1,0 +1,282 @@
+//! SPMD pseudo-code emission.
+//!
+//! The paper's compiler generates C for the master and slave processes. Our
+//! runtime executes [`crate::plan::ParallelPlan`]s directly, but we still
+//! emit the generated code as annotated pseudo-C so the transformation is
+//! inspectable — this reproduces the *shape* of the paper's Figure 3
+//! (hook placement and strip-mined SOR) for any input program.
+
+use crate::ir::{Loop, Node, Program};
+use crate::plan::{OuterControl, ParallelPlan, Pattern};
+use crate::stripmine;
+use std::fmt::Write;
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn hook_comment(plan: &ParallelPlan, var: &str) -> Option<String> {
+    plan.hooks
+        .sites
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.loop_var == var)
+        .map(|(idx, s)| {
+            let verdict = if idx == plan.hooks.chosen {
+                "chosen".to_string()
+            } else if s.overhead >= crate::hooks::DEFAULT_MAX_OVERHEAD {
+                "overhead too high".to_string()
+            } else {
+                "ok, but a deeper site was chosen".to_string()
+            };
+            format!(
+                "lbhook_{var}(); /* {verdict}: {:.3}% overhead */",
+                s.overhead * 100.0
+            )
+        })
+}
+
+fn emit_loop(out: &mut String, program: &Program, plan: &ParallelPlan, l: &Loop, depth: usize) {
+    indent(out, depth);
+    let range = if l.var == program.distributed_var {
+        format!("my_first_{v} .. my_last_{v} /* distributed */", v = l.var)
+    } else {
+        format!("{} .. {}", l.lower, l.upper)
+    };
+    let _ = writeln!(out, "for ({} = {}) {{", l.var, range);
+    for node in &l.body {
+        match node {
+            Node::Loop(inner) => emit_loop(out, program, plan, inner, depth + 1),
+            Node::Stmt(s) => {
+                indent(out, depth + 1);
+                let _ = writeln!(out, "{};", s.label);
+            }
+        }
+    }
+    if let Some(h) = hook_comment(plan, &l.var) {
+        indent(out, depth + 1);
+        let _ = writeln!(out, "{h}");
+    }
+    indent(out, depth);
+    let _ = writeln!(out, "}}");
+}
+
+/// Emit slave pseudo-code for an independent or shrinking program.
+fn emit_plain_slave(program: &Program, plan: &ParallelPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* slave process, pattern: {:?} */", plan.pattern);
+    if plan.pattern == Pattern::Shrinking {
+        let _ = writeln!(
+            out,
+            "/* active slices shrink with the outer loop; inactive slices are"
+        );
+        let _ = writeln!(
+            out,
+            "   never moved by the balancer (section 4.7 of the paper) */"
+        );
+    }
+    for a in &plan.replicated_arrays {
+        let _ = writeln!(out, "/* array `{a}` is replicated on every slave */");
+    }
+    for m in &plan.moved_arrays {
+        let _ = writeln!(
+            out,
+            "/* array `{}` moves with work units ({} bytes/unit) via dim {} */",
+            m.name, m.bytes_per_unit, m.dim
+        );
+    }
+    for node in &program.body {
+        match node {
+            Node::Loop(l) => emit_loop(&mut out, program, plan, l, 0),
+            Node::Stmt(s) => {
+                let _ = writeln!(out, "{};", s.label);
+            }
+        }
+    }
+    out
+}
+
+/// Emit the paper's Fig. 3c shape: the pipelined slave with strip-mined
+/// rows, boundary communication hoisted out of the block, and hooks.
+fn emit_pipelined_slave(program: &Program, plan: &ParallelPlan, block: i64) -> String {
+    let pipe = plan.pipeline.as_ref().expect("pipelined plan");
+    let dvar = &program.distributed_var;
+    let ivar = &pipe.inner_var;
+    let arr = &program.distributed_array;
+    let path = program.path_to_distributed();
+    let outer_vars: Vec<&str> = path[..path.len() - 1].iter().map(|l| l.var.as_str()).collect();
+    let sm = stripmine::strip_mine(program, ivar, block);
+    let blocksize = if sm.is_some() {
+        format!("{block}")
+    } else {
+        "blocksize".into()
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "/* slave process, pattern: Pipelined (paper Fig. 3c) */");
+    let _ = writeln!(
+        out,
+        "/* blocksize = {blocksize} rows per block, chosen so one block takes ~1.5 OS quanta */"
+    );
+    let mut depth = 0;
+    for v in &outer_vars {
+        indent(&mut out, depth);
+        let _ = writeln!(out, "for ({v}) {{");
+        depth += 1;
+        if pipe.needs_old_neighbor {
+            indent(&mut out, depth);
+            let _ = writeln!(
+                out,
+                "if (pid != 0) send(left, &{arr}[my_first_{dvar}][0], n); /* old values for neighbour */"
+            );
+            indent(&mut out, depth);
+            let _ = writeln!(
+                out,
+                "if (pid != pcount-1) receive(right, &{arr}[my_last_{dvar}][0], n);"
+            );
+        }
+    }
+    indent(&mut out, depth);
+    let _ = writeln!(out, "for ({ivar}0 = 0 .. nblocks) {{");
+    depth += 1;
+    indent(&mut out, depth);
+    let _ = writeln!(
+        out,
+        "if (pid != 0) receive(left, &{arr}[my_first_{dvar}-1][{ivar}0*{blocksize}], {blocksize});"
+    );
+    indent(&mut out, depth);
+    let _ = writeln!(
+        out,
+        "for ({ivar} = {ivar}0*{blocksize} .. min(({ivar}0+1)*{blocksize}, n-1)) {{ /* strip-mined */"
+    );
+    depth += 1;
+    indent(&mut out, depth);
+    let _ = writeln!(
+        out,
+        "for ({dvar} = my_first_{dvar} .. my_last_{dvar}) {{ /* distributed */"
+    );
+    depth += 1;
+    for (_, s) in program.statements() {
+        indent(&mut out, depth);
+        let _ = writeln!(out, "{};", s.label);
+    }
+    if let Some(h) = hook_comment(plan, dvar) {
+        indent(&mut out, depth);
+        let _ = writeln!(out, "{h}");
+    }
+    depth -= 1;
+    indent(&mut out, depth);
+    let _ = writeln!(out, "}}");
+    if let Some(h) = hook_comment(plan, ivar) {
+        indent(&mut out, depth);
+        let _ = writeln!(out, "{h}");
+    }
+    depth -= 1;
+    indent(&mut out, depth);
+    let _ = writeln!(out, "}}");
+    indent(&mut out, depth);
+    let _ = writeln!(
+        out,
+        "if (pid != pcount-1) send(right, &{arr}[my_last_{dvar}-1][{ivar}0*{blocksize}], {blocksize});"
+    );
+    depth -= 1;
+    indent(&mut out, depth);
+    let _ = writeln!(out, "}}");
+    for v in outer_vars.iter().rev() {
+        if let Some(h) = hook_comment(plan, v) {
+            indent(&mut out, depth);
+            let _ = writeln!(out, "{h}");
+        }
+        depth -= 1;
+        indent(&mut out, depth);
+        let _ = writeln!(out, "}} /* {v} */");
+    }
+    out
+}
+
+/// Emit master pseudo-code: control that mimics the slave loop structure so
+/// master and slaves execute the same number of balancing phases (§4.1).
+pub fn emit_master(plan: &ParallelPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* master process for `{}` */", plan.program);
+    match plan.outer {
+        OuterControl::Single => {
+            let _ = writeln!(out, "distribute_initial_work(); /* block distribution */");
+            let _ = writeln!(out, "while (!all_slaves_done()) {{");
+            let _ = writeln!(out, "    balance_phase(); /* collect rates, send instructions */");
+            let _ = writeln!(out, "}}");
+        }
+        OuterControl::Fixed(n) => {
+            let _ = writeln!(out, "distribute_initial_work();");
+            let _ = writeln!(out, "for (invocation = 0 .. {n}) {{");
+            let _ = writeln!(out, "    while (!invocation_done()) balance_phase();");
+            let _ = writeln!(out, "}}");
+        }
+        OuterControl::DataDependent { est } => {
+            let _ = writeln!(out, "distribute_initial_work();");
+            let _ = writeln!(
+                out,
+                "while (reduce_continue_flag()) {{ /* data-dependent, est. {est} iters */"
+            );
+            let _ = writeln!(out, "    while (!invocation_done()) balance_phase();");
+            let _ = writeln!(out, "}}");
+        }
+    }
+    let _ = writeln!(out, "gather_results();");
+    out
+}
+
+/// Emit the complete annotated SPMD program (master + slave).
+pub fn emit(program: &Program, plan: &ParallelPlan) -> String {
+    let slave = match plan.pattern {
+        Pattern::Pipelined => emit_pipelined_slave(program, plan, 100),
+        _ => emit_plain_slave(program, plan),
+    };
+    format!("{}\n{}", emit_master(plan), slave)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile;
+    use crate::programs;
+
+    #[test]
+    fn matmul_codegen_mentions_distribution_and_hooks() {
+        let p = programs::matmul(500, 2);
+        let plan = compile(&p).unwrap();
+        let text = emit(&p, &plan);
+        assert!(text.contains("my_first_i .. my_last_i"), "{text}");
+        assert!(text.contains("lbhook_i();"), "{text}");
+        assert!(text.contains("chosen"), "{text}");
+        assert!(text.contains("array `b` is replicated"), "{text}");
+        assert!(text.contains("for (invocation = 0 .. 2)"), "{text}");
+    }
+
+    #[test]
+    fn sor_codegen_matches_fig3_shape() {
+        let p = programs::sor(2000, 15);
+        let plan = compile(&p).unwrap();
+        let text = emit(&p, &plan);
+        // Strip-mined block loop with hoisted boundary communication:
+        assert!(text.contains("for (i0 = 0 .. nblocks)"), "{text}");
+        assert!(text.contains("receive(left, &b[my_first_j-1][i0*100], 100)"), "{text}");
+        assert!(text.contains("send(right, &b[my_last_j-1][i0*100], 100)"), "{text}");
+        // Sweep-start old-value exchange:
+        assert!(text.contains("send(left, &b[my_first_j][0], n)"), "{text}");
+        // Hook annotations at both candidate depths:
+        assert!(text.contains("lbhook_i(); /* chosen"), "{text}");
+        assert!(text.contains("lbhook_j(); /* overhead too high"), "{text}");
+    }
+
+    #[test]
+    fn lu_codegen_mentions_shrinking() {
+        let p = programs::lu(500);
+        let plan = compile(&p).unwrap();
+        let text = emit(&p, &plan);
+        assert!(text.contains("active slices shrink"), "{text}");
+        assert!(text.contains("my_first_j .. my_last_j"), "{text}");
+    }
+}

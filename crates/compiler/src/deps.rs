@@ -1,0 +1,285 @@
+//! Data-dependence analysis with respect to the distributed loop.
+//!
+//! The load balancer needs to know whether the distributed loop carries
+//! dependences (§2.1): carried dependences mean iteration-to-iteration
+//! communication, which (a) forces pipelined execution and (b) restricts
+//! work movement to logically adjacent slaves so the block distribution —
+//! and hence the number of processor-boundary dependences — is preserved
+//! (§3.2, Fig. 1b).
+//!
+//! Subscripts are affine, so a classic distance test decides everything we
+//! need: for two references to the same array, the dependence distance in
+//! the distributed index is the constant difference of their subscripts in
+//! any dimension where both use the distributed variable with the same
+//! coefficient.
+
+use crate::affine::Affine;
+use crate::ir::{ArrayRef, Node, Program, Stmt};
+
+/// Classification of a dependence relative to the distributed loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Distance {
+    /// Same distributed iteration (not carried).
+    Zero,
+    /// Carried with a constant iteration distance (`+1` = the value flows
+    /// from iteration `d` to iteration `d+1`).
+    Const(i64),
+    /// Both references use the distributed variable but the distance is not
+    /// a compile-time constant — treated conservatively as carried.
+    Unknown,
+    /// One reference uses the distributed variable and the other does not:
+    /// the element is shared by *all* distributed iterations (e.g. the pivot
+    /// column in LU), requiring broadcast-style communication.
+    Global,
+}
+
+/// Kind of dependence, by access order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Write then read (true/flow dependence).
+    Flow,
+    /// Read then write (anti dependence) — in our loop nests this is a read
+    /// of the *previous* outer iteration's value.
+    Anti,
+    /// Write then write.
+    Output,
+}
+
+/// One detected dependence.
+#[derive(Clone, Debug)]
+pub struct Dependence {
+    pub array: String,
+    pub src_stmt: String,
+    pub dst_stmt: String,
+    pub kind: DepKind,
+    pub distance: Distance,
+}
+
+/// Result of analyzing a program.
+#[derive(Clone, Debug, Default)]
+pub struct DepAnalysis {
+    pub deps: Vec<Dependence>,
+}
+
+impl DepAnalysis {
+    /// True if any dependence is carried by the distributed loop.
+    pub fn has_carried(&self) -> bool {
+        self.deps
+            .iter()
+            .any(|d| matches!(d.distance, Distance::Const(k) if k != 0) || d.distance == Distance::Unknown)
+    }
+
+    /// True if some value is shared by all distributed iterations.
+    pub fn has_global(&self) -> bool {
+        self.deps.iter().any(|d| d.distance == Distance::Global)
+    }
+
+    /// All constant carried distances, deduplicated and sorted.
+    pub fn carried_distances(&self) -> Vec<i64> {
+        let mut ds: Vec<i64> = self
+            .deps
+            .iter()
+            .filter_map(|d| match d.distance {
+                Distance::Const(k) if k != 0 => Some(k),
+                _ => None,
+            })
+            .collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// True if every carried dependence has |distance| ≤ 1 (nearest
+    /// neighbour), which is what the pipelined engine supports.
+    pub fn nearest_neighbor_only(&self) -> bool {
+        !self.deps.iter().any(|d| {
+            matches!(d.distance, Distance::Const(k) if k.abs() > 1)
+                || d.distance == Distance::Unknown
+        })
+    }
+}
+
+/// Distance between two subscript vectors with respect to `dvar` (public
+/// so transformations can build direction vectors over any loop variable).
+pub fn distance_wrt(a: &ArrayRef, b: &ArrayRef, dvar: &str) -> Distance {
+    ref_distance(a, b, dvar)
+}
+
+/// Distance between two subscript vectors with respect to `dvar`.
+fn ref_distance(a: &ArrayRef, b: &ArrayRef, dvar: &str) -> Distance {
+    debug_assert_eq!(a.subs.len(), b.subs.len());
+    let mut result = Distance::Zero;
+    for (sa, sb) in a.subs.iter().zip(&b.subs) {
+        let ca = sa.coeff(dvar);
+        let cb = sb.coeff(dvar);
+        match (ca != 0, cb != 0) {
+            (false, false) => continue,
+            (true, true) => {
+                if ca != cb {
+                    return Distance::Unknown;
+                }
+                let diff: Affine = sa.diff(sb);
+                if !diff.is_constant() {
+                    return Distance::Unknown;
+                }
+                if diff.constant % ca != 0 {
+                    // Subscripts can never touch the same element in this
+                    // dimension; no dependence through it, but other dims
+                    // may still carry one. Treat as no constraint.
+                    continue;
+                }
+                let d = diff.constant / ca;
+                if d != 0 {
+                    match result {
+                        Distance::Zero => result = Distance::Const(d),
+                        Distance::Const(prev) if prev == d => {}
+                        _ => return Distance::Unknown,
+                    }
+                }
+            }
+            _ => return Distance::Global,
+        }
+    }
+    result
+}
+
+fn collect_stmts(nodes: &[Node], out: &mut Vec<Stmt>) {
+    for n in nodes {
+        match n {
+            Node::Stmt(s) => out.push(s.clone()),
+            Node::Loop(l) => collect_stmts(&l.body, out),
+        }
+    }
+}
+
+/// Analyze all dependences in `program` with respect to its distributed
+/// loop variable. Pairs of read-only references are ignored (no dependence
+/// without a write).
+pub fn analyze(program: &Program) -> DepAnalysis {
+    let dvar = program.distributed_var.as_str();
+    let mut stmts = Vec::new();
+    collect_stmts(&program.body, &mut stmts);
+
+    let mut deps = Vec::new();
+    for s1 in &stmts {
+        for w in &s1.writes {
+            for s2 in &stmts {
+                // write -> read (flow) and read -> write (anti)
+                for r in &s2.reads {
+                    if r.array != w.array {
+                        continue;
+                    }
+                    let d = ref_distance(w, r, dvar);
+                    // A flow dependence flows from the write to the read;
+                    // the paper's pipeline direction is the sign of the
+                    // distance d where read(j) uses write(j - d).
+                    deps.push(Dependence {
+                        array: w.array.clone(),
+                        src_stmt: s1.label.clone(),
+                        dst_stmt: s2.label.clone(),
+                        kind: if let Distance::Const(k) = d {
+                            if k >= 0 {
+                                DepKind::Flow
+                            } else {
+                                DepKind::Anti
+                            }
+                        } else {
+                            DepKind::Flow
+                        },
+                        distance: d,
+                    });
+                }
+                for w2 in &s2.writes {
+                    if w2.array != w.array || std::ptr::eq(w, w2) {
+                        continue;
+                    }
+                    let d = ref_distance(w, w2, dvar);
+                    if d != Distance::Zero {
+                        deps.push(Dependence {
+                            array: w.array.clone(),
+                            src_stmt: s1.label.clone(),
+                            dst_stmt: s2.label.clone(),
+                            kind: DepKind::Output,
+                            distance: d,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Self-references with distance zero are not interesting; drop them to
+    // keep reports readable, but keep everything carried or global.
+    deps.retain(|d| d.distance != Distance::Zero || d.src_stmt != d.dst_stmt);
+    DepAnalysis { deps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::programs;
+
+    #[test]
+    fn mm_has_no_carried_deps() {
+        let p = programs::matmul(64, 1);
+        let a = analyze(&p);
+        assert!(!a.has_carried(), "deps: {:?}", a.deps);
+        assert!(!a.has_global());
+        assert!(a.nearest_neighbor_only());
+    }
+
+    #[test]
+    fn sor_carries_unit_distances() {
+        let p = programs::sor(64, 4);
+        let a = analyze(&p);
+        assert!(a.has_carried());
+        let ds = a.carried_distances();
+        assert!(ds.contains(&1), "distances: {ds:?}");
+        assert!(ds.contains(&-1), "distances: {ds:?}");
+        assert!(a.nearest_neighbor_only());
+    }
+
+    #[test]
+    fn lu_has_global_but_not_carried() {
+        let p = programs::lu(64);
+        let a = analyze(&p);
+        assert!(a.has_global(), "deps: {:?}", a.deps);
+        assert!(!a.has_carried(), "deps: {:?}", a.deps);
+    }
+
+    #[test]
+    fn distance_mismatched_coeff_is_unknown() {
+        let w = aref("a", vec![crate::affine::Affine::scaled_var("i", 2)]);
+        let r = aref("a", vec![crate::affine::Affine::var("i")]);
+        assert_eq!(ref_distance(&w, &r, "i"), Distance::Unknown);
+    }
+
+    #[test]
+    fn distance_non_divisible_means_disjoint() {
+        // a[2i] vs a[2i+1]: never alias; contributes no constraint.
+        let w = aref("a", vec![crate::affine::Affine::scaled_var("i", 2)]);
+        let r = aref(
+            "a",
+            vec![crate::affine::Affine::scaled_var("i", 2) + 1],
+        );
+        assert_eq!(ref_distance(&w, &r, "i"), Distance::Zero);
+    }
+
+    #[test]
+    fn conflicting_distances_are_unknown() {
+        // a[i][i] vs a[i-1][i-2]: dim distances 1 and 2 conflict.
+        let i = crate::affine::Affine::var("i");
+        let w = aref("a", vec![i.clone(), i.clone()]);
+        let r = aref("a", vec![i.clone() + (-1), i.clone() + (-2)]);
+        assert_eq!(ref_distance(&w, &r, "i"), Distance::Unknown);
+    }
+
+    #[test]
+    fn global_when_one_side_constant() {
+        let i = crate::affine::Affine::var("i");
+        let k = crate::affine::Affine::var("k");
+        let w = aref("a", vec![i]);
+        let r = aref("a", vec![k]);
+        assert_eq!(ref_distance(&w, &r, "i"), Distance::Global);
+    }
+}

@@ -1,0 +1,389 @@
+//! Load-balancing hook placement (§4.2, Fig. 3).
+//!
+//! A *hook* is a conditional call to the load-balancing code. Hooks must be
+//! frequent enough for the balancer to be responsive but cheap enough to be
+//! negligible. The paper's rule: if the distributed loop is outermost, hook
+//! at the end of each of its iterations; otherwise place the hook at the
+//! deepest loop nesting level for which the hook's check cost is a
+//! negligible fraction (< 1 %) of the compute executed between consecutive
+//! hook executions.
+//!
+//! We enumerate every candidate site — the end of one iteration of each
+//! loop in the slave's nest — estimate the compute between hook executions
+//! (with the distributed extent divided by a nominal slave count, since
+//! each slave only runs its own share), and report each site's overhead
+//! ratio, mirroring the paper's Fig. 3 annotations.
+
+use crate::ir::{Loop, Node, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default hook check cost, in flop-equivalents: a counter increment, a
+/// compare, and a predicted-not-taken branch.
+pub const DEFAULT_HOOK_CHECK_FLOPS: f64 = 10.0;
+
+/// Default overhead budget for a hook site (the paper's "negligible
+/// fraction, e.g. less than 1%").
+pub const DEFAULT_MAX_OVERHEAD: f64 = 0.01;
+
+/// Nominal slave count used to scale the distributed extent when estimating
+/// per-slave compute at compile time.
+pub const NOMINAL_SLAVES: i64 = 8;
+
+/// One candidate hook site: the end of an iteration of `loop_var`.
+#[derive(Clone, Debug)]
+pub struct HookSite {
+    /// Loop whose iteration end hosts the hook.
+    pub loop_var: String,
+    /// Depth in the loop nest (0 = outermost loop of the program).
+    pub depth: usize,
+    /// Whether the site is at or inside the distributed loop (true) or in an
+    /// enclosing loop (false).
+    pub inside_distributed: bool,
+    /// Estimated flops executed between consecutive executions of this hook
+    /// on one slave.
+    pub period_flops: f64,
+    /// `hook_check_flops / period_flops`.
+    pub overhead: f64,
+}
+
+impl HookSite {
+    /// Does the site meet the overhead budget?
+    pub fn acceptable(&self, max_overhead: f64) -> bool {
+        self.overhead < max_overhead
+    }
+}
+
+/// The result of hook-placement analysis.
+#[derive(Clone, Debug)]
+pub struct HookPlacement {
+    /// All candidate sites, outermost first.
+    pub sites: Vec<HookSite>,
+    /// Index into `sites` of the chosen (deepest acceptable) site.
+    pub chosen: usize,
+}
+
+impl HookPlacement {
+    pub fn chosen_site(&self) -> &HookSite {
+        &self.sites[self.chosen]
+    }
+}
+
+impl fmt::Display for HookPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (idx, s) in self.sites.iter().enumerate() {
+            let marker = if idx == self.chosen { " <== chosen" } else { "" };
+            writeln!(
+                f,
+                "lbhook after `{}` iteration (depth {}): period ~{:.0} flops, overhead {:.3}% {}{}",
+                s.loop_var,
+                s.depth,
+                s.period_flops,
+                s.overhead * 100.0,
+                if s.acceptable(DEFAULT_MAX_OVERHEAD) {
+                    "ok"
+                } else if s.overhead >= DEFAULT_MAX_OVERHEAD {
+                    "overhead too high"
+                } else {
+                    ""
+                },
+                marker
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze hook placement for `program` with default parameters.
+pub fn place_hooks(program: &Program) -> HookPlacement {
+    place_hooks_with(
+        program,
+        DEFAULT_HOOK_CHECK_FLOPS,
+        DEFAULT_MAX_OVERHEAD,
+        NOMINAL_SLAVES,
+    )
+}
+
+/// Analyze hook placement with explicit hook cost, overhead budget, and
+/// nominal slave count.
+pub fn place_hooks_with(
+    program: &Program,
+    hook_check_flops: f64,
+    max_overhead: f64,
+    nominal_slaves: i64,
+) -> HookPlacement {
+    let mut env = program.default_env();
+    let mut sites = Vec::new();
+    // Walk the chain containing the distributed loop, then keep descending
+    // through the loops *inside* it (first loop child at each level), since
+    // those are also candidate sites (Fig. 3's lbhook2 sits inside the
+    // distributed loop).
+    let path = program.path_to_distributed();
+    assert!(!path.is_empty(), "no distributed loop");
+    let dvar = &program.distributed_var;
+
+    // Extend the chain below the distributed loop: follow loop children.
+    let mut chain: Vec<&Loop> = path.clone();
+    let mut cursor: &Loop = path[path.len() - 1];
+    loop {
+        let next = cursor.body.iter().find_map(|n| match n {
+            Node::Loop(l) => Some(l),
+            Node::Stmt(_) => None,
+        });
+        match next {
+            Some(l) => {
+                chain.push(l);
+                cursor = l;
+            }
+            None => break,
+        }
+    }
+
+    let mut inside = false;
+    for (depth, l) in chain.iter().enumerate() {
+        if l.var == *dvar {
+            inside = true;
+        }
+        // Period = the compute of ONE iteration of this loop on one slave.
+        // Bind enclosing loop vars to midpoints for the estimate.
+        let one_iter = per_slave_iteration_cost(program, l, &env, dvar, nominal_slaves, inside);
+        let trips = program.estimate_trips(l, &env);
+        let lo = l.lower.eval(&env).unwrap_or(0);
+        env.insert(l.var.clone(), lo + trips.max(1) / 2);
+        let overhead = if one_iter > 0.0 {
+            hook_check_flops / one_iter
+        } else {
+            f64::INFINITY
+        };
+        sites.push(HookSite {
+            loop_var: l.var.clone(),
+            depth,
+            inside_distributed: inside,
+            period_flops: one_iter,
+            overhead,
+        });
+    }
+
+    // Deepest acceptable site; fall back to the distributed loop itself
+    // (the paper's outermost-loop rule) if nothing passes.
+    let chosen = sites
+        .iter()
+        .rposition(|s| s.acceptable(max_overhead))
+        .unwrap_or_else(|| {
+            sites
+                .iter()
+                .position(|s| s.loop_var == *dvar)
+                .expect("distributed loop in chain")
+        });
+    HookPlacement { sites, chosen }
+}
+
+/// Analyze hook placement for a *pipelined* program (one with loop-carried
+/// dependences) with default parameters.
+///
+/// The pipelined code generator interchanges the nest: the dependence-
+/// carrying inner loop (SOR's row loop `i`) becomes the outer slave loop and
+/// the distributed loop iterates over *local* columns inside it — exactly
+/// the paper's Fig. 3 shape, where `lbhook2` is per element, `lbhook1` per
+/// row, and `lbhook0` per sweep. Hook placement must therefore analyze the
+/// interchanged chain.
+pub fn place_hooks_pipelined(program: &Program) -> HookPlacement {
+    place_hooks_pipelined_with(
+        program,
+        DEFAULT_HOOK_CHECK_FLOPS,
+        DEFAULT_MAX_OVERHEAD,
+        NOMINAL_SLAVES,
+    )
+}
+
+/// [`place_hooks_pipelined`] with explicit parameters.
+pub fn place_hooks_pipelined_with(
+    program: &Program,
+    hook_check_flops: f64,
+    max_overhead: f64,
+    nominal_slaves: i64,
+) -> HookPlacement {
+    let path = program.path_to_distributed();
+    assert!(!path.is_empty(), "no distributed loop");
+    let dloop = path[path.len() - 1];
+    let inner = dloop
+        .body
+        .iter()
+        .find_map(|n| match n {
+            Node::Loop(l) => Some(l),
+            Node::Stmt(_) => None,
+        })
+        .expect("pipelined program needs an inner loop to pipeline along");
+
+    let mut env = program.default_env();
+    // Interchanged chain: enclosing loops, then the inner (pipeline) loop,
+    // then the distributed loop over local iterations.
+    let mut trips: Vec<(String, i64)> = Vec::new();
+    for l in &path[..path.len() - 1] {
+        let t = program.estimate_trips(l, &env);
+        let lo = l.lower.eval(&env).unwrap_or(0);
+        env.insert(l.var.clone(), lo + t.max(1) / 2);
+        trips.push((l.var.clone(), t.max(1)));
+    }
+    let d_trips = program.estimate_trips(dloop, &env).max(1);
+    let local_trips = (d_trips / nominal_slaves).max(1);
+    {
+        let lo = dloop.lower.eval(&env).unwrap_or(0);
+        env.insert(dloop.var.clone(), lo + d_trips / 2);
+    }
+    let inner_trips = program.estimate_trips(inner, &env).max(1);
+    {
+        let lo = inner.lower.eval(&env).unwrap_or(0);
+        env.insert(inner.var.clone(), lo + inner_trips / 2);
+    }
+    trips.push((inner.var.clone(), inner_trips));
+    trips.push((dloop.var.clone(), local_trips));
+    let leaf_flops = program.estimate_cost(&inner.body, &env);
+
+    // Period at level d = product of trips below × leaf.
+    let mut sites = Vec::new();
+    for (depth, (var, _)) in trips.iter().enumerate() {
+        let below: i64 = trips[depth + 1..].iter().map(|(_, t)| t).product();
+        let period = below as f64 * leaf_flops;
+        let overhead = if period > 0.0 {
+            hook_check_flops / period
+        } else {
+            f64::INFINITY
+        };
+        sites.push(HookSite {
+            loop_var: var.clone(),
+            depth,
+            inside_distributed: depth + 1 >= trips.len(),
+            period_flops: period,
+            overhead,
+        });
+    }
+    let chosen = sites
+        .iter()
+        .rposition(|s| s.acceptable(max_overhead))
+        .unwrap_or(0);
+    HookPlacement { sites, chosen }
+}
+
+/// Cost of one iteration of `l` as executed by one slave: distributed-loop
+/// trip counts are divided by the nominal slave count when the loop is the
+/// distributed one (each slave only executes its share); loops *inside* the
+/// distributed loop run at full extent per local iteration.
+fn per_slave_iteration_cost(
+    program: &Program,
+    l: &Loop,
+    env: &BTreeMap<String, i64>,
+    dvar: &str,
+    nominal_slaves: i64,
+    _inside: bool,
+) -> f64 {
+    let mut inner_env = env.clone();
+    let trips = program.estimate_trips(l, env);
+    let lo = l.lower.eval(env).unwrap_or(0);
+    inner_env.insert(l.var.clone(), lo + trips.max(1) / 2);
+    let mut cost = 0.0;
+    for node in &l.body {
+        match node {
+            Node::Stmt(s) => cost += s.flops,
+            Node::Loop(child) => {
+                let child_cost =
+                    per_slave_iteration_cost(program, child, &inner_env, dvar, nominal_slaves, _inside);
+                let mut child_trips = program.estimate_trips(child, &inner_env);
+                if child.var == dvar {
+                    child_trips = (child_trips / nominal_slaves).max(1);
+                }
+                cost += child_trips as f64 * child_cost;
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn matmul_hooks_per_distributed_iteration() {
+        // MM: per-row cost 2n^2 is huge; per-j cost 2n = 1000 flops is
+        // exactly 1% with a 10-flop check — not strictly below, so the
+        // chosen site is the distributed loop `i` itself.
+        let p = programs::matmul(500, 1);
+        let hp = place_hooks(&p);
+        assert_eq!(hp.chosen_site().loop_var, "i");
+        assert!(hp.chosen_site().acceptable(DEFAULT_MAX_OVERHEAD));
+        // The innermost site must be rejected.
+        let innermost = hp.sites.last().unwrap();
+        assert_eq!(innermost.loop_var, "k");
+        assert!(!innermost.acceptable(DEFAULT_MAX_OVERHEAD));
+    }
+
+    #[test]
+    fn sor_hooks_per_row_not_per_element() {
+        // SOR on the interchanged nest (Fig. 3b): lbhook2 per element
+        // (6 flops) is too expensive; lbhook1 per row across ~n/8 local
+        // columns (1500 flops, 0.67% with a 10-flop check) is the deepest
+        // acceptable site; lbhook0 per sweep is acceptable but shallower.
+        let p = programs::sor(2000, 15);
+        let hp = place_hooks_pipelined(&p);
+        let chosen = hp.chosen_site();
+        assert_eq!(chosen.loop_var, "i", "placement:\n{hp}");
+        // Interchanged chain is iter -> i -> j.
+        let vars: Vec<&str> = hp.sites.iter().map(|s| s.loop_var.as_str()).collect();
+        assert_eq!(vars, vec!["iter", "i", "j"]);
+        // Per-element site (after one local-column iteration) rejected:
+        assert!(!hp.sites[2].acceptable(DEFAULT_MAX_OVERHEAD), "{hp}");
+        // Per-sweep site acceptable but NOT chosen because per-row passes.
+        assert!(hp.sites[0].acceptable(DEFAULT_MAX_OVERHEAD));
+        assert_eq!(chosen.depth, 1);
+    }
+
+    #[test]
+    fn sor_source_order_hooks_fall_back_to_per_column() {
+        // Without the interchange the deepest acceptable site is the
+        // distributed loop itself (one column ~12k flops).
+        let p = programs::sor(2000, 15);
+        let hp = place_hooks(&p);
+        assert_eq!(hp.chosen_site().loop_var, "j", "placement:\n{hp}");
+    }
+
+    #[test]
+    fn lu_hooks_depend_on_problem_size() {
+        // n=500: one column update is ~2(n-k) ≈ 500-1000 flops, so a
+        // per-column hook busts the 1% budget and the hook lands at the end
+        // of each outer step k — the invocation boundary, which is also
+        // LU's natural synchronization point (pivot broadcast).
+        let small = place_hooks(&programs::lu(500));
+        assert_eq!(small.chosen_site().loop_var, "k", "placement:\n{small}");
+        // n=4000: a column update is thousands of flops; the hook moves
+        // inside the distributed loop (per column).
+        let big = place_hooks(&programs::lu(4000));
+        assert_eq!(big.chosen_site().loop_var, "j", "placement:\n{big}");
+    }
+
+    #[test]
+    fn tiny_problem_falls_back_to_distributed_loop() {
+        // With a 2x2 matrix nothing passes 1%; fall back to the distributed
+        // loop per the paper's outermost rule.
+        let p = programs::matmul(2, 1);
+        let hp = place_hooks(&p);
+        assert_eq!(hp.chosen_site().loop_var, "i");
+    }
+
+    #[test]
+    fn stricter_budget_moves_hook_outward() {
+        let p = programs::sor(2000, 15);
+        let lax = place_hooks_with(&p, 10.0, 0.05, 8);
+        let strict = place_hooks_with(&p, 10.0, 0.000001, 8);
+        assert!(strict.chosen <= lax.chosen);
+    }
+
+    #[test]
+    fn display_mentions_rejection() {
+        let p = programs::sor(2000, 15);
+        let text = format!("{}", place_hooks(&p));
+        assert!(text.contains("overhead too high"), "{text}");
+        assert!(text.contains("<== chosen"), "{text}");
+    }
+}

@@ -1,0 +1,504 @@
+//! Loop-nest intermediate representation.
+//!
+//! The paper's compiler starts from sequential Fortran loop nests plus a
+//! data-distribution directive (as in Fortran D / Vienna Fortran) and keeps
+//! the loop structure in the generated SPMD code (§4.1). This IR is that
+//! starting point: perfectly explicit loop nests with affine bounds and
+//! affine array subscripts, a per-statement cost model, and one directive
+//! naming the loop whose iterations are distributed (owner-computes).
+
+use crate::affine::Affine;
+use std::collections::BTreeMap;
+
+/// A symbolic problem parameter (e.g. the matrix dimension `n`) with the
+/// default value used for compile-time cost estimation.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub name: String,
+    pub default: i64,
+}
+
+/// A (possibly multi-dimensional) array declaration with affine extents.
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub dims: Vec<Affine>,
+    /// Bytes per element (for communication-volume estimates).
+    pub elem_bytes: u64,
+}
+
+/// A subscripted reference to an array.
+#[derive(Clone, Debug)]
+pub struct ArrayRef {
+    pub array: String,
+    pub subs: Vec<Affine>,
+}
+
+impl ArrayRef {
+    pub fn new(array: impl Into<String>, subs: Vec<Affine>) -> ArrayRef {
+        ArrayRef {
+            array: array.into(),
+            subs,
+        }
+    }
+}
+
+/// An assignment statement with explicit access lists and a cost model.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// Human-readable label used in emitted pseudo-code.
+    pub label: String,
+    pub writes: Vec<ArrayRef>,
+    pub reads: Vec<ArrayRef>,
+    /// Floating-point operations per execution of the statement.
+    pub flops: f64,
+    /// True if the statement is guarded by a data-dependent condition,
+    /// which makes per-iteration cost unpredictable (Table 1, last row).
+    pub conditional: bool,
+}
+
+/// How a loop's trip count is determined.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoopKind {
+    /// A counted DO loop with affine bounds.
+    For,
+    /// A data-dependent WHILE loop (e.g. iterate-until-converged); the
+    /// estimate is used only for cost models. §4.1 discusses the master
+    /// control code this requires.
+    WhileData { est_iters: i64 },
+}
+
+/// A loop with half-open affine bounds `[lower, upper)`.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    pub var: String,
+    pub lower: Affine,
+    pub upper: Affine,
+    pub kind: LoopKind,
+    pub body: Vec<Node>,
+}
+
+/// A node in the loop tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    Loop(Loop),
+    Stmt(Stmt),
+}
+
+/// A sequential program: the unit the parallelizing compiler consumes.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub arrays: Vec<ArrayDecl>,
+    pub body: Vec<Node>,
+    /// Distribution directive: the loop variable whose iterations are
+    /// distributed across slaves.
+    pub distributed_var: String,
+    /// The array distributed with the loop (owner-computes) and which of
+    /// its dimensions is indexed by the distributed variable.
+    pub distributed_array: String,
+    pub distributed_dim: usize,
+}
+
+/// Errors reported by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    UnknownArray(String),
+    SubscriptArity { array: String, expected: usize, got: usize },
+    DuplicateLoopVar(String),
+    DistributedLoopMissing(String),
+    UnknownVariable { expr: String, var: String },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UnknownArray(a) => write!(f, "reference to undeclared array `{a}`"),
+            IrError::SubscriptArity {
+                array,
+                expected,
+                got,
+            } => write!(f, "array `{array}` has {expected} dims but {got} subscripts"),
+            IrError::DuplicateLoopVar(v) => write!(f, "loop variable `{v}` shadows an outer loop"),
+            IrError::DistributedLoopMissing(v) => {
+                write!(f, "distribution directive names `{v}` but no such loop exists")
+            }
+            IrError::UnknownVariable { expr, var } => {
+                write!(f, "expression `{expr}` uses `{var}` which is neither a parameter nor an enclosing loop variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl Program {
+    /// Check structural well-formedness: declared arrays, matching subscript
+    /// arity, unique loop variables, a distributed loop that exists, and
+    /// every affine expression closed over parameters + enclosing loop vars.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let arrays: BTreeMap<&str, usize> = self
+            .arrays
+            .iter()
+            .map(|a| (a.name.as_str(), a.dims.len()))
+            .collect();
+        let params: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
+        let mut found_distributed = false;
+        let mut scope: Vec<String> = Vec::new();
+        self.validate_nodes(&self.body, &arrays, &params, &mut scope, &mut found_distributed)?;
+        if !found_distributed {
+            return Err(IrError::DistributedLoopMissing(self.distributed_var.clone()));
+        }
+        if !arrays.contains_key(self.distributed_array.as_str()) {
+            return Err(IrError::UnknownArray(self.distributed_array.clone()));
+        }
+        Ok(())
+    }
+
+    fn validate_expr(
+        &self,
+        e: &Affine,
+        params: &[&str],
+        scope: &[String],
+    ) -> Result<(), IrError> {
+        for v in e.vars() {
+            if !params.iter().any(|p| *p == v) && !scope.iter().any(|s| s == v) {
+                return Err(IrError::UnknownVariable {
+                    expr: format!("{e}"),
+                    var: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_nodes(
+        &self,
+        nodes: &[Node],
+        arrays: &BTreeMap<&str, usize>,
+        params: &[&str],
+        scope: &mut Vec<String>,
+        found_distributed: &mut bool,
+    ) -> Result<(), IrError> {
+        for node in nodes {
+            match node {
+                Node::Loop(l) => {
+                    if scope.iter().any(|s| *s == l.var) {
+                        return Err(IrError::DuplicateLoopVar(l.var.clone()));
+                    }
+                    self.validate_expr(&l.lower, params, scope)?;
+                    self.validate_expr(&l.upper, params, scope)?;
+                    if l.var == self.distributed_var {
+                        *found_distributed = true;
+                    }
+                    scope.push(l.var.clone());
+                    self.validate_nodes(&l.body, arrays, params, scope, found_distributed)?;
+                    scope.pop();
+                }
+                Node::Stmt(s) => {
+                    for r in s.writes.iter().chain(&s.reads) {
+                        match arrays.get(r.array.as_str()) {
+                            None => return Err(IrError::UnknownArray(r.array.clone())),
+                            Some(&n) if n != r.subs.len() => {
+                                return Err(IrError::SubscriptArity {
+                                    array: r.array.clone(),
+                                    expected: n,
+                                    got: r.subs.len(),
+                                })
+                            }
+                            _ => {}
+                        }
+                        for sub in &r.subs {
+                            self.validate_expr(sub, params, scope)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Default parameter bindings for compile-time estimation.
+    pub fn default_env(&self) -> BTreeMap<String, i64> {
+        self.params
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect()
+    }
+
+    /// The chain of loops from the outermost level down to (and including)
+    /// the distributed loop. Empty if the directive is dangling (callers
+    /// should have validated).
+    pub fn path_to_distributed(&self) -> Vec<&Loop> {
+        let mut path = Vec::new();
+        fn walk<'a>(nodes: &'a [Node], target: &str, path: &mut Vec<&'a Loop>) -> bool {
+            for node in nodes {
+                if let Node::Loop(l) = node {
+                    path.push(l);
+                    if l.var == target || walk(&l.body, target, path) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+        walk(&self.body, &self.distributed_var, &mut path);
+        path
+    }
+
+    /// The distributed loop itself.
+    pub fn distributed_loop(&self) -> Option<&Loop> {
+        self.path_to_distributed().into_iter().last()
+    }
+
+    /// Estimated floating-point cost of executing `nodes` once with the
+    /// given bindings. Loop variables inside are bound to their midpoint to
+    /// get a representative per-iteration cost for triangular nests.
+    pub fn estimate_cost(&self, nodes: &[Node], env: &BTreeMap<String, i64>) -> f64 {
+        let mut total = 0.0;
+        for node in nodes {
+            match node {
+                Node::Stmt(s) => total += s.flops,
+                Node::Loop(l) => {
+                    let trips = self.estimate_trips(l, env);
+                    let mut inner = env.clone();
+                    let lo = l.lower.eval(env).unwrap_or(0);
+                    inner.insert(l.var.clone(), lo + trips.max(1) / 2);
+                    total += trips as f64 * self.estimate_cost(&l.body, &inner);
+                }
+            }
+        }
+        total
+    }
+
+    /// Estimated trip count of a loop under `env`.
+    pub fn estimate_trips(&self, l: &Loop, env: &BTreeMap<String, i64>) -> i64 {
+        match l.kind {
+            LoopKind::WhileData { est_iters } => est_iters,
+            LoopKind::For => {
+                let lo = l.lower.eval(env).unwrap_or(0);
+                let hi = l.upper.eval(env).unwrap_or(lo);
+                (hi - lo).max(0)
+            }
+        }
+    }
+
+    /// All statements in the subtree rooted at `nodes`, with the stack of
+    /// enclosing loop variables for each.
+    pub fn statements(&self) -> Vec<(Vec<&str>, &Stmt)> {
+        let mut out = Vec::new();
+        fn walk<'a>(nodes: &'a [Node], scope: &mut Vec<&'a str>, out: &mut Vec<(Vec<&'a str>, &'a Stmt)>) {
+            for node in nodes {
+                match node {
+                    Node::Stmt(s) => out.push((scope.clone(), s)),
+                    Node::Loop(l) => {
+                        scope.push(&l.var);
+                        walk(&l.body, scope, out);
+                        scope.pop();
+                    }
+                }
+            }
+        }
+        walk(&self.body, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+/// Fluent helpers for building IR in tests and app definitions.
+pub mod build {
+    use super::*;
+
+    pub fn param(name: &str, default: i64) -> Param {
+        Param {
+            name: name.into(),
+            default,
+        }
+    }
+
+    pub fn array(name: &str, dims: Vec<Affine>) -> ArrayDecl {
+        ArrayDecl {
+            name: name.into(),
+            dims,
+            elem_bytes: 8,
+        }
+    }
+
+    pub fn for_loop(var: &str, lower: impl Into<Affine>, upper: impl Into<Affine>, body: Vec<Node>) -> Node {
+        Node::Loop(Loop {
+            var: var.into(),
+            lower: lower.into(),
+            upper: upper.into(),
+            kind: LoopKind::For,
+            body,
+        })
+    }
+
+    pub fn while_loop(var: &str, est_iters: i64, upper: impl Into<Affine>, body: Vec<Node>) -> Node {
+        Node::Loop(Loop {
+            var: var.into(),
+            lower: Affine::constant(0),
+            upper: upper.into(),
+            kind: LoopKind::WhileData { est_iters },
+            body,
+        })
+    }
+
+    pub fn stmt(
+        label: &str,
+        writes: Vec<ArrayRef>,
+        reads: Vec<ArrayRef>,
+        flops: f64,
+    ) -> Node {
+        Node::Stmt(Stmt {
+            label: label.into(),
+            writes,
+            reads,
+            flops,
+            conditional: false,
+        })
+    }
+
+    pub fn aref(array: &str, subs: Vec<Affine>) -> ArrayRef {
+        ArrayRef::new(array, subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use crate::affine::Affine;
+
+    /// A tiny 1-D stencil: for t { for i in 1..n-1 { a[i] = a[i-1]+a[i+1] } }
+    fn stencil() -> Program {
+        let n = Affine::var("n");
+        let i = Affine::var("i");
+        Program {
+            name: "stencil".into(),
+            params: vec![param("n", 100), param("steps", 10)],
+            arrays: vec![array("a", vec![n.clone()])],
+            body: vec![for_loop(
+                "t",
+                0i64,
+                Affine::var("steps"),
+                vec![for_loop(
+                    "i",
+                    1i64,
+                    n.clone() + (-1),
+                    vec![stmt(
+                        "update",
+                        vec![aref("a", vec![i.clone()])],
+                        vec![
+                            aref("a", vec![i.clone() + (-1)]),
+                            aref("a", vec![i.clone() + 1]),
+                        ],
+                        2.0,
+                    )],
+                )],
+            )],
+            distributed_var: "i".into(),
+            distributed_array: "a".into(),
+            distributed_dim: 0,
+        }
+    }
+
+    #[test]
+    fn validates_ok() {
+        stencil().validate().unwrap();
+    }
+
+    #[test]
+    fn detects_unknown_array() {
+        let mut p = stencil();
+        p.arrays.clear();
+        assert!(matches!(p.validate(), Err(IrError::UnknownArray(_))));
+    }
+
+    #[test]
+    fn detects_bad_arity() {
+        let mut p = stencil();
+        if let Node::Loop(t) = &mut p.body[0] {
+            if let Node::Loop(i) = &mut t.body[0] {
+                if let Node::Stmt(s) = &mut i.body[0] {
+                    s.writes[0].subs.push(Affine::constant(0));
+                }
+            }
+        }
+        assert!(matches!(p.validate(), Err(IrError::SubscriptArity { .. })));
+    }
+
+    #[test]
+    fn detects_missing_distributed_loop() {
+        let mut p = stencil();
+        p.distributed_var = "zz".into();
+        assert!(matches!(
+            p.validate(),
+            Err(IrError::DistributedLoopMissing(_))
+        ));
+    }
+
+    #[test]
+    fn detects_unbound_variable() {
+        let mut p = stencil();
+        if let Node::Loop(t) = &mut p.body[0] {
+            if let Node::Loop(i) = &mut t.body[0] {
+                i.upper = Affine::var("mystery");
+            }
+        }
+        assert!(matches!(p.validate(), Err(IrError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn detects_shadowing() {
+        let p = Program {
+            body: vec![for_loop(
+                "i",
+                0i64,
+                10i64,
+                vec![for_loop("i", 0i64, 10i64, vec![])],
+            )],
+            ..stencil()
+        };
+        assert!(matches!(p.validate(), Err(IrError::DuplicateLoopVar(_))));
+    }
+
+    #[test]
+    fn path_to_distributed_finds_chain() {
+        let p = stencil();
+        let path = p.path_to_distributed();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].var, "t");
+        assert_eq!(path[1].var, "i");
+        assert_eq!(p.distributed_loop().unwrap().var, "i");
+    }
+
+    #[test]
+    fn cost_estimation() {
+        let p = stencil();
+        let env = p.default_env();
+        // steps=10 outer iters × 98 inner iters × 2 flops
+        let cost = p.estimate_cost(&p.body, &env);
+        assert_eq!(cost, 10.0 * 98.0 * 2.0);
+    }
+
+    #[test]
+    fn while_loop_uses_estimate() {
+        let mut p = stencil();
+        if let Node::Loop(t) = &mut p.body[0] {
+            t.kind = LoopKind::WhileData { est_iters: 5 };
+        }
+        let cost = p.estimate_cost(&p.body, &p.default_env());
+        assert_eq!(cost, 5.0 * 98.0 * 2.0);
+    }
+
+    #[test]
+    fn statements_with_scope() {
+        let p = stencil();
+        let stmts = p.statements();
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].0, vec!["t", "i"]);
+        assert_eq!(stmts[0].1.label, "update");
+    }
+}

@@ -1,0 +1,47 @@
+//! # dlb-compiler — the parallelizing-compiler layer
+//!
+//! Reproduces the compiler side of Siegell & Steenkiste (HPDC 1994),
+//! *Automatic Generation of Parallel Programs with Dynamic Load Balancing*.
+//! The paper's Table 2 lists what a parallelizing compiler must contribute
+//! for generated code to be load-balanceable; each task maps to a module:
+//!
+//! | Table 2 task                                   | module |
+//! |------------------------------------------------|--------|
+//! | Generate control for the central load balancer | [`plan`] (`OuterControl`), [`codegen::emit_master`] |
+//! | Determine grain size & block communication     | [`stripmine`] |
+//! | Insert slave↔balancer interaction code         | [`hooks`] |
+//! | Supply dependence info restricting movement    | [`deps`], [`plan`] (`MovementRule`) |
+//! | Generate application-specific work movement    | [`plan`] (`MovedArray` descriptors) |
+//! | Generate code for arbitrary communication      | [`plan`] (replicated/aligned classification) |
+//!
+//! Programs are written in a small loop-nest IR ([`ir`]) with affine bounds
+//! and subscripts ([`affine`]); [`programs`] provides the paper's three
+//! example routines (MM, SOR, LU). [`plan::compile`] turns a program into a
+//! [`plan::ParallelPlan`] that `dlb-core`'s runtime executes, and
+//! [`codegen::emit`] prints the transformed SPMD pseudo-code with hook
+//! annotations — the paper's Figure 3.
+
+#![forbid(unsafe_code)]
+
+pub mod affine;
+pub mod codegen;
+pub mod deps;
+pub mod hooks;
+pub mod ir;
+pub mod plan;
+pub mod programs;
+pub mod props;
+pub mod stripmine;
+pub mod transform;
+
+pub use affine::Affine;
+pub use deps::{analyze, DepAnalysis, Dependence, Distance};
+pub use hooks::{place_hooks, place_hooks_pipelined, HookPlacement, HookSite};
+pub use ir::{ArrayDecl, ArrayRef, IrError, Loop, LoopKind, Node, Param, Program, Stmt};
+pub use plan::{
+    compile, CompileError, GrainPolicy, MovedArray, MovementRule, OuterControl, ParallelPlan,
+    Pattern, PipelineSpec,
+};
+pub use props::AppProperties;
+pub use stripmine::{grain_iterations, strip_mine, GRAIN_QUANTUM_FACTOR};
+pub use transform::{interchange, InterchangeError};

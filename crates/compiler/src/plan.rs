@@ -1,0 +1,454 @@
+//! Plan generation: everything the run-time system needs, derived from the
+//! IR (the paper's Table 2 compiler tasks).
+//!
+//! [`compile`] runs dependence analysis, property extraction, and hook
+//! placement, classifies the program into one of three execution patterns,
+//! decides the work-movement rule, and describes which arrays move with a
+//! work unit — the compiler-generated "application-specific routines for
+//! work movement" of §4.5, here in descriptor form.
+
+use crate::deps;
+use crate::hooks::{self, HookPlacement};
+use crate::ir::{IrError, LoopKind, Node, Program};
+use crate::props::{self, AppProperties};
+use crate::stripmine::GRAIN_QUANTUM_FACTOR;
+
+/// How the slaves execute the distributed loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Iterations are independent (MM): compute local units between hooks.
+    Independent,
+    /// Loop-carried nearest-neighbour dependences (SOR): wavefront pipeline
+    /// with per-block boundary exchange and strip-mined grain control.
+    Pipelined,
+    /// Independent iterations whose active set shrinks with an outer loop
+    /// (LU): broadcast each step, track active/inactive slices (§4.7).
+    Shrinking,
+}
+
+/// Work-movement restriction (§3.2, Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MovementRule {
+    /// Work may move directly between any two slaves (Fig. 1a).
+    Direct,
+    /// Work may only shift between logically adjacent slaves so the block
+    /// distribution is preserved (Fig. 1b).
+    AdjacentOnly,
+}
+
+/// How the block size of the pipelined loop is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GrainPolicy {
+    /// One unit at a time (no strip mining needed).
+    Unit,
+    /// Strip-mine so one block ≈ `quantum_factor` × OS quantum, measured at
+    /// startup (§4.4).
+    AutoBlock { quantum_factor: f64 },
+    /// Fixed block size (for ablation experiments).
+    FixedBlock { iterations: u64 },
+}
+
+/// The master's control obligations (§4.1): it must invoke the central
+/// balancing code once per distributed-loop invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OuterControl {
+    /// The distributed loop runs exactly once.
+    Single,
+    /// A compile-time-known number of invocations.
+    Fixed(u64),
+    /// Data-dependent (WHILE): the master mimics the loop at run time;
+    /// the estimate is for cost models only.
+    DataDependent { est: u64 },
+}
+
+/// An array that travels with a work unit when work moves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MovedArray {
+    pub name: String,
+    /// Which dimension is indexed by the distributed variable.
+    pub dim: usize,
+    /// Bytes of this array per work unit.
+    pub bytes_per_unit: u64,
+}
+
+/// Pipeline description for [`Pattern::Pipelined`] programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// The loop the pipeline advances along (SOR's row loop `i`).
+    pub inner_var: String,
+    /// Trip count of that loop (with default parameters).
+    pub inner_trips: u64,
+    /// True if iterations also read their right neighbour's *previous*
+    /// values, requiring an old-value exchange at each invocation start
+    /// (SOR's sweep-start column send).
+    pub needs_old_neighbor: bool,
+}
+
+/// The compiler's output: a complete execution + balancing plan.
+#[derive(Clone, Debug)]
+pub struct ParallelPlan {
+    pub program: String,
+    pub pattern: Pattern,
+    pub movement: MovementRule,
+    pub props: AppProperties,
+    pub hooks: HookPlacement,
+    pub grain: GrainPolicy,
+    pub outer: OuterControl,
+    /// Distributed-loop trip count on the first invocation.
+    pub n_units: u64,
+    /// Estimated flops per work unit on the first invocation.
+    pub unit_flops: f64,
+    /// Arrays that move with a unit, and their per-unit sizes.
+    pub moved_arrays: Vec<MovedArray>,
+    /// Arrays replicated on every slave (never moved).
+    pub replicated_arrays: Vec<String>,
+    /// Total bytes moved per work unit.
+    pub unit_bytes: u64,
+    /// Present for pipelined programs.
+    pub pipeline: Option<PipelineSpec>,
+}
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    Invalid(IrError),
+    /// Carried dependences with |distance| > 1 or unknown distance: the
+    /// pipelined engine only supports nearest-neighbour pipelines.
+    UnsupportedDependences(String),
+    /// The distributed loop has no iterations under default parameters.
+    EmptyDistributedLoop,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid program: {e}"),
+            CompileError::UnsupportedDependences(s) => {
+                write!(f, "unsupported dependence pattern: {s}")
+            }
+            CompileError::EmptyDistributedLoop => write!(f, "distributed loop has no iterations"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile a program into a [`ParallelPlan`].
+pub fn compile(program: &Program) -> Result<ParallelPlan, CompileError> {
+    program.validate().map_err(CompileError::Invalid)?;
+    let da = deps::analyze(program);
+    let props = props::derive_with(program, &da);
+
+    let pattern = if props.loop_carried_deps {
+        if !da.nearest_neighbor_only() {
+            return Err(CompileError::UnsupportedDependences(format!(
+                "carried distances {:?}",
+                da.carried_distances()
+            )));
+        }
+        Pattern::Pipelined
+    } else if props.varying_loop_bounds {
+        Pattern::Shrinking
+    } else {
+        Pattern::Independent
+    };
+
+    let movement = if props.loop_carried_deps {
+        MovementRule::AdjacentOnly
+    } else {
+        MovementRule::Direct
+    };
+
+    let hooks = match pattern {
+        Pattern::Pipelined => hooks::place_hooks_pipelined(program),
+        _ => hooks::place_hooks(program),
+    };
+
+    let grain = match pattern {
+        Pattern::Pipelined => GrainPolicy::AutoBlock {
+            quantum_factor: GRAIN_QUANTUM_FACTOR,
+        },
+        _ => GrainPolicy::Unit,
+    };
+
+    // First-invocation environment: enclosing loop vars at their lower
+    // bounds.
+    let mut env = program.default_env();
+    let path = program.path_to_distributed();
+    let enclosing = &path[..path.len() - 1];
+    let mut outer_invocations: u64 = 1;
+    let mut data_dependent = false;
+    for l in enclosing {
+        let trips = program.estimate_trips(l, &env).max(0) as u64;
+        outer_invocations = outer_invocations.saturating_mul(trips.max(1));
+        if matches!(l.kind, LoopKind::WhileData { .. }) {
+            data_dependent = true;
+        }
+        let lo = l.lower.eval(&env).unwrap_or(0);
+        env.insert(l.var.clone(), lo);
+    }
+    let outer = if enclosing.is_empty() {
+        OuterControl::Single
+    } else if data_dependent {
+        OuterControl::DataDependent {
+            est: outer_invocations,
+        }
+    } else {
+        OuterControl::Fixed(outer_invocations)
+    };
+
+    let dloop = path[path.len() - 1];
+    let n_units = program.estimate_trips(dloop, &env).max(0) as u64;
+    if n_units == 0 {
+        return Err(CompileError::EmptyDistributedLoop);
+    }
+    let unit_flops = {
+        let mut e = env.clone();
+        let lo = dloop.lower.eval(&env).unwrap_or(0);
+        e.insert(dloop.var.clone(), lo + n_units as i64 / 2);
+        program.estimate_cost(&dloop.body, &e)
+    };
+
+    let (moved_arrays, replicated_arrays, unit_bytes) = classify_arrays(program, &env);
+
+    let pipeline = if pattern == Pattern::Pipelined {
+        let inner = dloop
+            .body
+            .iter()
+            .find_map(|n| match n {
+                Node::Loop(l) => Some(l),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                CompileError::UnsupportedDependences(
+                    "pipelined loop without an inner loop to pipeline along".into(),
+                )
+            })?;
+        let mut e = env.clone();
+        let lo = dloop.lower.eval(&env).unwrap_or(0);
+        e.insert(dloop.var.clone(), lo);
+        let inner_trips = program.estimate_trips(inner, &e).max(0) as u64;
+        // Reads with negative distance consume the neighbour's previous
+        // values -> old-value exchange at each sweep start.
+        let needs_old = da
+            .deps
+            .iter()
+            .any(|d| matches!(d.distance, deps::Distance::Const(k) if k < 0));
+        Some(PipelineSpec {
+            inner_var: inner.var.clone(),
+            inner_trips,
+            needs_old_neighbor: needs_old,
+        })
+    } else {
+        None
+    };
+
+    Ok(ParallelPlan {
+        program: program.name.clone(),
+        pattern,
+        movement,
+        props,
+        hooks,
+        grain,
+        outer,
+        n_units,
+        unit_flops,
+        moved_arrays,
+        replicated_arrays,
+        unit_bytes,
+        pipeline,
+    })
+}
+
+/// Decide, per array, whether it moves with work units (aligned with the
+/// distributed variable) or is replicated. Owner-computes: an array is
+/// aligned if its *writes* subscript the distributed variable in a
+/// consistent dimension; a read-only array is aligned if all its reads do.
+fn classify_arrays(
+    program: &Program,
+    env: &std::collections::BTreeMap<String, i64>,
+) -> (Vec<MovedArray>, Vec<String>, u64) {
+    let dvar = program.distributed_var.as_str();
+    let stmts = program.statements();
+    let mut moved = Vec::new();
+    let mut replicated = Vec::new();
+    let mut total_bytes = 0u64;
+    for decl in &program.arrays {
+        let mut write_dims: Vec<usize> = Vec::new();
+        let mut read_dims: Vec<usize> = Vec::new();
+        let mut has_write = false;
+        let mut has_read = false;
+        for (_, s) in &stmts {
+            for w in &s.writes {
+                if w.array == decl.name {
+                    has_write = true;
+                    if let Some(d) = w.subs.iter().position(|sub| sub.uses(dvar)) {
+                        write_dims.push(d);
+                    }
+                }
+            }
+            for r in &s.reads {
+                if r.array == decl.name {
+                    has_read = true;
+                    if let Some(d) = r.subs.iter().position(|sub| sub.uses(dvar)) {
+                        read_dims.push(d);
+                    }
+                }
+            }
+        }
+        write_dims.sort_unstable();
+        write_dims.dedup();
+        read_dims.sort_unstable();
+        read_dims.dedup();
+        let aligned_dim = if has_write && write_dims.len() == 1 {
+            Some(write_dims[0])
+        } else if !has_write && has_read && read_dims.len() == 1 {
+            Some(read_dims[0])
+        } else {
+            None
+        };
+        match aligned_dim {
+            Some(dim) => {
+                let mut bytes = decl.elem_bytes;
+                for (d, extent) in decl.dims.iter().enumerate() {
+                    if d != dim {
+                        bytes = bytes.saturating_mul(extent.eval(env).unwrap_or(1).max(1) as u64);
+                    }
+                }
+                total_bytes += bytes;
+                moved.push(MovedArray {
+                    name: decl.name.clone(),
+                    dim,
+                    bytes_per_unit: bytes,
+                });
+            }
+            None => replicated.push(decl.name.clone()),
+        }
+    }
+    (moved, replicated, total_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn matmul_plan() {
+        let plan = compile(&programs::matmul(500, 2)).unwrap();
+        assert_eq!(plan.pattern, Pattern::Independent);
+        assert_eq!(plan.movement, MovementRule::Direct);
+        assert_eq!(plan.outer, OuterControl::Fixed(2));
+        assert_eq!(plan.n_units, 500);
+        assert_eq!(plan.unit_flops, 2.0 * 500.0 * 500.0);
+        assert_eq!(plan.grain, GrainPolicy::Unit);
+        // c and a move with a row; b is replicated.
+        let names: Vec<&str> = plan.moved_arrays.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+        assert_eq!(plan.replicated_arrays, vec!["b"]);
+        assert_eq!(plan.unit_bytes, 2 * 500 * 8);
+        assert!(plan.pipeline.is_none());
+    }
+
+    #[test]
+    fn sor_plan() {
+        let plan = compile(&programs::sor(2000, 15)).unwrap();
+        assert_eq!(plan.pattern, Pattern::Pipelined);
+        assert_eq!(plan.movement, MovementRule::AdjacentOnly);
+        assert_eq!(plan.outer, OuterControl::Fixed(15));
+        assert_eq!(plan.n_units, 1998);
+        assert!(matches!(plan.grain, GrainPolicy::AutoBlock { .. }));
+        let pipe = plan.pipeline.as_ref().unwrap();
+        assert_eq!(pipe.inner_var, "i");
+        assert_eq!(pipe.inner_trips, 1998);
+        assert!(pipe.needs_old_neighbor);
+        assert_eq!(plan.unit_bytes, 2000 * 8); // one column of b
+    }
+
+    #[test]
+    fn lu_plan() {
+        let plan = compile(&programs::lu(500)).unwrap();
+        assert_eq!(plan.pattern, Pattern::Shrinking);
+        assert_eq!(plan.movement, MovementRule::Direct);
+        assert_eq!(plan.outer, OuterControl::Fixed(499));
+        assert_eq!(plan.n_units, 499); // first invocation: j in 1..500
+        let names: Vec<&str> = plan.moved_arrays.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a"]);
+    }
+
+    #[test]
+    fn invalid_program_rejected() {
+        let mut p = programs::matmul(16, 1);
+        p.distributed_var = "nope".into();
+        assert!(matches!(compile(&p), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn long_distance_dependences_rejected() {
+        use crate::ir::build::*;
+        let n = crate::affine::Affine::var("n");
+        let i = crate::affine::Affine::var("i");
+        let p = crate::ir::Program {
+            name: "stride2".into(),
+            params: vec![param("n", 64)],
+            arrays: vec![array("x", vec![n.clone()])],
+            body: vec![for_loop(
+                "t",
+                0i64,
+                4i64,
+                vec![for_loop(
+                    "i",
+                    2i64,
+                    n.clone(),
+                    vec![stmt(
+                        "x[i] = x[i-2]",
+                        vec![aref("x", vec![i.clone()])],
+                        vec![aref("x", vec![i.clone() + (-2)])],
+                        1.0,
+                    )],
+                )],
+            )],
+            distributed_var: "i".into(),
+            distributed_array: "x".into(),
+            distributed_dim: 0,
+        };
+        assert!(matches!(
+            compile(&p),
+            Err(CompileError::UnsupportedDependences(_))
+        ));
+    }
+
+    #[test]
+    fn while_outer_is_data_dependent_control() {
+        use crate::ir::build::*;
+        let n = crate::affine::Affine::var("n");
+        let i = crate::affine::Affine::var("i");
+        let p = crate::ir::Program {
+            name: "iterate".into(),
+            params: vec![param("n", 64)],
+            arrays: vec![array("x", vec![n.clone()])],
+            body: vec![while_loop(
+                "t",
+                25,
+                1000i64,
+                vec![for_loop(
+                    "i",
+                    0i64,
+                    n.clone(),
+                    vec![stmt(
+                        "x[i] = f(x[i])",
+                        vec![aref("x", vec![i.clone()])],
+                        vec![aref("x", vec![i.clone()])],
+                        3.0,
+                    )],
+                )],
+            )],
+            distributed_var: "i".into(),
+            distributed_array: "x".into(),
+            distributed_dim: 0,
+        };
+        let plan = compile(&p).unwrap();
+        assert_eq!(plan.outer, OuterControl::DataDependent { est: 25 });
+        assert_eq!(plan.pattern, Pattern::Independent);
+    }
+}

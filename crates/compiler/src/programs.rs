@@ -1,0 +1,230 @@
+//! The paper's three example routines as IR programs (Table 1).
+//!
+//! These are the sequential loop nests a user would hand to the compiler,
+//! together with the distribution directive. `dlb-apps` pairs each with a
+//! real-data kernel; here they drive the compiler analyses.
+
+use crate::affine::Affine;
+use crate::ir::build::*;
+use crate::ir::{Node, Program};
+
+/// Matrix multiplication `C = A × B` (n×n), distributed over the rows of C
+/// (loop `i`), wrapped in an application-level repetition loop: the paper's
+/// Table 1 classifies MM as repeatedly executed, and its Figure 9 runs MM
+/// long enough to observe several load oscillations.
+pub fn matmul(n: i64, reps: i64) -> Program {
+    let nn = Affine::var("n");
+    let i = Affine::var("i");
+    let j = Affine::var("j");
+    let k = Affine::var("k");
+    let body: Vec<Node> = vec![for_loop(
+        "rep",
+        0i64,
+        Affine::var("reps"),
+        vec![for_loop(
+            "i",
+            0i64,
+            nn.clone(),
+            vec![for_loop(
+                "j",
+                0i64,
+                nn.clone(),
+                vec![for_loop(
+                    "k",
+                    0i64,
+                    nn.clone(),
+                    vec![stmt(
+                        "c[i][j] += a[i][k] * b[k][j]",
+                        vec![aref("c", vec![i.clone(), j.clone()])],
+                        vec![
+                            aref("c", vec![i.clone(), j.clone()]),
+                            aref("a", vec![i.clone(), k.clone()]),
+                            aref("b", vec![k.clone(), j.clone()]),
+                        ],
+                        2.0,
+                    )],
+                )],
+            )],
+        )],
+    )];
+    Program {
+        name: "matmul".into(),
+        params: vec![param("n", n), param("reps", reps)],
+        arrays: vec![
+            array("a", vec![nn.clone(), nn.clone()]),
+            array("b", vec![nn.clone(), nn.clone()]),
+            array("c", vec![nn.clone(), nn.clone()]),
+        ],
+        body,
+        distributed_var: "i".into(),
+        distributed_array: "c".into(),
+        distributed_dim: 0,
+    }
+}
+
+/// Successive overrelaxation on an n×n grid, `maxiter` sweeps, distributed
+/// by columns (loop `j`), Gauss-Seidel ordering so the sweep pipelines along
+/// the rows — the paper's Figure 3. Arrays are indexed `b[column][row]`.
+pub fn sor(n: i64, maxiter: i64) -> Program {
+    let nn = Affine::var("n");
+    let i = Affine::var("i");
+    let j = Affine::var("j");
+    let body: Vec<Node> = vec![for_loop(
+        "iter",
+        0i64,
+        Affine::var("maxiter"),
+        vec![for_loop(
+            "j",
+            1i64,
+            nn.clone() + (-1),
+            vec![for_loop(
+                "i",
+                1i64,
+                nn.clone() + (-1),
+                vec![stmt(
+                    "b[j][i] = 0.493*(b[j][i-1] + b[j-1][i] + b[j][i+1] + b[j+1][i]) - 0.972*b[j][i]",
+                    vec![aref("b", vec![j.clone(), i.clone()])],
+                    vec![
+                        aref("b", vec![j.clone(), i.clone() + (-1)]),
+                        aref("b", vec![j.clone() + (-1), i.clone()]),
+                        aref("b", vec![j.clone(), i.clone() + 1]),
+                        aref("b", vec![j.clone() + 1, i.clone()]),
+                        aref("b", vec![j.clone(), i.clone()]),
+                    ],
+                    6.0,
+                )],
+            )],
+        )],
+    )];
+    Program {
+        name: "sor".into(),
+        params: vec![param("n", n), param("maxiter", maxiter)],
+        arrays: vec![array("b", vec![nn.clone(), nn.clone()])],
+        body,
+        distributed_var: "j".into(),
+        distributed_array: "b".into(),
+        distributed_dim: 0,
+    }
+}
+
+/// LU decomposition (no pivoting) of an n×n matrix stored by columns
+/// (`a[column][row]`), distributed over columns (loop `j`). The active part
+/// of the distributed loop shrinks with the outer `k` loop (§4.7), and the
+/// pivot column `a[k][·]` is read by every distributed iteration (a global
+/// dependence — broadcast communication outside the distributed loop).
+pub fn lu(n: i64) -> Program {
+    let nn = Affine::var("n");
+    let i = Affine::var("i");
+    let j = Affine::var("j");
+    let k = Affine::var("k");
+    let body: Vec<Node> = vec![for_loop(
+        "k",
+        0i64,
+        nn.clone() + (-1),
+        vec![for_loop(
+            "j",
+            k.clone() + 1,
+            nn.clone(),
+            vec![
+                stmt(
+                    "a[j][k] = a[j][k] / a[k][k]",
+                    vec![aref("a", vec![j.clone(), k.clone()])],
+                    vec![
+                        aref("a", vec![j.clone(), k.clone()]),
+                        aref("a", vec![k.clone(), k.clone()]),
+                    ],
+                    1.0,
+                ),
+                for_loop(
+                    "i",
+                    k.clone() + 1,
+                    nn.clone(),
+                    vec![stmt(
+                        "a[j][i] -= a[j][k] * a[k][i]",
+                        vec![aref("a", vec![j.clone(), i.clone()])],
+                        vec![
+                            aref("a", vec![j.clone(), i.clone()]),
+                            aref("a", vec![j.clone(), k.clone()]),
+                            aref("a", vec![k.clone(), i.clone()]),
+                        ],
+                        2.0,
+                    )],
+                ),
+            ],
+        )],
+    )];
+    Program {
+        name: "lu".into(),
+        params: vec![param("n", n)],
+        arrays: vec![array("a", vec![nn.clone(), nn.clone()])],
+        body,
+        distributed_var: "j".into(),
+        distributed_array: "a".into(),
+        distributed_dim: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_validate() {
+        matmul(500, 1).validate().unwrap();
+        sor(2000, 15).validate().unwrap();
+        lu(500).validate().unwrap();
+    }
+
+    #[test]
+    fn matmul_cost_matches_2n3() {
+        let p = matmul(500, 1);
+        let cost = p.estimate_cost(&p.body, &p.default_env());
+        assert_eq!(cost, 2.0 * 500f64.powi(3));
+    }
+
+    #[test]
+    fn sor_cost_matches_sweeps() {
+        let p = sor(2000, 15);
+        let cost = p.estimate_cost(&p.body, &p.default_env());
+        assert_eq!(cost, 15.0 * 1998.0 * 1998.0 * 6.0);
+    }
+
+    #[test]
+    fn lu_distributed_loop_shrinks() {
+        let p = lu(100);
+        let l = p.distributed_loop().unwrap();
+        assert!(l.lower.uses("k"));
+        let mut env = p.default_env();
+        env.insert("k".into(), 10);
+        assert_eq!(p.estimate_trips(l, &env), 89);
+        env.insert("k".into(), 98);
+        assert_eq!(p.estimate_trips(l, &env), 1);
+    }
+
+    #[test]
+    fn distributed_paths() {
+        assert_eq!(
+            matmul(8, 1)
+                .path_to_distributed()
+                .iter()
+                .map(|l| l.var.as_str())
+                .collect::<Vec<_>>(),
+            vec!["rep", "i"]
+        );
+        assert_eq!(
+            sor(8, 2)
+                .path_to_distributed()
+                .iter()
+                .map(|l| l.var.as_str())
+                .collect::<Vec<_>>(),
+            vec!["iter", "j"]
+        );
+        assert_eq!(
+            lu(8).path_to_distributed()
+                .iter()
+                .map(|l| l.var.as_str())
+                .collect::<Vec<_>>(),
+            vec!["k", "j"]
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Application-property extraction — the paper's Table 1.
+//!
+//! §2.1 identifies six properties of the distributed loop that shape the
+//! load balancer's behaviour. All six are derivable from the IR:
+//!
+//! | property                       | MM  | SOR | LU  |
+//! |--------------------------------|-----|-----|-----|
+//! | loop-carried dependences       | no  | yes | no  |
+//! | communication outside loop     | no  | yes | yes |
+//! | repeated execution of loop     | yes | yes | yes |
+//! | varying loop bounds            | no  | no  | yes |
+//! | index-dependent iteration size | no  | no  | yes |
+//! | data-dependent iteration size  | no  | no  | no  |
+
+use crate::deps::{self, DepAnalysis};
+use crate::ir::{LoopKind, Node, Program};
+use std::fmt;
+
+/// The six Table-1 properties of a program's distributed loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppProperties {
+    /// The distributed loop carries data dependences, so iteration order
+    /// crosses processors and work movement must preserve blocks.
+    pub loop_carried_deps: bool,
+    /// Some communication happens outside the distributed loop (per-sweep
+    /// boundary exchange, pivot broadcast, ...).
+    pub communication_outside_loop: bool,
+    /// The distributed loop executes repeatedly (it is nested inside an
+    /// outer loop), so moved data is reused and movement pays off more.
+    pub repeated_execution: bool,
+    /// The distributed loop's bounds depend on outer loop indices, so the
+    /// set of *active* iterations changes at run time (§4.7).
+    pub varying_loop_bounds: bool,
+    /// The work per distributed iteration depends on loop indices.
+    pub index_dependent_iteration_size: bool,
+    /// The work per distributed iteration depends on data values
+    /// (conditionals, data-dependent inner loops).
+    pub data_dependent_iteration_size: bool,
+}
+
+impl AppProperties {
+    /// Derive all six properties from a validated program. The dependence
+    /// analysis is recomputed; use [`derive_with`] to supply one.
+    pub fn derive(program: &Program) -> AppProperties {
+        derive_with(program, &deps::analyze(program))
+    }
+}
+
+/// Derive Table-1 properties given a pre-computed dependence analysis.
+pub fn derive_with(program: &Program, da: &DepAnalysis) -> AppProperties {
+    let path = program.path_to_distributed();
+    assert!(
+        !path.is_empty(),
+        "program must have a distributed loop (validate first)"
+    );
+    let dloop = *path.last().expect("nonempty");
+    let enclosing: Vec<&str> = path[..path.len() - 1].iter().map(|l| l.var.as_str()).collect();
+
+    let loop_carried = da.has_carried();
+    // Communication outside the distributed loop arises from (a) values
+    // shared across all iterations (broadcast, e.g. LU's pivot column), or
+    // (b) carried dependences combined with repetition: the previous sweep's
+    // boundary values must be exchanged before each new sweep (SOR's
+    // column sends in Fig. 3).
+    let repeated = !enclosing.is_empty();
+    let comm_outside = da.has_global() || (loop_carried && repeated);
+
+    let varying_bounds = dloop.lower.uses_any(enclosing.iter().copied())
+        || dloop.upper.uses_any(enclosing.iter().copied())
+        || matches!(dloop.kind, LoopKind::WhileData { .. });
+
+    let mut index_dep = false;
+    let mut data_dep = false;
+    scan_iteration_size(
+        &dloop.body,
+        &dloop.var,
+        &enclosing,
+        &mut index_dep,
+        &mut data_dep,
+    );
+
+    AppProperties {
+        loop_carried_deps: loop_carried,
+        communication_outside_loop: comm_outside,
+        repeated_execution: repeated,
+        varying_loop_bounds: varying_bounds,
+        index_dependent_iteration_size: index_dep,
+        data_dependent_iteration_size: data_dep,
+    }
+}
+
+/// Walk the distributed loop body looking for inner loops whose bounds use
+/// the distributed variable or an enclosing index (index-dependent size),
+/// and for conditionals or data-dependent loops (data-dependent size).
+fn scan_iteration_size(
+    nodes: &[Node],
+    dvar: &str,
+    enclosing: &[&str],
+    index_dep: &mut bool,
+    data_dep: &mut bool,
+) {
+    for node in nodes {
+        match node {
+            Node::Stmt(s) => {
+                if s.conditional {
+                    *data_dep = true;
+                }
+            }
+            Node::Loop(l) => {
+                let vars_of_interest = enclosing.iter().copied().chain(std::iter::once(dvar));
+                for v in vars_of_interest {
+                    if l.lower.uses(v) || l.upper.uses(v) {
+                        *index_dep = true;
+                    }
+                }
+                if matches!(l.kind, LoopKind::WhileData { .. }) {
+                    *data_dep = true;
+                }
+                scan_iteration_size(&l.body, dvar, enclosing, index_dep, data_dep);
+            }
+        }
+    }
+}
+
+impl fmt::Display for AppProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let yn = |b: bool| if b { "yes" } else { "no" };
+        writeln!(f, "loop-carried dependences       {}", yn(self.loop_carried_deps))?;
+        writeln!(
+            f,
+            "communication outside loop     {}",
+            yn(self.communication_outside_loop)
+        )?;
+        writeln!(f, "repeated execution of loop     {}", yn(self.repeated_execution))?;
+        writeln!(f, "varying loop bounds            {}", yn(self.varying_loop_bounds))?;
+        writeln!(
+            f,
+            "index-dependent iteration size {}",
+            yn(self.index_dependent_iteration_size)
+        )?;
+        write!(
+            f,
+            "data-dependent iteration size  {}",
+            yn(self.data_dependent_iteration_size)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::programs;
+
+    /// Table 1, MM column.
+    #[test]
+    fn matmul_properties() {
+        let p = programs::matmul(64, 3);
+        let got = AppProperties::derive(&p);
+        assert_eq!(
+            got,
+            AppProperties {
+                loop_carried_deps: false,
+                communication_outside_loop: false,
+                repeated_execution: true,
+                varying_loop_bounds: false,
+                index_dependent_iteration_size: false,
+                data_dependent_iteration_size: false,
+            }
+        );
+    }
+
+    /// Table 1, SOR column.
+    #[test]
+    fn sor_properties() {
+        let p = programs::sor(64, 4);
+        let got = AppProperties::derive(&p);
+        assert_eq!(
+            got,
+            AppProperties {
+                loop_carried_deps: true,
+                communication_outside_loop: true,
+                repeated_execution: true,
+                varying_loop_bounds: false,
+                index_dependent_iteration_size: false,
+                data_dependent_iteration_size: false,
+            }
+        );
+    }
+
+    /// Table 1, LU column.
+    #[test]
+    fn lu_properties() {
+        let p = programs::lu(64);
+        let got = AppProperties::derive(&p);
+        assert_eq!(
+            got,
+            AppProperties {
+                loop_carried_deps: false,
+                communication_outside_loop: true,
+                repeated_execution: true,
+                varying_loop_bounds: true,
+                index_dependent_iteration_size: true,
+                data_dependent_iteration_size: false,
+            }
+        );
+    }
+
+    #[test]
+    fn conditional_statement_is_data_dependent() {
+        let mut p = programs::matmul(16, 1);
+        // Mark the innermost statement conditional.
+        fn mark(nodes: &mut [crate::ir::Node]) {
+            for n in nodes {
+                match n {
+                    crate::ir::Node::Stmt(s) => s.conditional = true,
+                    crate::ir::Node::Loop(l) => mark(&mut l.body),
+                }
+            }
+        }
+        mark(&mut p.body);
+        assert!(AppProperties::derive(&p).data_dependent_iteration_size);
+    }
+
+    #[test]
+    fn while_inside_distributed_loop_is_data_dependent() {
+        let n = crate::affine::Affine::var("n");
+        let p = crate::ir::Program {
+            name: "conv".into(),
+            params: vec![param("n", 64)],
+            arrays: vec![array("x", vec![n.clone()])],
+            body: vec![for_loop(
+                "i",
+                0i64,
+                n.clone(),
+                vec![while_loop(
+                    "w",
+                    10,
+                    100i64,
+                    vec![stmt(
+                        "refine",
+                        vec![aref("x", vec![crate::affine::Affine::var("i")])],
+                        vec![aref("x", vec![crate::affine::Affine::var("i")])],
+                        1.0,
+                    )],
+                )],
+            )],
+            distributed_var: "i".into(),
+            distributed_array: "x".into(),
+            distributed_dim: 0,
+        };
+        p.validate().unwrap();
+        let props = AppProperties::derive(&p);
+        assert!(props.data_dependent_iteration_size);
+        assert!(!props.repeated_execution); // outermost distributed loop
+    }
+
+    #[test]
+    fn display_renders_table_rows() {
+        let p = programs::sor(16, 2);
+        let text = format!("{}", AppProperties::derive(&p));
+        assert!(text.contains("loop-carried dependences       yes"));
+        assert!(text.contains("varying loop bounds            no"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Loop restructuring transformations (§2.2).
+//!
+//! "If synchronization occurs frequently, short-term skews in processing
+//! times accumulate and degrade performance. If possible, the code should
+//! be restructured, e.g., by strip mining, loop interchange, etc., to
+//! minimize the frequency of these synchronizations." — strip mining lives
+//! in [`crate::stripmine`]; this module provides **loop interchange** with
+//! a direction-vector legality test.
+//!
+//! Interchange of two perfectly nested loops is legal iff no dependence
+//! has direction `(<, >)` over `(outer, inner)` — i.e. no normalized
+//! distance vector with a positive outer component and a negative inner
+//! component, which the swap would turn into an illegal backward flow.
+
+use crate::deps::{distance_wrt, Distance};
+use crate::ir::{Loop, Node, Program, Stmt};
+
+/// Why an interchange was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterchangeError {
+    /// No loop with this variable exists.
+    NoSuchLoop(String),
+    /// `inner` is not the sole direct loop child of `outer` (the transform
+    /// requires a perfect-enough nest).
+    NotDirectlyNested { outer: String, inner: String },
+    /// A dependence with direction `(<, >)` makes the swap illegal, or a
+    /// dependence distance could not be analyzed.
+    Illegal { array: String, reason: String },
+    /// The inner loop's bounds depend on the outer variable (a triangular
+    /// nest; interchange would need bound rewriting we do not perform).
+    TriangularBounds,
+}
+
+impl std::fmt::Display for InterchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterchangeError::NoSuchLoop(v) => write!(f, "no loop `{v}`"),
+            InterchangeError::NotDirectlyNested { outer, inner } => {
+                write!(f, "`{inner}` is not directly nested in `{outer}`")
+            }
+            InterchangeError::Illegal { array, reason } => {
+                write!(f, "illegal interchange: dependence on `{array}` ({reason})")
+            }
+            InterchangeError::TriangularBounds => {
+                write!(f, "inner bounds depend on the outer variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterchangeError {}
+
+/// Signed dependence direction over one loop variable.
+fn dir(a: &crate::ir::ArrayRef, b: &crate::ir::ArrayRef, var: &str) -> Result<i64, String> {
+    match distance_wrt(a, b, var) {
+        Distance::Zero => Ok(0),
+        Distance::Const(d) => Ok(d),
+        Distance::Global => Ok(0), // not constrained by this variable
+        Distance::Unknown => Err(format!("unanalyzable distance in `{var}`")),
+    }
+}
+
+/// Check all dependences between statements in `stmts` for interchange
+/// legality over `(outer, inner)`.
+fn legality(stmts: &[&Stmt], outer: &str, inner: &str) -> Result<(), InterchangeError> {
+    for s1 in stmts {
+        for w in &s1.writes {
+            for s2 in stmts {
+                for r in s2.reads.iter().chain(s2.writes.iter()) {
+                    if r.array != w.array || std::ptr::eq(w, r) {
+                        continue;
+                    }
+                    let check = |d_out: i64, d_in: i64| -> Result<(), InterchangeError> {
+                        // Normalize to source-before-sink: if the leading
+                        // component is negative the dependence flows the
+                        // other way.
+                        let (d_out, d_in) = if d_out < 0 || (d_out == 0 && d_in < 0) {
+                            (-d_out, -d_in)
+                        } else {
+                            (d_out, d_in)
+                        };
+                        if d_out > 0 && d_in < 0 {
+                            return Err(InterchangeError::Illegal {
+                                array: w.array.clone(),
+                                reason: format!("direction ({d_out:+}, {d_in:+})"),
+                            });
+                        }
+                        Ok(())
+                    };
+                    match (dir(w, r, outer), dir(w, r, inner)) {
+                        (Ok(a), Ok(b)) => check(a, b)?,
+                        (Err(e), _) | (_, Err(e)) => {
+                            return Err(InterchangeError::Illegal {
+                                array: w.array.clone(),
+                                reason: e,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect<'a>(nodes: &'a [Node], out: &mut Vec<&'a Stmt>) {
+    for n in nodes {
+        match n {
+            Node::Stmt(s) => out.push(s),
+            Node::Loop(l) => collect(&l.body, out),
+        }
+    }
+}
+
+/// Interchange the loop `outer` with its directly nested loop `inner`,
+/// returning the transformed program. Fails if the nest shape or the
+/// dependences forbid it.
+pub fn interchange(
+    program: &Program,
+    outer: &str,
+    inner: &str,
+) -> Result<Program, InterchangeError> {
+    // Locate the outer loop and validate the nest shape.
+    fn find<'a>(nodes: &'a [Node], var: &str) -> Option<&'a Loop> {
+        for n in nodes {
+            if let Node::Loop(l) = n {
+                if l.var == var {
+                    return Some(l);
+                }
+                if let Some(found) = find(&l.body, var) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+    let outer_loop = find(&program.body, outer)
+        .ok_or_else(|| InterchangeError::NoSuchLoop(outer.to_string()))?;
+    let inner_loop = outer_loop
+        .body
+        .iter()
+        .find_map(|n| match n {
+            Node::Loop(l) if l.var == inner => Some(l),
+            _ => None,
+        })
+        .ok_or_else(|| InterchangeError::NotDirectlyNested {
+            outer: outer.to_string(),
+            inner: inner.to_string(),
+        })?;
+    if inner_loop.lower.uses(outer) || inner_loop.upper.uses(outer) {
+        return Err(InterchangeError::TriangularBounds);
+    }
+
+    // Legality over the statements inside the inner loop.
+    let mut stmts = Vec::new();
+    collect(&inner_loop.body, &mut stmts);
+    legality(&stmts, outer, inner)?;
+
+    // Rebuild with the two loop headers swapped.
+    let mut p = program.clone();
+    fn swap(nodes: &mut [Node], outer: &str, inner: &str) -> bool {
+        for n in nodes.iter_mut() {
+            if let Node::Loop(l) = n {
+                if l.var == outer {
+                    // Take the inner loop out, swap headers.
+                    let pos = l
+                        .body
+                        .iter()
+                        .position(|c| matches!(c, Node::Loop(il) if il.var == inner))
+                        .expect("validated");
+                    if let Node::Loop(mut il) = l.body.remove(pos) {
+                        std::mem::swap(&mut l.var, &mut il.var);
+                        std::mem::swap(&mut l.lower, &mut il.lower);
+                        std::mem::swap(&mut l.upper, &mut il.upper);
+                        std::mem::swap(&mut l.kind, &mut il.kind);
+                        l.body.insert(pos, Node::Loop(il));
+                    }
+                    return true;
+                }
+                if swap(&mut l.body, outer, inner) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    swap(&mut p.body, outer, inner);
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::programs;
+    use crate::Affine;
+
+    #[test]
+    fn sor_interchange_is_legal() {
+        // The paper's pipelined SOR codegen relies on (j, i) -> (i, j)
+        // being legal: the five-point Gauss-Seidel dataflow is preserved.
+        let p = programs::sor(64, 4);
+        let q = interchange(&p, "j", "i").expect("legal");
+        q.validate().unwrap();
+        let chain: Vec<&str> = q
+            .path_to_distributed()
+            .iter()
+            .map(|l| l.var.as_str())
+            .collect();
+        // The distributed loop `j` is now innermost: path is iter -> i -> j.
+        assert_eq!(chain, vec!["iter", "i", "j"]);
+        // Cost is unchanged.
+        assert_eq!(
+            p.estimate_cost(&p.body, &p.default_env()),
+            q.estimate_cost(&q.body, &q.default_env())
+        );
+    }
+
+    #[test]
+    fn wavefront_with_backward_inner_dep_is_illegal() {
+        // x[i][j] = x[i-1][j+1]: direction (+1, -1) forbids interchange.
+        let n = Affine::var("n");
+        let i = Affine::var("i");
+        let j = Affine::var("j");
+        let p = crate::ir::Program {
+            name: "skew".into(),
+            params: vec![param("n", 16)],
+            arrays: vec![array("x", vec![n.clone(), n.clone()])],
+            body: vec![for_loop(
+                "i",
+                1i64,
+                n.clone(),
+                vec![for_loop(
+                    "j",
+                    0i64,
+                    n.clone() + (-1),
+                    vec![stmt(
+                        "x[i][j] = x[i-1][j+1]",
+                        vec![aref("x", vec![i.clone(), j.clone()])],
+                        vec![aref("x", vec![i.clone() + (-1), j.clone() + 1])],
+                        1.0,
+                    )],
+                )],
+            )],
+            distributed_var: "i".into(),
+            distributed_array: "x".into(),
+            distributed_dim: 0,
+        };
+        p.validate().unwrap();
+        let err = interchange(&p, "i", "j").unwrap_err();
+        assert!(matches!(err, InterchangeError::Illegal { .. }), "{err}");
+    }
+
+    #[test]
+    fn triangular_nests_are_refused() {
+        let p = programs::lu(32);
+        // k encloses j, and j's bounds use k.
+        let err = interchange(&p, "k", "j").unwrap_err();
+        assert_eq!(err, InterchangeError::TriangularBounds);
+    }
+
+    #[test]
+    fn missing_or_non_nested_loops_are_refused() {
+        let p = programs::matmul(8, 1);
+        assert!(matches!(
+            interchange(&p, "zz", "i"),
+            Err(InterchangeError::NoSuchLoop(_))
+        ));
+        // `k` is nested two levels below `i`, not directly.
+        assert!(matches!(
+            interchange(&p, "i", "k"),
+            Err(InterchangeError::NotDirectlyNested { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_jk_interchange_legal_and_swaps() {
+        let p = programs::matmul(8, 1);
+        let q = interchange(&p, "j", "k").expect("reduction reorder is legal");
+        q.validate().unwrap();
+        // Statement depth order is now rep -> i -> k -> j.
+        let stmts = q.statements();
+        assert_eq!(stmts[0].0, vec!["rep", "i", "k", "j"]);
+    }
+}

@@ -1,0 +1,733 @@
+//! The central load balancer's decision engine (§3.2).
+//!
+//! This is the pure, deterministic core the master actor drives: it keeps
+//! per-slave trend-filtered rates, computes rate-proportional target
+//! distributions, applies the paper's two refinements against excessive
+//! movement — the ≥10 % projected-improvement **threshold** and the
+//! **profitability** comparison of movement cost against projected benefit
+//! — and plans movement orders under the compiler-supplied restriction
+//! (direct or adjacent-only). It never touches the network, so every policy
+//! is unit-testable.
+
+use crate::alloc::{plan_adjacent_shifts, plan_direct_moves, proportional_allocation, projected_time};
+use crate::frequency::{CostAverage, FrequencyController, PeriodBounds};
+use crate::msg::{Instructions, MoveOrder, Status};
+use crate::rate::RateFilter;
+use dlb_compiler::MovementRule;
+use dlb_sim::SimDuration;
+use std::collections::VecDeque;
+
+/// How slaves interact with the master at hooks (§3.2, Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InteractionMode {
+    /// Fig. 2b: the slave sends status and continues computing; the reply
+    /// (based on the *previous* status) is applied at the next hook. Hides
+    /// the master round-trip off the critical path.
+    Pipelined,
+    /// Fig. 2a: the slave blocks at the hook until instructions based on
+    /// the status it just sent arrive.
+    Synchronous,
+}
+
+/// Balancer policy knobs.
+#[derive(Clone, Debug)]
+pub struct BalancerConfig {
+    /// Master switch: disabled = static distribution (the paper's
+    /// "parallel execution without DLB" baseline).
+    pub enabled: bool,
+    pub mode: InteractionMode,
+    /// Minimum projected execution-time reduction to act (paper: 10 %).
+    pub threshold: f64,
+    /// Enable the detailed profitability determination phase.
+    pub profitability: bool,
+    /// Every slave keeps at least this many units (a pipelined slave with
+    /// zero columns would break the boundary chain).
+    pub min_per_slave: u64,
+    /// Movement restriction from the compiler.
+    pub movement: MovementRule,
+    /// Rate samples over computation windows shorter than this are ignored
+    /// (they are dominated by quantum and catch-up noise; cf. §4.3's
+    /// 5-quanta rule).
+    pub min_sample: SimDuration,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            enabled: true,
+            mode: InteractionMode::Pipelined,
+            threshold: 0.10,
+            profitability: true,
+            min_per_slave: 1,
+            movement: MovementRule::Direct,
+            min_sample: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Counters for reporting and ablation experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BalancerStats {
+    pub statuses: u64,
+    pub decisions: u64,
+    pub moves_issued: u64,
+    pub units_moved: u64,
+    pub skipped_balanced: u64,
+    pub cancelled_threshold: u64,
+    pub cancelled_profitability: u64,
+}
+
+/// What the balancer decided for one incoming status.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub instructions: Instructions,
+    pub raw_rate: f64,
+    pub adjusted_rate: f64,
+    /// The balancer's post-decision view of the reporting slave's units.
+    pub owned_after: u64,
+}
+
+/// The decision engine.
+pub struct Balancer {
+    cfg: BalancerConfig,
+    n: usize,
+    filters: Vec<RateFilter>,
+    /// Last reported active units per slave (sender-accurate).
+    reported: Vec<u64>,
+    /// Transfers we ordered that the receiver has not yet acknowledged, as
+    /// a FIFO per receiver of `(units, sender)`.
+    pending_in: Vec<VecDeque<(u64, usize)>>,
+    /// Orders issued whose sender has not yet confirmed applying them
+    /// (by reporting `last_applied_seq`): `(instruction seq, units)`.
+    pending_out: Vec<VecDeque<(u64, u64)>>,
+    /// Last seen per-sender received counters, per receiver.
+    last_received_from: Vec<Vec<u64>>,
+    freq: FrequencyController,
+    /// Measured per-unit movement time (seconds), exponentially averaged.
+    per_unit_move_s: f64,
+    move_samples: CostAverage,
+    /// How many more times the distributed loop will run (benefit horizon).
+    remaining_invocations: u64,
+    /// Expected work units between consecutive hook instances on a slave.
+    units_per_hook: f64,
+    /// Sub-minimum measurement windows accumulate here until they amount
+    /// to a usable sample (units, computation time).
+    acc: Vec<(u64, SimDuration)>,
+    /// Raw-rate divisor: done deltas are counted in sub-units (pipelined
+    /// column-blocks), `units_scale` of which make one allocation unit.
+    units_scale: f64,
+    seq: u64,
+    stats: BalancerStats,
+}
+
+impl Balancer {
+    /// `initial_owned`: the initial block distribution. `per_unit_move_est`:
+    /// compiler/network estimate of the time to move one unit, refined by
+    /// measurements at run time.
+    pub fn new(
+        cfg: BalancerConfig,
+        initial_owned: Vec<u64>,
+        quantum: SimDuration,
+        per_unit_move_est: SimDuration,
+        remaining_invocations: u64,
+        units_per_hook: f64,
+    ) -> Balancer {
+        let n = initial_owned.len();
+        assert!(n > 0);
+        Balancer {
+            cfg,
+            n,
+            filters: vec![RateFilter::default(); n],
+            reported: initial_owned,
+            pending_in: vec![VecDeque::new(); n],
+            pending_out: vec![VecDeque::new(); n],
+            acc: vec![(0, SimDuration::ZERO); n],
+            last_received_from: vec![vec![0; n]; n],
+            freq: FrequencyController::new(quantum),
+            per_unit_move_s: per_unit_move_est.as_secs_f64(),
+            move_samples: CostAverage::default(),
+            remaining_invocations: remaining_invocations.max(1),
+            units_per_hook,
+            units_scale: 1.0,
+            seq: 0,
+            stats: BalancerStats::default(),
+        }
+    }
+
+    /// Adjust the benefit horizon (called by the master at invocation
+    /// boundaries).
+    pub fn set_remaining_invocations(&mut self, r: u64) {
+        self.remaining_invocations = r.max(1);
+    }
+
+    /// Adjust the expected units per hook (LU's units shrink per step).
+    pub fn set_units_per_hook(&mut self, u: f64) {
+        self.units_per_hook = u;
+    }
+
+    /// Set the raw-rate divisor: the pipelined engine counts done deltas in
+    /// column-blocks, `nblocks` of which make one column (the allocation
+    /// unit). Rates are then columns/second, commensurate with `active`.
+    pub fn set_units_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0 && scale.is_finite());
+        self.units_scale = scale;
+    }
+
+    /// Record one master↔slave interaction cost sample.
+    pub fn record_interaction(&mut self, d: SimDuration) {
+        self.freq.record_interaction(d);
+    }
+
+    /// Current frequency bounds (for Fig. 4 reporting).
+    pub fn period_bounds(&self) -> PeriodBounds {
+        self.freq.bounds()
+    }
+
+    pub fn stats(&self) -> BalancerStats {
+        self.stats
+    }
+
+    /// The balancer's current view of per-slave unit counts.
+    pub fn owned_view(&self) -> Vec<u64> {
+        (0..self.n).map(|i| self.owned(i)).collect()
+    }
+
+    fn owned(&self, i: usize) -> u64 {
+        let unapplied: u64 = self.pending_out[i].iter().map(|&(_, u)| u).sum();
+        let incoming: u64 = self.pending_in[i].iter().map(|&(u, _)| u).sum();
+        self.reported[i].saturating_sub(unapplied) + incoming
+    }
+
+    /// Adjacent boundaries (`min(src, dst)`) that still have an
+    /// unacknowledged transfer in flight. Issuing another order across such
+    /// a boundary could cross an in-flight transfer in the opposite
+    /// direction and tear the block distribution apart.
+    fn busy_boundaries(&self) -> Vec<bool> {
+        let mut busy = vec![false; self.n.saturating_sub(1)];
+        for (dst, q) in self.pending_in.iter().enumerate() {
+            for &(_, src) in q {
+                if src + 1 == dst || dst + 1 == src {
+                    busy[src.min(dst)] = true;
+                }
+            }
+        }
+        busy
+    }
+
+    /// Acknowledge a slave's cumulative per-sender received counters,
+    /// clearing matched in-flight entries. Per-sender matching matters:
+    /// transfers from different senders to the same receiver are unordered,
+    /// and popping the wrong entry would clear a busy boundary early.
+    pub fn ack_transfers(&mut self, slave: usize, received_from: &[u64]) {
+        for (sender, &seen) in received_from.iter().enumerate() {
+            let newly = seen.saturating_sub(self.last_received_from[slave][sender]);
+            self.last_received_from[slave][sender] = seen;
+            for _ in 0..newly {
+                if let Some(pos) = self.pending_in[slave]
+                    .iter()
+                    .position(|&(_, src)| src == sender)
+                {
+                    self.pending_in[slave].remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Number of issued move orders whose transfer has not yet been
+    /// acknowledged by the receiver. The master must not settle an
+    /// invocation while this is nonzero: a still-unexecuted order would
+    /// otherwise fire after the barrier and tear the next invocation's
+    /// bookkeeping apart.
+    pub fn outstanding_orders(&self) -> usize {
+        self.pending_in.iter().map(|q| q.len()).sum()
+    }
+
+    /// Process one status message and produce instructions for that slave.
+    pub fn on_status(&mut self, s: &Status) -> Decision {
+        assert!(s.slave < self.n, "unknown slave");
+        self.stats.statuses += 1;
+        self.ack_transfers(s.slave, &s.received_from);
+        // Orders the slave has applied are now reflected in its report.
+        while let Some(&(seq, _)) = self.pending_out[s.slave].front() {
+            if seq <= s.last_applied_seq {
+                self.pending_out[s.slave].pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // Rate measurement + filtering. Individual windows can be shorter
+        // than the scheduling quantum (catch-up bursts, bootstrap before
+        // skip counts arrive); accumulate them until the sample spans at
+        // least `min_sample` of computation, per §4.3's averaging rule.
+        let (acc_units, acc_busy) = &mut self.acc[s.slave];
+        *acc_units += s.units_done_delta;
+        *acc_busy += s.elapsed;
+        let (raw, adjusted) = if *acc_busy >= self.cfg.min_sample {
+            let raw = *acc_units as f64 / (acc_busy.as_secs_f64() * self.units_scale);
+            self.acc[s.slave] = (0, SimDuration::ZERO);
+            (raw, self.filters[s.slave].update(raw))
+        } else {
+            let f = &self.filters[s.slave];
+            (f.last_raw(), f.adjusted())
+        };
+        self.reported[s.slave] = s.active_units;
+
+        // Cost measurements.
+        if let Some(d) = s.interaction_cost_sample {
+            self.freq.record_interaction(d);
+        }
+        if let Some((units, d)) = s.move_cost_sample {
+            self.freq.record_movement(d);
+            if units > 0 {
+                let per = d.as_secs_f64() / units as f64;
+                // Exponential refinement of the per-unit estimate.
+                self.per_unit_move_s += 0.3 * (per - self.per_unit_move_s);
+                self.move_samples.record(d);
+            }
+        }
+
+        let moves = self.decide_moves(s.slave);
+        let hooks_to_skip = self.freq.hooks_to_skip(adjusted, self.units_per_hook);
+        self.seq += 1; // matches the seq recorded for pending_out entries
+        Decision {
+            instructions: Instructions {
+                seq: self.seq,
+                moves,
+                hooks_to_skip,
+            },
+            raw_rate: raw,
+            adjusted_rate: adjusted,
+            owned_after: self.owned(s.slave),
+        }
+    }
+
+    fn decide_moves(&mut self, reporting: usize) -> Vec<MoveOrder> {
+        if !self.cfg.enabled || self.filters.iter().any(|f| !f.is_initialized()) {
+            return Vec::new();
+        }
+        self.stats.decisions += 1;
+        let rates: Vec<f64> = self.filters.iter().map(|f| f.adjusted()).collect();
+        let owned: Vec<u64> = self.owned_view();
+        let total: u64 = owned.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let target = proportional_allocation(total, &rates, self.cfg.min_per_slave);
+        if target == owned {
+            self.stats.skipped_balanced += 1;
+            return Vec::new();
+        }
+
+        // Refinement 1: require >= threshold projected improvement.
+        let t_cur = projected_time(&owned, &rates);
+        let t_new = projected_time(&target, &rates);
+        if !(t_cur.is_finite()) {
+            // A stalled slave holding work: always act.
+        } else if t_cur <= 0.0 || (t_cur - t_new) / t_cur < self.cfg.threshold {
+            self.stats.cancelled_threshold += 1;
+            return Vec::new();
+        }
+
+        // Refinement 2: profitability — movement must pay for itself over
+        // the remaining invocations.
+        let units_to_move: u64 = owned
+            .iter()
+            .zip(&target)
+            .map(|(&o, &t)| o.saturating_sub(t))
+            .sum();
+        if self.cfg.profitability && t_cur.is_finite() {
+            let est_cost = units_to_move as f64 * self.per_unit_move_s;
+            let benefit = (t_cur - t_new) * self.remaining_invocations as f64;
+            if est_cost > benefit {
+                self.stats.cancelled_profitability += 1;
+                return Vec::new();
+            }
+        }
+
+        let all_orders = match self.cfg.movement {
+            MovementRule::Direct => plan_direct_moves(&owned, &target),
+            MovementRule::AdjacentOnly => plan_adjacent_shifts(&owned, &target),
+        };
+        // Only the reporting slave gets its orders now; other slaves will be
+        // re-planned when they report. Apply optimistic accounting so the
+        // same move is not issued twice, and never issue across an adjacent
+        // boundary that still has a transfer in flight (a crossing pair of
+        // opposite-direction transfers would break block contiguity).
+        let busy = self.busy_boundaries();
+        let mut mine = Vec::new();
+        for (from, order) in all_orders {
+            if from != reporting {
+                continue;
+            }
+            let adjacent = from + 1 == order.to || order.to + 1 == from;
+            if adjacent && busy[from.min(order.to)] {
+                continue;
+            }
+            self.pending_out[reporting].push_back((self.seq + 1, order.count));
+            self.pending_in[order.to].push_back((order.count, reporting));
+            self.stats.moves_issued += 1;
+            self.stats.units_moved += order.count;
+            mine.push(order);
+        }
+        mine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_sim::SimDuration;
+
+    fn status(slave: usize, done: u64, secs: f64, active: u64) -> Status {
+        Status {
+            slave,
+            invocation: 0,
+            units_done_delta: done,
+            elapsed: SimDuration::from_secs_f64(secs),
+            active_units: active,
+            last_applied_seq: u64::MAX, // tests: reports always current
+            transfers_sent: 0,
+            received_from: Vec::new(),
+            move_cost_sample: None,
+            interaction_cost_sample: None,
+        }
+    }
+
+    fn quantum() -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+
+    fn mk(cfg: BalancerConfig, owned: Vec<u64>) -> Balancer {
+        Balancer::new(
+            cfg,
+            owned,
+            quantum(),
+            SimDuration::from_millis(10),
+            1,
+            1.0,
+        )
+    }
+
+    /// Warm all slaves with equal rates.
+    fn warm(b: &mut Balancer, n: usize, units_each: u64) {
+        for i in 0..n {
+            let d = b.on_status(&status(i, 10, 1.0, units_each));
+            assert!(d.instructions.moves.is_empty(), "no moves while warming");
+        }
+    }
+
+    #[test]
+    fn no_moves_when_balanced() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        warm(&mut b, 4, 25);
+        for i in 0..4 {
+            let d = b.on_status(&status(i, 10, 1.0, 25));
+            assert!(d.instructions.moves.is_empty());
+        }
+        assert!(b.stats().units_moved == 0);
+    }
+
+    #[test]
+    fn slow_slave_sheds_work() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        warm(&mut b, 4, 25);
+        // Slave 0's rate collapses to half; persistent trend over a few
+        // statuses so the filter follows.
+        let mut moved = 0;
+        for _ in 0..5 {
+            let d = b.on_status(&status(0, 5, 1.0, 25 - moved));
+            for m in &d.instructions.moves {
+                assert_ne!(m.to, 0);
+                moved += m.count;
+            }
+            for i in 1..4 {
+                b.on_status(&status(i, 10, 1.0, 25));
+            }
+        }
+        assert!(moved >= 3, "expected shedding, moved {moved}");
+        // Final view: slave 0 below equal share.
+        assert!(b.owned_view()[0] < 25);
+    }
+
+    #[test]
+    fn threshold_blocks_small_imbalance() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        warm(&mut b, 4, 25);
+        // 10% slower: rebalancing would only shave ~6% off the projected
+        // completion time -> below the 10% threshold, no move.
+        for _ in 0..6 {
+            let d = b.on_status(&status(0, 90, 10.0, 25));
+            assert!(d.instructions.moves.is_empty(), "{:?}", d.instructions);
+            for i in 1..4 {
+                b.on_status(&status(i, 100, 10.0, 25));
+            }
+        }
+        assert!(b.stats().cancelled_threshold > 0);
+        assert_eq!(b.stats().units_moved, 0);
+    }
+
+    #[test]
+    fn disabled_balancer_never_moves() {
+        let cfg = BalancerConfig {
+            enabled: false,
+            ..Default::default()
+        };
+        let mut b = mk(cfg, vec![25; 4]);
+        for _ in 0..3 {
+            for i in 0..4 {
+                let rate = if i == 0 { 1 } else { 100 };
+                let d = b.on_status(&status(i, rate, 1.0, 25));
+                assert!(d.instructions.moves.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn profitability_blocks_one_shot_gain() {
+        // Movement very expensive, single invocation remaining, modest gain.
+        let mut b = Balancer::new(
+            BalancerConfig::default(),
+            vec![25; 4],
+            quantum(),
+            SimDuration::from_secs(100), // 100 s per unit moved!
+            1,
+            1.0,
+        );
+        warm(&mut b, 4, 25);
+        for _ in 0..4 {
+            let d = b.on_status(&status(0, 5, 1.0, 25));
+            assert!(d.instructions.moves.is_empty());
+            for i in 1..4 {
+                b.on_status(&status(i, 10, 1.0, 25));
+            }
+        }
+        assert!(b.stats().cancelled_profitability > 0);
+    }
+
+    #[test]
+    fn profitability_allows_repeated_gain() {
+        // Same expensive movement, but 1000 invocations remain: pays off.
+        let mut b = Balancer::new(
+            BalancerConfig::default(),
+            vec![25; 4],
+            quantum(),
+            SimDuration::from_millis(100),
+            1000,
+            1.0,
+        );
+        warm(&mut b, 4, 25);
+        let mut moved = 0;
+        for _ in 0..5 {
+            let d = b.on_status(&status(0, 5, 1.0, 25));
+            moved += d.instructions.moves.iter().map(|m| m.count).sum::<u64>();
+            for i in 1..4 {
+                b.on_status(&status(i, 10, 1.0, 25));
+            }
+        }
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn adjacent_mode_only_moves_to_neighbors() {
+        let cfg = BalancerConfig {
+            movement: MovementRule::AdjacentOnly,
+            ..Default::default()
+        };
+        let mut b = mk(cfg, vec![25; 4]);
+        warm(&mut b, 4, 25);
+        for round in 0..6 {
+            for i in 0..4 {
+                let rate = if i == 0 { 4 } else { 10 };
+                let d = b.on_status(&status(i, rate, 1.0, b.owned_view()[i]));
+                for m in &d.instructions.moves {
+                    assert!(
+                        m.to + 1 == i || i + 1 == m.to,
+                        "round {round}: slave {i} ordered to send to non-neighbor {}",
+                        m.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimistic_accounting_prevents_duplicate_orders() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        warm(&mut b, 4, 25);
+        // Slave 0 is slow; it reports twice in a row before anyone else's
+        // counts change. Total ordered out of slave 0 must not exceed its
+        // holdings or double-issue.
+        let mut total_ordered = 0;
+        for _ in 0..2 {
+            let d = b.on_status(&status(0, 5, 1.0, 25 - total_ordered));
+            total_ordered += d.instructions.moves.iter().map(|m| m.count).sum::<u64>();
+        }
+        assert!(total_ordered <= 25);
+        // View stays conserved.
+        assert_eq!(b.owned_view().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn transfer_acks_clear_pending() {
+        let mut b = mk(BalancerConfig::default(), vec![25, 25]);
+        warm(&mut b, 2, 25);
+        // Force issues by making slave 0 slow; count the transfer messages.
+        let mut sent_units = 0;
+        let mut transfer_msgs = 0;
+        for _ in 0..5 {
+            let d = b.on_status(&status(0, 2, 1.0, 25 - sent_units));
+            for m in &d.instructions.moves {
+                sent_units += m.count;
+                transfer_msgs += 1;
+            }
+            b.on_status(&status(1, 10, 1.0, 25));
+        }
+        assert!(sent_units > 0, "expected the balancer to shed work");
+        // The view stays conserved while transfers are in flight...
+        assert_eq!(b.owned_view().iter().sum::<u64>(), 50);
+        // ...and after the receiver acknowledges all of them.
+        let mut st = status(1, 10, 1.0, 25 + sent_units);
+        st.received_from = vec![transfer_msgs, 0];
+        b.on_status(&st);
+        assert_eq!(b.owned_view().iter().sum::<u64>(), 50);
+        assert_eq!(b.owned_view()[1], 25 + sent_units);
+    }
+
+    #[test]
+    fn hooks_to_skip_scales_with_rate() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        warm(&mut b, 4, 25);
+        let slow = b.on_status(&status(0, 10, 1.0, 25));
+        let fast = b.on_status(&status(1, 1000, 1.0, 25));
+        assert!(fast.instructions.hooks_to_skip > slow.instructions.hooks_to_skip);
+    }
+
+    #[test]
+    fn rates_exposed_in_decision() {
+        let mut b = mk(BalancerConfig::default(), vec![10, 10]);
+        let d = b.on_status(&status(0, 50, 2.0, 10));
+        assert_eq!(d.raw_rate, 25.0);
+        assert_eq!(d.adjusted_rate, 25.0); // first sample adopted
+    }
+}
+
+#[cfg(test)]
+mod tests_accounting {
+    use super::*;
+    use dlb_sim::SimDuration;
+
+    fn status(slave: usize, done: u64, secs: f64, active: u64) -> Status {
+        Status {
+            slave,
+            invocation: 0,
+            units_done_delta: done,
+            elapsed: SimDuration::from_secs_f64(secs),
+            active_units: active,
+            last_applied_seq: u64::MAX,
+            transfers_sent: 0,
+            received_from: Vec::new(),
+            move_cost_sample: None,
+            interaction_cost_sample: None,
+        }
+    }
+
+    fn mk(owned: Vec<u64>) -> Balancer {
+        Balancer::new(
+            BalancerConfig::default(),
+            owned,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+            1,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn units_scale_divides_raw_rate() {
+        let mut b = mk(vec![10, 10]);
+        b.set_units_scale(10.0);
+        let d = b.on_status(&status(0, 100, 1.0, 10));
+        assert_eq!(d.raw_rate, 10.0); // 100 sub-units / (1 s * scale 10)
+    }
+
+    #[test]
+    fn min_sample_window_ignored() {
+        let mut b = mk(vec![10, 10]);
+        b.on_status(&status(0, 100, 1.0, 10)); // raw 100
+        // A 1 ms window with absurd implied rate must not move the filter.
+        let d = b.on_status(&status(0, 50, 0.001, 10));
+        assert_eq!(d.raw_rate, 100.0, "short window should reuse last raw");
+    }
+
+    #[test]
+    fn stale_status_does_not_double_issue() {
+        // After issuing an order, a status that has NOT yet applied it
+        // (last_applied_seq older) must not make the balancer re-issue.
+        let mut b = mk(vec![25, 25]);
+        // Warm filters.
+        b.on_status(&status(0, 10, 1.0, 25));
+        b.on_status(&status(1, 10, 1.0, 25));
+        // Slave 0 is slow; force an order.
+        let mut first = None;
+        for _ in 0..4 {
+            let mut st = status(0, 3, 1.0, 25);
+            st.last_applied_seq = 0; // nothing applied yet
+            let d = b.on_status(&st);
+            if !d.instructions.moves.is_empty() {
+                first = Some(d.instructions.clone());
+                break;
+            }
+            b.on_status(&status(1, 10, 1.0, 25));
+        }
+        let first = first.expect("an order should be issued");
+        let moved: u64 = first.moves.iter().map(|m| m.count).sum();
+        // Another stale status (active still 25, seq still 0): the pending
+        // outbound order must be discounted, so no duplicate order.
+        let mut st = status(0, 3, 1.0, 25);
+        st.last_applied_seq = 0;
+        let d2 = b.on_status(&st);
+        let moved2: u64 = d2.instructions.moves.iter().map(|m| m.count).sum();
+        assert!(
+            moved2 < moved.max(2),
+            "stale report re-issued {moved2} after {moved}"
+        );
+        assert_eq!(b.owned_view().iter().sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn outstanding_orders_tracked_until_receiver_ack() {
+        let mut b = mk(vec![25, 25]);
+        b.on_status(&status(0, 10, 1.0, 25));
+        b.on_status(&status(1, 10, 1.0, 25));
+        let mut issued = 0;
+        for _ in 0..4 {
+            let d = b.on_status(&status(0, 3, 1.0, b.owned_view()[0]));
+            issued += d.instructions.moves.len();
+            b.on_status(&status(1, 10, 1.0, 25));
+            if issued > 0 {
+                break;
+            }
+        }
+        assert!(issued > 0);
+        assert!(b.outstanding_orders() > 0);
+        // Receiver acknowledges all transfers from slave 0.
+        let mut st = status(1, 10, 1.0, 40);
+        st.received_from = vec![issued as u64, 0];
+        b.on_status(&st);
+        assert_eq!(b.outstanding_orders(), 0);
+    }
+
+    #[test]
+    fn period_bounds_reflect_samples() {
+        let mut b = mk(vec![10, 10]);
+        let mut st = status(0, 10, 1.0, 10);
+        st.interaction_cost_sample = Some(SimDuration::from_millis(40));
+        st.move_cost_sample = Some((5, SimDuration::from_secs(10)));
+        b.on_status(&st);
+        let bounds = b.period_bounds();
+        assert_eq!(bounds.interaction_bound, SimDuration::from_millis(800));
+        assert_eq!(bounds.movement_bound, SimDuration::from_secs(1));
+        assert_eq!(bounds.target, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,356 @@
+//! Top-level driver: build the simulated cluster, wire master and slaves,
+//! run, and collect a [`RunReport`].
+
+use crate::balancer::{Balancer, BalancerConfig};
+use crate::engine_independent::IndependentSlave;
+use crate::engine_pipelined::PipelinedSlave;
+use crate::engine_shrinking::ShrinkingSlave;
+use crate::kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
+use crate::master::{run_master, MasterConfig, MasterOutcome, TimelineSample};
+use crate::msg::{Msg, UnitData};
+use dlb_compiler::{grain_iterations, GrainPolicy, ParallelPlan, Pattern};
+use dlb_sim::{
+    CpuWork, NetConfig, NodeConfig, SimBuilder, SimDuration, SimReport, SimTime,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The application to run: one kernel per compiler pattern.
+#[derive(Clone)]
+pub enum AppSpec {
+    Independent(Arc<dyn IndependentKernel>),
+    Pipelined(Arc<dyn PipelinedKernel>),
+    Shrinking(Arc<dyn ShrinkingKernel>),
+}
+
+impl AppSpec {
+    fn pattern(&self) -> Pattern {
+        match self {
+            AppSpec::Independent(_) => Pattern::Independent,
+            AppSpec::Pipelined(_) => Pattern::Pipelined,
+            AppSpec::Shrinking(_) => Pattern::Shrinking,
+        }
+    }
+
+    fn n_units(&self) -> usize {
+        match self {
+            AppSpec::Independent(k) => k.n_units(),
+            AppSpec::Pipelined(k) => k.n_units(),
+            AppSpec::Shrinking(k) => k.n_units(),
+        }
+    }
+}
+
+/// How the initial block distribution is sized (§3.2 note: the paper
+/// starts equal and lets measured rates correct it; speed-proportional
+/// startup is a natural extension when relative speeds are known).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StartupDistribution {
+    /// Equal block sizes (the paper's choice).
+    #[default]
+    Equal,
+    /// Blocks proportional to configured node speeds.
+    SpeedProportional,
+}
+
+/// Cluster + policy configuration for one run.
+pub struct RunConfig {
+    /// One node per slave (speed, quantum, competing load).
+    pub slave_nodes: Vec<NodeConfig>,
+    /// The master's node (dedicated by default).
+    pub master_node: NodeConfig,
+    pub net: NetConfig,
+    pub balancer: BalancerConfig,
+    /// CPU charged per hook check on slaves.
+    pub hook_check_cpu: CpuWork,
+    /// CPU charged per status decision on the master.
+    pub decision_cpu: CpuWork,
+    /// Record the master's balancing timeline (Fig. 9).
+    pub record_timeline: bool,
+    /// Initial block sizing.
+    pub startup: StartupDistribution,
+}
+
+impl RunConfig {
+    /// A homogeneous dedicated cluster of `n` reference-speed slaves.
+    pub fn homogeneous(n: usize) -> RunConfig {
+        RunConfig {
+            slave_nodes: vec![NodeConfig::default(); n],
+            master_node: NodeConfig::default(),
+            net: NetConfig::default(),
+            balancer: BalancerConfig::default(),
+            hook_check_cpu: CpuWork::from_micros(10),
+            decision_cpu: CpuWork::from_micros(200),
+            record_timeline: false,
+            startup: StartupDistribution::Equal,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Total virtual time, including gather.
+    pub elapsed: SimDuration,
+    /// Virtual time until the last invocation settled (compute only).
+    pub compute_time: SimDuration,
+    /// Final unit data, ordered by unit id.
+    pub result: Vec<UnitData>,
+    pub timeline: Vec<TimelineSample>,
+    pub stats: crate::balancer::BalancerStats,
+    pub bounds: Option<crate::frequency::PeriodBounds>,
+    pub sim: SimReport,
+    pub n_slaves: usize,
+}
+
+impl RunReport {
+    /// The paper's efficiency metric (§5.1):
+    /// `seq_time / Σ_slaves (elapsed − competing_cpu)`.
+    ///
+    /// `seq_time` is the sequential execution time on one dedicated
+    /// reference node. Only slave nodes count (nodes `1..=n_slaves`; node 0
+    /// is the master).
+    pub fn efficiency(&self, seq_time: SimDuration) -> f64 {
+        let mut denom = 0.0;
+        for i in 0..self.n_slaves {
+            let node = dlb_sim::NodeId(i + 1);
+            denom += self.sim.available_cpu(node).as_secs_f64().min(
+                self.compute_time.as_secs_f64(),
+            );
+        }
+        seq_time.as_secs_f64() / denom
+    }
+
+    /// Speedup relative to a sequential run.
+    pub fn speedup(&self, seq_time: SimDuration) -> f64 {
+        seq_time.as_secs_f64() / self.compute_time.as_secs_f64()
+    }
+}
+
+/// Run `app` (compiled to `plan`) on the configured cluster.
+///
+/// The plan supplies the movement rule, grain policy, and per-unit movement
+/// size estimate; the kernel supplies data and costs. Panics if the plan's
+/// pattern does not match the kernel's.
+pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
+    assert_eq!(
+        plan.pattern,
+        app.pattern(),
+        "plan pattern does not match kernel"
+    );
+    let n_slaves = cfg.slave_nodes.len();
+    assert!(n_slaves > 0, "need at least one slave");
+    let n_units = app.n_units();
+    assert!(n_units >= n_slaves, "fewer units than slaves");
+
+    // Initial block distribution.
+    let assignment: Vec<(usize, usize)> = match cfg.startup {
+        StartupDistribution::Equal => block_ranges(n_units, n_slaves),
+        StartupDistribution::SpeedProportional => {
+            let speeds: Vec<f64> = cfg.slave_nodes.iter().map(|n| n.speed).collect();
+            let shares =
+                crate::alloc::proportional_allocation(n_units as u64, &speeds, 1);
+            let mut lo = 0usize;
+            shares
+                .iter()
+                .map(|&s| {
+                    let r = (lo, lo + s as usize);
+                    lo = r.1;
+                    r
+                })
+                .collect()
+        }
+    };
+    let initial_owned: Vec<u64> = assignment.iter().map(|&(l, h)| (h - l) as u64).collect();
+
+    // Grain selection (§4.4): pipelined block size from the cost model, the
+    // OS quantum, and the startup distribution.
+    let quantum = cfg.master_node.quantum;
+    let (block_rows, _nblocks, invocations, units_scale): (u64, u64, u64, f64) = match &app {
+        AppSpec::Independent(k) => (1, 1, k.invocations(), 1.0),
+        AppSpec::Pipelined(k) => {
+            let rows = (k.col_len() - 2) as u64;
+            let local_cols = (n_units / n_slaves).max(1) as u64;
+            let per_row = k.elem_cost().dedicated_duration(1.0) * local_cols;
+            let block = match plan.grain {
+                GrainPolicy::FixedBlock { iterations } => iterations.clamp(1, rows),
+                GrainPolicy::AutoBlock { quantum_factor } => {
+                    grain_iterations(per_row, quantum, quantum_factor, rows)
+                }
+                GrainPolicy::Unit => 1,
+            };
+            let nblocks = rows.div_ceil(block);
+            // Work deltas are counted in column-rows; `rows` of them make
+            // one column (the allocation unit).
+            (block, nblocks, k.sweeps(), rows as f64)
+        }
+        AppSpec::Shrinking(k) => (1, 1, (k.n_units() as u64).saturating_sub(1), 1.0),
+    };
+
+    // Movement-time estimate per unit: wire + latency from the plan's size.
+    let per_unit_move_est = {
+        let xfer = cfg.net.transfer_time(plan.unit_bytes);
+        cfg.net.latency + xfer
+    };
+
+    let mut balancer_cfg = cfg.balancer.clone();
+    balancer_cfg.movement = plan.movement;
+    if matches!(app.pattern(), Pattern::Shrinking) {
+        // LU: late steps have fewer active columns than slaves.
+        balancer_cfg.min_per_slave = 0;
+    }
+    // Expected work units (in allocation units) between hook firings: one
+    // hook per unit for the independent/shrinking engines, one hook per row
+    // block (= local_cols / nblocks columns of progress) for the pipelined
+    // engine.
+    let units_per_hook = match &app {
+        AppSpec::Pipelined(k) => {
+            // One hook per row block: local_cols × block_rows column-rows,
+            // i.e. local_cols × block_rows / rows allocation units.
+            let rows = (k.col_len() - 2) as f64;
+            (n_units as f64 / n_slaves as f64) * block_rows as f64 / rows
+        }
+        _ => 1.0,
+    };
+    let mut balancer = Balancer::new(
+        balancer_cfg,
+        initial_owned,
+        quantum,
+        per_unit_move_est,
+        invocations,
+        units_per_hook,
+    );
+    balancer.set_units_scale(units_scale);
+
+    // Expected completions per invocation.
+    let expected_units: Box<dyn Fn(u64) -> u64 + Send> = match &app {
+        AppSpec::Independent(_) => {
+            let n = n_units as u64;
+            Box::new(move |_| n)
+        }
+        AppSpec::Pipelined(k) => {
+            let n = n_units as u64;
+            let rows = (k.col_len() - 2) as u64;
+            Box::new(move |_| n * rows)
+        }
+        AppSpec::Shrinking(_) => {
+            let n = n_units as u64;
+            Box::new(move |k| n - 1 - k)
+        }
+    };
+
+    let mut sim = SimBuilder::<Msg>::new().net(cfg.net.clone());
+    let master_node = sim.add_node(cfg.master_node.clone());
+    let slave_nodes: Vec<_> = cfg
+        .slave_nodes
+        .iter()
+        .map(|nc| sim.add_node(nc.clone()))
+        .collect();
+
+    let outcome = Arc::new(Mutex::new(MasterOutcome::default()));
+    // Spawn order fixes actor ids: master = 0, slaves = 1..=n.
+    let master_id = dlb_sim::ActorId(0);
+    let slave_ids: Vec<_> = (1..=n_slaves).map(dlb_sim::ActorId).collect();
+
+    {
+        let outcome = Arc::clone(&outcome);
+        let slave_ids = slave_ids.clone();
+        let assignment = assignment.clone();
+        let converged: Box<dyn Fn(u64, f64) -> bool + Send> = match &app {
+            AppSpec::Independent(k) => {
+                let k = Arc::clone(k);
+                Box::new(move |inv, metric| k.converged(inv, metric))
+            }
+            _ => Box::new(|_, _| false),
+        };
+        let master_cfg = MasterConfig {
+            balancer,
+            invocations,
+            expected_units,
+            units_per_hook: None,
+            decision_cpu: cfg.decision_cpu,
+            record_timeline: cfg.record_timeline,
+            converged,
+        };
+        sim.spawn(master_node, "master", move |ctx| {
+            run_master(ctx, master_cfg, slave_ids, assignment, block_rows, outcome)
+        });
+    }
+
+    for (i, node) in slave_nodes.into_iter().enumerate() {
+        let mode = cfg.balancer.mode;
+        let hook_cpu = cfg.hook_check_cpu;
+        match &app {
+            AppSpec::Independent(k) => {
+                let slave = IndependentSlave {
+                    idx: i,
+                    master: master_id,
+                    mode,
+                    hook_check_cpu: hook_cpu,
+                    kernel: Arc::clone(k),
+                };
+                sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
+            }
+            AppSpec::Pipelined(k) => {
+                let slave = PipelinedSlave {
+                    idx: i,
+                    master: master_id,
+                    mode,
+                    hook_check_cpu: hook_cpu,
+                    kernel: Arc::clone(k),
+                };
+                sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
+            }
+            AppSpec::Shrinking(k) => {
+                let slave = ShrinkingSlave {
+                    idx: i,
+                    master: master_id,
+                    mode,
+                    hook_check_cpu: hook_cpu,
+                    kernel: Arc::clone(k),
+                };
+                sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
+            }
+        }
+    }
+
+    let sim_report = sim.run();
+    let mut o = outcome.lock();
+    let mut gathered = std::mem::take(&mut o.result);
+    gathered.sort_by_key(|(id, _)| *id);
+    assert_eq!(
+        gathered.len(),
+        n_units,
+        "gather lost or duplicated units"
+    );
+    for (i, (id, _)) in gathered.iter().enumerate() {
+        assert_eq!(*id, i, "unit ids must form 0..n after gather");
+    }
+    let result = gathered.into_iter().map(|(_, d)| d).collect();
+
+    RunReport {
+        elapsed: sim_report.end_time - SimTime::ZERO,
+        compute_time: o.compute_done - SimTime::ZERO,
+        result,
+        timeline: std::mem::take(&mut o.timeline),
+        stats: o.stats,
+        bounds: o.bounds,
+        sim: sim_report,
+        n_slaves,
+    }
+}
+
+/// Contiguous block distribution of `n` units over `p` slaves.
+pub fn block_ranges(n: usize, p: usize) -> Vec<(usize, usize)> {
+    let base = n / p;
+    let rem = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut lo = 0;
+    for i in 0..p {
+        let len = base + usize::from(i < rem);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    debug_assert_eq!(lo, n);
+    out
+}

@@ -1,0 +1,357 @@
+//! Slave engine for independent distributed loops (MM-shaped programs).
+//!
+//! Each invocation of the distributed loop computes every unit once. The
+//! slave computes its local units in index order, firing the compiler-
+//! placed hook after each unit. Work movement ships whole units (data +
+//! done flag); moved units that were already computed this invocation are
+//! not recomputed, and in-flight undone units keep the master's completion
+//! count below the target so invocations never terminate early (§4.5).
+
+use crate::balancer::InteractionMode;
+use crate::kernels::IndependentKernel;
+use crate::msg::{Edge, MoveOrder, Msg, TransferMsg, MovedUnit, UnitData};
+use crate::slave_common::SlaveCommon;
+use dlb_sim::{ActorCtx, ActorId, CpuWork};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Unit {
+    data: UnitData,
+    /// Invocation this unit was last computed in.
+    done_in: Option<u64>,
+}
+
+/// Static configuration for one independent-engine slave.
+pub struct IndependentSlave {
+    pub idx: usize,
+    pub master: ActorId,
+    pub mode: InteractionMode,
+    pub hook_check_cpu: CpuWork,
+    pub kernel: Arc<dyn IndependentKernel>,
+}
+
+impl IndependentSlave {
+    /// Actor body.
+    pub fn run(self, ctx: ActorCtx<Msg>) {
+        // Wait for the initial assignment.
+        let (slaves, range) = recv_start(&ctx, self.idx);
+        let mut common = SlaveCommon::new(
+            self.idx,
+            self.master,
+            slaves,
+            self.mode,
+            self.hook_check_cpu,
+            ctx.now(),
+        );
+        let kernel = self.kernel;
+        let invocations = kernel.invocations();
+        let mut units: BTreeMap<usize, Unit> = (range.0..range.1)
+            .map(|i| {
+                (
+                    i,
+                    Unit {
+                        data: kernel.init_unit(i),
+                        done_in: None,
+                    },
+                )
+            })
+            .collect();
+
+        let mut inv = 0;
+        let mut metric = 0.0f64;
+        wait_invocation_start(&ctx, &mut common, &mut units, 0);
+        'outer: loop {
+            'compute: loop {
+                // Opportunistically pull transfers that are already queued.
+                drain_transfers(&ctx, &mut common, &mut units, inv);
+                let next = units
+                    .iter()
+                    .find(|(_, u)| u.done_in != Some(inv))
+                    .map(|(&id, _)| id);
+                match next {
+                    Some(id) => {
+                        common.compute(&ctx, kernel.unit_cost_for(id, inv));
+                        let u = units.get_mut(&id).expect("unit present");
+                        kernel.compute(id, &mut u.data, inv);
+                        u.done_in = Some(inv);
+                        metric += kernel.local_metric(id, &u.data);
+                        common.record_done(1);
+                        let active = active_units(&units, inv, invocations);
+                        let moves = common.hook(&ctx, inv, active);
+                        execute_moves(&ctx, &mut common, &mut units, inv, invocations, moves);
+                    }
+                    None => {
+                        // Flush the final partial period, then go idle.
+                        let active = active_units(&units, inv, invocations);
+                        let moves = common.fire(&ctx, inv, active);
+                        execute_moves(&ctx, &mut common, &mut units, inv, invocations, moves);
+                        match idle_until_work_or_barrier(
+                            &ctx,
+                            &mut common,
+                            &mut units,
+                            inv,
+                            invocations,
+                            metric,
+                        ) {
+                            Idle::NewWork => {}
+                            Idle::NextInvocation => break 'compute,
+                            Idle::Gather => {
+                                reply_gather(&ctx, &common, units);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            inv += 1;
+            metric = 0.0;
+            if inv >= invocations {
+                break 'outer;
+            }
+        }
+
+        // Safety net: if the upper bound on invocations is reached without
+        // the master converging earlier, wait for the gather here.
+        finish_and_gather(&ctx, &mut common, units);
+    }
+}
+
+fn recv_start(ctx: &ActorCtx<Msg>, idx: usize) -> (Vec<ActorId>, (usize, usize)) {
+    let env = ctx.recv_match(|m| matches!(m, Msg::Start { .. }));
+    match env.msg {
+        Msg::Start {
+            slaves, assignment, ..
+        } => (slaves, assignment[idx]),
+        _ => unreachable!(),
+    }
+}
+
+fn active_units(units: &BTreeMap<usize, Unit>, inv: u64, invocations: u64) -> u64 {
+    if inv + 1 < invocations {
+        // Every unit will be recomputed next invocation.
+        units.len() as u64
+    } else {
+        units.values().filter(|u| u.done_in != Some(inv)).count() as u64
+    }
+}
+
+fn incorporate(
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    t: TransferMsg,
+    inv: u64,
+) {
+    common.received_from[t.from] += 1;
+    for mu in t.units {
+        let done_in = if mu.done { Some(t.invocation) } else { None };
+        let prev = units.insert(
+            mu.id,
+            Unit {
+                data: mu.data,
+                done_in,
+            },
+        );
+        assert!(prev.is_none(), "unit {} moved to a slave already owning it", mu.id);
+        let _ = inv;
+    }
+}
+
+fn drain_transfers(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    inv: u64,
+) {
+    while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
+        if let Msg::Transfer(t) = env.msg {
+            incorporate(common, units, t, inv);
+        }
+    }
+}
+
+fn execute_moves(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    inv: u64,
+    invocations: u64,
+    moves: Vec<MoveOrder>,
+) {
+    if moves.is_empty() {
+        return;
+    }
+    let t0 = ctx.now();
+    let mut total_moved = 0;
+    for order in moves {
+        // Keep at least one unit (the balancer's min_per_slave mirror).
+        let take = (order.count as usize).min(units.len().saturating_sub(1));
+        let mut picked: Vec<usize> = Vec::with_capacity(take);
+        // Prefer undone units (they still carry work this invocation); among
+        // equals, take from the ordered edge.
+        let mut candidates: Vec<(bool, usize)> = units
+            .iter()
+            .map(|(&id, u)| (u.done_in == Some(inv), id))
+            .collect();
+        candidates.sort_by_key(|&(done, id)| {
+            let edge_key = match order.edge {
+                Edge::High => usize::MAX - id,
+                Edge::Low => id,
+            };
+            (done, edge_key)
+        });
+        picked.extend(candidates.into_iter().take(take).map(|(_, id)| id));
+        let moved: Vec<MovedUnit> = picked
+            .into_iter()
+            .map(|id| {
+                let u = units.remove(&id).expect("picked unit");
+                MovedUnit {
+                    id,
+                    done: u.done_in == Some(inv),
+                    updated_through: 0,
+                    data: u.data,
+                    old: None,
+                }
+            })
+            .collect();
+        total_moved += moved.len() as u64;
+        // Always send the transfer — even empty — so the master's pending
+        // accounting and the receiver's counters stay settled.
+        let msg = Msg::Transfer(TransferMsg {
+            from: common.idx,
+            invocation: inv,
+            effective_block: 0,
+            units: moved,
+            right_old: None,
+        });
+        common.transfers_sent += 1;
+        common.send_slave(ctx, order.to, msg);
+    }
+    let _ = invocations;
+    common.move_cost_sample = Some((total_moved, ctx.now().saturating_since(t0)));
+}
+
+/// Outcome of idling at the end of an invocation.
+enum Idle {
+    /// A transfer brought units that still need computing.
+    NewWork,
+    /// The barrier released the next invocation.
+    NextInvocation,
+    /// The master requested the final gather (final invocation only).
+    Gather,
+}
+
+/// Idle at the end of an invocation: report done, then service messages
+/// until new work arrives, the barrier releases the next invocation, or —
+/// after the final invocation — the master requests the gather.
+fn idle_until_work_or_barrier(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    inv: u64,
+    invocations: u64,
+    metric: f64,
+) -> Idle {
+    let refresh_done = |common: &mut SlaveCommon| Msg::InvocationDone {
+        slave: common.idx,
+        invocation: inv,
+        transfers_sent: common.transfers_sent,
+        received_from: common.received_from.clone(),
+        metric,
+    };
+    let msg = refresh_done(common);
+    common.send_master(ctx, msg);
+    loop {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::Transfer(t) => {
+                incorporate(common, units, t, inv);
+                let has_work = units.values().any(|u| u.done_in != Some(inv));
+                if has_work {
+                    return Idle::NewWork;
+                }
+                // Ownership changed but no new work: refresh the master's
+                // counters so settlement can complete.
+                let msg = refresh_done(common);
+                common.send_master(ctx, msg);
+            }
+            Msg::Instructions(instr) => {
+                // Late pipelined replies can still carry movement orders.
+                // The master cannot settle until their transfers are
+                // acknowledged, so executing them here is always safe.
+                if !instr.moves.is_empty() {
+                    execute_moves(
+                        ctx,
+                        common,
+                        units,
+                        inv,
+                        invocations,
+                        instr.moves,
+                    );
+                    let msg = refresh_done(common);
+                    common.send_master(ctx, msg);
+                }
+            }
+            Msg::InvocationStart { invocation } => {
+                assert_eq!(invocation, inv + 1, "barrier out of order");
+                return Idle::NextInvocation;
+            }
+            Msg::Gather => {
+                // The master decides when the loop ends (fixed count or
+                // data-dependent convergence, §4.1).
+                return Idle::Gather;
+            }
+            other => panic!("independent slave: unexpected message {other:?}"),
+        }
+    }
+}
+
+fn wait_invocation_start(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    inv: u64,
+) {
+    // Invocation 0 needs an explicit release; later ones were consumed by
+    // `idle_until_work_or_barrier`.
+    if inv == 0 {
+        loop {
+            let env = ctx.recv();
+            match env.msg {
+                Msg::InvocationStart { invocation } => {
+                    assert_eq!(invocation, 0);
+                    return;
+                }
+                Msg::Transfer(t) => incorporate(common, units, t, inv),
+                Msg::Instructions(_) => {}
+                other => panic!("independent slave: unexpected start message {other:?}"),
+            }
+        }
+    }
+}
+
+fn finish_and_gather(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: BTreeMap<usize, Unit>,
+) {
+    loop {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::Gather => break,
+            // Late balancing replies are harmless now; drop them.
+            Msg::Instructions(_) => {}
+            other => panic!("independent slave at gather: unexpected {other:?}"),
+        }
+    }
+    reply_gather(ctx, common, units);
+}
+
+fn reply_gather(ctx: &ActorCtx<Msg>, common: &SlaveCommon, units: BTreeMap<usize, Unit>) {
+    let payload: Vec<(usize, UnitData)> =
+        units.into_iter().map(|(id, u)| (id, u.data)).collect();
+    let msg = Msg::GatherData {
+        slave: common.idx,
+        units: payload,
+    };
+    common.send_master(ctx, msg);
+}

@@ -1,0 +1,611 @@
+//! Slave engine for pipelined distributed loops (SOR-shaped programs).
+//!
+//! Columns are block-distributed; each sweep updates all interior rows in
+//! strip-mined blocks (§4.4). Within a block the slave computes its columns
+//! left-to-right; the left halo of its first column arrives from the left
+//! neighbour as a [`Msg::Boundary`] tagged `(sweep, block, column-id)`, the
+//! right halo of its last column is the right neighbour's previous-sweep
+//! first column (exchanged once per sweep as [`Msg::SweepOld`], §2.1's
+//! "communication outside the loop").
+//!
+//! Work movement is adjacent-only and mid-sweep (§4.5): columns received
+//! from the **left** are one or more pipeline phases *ahead* and are set
+//! aside until the local phase catches up; columns received from the
+//! **right** are *behind* and are caught up on arrival, using the
+//! sweep-start snapshots carried in the transfer as their right halos. The
+//! result is bit-identical to sequential execution no matter when moves
+//! happen — the property tests in `tests/` rely on that.
+
+use crate::balancer::InteractionMode;
+use crate::kernels::PipelinedKernel;
+use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
+use crate::slave_common::SlaveCommon;
+use dlb_sim::{ActorCtx, ActorId, CpuWork};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// One local column and its pipeline state.
+struct PCol {
+    /// Unit id (interior column index; global column id + 1).
+    id: usize,
+    data: Vec<f64>,
+    /// Sweep-start snapshot (right halo for the column to the left).
+    old: Vec<f64>,
+    /// Blocks completed this sweep.
+    phase: u64,
+}
+
+/// Static configuration for one pipelined-engine slave.
+pub struct PipelinedSlave {
+    pub idx: usize,
+    pub master: ActorId,
+    pub mode: InteractionMode,
+    pub hook_check_cpu: CpuWork,
+    pub kernel: Arc<dyn PipelinedKernel>,
+}
+
+struct State {
+    idx: usize,
+    n_units: usize,
+    cols: Vec<PCol>,
+    /// Transfers from the left whose effective phase is still ahead of us:
+    /// `(effective_block, columns)`, incorporated when we reach that phase.
+    set_aside: Vec<(u64, Vec<PCol>)>,
+    /// Previous-sweep values of the column right of our last column.
+    right_old: Vec<f64>,
+    left_wall: Vec<f64>,
+    right_wall: Vec<f64>,
+    block_rows: u64,
+    nblocks: u64,
+    col_len: usize,
+    /// Scratch full-length buffer holding the received left halo.
+    left_halo: Vec<f64>,
+    sweep: u64,
+}
+
+impl State {
+    fn interior_rows(&self) -> usize {
+        self.col_len - 2
+    }
+
+    fn rows_of_block(&self, b: u64) -> Range<usize> {
+        let start = 1 + (b * self.block_rows) as usize;
+        let end = (start + self.block_rows as usize).min(1 + self.interior_rows());
+        start..end
+    }
+
+    fn first_id(&self) -> usize {
+        self.cols.first().expect("nonempty").id
+    }
+
+    fn last_id(&self) -> usize {
+        self.cols.last().expect("nonempty").id
+    }
+
+    fn is_leftmost(&self) -> bool {
+        self.first_id() == 0
+    }
+
+    fn is_rightmost(&self) -> bool {
+        self.last_id() == self.n_units - 1
+    }
+
+    fn active_units(&self) -> u64 {
+        (self.cols.len() + self.set_aside.iter().map(|(_, v)| v.len()).sum::<usize>()) as u64
+    }
+
+    fn assert_contiguous(&self) {
+        for w in self.cols.windows(2) {
+            assert_eq!(w[0].id + 1, w[1].id, "column block not contiguous");
+        }
+    }
+}
+
+impl PipelinedSlave {
+    /// Actor body.
+    pub fn run(self, ctx: ActorCtx<Msg>) {
+        let env = ctx.recv_match(|m| matches!(m, Msg::Start { .. }));
+        let (slaves, range, block_rows) = match env.msg {
+            Msg::Start {
+                slaves,
+                assignment,
+                block_rows,
+            } => (slaves, assignment[self.idx], block_rows),
+            _ => unreachable!(),
+        };
+        let kernel = self.kernel;
+        let mut common = SlaveCommon::new(
+            self.idx,
+            self.master,
+            slaves,
+            self.mode,
+            self.hook_check_cpu,
+            ctx.now(),
+        );
+        let col_len = kernel.col_len();
+        let interior = (col_len - 2) as u64;
+        let nblocks = interior.div_ceil(block_rows.max(1));
+        let mut st = State {
+            idx: self.idx,
+            n_units: kernel.n_units(),
+            cols: (range.0..range.1)
+                .map(|i| PCol {
+                    id: i,
+                    data: kernel.init_unit(i),
+                    old: Vec::new(),
+                    phase: 0,
+                })
+                .collect(),
+            set_aside: Vec::new(),
+            right_old: Vec::new(),
+            left_wall: kernel.left_wall(),
+            right_wall: kernel.right_wall(),
+            block_rows: block_rows.max(1),
+            nblocks,
+            col_len,
+            left_halo: vec![0.0; col_len],
+            sweep: 0,
+        };
+        assert!(!st.cols.is_empty(), "pipelined slave needs >= 1 column");
+
+        // Initial release: the end-of-sweep barrier consumes every later
+        // InvocationStart.
+        loop {
+            let env = ctx.recv_match(|m| {
+                matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_))
+            });
+            match env.msg {
+                Msg::InvocationStart { invocation } => {
+                    assert_eq!(invocation, 0);
+                    break;
+                }
+                Msg::Instructions(_) => {}
+                _ => unreachable!(),
+            }
+        }
+
+        let sweeps = kernel.sweeps();
+        for sweep in 0..sweeps {
+            st.sweep = sweep;
+            sweep_body(&ctx, &mut common, &mut st, &*kernel);
+            // Sweep complete: absorb queued transfers (their catch-up work
+            // counts toward this sweep), then flush status and execute any
+            // sweep-end moves.
+            let nblocks = st.nblocks;
+            drain_transfers(&ctx, &mut common, &mut st, &*kernel, nblocks);
+            let moves = common.fire(&ctx, sweep, st.active_units());
+            execute_moves(&ctx, &mut common, &mut st, &*kernel, moves, nblocks);
+            purge_stale(&ctx, sweep);
+            barrier(&ctx, &mut common, &mut st, &*kernel, sweep, sweep + 1 == sweeps);
+        }
+
+        gather(&ctx, &mut common, st);
+    }
+}
+
+fn send_boundary(ctx: &ActorCtx<Msg>, common: &SlaveCommon, st: &State, b: u64) {
+    if st.is_rightmost() {
+        return;
+    }
+    let last = st.cols.last().expect("nonempty");
+    let rows = st.rows_of_block(b);
+    let msg = Msg::Boundary {
+        sweep: st.sweep,
+        block: b,
+        col: last.id,
+        values: last.data[rows].to_vec(),
+    };
+    common.send_slave(ctx, st.idx + 1, msg);
+}
+
+/// Fetch the left halo for block `b` into `st.left_halo`.
+///
+/// The wait must also service incoming [`Msg::Transfer`]s: if the left
+/// neighbour has just shipped us its boundary columns (effective at this
+/// very block), the halo we were waiting for *is inside the transfer* —
+/// the columns become local, our first column changes, and we start
+/// waiting for the neighbour's new last column instead. Blocking on the
+/// boundary alone would deadlock with the transfer sitting in our own
+/// mailbox.
+fn fetch_left_halo(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    b: u64,
+) {
+    loop {
+        if st.is_leftmost() {
+            st.left_halo.copy_from_slice(&st.left_wall);
+            return;
+        }
+        let want_col = st.first_id() - 1;
+        let want_sweep = st.sweep;
+        let env = ctx.recv_match(|m| {
+            matches!(m, Msg::Boundary { sweep, block, col, .. }
+                if *sweep == want_sweep && *block == b && *col == want_col)
+                || matches!(m, Msg::Transfer(_))
+        });
+        match env.msg {
+            Msg::Boundary { values, .. } => {
+                let rows = st.rows_of_block(b);
+                assert_eq!(values.len(), rows.len(), "boundary segment length");
+                st.left_halo[rows].copy_from_slice(&values);
+                return;
+            }
+            Msg::Transfer(t) => {
+                // We have completed `b` blocks at this point; a transfer
+                // effective exactly here merges immediately and changes the
+                // wanted halo column.
+                accept_transfer(ctx, common, st, kernel, t, b);
+                incorporate_set_asides(st, b);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Compute block `b` for columns `lo..` of `st.cols` (normally all of
+/// them; catch-up uses a sub-range starting at the appended columns).
+fn compute_block_cols(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    b: u64,
+    from_ci: usize,
+    right_old_override: Option<&[f64]>,
+) {
+    let rows = st.rows_of_block(b);
+    let cost = kernel.elem_cost() * rows.len() as u64;
+    for ci in from_ci..st.cols.len() {
+        common.compute(ctx, cost);
+        let (left_part, rest) = st.cols.split_at_mut(ci);
+        let (me, right_part) = rest.split_first_mut().expect("ci in range");
+        let left: &[f64] = match left_part.last() {
+            Some(l) => &l.data,
+            None => &st.left_halo,
+        };
+        let right: &[f64] = match right_part.first() {
+            Some(r) => &r.old,
+            None => right_old_override.unwrap_or(if st.right_old.is_empty() {
+                &st.right_wall
+            } else {
+                &st.right_old
+            }),
+        };
+        kernel.compute_block(&mut me.data, left, right, rows.clone());
+        me.phase = b + 1;
+        // Work is counted in column-rows: blocks can have unequal heights
+        // (the last block is a remainder), and uniform per-block counting
+        // would skew sweep-end rate samples.
+        common.record_done(rows.len() as u64);
+    }
+}
+
+fn sweep_body(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+) {
+    // Sweep start: snapshot old values, exchange halo columns (§2.1's
+    // communication outside the distributed loop).
+    for c in &mut st.cols {
+        c.old = c.data.clone();
+        c.phase = 0;
+    }
+    if !st.is_leftmost() {
+        let msg = Msg::SweepOld {
+            sweep: st.sweep,
+            values: st.cols[0].old.clone(),
+        };
+        common.send_slave(ctx, st.idx - 1, msg);
+    }
+    st.right_old = if st.is_rightmost() {
+        st.right_wall.clone()
+    } else {
+        let want = st.sweep;
+        let env = ctx.recv_match(|m| matches!(m, Msg::SweepOld { sweep, .. } if *sweep == want));
+        match env.msg {
+            Msg::SweepOld { values, .. } => values,
+            _ => unreachable!(),
+        }
+    };
+
+    for b in 0..st.nblocks {
+        incorporate_set_asides(st, b);
+        fetch_left_halo(ctx, common, st, kernel, b);
+        compute_block_cols(ctx, common, st, kernel, b, 0, None);
+        send_boundary(ctx, common, st, b);
+        let moves = common.hook(ctx, st.sweep, st.active_units());
+        execute_moves(ctx, common, st, kernel, moves, b + 1);
+        drain_transfers(ctx, common, st, kernel, b + 1);
+    }
+    incorporate_set_asides(st, st.nblocks);
+    st.assert_contiguous();
+}
+
+/// Prepend set-aside columns whose effective phase equals `phase`.
+fn incorporate_set_asides(st: &mut State, phase: u64) {
+    let mut i = 0;
+    while i < st.set_aside.len() {
+        if st.set_aside[i].0 == phase {
+            let (_, mut cols) = st.set_aside.remove(i);
+            assert_eq!(
+                cols.last().expect("nonempty transfer").id + 1,
+                st.first_id(),
+                "set-aside columns must abut our block"
+            );
+            for c in &cols {
+                assert_eq!(c.phase, phase, "set-aside phase mismatch");
+            }
+            cols.append(&mut st.cols);
+            st.cols = cols;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn execute_moves(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    moves: Vec<MoveOrder>,
+    phase: u64,
+) {
+    let _ = kernel;
+    if moves.is_empty() {
+        return;
+    }
+    let t0 = ctx.now();
+    let mut total = 0u64;
+    for order in moves {
+        assert!(
+            order.to + 1 == common.idx || common.idx + 1 == order.to,
+            "pipelined movement must be adjacent (got {} -> {})",
+            common.idx,
+            order.to
+        );
+        // Columns still set aside cannot be re-moved, and while any are
+        // pending our low edge is not the true boundary — shipping resident
+        // low columns would leave a gap below them. Skip such orders (an
+        // empty transfer keeps the accounting settled; the master will
+        // re-plan).
+        let take = if order.edge == Edge::Low && !st.set_aside.is_empty() {
+            0
+        } else {
+            (order.count as usize).min(st.cols.len().saturating_sub(1))
+        };
+        let (units, right_old) = match order.edge {
+            Edge::High => {
+                assert_eq!(order.to, common.idx + 1);
+                let split = st.cols.len() - take;
+                let moved: Vec<PCol> = st.cols.split_off(split);
+                if let Some(first) = moved.first() {
+                    // Our new right halo: the departing first column's
+                    // sweep-start snapshot (we retain a copy).
+                    st.right_old = first.old.clone();
+                }
+                (moved, None)
+            }
+            Edge::Low => {
+                assert_eq!(order.to + 1, common.idx);
+                let moved: Vec<PCol> = st.cols.drain(0..take).collect();
+                let ro = st.cols.first().map(|c| c.old.clone());
+                (moved, ro)
+            }
+        };
+        total += units.len() as u64;
+        if std::env::var_os("DLB_TRACE").is_some() {
+            eprintln!(
+                "[slave{} t={}] move {} cols {:?} -> slave{} at phase {phase} sweep {}",
+                common.idx, ctx.now(), units.len(),
+                units.iter().map(|c| c.id).collect::<Vec<_>>(), order.to, st.sweep,
+            );
+        }
+        let moved_units: Vec<MovedUnit> = units
+            .into_iter()
+            .map(|c| {
+                assert_eq!(c.phase, phase, "moved column phase mismatch");
+                MovedUnit {
+                    id: c.id,
+                    done: false,
+                    updated_through: c.phase,
+                    data: vec![c.data],
+                    old: Some(c.old),
+                }
+            })
+            .collect();
+        let msg = Msg::Transfer(TransferMsg {
+            from: common.idx,
+            invocation: st.sweep,
+            effective_block: phase,
+            units: moved_units,
+            right_old,
+        });
+        common.transfers_sent += 1;
+        common.send_slave(ctx, order.to, msg);
+    }
+    common.move_cost_sample = Some((total, ctx.now().saturating_since(t0)));
+}
+
+/// Process queued transfers. `my_phase` is the number of blocks we have
+/// completed this sweep.
+fn drain_transfers(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    my_phase: u64,
+) {
+    while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
+        if let Msg::Transfer(t) = env.msg {
+            accept_transfer(ctx, common, st, kernel, t, my_phase);
+        }
+    }
+}
+
+fn accept_transfer(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    t: TransferMsg,
+    my_phase: u64,
+) {
+    if std::env::var_os("DLB_TRACE").is_some() {
+        eprintln!(
+            "[slave{} t={}] accept transfer from {} eff {} units {:?} (my_phase {my_phase}, sweep {})",
+            st.idx, ctx.now(), t.from, t.effective_block,
+            t.units.iter().map(|u| u.id).collect::<Vec<_>>(), st.sweep,
+        );
+    }
+    common.received_from[t.from] += 1;
+    assert_eq!(t.invocation, st.sweep, "cross-sweep transfer");
+    let mut cols: Vec<PCol> = t
+        .units
+        .into_iter()
+        .map(|mu| {
+            let mut data: UnitData = mu.data;
+            PCol {
+                id: mu.id,
+                data: data.swap_remove(0),
+                old: mu.old.expect("pipelined transfer carries snapshots"),
+                phase: mu.updated_through,
+            }
+        })
+        .collect();
+    if cols.is_empty() {
+        return;
+    }
+    if t.from == st.idx + 1 {
+        // From the right: columns are behind; catch them up (§4.5).
+        let eff = t.effective_block;
+        assert!(eff <= my_phase, "right transfer from the future");
+        assert_eq!(
+            cols.first().expect("nonempty").id,
+            st.last_id() + 1,
+            "right transfer must abut our block"
+        );
+        let from_ci = st.cols.len();
+        st.cols.append(&mut cols);
+        let right_old = t.right_old.expect("right transfer carries right halo");
+        for b in eff..my_phase {
+            compute_block_cols(ctx, common, st, kernel, b, from_ci, Some(&right_old));
+            // The sender's remaining columns need our (new) last column's
+            // values for the blocks we just caught up.
+            send_boundary(ctx, common, st, b);
+        }
+        st.right_old = right_old;
+    } else if t.from + 1 == st.idx {
+        // From the left: columns are ahead; set aside until we catch up.
+        let eff = t.effective_block;
+        assert!(eff >= my_phase, "left transfer from the past");
+        if eff == my_phase {
+            let mut tmp = std::mem::take(&mut st.cols);
+            cols.append(&mut tmp);
+            st.cols = cols;
+            st.assert_contiguous();
+        } else {
+            st.set_aside.push((eff, cols));
+        }
+    } else {
+        panic!("transfer from non-neighbor {}", t.from);
+    }
+}
+
+/// Drain now-useless messages of the finished sweep (boundaries made
+/// redundant by mid-sweep moves).
+fn purge_stale(ctx: &ActorCtx<Msg>, sweep: u64) {
+    while ctx
+        .try_recv_match(|m| {
+            matches!(m, Msg::Boundary { sweep: s, .. } if *s == sweep)
+                || matches!(m, Msg::SweepOld { sweep: s, .. } if *s == sweep)
+        })
+        .is_some()
+    {}
+}
+
+fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, sweep: u64) {
+    let msg = Msg::InvocationDone {
+        slave: common.idx,
+        invocation: sweep,
+        transfers_sent: common.transfers_sent,
+        received_from: common.received_from.clone(),
+        metric: 0.0,
+    };
+    common.send_master(ctx, msg);
+}
+
+fn barrier(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    sweep: u64,
+    is_final: bool,
+) {
+    if std::env::var_os("DLB_TRACE").is_some() {
+        eprintln!(
+            "[slave{} t={}] barrier sweep {sweep} cols {:?} sent {} recv {}",
+            st.idx, ctx.now(),
+            st.cols.iter().map(|c| c.id).collect::<Vec<_>>(),
+            common.transfers_sent, common.received_from.iter().sum::<u64>(),
+        );
+    }
+    send_done(ctx, common, sweep);
+    loop {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::Transfer(t) => {
+                accept_transfer(ctx, common, st, kernel, t, st.nblocks);
+                // Catch-up work done while incorporating counts toward this
+                // sweep: flush it (and any movement the reply requests)
+                // before refreshing the done/counters message.
+                let moves = common.fire(ctx, sweep, st.active_units());
+                let nblocks = st.nblocks;
+                execute_moves(ctx, common, st, kernel, moves, nblocks);
+                send_done(ctx, common, sweep);
+            }
+            Msg::Instructions(instr) => {
+                // Sweep-boundary moves keep the next sweep balanced. The
+                // master cannot settle (and so cannot start the next sweep
+                // or the gather) until these transfers are acknowledged, so
+                // executing them here is always safe.
+                if !instr.moves.is_empty() {
+                    let nblocks = st.nblocks;
+                    execute_moves(ctx, common, st, kernel, instr.moves, nblocks);
+                    send_done(ctx, common, sweep);
+                }
+            }
+            Msg::InvocationStart { invocation } => {
+                assert!(!is_final, "unexpected sweep start after final sweep");
+                assert_eq!(invocation, sweep + 1, "sweep barrier out of order");
+                return;
+            }
+            Msg::Gather => {
+                assert!(is_final, "gather before final sweep");
+                return;
+            }
+            other => panic!("pipelined slave at barrier: unexpected {other:?}"),
+        }
+    }
+}
+
+/// The final barrier consumed the Gather message; reply with our columns.
+fn gather(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: State) {
+    assert!(st.set_aside.is_empty(), "set-aside columns at gather");
+    let units: Vec<(usize, UnitData)> = st
+        .cols
+        .into_iter()
+        .map(|c| (c.id, vec![c.data]))
+        .collect();
+    let msg = Msg::GatherData {
+        slave: common.idx,
+        units,
+    };
+    common.send_master(ctx, msg);
+}

@@ -1,0 +1,351 @@
+//! Slave engine for shrinking distributed loops (LU-shaped programs, §4.7).
+//!
+//! At step `k` the owner of column `k` finalizes it, broadcasts its pivot
+//! payload to every other slave, and retires it — data slices with no
+//! future work become *inactive* and are never moved by the balancer. All
+//! slaves then update their active columns (`j > k`). Work movement is
+//! direct (no carried dependences) and only ships active columns; a column
+//! arriving one step behind is caught up with the retained pivot history.
+
+use crate::balancer::InteractionMode;
+use crate::kernels::ShrinkingKernel;
+use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
+use crate::slave_common::SlaveCommon;
+use dlb_sim::{ActorCtx, ActorId, CpuWork};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct SCol {
+    data: Vec<f64>,
+    /// Highest step whose update has been applied (-1 = none).
+    updated_through: i64,
+}
+
+/// Static configuration for one shrinking-engine slave.
+pub struct ShrinkingSlave {
+    pub idx: usize,
+    pub master: ActorId,
+    pub mode: InteractionMode,
+    pub hook_check_cpu: CpuWork,
+    pub kernel: Arc<dyn ShrinkingKernel>,
+}
+
+struct State {
+    active: BTreeMap<usize, SCol>,
+    retired: Vec<(usize, Vec<f64>)>,
+    pivots: Vec<Option<Vec<f64>>>,
+}
+
+impl ShrinkingSlave {
+    /// Actor body.
+    pub fn run(self, ctx: ActorCtx<Msg>) {
+        let env = ctx.recv_match(|m| matches!(m, Msg::Start { .. }));
+        let (slaves, range) = match env.msg {
+            Msg::Start {
+                slaves, assignment, ..
+            } => (slaves, assignment[self.idx]),
+            _ => unreachable!(),
+        };
+        let kernel = self.kernel;
+        let n = kernel.n_units();
+        let mut common = SlaveCommon::new(
+            self.idx,
+            self.master,
+            slaves,
+            self.mode,
+            self.hook_check_cpu,
+            ctx.now(),
+        );
+        let mut st = State {
+            active: (range.0..range.1)
+                .map(|i| {
+                    (
+                        i,
+                        SCol {
+                            data: kernel.init_unit(i),
+                            updated_through: -1,
+                        },
+                    )
+                })
+                .collect(),
+            retired: Vec::new(),
+            pivots: vec![None; n],
+        };
+
+        // Initial release (later steps are released by the barrier).
+        loop {
+            let env = ctx.recv_match(|m| {
+                matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_))
+            });
+            match env.msg {
+                Msg::InvocationStart { invocation } => {
+                    assert_eq!(invocation, 0);
+                    break;
+                }
+                Msg::Instructions(_) => {}
+                _ => unreachable!(),
+            }
+        }
+
+        let steps = (n as u64).saturating_sub(1);
+        for k in 0..steps {
+            step(&ctx, &mut common, &mut st, &*kernel, k as usize);
+            // Flush the final partial period (and execute any late moves)
+            // before reporting the step done.
+            drain_transfers(&ctx, &mut common, &mut st, &*kernel, k as usize);
+            let moves = common.fire(&ctx, k, st.active.len() as u64);
+            execute_moves(&ctx, &mut common, &mut st, k as usize, moves);
+            barrier(&ctx, &mut common, &mut st, &*kernel, k, k + 1 == steps);
+        }
+
+        // Final barrier consumed Gather.
+        let mut units: Vec<(usize, UnitData)> = st
+            .retired
+            .into_iter()
+            .map(|(id, data)| (id, vec![data]))
+            .collect();
+        units.extend(
+            st.active
+                .into_iter()
+                .map(|(id, c)| (id, vec![c.data])),
+        );
+        let msg = Msg::GatherData {
+            slave: common.idx,
+            units,
+        };
+        common.send_master(&ctx, msg);
+    }
+}
+
+fn step(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn ShrinkingKernel,
+    k: usize,
+) {
+    // Pivot phase: the owner finalizes and broadcasts column k.
+    if let Some(col) = st.active.remove(&k) {
+        assert_eq!(
+            col.updated_through,
+            k as i64 - 1,
+            "pivot column not up to date at step {k}"
+        );
+        let payload = kernel.pivot_payload(k, &col.data);
+        for to in 0..common.slaves.len() {
+            if to != common.idx {
+                let msg = Msg::Pivot {
+                    step: k as u64,
+                    values: payload.clone(),
+                };
+                common.send_slave(ctx, to, msg);
+            }
+        }
+        st.pivots[k] = Some(payload);
+        st.retired.push((k, col.data));
+    } else if st.pivots[k].is_none() {
+        let want = k as u64;
+        let env = ctx.recv_match(|m| matches!(m, Msg::Pivot { step, .. } if *step == want));
+        if let Msg::Pivot { values, .. } = env.msg {
+            st.pivots[k] = Some(values);
+        }
+    }
+
+    // Update phase: bring every active column through step k, hooking after
+    // each column update.
+    loop {
+        drain_transfers(ctx, common, st, kernel, k);
+        let next = st
+            .active
+            .iter()
+            .find(|(_, c)| c.updated_through < k as i64)
+            .map(|(&id, _)| id);
+        let Some(j) = next else { break };
+        update_column(ctx, common, st, kernel, j, k);
+        let active = st.active.len() as u64;
+        let moves = common.hook(ctx, k as u64, active);
+        execute_moves(ctx, common, st, k, moves);
+    }
+}
+
+fn update_column(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn ShrinkingKernel,
+    j: usize,
+    k: usize,
+) {
+    let col = st.active.get_mut(&j).expect("column present");
+    let from = (col.updated_through + 1) as usize;
+    for kk in from..=k {
+        let pivot = st.pivots[kk]
+            .as_ref()
+            .unwrap_or_else(|| panic!("missing pivot {kk} while updating column {j}"));
+        common.compute(ctx, kernel.step_cost(kk));
+        kernel.update(j, &mut col.data, pivot, kk);
+        col.updated_through = kk as i64;
+        common.record_done(1);
+    }
+}
+
+fn execute_moves(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    k: usize,
+    moves: Vec<MoveOrder>,
+) {
+    if moves.is_empty() {
+        return;
+    }
+    let t0 = ctx.now();
+    let mut total = 0u64;
+    for order in moves {
+        let take = (order.count as usize).min(st.active.len());
+        let ids: Vec<usize> = match order.edge {
+            Edge::High => st.active.keys().rev().take(take).copied().collect(),
+            Edge::Low => st.active.keys().take(take).copied().collect(),
+        };
+        let units: Vec<MovedUnit> = ids
+            .into_iter()
+            .map(|id| {
+                let c = st.active.remove(&id).expect("picked id");
+                MovedUnit {
+                    id,
+                    done: c.updated_through >= k as i64,
+                    updated_through: c.updated_through.max(0) as u64,
+                    data: vec![c.data],
+                    old: None,
+                }
+            })
+            .collect();
+        total += units.len() as u64;
+        let msg = Msg::Transfer(TransferMsg {
+            from: common.idx,
+            invocation: k as u64,
+            effective_block: 0,
+            units,
+            right_old: None,
+        });
+        common.transfers_sent += 1;
+        common.send_slave(ctx, order.to, msg);
+    }
+    common.move_cost_sample = Some((total, ctx.now().saturating_since(t0)));
+}
+
+fn incorporate(
+    common: &mut SlaveCommon,
+    st: &mut State,
+    t: TransferMsg,
+    k: usize,
+) {
+    common.received_from[t.from] += 1;
+    for mu in t.units {
+        assert!(mu.id > k, "inactive column {} moved", mu.id);
+        // `updated_through` is only meaningful when the column is done for
+        // the tagged step (it is >= k >= 0). An undone column is exactly one
+        // step behind — per-step settlement guarantees it was updated
+        // through k-1 (which may be -1 at step 0 and is not representable
+        // in the wire field).
+        let ut = if mu.done {
+            (mu.updated_through as i64).min(k as i64)
+        } else {
+            k as i64 - 1
+        };
+        let mut data: UnitData = mu.data;
+        let prev = st.active.insert(
+            mu.id,
+            SCol {
+                data: data.swap_remove(0),
+                updated_through: ut,
+            },
+        );
+        assert!(prev.is_none(), "column {} duplicated by move", mu.id);
+    }
+}
+
+fn drain_transfers(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn ShrinkingKernel,
+    k: usize,
+) {
+    let _ = kernel;
+    while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
+        if let Msg::Transfer(t) = env.msg {
+            incorporate(common, st, t, k);
+        }
+    }
+    // Also bank any pivot broadcasts that raced ahead.
+    while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Pivot { .. })) {
+        if let Msg::Pivot { step, values } = env.msg {
+            st.pivots[step as usize] = Some(values);
+        }
+    }
+}
+
+fn barrier(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn ShrinkingKernel,
+    k: u64,
+    is_final: bool,
+) {
+    let send_done = |ctx: &ActorCtx<Msg>, common: &mut SlaveCommon| {
+        let msg = Msg::InvocationDone {
+            slave: common.idx,
+            invocation: k,
+            transfers_sent: common.transfers_sent,
+            received_from: common.received_from.clone(),
+            metric: 0.0,
+        };
+        common.send_master(ctx, msg);
+    };
+    send_done(ctx, common);
+    loop {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::Transfer(t) => {
+                incorporate(common, st, t, k as usize);
+                // Arrivals may still need this step's update.
+                loop {
+                    let next = st
+                        .active
+                        .iter()
+                        .find(|(_, c)| c.updated_through < k as i64)
+                        .map(|(&id, _)| id);
+                    let Some(j) = next else { break };
+                    update_column(ctx, common, st, kernel, j, k as usize);
+                }
+                let active = st.active.len() as u64;
+                let moves = common.fire(ctx, k, active);
+                execute_moves(ctx, common, st, k as usize, moves);
+                send_done(ctx, common);
+            }
+            Msg::Pivot { step, values } => {
+                st.pivots[step as usize] = Some(values);
+            }
+            Msg::Instructions(instr) => {
+                // Safe at any barrier: the master cannot settle until the
+                // transfers are acknowledged.
+                if !instr.moves.is_empty() {
+                    execute_moves(ctx, common, st, k as usize, instr.moves);
+                    send_done(ctx, common);
+                }
+            }
+            Msg::InvocationStart { invocation } => {
+                assert!(!is_final, "unexpected step start after final step");
+                assert_eq!(invocation, k + 1, "step barrier out of order");
+                return;
+            }
+            Msg::Gather => {
+                assert!(is_final, "gather before final step");
+                return;
+            }
+            other => panic!("shrinking slave at barrier: unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Automatic selection of the load-balancing frequency (§4.3, Fig. 4).
+//!
+//! Three lower bounds govern the period between balancing operations:
+//!
+//! 1. **Movement cost** — tracking load more often than ~10× the cost of
+//!    moving work cannot pay off: period ≥ 0.1 × measured movement cost.
+//! 2. **Interaction cost** — the master↔slave exchange is overhead even
+//!    when balanced: period ≥ 20 × measured interaction cost (≤5 % drag).
+//! 3. **OS time quantum** — measuring over windows close to the quantum
+//!    sees wild context-switching oscillations: period ≥ 5 quanta, and at
+//!    least 500 ms.
+//!
+//! The target period is the max of the three. The master converts it into
+//! *hook instances to skip*: it predicts how much computation a slave will
+//! do in one target period from its adjusted rate, and tells the slave to
+//! skip the corresponding number of hooks (§4.3). As work units shrink
+//! (e.g. LU, §4.7) the same rule automatically reduces the frequency.
+
+use dlb_sim::SimDuration;
+
+/// Running exponential average of a duration-valued cost sample.
+#[derive(Clone, Debug, Default)]
+pub struct CostAverage {
+    avg_us: f64,
+    samples: u64,
+}
+
+impl CostAverage {
+    /// Record a new sample (weight 0.3 to the new sample after the first).
+    pub fn record(&mut self, d: SimDuration) {
+        let x = d.micros() as f64;
+        if self.samples == 0 {
+            self.avg_us = x;
+        } else {
+            self.avg_us += 0.3 * (x - self.avg_us);
+        }
+        self.samples += 1;
+    }
+
+    /// Current average, or `None` before any sample.
+    pub fn get(&self) -> Option<SimDuration> {
+        (self.samples > 0).then(|| SimDuration::from_micros(self.avg_us.round() as u64))
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// The three bounds and the chosen target period (for reporting — the
+/// paper's Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeriodBounds {
+    pub movement_bound: SimDuration,
+    pub interaction_bound: SimDuration,
+    pub quantum_bound: SimDuration,
+    pub target: SimDuration,
+}
+
+/// Frequency controller: maintains measured costs and computes the target
+/// balancing period and per-slave hook-skip counts.
+#[derive(Clone, Debug)]
+pub struct FrequencyController {
+    quantum: SimDuration,
+    floor: SimDuration,
+    movement: CostAverage,
+    interaction: CostAverage,
+    /// Multipliers from the paper's Fig. 4.
+    pub movement_factor: f64,
+    pub interaction_factor: f64,
+    pub quantum_factor: f64,
+}
+
+impl FrequencyController {
+    /// Create a controller for a system with the given OS quantum.
+    pub fn new(quantum: SimDuration) -> FrequencyController {
+        FrequencyController {
+            quantum,
+            floor: SimDuration::from_millis(500),
+            movement: CostAverage::default(),
+            interaction: CostAverage::default(),
+            movement_factor: 0.1,
+            interaction_factor: 20.0,
+            quantum_factor: 5.0,
+        }
+    }
+
+    /// Record a measured cost of moving work (elapsed, per movement).
+    pub fn record_movement(&mut self, d: SimDuration) {
+        self.movement.record(d);
+    }
+
+    /// Record a measured cost of one master↔slave interaction.
+    pub fn record_interaction(&mut self, d: SimDuration) {
+        self.interaction.record(d);
+    }
+
+    /// The three bounds and their max (the target period).
+    pub fn bounds(&self) -> PeriodBounds {
+        let movement_bound = self
+            .movement
+            .get()
+            .map(|d| d.mul_f64(self.movement_factor))
+            .unwrap_or(SimDuration::ZERO);
+        let interaction_bound = self
+            .interaction
+            .get()
+            .map(|d| d.mul_f64(self.interaction_factor))
+            .unwrap_or(SimDuration::ZERO);
+        let quantum_bound = self.quantum.mul_f64(self.quantum_factor).max(self.floor);
+        let target = movement_bound.max(interaction_bound).max(quantum_bound);
+        PeriodBounds {
+            movement_bound,
+            interaction_bound,
+            quantum_bound,
+            target,
+        }
+    }
+
+    /// Target period between balancing operations.
+    pub fn target_period(&self) -> SimDuration {
+        self.bounds().target
+    }
+
+    /// Hooks to skip before the next status exchange, given a slave's
+    /// adjusted rate (work units per second) and the expected work units
+    /// executed between consecutive hook instances.
+    ///
+    /// The actual inter-balancing time is `(skip + 1) × units_per_hook /
+    /// rate`; we choose the largest skip that keeps it ≤ the target period,
+    /// so hooks quantize the approximation from below (the paper: "the more
+    /// frequently hooks occur, the closer the actual period can be to the
+    /// target period").
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` catches NaN too
+    pub fn hooks_to_skip(&self, rate_units_per_sec: f64, units_per_hook: f64) -> u64 {
+        if !(rate_units_per_sec > 0.0) || !(units_per_hook > 0.0) {
+            return 0;
+        }
+        let time_per_hook = units_per_hook / rate_units_per_sec; // seconds
+        if !(time_per_hook > 0.0) {
+            return 0;
+        }
+        let target = self.target_period().as_secs_f64();
+        let per = (target / time_per_hook).floor() as i64;
+        (per - 1).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn quantum_bound_dominates_initially() {
+        let fc = FrequencyController::new(ms(100));
+        let b = fc.bounds();
+        assert_eq!(b.quantum_bound, ms(500));
+        assert_eq!(b.target, ms(500));
+    }
+
+    #[test]
+    fn floor_applies_for_small_quanta() {
+        let fc = FrequencyController::new(ms(10));
+        assert_eq!(fc.target_period(), ms(500)); // 5*10ms = 50ms < 500ms floor
+    }
+
+    #[test]
+    fn large_quantum_beats_floor() {
+        let fc = FrequencyController::new(ms(200));
+        assert_eq!(fc.target_period(), ms(1000));
+    }
+
+    #[test]
+    fn interaction_cost_extends_period() {
+        let mut fc = FrequencyController::new(ms(100));
+        fc.record_interaction(ms(50));
+        // 20 * 50ms = 1s > 500ms.
+        assert_eq!(fc.target_period(), ms(1000));
+    }
+
+    #[test]
+    fn movement_cost_extends_period() {
+        let mut fc = FrequencyController::new(ms(100));
+        fc.record_movement(SimDuration::from_secs(20));
+        // 0.1 * 20s = 2s.
+        assert_eq!(fc.target_period(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn cost_average_smooths() {
+        let mut a = CostAverage::default();
+        a.record(ms(100));
+        a.record(ms(200));
+        let v = a.get().unwrap();
+        assert!(v > ms(100) && v < ms(200));
+        assert_eq!(a.samples(), 2);
+    }
+
+    #[test]
+    fn hooks_to_skip_matches_target() {
+        let fc = FrequencyController::new(ms(100)); // target 500ms
+        // Rate 100 units/s, 1 unit per hook: hook every 10ms -> period
+        // 500ms = 50 hooks -> skip 49.
+        assert_eq!(fc.hooks_to_skip(100.0, 1.0), 49);
+        // Huge units: hook every 2s > target -> skip 0 (hook every time).
+        assert_eq!(fc.hooks_to_skip(0.5, 1.0), 0);
+    }
+
+    #[test]
+    fn hooks_to_skip_shrinks_as_units_shrink() {
+        // LU §4.7: when units get cheaper (rate in units/s rises), more
+        // hooks are skipped so the *time* between balancings stays put.
+        let fc = FrequencyController::new(ms(100));
+        let early = fc.hooks_to_skip(10.0, 1.0);
+        let late = fc.hooks_to_skip(1000.0, 1.0);
+        assert!(late > early);
+        // Time between balancings stays ~target in both cases.
+        let t_early = (early + 1) as f64 / 10.0;
+        let t_late = (late + 1) as f64 / 1000.0;
+        assert!((t_early - 0.5).abs() < 0.11, "{t_early}");
+        assert!((t_late - 0.5).abs() < 0.01, "{t_late}");
+    }
+
+    #[test]
+    fn hooks_to_skip_degenerate_inputs() {
+        let fc = FrequencyController::new(ms(100));
+        assert_eq!(fc.hooks_to_skip(0.0, 1.0), 0);
+        assert_eq!(fc.hooks_to_skip(-1.0, 1.0), 0);
+        assert_eq!(fc.hooks_to_skip(1.0, 0.0), 0);
+    }
+}

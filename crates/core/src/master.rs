@@ -1,0 +1,221 @@
+//! The master process: central load balancer + program control (§3.1, §4.1).
+//!
+//! The master mimics the application's outer loop structure so that it
+//! executes the same number of balancing phases as the slaves and the
+//! program terminates properly: one *invocation* per execution of the
+//! distributed loop (MM repetition, SOR sweep, LU step). Within an
+//! invocation it answers every slave status with instructions from the
+//! [`Balancer`], and it releases the next invocation only when every slave
+//! is idle, all expected work units are accounted for, and every issued
+//! work transfer has been received (settlement) — so no unit can be lost
+//! or skipped.
+
+use crate::balancer::{Balancer, BalancerStats};
+use crate::frequency::PeriodBounds;
+use crate::msg::{Msg, UnitData};
+use dlb_sim::{ActorCtx, ActorId, CpuWork, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One row of the master's balancing log — the raw material for the
+/// paper's Figure 9 (raw rate, adjusted rate, work assignment over time).
+#[derive(Clone, Debug)]
+pub struct TimelineSample {
+    pub t: SimTime,
+    pub slave: usize,
+    pub invocation: u64,
+    pub raw_rate: f64,
+    pub adjusted_rate: f64,
+    /// Units assigned to this slave after the decision.
+    pub assigned: u64,
+    pub hooks_to_skip: u64,
+}
+
+/// Everything the master hands back to the driver.
+#[derive(Debug, Default)]
+pub struct MasterOutcome {
+    /// Gathered unit data, unordered (the driver sorts by id).
+    pub result: Vec<(usize, UnitData)>,
+    pub timeline: Vec<TimelineSample>,
+    pub stats: BalancerStats,
+    pub bounds: Option<PeriodBounds>,
+    /// Virtual time when the last invocation settled (before gather).
+    pub compute_done: SimTime,
+}
+
+/// Master configuration.
+pub struct MasterConfig {
+    pub balancer: Balancer,
+    pub invocations: u64,
+    /// Expected work-unit completions per invocation (LU shrinks).
+    pub expected_units: Box<dyn Fn(u64) -> u64 + Send>,
+    /// Per-invocation expected units-per-hook override (LU's units shrink;
+    /// `None` keeps the initial value).
+    pub units_per_hook: Option<Box<dyn Fn(u64) -> f64 + Send>>,
+    /// CPU charged on the master per status processed.
+    pub decision_cpu: CpuWork,
+    pub record_timeline: bool,
+    /// Data-dependent WHILE termination (§4.1): called with the invocation
+    /// just settled and the reduced convergence metric; `true` ends the
+    /// program before the invocation upper bound.
+    pub converged: Box<dyn Fn(u64, f64) -> bool + Send>,
+}
+
+/// The master actor body. `slaves` in slave-index order; `assignment` is
+/// the initial block distribution; the outcome lands in `out`.
+pub fn run_master(
+    ctx: ActorCtx<Msg>,
+    mut cfg: MasterConfig,
+    slaves: Vec<ActorId>,
+    assignment: Vec<(usize, usize)>,
+    block_rows: u64,
+    out: Arc<Mutex<MasterOutcome>>,
+) {
+    let n = slaves.len();
+    let send = |ctx: &ActorCtx<Msg>, to: ActorId, msg: Msg| {
+        let bytes = msg.wire_bytes();
+        ctx.send(to, msg, bytes);
+    };
+
+    // Initial distribution.
+    for &s in &slaves {
+        send(
+            &ctx,
+            s,
+            Msg::Start {
+                slaves: slaves.clone(),
+                assignment: assignment.clone(),
+                block_rows,
+            },
+        );
+    }
+
+    let mut timeline = Vec::new();
+    let mut sent_ctr = vec![0u64; n];
+    let mut recv_ctr = vec![0u64; n];
+
+    let mut inv = 0;
+    while inv < cfg.invocations {
+        cfg.balancer
+            .set_remaining_invocations(cfg.invocations - inv);
+        if let Some(uph) = &cfg.units_per_hook {
+            cfg.balancer.set_units_per_hook(uph(inv));
+        }
+        for &s in &slaves {
+            send(&ctx, s, Msg::InvocationStart { invocation: inv });
+        }
+        let expected = (cfg.expected_units)(inv);
+        let mut done_sum = 0u64;
+        let mut idle = vec![false; n];
+        let mut metrics = vec![0.0f64; n];
+
+        loop {
+            // Settlement check.
+            if idle.iter().all(|&b| b)
+                && done_sum >= expected
+                && sent_ctr.iter().sum::<u64>() == recv_ctr.iter().sum::<u64>()
+                && cfg.balancer.outstanding_orders() == 0
+            {
+                assert_eq!(
+                    done_sum, expected,
+                    "invocation {inv}: more units completed than exist"
+                );
+                break;
+            }
+            let env = ctx.recv();
+            if std::env::var_os("DLB_TRACE").is_some() {
+                eprintln!(
+                    "[master t={} inv={inv}] got {:?} (done {done_sum}/{expected}, idle {idle:?}, sent {sent_ctr:?}, recv {recv_ctr:?})",
+                    ctx.now(),
+                    match &env.msg {
+                        Msg::Status(s) => format!("Status(slave {}, delta {}, active {})", s.slave, s.units_done_delta, s.active_units),
+                        other => format!("{other:?}").chars().take(60).collect::<String>(),
+                    }
+                );
+            }
+            match env.msg {
+                Msg::Status(st) => {
+                    assert!(
+                        st.invocation <= inv,
+                        "status from the future: {} > {inv}",
+                        st.invocation
+                    );
+                    if st.invocation == inv {
+                        done_sum += st.units_done_delta;
+                    }
+                    sent_ctr[st.slave] = sent_ctr[st.slave].max(st.transfers_sent);
+                    recv_ctr[st.slave] =
+                        recv_ctr[st.slave].max(st.received_from.iter().sum::<u64>());
+                    idle[st.slave] = false;
+                    ctx.advance_work(cfg.decision_cpu);
+                    let decision = cfg.balancer.on_status(&st);
+                    if cfg.record_timeline {
+                        timeline.push(TimelineSample {
+                            t: ctx.now(),
+                            slave: st.slave,
+                            invocation: inv,
+                            raw_rate: decision.raw_rate,
+                            adjusted_rate: decision.adjusted_rate,
+                            assigned: decision.owned_after,
+                            hooks_to_skip: decision.instructions.hooks_to_skip,
+                        });
+                    }
+                    send(
+                        &ctx,
+                        slaves[st.slave],
+                        Msg::Instructions(decision.instructions),
+                    );
+                }
+                Msg::InvocationDone {
+                    slave,
+                    invocation,
+                    transfers_sent,
+                    received_from,
+                    metric,
+                } => {
+                    assert_eq!(invocation, inv, "stale InvocationDone");
+                    idle[slave] = true;
+                    metrics[slave] = metric;
+                    sent_ctr[slave] = sent_ctr[slave].max(transfers_sent);
+                    recv_ctr[slave] =
+                        recv_ctr[slave].max(received_from.iter().sum::<u64>());
+                    cfg.balancer.ack_transfers(slave, &received_from);
+                }
+                other => panic!("master: unexpected message {other:?}"),
+            }
+        }
+        let reduced: f64 = metrics.iter().sum();
+        inv += 1;
+        if (cfg.converged)(inv - 1, reduced) {
+            break;
+        }
+    }
+
+    let compute_done = ctx.now();
+
+    // Gather results.
+    for &s in &slaves {
+        send(&ctx, s, Msg::Gather);
+    }
+    let mut result = Vec::new();
+    let mut got = 0;
+    while got < n {
+        let env = ctx.recv();
+        match env.msg {
+            Msg::GatherData { units, .. } => {
+                result.extend(units);
+                got += 1;
+            }
+            // Final statuses racing the gather are harmless.
+            Msg::Status(_) | Msg::InvocationDone { .. } => {}
+            other => panic!("master at gather: unexpected {other:?}"),
+        }
+    }
+
+    let mut o = out.lock();
+    o.result = result;
+    o.timeline = timeline;
+    o.stats = cfg.balancer.stats();
+    o.bounds = Some(cfg.balancer.period_bounds());
+    o.compute_done = compute_done;
+}

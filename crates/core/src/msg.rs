@@ -1,0 +1,256 @@
+//! The runtime's message vocabulary.
+//!
+//! One message enum covers all three execution engines (independent,
+//! pipelined, shrinking). Messages carry *real application data* — moved
+//! work units contain the actual array slices, boundary messages the actual
+//! halo values — so the runtime's gather/scatter and pipeline catch-up
+//! logic is exercised for real and results can be verified bit-for-bit
+//! against sequential execution.
+
+use dlb_sim::SimDuration;
+
+/// The per-unit application payload: one `Vec<f64>` per moved array (in the
+/// order given by the compiler's `MovedArray` descriptors). For MM a unit is
+/// `[a_row, c_row]`; for SOR `[b_column]`; for LU `[a_column]`.
+pub type UnitData = Vec<Vec<f64>>;
+
+/// Which end of a slave's contiguous block a move takes units from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// Lowest-indexed units.
+    Low,
+    /// Highest-indexed units.
+    High,
+}
+
+/// One work-movement order: the addressed slave sends `count` units to
+/// slave `to`, taking them from the given `edge` of its local block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MoveOrder {
+    pub to: usize,
+    pub count: u64,
+    pub edge: Edge,
+}
+
+/// Master → slave balancing instructions.
+#[derive(Clone, Debug, Default)]
+pub struct Instructions {
+    /// Monotone sequence number (per slave).
+    pub seq: u64,
+    /// Outgoing work movements this slave must perform.
+    pub moves: Vec<MoveOrder>,
+    /// How many hook instances to skip before the next status exchange
+    /// (§4.3: computed from the target balancing period and predicted
+    /// computation rate).
+    pub hooks_to_skip: u64,
+}
+
+/// Slave → master status, sent at load-balancing hooks.
+#[derive(Clone, Debug)]
+pub struct Status {
+    pub slave: usize,
+    /// Invocation (outer-loop iteration / sweep / step) the slave is in.
+    pub invocation: u64,
+    /// Work units completed since the previous status message.
+    pub units_done_delta: u64,
+    /// Elapsed virtual time since the previous status message.
+    pub elapsed: SimDuration,
+    /// Units this slave owns that still have future work (§4.7).
+    pub active_units: u64,
+    /// Highest instruction sequence number this slave has applied. Lets the
+    /// master tell whether `active_units` already reflects the orders it
+    /// issued earlier (unapplied orders must still be discounted).
+    pub last_applied_seq: u64,
+    /// Cumulative count of Transfer messages this slave has sent.
+    pub transfers_sent: u64,
+    /// Cumulative count of Transfer messages received, by sender index.
+    /// Per-sender resolution lets the master match acknowledgements to the
+    /// orders it issued even when transfers from different senders race.
+    pub received_from: Vec<u64>,
+    /// Measured elapsed cost of the most recent work movement as
+    /// `(units_moved, elapsed)`, if any (feeds the frequency controller's
+    /// movement-cost bound and the per-unit movement estimate).
+    pub move_cost_sample: Option<(u64, SimDuration)>,
+    /// Measured elapsed cost of the previous hook's master interaction
+    /// (feeds the frequency controller's interaction-cost bound).
+    pub interaction_cost_sample: Option<SimDuration>,
+}
+
+/// One moved work unit with its iteration state.
+#[derive(Clone, Debug)]
+pub struct MovedUnit {
+    /// Global unit index.
+    pub id: usize,
+    /// Independent engine: already computed in the tagged invocation.
+    pub done: bool,
+    /// Shrinking engine: the unit has been updated through this step.
+    /// Pipelined engine: blocks completed this sweep (the unit's phase).
+    pub updated_through: u64,
+    /// The application data (one vector per moved array).
+    pub data: UnitData,
+    /// Pipelined engine: sweep-start snapshot of the unit's values (needed
+    /// as the right halo of its left neighbour).
+    pub old: Option<Vec<f64>>,
+}
+
+/// Slave → slave work transfer.
+#[derive(Clone, Debug)]
+pub struct TransferMsg {
+    pub from: usize,
+    /// Invocation / sweep / step this transfer belongs to.
+    pub invocation: u64,
+    /// Pipelined engine: the sender's phase when the move takes effect; the
+    /// receiver incorporates the columns when its own phase reaches this
+    /// value (set-aside) or catches them up if it is already past (§4.5).
+    pub effective_block: u64,
+    pub units: Vec<MovedUnit>,
+    /// Pipelined engine, right-to-left moves: sweep-start values of the
+    /// sender's new first column, which becomes the receiver's right halo.
+    pub right_old: Option<Vec<f64>>,
+}
+
+/// All runtime messages.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // ---- master -> slaves ----
+    /// Initial assignment: per-slave `[lo, hi)` unit ranges, the actor ids
+    /// of all slaves (for direct slave↔slave sends), and the pipelined
+    /// block size chosen at startup.
+    Start {
+        slaves: Vec<dlb_sim::ActorId>,
+        assignment: Vec<(usize, usize)>,
+        block_rows: u64,
+    },
+    Instructions(Instructions),
+    /// Barrier release: begin the given invocation (sweep / step / rep).
+    InvocationStart { invocation: u64 },
+    /// Request final data; slaves answer with `GatherData` and terminate.
+    Gather,
+    // ---- slave -> master ----
+    Status(Status),
+    /// The slave has no local work left in `invocation`. `metric` is the
+    /// slave's accumulated convergence contribution for this invocation
+    /// (cumulative; the master keeps the latest value per slave).
+    InvocationDone {
+        slave: usize,
+        invocation: u64,
+        transfers_sent: u64,
+        received_from: Vec<u64>,
+        metric: f64,
+    },
+    GatherData {
+        slave: usize,
+        units: Vec<(usize, UnitData)>,
+    },
+    // ---- slave <-> slave ----
+    Transfer(TransferMsg),
+    /// Pipelined: new values of column `col` (the sender's last column)
+    /// for one row block. Tagged with the column id so a receiver whose
+    /// left neighbour changed mid-sweep never consumes stale halos.
+    Boundary {
+        sweep: u64,
+        block: u64,
+        col: usize,
+        values: Vec<f64>,
+    },
+    /// Pipelined: sweep-start old values of the sender's first column
+    /// (the receiver's right halo for the whole sweep).
+    SweepOld { sweep: u64, values: Vec<f64> },
+    /// Shrinking: the pivot unit's data for `step`, broadcast by its owner.
+    Pivot { step: u64, values: Vec<f64> },
+}
+
+impl Msg {
+    /// Approximate wire size in bytes, used to charge the network model.
+    pub fn wire_bytes(&self) -> u64 {
+        const HDR: u64 = 32;
+        let f64s = |v: &Vec<f64>| 8 * v.len() as u64;
+        match self {
+            Msg::Start { assignment, .. } => HDR + 16 * assignment.len() as u64,
+            Msg::Instructions(i) => HDR + 24 * i.moves.len() as u64,
+            Msg::InvocationStart { .. } | Msg::Gather | Msg::InvocationDone { .. } => HDR,
+            Msg::Status(_) => HDR + 64,
+            Msg::GatherData { units, .. } => {
+                HDR + units
+                    .iter()
+                    .map(|(_, d)| 8 + d.iter().map(f64s).sum::<u64>())
+                    .sum::<u64>()
+            }
+            Msg::Transfer(t) => {
+                HDR + t.right_old.as_ref().map(f64s).unwrap_or(0)
+                    + t.units
+                        .iter()
+                        .map(|u| {
+                            24 + u.data.iter().map(f64s).sum::<u64>()
+                                + u.old.as_ref().map(f64s).unwrap_or(0)
+                        })
+                        .sum::<u64>()
+            }
+            Msg::Boundary { values, .. }
+            | Msg::SweepOld { values, .. }
+            | Msg::Pivot { values, .. } => HDR + f64s(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_scale_with_payload() {
+        let small = Msg::Boundary {
+            sweep: 0,
+            block: 0,
+            col: 0,
+            values: vec![0.0; 10],
+        };
+        let big = Msg::Boundary {
+            sweep: 0,
+            block: 0,
+            col: 0,
+            values: vec![0.0; 1000],
+        };
+        assert_eq!(small.wire_bytes(), 32 + 80);
+        assert_eq!(big.wire_bytes(), 32 + 8000);
+    }
+
+    #[test]
+    fn transfer_counts_all_unit_arrays() {
+        let t = Msg::Transfer(TransferMsg {
+            from: 0,
+            invocation: 0,
+            effective_block: 0,
+            units: vec![MovedUnit {
+                id: 3,
+                done: false,
+                updated_through: 0,
+                data: vec![vec![0.0; 100], vec![0.0; 100]],
+                old: Some(vec![0.0; 100]),
+            }],
+            right_old: None,
+        });
+        assert_eq!(t.wire_bytes(), 32 + 24 + 3 * 800);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(Msg::Gather.wire_bytes() < 64);
+        assert!(
+            Msg::Status(Status {
+                slave: 0,
+                invocation: 0,
+                units_done_delta: 0,
+                elapsed: SimDuration::ZERO,
+                active_units: 0,
+                last_applied_seq: 0,
+                transfers_sent: 0,
+                received_from: Vec::new(),
+                move_cost_sample: None,
+                interaction_cost_sample: None,
+            })
+            .wire_bytes()
+                < 128
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Computation-rate measurement and trend-weighted filtering (§3.2).
+//!
+//! Slave performance is expressed in **work units per second**, where work
+//! units are iterations of the distributed loop. With this application-
+//! specific measure there is no need to measure processor load directly or
+//! to weight heterogeneous processors: a slave that is twice as fast (or
+//! half as loaded) simply reports twice the rate.
+//!
+//! Raw rates oscillate — OS time-slicing, message waits, and cache effects
+//! all perturb a single measurement. The paper filters new rate information
+//! by averaging it with older information, *"with relative weights set
+//! according to trends observed in the rates"*: a persistent trend means
+//! the load really changed and the filter should follow quickly; an
+//! isolated spike should be damped.
+
+/// Trend-weighted exponential rate filter for one slave.
+#[derive(Clone, Debug)]
+pub struct RateFilter {
+    /// Current filtered (adjusted) rate, units/second.
+    adjusted: f64,
+    /// Previous raw sample.
+    last_raw: f64,
+    /// Signed count of consecutive same-direction deviations of the raw
+    /// samples from the adjusted rate (positive = consistently above).
+    trend: i32,
+    /// Weight given to a new sample when no trend is established.
+    base_weight: f64,
+    /// Weight given to a new sample once a trend is confirmed.
+    trend_weight: f64,
+    /// Deviations smaller than this fraction of the adjusted rate are
+    /// treated as noise and do not build a trend.
+    dead_band: f64,
+    initialized: bool,
+}
+
+impl Default for RateFilter {
+    fn default() -> Self {
+        RateFilter::new(0.25, 0.8, 0.05)
+    }
+}
+
+impl RateFilter {
+    /// Create a filter: `base_weight` applies to isolated deviations,
+    /// `trend_weight` once two consecutive samples deviate the same way,
+    /// `dead_band` is the relative noise threshold.
+    pub fn new(base_weight: f64, trend_weight: f64, dead_band: f64) -> RateFilter {
+        assert!((0.0..=1.0).contains(&base_weight));
+        assert!((0.0..=1.0).contains(&trend_weight));
+        RateFilter {
+            adjusted: 0.0,
+            last_raw: 0.0,
+            trend: 0,
+            base_weight,
+            trend_weight,
+            dead_band,
+            initialized: false,
+        }
+    }
+
+    /// Feed one raw measurement; returns the new adjusted rate.
+    pub fn update(&mut self, raw: f64) -> f64 {
+        assert!(raw.is_finite() && raw >= 0.0, "raw rate must be >= 0");
+        if !self.initialized {
+            self.adjusted = raw;
+            self.last_raw = raw;
+            self.initialized = true;
+            return self.adjusted;
+        }
+        let dev = raw - self.adjusted;
+        let rel = if self.adjusted > 0.0 {
+            dev.abs() / self.adjusted
+        } else {
+            1.0
+        };
+        if rel <= self.dead_band {
+            self.trend = 0;
+        } else if dev > 0.0 {
+            self.trend = if self.trend > 0 { self.trend + 1 } else { 1 };
+        } else {
+            self.trend = if self.trend < 0 { self.trend - 1 } else { -1 };
+        }
+        let w = if self.trend.abs() >= 2 {
+            self.trend_weight
+        } else {
+            self.base_weight
+        };
+        self.adjusted += w * dev;
+        self.last_raw = raw;
+        self.adjusted
+    }
+
+    /// Current adjusted rate.
+    pub fn adjusted(&self) -> f64 {
+        self.adjusted
+    }
+
+    /// Most recent raw sample.
+    pub fn last_raw(&self) -> f64 {
+        self.last_raw
+    }
+
+    /// Has at least one sample been seen?
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_adopted_directly() {
+        let mut f = RateFilter::default();
+        assert_eq!(f.update(100.0), 100.0);
+        assert!(f.is_initialized());
+    }
+
+    #[test]
+    fn isolated_spike_is_damped() {
+        let mut f = RateFilter::default();
+        f.update(100.0);
+        let after_spike = f.update(200.0); // single spike
+        assert!(after_spike < 130.0, "spike too influential: {after_spike}");
+        // Returning to normal pulls it back.
+        let back = f.update(100.0);
+        assert!(back < after_spike);
+    }
+
+    #[test]
+    fn sustained_change_is_tracked_quickly() {
+        let mut f = RateFilter::default();
+        f.update(100.0);
+        // The load genuinely dropped the rate to 50: after a few samples the
+        // filter should be close.
+        let mut last = 0.0;
+        for _ in 0..4 {
+            last = f.update(50.0);
+        }
+        assert!(
+            (last - 50.0).abs() < 5.0,
+            "filter too slow on a real change: {last}"
+        );
+    }
+
+    #[test]
+    fn trend_tracking_beats_flat_ewma() {
+        // Compare convergence after a step change against a plain EWMA with
+        // the same base weight: the trend filter must converge faster.
+        let mut trendful = RateFilter::default();
+        let mut flat = 100.0f64;
+        trendful.update(100.0);
+        let mut t = 0.0;
+        for _ in 0..3 {
+            t = trendful.update(20.0);
+            flat += 0.25 * (20.0 - flat);
+        }
+        assert!(t < flat, "trend filter {t} should beat flat EWMA {flat}");
+    }
+
+    #[test]
+    fn oscillation_is_smoothed() {
+        // Alternating 150/50 raw samples (mean 100): the adjusted rate must
+        // stay well inside the raw swing.
+        let mut f = RateFilter::default();
+        f.update(100.0);
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for i in 0..20 {
+            let raw = if i % 2 == 0 { 150.0 } else { 50.0 };
+            let adj = f.update(raw);
+            if i > 4 {
+                lo = lo.min(adj);
+                hi = hi.max(adj);
+            }
+        }
+        assert!(hi - lo < 60.0, "oscillation not smoothed: [{lo}, {hi}]");
+        assert!(lo > 50.0 && hi < 150.0);
+    }
+
+    #[test]
+    fn dead_band_ignores_noise() {
+        let mut f = RateFilter::new(0.25, 0.8, 0.05);
+        f.update(100.0);
+        f.update(102.0); // within 5% dead band: no trend builds
+        f.update(103.0);
+        let adj = f.update(102.0);
+        assert!((adj - 100.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn zero_rates_handled() {
+        let mut f = RateFilter::default();
+        f.update(0.0);
+        assert_eq!(f.adjusted(), 0.0);
+        let up = f.update(10.0);
+        assert!(up > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rate_rejected() {
+        RateFilter::default().update(-1.0);
+    }
+}

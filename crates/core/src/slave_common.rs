@@ -1,0 +1,191 @@
+//! Shared slave-side machinery: hook bookkeeping, status exchange, and
+//! instruction application (§4.2, §3.2).
+//!
+//! The compiler inserts *hooks* — conditional calls to this code — into the
+//! generated loop nest. A hook usually just decrements a counter (we charge
+//! a tiny CPU cost for the check); when it fires, the slave measures the
+//! elapsed time and work since the last firing, sends a [`Status`], and —
+//! depending on the interaction mode — either applies previously received
+//! instructions (pipelined, Fig. 2b) or blocks for fresh ones
+//! (synchronous, Fig. 2a).
+
+use crate::balancer::InteractionMode;
+use crate::msg::{Instructions, MoveOrder, Msg, Status};
+use dlb_sim::{ActorCtx, ActorId, CpuWork, SimDuration, SimTime};
+
+/// Per-slave hook/interaction state.
+pub struct SlaveCommon {
+    /// This slave's index (0-based, slave order = unit order).
+    pub idx: usize,
+    /// The master's actor id.
+    pub master: ActorId,
+    /// All slave actor ids, indexed by slave index.
+    pub slaves: Vec<ActorId>,
+    pub mode: InteractionMode,
+    /// CPU cost of the hook *check* itself.
+    pub hook_check_cpu: CpuWork,
+    /// Hooks to skip between firings (updated by instructions).
+    skip: u64,
+    since_fire: u64,
+    last_fire_time: SimTime,
+    /// Work units completed since the last firing.
+    pub done_delta: u64,
+    /// Computation time (stretched by competing load) since the last
+    /// firing. Rates are units per *computation* second (§4.2: the hook
+    /// "measures the time spent in the computation") so that pipeline
+    /// stalls and barrier waits do not masquerade as lost capacity.
+    busy_delta: SimDuration,
+    /// Cumulative transfer counters (reported to the master for settlement).
+    pub transfers_sent: u64,
+    /// Transfers received, by sender index.
+    pub received_from: Vec<u64>,
+    /// Most recent work-movement cost sample, consumed by the next status.
+    pub move_cost_sample: Option<(u64, SimDuration)>,
+    interaction_cost_sample: Option<SimDuration>,
+    last_instr_seq: u64,
+}
+
+impl SlaveCommon {
+    pub fn new(
+        idx: usize,
+        master: ActorId,
+        slaves: Vec<ActorId>,
+        mode: InteractionMode,
+        hook_check_cpu: CpuWork,
+        now: SimTime,
+    ) -> SlaveCommon {
+        let n = slaves.len();
+        SlaveCommon {
+            idx,
+            master,
+            slaves,
+            mode,
+            hook_check_cpu,
+            skip: 0,
+            since_fire: 0,
+            last_fire_time: now,
+            done_delta: 0,
+            busy_delta: SimDuration::ZERO,
+            transfers_sent: 0,
+            received_from: vec![0; n],
+            move_cost_sample: None,
+            interaction_cost_sample: None,
+            last_instr_seq: 0,
+        }
+    }
+
+    /// Record completed work units (counted toward the next status delta).
+    pub fn record_done(&mut self, units: u64) {
+        self.done_delta += units;
+    }
+
+    /// Perform unit computation: advance the CPU and account the elapsed
+    /// (load-stretched) time as computation time for rate measurement.
+    pub fn compute(&mut self, ctx: &ActorCtx<Msg>, work: CpuWork) {
+        let t0 = ctx.now();
+        ctx.advance_work(work);
+        self.busy_delta += ctx.now().saturating_since(t0);
+    }
+
+    /// Send a message to the master.
+    pub fn send_master(&self, ctx: &ActorCtx<Msg>, msg: Msg) {
+        let bytes = msg.wire_bytes();
+        ctx.send(self.master, msg, bytes);
+    }
+
+    /// Send a message to another slave.
+    pub fn send_slave(&self, ctx: &ActorCtx<Msg>, to: usize, msg: Msg) {
+        let bytes = msg.wire_bytes();
+        ctx.send(self.slaves[to], msg, bytes);
+    }
+
+    fn apply_instructions(&mut self, instr: Instructions, moves: &mut Vec<MoveOrder>) {
+        // Only the freshest instruction's skip count matters; moves
+        // accumulate (each order was planned once by the master).
+        if instr.seq >= self.last_instr_seq {
+            self.last_instr_seq = instr.seq;
+            self.skip = instr.hooks_to_skip;
+        }
+        moves.extend(instr.moves);
+    }
+
+    /// The load-balancing hook. Returns movement orders to execute *now*
+    /// (empty on skipped hooks). `active_units` is the paper's §4.7 notion:
+    /// units owned by this slave that still have future work.
+    pub fn hook(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        invocation: u64,
+        active_units: u64,
+    ) -> Vec<MoveOrder> {
+        ctx.advance_work(self.hook_check_cpu);
+        self.since_fire += 1;
+        if self.since_fire <= self.skip {
+            return Vec::new();
+        }
+        self.fire(ctx, invocation, active_units)
+    }
+
+    /// Fire the hook unconditionally (used at invocation boundaries so the
+    /// final partial period is always reported).
+    pub fn fire(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        invocation: u64,
+        active_units: u64,
+    ) -> Vec<MoveOrder> {
+        self.since_fire = 0;
+        let t0 = ctx.now();
+        let mut moves = Vec::new();
+
+        // The status must reflect the state *before* this hook applies any
+        // queued instructions: `active_units` was measured before any moves
+        // execute, so `last_applied_seq` must predate them too — otherwise
+        // the master would treat the stale count as already discounted.
+        let status = Status {
+            slave: self.idx,
+            invocation,
+            units_done_delta: self.done_delta,
+            elapsed: self.busy_delta,
+            active_units,
+            last_applied_seq: self.last_instr_seq,
+            transfers_sent: self.transfers_sent,
+            received_from: self.received_from.clone(),
+            move_cost_sample: self.move_cost_sample.take(),
+            interaction_cost_sample: self.interaction_cost_sample.take(),
+        };
+        if std::env::var_os("DLB_TRACE").is_some() {
+            eprintln!(
+                "[slave{} t={}] fire inv={invocation} delta={} busy={} active={active_units}",
+                self.idx, ctx.now(), self.done_delta, self.busy_delta,
+            );
+        }
+        self.done_delta = 0;
+        self.busy_delta = SimDuration::ZERO;
+        self.send_master(ctx, Msg::Status(status));
+
+        if self.mode == InteractionMode::Pipelined {
+            // Apply instructions that arrived since the last hook (they are
+            // based on the status sent then — the pipelining of Fig. 2b).
+            while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Instructions(_))) {
+                if let Msg::Instructions(i) = env.msg {
+                    self.apply_instructions(i, &mut moves);
+                }
+            }
+        }
+
+        if self.mode == InteractionMode::Synchronous {
+            // Block for the instructions computed from the status we just
+            // sent: the whole round trip sits on the critical path.
+            let env = ctx.recv_match(|m| matches!(m, Msg::Instructions(_)));
+            if let Msg::Instructions(i) = env.msg {
+                self.apply_instructions(i, &mut moves);
+            }
+        }
+
+        let now = ctx.now();
+        self.interaction_cost_sample = Some(now.saturating_since(t0));
+        self.last_fire_time = now;
+        moves
+    }
+}

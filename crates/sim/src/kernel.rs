@@ -1,0 +1,908 @@
+//! Deterministic discrete-event kernel.
+//!
+//! Actors are ordinary blocking Rust closures, each run on its own OS
+//! thread, but the kernel only ever lets **one** actor run at a time and
+//! hands control back and forth explicitly, so a simulation is a
+//! deterministic sequential program: same inputs ⇒ same event order ⇒ same
+//! results, regardless of host scheduling.
+//!
+//! An actor interacts with virtual time through its [`ActorCtx`]:
+//! [`ActorCtx::advance_work`] charges CPU work to the node's quantum
+//! scheduler, [`ActorCtx::send`]/[`ActorCtx::recv`] exchange messages over
+//! the simulated network, and [`ActorCtx::sleep`] waits for virtual time to
+//! pass. All blocking calls *yield* to the kernel, which advances the
+//! virtual clock to the next event.
+
+use crate::cpu::{self, NodeConfig};
+use crate::net::{Envelope, NetConfig};
+use crate::time::{SimDuration, SimTime};
+use crate::work::CpuWork;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// Identifies an actor within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub usize);
+
+/// Identifies a node (one CPU + its load model) within a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Per-actor message counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActorMetrics {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_received: u64,
+}
+
+/// Per-node CPU accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeMetrics {
+    /// Local CPU time consumed by the application actor (dedicated micros).
+    pub app_cpu: SimDuration,
+    /// Portion of `app_cpu` consumed while competing tasks were runnable.
+    pub app_cpu_while_loaded: SimDuration,
+}
+
+/// Everything measured during a run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Virtual time at which the last actor finished.
+    pub end_time: SimTime,
+    pub actors: Vec<ActorMetrics>,
+    pub nodes: Vec<NodeMetrics>,
+    pub node_configs: Vec<NodeConfig>,
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// CPU time consumed by competing tasks on `node` over the whole run —
+    /// the simulation's `getrusage` analog. Competing tasks are always
+    /// hungry, so they consume every cycle the application does not use
+    /// while the node is loaded.
+    pub fn competing_cpu(&self, node: NodeId) -> SimDuration {
+        let cfg = &self.node_configs[node.0];
+        let loaded = cfg.load.loaded_integral(SimTime::ZERO, self.end_time);
+        loaded.saturating_sub(self.nodes[node.0].app_cpu_while_loaded)
+    }
+
+    /// Available CPU time on `node` per the paper's efficiency formula:
+    /// elapsed time minus CPU time spent on competing tasks.
+    pub fn available_cpu(&self, node: NodeId) -> SimDuration {
+        (self.end_time - SimTime::ZERO).saturating_sub(self.competing_cpu(node))
+    }
+}
+
+enum EventKind<M> {
+    Wake { actor: ActorId, epoch: u64 },
+    Deliver { dst: ActorId, env: Envelope<M> },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ActorState {
+    /// Parked, waiting for a Wake with the matching epoch.
+    Waiting { epoch: u64, wake_on_msg: bool },
+    /// Currently holding the execution token.
+    Running,
+    Done,
+    Panicked,
+}
+
+struct Inner<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Event<M>>,
+    mailboxes: Vec<VecDeque<Envelope<M>>>,
+    states: Vec<ActorState>,
+    epochs: Vec<u64>,
+    nodes: Vec<NodeConfig>,
+    net: NetConfig,
+    /// Per-sender time at which its outgoing link becomes free.
+    link_free: Vec<SimTime>,
+    /// Per ordered (src,dst) pair: latest arrival so far, for FIFO delivery.
+    last_arrival: Vec<SimTime>,
+    actor_metrics: Vec<ActorMetrics>,
+    node_metrics: Vec<NodeMetrics>,
+    events_processed: u64,
+    max_events: u64,
+    panicked: Option<ActorId>,
+}
+
+impl<M> Inner<M> {
+    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn pair_index(&self, src: ActorId, dst: ActorId) -> usize {
+        src.0 * self.states.len() + dst.0
+    }
+}
+
+struct Shared<M> {
+    inner: Mutex<Inner<M>>,
+}
+
+/// Handle an actor uses to interact with the simulation.
+pub struct ActorCtx<M: Send + 'static> {
+    id: ActorId,
+    node: NodeId,
+    shared: Arc<Shared<M>>,
+    go_rx: Receiver<()>,
+    yield_tx: Sender<ActorId>,
+}
+
+impl<M: Send + 'static> ActorCtx<M> {
+    /// This actor's id (assigned in spawn order, starting at 0).
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// The node this actor runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.inner.lock().now
+    }
+
+    /// The OS scheduling quantum of this actor's node. The runtime is
+    /// allowed to know this (it is an OS parameter, not a load measurement);
+    /// the paper's frequency rule requires the period to be ≥ 5 quanta.
+    pub fn os_quantum(&self) -> SimDuration {
+        self.shared.inner.lock().nodes[self.node.0].quantum
+    }
+
+    /// Number of actors in the simulation.
+    pub fn actor_count(&self) -> usize {
+        self.shared.inner.lock().states.len()
+    }
+
+    fn park(&self, wake_on_msg: bool, wake_at: Option<SimTime>) {
+        {
+            let mut inner = self.shared.inner.lock();
+            let epoch = self.epoch_bump(&mut inner);
+            inner.states[self.id.0] = ActorState::Waiting {
+                epoch,
+                wake_on_msg,
+            };
+            if let Some(t) = wake_at {
+                debug_assert!(t >= inner.now);
+                inner.push_event(
+                    t,
+                    EventKind::Wake {
+                        actor: self.id,
+                        epoch,
+                    },
+                );
+            }
+        }
+        self.yield_tx.send(self.id).expect("kernel gone");
+        self.go_rx.recv().expect("kernel gone");
+    }
+
+    fn epoch_bump(&self, inner: &mut Inner<M>) -> u64 {
+        inner.epochs[self.id.0] += 1;
+        inner.epochs[self.id.0]
+    }
+
+    /// Consume `work` of CPU on this actor's node, advancing virtual time
+    /// according to the node's speed, quantum, and competing load.
+    pub fn advance_work(&self, work: CpuWork) {
+        if work.is_zero() {
+            return;
+        }
+        let finish = {
+            let mut inner = self.shared.inner.lock();
+            let cfg = inner.nodes[self.node.0].clone();
+            let adv = cpu::advance(&cfg, inner.now, work);
+            let nm = &mut inner.node_metrics[self.node.0];
+            nm.app_cpu += work.dedicated_duration(cfg.speed);
+            nm.app_cpu_while_loaded += adv.cpu_while_loaded;
+            adv.finish
+        };
+        self.park(false, Some(finish));
+        debug_assert_eq!(self.now(), finish);
+    }
+
+    /// Wait for `d` of virtual time to pass without consuming CPU.
+    pub fn sleep(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let wake = self.now() + d;
+        self.park(false, Some(wake));
+    }
+
+    /// Send `msg` (`bytes` on the wire) to `dst`. Charges the configured
+    /// marshalling CPU to this actor, then hands the message to the network.
+    /// Delivery is asynchronous; per-(src,dst) order is FIFO.
+    pub fn send(&self, dst: ActorId, msg: M, bytes: u64) {
+        let send_cpu = {
+            let inner = self.shared.inner.lock();
+            assert!(dst.0 < inner.states.len(), "send to unknown actor");
+            inner.net.send_cpu(bytes)
+        };
+        self.advance_work(send_cpu);
+        let mut inner = self.shared.inner.lock();
+        let now = inner.now;
+        let start = now.max(inner.link_free[self.id.0]);
+        let xfer = inner.net.transfer_time(bytes);
+        inner.link_free[self.id.0] = start + xfer;
+        let mut arrival = start + xfer + inner.net.latency;
+        let pair = inner.pair_index(self.id, dst);
+        arrival = arrival.max(inner.last_arrival[pair]);
+        inner.last_arrival[pair] = arrival;
+        inner.actor_metrics[self.id.0].msgs_sent += 1;
+        inner.actor_metrics[self.id.0].bytes_sent += bytes;
+        inner.push_event(
+            arrival,
+            EventKind::Deliver {
+                dst,
+                env: Envelope {
+                    src: self.id.0,
+                    msg,
+                    bytes,
+                },
+            },
+        );
+    }
+
+    fn take_from_mailbox(
+        &self,
+        inner: &mut Inner<M>,
+        pred: &mut dyn FnMut(&M) -> bool,
+    ) -> Option<Envelope<M>> {
+        let mb = &mut inner.mailboxes[self.id.0];
+        let idx = mb.iter().position(|env| pred(&env.msg))?;
+        let env = mb.remove(idx).expect("index valid");
+        inner.actor_metrics[self.id.0].msgs_received += 1;
+        inner.actor_metrics[self.id.0].bytes_received += env.bytes;
+        Some(env)
+    }
+
+    fn charge_recv(&self) {
+        let cost = self.shared.inner.lock().net.recv_cpu_per_msg;
+        self.advance_work(cost);
+    }
+
+    /// Receive the next message (FIFO per sender), blocking in virtual time.
+    pub fn recv(&self) -> Envelope<M> {
+        self.recv_match(|_| true)
+    }
+
+    /// Receive the first queued message matching `pred`, blocking until one
+    /// arrives.
+    pub fn recv_match(&self, mut pred: impl FnMut(&M) -> bool) -> Envelope<M> {
+        loop {
+            let got = {
+                let mut inner = self.shared.inner.lock();
+                self.take_from_mailbox(&mut inner, &mut pred)
+            };
+            if let Some(env) = got {
+                self.charge_recv();
+                return env;
+            }
+            self.park(true, None);
+        }
+    }
+
+    /// Non-blocking receive of the first queued message matching `pred`.
+    pub fn try_recv_match(&self, mut pred: impl FnMut(&M) -> bool) -> Option<Envelope<M>> {
+        let got = {
+            let mut inner = self.shared.inner.lock();
+            self.take_from_mailbox(&mut inner, &mut pred)
+        };
+        if got.is_some() {
+            self.charge_recv();
+        }
+        got
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.try_recv_match(|_| true)
+    }
+
+    /// Receive a message matching `pred`, or return `None` once virtual time
+    /// reaches `deadline`.
+    pub fn recv_match_deadline(
+        &self,
+        mut pred: impl FnMut(&M) -> bool,
+        deadline: SimTime,
+    ) -> Option<Envelope<M>> {
+        loop {
+            let (got, now) = {
+                let mut inner = self.shared.inner.lock();
+                let got = self.take_from_mailbox(&mut inner, &mut pred);
+                (got, inner.now)
+            };
+            if let Some(env) = got {
+                self.charge_recv();
+                return Some(env);
+            }
+            if now >= deadline {
+                return None;
+            }
+            self.park(true, Some(deadline));
+        }
+    }
+
+    /// Receive any message or time out at `deadline`.
+    pub fn recv_deadline(&self, deadline: SimTime) -> Option<Envelope<M>> {
+        self.recv_match_deadline(|_| true, deadline)
+    }
+}
+
+/// Drops a "panicked" notification to the kernel if the actor unwinds, so
+/// the kernel can stop and propagate the panic instead of hanging.
+struct PanicGuard<M: Send + 'static> {
+    id: ActorId,
+    shared: Arc<Shared<M>>,
+    yield_tx: Sender<ActorId>,
+}
+
+impl<M: Send + 'static> Drop for PanicGuard<M> {
+    fn drop(&mut self) {
+        let state = if std::thread::panicking() {
+            ActorState::Panicked
+        } else {
+            ActorState::Done
+        };
+        {
+            let mut inner = self.shared.inner.lock();
+            inner.states[self.id.0] = state;
+            if state == ActorState::Panicked {
+                inner.panicked = Some(self.id);
+            }
+        }
+        let _ = self.yield_tx.send(self.id);
+    }
+}
+
+type ActorFn<M> = Box<dyn FnOnce(ActorCtx<M>) + Send + 'static>;
+
+/// Builder for a simulation: declare nodes, spawn actors, then [`SimBuilder::run`].
+pub struct SimBuilder<M: Send + 'static> {
+    nodes: Vec<NodeConfig>,
+    net: NetConfig,
+    actors: Vec<(NodeId, String, ActorFn<M>)>,
+    node_used: Vec<bool>,
+    max_events: u64,
+}
+
+impl<M: Send + 'static> Default for SimBuilder<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> SimBuilder<M> {
+    pub fn new() -> Self {
+        SimBuilder {
+            nodes: Vec::new(),
+            net: NetConfig::default(),
+            actors: Vec::new(),
+            node_used: Vec::new(),
+            max_events: 200_000_000,
+        }
+    }
+
+    /// Set the network model (default: [`NetConfig::default`]).
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Safety valve against runaway simulations (default 2·10⁸ events).
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, cfg: NodeConfig) -> NodeId {
+        self.nodes.push(cfg);
+        self.node_used.push(false);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Spawn an actor on `node`. Exactly one actor may run per node: the CPU
+    /// model charges all of a node's application CPU to a single process.
+    pub fn spawn(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        f: impl FnOnce(ActorCtx<M>) + Send + 'static,
+    ) -> ActorId {
+        assert!(node.0 < self.nodes.len(), "unknown node");
+        assert!(
+            !self.node_used[node.0],
+            "node {} already has an actor; the CPU model supports one application process per node",
+            node.0
+        );
+        self.node_used[node.0] = true;
+        self.actors.push((node, name.into(), Box::new(f)));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Run the simulation to completion and return its report.
+    ///
+    /// Panics if an actor panics (the panic is propagated), if the
+    /// simulation deadlocks (all actors blocked with no pending events), or
+    /// if the event budget is exhausted.
+    pub fn run(self) -> SimReport {
+        let n_actors = self.actors.len();
+        assert!(n_actors > 0, "no actors spawned");
+        let names: Vec<String> = self.actors.iter().map(|(_, n, _)| n.clone()).collect();
+
+        let mut inner = Inner {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            mailboxes: (0..n_actors).map(|_| VecDeque::new()).collect(),
+            states: vec![
+                ActorState::Waiting {
+                    epoch: 0,
+                    wake_on_msg: false
+                };
+                n_actors
+            ],
+            epochs: vec![0; n_actors],
+            nodes: self.nodes.clone(),
+            net: self.net,
+            link_free: vec![SimTime::ZERO; n_actors],
+            last_arrival: vec![SimTime::ZERO; n_actors * n_actors],
+            actor_metrics: vec![ActorMetrics::default(); n_actors],
+            node_metrics: vec![NodeMetrics::default(); self.nodes.len()],
+            events_processed: 0,
+            max_events: self.max_events,
+            panicked: None,
+        };
+        // Seed: wake every actor at t = 0, in spawn order.
+        for (i, _) in self.actors.iter().enumerate() {
+            inner.push_event(
+                SimTime::ZERO,
+                EventKind::Wake {
+                    actor: ActorId(i),
+                    epoch: 0,
+                },
+            );
+        }
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(inner),
+        });
+
+        let (yield_tx, yield_rx) = unbounded::<ActorId>();
+        let mut go_txs = Vec::with_capacity(n_actors);
+        let mut handles = Vec::with_capacity(n_actors);
+        for (i, (node, name, f)) in self.actors.into_iter().enumerate() {
+            let (go_tx, go_rx) = bounded::<()>(1);
+            go_txs.push(go_tx);
+            let ctx = ActorCtx {
+                id: ActorId(i),
+                node,
+                shared: Arc::clone(&shared),
+                go_rx,
+                yield_tx: yield_tx.clone(),
+            };
+            let guard_shared = Arc::clone(&shared);
+            let guard_tx = yield_tx.clone();
+            let builder = std::thread::Builder::new().name(format!("sim-{i}-{name}"));
+            handles.push(
+                builder
+                    .spawn(move || {
+                        let _guard = PanicGuard {
+                            id: ActorId(i),
+                            shared: guard_shared,
+                            yield_tx: guard_tx,
+                        };
+                        // Wait for the first wake.
+                        ctx.go_rx.recv().expect("kernel gone");
+                        f(ctx);
+                    })
+                    .expect("spawn actor thread"),
+            );
+        }
+        drop(yield_tx);
+
+        // Kernel loop.
+        loop {
+            let next = {
+                let mut inner = shared.inner.lock();
+                if inner.panicked.is_some() {
+                    break;
+                }
+                match inner.heap.pop() {
+                    Some(ev) => {
+                        inner.events_processed += 1;
+                        assert!(
+                            inner.events_processed <= inner.max_events,
+                            "event budget exhausted ({} events): probable livelock",
+                            inner.max_events
+                        );
+                        debug_assert!(ev.time >= inner.now, "time went backwards");
+                        inner.now = inner.now.max(ev.time);
+                        Some(ev)
+                    }
+                    None => None,
+                }
+            };
+            let Some(ev) = next else {
+                // Heap empty: everyone must be done.
+                let inner = shared.inner.lock();
+                let stuck: Vec<String> = inner
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !matches!(s, ActorState::Done))
+                    .map(|(i, s)| format!("{} ({:?})", names[i], s))
+                    .collect();
+                assert!(
+                    stuck.is_empty(),
+                    "simulation deadlock at {}: no events pending but actors blocked: {}",
+                    inner.now,
+                    stuck.join(", ")
+                );
+                break;
+            };
+            match ev.kind {
+                EventKind::Wake { actor, epoch } => {
+                    let run = {
+                        let mut inner = shared.inner.lock();
+                        match inner.states[actor.0] {
+                            ActorState::Waiting { epoch: e, .. } if e == epoch => {
+                                inner.states[actor.0] = ActorState::Running;
+                                true
+                            }
+                            _ => false, // stale wake
+                        }
+                    };
+                    if run {
+                        go_txs[actor.0].send(()).expect("actor thread gone");
+                        // Wait for the actor to yield, finish, or panic.
+                        yield_rx.recv().expect("all actors gone");
+                    }
+                }
+                EventKind::Deliver { dst, env } => {
+                    let mut inner = shared.inner.lock();
+                    inner.mailboxes[dst.0].push_back(env);
+                    if let ActorState::Waiting {
+                        epoch,
+                        wake_on_msg: true,
+                    } = inner.states[dst.0]
+                    {
+                        let now = inner.now;
+                        inner.push_event(
+                            now,
+                            EventKind::Wake {
+                                actor: dst,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Drop our go senders so any still-parked actor errors out instead of
+        // hanging, then join every thread, propagating the first panic.
+        drop(go_txs);
+        let mut panic_payload = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                if panic_payload.is_none() {
+                    panic_payload = Some(p);
+                }
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+
+        let inner = shared.inner.lock();
+        SimReport {
+            end_time: inner.now,
+            actors: inner.actor_metrics.clone(),
+            nodes: inner.node_metrics.clone(),
+            node_configs: inner.nodes.clone(),
+            events_processed: inner.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadModel;
+
+    fn two_node_builder() -> (SimBuilder<u64>, NodeId, NodeId) {
+        let mut b = SimBuilder::<u64>::new().net(NetConfig::ideal());
+        let n0 = b.add_node(NodeConfig::default());
+        let n1 = b.add_node(NodeConfig::default());
+        (b, n0, n1)
+    }
+
+    #[test]
+    fn ping_pong() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "ping", move |ctx| {
+            ctx.send(a1, 42, 8);
+            let reply = ctx.recv();
+            assert_eq!(reply.msg, 43);
+            assert_eq!(reply.src, 1);
+        });
+        b.spawn(n1, "pong", move |ctx| {
+            let m = ctx.recv();
+            assert_eq!(m.msg, 42);
+            ctx.send(ActorId(m.src), m.msg + 1, 8);
+        });
+        let report = b.run();
+        assert_eq!(report.actors[0].msgs_sent, 1);
+        assert_eq!(report.actors[0].msgs_received, 1);
+        assert_eq!(report.actors[1].msgs_received, 1);
+    }
+
+    #[test]
+    fn advance_work_advances_time() {
+        let mut b = SimBuilder::<()>::new().net(NetConfig::ideal());
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "worker", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance_work(CpuWork::from_secs_f64(2.0));
+            assert_eq!(ctx.now(), SimTime(2_000_000));
+        });
+        let report = b.run();
+        assert_eq!(report.end_time, SimTime(2_000_000));
+        assert_eq!(report.nodes[0].app_cpu, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn competing_load_stretches_time() {
+        let mut b = SimBuilder::<()>::new().net(NetConfig::ideal());
+        let n = b.add_node(NodeConfig::with_load(LoadModel::Constant(1)));
+        b.spawn(n, "worker", |ctx| {
+            ctx.advance_work(CpuWork::from_secs_f64(1.0));
+        });
+        let report = b.run();
+        // 1 s of CPU at 50% availability: finishes during slot at ~1.9s
+        // (slots [0,.1) [.2,.3) ... 10 slots, last ends at 1.9s).
+        assert_eq!(report.end_time, SimTime(1_900_000));
+        assert_eq!(
+            report.nodes[0].app_cpu_while_loaded,
+            SimDuration::from_secs(1)
+        );
+        // Competing task got the rest.
+        assert_eq!(
+            report.competing_cpu(NodeId(0)),
+            SimDuration::from_micros(900_000)
+        );
+    }
+
+    #[test]
+    fn sleep_passes_time_without_cpu() {
+        let mut b = SimBuilder::<()>::new().net(NetConfig::ideal());
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "sleeper", |ctx| {
+            ctx.sleep(SimDuration::from_secs(5));
+            assert_eq!(ctx.now(), SimTime(5_000_000));
+        });
+        let report = b.run();
+        assert_eq!(report.nodes[0].app_cpu, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn network_latency_and_bandwidth() {
+        let mut b = SimBuilder::<u32>::new().net(NetConfig {
+            latency: SimDuration::from_millis(1),
+            bandwidth: 1_000_000, // 1 byte/us
+            send_cpu_per_msg: CpuWork::ZERO,
+            send_cpu_per_byte_ns: 0,
+            recv_cpu_per_msg: CpuWork::ZERO,
+        });
+        let n0 = b.add_node(NodeConfig::default());
+        let n1 = b.add_node(NodeConfig::default());
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.send(a1, 7, 1000); // 1000 us transfer + 1000 us latency
+        });
+        b.spawn(n1, "dst", |ctx| {
+            let env = ctx.recv();
+            assert_eq!(env.msg, 7);
+            assert_eq!(ctx.now(), SimTime(2_000));
+        });
+        b.run();
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            for i in 0..10u64 {
+                ctx.send(a1, i, 1);
+            }
+        });
+        b.spawn(n1, "dst", |ctx| {
+            for i in 0..10u64 {
+                assert_eq!(ctx.recv().msg, i);
+            }
+        });
+        b.run();
+    }
+
+    #[test]
+    fn selective_receive() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.send(a1, 1, 1);
+            ctx.send(a1, 2, 1);
+            ctx.send(a1, 3, 1);
+        });
+        b.spawn(n1, "dst", |ctx| {
+            // Pull out-of-order by predicate; the rest stays queued.
+            assert_eq!(ctx.recv_match(|&m| m == 2).msg, 2);
+            assert_eq!(ctx.recv().msg, 1);
+            assert_eq!(ctx.recv().msg, 3);
+        });
+        b.run();
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let mut b = SimBuilder::<()>::new().net(NetConfig::ideal());
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "waiter", |ctx| {
+            let got = ctx.recv_deadline(SimTime(500));
+            assert!(got.is_none());
+            assert_eq!(ctx.now(), SimTime(500));
+        });
+        b.run();
+    }
+
+    #[test]
+    fn recv_deadline_gets_message_first() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            ctx.send(a1, 9, 1);
+        });
+        b.spawn(n1, "dst", |ctx| {
+            let got = ctx.recv_deadline(SimTime(1_000_000));
+            assert_eq!(got.unwrap().msg, 9);
+            assert!(ctx.now() < SimTime(1_000_000));
+        });
+        b.run();
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let mut b = SimBuilder::<u8>::new().net(NetConfig::ideal());
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "solo", |ctx| {
+            assert!(ctx.try_recv().is_none());
+        });
+        b.run();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run_once = || {
+            let mut b = SimBuilder::<u64>::new();
+            let mut slaves = Vec::new();
+            let master_node = b.add_node(NodeConfig::default());
+            for i in 0..4 {
+                let n = b.add_node(NodeConfig::with_load(if i == 0 {
+                    LoadModel::Constant(1)
+                } else {
+                    LoadModel::Dedicated
+                }));
+                slaves.push(n);
+            }
+            let master = b.spawn(master_node, "master", move |ctx| {
+                for _ in 0..4 {
+                    let env = ctx.recv();
+                    ctx.send(ActorId(env.src), env.msg * 2, 16);
+                }
+            });
+            for (i, n) in slaves.into_iter().enumerate() {
+                b.spawn(n, format!("slave{i}"), move |ctx| {
+                    ctx.advance_work(CpuWork::from_millis(50 * (i as u64 + 1)));
+                    ctx.send(master, i as u64, 16);
+                    let env = ctx.recv();
+                    assert_eq!(env.msg, i as u64 * 2);
+                    ctx.advance_work(CpuWork::from_millis(10));
+                });
+            }
+            let r = b.run();
+            (r.end_time, r.events_processed)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn actor_panic_propagates() {
+        let mut b = SimBuilder::<()>::new();
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "bomb", |_ctx| panic!("boom"));
+        b.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected() {
+        let mut b = SimBuilder::<()>::new();
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "hung", |ctx| {
+            let _ = ctx.recv(); // nobody will ever send
+        });
+        b.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an actor")]
+    fn one_actor_per_node() {
+        let mut b = SimBuilder::<()>::new();
+        let n = b.add_node(NodeConfig::default());
+        b.spawn(n, "a", |_| {});
+        b.spawn(n, "b", |_| {});
+    }
+
+    #[test]
+    fn send_charges_cpu() {
+        let mut b = SimBuilder::<()>::new().net(NetConfig {
+            latency: SimDuration::ZERO,
+            bandwidth: u64::MAX,
+            send_cpu_per_msg: CpuWork::from_micros(500),
+            send_cpu_per_byte_ns: 0,
+            recv_cpu_per_msg: CpuWork::ZERO,
+        });
+        let n0 = b.add_node(NodeConfig::default());
+        let n1 = b.add_node(NodeConfig::default());
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.send(a1, (), 0);
+            assert_eq!(ctx.now(), SimTime(500));
+        });
+        b.spawn(n1, "dst", |ctx| {
+            ctx.recv();
+        });
+        let report = b.run();
+        assert_eq!(report.nodes[0].app_cpu, SimDuration::from_micros(500));
+    }
+}

@@ -1,0 +1,221 @@
+//! Competing-load models.
+//!
+//! The paper evaluates its balancer on workstations whose CPUs are shared
+//! with other users' tasks. We model the *competing load* on a node as a
+//! piecewise-constant function `k(t)`: the number of competing runnable
+//! tasks at virtual time `t`. The quantum scheduler in [`crate::cpu`] then
+//! gives the application one quantum out of every `k(t) + 1`.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Piecewise-constant competing-load model for one node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadModel {
+    /// No competing tasks, ever (a dedicated machine).
+    Dedicated,
+    /// A constant number of competing tasks (the paper's Figures 7 and 8 use
+    /// one constant competing task on processor 0).
+    Constant(u32),
+    /// A square wave: `tasks` competing tasks during the first `duty` of
+    /// every `period`, none otherwise (the paper's Figure 9 uses a 20 s
+    /// period with a 10 s loaded duration).
+    Oscillating {
+        period: SimDuration,
+        duty: SimDuration,
+        tasks: u32,
+    },
+    /// An explicit trace: `(start_time, tasks)` pairs sorted by time; each
+    /// value holds until the next entry, the last value holds forever.
+    /// An empty trace means dedicated.
+    Trace(Vec<(SimTime, u32)>),
+}
+
+impl LoadModel {
+    /// Number of competing runnable tasks at time `t`.
+    pub fn tasks_at(&self, t: SimTime) -> u32 {
+        match self {
+            LoadModel::Dedicated => 0,
+            LoadModel::Constant(k) => *k,
+            LoadModel::Oscillating {
+                period,
+                duty,
+                tasks,
+            } => {
+                debug_assert!(duty <= period && !period.is_zero());
+                let phase = t.micros() % period.micros();
+                if phase < duty.micros() {
+                    *tasks
+                } else {
+                    0
+                }
+            }
+            LoadModel::Trace(points) => {
+                let mut k = 0;
+                for &(start, tasks) in points {
+                    if start <= t {
+                        k = tasks;
+                    } else {
+                        break;
+                    }
+                }
+                k
+            }
+        }
+    }
+
+    /// The next instant strictly after `t` at which `k` changes, or `None`
+    /// if the load is constant from `t` onwards.
+    pub fn next_change(&self, t: SimTime) -> Option<SimTime> {
+        match self {
+            LoadModel::Dedicated | LoadModel::Constant(_) => None,
+            LoadModel::Oscillating { period, duty, .. } => {
+                if duty.is_zero() || *duty == *period {
+                    return None; // degenerate: constant either way
+                }
+                let p = period.micros();
+                let d = duty.micros();
+                let phase = t.micros() % p;
+                let cycle_start = t.micros() - phase;
+                let next = if phase < d { cycle_start + d } else { cycle_start + p };
+                Some(SimTime(next))
+            }
+            LoadModel::Trace(points) => {
+                let current = self.tasks_at(t);
+                points
+                    .iter()
+                    .find(|&&(start, tasks)| start > t && tasks != current)
+                    .map(|&(start, _)| start)
+            }
+        }
+    }
+
+    /// Total time within `[a, b)` during which at least one competing task is
+    /// runnable. Used for the paper's efficiency metric: competing tasks soak
+    /// up all CPU the application does not use whenever `k(t) > 0`.
+    pub fn loaded_integral(&self, a: SimTime, b: SimTime) -> SimDuration {
+        if b <= a {
+            return SimDuration::ZERO;
+        }
+        let mut total = 0u64;
+        let mut t = a;
+        while t < b {
+            let k = self.tasks_at(t);
+            let seg_end = match self.next_change(t) {
+                Some(c) if c < b => c,
+                _ => b,
+            };
+            if k > 0 {
+                total += seg_end.micros() - t.micros();
+            }
+            t = seg_end;
+        }
+        SimDuration::from_micros(total)
+    }
+
+    /// True if this model never has competing tasks.
+    pub fn is_dedicated(&self) -> bool {
+        match self {
+            LoadModel::Dedicated => true,
+            LoadModel::Constant(k) => *k == 0,
+            LoadModel::Oscillating { duty, tasks, .. } => duty.is_zero() || *tasks == 0,
+            LoadModel::Trace(points) => points.iter().all(|&(_, k)| k == 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> SimTime {
+        SimTime(n * 1_000_000)
+    }
+    fn d(n: u64) -> SimDuration {
+        SimDuration::from_secs(n)
+    }
+
+    #[test]
+    fn dedicated_and_constant() {
+        assert_eq!(LoadModel::Dedicated.tasks_at(s(5)), 0);
+        assert!(LoadModel::Dedicated.is_dedicated());
+        assert_eq!(LoadModel::Constant(3).tasks_at(s(5)), 3);
+        assert_eq!(LoadModel::Constant(3).next_change(s(5)), None);
+        assert!(!LoadModel::Constant(3).is_dedicated());
+        assert!(LoadModel::Constant(0).is_dedicated());
+    }
+
+    #[test]
+    fn oscillating_square_wave() {
+        // Paper Fig. 9: 20 s period, 10 s loaded.
+        let m = LoadModel::Oscillating {
+            period: d(20),
+            duty: d(10),
+            tasks: 1,
+        };
+        assert_eq!(m.tasks_at(s(0)), 1);
+        assert_eq!(m.tasks_at(s(9)), 1);
+        assert_eq!(m.tasks_at(s(10)), 0);
+        assert_eq!(m.tasks_at(s(19)), 0);
+        assert_eq!(m.tasks_at(s(20)), 1);
+        assert_eq!(m.next_change(s(0)), Some(s(10)));
+        assert_eq!(m.next_change(s(10)), Some(s(20)));
+        assert_eq!(m.next_change(s(15)), Some(s(20)));
+        // Exactly half of each period is loaded.
+        assert_eq!(m.loaded_integral(s(0), s(40)), d(20));
+        assert_eq!(m.loaded_integral(s(5), s(25)), d(10));
+    }
+
+    #[test]
+    fn oscillating_degenerate() {
+        let never = LoadModel::Oscillating {
+            period: d(20),
+            duty: SimDuration::ZERO,
+            tasks: 1,
+        };
+        assert!(never.is_dedicated());
+        assert_eq!(never.next_change(s(3)), None);
+        let always = LoadModel::Oscillating {
+            period: d(20),
+            duty: d(20),
+            tasks: 2,
+        };
+        assert_eq!(always.tasks_at(s(7)), 2);
+        assert_eq!(always.next_change(s(7)), None);
+    }
+
+    #[test]
+    fn trace_lookup() {
+        let m = LoadModel::Trace(vec![(s(0), 0), (s(10), 2), (s(30), 0)]);
+        assert_eq!(m.tasks_at(s(5)), 0);
+        assert_eq!(m.tasks_at(s(10)), 2);
+        assert_eq!(m.tasks_at(s(29)), 2);
+        assert_eq!(m.tasks_at(s(31)), 0);
+        assert_eq!(m.next_change(s(0)), Some(s(10)));
+        assert_eq!(m.next_change(s(10)), Some(s(30)));
+        assert_eq!(m.next_change(s(31)), None);
+        assert_eq!(m.loaded_integral(s(0), s(40)), d(20));
+    }
+
+    #[test]
+    fn empty_trace_is_dedicated() {
+        let m = LoadModel::Trace(vec![]);
+        assert_eq!(m.tasks_at(s(1)), 0);
+        assert!(m.is_dedicated());
+        assert_eq!(m.next_change(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn trace_skips_no_op_changes() {
+        // A trace entry that does not change k is not a "change".
+        let m = LoadModel::Trace(vec![(s(0), 1), (s(10), 1), (s(20), 0)]);
+        assert_eq!(m.next_change(s(0)), Some(s(20)));
+    }
+
+    #[test]
+    fn loaded_integral_empty_and_reversed() {
+        let m = LoadModel::Constant(1);
+        assert_eq!(m.loaded_integral(s(5), s(5)), SimDuration::ZERO);
+        assert_eq!(m.loaded_integral(s(9), s(5)), SimDuration::ZERO);
+        assert_eq!(m.loaded_integral(s(5), s(9)), d(4));
+    }
+}

@@ -1,0 +1,131 @@
+//! Network model: a crossbar connecting all nodes (Nectar-style).
+//!
+//! Every ordered pair of actors is connected. A message of `b` bytes sent at
+//! time `t` occupies the sender's link for `b / bandwidth`, then arrives
+//! after an additional fixed `latency`. Messages between the same ordered
+//! pair are delivered FIFO. Send/receive marshalling costs are charged to
+//! the endpoint CPUs so that master↔slave interaction overhead is nonzero —
+//! the paper's frequency-selection rule keys off that cost.
+
+use crate::time::SimDuration;
+use crate::work::CpuWork;
+
+/// Network configuration shared by all links.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Fixed propagation + protocol latency per message.
+    pub latency: SimDuration,
+    /// Link bandwidth in bytes per second of virtual time.
+    pub bandwidth: u64,
+    /// CPU cost charged to the sender per message (marshalling, syscall).
+    pub send_cpu_per_msg: CpuWork,
+    /// CPU cost charged to the sender per byte.
+    pub send_cpu_per_byte_ns: u64,
+    /// CPU cost charged to the receiver per message.
+    pub recv_cpu_per_msg: CpuWork,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // LAN-class defaults calibrated to early-90s workstation networking:
+        // ~100 us latency, 10 MB/s effective bandwidth, ~200 us of CPU per
+        // message at each end, ~10 ns/byte copy cost.
+        NetConfig {
+            latency: SimDuration::from_micros(100),
+            bandwidth: 10_000_000,
+            send_cpu_per_msg: CpuWork::from_micros(200),
+            send_cpu_per_byte_ns: 10,
+            recv_cpu_per_msg: CpuWork::from_micros(200),
+        }
+    }
+}
+
+impl NetConfig {
+    /// An idealized network with zero cost; useful in unit tests where
+    /// network timing is irrelevant.
+    pub fn ideal() -> Self {
+        NetConfig {
+            latency: SimDuration::ZERO,
+            bandwidth: u64::MAX,
+            send_cpu_per_msg: CpuWork::ZERO,
+            send_cpu_per_byte_ns: 0,
+            recv_cpu_per_msg: CpuWork::ZERO,
+        }
+    }
+
+    /// Wire occupancy time for a message of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.bandwidth == u64::MAX || bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        assert!(self.bandwidth > 0, "bandwidth must be positive");
+        // ceil(bytes * 1e6 / bandwidth) microseconds, computed in u128 to
+        // avoid overflow for large transfers.
+        let us = ((bytes as u128) * 1_000_000 + (self.bandwidth as u128 - 1))
+            / self.bandwidth as u128;
+        SimDuration::from_micros(us as u64)
+    }
+
+    /// CPU work charged to the sender for a message of `bytes`.
+    pub fn send_cpu(&self, bytes: u64) -> CpuWork {
+        self.send_cpu_per_msg + CpuWork::from_micros(bytes * self.send_cpu_per_byte_ns / 1_000)
+    }
+}
+
+/// A delivered message with its provenance.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Index of the sending actor.
+    pub src: usize,
+    /// Payload.
+    pub msg: M,
+    /// Size used for timing (bytes on the wire).
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let net = NetConfig {
+            bandwidth: 1_000_000, // 1 MB/s => 1 us per byte
+            ..NetConfig::default()
+        };
+        assert_eq!(net.transfer_time(1).micros(), 1);
+        assert_eq!(net.transfer_time(1500).micros(), 1500);
+        assert_eq!(net.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let net = NetConfig::ideal();
+        assert_eq!(net.transfer_time(1 << 30), SimDuration::ZERO);
+        assert_eq!(net.send_cpu(1 << 20), CpuWork::ZERO);
+        assert_eq!(net.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn send_cpu_includes_per_byte() {
+        let net = NetConfig {
+            send_cpu_per_msg: CpuWork::from_micros(100),
+            send_cpu_per_byte_ns: 1000, // 1 us per byte
+            ..NetConfig::default()
+        };
+        assert_eq!(net.send_cpu(50).micros(), 150);
+    }
+
+    #[test]
+    fn large_transfer_no_overflow() {
+        let net = NetConfig {
+            bandwidth: 10_000_000,
+            ..NetConfig::default()
+        };
+        // 1 TB at 10 MB/s = 1e5 seconds.
+        assert_eq!(
+            net.transfer_time(1_000_000_000_000).as_secs_f64(),
+            100_000.0
+        );
+    }
+}

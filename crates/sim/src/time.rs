@@ -1,0 +1,265 @@
+//! Virtual time types.
+//!
+//! All simulation time is kept in integer **microseconds** so that the
+//! quantum-scheduler arithmetic in [`crate::cpu`] is exact and runs are
+//! bit-for-bit reproducible. Floating point only appears at the edges
+//! (reporting, calibration).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, measured in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never" for deadlines.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Microseconds since simulation start.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later than
+    /// `self` (in release builds too — time arithmetic must never wrap).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier > self"),
+        )
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Build from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Build from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Build from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Build from fractional seconds, rounding to the nearest microsecond.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and >= 0");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest microsecond.
+    #[inline]
+    pub fn mul_f64(self, f: f64) -> SimDuration {
+        assert!(f >= 0.0 && f.is_finite(), "scale must be finite and >= 0");
+        SimDuration((self.0 as f64 * f).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimDuration::from_millis(3).micros(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(1e-6).micros(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(t.micros(), 1_000_000);
+        assert_eq!((t - SimTime::ZERO).micros(), 1_000_000);
+        assert_eq!((t - SimDuration::from_millis(500)).micros(), 500_000);
+        assert_eq!((SimDuration::from_secs(1) * 3).micros(), 3_000_000);
+        assert_eq!((SimDuration::from_secs(1) / 4).micros(), 250_000);
+    }
+
+    #[test]
+    fn since_and_saturating() {
+        let a = SimTime(100);
+        let b = SimTime(250);
+        assert_eq!(b.since(a).micros(), 150);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration(5).saturating_sub(SimDuration(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimDuration(100).mul_f64(1.5).micros(), 150);
+        assert_eq!(SimDuration(3).mul_f64(0.5).micros(), 2); // round half to even? .round() -> 2 (1.5 rounds to 2)
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let _ = SimTime(5) - SimTime(10);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SimTime(1_500_000)), "1.500000");
+        assert_eq!(format!("{:?}", SimDuration(250_000)), "0.250000s");
+    }
+}

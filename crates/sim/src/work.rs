@@ -1,0 +1,143 @@
+//! Units of CPU work.
+//!
+//! The runtime charges computation to the virtual CPU in units of
+//! *reference-node CPU microseconds*: the amount of dedicated CPU time the
+//! work would take on a node with speed factor 1.0. A node with speed 2.0
+//! executes the same [`CpuWork`] in half the dedicated time; competing load
+//! (see [`crate::load`]) then stretches dedicated time into elapsed time.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// An amount of computation, in reference-node CPU microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuWork(pub u64);
+
+impl CpuWork {
+    pub const ZERO: CpuWork = CpuWork(0);
+
+    /// Work equal to `us` microseconds of dedicated CPU on a speed-1.0 node.
+    #[inline]
+    pub const fn from_micros(us: u64) -> CpuWork {
+        CpuWork(us)
+    }
+
+    /// Work equal to `ms` milliseconds of dedicated CPU on a speed-1.0 node.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> CpuWork {
+        CpuWork(ms * 1_000)
+    }
+
+    /// Work equal to `s` seconds of dedicated CPU on a speed-1.0 node.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> CpuWork {
+        assert!(s >= 0.0 && s.is_finite(), "work must be finite and >= 0");
+        CpuWork((s * 1e6).round() as u64)
+    }
+
+    /// Work for `flops` floating point operations on a machine that sustains
+    /// `mflops` MFLOP/s (the paper's Sun 4/330 nodes sustain roughly 1 MFLOP/s
+    /// on these kernels).
+    #[inline]
+    pub fn from_flops(flops: f64, mflops: f64) -> CpuWork {
+        assert!(mflops > 0.0, "mflops must be positive");
+        CpuWork::from_secs_f64(flops / (mflops * 1e6))
+    }
+
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Dedicated duration this work takes on a node with the given speed
+    /// factor (rounded up so a nonzero amount of work always takes time).
+    #[inline]
+    pub fn dedicated_duration(self, speed: f64) -> SimDuration {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        if self.0 == 0 {
+            return SimDuration::ZERO;
+        }
+        let us = (self.0 as f64 / speed).ceil() as u64;
+        SimDuration::from_micros(us.max(1))
+    }
+}
+
+impl Add for CpuWork {
+    type Output = CpuWork;
+    #[inline]
+    fn add(self, rhs: CpuWork) -> CpuWork {
+        CpuWork(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for CpuWork {
+    #[inline]
+    fn add_assign(&mut self, rhs: CpuWork) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for CpuWork {
+    type Output = CpuWork;
+    #[inline]
+    fn mul(self, rhs: u64) -> CpuWork {
+        CpuWork(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for CpuWork {
+    fn sum<I: Iterator<Item = CpuWork>>(iter: I) -> CpuWork {
+        iter.fold(CpuWork::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for CpuWork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}cpu-s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flops_calibration() {
+        // 2*500^3 flops at 1 MFLOP/s = 250 seconds (paper's sequential MM scale).
+        let w = CpuWork::from_flops(2.0 * 500f64.powi(3), 1.0);
+        assert_eq!(w.micros(), 250_000_000);
+    }
+
+    #[test]
+    fn dedicated_duration_scales_with_speed() {
+        let w = CpuWork::from_secs_f64(1.0);
+        assert_eq!(w.dedicated_duration(1.0).micros(), 1_000_000);
+        assert_eq!(w.dedicated_duration(2.0).micros(), 500_000);
+        assert_eq!(w.dedicated_duration(0.5).micros(), 2_000_000);
+    }
+
+    #[test]
+    fn nonzero_work_takes_time() {
+        assert_eq!(CpuWork(1).dedicated_duration(1000.0).micros(), 1);
+        assert_eq!(CpuWork::ZERO.dedicated_duration(1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sums_and_scaling() {
+        let total: CpuWork = (0..4).map(|_| CpuWork::from_micros(10)).sum();
+        assert_eq!(total.micros(), 40);
+        assert_eq!((CpuWork::from_micros(7) * 3).micros(), 21);
+    }
+}

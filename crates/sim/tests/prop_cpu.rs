@@ -1,0 +1,156 @@
+//! Property tests for the quantum-scheduler CPU model and load models.
+
+use dlb_sim::cpu::{advance, NodeConfig};
+use dlb_sim::{CpuWork, LoadModel, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_load() -> impl Strategy<Value = LoadModel> {
+    prop_oneof![
+        Just(LoadModel::Dedicated),
+        (0u32..4).prop_map(LoadModel::Constant),
+        (1u64..30, 1u32..4).prop_flat_map(|(period_s, tasks)| {
+            (0..=period_s).prop_map(move |duty_s| LoadModel::Oscillating {
+                period: SimDuration::from_secs(period_s),
+                duty: SimDuration::from_secs(duty_s),
+                tasks,
+            })
+        }),
+        proptest::collection::vec((0u64..60_000_000, 0u32..4), 0..6).prop_map(|mut v| {
+            v.sort_by_key(|&(t, _)| t);
+            LoadModel::Trace(v.into_iter().map(|(t, k)| (SimTime(t), k)).collect())
+        }),
+    ]
+}
+
+fn node(load: LoadModel, quantum_us: u64) -> NodeConfig {
+    NodeConfig {
+        speed: 1.0,
+        quantum: SimDuration::from_micros(quantum_us),
+        load,
+    }
+}
+
+proptest! {
+    /// Splitting a computation into two back-to-back advances finishes at
+    /// exactly the same instant as one combined advance, with the same
+    /// loaded-CPU accounting.
+    #[test]
+    fn advance_composes(
+        load in arb_load(),
+        quantum_us in 1_000u64..500_000,
+        start in 0u64..10_000_000,
+        total_us in 1u64..5_000_000,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let cfg = node(load, quantum_us);
+        let start = SimTime(start);
+        let split = ((total_us as f64 * split_frac) as u64).min(total_us);
+        let whole = advance(&cfg, start, CpuWork::from_micros(total_us));
+        let a = advance(&cfg, start, CpuWork::from_micros(split));
+        let b = advance(&cfg, a.finish, CpuWork::from_micros(total_us - split));
+        prop_assert_eq!(b.finish, whole.finish);
+        prop_assert_eq!(a.cpu_while_loaded + b.cpu_while_loaded, whole.cpu_while_loaded);
+    }
+
+    /// More work never finishes earlier, and nonzero work takes nonzero time.
+    #[test]
+    fn advance_monotone(
+        load in arb_load(),
+        quantum_us in 1_000u64..500_000,
+        start in 0u64..10_000_000,
+        w1 in 1u64..3_000_000,
+        extra in 0u64..3_000_000,
+    ) {
+        let cfg = node(load, quantum_us);
+        let start = SimTime(start);
+        let a = advance(&cfg, start, CpuWork::from_micros(w1));
+        let b = advance(&cfg, start, CpuWork::from_micros(w1 + extra));
+        prop_assert!(a.finish > start);
+        prop_assert!(b.finish >= a.finish);
+    }
+
+    /// Elapsed time is at least the dedicated time and at most
+    /// (max_tasks + 1) × dedicated + one full scheduling cycle of slack.
+    #[test]
+    fn advance_bounded_by_sharing(
+        k in 0u32..4,
+        quantum_us in 1_000u64..500_000,
+        start in 0u64..10_000_000,
+        work_us in 1u64..5_000_000,
+    ) {
+        let cfg = node(LoadModel::Constant(k), quantum_us);
+        let start = SimTime(start);
+        let a = advance(&cfg, start, CpuWork::from_micros(work_us));
+        let elapsed = (a.finish - start).micros();
+        prop_assert!(elapsed >= work_us);
+        let cycle = (k as u64 + 1) * quantum_us;
+        let upper = work_us.div_ceil(quantum_us).max(1) * cycle + cycle;
+        prop_assert!(elapsed <= upper, "elapsed {} > upper {}", elapsed, upper);
+    }
+
+    /// Loaded-CPU accounting never exceeds the work done nor the loaded time.
+    #[test]
+    fn loaded_cpu_bounded(
+        load in arb_load(),
+        quantum_us in 1_000u64..500_000,
+        start in 0u64..10_000_000,
+        work_us in 1u64..5_000_000,
+    ) {
+        let cfg = node(load.clone(), quantum_us);
+        let start = SimTime(start);
+        let a = advance(&cfg, start, CpuWork::from_micros(work_us));
+        prop_assert!(a.cpu_while_loaded.micros() <= work_us);
+        let loaded = load.loaded_integral(start, a.finish);
+        prop_assert!(a.cpu_while_loaded <= loaded);
+    }
+
+    /// The loaded-time integral is additive over adjacent intervals and
+    /// bounded by the interval length.
+    #[test]
+    fn loaded_integral_additive(
+        load in arb_load(),
+        a in 0u64..50_000_000,
+        d1 in 0u64..20_000_000,
+        d2 in 0u64..20_000_000,
+    ) {
+        let t0 = SimTime(a);
+        let t1 = SimTime(a + d1);
+        let t2 = SimTime(a + d1 + d2);
+        let whole = load.loaded_integral(t0, t2);
+        let parts = load.loaded_integral(t0, t1) + load.loaded_integral(t1, t2);
+        prop_assert_eq!(whole, parts);
+        prop_assert!(whole.micros() <= d1 + d2);
+    }
+
+    /// tasks_at agrees with next_change: k is constant on [t, next_change).
+    #[test]
+    fn next_change_consistent(
+        load in arb_load(),
+        t in 0u64..50_000_000,
+        probe_frac in 0.0f64..1.0,
+    ) {
+        let t = SimTime(t);
+        let k = load.tasks_at(t);
+        if let Some(c) = load.next_change(t) {
+            prop_assert!(c > t);
+            prop_assert_ne!(load.tasks_at(c), k);
+            let span = c.micros() - t.micros();
+            let probe = SimTime(t.micros() + ((span - 1) as f64 * probe_frac) as u64);
+            prop_assert_eq!(load.tasks_at(probe), k);
+        }
+    }
+
+    /// On a dedicated node, elapsed equals dedicated work regardless of
+    /// quantum or start time.
+    #[test]
+    fn dedicated_identity(
+        quantum_us in 1_000u64..500_000,
+        start in 0u64..10_000_000,
+        work_us in 0u64..5_000_000,
+    ) {
+        let cfg = node(LoadModel::Dedicated, quantum_us);
+        let a = advance(&cfg, SimTime(start), CpuWork::from_micros(work_us));
+        prop_assert_eq!(a.finish, SimTime(start + work_us));
+        prop_assert_eq!(a.cpu_while_loaded, SimDuration::ZERO);
+    }
+}

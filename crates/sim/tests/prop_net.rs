@@ -1,0 +1,84 @@
+//! Property tests for the network model and kernel messaging invariants.
+
+use dlb_sim::{ActorId, CpuWork, NetConfig, NodeConfig, SimBuilder, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Per-(src,dst) FIFO holds for arbitrary message sizes, even when
+    /// small messages could physically overtake large ones.
+    #[test]
+    fn fifo_with_mixed_sizes(sizes in proptest::collection::vec(1u64..100_000, 1..20)) {
+        let n = sizes.len() as u64;
+        let mut b = SimBuilder::<u64>::new().net(NetConfig {
+            latency: SimDuration::from_micros(50),
+            bandwidth: 1_000_000,
+            send_cpu_per_msg: CpuWork::ZERO,
+            send_cpu_per_byte_ns: 0,
+            recv_cpu_per_msg: CpuWork::ZERO,
+        });
+        let n0 = b.add_node(NodeConfig::default());
+        let n1 = b.add_node(NodeConfig::default());
+        let dst = ActorId(1);
+        let sizes2 = sizes.clone();
+        b.spawn(n0, "src", move |ctx| {
+            for (i, sz) in sizes2.iter().enumerate() {
+                ctx.send(dst, i as u64, *sz);
+            }
+        });
+        b.spawn(n1, "dst", move |ctx| {
+            for i in 0..n {
+                let env = ctx.recv();
+                assert_eq!(env.msg, i, "message overtook an earlier one");
+            }
+        });
+        b.run();
+    }
+
+    /// Transfer time is monotone in bytes and inversely monotone in
+    /// bandwidth.
+    #[test]
+    fn transfer_time_monotone(
+        bytes in 0u64..10_000_000,
+        extra in 0u64..10_000_000,
+        bw in 1_000u64..1_000_000_000,
+    ) {
+        let slow = NetConfig { bandwidth: bw, ..NetConfig::default() };
+        let fast = NetConfig { bandwidth: bw * 2, ..NetConfig::default() };
+        prop_assert!(slow.transfer_time(bytes + extra) >= slow.transfer_time(bytes));
+        prop_assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
+    }
+
+    /// Messages between many pairs are all delivered exactly once
+    /// (conservation), regardless of topology and sizes.
+    #[test]
+    fn message_conservation(
+        n_actors in 2usize..6,
+        n_msgs in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        let mut b = SimBuilder::<u32>::new();
+        let nodes: Vec<_> = (0..n_actors).map(|_| b.add_node(NodeConfig::default())).collect();
+        // Everyone sends a deterministic pseudo-random set of messages to
+        // the next actor in the ring, then receives what its predecessor
+        // sent.
+        for (i, node) in nodes.into_iter().enumerate() {
+            let next = ActorId((i + 1) % n_actors);
+            b.spawn(node, format!("a{i}"), move |ctx| {
+                let mine = (seed as usize + i) % n_msgs + 1;
+                let preds = (seed as usize + (i + n_actors - 1) % n_actors) % n_msgs + 1;
+                for k in 0..mine {
+                    ctx.send(next, k as u32, 64);
+                }
+                for _ in 0..preds {
+                    ctx.recv();
+                }
+            });
+        }
+        let report = b.run();
+        let sent: u64 = report.actors.iter().map(|a| a.msgs_sent).sum();
+        let recv: u64 = report.actors.iter().map(|a| a.msgs_received).sum();
+        prop_assert_eq!(sent, recv);
+    }
+}

@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the DLB workspace.
+pub use dlb_apps as apps;
+pub use dlb_baselines as baselines;
+pub use dlb_compiler as compiler;
+pub use dlb_core as core;
+pub use dlb_sim as sim;

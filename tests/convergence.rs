@@ -1,0 +1,117 @@
+//! Data-dependent WHILE termination (§4.1): the master reduces a
+//! convergence metric at each invocation boundary and decides whether the
+//! distributed loop runs again — here with a damped Jacobi solver.
+
+use dlb::apps::{Calibration, Jacobi};
+use dlb::core::driver::{run, AppSpec, RunConfig};
+use dlb::core::kernels::IndependentKernel;
+use dlb::sim::{LoadModel, NodeConfig};
+use std::sync::Arc;
+
+fn plan_for(j: &Jacobi) -> dlb::compiler::ParallelPlan {
+    // Jacobi is MM-shaped for the compiler: an independent distributed
+    // loop inside a data-dependent WHILE. Build the IR directly.
+    use dlb::compiler::ir::build::*;
+    use dlb::compiler::{Affine, Program};
+    let n = Affine::var("n");
+    let i = Affine::var("i");
+    let k = Affine::var("k");
+    let program = Program {
+        name: "jacobi".into(),
+        params: vec![param("n", j.n_units() as i64)],
+        arrays: vec![
+            array("a", vec![n.clone(), n.clone()]),
+            array("x", vec![n.clone()]),
+            array("xn", vec![n.clone()]),
+        ],
+        body: vec![while_loop(
+            "t",
+            40,
+            1_000_000i64,
+            vec![for_loop(
+                "i",
+                0i64,
+                n.clone(),
+                vec![for_loop(
+                    "k",
+                    0i64,
+                    n.clone(),
+                    vec![stmt(
+                        "xn[i] += a[i][k] * x[k]",
+                        vec![aref("xn", vec![i.clone()])],
+                        vec![
+                            aref("a", vec![i.clone(), k.clone()]),
+                            aref("x", vec![k.clone()]),
+                        ],
+                        2.0,
+                    )],
+                )],
+            )],
+        )],
+        distributed_var: "i".into(),
+        distributed_array: "xn".into(),
+        distributed_dim: 0,
+    };
+    let plan = dlb::compiler::compile(&program).unwrap();
+    assert_eq!(
+        plan.outer,
+        dlb::compiler::OuterControl::DataDependent { est: 40 },
+        "compiler must flag the WHILE for master control"
+    );
+    plan
+}
+
+#[test]
+fn jacobi_converges_early_and_matches_sequential() {
+    let j = Arc::new(Jacobi::new(48, 1e-6, 500, 3, &Calibration::new(0.01)));
+    let plan = plan_for(&j);
+    let (x_seq, sweeps_seq) = j.sequential();
+    assert!(sweeps_seq < 500, "must converge before the bound");
+
+    let report = run(
+        AppSpec::Independent(j.clone()),
+        &plan,
+        RunConfig::homogeneous(4),
+    );
+    let x_par = Jacobi::result_x(&report.result);
+    assert_eq!(x_par, x_seq, "solution must match sequential bitwise");
+    // The master must have stopped at convergence, not the upper bound:
+    // per-invocation statuses are >= slaves, so a full 500-sweep run would
+    // produce far more statuses than ~sweeps_seq invocations do.
+    assert!(
+        report.stats.statuses < 500,
+        "looks like the loop ran to the bound: {} statuses",
+        report.stats.statuses
+    );
+    assert!(j.residual_of(&x_par) < 1e-6);
+}
+
+#[test]
+fn jacobi_converges_under_load_with_movement() {
+    let j = Arc::new(Jacobi::new(64, 1e-5, 400, 5, &Calibration::new(0.001)));
+    let plan = plan_for(&j);
+    let mut cfg = RunConfig::homogeneous(4);
+    cfg.slave_nodes[1] = NodeConfig::with_load(LoadModel::Constant(2));
+    let report = run(AppSpec::Independent(j.clone()), &plan, cfg);
+    let (x_seq, _) = j.sequential();
+    assert_eq!(Jacobi::result_x(&report.result), x_seq);
+    assert!(
+        report.stats.units_moved > 0,
+        "expected rebalancing under load: {:?}",
+        report.stats
+    );
+}
+
+#[test]
+fn fixed_count_kernels_unaffected_by_convergence_api() {
+    use dlb::apps::MatMul;
+    // MatMul keeps the default `converged` (never) and must run all reps.
+    let mm = Arc::new(MatMul::new(24, 3, 1, &Calibration::new(0.01)));
+    let plan = dlb::compiler::compile(&mm.program()).unwrap();
+    let r = run(
+        AppSpec::Independent(mm.clone()),
+        &plan,
+        RunConfig::homogeneous(3),
+    );
+    assert_eq!(MatMul::result_c(&r.result), mm.sequential());
+}

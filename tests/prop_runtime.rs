@@ -1,0 +1,138 @@
+//! Property tests over the whole runtime: random problem sizes, cluster
+//! shapes, load models, and balancer policies — parallel results must
+//! always be bitwise identical to the sequential references, and the
+//! balancer's bookkeeping must stay conserved.
+
+use dlb::apps::{Calibration, Lu, MatMul, Sor};
+use dlb::core::driver::{run, AppSpec, RunConfig};
+use dlb::core::{BalancerConfig, InteractionMode};
+use dlb::sim::{LoadModel, NodeConfig, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_load() -> impl Strategy<Value = LoadModel> {
+    prop_oneof![
+        3 => Just(LoadModel::Dedicated),
+        2 => (1u32..3).prop_map(LoadModel::Constant),
+        2 => (2u64..10, 1u32..3).prop_flat_map(|(period, tasks)| {
+            (1..period).prop_map(move |duty| LoadModel::Oscillating {
+                period: SimDuration::from_secs(period),
+                duty: SimDuration::from_secs(duty),
+                tasks,
+            })
+        }),
+        1 => proptest::collection::vec((0u64..20_000_000, 0u32..3), 1..4).prop_map(|mut v| {
+            v.sort_by_key(|&(t, _)| t);
+            LoadModel::Trace(v.into_iter().map(|(t, k)| (SimTime(t), k)).collect())
+        }),
+    ]
+}
+
+fn arb_cluster() -> impl Strategy<Value = Vec<NodeConfig>> {
+    proptest::collection::vec(
+        (arb_load(), 0.5f64..2.0).prop_map(|(load, speed)| NodeConfig {
+            speed,
+            quantum: SimDuration::from_millis(100),
+            load,
+        }),
+        2..5,
+    )
+}
+
+fn arb_balancer() -> impl Strategy<Value = BalancerConfig> {
+    (any::<bool>(), any::<bool>(), 0.02f64..0.3).prop_map(|(sync, prof, threshold)| {
+        BalancerConfig {
+            enabled: true,
+            mode: if sync {
+                InteractionMode::Synchronous
+            } else {
+                InteractionMode::Pipelined
+            },
+            threshold,
+            profitability: prof,
+            ..Default::default()
+        }
+    })
+}
+
+fn cfg_for(cluster: Vec<NodeConfig>, bal: BalancerConfig) -> RunConfig {
+    let mut cfg = RunConfig::homogeneous(cluster.len());
+    cfg.slave_nodes = cluster;
+    cfg.balancer = bal;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full cluster simulation
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn mm_always_exact(
+        n in 8usize..40,
+        reps in 1u64..4,
+        seed in 0u64..1000,
+        cluster in arb_cluster(),
+        bal in arb_balancer(),
+    ) {
+        prop_assume!(n >= cluster.len());
+        let mm = Arc::new(MatMul::new(n, reps, seed, &Calibration::new(0.002)));
+        let plan = dlb::compiler::compile(&mm.program()).unwrap();
+        let report = run(AppSpec::Independent(mm.clone()), &plan, cfg_for(cluster, bal));
+        prop_assert_eq!(MatMul::result_c(&report.result), mm.sequential());
+    }
+
+    #[test]
+    fn sor_always_exact(
+        n in 6usize..30,
+        sweeps in 1u64..6,
+        seed in 0u64..1000,
+        cluster in arb_cluster(),
+        bal in arb_balancer(),
+    ) {
+        prop_assume!(n - 2 >= cluster.len());
+        let sor = Arc::new(Sor::new(n, sweeps, seed, &Calibration::new(0.002)));
+        let plan = dlb::compiler::compile(&sor.program()).unwrap();
+        let report = run(AppSpec::Pipelined(sor.clone()), &plan, cfg_for(cluster, bal));
+        prop_assert_eq!(sor.result_grid(&report.result), sor.sequential());
+    }
+
+    #[test]
+    fn lu_always_exact(
+        n in 8usize..36,
+        seed in 0u64..1000,
+        cluster in arb_cluster(),
+        bal in arb_balancer(),
+    ) {
+        prop_assume!(n >= cluster.len());
+        let lu = Arc::new(Lu::new(n, seed, &Calibration::new(0.002)));
+        let plan = dlb::compiler::compile(&lu.program()).unwrap();
+        let report = run(AppSpec::Shrinking(lu.clone()), &plan, cfg_for(cluster, bal));
+        let cols = Lu::result_cols(&report.result);
+        prop_assert_eq!(&cols, &lu.sequential());
+        prop_assert!(lu.residual(&cols) < 1e-8);
+    }
+
+    /// Messages are conserved: every sent byte is received, and the
+    /// efficiency metric stays in (0, 1] on dedicated clusters.
+    #[test]
+    fn accounting_conserved(
+        n in 12usize..32,
+        reps in 1u64..3,
+        slaves in 2usize..5,
+    ) {
+        let mm = Arc::new(MatMul::new(n, reps, 1, &Calibration::new(0.01)));
+        let plan = dlb::compiler::compile(&mm.program()).unwrap();
+        let report = run(
+            AppSpec::Independent(mm.clone()),
+            &plan,
+            RunConfig::homogeneous(slaves),
+        );
+        let sent: u64 = report.sim.actors.iter().map(|a| a.msgs_sent).sum();
+        let received: u64 = report.sim.actors.iter().map(|a| a.msgs_received).sum();
+        prop_assert_eq!(sent, received);
+        let eff = report.efficiency(mm.sequential_time());
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-9, "efficiency {}", eff);
+    }
+}
