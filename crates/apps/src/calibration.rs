@@ -6,9 +6,7 @@
 //! CPU through a [`Calibration`] so experiments can rescale the machine
 //! without touching the kernels.
 
-use dlb_sim::CpuWork;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dlb_sim::{CpuWork, Pcg32};
 
 /// Flops → virtual CPU conversion.
 #[derive(Clone, Copy, Debug)]
@@ -38,16 +36,16 @@ impl Calibration {
 
 /// Deterministic `rows × cols` matrix with entries in `[-1, 1)`.
 pub fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::new(seed);
     (0..rows)
-        .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .map(|_| (0..cols).map(|_| rng.next_f64_signed()).collect())
         .collect()
 }
 
 /// Deterministic vector with entries in `[-1, 1)`.
 pub fn seeded_vector(len: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    let mut rng = Pcg32::new(seed);
+    (0..len).map(|_| rng.next_f64_signed()).collect()
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use crate::calibration::{seeded_matrix, seeded_vector, Calibration};
 use dlb_core::kernels::IndependentKernel;
 use dlb_core::msg::UnitData;
 use dlb_sim::CpuWork;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// The Jacobi application.
 pub struct Jacobi {
@@ -126,7 +126,7 @@ impl IndependentKernel for Jacobi {
         // Read the previous iterate and drop the guard before writing —
         // the RwLock is not reentrant.
         let (dot, prev_xi) = {
-            let guard = self.x.read();
+            let guard = self.x.read().unwrap();
             let prev = &guard[(invocation % 2) as usize];
             let mut dot = 0.0;
             for (av, xv) in row.iter().zip(prev.iter()) {
@@ -140,7 +140,7 @@ impl IndependentKernel for Jacobi {
         unit[1][2] = r.abs();
         // Publish for the next sweep. Writes go to the other parity slot,
         // so readers of the current sweep's iterate are never invalidated.
-        self.x.write()[((invocation + 1) % 2) as usize][idx] = next;
+        self.x.write().unwrap()[((invocation + 1) % 2) as usize][idx] = next;
     }
 
     fn unit_cost(&self) -> CpuWork {

@@ -15,6 +15,8 @@
 //! and [`quadrature::Quadrature`] (irregular per-iteration costs, §2.1).
 
 #![forbid(unsafe_code)]
+// The kernels mirror the paper's explicit index-based loop nests.
+#![allow(clippy::needless_range_loop)]
 
 pub mod calibration;
 pub mod jacobi;

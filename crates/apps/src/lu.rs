@@ -40,11 +40,7 @@ impl Lu {
         for (j, col) in cols.iter_mut().enumerate() {
             col[j] += n as f64; // diagonal dominance
         }
-        Lu {
-            n,
-            cols,
-            cal: *cal,
-        }
+        Lu { n, cols, cal: *cal }
     }
 
     pub fn n(&self) -> usize {

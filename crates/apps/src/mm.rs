@@ -6,7 +6,7 @@
 //! `A×B` into `C`), which is how the paper's Fig. 9 keeps MM running across
 //! several load oscillations.
 
-use crate::calibration::{Calibration, seeded_matrix};
+use crate::calibration::{seeded_matrix, Calibration};
 use dlb_core::kernels::IndependentKernel;
 use dlb_core::msg::UnitData;
 use dlb_sim::CpuWork;

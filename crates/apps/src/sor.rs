@@ -127,8 +127,8 @@ impl PipelinedKernel for Sor {
         for i in rows {
             // col[i-1] is already updated this sweep (same column, earlier
             // row); col[i+1] still holds the previous sweep's value.
-            col[i] = C_NEIGHBOR * (col[i - 1] + left[i] + col[i + 1] + right_old[i])
-                + C_SELF * col[i];
+            col[i] =
+                C_NEIGHBOR * (col[i - 1] + left[i] + col[i + 1] + right_old[i]) + C_SELF * col[i];
         }
     }
 

@@ -14,12 +14,9 @@
 
 use dlb_core::kernels::IndependentKernel;
 use dlb_core::msg::UnitData;
-use dlb_sim::{
-    ActorId, NetConfig, NodeConfig, SimBuilder, SimDuration, SimReport, SimTime,
-};
-use parking_lot::Mutex;
+use dlb_sim::{ActorId, NetConfig, NodeConfig, SimBuilder, SimDuration, SimReport, SimTime};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Messages of the diffusion runtime.
 #[derive(Clone, Debug)]
@@ -127,7 +124,7 @@ pub fn run_diffusion(
                     other => panic!("coordinator gather: unexpected {other:?}"),
                 }
             }
-            *outcome.lock() = results;
+            *outcome.lock().unwrap() = results;
         });
     }
 
@@ -137,8 +134,9 @@ pub fn run_diffusion(
         let slave_ids = slave_ids.clone();
         let range = ranges[i];
         sim.spawn(node, format!("diff-slave{i}"), move |ctx| {
-            let mut queue: VecDeque<(usize, UnitData)> =
-                (range.0..range.1).map(|id| (id, kernel.init_unit(id))).collect();
+            let mut queue: VecDeque<(usize, UnitData)> = (range.0..range.1)
+                .map(|id| (id, kernel.init_unit(id)))
+                .collect();
             let mut finished: Vec<(usize, UnitData)> = Vec::new();
             let neighbors: Vec<ActorId> = [i.checked_sub(1), Some(i + 1)]
                 .iter()
@@ -178,10 +176,22 @@ pub fn run_diffusion(
                 // Periodic exchange + progress report.
                 if ctx.now() >= next_exchange {
                     for &nb in &neighbors {
-                        ctx.send(nb, DiffMsg::LoadInfo { qlen: queue.len() as u64 }, 32);
+                        ctx.send(
+                            nb,
+                            DiffMsg::LoadInfo {
+                                qlen: queue.len() as u64,
+                            },
+                            32,
+                        );
                     }
                     if progress_since > 0 {
-                        ctx.send(coordinator, DiffMsg::Progress { delta: progress_since }, 32);
+                        ctx.send(
+                            coordinator,
+                            DiffMsg::Progress {
+                                delta: progress_since,
+                            },
+                            32,
+                        );
                         progress_since = 0;
                     }
                     next_exchange = ctx.now() + cfg.exchange_period;
@@ -194,7 +204,13 @@ pub fn run_diffusion(
                     progress_since += 1;
                 } else {
                     if progress_since > 0 {
-                        ctx.send(coordinator, DiffMsg::Progress { delta: progress_since }, 32);
+                        ctx.send(
+                            coordinator,
+                            DiffMsg::Progress {
+                                delta: progress_since,
+                            },
+                            32,
+                        );
                         progress_since = 0;
                     }
                     // Sleep until the next exchange or the next message,
@@ -206,7 +222,7 @@ pub fn run_diffusion(
     }
 
     let sim_report = sim.run();
-    let mut gathered = std::mem::take(&mut *outcome.lock());
+    let mut gathered = std::mem::take(&mut *outcome.lock().unwrap());
     gathered.sort_by_key(|(id, _)| *id);
     assert_eq!(gathered.len(), n_units, "diffusion lost units");
     DiffReport {

@@ -18,9 +18,8 @@ use dlb_core::msg::UnitData;
 use dlb_sim::{
     ActorId, CpuWork, NetConfig, NodeConfig, SimBuilder, SimDuration, SimReport, SimTime,
 };
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Messages of the self-scheduling runtime.
 #[derive(Clone, Debug)]
@@ -83,8 +82,8 @@ pub fn run_self_scheduled(
     let m_node = sim.add_node(master_node);
     let s_nodes: Vec<_> = slave_nodes.into_iter().map(|nc| sim.add_node(nc)).collect();
 
-    let outcome: Arc<Mutex<(Vec<(usize, UnitData)>, u64)>> =
-        Arc::new(Mutex::new((Vec::new(), 0)));
+    #[allow(clippy::type_complexity)]
+    let outcome: Arc<Mutex<(Vec<(usize, UnitData)>, u64)>> = Arc::new(Mutex::new((Vec::new(), 0)));
     let master_id = ActorId(0);
 
     {
@@ -129,7 +128,7 @@ pub fn run_self_scheduled(
                     other => panic!("queue master drain: unexpected {other:?}"),
                 }
             }
-            let mut o = outcome.lock();
+            let mut o = outcome.lock().unwrap();
             o.0 = done;
             o.1 = state.chunks_issued();
         });
@@ -157,7 +156,7 @@ pub fn run_self_scheduled(
     }
 
     let sim_report = sim.run();
-    let mut o = outcome.lock();
+    let mut o = outcome.lock().unwrap();
     let mut gathered = std::mem::take(&mut o.0);
     gathered.sort_by_key(|(id, _)| *id);
     assert_eq!(gathered.len(), n_units, "self-scheduling lost units");

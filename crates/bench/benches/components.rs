@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of the runtime's pure components: the
+//! Plain-harness micro-benchmarks of the runtime's pure components: the
 //! quantum-scheduler CPU model, rate filtering, allocation and shift
 //! planning, chunk policies, and full balancer decisions.
+//!
+//! No external benchmarking dependency: each case runs a fixed iteration
+//! count under `std::time::Instant` and prints ns/iter. Run with
+//! `cargo bench -p dlb-bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dlb_baselines::ChunkPolicy;
 use dlb_core::alloc::{plan_adjacent_shifts, plan_direct_moves, proportional_allocation};
 use dlb_core::msg::Status;
@@ -10,9 +13,20 @@ use dlb_core::{Balancer, BalancerConfig, RateFilter};
 use dlb_sim::cpu::{advance, NodeConfig};
 use dlb_sim::{CpuWork, LoadModel, SimDuration, SimTime};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_cpu_advance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu_advance");
+fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    // One warm-up pass, then the timed loop.
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per:>12.1} ns/iter   ({iters} iters)");
+}
+
+fn bench_cpu_advance() {
     for (name, load) in [
         ("dedicated", LoadModel::Dedicated),
         ("constant1", LoadModel::Constant(1)),
@@ -30,66 +44,61 @@ fn bench_cpu_advance(c: &mut Criterion) {
             quantum: SimDuration::from_millis(100),
             load,
         };
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                advance(
-                    black_box(&cfg),
-                    black_box(SimTime(123_456)),
-                    black_box(CpuWork::from_secs_f64(10.0)),
-                )
-            })
+        bench(&format!("cpu_advance/{name}"), 100_000, || {
+            advance(
+                black_box(&cfg),
+                black_box(SimTime(123_456)),
+                black_box(CpuWork::from_secs_f64(10.0)),
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_rate_filter(c: &mut Criterion) {
-    c.bench_function("rate_filter_update", |b| {
-        let mut f = RateFilter::default();
-        let mut x = 100.0;
-        b.iter(|| {
-            x = if x > 100.0 { 80.0 } else { 120.0 };
-            black_box(f.update(x))
-        })
+fn bench_rate_filter() {
+    let mut f = RateFilter::default();
+    let mut x = 100.0;
+    bench("rate_filter_update", 1_000_000, || {
+        x = if x > 100.0 { 80.0 } else { 120.0 };
+        f.update(x)
     });
 }
 
-fn bench_allocation(c: &mut Criterion) {
+fn bench_allocation() {
     let rates: Vec<f64> = (0..16).map(|i| 1.0 + (i as f64) * 0.1).collect();
-    c.bench_function("proportional_allocation_16", |b| {
-        b.iter(|| proportional_allocation(black_box(2000), black_box(&rates), 1))
+    bench("proportional_allocation_16", 100_000, || {
+        proportional_allocation(black_box(2000), black_box(&rates), 1)
     });
     let current: Vec<u64> = vec![125; 16];
     let target = proportional_allocation(2000, &rates, 1);
-    c.bench_function("plan_direct_moves_16", |b| {
-        b.iter(|| plan_direct_moves(black_box(&current), black_box(&target)))
+    bench("plan_direct_moves_16", 100_000, || {
+        plan_direct_moves(black_box(&current), black_box(&target))
     });
-    c.bench_function("plan_adjacent_shifts_16", |b| {
-        b.iter(|| plan_adjacent_shifts(black_box(&current), black_box(&target)))
+    bench("plan_adjacent_shifts_16", 100_000, || {
+        plan_adjacent_shifts(black_box(&current), black_box(&target))
     });
 }
 
-fn bench_balancer_decision(c: &mut Criterion) {
-    c.bench_function("balancer_on_status", |b| {
-        b.iter_batched(
-            || {
-                let mut bal = Balancer::new(
-                    BalancerConfig::default(),
-                    vec![125; 8],
-                    SimDuration::from_millis(100),
-                    SimDuration::from_millis(2),
-                    10,
-                    1.0,
-                );
-                // Warm all filters.
-                for i in 0..8 {
-                    bal.on_status(&status(i, 100, 125));
-                }
-                bal
-            },
-            |mut bal| bal.on_status(black_box(&status(0, 60, 125))),
-            BatchSize::SmallInput,
-        )
+fn warm_balancer() -> Balancer {
+    let mut bal = Balancer::new(
+        BalancerConfig::default(),
+        vec![125; 8],
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(2),
+        10,
+        1.0,
+    );
+    // Warm all filters.
+    for i in 0..8 {
+        bal.on_status(&status(i, 100, 125));
+    }
+    bal
+}
+
+fn bench_balancer_decision() {
+    // Setup excluded from timing by rebuilding per batch of decisions.
+    bench("balancer_on_status", 2_000, || {
+        let mut bal = warm_balancer();
+        bal.on_status(black_box(&status(0, 60, 125)))
     });
 }
 
@@ -97,6 +106,7 @@ fn status(slave: usize, done: u64, active: u64) -> Status {
     Status {
         slave,
         invocation: 0,
+        hook_seq: 0,
         units_done_delta: done,
         elapsed: SimDuration::from_secs(1),
         active_units: active,
@@ -108,34 +118,32 @@ fn status(slave: usize, done: u64, active: u64) -> Status {
     }
 }
 
-fn bench_chunking(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chunk_policy_drain_2000");
+fn bench_chunking() {
     for policy in [
         ChunkPolicy::Fixed(8),
         ChunkPolicy::Gss,
         ChunkPolicy::Factoring,
         ChunkPolicy::trapezoid_default(2000, 8),
     ] {
-        g.bench_function(format!("{policy:?}"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("chunk_policy_drain_2000/{policy:?}"),
+            10_000,
+            || {
                 let mut st = policy.start(2000, 8);
                 let mut total = 0;
                 while let Some(sz) = st.next_chunk() {
                     total += sz;
                 }
-                black_box(total)
-            })
-        });
+                total
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cpu_advance,
-    bench_rate_filter,
-    bench_allocation,
-    bench_balancer_decision,
-    bench_chunking
-);
-criterion_main!(benches);
+fn main() {
+    bench_cpu_advance();
+    bench_rate_filter();
+    bench_allocation();
+    bench_balancer_decision();
+    bench_chunking();
+}

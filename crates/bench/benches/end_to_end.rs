@@ -1,14 +1,27 @@
-//! Criterion end-to-end benchmarks: complete simulated runs of each engine
-//! (small problem sizes so criterion can iterate). These measure the *host*
-//! cost of a full deterministic simulation — the kernel handoffs, message
-//! routing, and real arithmetic — not the virtual time.
+//! Plain-harness end-to-end benchmarks: complete simulated runs of each
+//! engine (small problem sizes so iterations stay cheap). These measure the
+//! *host* cost of a full deterministic simulation — the kernel handoffs,
+//! message routing, and real arithmetic — not the virtual time.
+//!
+//! Run with `cargo bench -p dlb-bench --bench end_to_end`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dlb_apps::{Calibration, Lu, MatMul, Sor};
 use dlb_baselines::{run_self_scheduled, ChunkPolicy};
 use dlb_core::driver::{run, AppSpec, RunConfig};
 use dlb_sim::{LoadModel, NetConfig, NodeConfig};
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
+
+fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<28} {per:>10.2} ms/iter   ({iters} iters)");
+}
 
 fn loaded_cfg(p: usize) -> RunConfig {
     let mut cfg = RunConfig::homogeneous(p);
@@ -16,50 +29,39 @@ fn loaded_cfg(p: usize) -> RunConfig {
     cfg
 }
 
-fn bench_runs(c: &mut Criterion) {
+fn main() {
     let cal = Calibration::new(0.05);
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
 
     let mm = Arc::new(MatMul::new(64, 1, 1, &cal));
     let mm_plan = dlb_compiler::compile(&mm.program()).unwrap();
-    g.bench_function("mm64_p4_loaded", |b| {
-        b.iter(|| run(AppSpec::Independent(mm.clone()), &mm_plan, loaded_cfg(4)))
+    bench("mm64_p4_loaded", 10, || {
+        run(AppSpec::Independent(mm.clone()), &mm_plan, loaded_cfg(4))
     });
 
     let sor = Arc::new(Sor::new(66, 4, 1, &cal));
     let sor_plan = dlb_compiler::compile(&sor.program()).unwrap();
-    g.bench_function("sor64_p4_loaded", |b| {
-        b.iter(|| run(AppSpec::Pipelined(sor.clone()), &sor_plan, loaded_cfg(4)))
+    bench("sor64_p4_loaded", 10, || {
+        run(AppSpec::Pipelined(sor.clone()), &sor_plan, loaded_cfg(4))
     });
 
     let lu = Arc::new(Lu::new(64, 1, &cal));
     let lu_plan = dlb_compiler::compile(&lu.program()).unwrap();
-    g.bench_function("lu64_p4_loaded", |b| {
-        b.iter(|| run(AppSpec::Shrinking(lu.clone()), &lu_plan, loaded_cfg(4)))
+    bench("lu64_p4_loaded", 10, || {
+        run(AppSpec::Shrinking(lu.clone()), &lu_plan, loaded_cfg(4))
     });
 
-    g.bench_function("mm64_p4_self_sched_gss", |b| {
-        b.iter(|| {
-            run_self_scheduled(
-                mm.clone(),
-                ChunkPolicy::Gss,
-                loaded_cfg(4).slave_nodes,
-                NodeConfig::default(),
-                NetConfig::default(),
-            )
-        })
+    bench("mm64_p4_self_sched_gss", 10, || {
+        run_self_scheduled(
+            mm.clone(),
+            ChunkPolicy::Gss,
+            loaded_cfg(4).slave_nodes,
+            NodeConfig::default(),
+            NetConfig::default(),
+        )
     });
 
-    g.finish();
-}
-
-fn bench_compile(c: &mut Criterion) {
-    c.bench_function("compile_sor_plan", |b| {
-        let p = dlb_compiler::programs::sor(2000, 15);
-        b.iter(|| dlb_compiler::compile(&p).unwrap())
+    let p = dlb_compiler::programs::sor(2000, 15);
+    bench("compile_sor_plan", 100, || {
+        dlb_compiler::compile(&p).unwrap()
     });
 }
-
-criterion_group!(benches, bench_runs, bench_compile);
-criterion_main!(benches);

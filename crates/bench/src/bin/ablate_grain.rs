@@ -18,13 +18,23 @@ fn main() {
     for block in [2u64, 10, 50, 100, 250, 999, 0] {
         let mut plan = base_plan.clone();
         plan.grain = if block == 0 {
-            GrainPolicy::AutoBlock { quantum_factor: 1.5 } // the automatic rule
+            GrainPolicy::AutoBlock {
+                quantum_factor: 1.5,
+            } // the automatic rule
         } else {
             GrainPolicy::FixedBlock { iterations: block }
         };
         let cfg = one_loaded(8);
         let r = run(AppSpec::Pipelined(sor.clone()), &plan, cfg);
-        let label = if block == 0 { "auto(100)".to_string() } else { block.to_string() };
-        println!("{label}\t{:.1}\t{}", r.compute_time.as_secs_f64(), r.stats.units_moved);
+        let label = if block == 0 {
+            "auto(100)".to_string()
+        } else {
+            block.to_string()
+        };
+        println!(
+            "{label}\t{:.1}\t{}",
+            r.compute_time.as_secs_f64(),
+            r.stats.units_moved
+        );
     }
 }

@@ -11,7 +11,9 @@ fn main() {
     let cal = Calibration::default();
     let mm = Arc::new(MatMul::new(500, 2, 1, &cal));
     let plan = dlb_compiler::compile(&mm.program()).unwrap();
-    println!("# Ablation — threshold & profitability under oscillating load (500x500 MM x2, 4 slaves)");
+    println!(
+        "# Ablation — threshold & profitability under oscillating load (500x500 MM x2, 4 slaves)"
+    );
     println!("threshold\tprofitability\ttime_s\tunits_moved\tmoves_cancelled");
     for threshold in [0.0f64, 0.05, 0.10, 0.30] {
         for profitability in [true, false] {

@@ -18,7 +18,10 @@ fn main() {
     let mm = Arc::new(MatMul::new(500, 1, 1, &cal));
     let plan = dlb_compiler::compile(&mm.program()).unwrap();
     let seq = mm.sequential_time();
-    println!("# Balancer comparison — 500x500 MM, 8 slaves (times in s; seq {:.1} s)", seq.as_secs_f64());
+    println!(
+        "# Balancer comparison — 500x500 MM, 8 slaves (times in s; seq {:.1} s)",
+        seq.as_secs_f64()
+    );
     println!("environment\tstatic\tdlb\tss_gss\tss_factoring\tss_fixed4\tdiffusion");
     let environments: [(&str, RunConfig); 3] = [
         ("dedicated", cluster(8, &[])),
@@ -64,6 +67,8 @@ fn main() {
         .elapsed
         .as_secs_f64();
 
-        println!("{name}\t{t_static:.1}\t{t_dlb:.1}\t{t_gss:.1}\t{t_fact:.1}\t{t_fix:.1}\t{t_diff:.1}");
+        println!(
+            "{name}\t{t_static:.1}\t{t_dlb:.1}\t{t_gss:.1}\t{t_fact:.1}\t{t_fix:.1}\t{t_diff:.1}"
+        );
     }
 }

@@ -5,7 +5,11 @@
 use dlb_compiler::{codegen, compile, programs};
 
 fn main() {
-    for program in [programs::sor(2000, 15), programs::matmul(500, 1), programs::lu(500)] {
+    for program in [
+        programs::sor(2000, 15),
+        programs::matmul(500, 1),
+        programs::lu(500),
+    ] {
         let plan = compile(&program).expect("compiles");
         println!("=== generated SPMD code for `{}` ===", program.name);
         println!("{}", codegen::emit(&program, &plan));

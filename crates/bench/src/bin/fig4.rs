@@ -7,7 +7,9 @@ use dlb_sim::SimDuration;
 fn main() {
     println!("# Fig 4 — periods affecting load-balancing frequency selection");
     println!("# quantum 100 ms (bound x5, floor 500 ms); interaction cost 8 ms (x20); movement cost swept (x0.1)");
-    println!("move_cost_s\tmovement_bound_s\tinteraction_bound_s\tquantum_bound_s\ttarget_period_s");
+    println!(
+        "move_cost_s\tmovement_bound_s\tinteraction_bound_s\tquantum_bound_s\ttarget_period_s"
+    );
     for exp in -3..=2 {
         let move_cost = 10f64.powi(exp);
         let mut fc = FrequencyController::new(SimDuration::from_millis(100));

@@ -13,7 +13,9 @@ fn main() {
     let seq = mm.sequential_time();
     println!("# Fig 5 — 500x500 MM, dedicated homogeneous environment");
     println!("# sequential time: {:.1} s", seq.as_secs_f64());
-    println!("procs\ttime_par_s\ttime_dlb_s\tspeedup_par\tspeedup_dlb\teff_par\teff_dlb\tmoved_dlb");
+    println!(
+        "procs\ttime_par_s\ttime_dlb_s\tspeedup_par\tspeedup_dlb\teff_par\teff_dlb\tmoved_dlb"
+    );
     for p in 1..=8usize {
         let mut results = Vec::new();
         for dlb in [false, true] {

@@ -12,7 +12,9 @@ fn main() {
     let seq = sor.sequential_time();
     println!("# Fig 6 — 2000x2000 SOR (15 sweeps), dedicated homogeneous environment");
     println!("# sequential time: {:.1} s", seq.as_secs_f64());
-    println!("procs\ttime_par_s\ttime_dlb_s\tspeedup_par\tspeedup_dlb\teff_par\teff_dlb\tmoved_dlb");
+    println!(
+        "procs\ttime_par_s\ttime_dlb_s\tspeedup_par\tspeedup_dlb\teff_par\teff_dlb\tmoved_dlb"
+    );
     for p in 1..=8usize {
         let mut results = Vec::new();
         for dlb in [false, true] {

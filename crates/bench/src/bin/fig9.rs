@@ -39,5 +39,8 @@ fn main() {
             s.assigned as f64 / equal_share,
         );
     }
-    eprintln!("total moved: {} units over {} moves", r.stats.units_moved, r.stats.moves_issued);
+    eprintln!(
+        "total moved: {} units over {} moves",
+        r.stats.units_moved, r.stats.moves_issued
+    );
 }

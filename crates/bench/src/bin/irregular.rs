@@ -47,6 +47,10 @@ fn main() {
             NetConfig::default(),
         );
         assert!((Quadrature::result_total(&r.result) - q.sequential()).abs() < 1e-12);
-        println!("{name}\t{:.1}\t{}", r.elapsed.as_secs_f64(), r.chunks_issued);
+        println!(
+            "{name}\t{:.1}\t{}",
+            r.elapsed.as_secs_f64(),
+            r.chunks_issued
+        );
     }
 }

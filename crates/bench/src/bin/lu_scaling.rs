@@ -13,7 +13,10 @@ fn main() {
     let lu = Arc::new(Lu::new(500, 1, &cal));
     let plan = dlb_compiler::compile(&lu.program()).unwrap();
     let seq = lu.sequential_time();
-    println!("# LU 500x500 — shrinking active set (seq {:.1} s)", seq.as_secs_f64());
+    println!(
+        "# LU 500x500 — shrinking active set (seq {:.1} s)",
+        seq.as_secs_f64()
+    );
     println!("procs\tdedicated_s\tloaded_static_s\tloaded_dlb_s\tmoved_dlb");
     for p in [1usize, 2, 4, 8] {
         let dedicated = run(

@@ -15,9 +15,12 @@ fn main() {
         .map(|(name, p)| (*name, AppProperties::derive(p)))
         .collect();
     let yn = |b: bool| if b { "yes" } else { "no" };
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, fn(&AppProperties) -> bool); 6] = [
         ("loop-carried dependences", |p| p.loop_carried_deps),
-        ("communication outside loop", |p| p.communication_outside_loop),
+        ("communication outside loop", |p| {
+            p.communication_outside_loop
+        }),
         ("repeated execution of loop", |p| p.repeated_execution),
         ("varying loop bounds", |p| p.varying_loop_bounds),
         ("index-dependent iteration size", |p| {
@@ -27,7 +30,10 @@ fn main() {
             p.data_dependent_iteration_size
         }),
     ];
-    println!("{:<34}{:>6}{:>6}{:>6}", "Property (of distributed loop)", "MM", "SOR", "LU");
+    println!(
+        "{:<34}{:>6}{:>6}{:>6}",
+        "Property (of distributed loop)", "MM", "SOR", "LU"
+    );
     for (label, f) in rows {
         println!(
             "{:<34}{:>6}{:>6}{:>6}",

@@ -4,14 +4,38 @@
 fn main() {
     println!("# Table 2 — compiler tasks in support of load balancing");
     let rows = [
-        ("Generate control for central load balancer", "dlb_compiler::plan::OuterControl + dlb_core::master", "4.1"),
-        ("Determine grain size and block communication", "dlb_compiler::stripmine + dlb_core::driver (startup block sizing)", "4.4"),
-        ("Insert code in slaves for interaction with load balancer", "dlb_compiler::hooks + dlb_core::slave_common", "4.2"),
-        ("Supply dependence information for restricting work movement", "dlb_compiler::deps -> plan::MovementRule", "3.2"),
-        ("Generate application-specific routines for work movement", "dlb_compiler::plan::MovedArray + engine gather/scatter & catch-up", "4.5"),
-        ("Generate code for arbitrary communication", "dlb_compiler::plan (replicated/aligned classification)", "4.6"),
+        (
+            "Generate control for central load balancer",
+            "dlb_compiler::plan::OuterControl + dlb_core::master",
+            "4.1",
+        ),
+        (
+            "Determine grain size and block communication",
+            "dlb_compiler::stripmine + dlb_core::driver (startup block sizing)",
+            "4.4",
+        ),
+        (
+            "Insert code in slaves for interaction with load balancer",
+            "dlb_compiler::hooks + dlb_core::slave_common",
+            "4.2",
+        ),
+        (
+            "Supply dependence information for restricting work movement",
+            "dlb_compiler::deps -> plan::MovementRule",
+            "3.2",
+        ),
+        (
+            "Generate application-specific routines for work movement",
+            "dlb_compiler::plan::MovedArray + engine gather/scatter & catch-up",
+            "4.5",
+        ),
+        (
+            "Generate code for arbitrary communication",
+            "dlb_compiler::plan (replicated/aligned classification)",
+            "4.6",
+        ),
     ];
-    println!("{:<62}{:<66}{}", "Task", "Module(s)", "Section");
+    println!("{:<62}{:<66}Section", "Task", "Module(s)");
     for (task, module, sec) in rows {
         println!("{task:<62}{module:<66}{sec}");
     }

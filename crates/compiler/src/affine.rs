@@ -236,9 +236,15 @@ mod tests {
     fn display_forms() {
         assert_eq!(format!("{}", Affine::constant(5)), "5");
         assert_eq!(format!("{}", Affine::var("i")), "i");
-        assert_eq!(format!("{}", Affine::var("i") + Affine::constant(-1)), "i - 1");
         assert_eq!(
-            format!("{}", Affine::scaled_var("n", 2) + Affine::var("i") + Affine::constant(3)),
+            format!("{}", Affine::var("i") + Affine::constant(-1)),
+            "i - 1"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                Affine::scaled_var("n", 2) + Affine::var("i") + Affine::constant(3)
+            ),
             "i + 2*n + 3"
         );
         assert_eq!(format!("{}", -Affine::var("i")), "-i");

@@ -106,7 +106,10 @@ fn emit_pipelined_slave(program: &Program, plan: &ParallelPlan, block: i64) -> S
     let ivar = &pipe.inner_var;
     let arr = &program.distributed_array;
     let path = program.path_to_distributed();
-    let outer_vars: Vec<&str> = path[..path.len() - 1].iter().map(|l| l.var.as_str()).collect();
+    let outer_vars: Vec<&str> = path[..path.len() - 1]
+        .iter()
+        .map(|l| l.var.as_str())
+        .collect();
     let sm = stripmine::strip_mine(program, ivar, block);
     let blocksize = if sm.is_some() {
         format!("{block}")
@@ -115,7 +118,10 @@ fn emit_pipelined_slave(program: &Program, plan: &ParallelPlan, block: i64) -> S
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "/* slave process, pattern: Pipelined (paper Fig. 3c) */");
+    let _ = writeln!(
+        out,
+        "/* slave process, pattern: Pipelined (paper Fig. 3c) */"
+    );
     let _ = writeln!(
         out,
         "/* blocksize = {blocksize} rows per block, chosen so one block takes ~1.5 OS quanta */"
@@ -205,7 +211,10 @@ pub fn emit_master(plan: &ParallelPlan) -> String {
         OuterControl::Single => {
             let _ = writeln!(out, "distribute_initial_work(); /* block distribution */");
             let _ = writeln!(out, "while (!all_slaves_done()) {{");
-            let _ = writeln!(out, "    balance_phase(); /* collect rates, send instructions */");
+            let _ = writeln!(
+                out,
+                "    balance_phase(); /* collect rates, send instructions */"
+            );
             let _ = writeln!(out, "}}");
         }
         OuterControl::Fixed(n) => {
@@ -262,8 +271,14 @@ mod tests {
         let text = emit(&p, &plan);
         // Strip-mined block loop with hoisted boundary communication:
         assert!(text.contains("for (i0 = 0 .. nblocks)"), "{text}");
-        assert!(text.contains("receive(left, &b[my_first_j-1][i0*100], 100)"), "{text}");
-        assert!(text.contains("send(right, &b[my_last_j-1][i0*100], 100)"), "{text}");
+        assert!(
+            text.contains("receive(left, &b[my_first_j-1][i0*100], 100)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("send(right, &b[my_last_j-1][i0*100], 100)"),
+            "{text}"
+        );
         // Sweep-start old-value exchange:
         assert!(text.contains("send(left, &b[my_first_j][0], n)"), "{text}");
         // Hook annotations at both candidate depths:

@@ -64,9 +64,9 @@ pub struct DepAnalysis {
 impl DepAnalysis {
     /// True if any dependence is carried by the distributed loop.
     pub fn has_carried(&self) -> bool {
-        self.deps
-            .iter()
-            .any(|d| matches!(d.distance, Distance::Const(k) if k != 0) || d.distance == Distance::Unknown)
+        self.deps.iter().any(|d| {
+            matches!(d.distance, Distance::Const(k) if k != 0) || d.distance == Distance::Unknown
+        })
     }
 
     /// True if some value is shared by all distributed iterations.
@@ -258,10 +258,7 @@ mod tests {
     fn distance_non_divisible_means_disjoint() {
         // a[2i] vs a[2i+1]: never alias; contributes no constraint.
         let w = aref("a", vec![crate::affine::Affine::scaled_var("i", 2)]);
-        let r = aref(
-            "a",
-            vec![crate::affine::Affine::scaled_var("i", 2) + 1],
-        );
+        let r = aref("a", vec![crate::affine::Affine::scaled_var("i", 2) + 1]);
         assert_eq!(ref_distance(&w, &r, "i"), Distance::Zero);
     }
 

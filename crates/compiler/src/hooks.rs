@@ -72,7 +72,11 @@ impl HookPlacement {
 impl fmt::Display for HookPlacement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (idx, s) in self.sites.iter().enumerate() {
-            let marker = if idx == self.chosen { " <== chosen" } else { "" };
+            let marker = if idx == self.chosen {
+                " <== chosen"
+            } else {
+                ""
+            };
             writeln!(
                 f,
                 "lbhook after `{}` iteration (depth {}): period ~{:.0} flops, overhead {:.3}% {}{}",
@@ -286,8 +290,14 @@ fn per_slave_iteration_cost(
         match node {
             Node::Stmt(s) => cost += s.flops,
             Node::Loop(child) => {
-                let child_cost =
-                    per_slave_iteration_cost(program, child, &inner_env, dvar, nominal_slaves, _inside);
+                let child_cost = per_slave_iteration_cost(
+                    program,
+                    child,
+                    &inner_env,
+                    dvar,
+                    nominal_slaves,
+                    _inside,
+                );
                 let mut child_trips = program.estimate_trips(child, &inner_env);
                 if child.var == dvar {
                     child_trips = (child_trips / nominal_slaves).max(1);

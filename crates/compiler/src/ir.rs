@@ -105,10 +105,17 @@ pub struct Program {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IrError {
     UnknownArray(String),
-    SubscriptArity { array: String, expected: usize, got: usize },
+    SubscriptArity {
+        array: String,
+        expected: usize,
+        got: usize,
+    },
     DuplicateLoopVar(String),
     DistributedLoopMissing(String),
-    UnknownVariable { expr: String, var: String },
+    UnknownVariable {
+        expr: String,
+        var: String,
+    },
 }
 
 impl std::fmt::Display for IrError {
@@ -119,10 +126,16 @@ impl std::fmt::Display for IrError {
                 array,
                 expected,
                 got,
-            } => write!(f, "array `{array}` has {expected} dims but {got} subscripts"),
+            } => write!(
+                f,
+                "array `{array}` has {expected} dims but {got} subscripts"
+            ),
             IrError::DuplicateLoopVar(v) => write!(f, "loop variable `{v}` shadows an outer loop"),
             IrError::DistributedLoopMissing(v) => {
-                write!(f, "distribution directive names `{v}` but no such loop exists")
+                write!(
+                    f,
+                    "distribution directive names `{v}` but no such loop exists"
+                )
             }
             IrError::UnknownVariable { expr, var } => {
                 write!(f, "expression `{expr}` uses `{var}` which is neither a parameter nor an enclosing loop variable")
@@ -146,9 +159,17 @@ impl Program {
         let params: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
         let mut found_distributed = false;
         let mut scope: Vec<String> = Vec::new();
-        self.validate_nodes(&self.body, &arrays, &params, &mut scope, &mut found_distributed)?;
+        self.validate_nodes(
+            &self.body,
+            &arrays,
+            &params,
+            &mut scope,
+            &mut found_distributed,
+        )?;
         if !found_distributed {
-            return Err(IrError::DistributedLoopMissing(self.distributed_var.clone()));
+            return Err(IrError::DistributedLoopMissing(
+                self.distributed_var.clone(),
+            ));
         }
         if !arrays.contains_key(self.distributed_array.as_str()) {
             return Err(IrError::UnknownArray(self.distributed_array.clone()));
@@ -156,14 +177,9 @@ impl Program {
         Ok(())
     }
 
-    fn validate_expr(
-        &self,
-        e: &Affine,
-        params: &[&str],
-        scope: &[String],
-    ) -> Result<(), IrError> {
+    fn validate_expr(&self, e: &Affine, params: &[&str], scope: &[String]) -> Result<(), IrError> {
         for v in e.vars() {
-            if !params.iter().any(|p| *p == v) && !scope.iter().any(|s| s == v) {
+            if !params.contains(&v) && !scope.iter().any(|s| s == v) {
                 return Err(IrError::UnknownVariable {
                     expr: format!("{e}"),
                     var: v.to_string(),
@@ -184,7 +200,7 @@ impl Program {
         for node in nodes {
             match node {
                 Node::Loop(l) => {
-                    if scope.iter().any(|s| *s == l.var) {
+                    if scope.contains(&l.var) {
                         return Err(IrError::DuplicateLoopVar(l.var.clone()));
                     }
                     self.validate_expr(&l.lower, params, scope)?;
@@ -289,7 +305,11 @@ impl Program {
     /// enclosing loop variables for each.
     pub fn statements(&self) -> Vec<(Vec<&str>, &Stmt)> {
         let mut out = Vec::new();
-        fn walk<'a>(nodes: &'a [Node], scope: &mut Vec<&'a str>, out: &mut Vec<(Vec<&'a str>, &'a Stmt)>) {
+        fn walk<'a>(
+            nodes: &'a [Node],
+            scope: &mut Vec<&'a str>,
+            out: &mut Vec<(Vec<&'a str>, &'a Stmt)>,
+        ) {
             for node in nodes {
                 match node {
                     Node::Stmt(s) => out.push((scope.clone(), s)),
@@ -325,7 +345,12 @@ pub mod build {
         }
     }
 
-    pub fn for_loop(var: &str, lower: impl Into<Affine>, upper: impl Into<Affine>, body: Vec<Node>) -> Node {
+    pub fn for_loop(
+        var: &str,
+        lower: impl Into<Affine>,
+        upper: impl Into<Affine>,
+        body: Vec<Node>,
+    ) -> Node {
         Node::Loop(Loop {
             var: var.into(),
             lower: lower.into(),
@@ -335,7 +360,12 @@ pub mod build {
         })
     }
 
-    pub fn while_loop(var: &str, est_iters: i64, upper: impl Into<Affine>, body: Vec<Node>) -> Node {
+    pub fn while_loop(
+        var: &str,
+        est_iters: i64,
+        upper: impl Into<Affine>,
+        body: Vec<Node>,
+    ) -> Node {
         Node::Loop(Loop {
             var: var.into(),
             lower: Affine::constant(0),
@@ -345,12 +375,7 @@ pub mod build {
         })
     }
 
-    pub fn stmt(
-        label: &str,
-        writes: Vec<ArrayRef>,
-        reads: Vec<ArrayRef>,
-        flops: f64,
-    ) -> Node {
+    pub fn stmt(label: &str, writes: Vec<ArrayRef>, reads: Vec<ArrayRef>, flops: f64) -> Node {
         Node::Stmt(Stmt {
             label: label.into(),
             writes,

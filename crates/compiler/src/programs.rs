@@ -220,7 +220,8 @@ mod tests {
             vec!["iter", "j"]
         );
         assert_eq!(
-            lu(8).path_to_distributed()
+            lu(8)
+                .path_to_distributed()
                 .iter()
                 .map(|l| l.var.as_str())
                 .collect::<Vec<_>>(),

@@ -54,7 +54,10 @@ pub fn derive_with(program: &Program, da: &DepAnalysis) -> AppProperties {
         "program must have a distributed loop (validate first)"
     );
     let dloop = *path.last().expect("nonempty");
-    let enclosing: Vec<&str> = path[..path.len() - 1].iter().map(|l| l.var.as_str()).collect();
+    let enclosing: Vec<&str> = path[..path.len() - 1]
+        .iter()
+        .map(|l| l.var.as_str())
+        .collect();
 
     let loop_carried = da.has_carried();
     // Communication outside the distributed loop arises from (a) values
@@ -125,14 +128,26 @@ fn scan_iteration_size(
 impl fmt::Display for AppProperties {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let yn = |b: bool| if b { "yes" } else { "no" };
-        writeln!(f, "loop-carried dependences       {}", yn(self.loop_carried_deps))?;
+        writeln!(
+            f,
+            "loop-carried dependences       {}",
+            yn(self.loop_carried_deps)
+        )?;
         writeln!(
             f,
             "communication outside loop     {}",
             yn(self.communication_outside_loop)
         )?;
-        writeln!(f, "repeated execution of loop     {}", yn(self.repeated_execution))?;
-        writeln!(f, "varying loop bounds            {}", yn(self.varying_loop_bounds))?;
+        writeln!(
+            f,
+            "repeated execution of loop     {}",
+            yn(self.repeated_execution)
+        )?;
+        writeln!(
+            f,
+            "varying loop bounds            {}",
+            yn(self.varying_loop_bounds)
+        )?;
         writeln!(
             f,
             "index-dependent iteration size {}",

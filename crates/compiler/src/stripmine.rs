@@ -53,7 +53,7 @@ pub fn strip_mine(program: &Program, var: &str, block: i64) -> Option<Program> {
 }
 
 fn strip_nodes(
-    nodes: &mut Vec<Node>,
+    nodes: &mut [Node],
     var: &str,
     block: i64,
     _params: &[crate::ir::Param],
@@ -68,10 +68,7 @@ fn strip_nodes(
                 // nblocks estimated for the IR; the runtime computes it
                 // exactly. We keep it symbolic when possible:
                 // nblocks = ceil((hi - lo) / block); estimate with env.
-                let span = hi
-                    .diff(&lo)
-                    .eval(env)
-                    .unwrap_or(block);
+                let span = hi.diff(&lo).eval(env).unwrap_or(block);
                 // i64::div_ceil is unstable; span and block are >= 0 here.
                 #[allow(clippy::manual_div_ceil)]
                 let nblocks = ((span.max(0) + block - 1) / block).max(1);

@@ -1,26 +1,23 @@
-//! Property tests for the compiler layer: affine algebra laws, strip-mine
-//! cost preservation, and interchange round-trips.
+//! Randomized property tests for the compiler layer: affine algebra laws,
+//! strip-mine cost preservation, and interchange round-trips. Driven by
+//! deterministic PCG-seeded loops so the suite needs no external
+//! property-testing dependency.
 
 use dlb_compiler::{interchange, programs, strip_mine, Affine};
-use proptest::prelude::*;
+use dlb_sim::Pcg32;
 use std::collections::BTreeMap;
 
-fn arb_affine() -> impl Strategy<Value = Affine> {
-    (
-        -50i64..50,
-        proptest::collection::btree_map(
-            prop_oneof![Just("i".to_string()), Just("j".to_string()), Just("n".to_string())],
-            -5i64..5,
-            0..3,
-        ),
-    )
-        .prop_map(|(c, terms)| {
-            let mut e = Affine::constant(c);
-            for (v, k) in terms {
-                e = e + Affine::scaled_var(v, k);
-            }
-            e
-        })
+const CASES: u64 = 250;
+
+fn random_affine(rng: &mut Pcg32) -> Affine {
+    let c = rng.gen_range(0, 100) as i64 - 50;
+    let mut e = Affine::constant(c);
+    for _ in 0..rng.gen_range(0, 3) {
+        let v = ["i", "j", "n"][rng.gen_index(0, 3)];
+        let k = rng.gen_range(0, 10) as i64 - 5;
+        e = e + Affine::scaled_var(v.to_string(), k);
+    }
+    e
 }
 
 fn env(i: i64, j: i64, n: i64) -> BTreeMap<String, i64> {
@@ -30,57 +27,71 @@ fn env(i: i64, j: i64, n: i64) -> BTreeMap<String, i64> {
         .collect()
 }
 
-proptest! {
-    /// Evaluation is a ring homomorphism: eval(a + b) = eval(a) + eval(b),
-    /// eval(k·a) = k·eval(a), eval(a − b) = eval(a) − eval(b).
-    #[test]
-    fn affine_eval_homomorphism(
-        a in arb_affine(),
-        b in arb_affine(),
-        k in -6i64..6,
-        i in -10i64..10,
-        j in -10i64..10,
-        n in 1i64..100,
-    ) {
+/// Evaluation is a ring homomorphism: eval(a + b) = eval(a) + eval(b),
+/// eval(k·a) = k·eval(a), eval(a − b) = eval(a) − eval(b).
+#[test]
+fn affine_eval_homomorphism() {
+    let mut rng = Pcg32::new(0xAFF1);
+    for _ in 0..CASES {
+        let a = random_affine(&mut rng);
+        let b = random_affine(&mut rng);
+        let k = rng.gen_range(0, 12) as i64 - 6;
+        let i = rng.gen_range(0, 20) as i64 - 10;
+        let j = rng.gen_range(0, 20) as i64 - 10;
+        let n = 1 + rng.gen_range(0, 99) as i64;
         let e = env(i, j, n);
         let ea = a.eval(&e).unwrap();
         let eb = b.eval(&e).unwrap();
-        prop_assert_eq!((a.clone() + b.clone()).eval(&e).unwrap(), ea + eb);
-        prop_assert_eq!((a.clone() - b.clone()).eval(&e).unwrap(), ea - eb);
-        prop_assert_eq!((a.clone() * k).eval(&e).unwrap(), ea * k);
-        prop_assert_eq!((-a.clone()).eval(&e).unwrap(), -ea);
+        assert_eq!((a.clone() + b.clone()).eval(&e).unwrap(), ea + eb);
+        assert_eq!((a.clone() - b.clone()).eval(&e).unwrap(), ea - eb);
+        assert_eq!((a.clone() * k).eval(&e).unwrap(), ea * k);
+        assert_eq!((-a.clone()).eval(&e).unwrap(), -ea);
     }
+}
 
-    /// Addition is commutative and subtraction of self is zero (canonical
-    /// representation: semantic equality is structural equality).
-    #[test]
-    fn affine_canonical_form(a in arb_affine(), b in arb_affine()) {
-        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+/// Addition is commutative and subtraction of self is zero (canonical
+/// representation: semantic equality is structural equality).
+#[test]
+fn affine_canonical_form() {
+    let mut rng = Pcg32::new(0xCA20);
+    for _ in 0..CASES {
+        let a = random_affine(&mut rng);
+        let b = random_affine(&mut rng);
+        assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
         let zero = a.clone() - a.clone();
-        prop_assert!(zero.is_constant());
-        prop_assert_eq!(zero.constant, 0);
+        assert!(zero.is_constant());
+        assert_eq!(zero.constant, 0);
     }
+}
 
-    /// Strip mining never loses cost and overshoots by at most one block's
-    /// worth of the innermost loop (the runtime clamps the last block).
-    #[test]
-    fn strip_mine_cost_bound(n in 8i64..200, block in 1i64..64) {
+/// Strip mining never loses cost and overshoots by at most one block's
+/// worth of the innermost loop (the runtime clamps the last block).
+#[test]
+fn strip_mine_cost_bound() {
+    let mut rng = Pcg32::new(0x57217);
+    for _ in 0..CASES {
+        let n = 8 + rng.gen_range(0, 192) as i64;
+        let block = 1 + rng.gen_range(0, 63) as i64;
         let p = programs::matmul(n, 1);
         let sm = strip_mine(&p, "k", block).unwrap();
         sm.validate().unwrap();
         let orig = p.estimate_cost(&p.body, &p.default_env());
         let strip = sm.estimate_cost(&sm.body, &sm.default_env());
-        prop_assert!(strip >= orig);
+        assert!(strip >= orig);
         // Overshoot bounded by (block - remainder) extra k-iterations per
         // (i, j) pair.
         let max_over = orig / (n as f64) * (block as f64);
-        prop_assert!(strip - orig <= max_over + 1e-6, "{} vs {}", strip, orig);
+        assert!(strip - orig <= max_over + 1e-6, "{strip} vs {orig}");
     }
+}
 
-    /// A legal interchange applied twice restores the original statement
-    /// nesting order.
-    #[test]
-    fn interchange_is_an_involution(n in 4i64..64) {
+/// A legal interchange applied twice restores the original statement
+/// nesting order.
+#[test]
+fn interchange_is_an_involution() {
+    let mut rng = Pcg32::new(0x12C4A);
+    for _ in 0..CASES {
+        let n = 4 + rng.gen_range(0, 60) as i64;
         let p = programs::matmul(n, 1);
         let once = interchange(&p, "j", "k").unwrap();
         // After the swap the loops' names move: the outer of the pair is
@@ -88,18 +99,22 @@ proptest! {
         let twice = interchange(&once, "k", "j").unwrap();
         let orig: Vec<Vec<&str>> = p.statements().into_iter().map(|(s, _)| s).collect();
         let round: Vec<Vec<&str>> = twice.statements().into_iter().map(|(s, _)| s).collect();
-        prop_assert_eq!(orig, round);
+        assert_eq!(orig, round);
     }
+}
 
-    /// Compiling any valid MM/SOR/LU size yields a plan whose unit count
-    /// matches the distributed loop extent.
-    #[test]
-    fn plan_units_match_extent(n in 4i64..300) {
+/// Compiling any valid MM/SOR/LU size yields a plan whose unit count
+/// matches the distributed loop extent.
+#[test]
+fn plan_units_match_extent() {
+    let mut rng = Pcg32::new(0x9141);
+    for _ in 0..CASES {
+        let n = 4 + rng.gen_range(0, 296) as i64;
         let mm = dlb_compiler::compile(&programs::matmul(n, 1)).unwrap();
-        prop_assert_eq!(mm.n_units, n as u64);
+        assert_eq!(mm.n_units, n as u64);
         let sor = dlb_compiler::compile(&programs::sor(n.max(8), 2)).unwrap();
-        prop_assert_eq!(sor.n_units, (n.max(8) - 2) as u64);
+        assert_eq!(sor.n_units, (n.max(8) - 2) as u64);
         let lu = dlb_compiler::compile(&programs::lu(n.max(4))).unwrap();
-        prop_assert_eq!(lu.n_units, (n.max(4) - 1) as u64);
+        assert_eq!(lu.n_units, (n.max(4) - 1) as u64);
     }
 }

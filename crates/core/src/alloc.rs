@@ -27,9 +27,7 @@ pub fn proportional_allocation(total: u64, rates: &[f64], min_per_slave: u64) ->
         // Equal split.
         let base = total / n as u64;
         let rem = (total % n as u64) as usize;
-        return (0..n)
-            .map(|i| base + u64::from(i < rem))
-            .collect();
+        return (0..n).map(|i| base + u64::from(i < rem)).collect();
     }
     let floor_min = if total >= min_per_slave * n as u64 {
         min_per_slave
@@ -246,7 +244,14 @@ mod tests {
         let orders = plan_adjacent_shifts(&[30, 10], &[20, 20]);
         assert_eq!(orders.len(), 1);
         assert_eq!(orders[0].0, 0);
-        assert_eq!(orders[0].1, MoveOrder { to: 1, count: 10, edge: Edge::High });
+        assert_eq!(
+            orders[0].1,
+            MoveOrder {
+                to: 1,
+                count: 10,
+                edge: Edge::High
+            }
+        );
     }
 
     #[test]
@@ -257,8 +262,22 @@ mod tests {
         assert_eq!(
             orders,
             vec![
-                (0, MoveOrder { to: 1, count: 20, edge: Edge::High }),
-                (1, MoveOrder { to: 2, count: 10, edge: Edge::High }),
+                (
+                    0,
+                    MoveOrder {
+                        to: 1,
+                        count: 20,
+                        edge: Edge::High
+                    }
+                ),
+                (
+                    1,
+                    MoveOrder {
+                        to: 2,
+                        count: 10,
+                        edge: Edge::High
+                    }
+                ),
             ]
         );
     }
@@ -270,8 +289,22 @@ mod tests {
         assert_eq!(
             orders,
             vec![
-                (1, MoveOrder { to: 0, count: 7, edge: Edge::Low }),
-                (1, MoveOrder { to: 2, count: 7, edge: Edge::High }),
+                (
+                    1,
+                    MoveOrder {
+                        to: 0,
+                        count: 7,
+                        edge: Edge::Low
+                    }
+                ),
+                (
+                    1,
+                    MoveOrder {
+                        to: 2,
+                        count: 7,
+                        edge: Edge::High
+                    }
+                ),
             ]
         );
     }

@@ -9,7 +9,9 @@
 //! (direct or adjacent-only). It never touches the network, so every policy
 //! is unit-testable.
 
-use crate::alloc::{plan_adjacent_shifts, plan_direct_moves, proportional_allocation, projected_time};
+use crate::alloc::{
+    plan_adjacent_shifts, plan_direct_moves, projected_time, proportional_allocation,
+};
 use crate::frequency::{CostAverage, FrequencyController, PeriodBounds};
 use crate::msg::{Instructions, MoveOrder, Status};
 use crate::rate::RateFilter;
@@ -383,6 +385,7 @@ mod tests {
         Status {
             slave,
             invocation: 0,
+            hook_seq: 0,
             units_done_delta: done,
             elapsed: SimDuration::from_secs_f64(secs),
             active_units: active,
@@ -399,14 +402,7 @@ mod tests {
     }
 
     fn mk(cfg: BalancerConfig, owned: Vec<u64>) -> Balancer {
-        Balancer::new(
-            cfg,
-            owned,
-            quantum(),
-            SimDuration::from_millis(10),
-            1,
-            1.0,
-        )
+        Balancer::new(cfg, owned, quantum(), SimDuration::from_millis(10), 1, 1.0)
     }
 
     /// Warm all slaves with equal rates.
@@ -621,6 +617,7 @@ mod tests_accounting {
         Status {
             slave,
             invocation: 0,
+            hook_seq: 0,
             units_done_delta: done,
             elapsed: SimDuration::from_secs_f64(secs),
             active_units: active,
@@ -655,7 +652,7 @@ mod tests_accounting {
     fn min_sample_window_ignored() {
         let mut b = mk(vec![10, 10]);
         b.on_status(&status(0, 100, 1.0, 10)); // raw 100
-        // A 1 ms window with absurd implied rate must not move the filter.
+                                               // A 1 ms window with absurd implied rate must not move the filter.
         let d = b.on_status(&status(0, 50, 0.001, 10));
         assert_eq!(d.raw_rate, 100.0, "short window should reuse last raw");
     }

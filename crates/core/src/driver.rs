@@ -1,19 +1,24 @@
 //! Top-level driver: build the simulated cluster, wire master and slaves,
 //! run, and collect a [`RunReport`].
+//!
+//! Two entry points: [`try_run`] returns `Result` and is the only way to
+//! observe a fault-injected run's typed failure; [`run`] is the historical
+//! panicking wrapper for fault-free callers.
 
-use crate::balancer::{Balancer, BalancerConfig};
+use crate::balancer::{Balancer, BalancerConfig, InteractionMode};
 use crate::engine_independent::IndependentSlave;
 use crate::engine_pipelined::PipelinedSlave;
 use crate::engine_shrinking::ShrinkingSlave;
+use crate::error::{FaultToleranceConfig, ProtocolError, RunError};
 use crate::kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
-use crate::master::{run_master, MasterConfig, MasterOutcome, TimelineSample};
+use crate::master::{run_master, MasterConfig, MasterFt, MasterOutcome, TimelineSample};
 use crate::msg::{Msg, UnitData};
+use crate::recovery::RecoveryStats;
 use dlb_compiler::{grain_iterations, GrainPolicy, ParallelPlan, Pattern};
 use dlb_sim::{
-    CpuWork, NetConfig, NodeConfig, SimBuilder, SimDuration, SimReport, SimTime,
+    CpuWork, FaultPlan, NetConfig, NodeConfig, SimBuilder, SimDuration, SimReport, SimTime,
 };
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The application to run: one kernel per compiler pattern.
 #[derive(Clone)]
@@ -69,6 +74,14 @@ pub struct RunConfig {
     pub record_timeline: bool,
     /// Initial block sizing.
     pub startup: StartupDistribution,
+    /// Deterministic fault injection. `Some` switches the runtime into
+    /// fault mode: dynamic balancing is disabled (work movement and crash
+    /// recovery would race), the pipelined interaction mode is forced (a
+    /// hook must never block on a droppable message), and the
+    /// fault-tolerant control loops run on both sides.
+    pub fault_plan: Option<FaultPlan>,
+    /// Timeouts and retry bounds used when `fault_plan` is set.
+    pub fault_tolerance: FaultToleranceConfig,
 }
 
 impl RunConfig {
@@ -83,6 +96,8 @@ impl RunConfig {
             decision_cpu: CpuWork::from_micros(200),
             record_timeline: false,
             startup: StartupDistribution::Equal,
+            fault_plan: None,
+            fault_tolerance: FaultToleranceConfig::default(),
         }
     }
 }
@@ -99,6 +114,8 @@ pub struct RunReport {
     pub timeline: Vec<TimelineSample>,
     pub stats: crate::balancer::BalancerStats,
     pub bounds: Option<crate::frequency::PeriodBounds>,
+    /// Recovery actions taken; all-zero outside fault mode.
+    pub recovery: RecoveryStats,
     pub sim: SimReport,
     pub n_slaves: usize,
 }
@@ -114,9 +131,11 @@ impl RunReport {
         let mut denom = 0.0;
         for i in 0..self.n_slaves {
             let node = dlb_sim::NodeId(i + 1);
-            denom += self.sim.available_cpu(node).as_secs_f64().min(
-                self.compute_time.as_secs_f64(),
-            );
+            denom += self
+                .sim
+                .available_cpu(node)
+                .as_secs_f64()
+                .min(self.compute_time.as_secs_f64());
         }
         seq_time.as_secs_f64() / denom
     }
@@ -129,10 +148,25 @@ impl RunReport {
 
 /// Run `app` (compiled to `plan`) on the configured cluster.
 ///
+/// Panicking wrapper around [`try_run`] for fault-free callers. Panics on
+/// configuration mismatches and on any [`RunError`].
+pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
+    try_run(app, plan, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run `app` (compiled to `plan`) on the configured cluster.
+///
 /// The plan supplies the movement rule, grain policy, and per-unit movement
 /// size estimate; the kernel supplies data and costs. Panics if the plan's
-/// pattern does not match the kernel's.
-pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
+/// pattern does not match the kernel's (caller bug, not a runtime fault);
+/// every runtime failure — including everything fault injection can
+/// provoke — comes back as a boxed [`RunError`] carrying the partial
+/// measurements.
+pub fn try_run(
+    app: AppSpec,
+    plan: &ParallelPlan,
+    cfg: RunConfig,
+) -> Result<RunReport, Box<RunError>> {
     assert_eq!(
         plan.pattern,
         app.pattern(),
@@ -142,14 +176,14 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
     assert!(n_slaves > 0, "need at least one slave");
     let n_units = app.n_units();
     assert!(n_units >= n_slaves, "fewer units than slaves");
+    let fault_mode = cfg.fault_plan.is_some();
 
     // Initial block distribution.
     let assignment: Vec<(usize, usize)> = match cfg.startup {
         StartupDistribution::Equal => block_ranges(n_units, n_slaves),
         StartupDistribution::SpeedProportional => {
             let speeds: Vec<f64> = cfg.slave_nodes.iter().map(|n| n.speed).collect();
-            let shares =
-                crate::alloc::proportional_allocation(n_units as u64, &speeds, 1);
+            let shares = crate::alloc::proportional_allocation(n_units as u64, &speeds, 1);
             let mut lo = 0usize;
             shares
                 .iter()
@@ -199,6 +233,16 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
         // LU: late steps have fewer active columns than slaves.
         balancer_cfg.min_per_slave = 0;
     }
+    let slave_mode = if fault_mode {
+        // Crash recovery re-scatters units itself; concurrent balancer
+        // movement would race with it, and a synchronous-mode hook blocking
+        // on a droppable Instructions message could stall a healthy slave.
+        balancer_cfg.enabled = false;
+        balancer_cfg.mode = InteractionMode::Pipelined;
+        InteractionMode::Pipelined
+    } else {
+        cfg.balancer.mode
+    };
     // Expected work units (in allocation units) between hook firings: one
     // hook per unit for the independent/shrinking engines, one hook per row
     // block (= local_cols / nblocks columns of progress) for the pipelined
@@ -240,6 +284,9 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
     };
 
     let mut sim = SimBuilder::<Msg>::new().net(cfg.net.clone());
+    if let Some(p) = &cfg.fault_plan {
+        sim = sim.fault_plan(p.clone());
+    }
     let master_node = sim.add_node(cfg.master_node.clone());
     let slave_nodes: Vec<_> = cfg
         .slave_nodes
@@ -263,6 +310,37 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
             }
             _ => Box::new(|_, _| false),
         };
+        // Fault mode wires the master's failure detector; the independent
+        // pattern additionally gets the unit-reconstruction closures that
+        // enable mid-run recovery (pipelined/shrinking abort cleanly).
+        let ft = if fault_mode {
+            use crate::master::{InitUnitFn, RecomputeUnitFn};
+            let (init_unit, recompute_unit): (Option<InitUnitFn>, Option<RecomputeUnitFn>) =
+                match &app {
+                    AppSpec::Independent(k) => {
+                        let ki = Arc::clone(k);
+                        let kr = Arc::clone(k);
+                        (
+                            Some(Box::new(move |id| ki.init_unit(id))),
+                            Some(Box::new(move |id, invs| {
+                                let mut d = kr.init_unit(id);
+                                for i in 0..invs {
+                                    kr.compute(id, &mut d, i);
+                                }
+                                d
+                            })),
+                        )
+                    }
+                    _ => (None, None),
+                };
+            Some(MasterFt {
+                tolerance: cfg.fault_tolerance.clone(),
+                init_unit,
+                recompute_unit,
+            })
+        } else {
+            None
+        };
         let master_cfg = MasterConfig {
             balancer,
             invocations,
@@ -271,15 +349,18 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
             decision_cpu: cfg.decision_cpu,
             record_timeline: cfg.record_timeline,
             converged,
+            ft,
         };
         sim.spawn(master_node, "master", move |ctx| {
             run_master(ctx, master_cfg, slave_ids, assignment, block_rows, outcome)
         });
     }
 
+    let slave_ft = fault_mode.then(|| cfg.fault_tolerance.clone());
     for (i, node) in slave_nodes.into_iter().enumerate() {
-        let mode = cfg.balancer.mode;
+        let mode = slave_mode;
         let hook_cpu = cfg.hook_check_cpu;
+        let ft = slave_ft.clone();
         match &app {
             AppSpec::Independent(k) => {
                 let slave = IndependentSlave {
@@ -288,6 +369,7 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
                     mode,
                     hook_check_cpu: hook_cpu,
                     kernel: Arc::clone(k),
+                    ft,
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -298,6 +380,7 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
                     mode,
                     hook_check_cpu: hook_cpu,
                     kernel: Arc::clone(k),
+                    ft,
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -308,6 +391,7 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
                     mode,
                     hook_check_cpu: hook_cpu,
                     kernel: Arc::clone(k),
+                    ft,
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -315,29 +399,59 @@ pub fn run(app: AppSpec, plan: &ParallelPlan, cfg: RunConfig) -> RunReport {
     }
 
     let sim_report = sim.run();
-    let mut o = outcome.lock();
+    let mut o = outcome.lock().unwrap_or_else(|p| p.into_inner());
+    let elapsed = sim_report.end_time - SimTime::ZERO;
+    let fail = |error: ProtocolError, o: &mut MasterOutcome, sim: SimReport| {
+        Box::new(RunError {
+            error,
+            elapsed,
+            stats: o.stats,
+            recovery: o.recovery.clone(),
+            timeline: std::mem::take(&mut o.timeline),
+            sim,
+        })
+    };
+    if let Some(err) = o.error.take() {
+        return Err(fail(err, &mut o, sim_report));
+    }
+    if !o.completed {
+        // The simulation drained without the master finishing: something
+        // deadlocked in a way the failure detector did not see.
+        return Err(fail(
+            ProtocolError::Inconsistent {
+                detail: "master never completed (simulation drained early)".to_string(),
+            },
+            &mut o,
+            sim_report,
+        ));
+    }
+
     let mut gathered = std::mem::take(&mut o.result);
     gathered.sort_by_key(|(id, _)| *id);
-    assert_eq!(
-        gathered.len(),
-        n_units,
-        "gather lost or duplicated units"
-    );
-    for (i, (id, _)) in gathered.iter().enumerate() {
-        assert_eq!(*id, i, "unit ids must form 0..n after gather");
+    if gathered.len() != n_units || gathered.iter().enumerate().any(|(i, (id, _))| *id != i) {
+        let detail = format!(
+            "gather lost or duplicated units: got {} of {n_units}",
+            gathered.len()
+        );
+        return Err(fail(
+            ProtocolError::Inconsistent { detail },
+            &mut o,
+            sim_report,
+        ));
     }
     let result = gathered.into_iter().map(|(_, d)| d).collect();
 
-    RunReport {
-        elapsed: sim_report.end_time - SimTime::ZERO,
+    Ok(RunReport {
+        elapsed,
         compute_time: o.compute_done - SimTime::ZERO,
         result,
         timeline: std::mem::take(&mut o.timeline),
         stats: o.stats,
         bounds: o.bounds,
+        recovery: o.recovery.clone(),
         sim: sim_report,
         n_slaves,
-    }
+    })
 }
 
 /// Contiguous block distribution of `n` units over `p` slaves.

@@ -6,19 +6,45 @@
 //! done flag); moved units that were already computed this invocation are
 //! not recomputed, and in-flight undone units keep the master's completion
 //! count below the target so invocations never terminate early (§4.5).
+//!
+//! In fault mode this engine is *recoverable*: the master can re-scatter a
+//! dead slave's units to survivors via [`Msg::Restore`]. The receiver
+//! replays each restored unit's computation history (identical `compute`
+//! calls in identical order), so the final gathered data is bit-for-bit the
+//! same as a fault-free run.
 
 use crate::balancer::InteractionMode;
+use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::IndependentKernel;
-use crate::msg::{Edge, MoveOrder, Msg, TransferMsg, MovedUnit, UnitData};
-use crate::slave_common::SlaveCommon;
+use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
+use crate::slave_common::{recv_start, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 struct Unit {
     data: UnitData,
     /// Invocation this unit was last computed in.
     done_in: Option<u64>,
+}
+
+/// Restore-sequence bookkeeping: which `Restore` messages this slave has
+/// applied. Sequences can arrive out of order under message drops, so we
+/// keep the full applied set and report the contiguous watermark.
+#[derive(Default)]
+struct RestoreTracker {
+    applied: BTreeSet<u64>,
+}
+
+impl RestoreTracker {
+    /// Largest `k` such that every sequence `1..=k` has been applied.
+    fn watermark(&self) -> u64 {
+        let mut w = 0;
+        while self.applied.contains(&(w + 1)) {
+            w += 1;
+        }
+        w
+    }
 }
 
 /// Static configuration for one independent-engine slave.
@@ -28,19 +54,35 @@ pub struct IndependentSlave {
     pub mode: InteractionMode,
     pub hook_check_cpu: CpuWork,
     pub kernel: Arc<dyn IndependentKernel>,
+    pub ft: Option<FaultToleranceConfig>,
 }
 
 impl IndependentSlave {
-    /// Actor body.
+    /// Actor body. Never panics on protocol trouble: fatal errors are
+    /// shipped to the master as [`Msg::SlaveError`].
     pub fn run(self, ctx: ActorCtx<Msg>) {
+        let (idx, master) = (self.idx, self.master);
+        match self.run_inner(&ctx) {
+            Ok(()) | Err(ProtocolError::Aborted) | Err(ProtocolError::Evicted { .. }) => {}
+            Err(error) => {
+                let msg = Msg::SlaveError { slave: idx, error };
+                let bytes = msg.wire_bytes();
+                ctx.send(master, msg, bytes);
+            }
+        }
+    }
+
+    fn run_inner(self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
         // Wait for the initial assignment.
-        let (slaves, range) = recv_start(&ctx, self.idx);
+        let (slaves, assignment, _block_rows) = recv_start(ctx, self.idx, self.ft.as_ref())?;
+        let range = assignment[self.idx];
         let mut common = SlaveCommon::new(
             self.idx,
             self.master,
             slaves,
             self.mode,
             self.hook_check_cpu,
+            self.ft.clone(),
             ctx.now(),
         );
         let kernel = self.kernel;
@@ -56,48 +98,51 @@ impl IndependentSlave {
                 )
             })
             .collect();
+        let mut rec = RestoreTracker::default();
 
         let mut inv = 0;
         let mut metric = 0.0f64;
-        wait_invocation_start(&ctx, &mut common, &mut units, 0);
+        wait_invocation_start(ctx, &mut common, &mut units, &mut rec, &*kernel)?;
         'outer: loop {
             'compute: loop {
-                // Opportunistically pull transfers that are already queued.
-                drain_transfers(&ctx, &mut common, &mut units, inv);
+                // Opportunistically pull transfers (and restores) that are
+                // already queued.
+                drain_incoming(ctx, &mut common, &mut units, &mut rec, &*kernel, inv)?;
                 let next = units
                     .iter()
                     .find(|(_, u)| u.done_in != Some(inv))
                     .map(|(&id, _)| id);
                 match next {
                     Some(id) => {
-                        common.compute(&ctx, kernel.unit_cost_for(id, inv));
+                        common.compute(ctx, kernel.unit_cost_for(id, inv));
                         let u = units.get_mut(&id).expect("unit present");
                         kernel.compute(id, &mut u.data, inv);
                         u.done_in = Some(inv);
                         metric += kernel.local_metric(id, &u.data);
                         common.record_done(1);
                         let active = active_units(&units, inv, invocations);
-                        let moves = common.hook(&ctx, inv, active);
-                        execute_moves(&ctx, &mut common, &mut units, inv, invocations, moves);
+                        let moves = common.hook(ctx, inv, active)?;
+                        execute_moves(ctx, &mut common, &mut units, inv, invocations, moves);
                     }
                     None => {
                         // Flush the final partial period, then go idle.
                         let active = active_units(&units, inv, invocations);
-                        let moves = common.fire(&ctx, inv, active);
-                        execute_moves(&ctx, &mut common, &mut units, inv, invocations, moves);
+                        let moves = common.fire(ctx, inv, active)?;
+                        execute_moves(ctx, &mut common, &mut units, inv, invocations, moves);
                         match idle_until_work_or_barrier(
-                            &ctx,
+                            ctx,
                             &mut common,
                             &mut units,
+                            &mut rec,
+                            &*kernel,
                             inv,
                             invocations,
                             metric,
-                        ) {
+                        )? {
                             Idle::NewWork => {}
                             Idle::NextInvocation => break 'compute,
                             Idle::Gather => {
-                                reply_gather(&ctx, &common, units);
-                                return;
+                                return reply_gather(ctx, &mut common, units);
                             }
                         }
                     }
@@ -112,17 +157,9 @@ impl IndependentSlave {
 
         // Safety net: if the upper bound on invocations is reached without
         // the master converging earlier, wait for the gather here.
-        finish_and_gather(&ctx, &mut common, units);
-    }
-}
-
-fn recv_start(ctx: &ActorCtx<Msg>, idx: usize) -> (Vec<ActorId>, (usize, usize)) {
-    let env = ctx.recv_match(|m| matches!(m, Msg::Start { .. }));
-    match env.msg {
-        Msg::Start {
-            slaves, assignment, ..
-        } => (slaves, assignment[idx]),
-        _ => unreachable!(),
+        let env = common.recv_blocking(ctx, |m| matches!(m, Msg::Gather), "final gather")?;
+        debug_assert!(matches!(env.msg, Msg::Gather));
+        reply_gather(ctx, &mut common, units)
     }
 }
 
@@ -139,34 +176,107 @@ fn incorporate(
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
     t: TransferMsg,
-    inv: u64,
-) {
+) -> Result<(), ProtocolError> {
     common.received_from[t.from] += 1;
     for mu in t.units {
         let done_in = if mu.done { Some(t.invocation) } else { None };
+        let id = mu.id;
         let prev = units.insert(
-            mu.id,
+            id,
             Unit {
                 data: mu.data,
                 done_in,
             },
         );
-        assert!(prev.is_none(), "unit {} moved to a slave already owning it", mu.id);
-        let _ = inv;
+        if prev.is_some() {
+            return Err(ProtocolError::Inconsistent {
+                detail: format!("unit {id} moved to slave {} already owning it", common.idx),
+            });
+        }
     }
+    Ok(())
 }
 
-fn drain_transfers(
+/// Apply a `Restore`: adopt the units and replay their computation history
+/// so their data matches what the dead owner would have held. Returns
+/// whether the restore was fresh (not a duplicate).
+#[allow(clippy::too_many_arguments)]
+fn apply_restore(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
+    rec: &mut RestoreTracker,
+    kernel: &dyn IndependentKernel,
     inv: u64,
-) {
-    while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
-        if let Msg::Transfer(t) = env.msg {
-            incorporate(common, units, t, inv);
+    seq: u64,
+    restored: Vec<(usize, UnitData)>,
+) -> Result<bool, ProtocolError> {
+    if !rec.applied.insert(seq) {
+        return Ok(false); // duplicate delivery
+    }
+    let invocations = kernel.invocations();
+    for (id, mut data) in restored {
+        // Replay: identical compute calls in identical order reproduce the
+        // dead slave's unit state bit-for-bit up to the current barrier.
+        for i in 0..inv {
+            common.compute(ctx, kernel.unit_cost_for(id, i));
+            kernel.compute(id, &mut data, i);
+            // Heartbeat so a long replay does not trip the master's
+            // suspicion timer (replayed units are not re-counted as done).
+            let _ = common.hook(ctx, inv, active_units(units, inv, invocations))?;
+        }
+        if units
+            .insert(
+                id,
+                Unit {
+                    data,
+                    done_in: None,
+                },
+            )
+            .is_some()
+        {
+            return Err(ProtocolError::Inconsistent {
+                detail: format!(
+                    "unit {id} restored to slave {} already owning it",
+                    common.idx
+                ),
+            });
         }
     }
+    Ok(true)
+}
+
+/// Drain already-queued transfers; in fault mode, also restores and
+/// shutdown orders.
+fn drain_incoming(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    rec: &mut RestoreTracker,
+    kernel: &dyn IndependentKernel,
+    inv: u64,
+) -> Result<(), ProtocolError> {
+    let fault_mode = common.ft.is_some();
+    let pred = |m: &Msg| {
+        matches!(m, Msg::Transfer(_))
+            || (fault_mode && matches!(m, Msg::Restore { .. } | Msg::Abort | Msg::Evict))
+    };
+    while let Some(env) = ctx.try_recv_match(pred) {
+        match env.msg {
+            Msg::Transfer(t) => incorporate(common, units, t)?,
+            Msg::Restore {
+                seq,
+                units: restored,
+                ..
+            } => {
+                apply_restore(ctx, common, units, rec, kernel, inv, seq, restored)?;
+            }
+            Msg::Abort => return Err(ProtocolError::Aborted),
+            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            _ => unreachable!(),
+        }
+    }
+    Ok(())
 }
 
 fn execute_moves(
@@ -232,7 +342,7 @@ fn execute_moves(
 
 /// Outcome of idling at the end of an invocation.
 enum Idle {
-    /// A transfer brought units that still need computing.
+    /// A transfer or restore brought units that still need computing.
     NewWork,
     /// The barrier released the next invocation.
     NextInvocation,
@@ -243,35 +353,80 @@ enum Idle {
 /// Idle at the end of an invocation: report done, then service messages
 /// until new work arrives, the barrier releases the next invocation, or —
 /// after the final invocation — the master requests the gather.
+///
+/// In fault mode the slave heartbeats: its `InvocationDone` (carrying the
+/// restore watermark) is re-sent whenever nothing arrives for one heartbeat
+/// period, bounded by `give_up_tries`.
+#[allow(clippy::too_many_arguments)]
 fn idle_until_work_or_barrier(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
+    rec: &mut RestoreTracker,
+    kernel: &dyn IndependentKernel,
     inv: u64,
     invocations: u64,
     metric: f64,
-) -> Idle {
-    let refresh_done = |common: &mut SlaveCommon| Msg::InvocationDone {
+) -> Result<Idle, ProtocolError> {
+    let refresh_done = |common: &mut SlaveCommon, rec: &RestoreTracker| Msg::InvocationDone {
         slave: common.idx,
         invocation: inv,
         transfers_sent: common.transfers_sent,
         received_from: common.received_from.clone(),
         metric,
+        restore_seq: rec.watermark(),
     };
-    let msg = refresh_done(common);
+    let msg = refresh_done(common, rec);
     common.send_master(ctx, msg);
+    let ft = common.ft.clone();
+    let mut silent = 0u32;
     loop {
-        let env = ctx.recv();
+        let env = match &ft {
+            None => ctx.recv(),
+            Some(ft) => match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+                Some(env) => {
+                    silent = 0;
+                    env
+                }
+                None => {
+                    silent += 1;
+                    if silent > ft.give_up_tries {
+                        return Err(ProtocolError::Timeout {
+                            who: crate::error::slave_who(common.idx),
+                            waiting_for: "invocation barrier",
+                            at: ctx.now(),
+                        });
+                    }
+                    let msg = refresh_done(common, rec);
+                    common.send_master(ctx, msg);
+                    continue;
+                }
+            },
+        };
         match env.msg {
             Msg::Transfer(t) => {
-                incorporate(common, units, t, inv);
+                incorporate(common, units, t)?;
                 let has_work = units.values().any(|u| u.done_in != Some(inv));
                 if has_work {
-                    return Idle::NewWork;
+                    return Ok(Idle::NewWork);
                 }
                 // Ownership changed but no new work: refresh the master's
                 // counters so settlement can complete.
-                let msg = refresh_done(common);
+                let msg = refresh_done(common, rec);
+                common.send_master(ctx, msg);
+            }
+            Msg::Restore {
+                seq,
+                units: restored,
+                ..
+            } => {
+                let fresh = apply_restore(ctx, common, units, rec, kernel, inv, seq, restored)?;
+                if fresh && units.values().any(|u| u.done_in != Some(inv)) {
+                    return Ok(Idle::NewWork);
+                }
+                // Duplicate (or no new work): refresh the watermark either
+                // way so the master's settlement can observe it.
+                let msg = refresh_done(common, rec);
                 common.send_master(ctx, msg);
             }
             Msg::Instructions(instr) => {
@@ -279,79 +434,106 @@ fn idle_until_work_or_barrier(
                 // The master cannot settle until their transfers are
                 // acknowledged, so executing them here is always safe.
                 if !instr.moves.is_empty() {
-                    execute_moves(
-                        ctx,
-                        common,
-                        units,
-                        inv,
-                        invocations,
-                        instr.moves,
-                    );
-                    let msg = refresh_done(common);
+                    execute_moves(ctx, common, units, inv, invocations, instr.moves);
+                    let msg = refresh_done(common, rec);
                     common.send_master(ctx, msg);
                 }
             }
             Msg::InvocationStart { invocation } => {
-                assert_eq!(invocation, inv + 1, "barrier out of order");
-                return Idle::NextInvocation;
+                if invocation == inv + 1 {
+                    return Ok(Idle::NextInvocation);
+                }
+                if ft.is_some() && invocation <= inv {
+                    // Stale re-broadcast: the master has not yet seen our
+                    // completion report; refresh it immediately.
+                    let msg = refresh_done(common, rec);
+                    common.send_master(ctx, msg);
+                    continue;
+                }
+                return Err(common.unexpected("idle barrier", &Msg::InvocationStart { invocation }));
             }
             Msg::Gather => {
                 // The master decides when the loop ends (fixed count or
                 // data-dependent convergence, §4.1).
-                return Idle::Gather;
+                return Ok(Idle::Gather);
             }
-            other => panic!("independent slave: unexpected message {other:?}"),
+            Msg::Abort => return Err(ProtocolError::Aborted),
+            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            Msg::Start { .. } | Msg::GatherAck if ft.is_some() => {} // duplicate deliveries
+            other => return Err(common.unexpected("idle loop", &other)),
         }
     }
 }
 
+/// Invocation 0 needs an explicit release; later ones are consumed by
+/// `idle_until_work_or_barrier`.
 fn wait_invocation_start(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    inv: u64,
-) {
-    // Invocation 0 needs an explicit release; later ones were consumed by
-    // `idle_until_work_or_barrier`.
-    if inv == 0 {
-        loop {
-            let env = ctx.recv();
-            match env.msg {
-                Msg::InvocationStart { invocation } => {
-                    assert_eq!(invocation, 0);
-                    return;
-                }
-                Msg::Transfer(t) => incorporate(common, units, t, inv),
-                Msg::Instructions(_) => {}
-                other => panic!("independent slave: unexpected start message {other:?}"),
+    rec: &mut RestoreTracker,
+    kernel: &dyn IndependentKernel,
+) -> Result<(), ProtocolError> {
+    loop {
+        let env = common.recv_blocking(ctx, |_| true, "first invocation start")?;
+        match env.msg {
+            Msg::InvocationStart { invocation: 0 } => return Ok(()),
+            Msg::Transfer(t) => incorporate(common, units, t)?,
+            Msg::Restore {
+                seq,
+                units: restored,
+                ..
+            } if common.ft.is_some() => {
+                apply_restore(ctx, common, units, rec, kernel, 0, seq, restored)?;
             }
+            Msg::Instructions(_) => {}
+            Msg::Start { .. } if common.ft.is_some() => {} // duplicate delivery
+            other => return Err(common.unexpected("waiting for first invocation", &other)),
         }
     }
 }
 
-fn finish_and_gather(
+/// Send the final gather payload; in fault mode, wait for the master's
+/// acknowledgement (re-sending on duplicate `Gather` requests) so a dropped
+/// `GatherData` cannot lose the result.
+fn reply_gather(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: BTreeMap<usize, Unit>,
-) {
-    loop {
-        let env = ctx.recv();
-        match env.msg {
-            Msg::Gather => break,
-            // Late balancing replies are harmless now; drop them.
-            Msg::Instructions(_) => {}
-            other => panic!("independent slave at gather: unexpected {other:?}"),
-        }
-    }
-    reply_gather(ctx, common, units);
-}
-
-fn reply_gather(ctx: &ActorCtx<Msg>, common: &SlaveCommon, units: BTreeMap<usize, Unit>) {
-    let payload: Vec<(usize, UnitData)> =
-        units.into_iter().map(|(id, u)| (id, u.data)).collect();
+) -> Result<(), ProtocolError> {
+    let payload: Vec<(usize, UnitData)> = units.into_iter().map(|(id, u)| (id, u.data)).collect();
     let msg = Msg::GatherData {
         slave: common.idx,
-        units: payload,
+        units: payload.clone(),
     };
     common.send_master(ctx, msg);
+    let Some(ft) = common.ft.clone() else {
+        return Ok(());
+    };
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.gather_patience {
+                    // Assume the data arrived and the ack was lost; the
+                    // master recomputes locally if it really did not.
+                    return Ok(());
+                }
+            }
+            Some(env) => match env.msg {
+                Msg::Gather => {
+                    tries = 0;
+                    let msg = Msg::GatherData {
+                        slave: common.idx,
+                        units: payload.clone(),
+                    };
+                    common.send_master(ctx, msg);
+                }
+                Msg::GatherAck | Msg::Abort => return Ok(()),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                _ => {} // stale traffic
+            },
+        }
+    }
 }

@@ -15,11 +15,17 @@
 //! sweep-start snapshots carried in the transfer as their right halos. The
 //! result is bit-identical to sequential execution no matter when moves
 //! happen — the property tests in `tests/` rely on that.
+//!
+//! Under fault injection this engine is *detect-and-abort*: the tight
+//! neighbour coupling means a lost pipeline stage cannot be recomputed
+//! locally, so every blocking wait carries a deadline and trouble surfaces
+//! as a typed [`ProtocolError`] (never a panic or a deadlock).
 
 use crate::balancer::InteractionMode;
+use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::PipelinedKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
-use crate::slave_common::SlaveCommon;
+use crate::slave_common::{recv_start, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::ops::Range;
 use std::sync::Arc;
@@ -42,6 +48,7 @@ pub struct PipelinedSlave {
     pub mode: InteractionMode,
     pub hook_check_cpu: CpuWork,
     pub kernel: Arc<dyn PipelinedKernel>,
+    pub ft: Option<FaultToleranceConfig>,
 }
 
 struct State {
@@ -102,17 +109,23 @@ impl State {
 }
 
 impl PipelinedSlave {
-    /// Actor body.
+    /// Actor body. Never panics on protocol trouble: fatal errors are
+    /// shipped to the master as [`Msg::SlaveError`].
     pub fn run(self, ctx: ActorCtx<Msg>) {
-        let env = ctx.recv_match(|m| matches!(m, Msg::Start { .. }));
-        let (slaves, range, block_rows) = match env.msg {
-            Msg::Start {
-                slaves,
-                assignment,
-                block_rows,
-            } => (slaves, assignment[self.idx], block_rows),
-            _ => unreachable!(),
-        };
+        let (idx, master) = (self.idx, self.master);
+        match self.run_inner(&ctx) {
+            Ok(()) | Err(ProtocolError::Aborted) | Err(ProtocolError::Evicted { .. }) => {}
+            Err(error) => {
+                let msg = Msg::SlaveError { slave: idx, error };
+                let bytes = msg.wire_bytes();
+                ctx.send(master, msg, bytes);
+            }
+        }
+    }
+
+    fn run_inner(self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
+        let (slaves, assignment, block_rows) = recv_start(ctx, self.idx, self.ft.as_ref())?;
+        let range = assignment[self.idx];
         let kernel = self.kernel;
         let mut common = SlaveCommon::new(
             self.idx,
@@ -120,6 +133,7 @@ impl PipelinedSlave {
             slaves,
             self.mode,
             self.hook_check_cpu,
+            self.ft.clone(),
             ctx.now(),
         );
         let col_len = kernel.col_len();
@@ -151,13 +165,18 @@ impl PipelinedSlave {
         // Initial release: the end-of-sweep barrier consumes every later
         // InvocationStart.
         loop {
-            let env = ctx.recv_match(|m| {
-                matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_))
-            });
+            let env = common.recv_blocking(
+                ctx,
+                |m| matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_)),
+                "first sweep start",
+            )?;
             match env.msg {
+                Msg::InvocationStart { invocation: 0 } => break,
                 Msg::InvocationStart { invocation } => {
-                    assert_eq!(invocation, 0);
-                    break;
+                    return Err(common.unexpected(
+                        "waiting for first sweep",
+                        &Msg::InvocationStart { invocation },
+                    ));
                 }
                 Msg::Instructions(_) => {}
                 _ => unreachable!(),
@@ -167,19 +186,27 @@ impl PipelinedSlave {
         let sweeps = kernel.sweeps();
         for sweep in 0..sweeps {
             st.sweep = sweep;
-            sweep_body(&ctx, &mut common, &mut st, &*kernel);
+            sweep_body(ctx, &mut common, &mut st, &*kernel)?;
             // Sweep complete: absorb queued transfers (their catch-up work
             // counts toward this sweep), then flush status and execute any
             // sweep-end moves.
             let nblocks = st.nblocks;
-            drain_transfers(&ctx, &mut common, &mut st, &*kernel, nblocks);
-            let moves = common.fire(&ctx, sweep, st.active_units());
-            execute_moves(&ctx, &mut common, &mut st, &*kernel, moves, nblocks);
-            purge_stale(&ctx, sweep);
-            barrier(&ctx, &mut common, &mut st, &*kernel, sweep, sweep + 1 == sweeps);
+            drain_transfers(ctx, &mut common, &mut st, &*kernel, nblocks)?;
+            let moves = common.fire(ctx, sweep, st.active_units())?;
+            execute_moves(ctx, &mut common, &mut st, &*kernel, moves, nblocks);
+            purge_stale(ctx, sweep);
+            barrier(
+                ctx,
+                &mut common,
+                &mut st,
+                &*kernel,
+                sweep,
+                sweep + 1 == sweeps,
+            )?;
         }
 
-        gather(&ctx, &mut common, st);
+        gather(ctx, &mut common, st);
+        Ok(())
     }
 }
 
@@ -213,31 +240,35 @@ fn fetch_left_halo(
     st: &mut State,
     kernel: &dyn PipelinedKernel,
     b: u64,
-) {
+) -> Result<(), ProtocolError> {
     loop {
         if st.is_leftmost() {
             st.left_halo.copy_from_slice(&st.left_wall);
-            return;
+            return Ok(());
         }
         let want_col = st.first_id() - 1;
         let want_sweep = st.sweep;
-        let env = ctx.recv_match(|m| {
-            matches!(m, Msg::Boundary { sweep, block, col, .. }
-                if *sweep == want_sweep && *block == b && *col == want_col)
-                || matches!(m, Msg::Transfer(_))
-        });
+        let env = common.recv_blocking(
+            ctx,
+            |m| {
+                matches!(m, Msg::Boundary { sweep, block, col, .. }
+                    if *sweep == want_sweep && *block == b && *col == want_col)
+                    || matches!(m, Msg::Transfer(_))
+            },
+            "left halo boundary",
+        )?;
         match env.msg {
             Msg::Boundary { values, .. } => {
                 let rows = st.rows_of_block(b);
                 assert_eq!(values.len(), rows.len(), "boundary segment length");
                 st.left_halo[rows].copy_from_slice(&values);
-                return;
+                return Ok(());
             }
             Msg::Transfer(t) => {
                 // We have completed `b` blocks at this point; a transfer
                 // effective exactly here merges immediately and changes the
                 // wanted halo column.
-                accept_transfer(ctx, common, st, kernel, t, b);
+                accept_transfer(ctx, common, st, kernel, t, b)?;
                 incorporate_set_asides(st, b);
             }
             _ => unreachable!(),
@@ -288,7 +319,7 @@ fn sweep_body(
     common: &mut SlaveCommon,
     st: &mut State,
     kernel: &dyn PipelinedKernel,
-) {
+) -> Result<(), ProtocolError> {
     // Sweep start: snapshot old values, exchange halo columns (§2.1's
     // communication outside the distributed loop).
     for c in &mut st.cols {
@@ -306,7 +337,11 @@ fn sweep_body(
         st.right_wall.clone()
     } else {
         let want = st.sweep;
-        let env = ctx.recv_match(|m| matches!(m, Msg::SweepOld { sweep, .. } if *sweep == want));
+        let env = common.recv_blocking(
+            ctx,
+            |m| matches!(m, Msg::SweepOld { sweep, .. } if *sweep == want),
+            "right neighbour sweep-old column",
+        )?;
         match env.msg {
             Msg::SweepOld { values, .. } => values,
             _ => unreachable!(),
@@ -315,15 +350,16 @@ fn sweep_body(
 
     for b in 0..st.nblocks {
         incorporate_set_asides(st, b);
-        fetch_left_halo(ctx, common, st, kernel, b);
+        fetch_left_halo(ctx, common, st, kernel, b)?;
         compute_block_cols(ctx, common, st, kernel, b, 0, None);
         send_boundary(ctx, common, st, b);
-        let moves = common.hook(ctx, st.sweep, st.active_units());
+        let moves = common.hook(ctx, st.sweep, st.active_units())?;
         execute_moves(ctx, common, st, kernel, moves, b + 1);
-        drain_transfers(ctx, common, st, kernel, b + 1);
+        drain_transfers(ctx, common, st, kernel, b + 1)?;
     }
     incorporate_set_asides(st, st.nblocks);
     st.assert_contiguous();
+    Ok(())
 }
 
 /// Prepend set-aside columns whose effective phase equals `phase`.
@@ -402,8 +438,12 @@ fn execute_moves(
         if std::env::var_os("DLB_TRACE").is_some() {
             eprintln!(
                 "[slave{} t={}] move {} cols {:?} -> slave{} at phase {phase} sweep {}",
-                common.idx, ctx.now(), units.len(),
-                units.iter().map(|c| c.id).collect::<Vec<_>>(), order.to, st.sweep,
+                common.idx,
+                ctx.now(),
+                units.len(),
+                units.iter().map(|c| c.id).collect::<Vec<_>>(),
+                order.to,
+                st.sweep,
             );
         }
         let moved_units: Vec<MovedUnit> = units
@@ -440,12 +480,13 @@ fn drain_transfers(
     st: &mut State,
     kernel: &dyn PipelinedKernel,
     my_phase: u64,
-) {
+) -> Result<(), ProtocolError> {
     while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
         if let Msg::Transfer(t) = env.msg {
-            accept_transfer(ctx, common, st, kernel, t, my_phase);
+            accept_transfer(ctx, common, st, kernel, t, my_phase)?;
         }
     }
+    Ok(())
 }
 
 fn accept_transfer(
@@ -455,13 +496,20 @@ fn accept_transfer(
     kernel: &dyn PipelinedKernel,
     t: TransferMsg,
     my_phase: u64,
-) {
+) -> Result<(), ProtocolError> {
     if std::env::var_os("DLB_TRACE").is_some() {
         eprintln!(
             "[slave{} t={}] accept transfer from {} eff {} units {:?} (my_phase {my_phase}, sweep {})",
             st.idx, ctx.now(), t.from, t.effective_block,
             t.units.iter().map(|u| u.id).collect::<Vec<_>>(), st.sweep,
         );
+    }
+    if t.from != st.idx + 1 && t.from + 1 != st.idx {
+        return Err(ProtocolError::NonNeighborTransfer {
+            from: t.from,
+            to: st.idx,
+            sweep: st.sweep,
+        });
     }
     common.received_from[t.from] += 1;
     assert_eq!(t.invocation, st.sweep, "cross-sweep transfer");
@@ -479,7 +527,7 @@ fn accept_transfer(
         })
         .collect();
     if cols.is_empty() {
-        return;
+        return Ok(());
     }
     if t.from == st.idx + 1 {
         // From the right: columns are behind; catch them up (§4.5).
@@ -500,7 +548,7 @@ fn accept_transfer(
             send_boundary(ctx, common, st, b);
         }
         st.right_old = right_old;
-    } else if t.from + 1 == st.idx {
+    } else {
         // From the left: columns are ahead; set aside until we catch up.
         let eff = t.effective_block;
         assert!(eff >= my_phase, "left transfer from the past");
@@ -512,9 +560,8 @@ fn accept_transfer(
         } else {
             st.set_aside.push((eff, cols));
         }
-    } else {
-        panic!("transfer from non-neighbor {}", t.from);
     }
+    Ok(())
 }
 
 /// Drain now-useless messages of the finished sweep (boundaries made
@@ -536,6 +583,7 @@ fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, sweep: u64) {
         transfers_sent: common.transfers_sent,
         received_from: common.received_from.clone(),
         metric: 0.0,
+        restore_seq: 0,
     };
     common.send_master(ctx, msg);
 }
@@ -547,25 +595,51 @@ fn barrier(
     kernel: &dyn PipelinedKernel,
     sweep: u64,
     is_final: bool,
-) {
+) -> Result<(), ProtocolError> {
     if std::env::var_os("DLB_TRACE").is_some() {
         eprintln!(
             "[slave{} t={}] barrier sweep {sweep} cols {:?} sent {} recv {}",
-            st.idx, ctx.now(),
+            st.idx,
+            ctx.now(),
             st.cols.iter().map(|c| c.id).collect::<Vec<_>>(),
-            common.transfers_sent, common.received_from.iter().sum::<u64>(),
+            common.transfers_sent,
+            common.received_from.iter().sum::<u64>(),
         );
     }
     send_done(ctx, common, sweep);
+    let fault_mode = common.ft.is_some();
+    let mut silent = 0u32;
     loop {
-        let env = ctx.recv();
+        let env = match common.ft.clone() {
+            None => common.recv_blocking(ctx, |_| true, "sweep barrier")?,
+            Some(ft) => match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+                Some(env) => {
+                    silent = 0;
+                    env
+                }
+                None => {
+                    // Heartbeat: our done report (or the barrier release)
+                    // may have been lost; refresh it.
+                    silent += 1;
+                    if silent > ft.give_up_tries {
+                        return Err(ProtocolError::Timeout {
+                            who: crate::error::slave_who(common.idx),
+                            waiting_for: "sweep barrier",
+                            at: ctx.now(),
+                        });
+                    }
+                    send_done(ctx, common, sweep);
+                    continue;
+                }
+            },
+        };
         match env.msg {
             Msg::Transfer(t) => {
-                accept_transfer(ctx, common, st, kernel, t, st.nblocks);
+                accept_transfer(ctx, common, st, kernel, t, st.nblocks)?;
                 // Catch-up work done while incorporating counts toward this
                 // sweep: flush it (and any movement the reply requests)
                 // before refreshing the done/counters message.
-                let moves = common.fire(ctx, sweep, st.active_units());
+                let moves = common.fire(ctx, sweep, st.active_units())?;
                 let nblocks = st.nblocks;
                 execute_moves(ctx, common, st, kernel, moves, nblocks);
                 send_done(ctx, common, sweep);
@@ -582,15 +656,27 @@ fn barrier(
                 }
             }
             Msg::InvocationStart { invocation } => {
-                assert!(!is_final, "unexpected sweep start after final sweep");
-                assert_eq!(invocation, sweep + 1, "sweep barrier out of order");
-                return;
+                if invocation == sweep + 1 && !is_final {
+                    return Ok(());
+                }
+                if fault_mode && invocation <= sweep {
+                    // Stale duplicate of an earlier release.
+                    continue;
+                }
+                return Err(
+                    common.unexpected("sweep barrier", &Msg::InvocationStart { invocation })
+                );
             }
             Msg::Gather => {
-                assert!(is_final, "gather before final sweep");
-                return;
+                if is_final {
+                    return Ok(());
+                }
+                return Err(common.unexpected("sweep barrier", &Msg::Gather));
             }
-            other => panic!("pipelined slave at barrier: unexpected {other:?}"),
+            Msg::Abort => return Err(ProtocolError::Aborted),
+            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
+            other => return Err(common.unexpected("sweep barrier", &other)),
         }
     }
 }
@@ -598,11 +684,7 @@ fn barrier(
 /// The final barrier consumed the Gather message; reply with our columns.
 fn gather(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: State) {
     assert!(st.set_aside.is_empty(), "set-aside columns at gather");
-    let units: Vec<(usize, UnitData)> = st
-        .cols
-        .into_iter()
-        .map(|c| (c.id, vec![c.data]))
-        .collect();
+    let units: Vec<(usize, UnitData)> = st.cols.into_iter().map(|c| (c.id, vec![c.data])).collect();
     let msg = Msg::GatherData {
         slave: common.idx,
         units,

@@ -6,11 +6,17 @@
 //! slaves then update their active columns (`j > k`). Work movement is
 //! direct (no carried dependences) and only ships active columns; a column
 //! arriving one step behind is caught up with the retained pivot history.
+//!
+//! Under fault injection this engine is *detect-and-abort*: a crashed pivot
+//! owner stalls every other slave, so blocking waits carry deadlines and
+//! trouble surfaces as a typed [`ProtocolError`] (never a panic or a
+//! deadlock).
 
 use crate::balancer::InteractionMode;
+use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::ShrinkingKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
-use crate::slave_common::SlaveCommon;
+use crate::slave_common::{recv_start, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -28,6 +34,7 @@ pub struct ShrinkingSlave {
     pub mode: InteractionMode,
     pub hook_check_cpu: CpuWork,
     pub kernel: Arc<dyn ShrinkingKernel>,
+    pub ft: Option<FaultToleranceConfig>,
 }
 
 struct State {
@@ -37,15 +44,23 @@ struct State {
 }
 
 impl ShrinkingSlave {
-    /// Actor body.
+    /// Actor body. Never panics on protocol trouble: fatal errors are
+    /// shipped to the master as [`Msg::SlaveError`].
     pub fn run(self, ctx: ActorCtx<Msg>) {
-        let env = ctx.recv_match(|m| matches!(m, Msg::Start { .. }));
-        let (slaves, range) = match env.msg {
-            Msg::Start {
-                slaves, assignment, ..
-            } => (slaves, assignment[self.idx]),
-            _ => unreachable!(),
-        };
+        let (idx, master) = (self.idx, self.master);
+        match self.run_inner(&ctx) {
+            Ok(()) | Err(ProtocolError::Aborted) | Err(ProtocolError::Evicted { .. }) => {}
+            Err(error) => {
+                let msg = Msg::SlaveError { slave: idx, error };
+                let bytes = msg.wire_bytes();
+                ctx.send(master, msg, bytes);
+            }
+        }
+    }
+
+    fn run_inner(self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
+        let (slaves, assignment, _block_rows) = recv_start(ctx, self.idx, self.ft.as_ref())?;
+        let range = assignment[self.idx];
         let kernel = self.kernel;
         let n = kernel.n_units();
         let mut common = SlaveCommon::new(
@@ -54,6 +69,7 @@ impl ShrinkingSlave {
             slaves,
             self.mode,
             self.hook_check_cpu,
+            self.ft.clone(),
             ctx.now(),
         );
         let mut st = State {
@@ -74,13 +90,18 @@ impl ShrinkingSlave {
 
         // Initial release (later steps are released by the barrier).
         loop {
-            let env = ctx.recv_match(|m| {
-                matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_))
-            });
+            let env = common.recv_blocking(
+                ctx,
+                |m| matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_)),
+                "first step start",
+            )?;
             match env.msg {
+                Msg::InvocationStart { invocation: 0 } => break,
                 Msg::InvocationStart { invocation } => {
-                    assert_eq!(invocation, 0);
-                    break;
+                    return Err(common.unexpected(
+                        "waiting for first step",
+                        &Msg::InvocationStart { invocation },
+                    ));
                 }
                 Msg::Instructions(_) => {}
                 _ => unreachable!(),
@@ -89,13 +110,13 @@ impl ShrinkingSlave {
 
         let steps = (n as u64).saturating_sub(1);
         for k in 0..steps {
-            step(&ctx, &mut common, &mut st, &*kernel, k as usize);
+            step(ctx, &mut common, &mut st, &*kernel, k as usize)?;
             // Flush the final partial period (and execute any late moves)
             // before reporting the step done.
-            drain_transfers(&ctx, &mut common, &mut st, &*kernel, k as usize);
-            let moves = common.fire(&ctx, k, st.active.len() as u64);
-            execute_moves(&ctx, &mut common, &mut st, k as usize, moves);
-            barrier(&ctx, &mut common, &mut st, &*kernel, k, k + 1 == steps);
+            drain_transfers(ctx, &mut common, &mut st, &*kernel, k as usize)?;
+            let moves = common.fire(ctx, k, st.active.len() as u64)?;
+            execute_moves(ctx, &mut common, &mut st, k as usize, moves);
+            barrier(ctx, &mut common, &mut st, &*kernel, k, k + 1 == steps)?;
         }
 
         // Final barrier consumed Gather.
@@ -104,16 +125,13 @@ impl ShrinkingSlave {
             .into_iter()
             .map(|(id, data)| (id, vec![data]))
             .collect();
-        units.extend(
-            st.active
-                .into_iter()
-                .map(|(id, c)| (id, vec![c.data])),
-        );
+        units.extend(st.active.into_iter().map(|(id, c)| (id, vec![c.data])));
         let msg = Msg::GatherData {
             slave: common.idx,
             units,
         };
-        common.send_master(&ctx, msg);
+        common.send_master(ctx, msg);
+        Ok(())
     }
 }
 
@@ -123,7 +141,7 @@ fn step(
     st: &mut State,
     kernel: &dyn ShrinkingKernel,
     k: usize,
-) {
+) -> Result<(), ProtocolError> {
     // Pivot phase: the owner finalizes and broadcasts column k.
     if let Some(col) = st.active.remove(&k) {
         assert_eq!(
@@ -145,7 +163,11 @@ fn step(
         st.retired.push((k, col.data));
     } else if st.pivots[k].is_none() {
         let want = k as u64;
-        let env = ctx.recv_match(|m| matches!(m, Msg::Pivot { step, .. } if *step == want));
+        let env = common.recv_blocking(
+            ctx,
+            |m| matches!(m, Msg::Pivot { step, .. } if *step == want),
+            "pivot broadcast",
+        )?;
         if let Msg::Pivot { values, .. } = env.msg {
             st.pivots[k] = Some(values);
         }
@@ -154,18 +176,19 @@ fn step(
     // Update phase: bring every active column through step k, hooking after
     // each column update.
     loop {
-        drain_transfers(ctx, common, st, kernel, k);
+        drain_transfers(ctx, common, st, kernel, k)?;
         let next = st
             .active
             .iter()
             .find(|(_, c)| c.updated_through < k as i64)
             .map(|(&id, _)| id);
         let Some(j) = next else { break };
-        update_column(ctx, common, st, kernel, j, k);
+        update_column(ctx, common, st, kernel, j, k)?;
         let active = st.active.len() as u64;
-        let moves = common.hook(ctx, k as u64, active);
+        let moves = common.hook(ctx, k as u64, active)?;
         execute_moves(ctx, common, st, k, moves);
     }
+    Ok(())
 }
 
 fn update_column(
@@ -175,18 +198,26 @@ fn update_column(
     kernel: &dyn ShrinkingKernel,
     j: usize,
     k: usize,
-) {
+) -> Result<(), ProtocolError> {
     let col = st.active.get_mut(&j).expect("column present");
     let from = (col.updated_through + 1) as usize;
     for kk in from..=k {
-        let pivot = st.pivots[kk]
-            .as_ref()
-            .unwrap_or_else(|| panic!("missing pivot {kk} while updating column {j}"));
+        let Some(pivot) = st.pivots[kk].as_ref() else {
+            // A caught-up column needs pivot history the protocol should
+            // have delivered; its absence means a lost broadcast (or a
+            // runtime bug) — either way the step cannot proceed.
+            return Err(ProtocolError::MissingPivot {
+                step: kk,
+                column: j,
+                slave: common.idx,
+            });
+        };
         common.compute(ctx, kernel.step_cost(kk));
         kernel.update(j, &mut col.data, pivot, kk);
         col.updated_through = kk as i64;
         common.record_done(1);
     }
+    Ok(())
 }
 
 fn execute_moves(
@@ -234,12 +265,7 @@ fn execute_moves(
     common.move_cost_sample = Some((total, ctx.now().saturating_since(t0)));
 }
 
-fn incorporate(
-    common: &mut SlaveCommon,
-    st: &mut State,
-    t: TransferMsg,
-    k: usize,
-) {
+fn incorporate(common: &mut SlaveCommon, st: &mut State, t: TransferMsg, k: usize) {
     common.received_from[t.from] += 1;
     for mu in t.units {
         assert!(mu.id > k, "inactive column {} moved", mu.id);
@@ -271,19 +297,29 @@ fn drain_transfers(
     st: &mut State,
     kernel: &dyn ShrinkingKernel,
     k: usize,
-) {
+) -> Result<(), ProtocolError> {
     let _ = kernel;
     while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
         if let Msg::Transfer(t) = env.msg {
             incorporate(common, st, t, k);
         }
     }
-    // Also bank any pivot broadcasts that raced ahead.
+    // Also bank any pivot broadcasts that raced ahead (idempotent under
+    // duplicated deliveries).
     while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Pivot { .. })) {
         if let Msg::Pivot { step, values } = env.msg {
             st.pivots[step as usize] = Some(values);
         }
     }
+    if common.ft.is_some() {
+        if let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Abort | Msg::Evict)) {
+            return match env.msg {
+                Msg::Abort => Err(ProtocolError::Aborted),
+                _ => Err(ProtocolError::Evicted { slave: common.idx }),
+            };
+        }
+    }
+    Ok(())
 }
 
 fn barrier(
@@ -293,7 +329,7 @@ fn barrier(
     kernel: &dyn ShrinkingKernel,
     k: u64,
     is_final: bool,
-) {
+) -> Result<(), ProtocolError> {
     let send_done = |ctx: &ActorCtx<Msg>, common: &mut SlaveCommon| {
         let msg = Msg::InvocationDone {
             slave: common.idx,
@@ -301,12 +337,35 @@ fn barrier(
             transfers_sent: common.transfers_sent,
             received_from: common.received_from.clone(),
             metric: 0.0,
+            restore_seq: 0,
         };
         common.send_master(ctx, msg);
     };
     send_done(ctx, common);
+    let fault_mode = common.ft.is_some();
+    let mut silent = 0u32;
     loop {
-        let env = ctx.recv();
+        let env = match common.ft.clone() {
+            None => common.recv_blocking(ctx, |_| true, "step barrier")?,
+            Some(ft) => match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+                Some(env) => {
+                    silent = 0;
+                    env
+                }
+                None => {
+                    silent += 1;
+                    if silent > ft.give_up_tries {
+                        return Err(ProtocolError::Timeout {
+                            who: crate::error::slave_who(common.idx),
+                            waiting_for: "step barrier",
+                            at: ctx.now(),
+                        });
+                    }
+                    send_done(ctx, common);
+                    continue;
+                }
+            },
+        };
         match env.msg {
             Msg::Transfer(t) => {
                 incorporate(common, st, t, k as usize);
@@ -318,10 +377,10 @@ fn barrier(
                         .find(|(_, c)| c.updated_through < k as i64)
                         .map(|(&id, _)| id);
                     let Some(j) = next else { break };
-                    update_column(ctx, common, st, kernel, j, k as usize);
+                    update_column(ctx, common, st, kernel, j, k as usize)?;
                 }
                 let active = st.active.len() as u64;
-                let moves = common.fire(ctx, k, active);
+                let moves = common.fire(ctx, k, active)?;
                 execute_moves(ctx, common, st, k as usize, moves);
                 send_done(ctx, common);
             }
@@ -337,15 +396,25 @@ fn barrier(
                 }
             }
             Msg::InvocationStart { invocation } => {
-                assert!(!is_final, "unexpected step start after final step");
-                assert_eq!(invocation, k + 1, "step barrier out of order");
-                return;
+                if invocation == k + 1 && !is_final {
+                    return Ok(());
+                }
+                if fault_mode && invocation <= k {
+                    // Stale duplicate of an earlier release.
+                    continue;
+                }
+                return Err(common.unexpected("step barrier", &Msg::InvocationStart { invocation }));
             }
             Msg::Gather => {
-                assert!(is_final, "gather before final step");
-                return;
+                if is_final {
+                    return Ok(());
+                }
+                return Err(common.unexpected("step barrier", &Msg::Gather));
             }
-            other => panic!("shrinking slave at barrier: unexpected {other:?}"),
+            Msg::Abort => return Err(ProtocolError::Aborted),
+            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
+            other => return Err(common.unexpected("step barrier", &other)),
         }
     }
 }

@@ -1,0 +1,207 @@
+//! Typed runtime errors and fault-tolerance configuration.
+//!
+//! The runtime never panics on protocol trouble: masters and slaves return
+//! [`ProtocolError`] values, slaves ship theirs to the master in
+//! [`crate::msg::Msg::SlaveError`], and the driver surfaces everything as a
+//! [`RunError`] carrying the partial measurements of the failed run.
+
+use crate::balancer::BalancerStats;
+use crate::master::TimelineSample;
+use crate::recovery::RecoveryStats;
+use dlb_sim::{SimDuration, SimReport, SimTime};
+use std::fmt;
+
+/// A protocol-level failure in the master/slave runtime.
+///
+/// `Clone` because slave errors travel to the master inside a message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    /// A message arrived that the receiver's protocol state cannot accept.
+    UnexpectedMessage {
+        /// Who was confused: `"master"` or `"slave N"`.
+        who: String,
+        /// What the receiver was doing.
+        context: &'static str,
+        /// Debug rendering of the offending message (truncated).
+        message: String,
+    },
+    /// A blocking protocol step exceeded its deadline (fault mode only).
+    Timeout {
+        who: String,
+        waiting_for: &'static str,
+        at: SimTime,
+    },
+    /// Shrinking engine: an update needed a pivot that never arrived.
+    MissingPivot {
+        step: usize,
+        column: usize,
+        slave: usize,
+    },
+    /// Pipelined engine: a work transfer arrived from a non-adjacent slave.
+    NonNeighborTransfer { from: usize, to: usize, sweep: u64 },
+    /// The master declared this slave dead after `suspicion` of silence.
+    SlaveDead { slave: usize, at: SimTime },
+    /// Every slave was declared dead; nobody is left to run the program.
+    AllSlavesDead,
+    /// A slave reported a fatal error of its own.
+    SlaveFailed {
+        slave: usize,
+        error: Box<ProtocolError>,
+    },
+    /// The master told this process to stop (propagated, not reported).
+    Aborted,
+    /// The master evicted this slave after (possibly false) suspicion.
+    Evicted { slave: usize },
+    /// Bookkeeping that must balance did not (lost/duplicated units, bad
+    /// completion counts).
+    Inconsistent { detail: String },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnexpectedMessage {
+                who,
+                context,
+                message,
+            } => {
+                write!(f, "{who}: unexpected message at {context}: {message}")
+            }
+            ProtocolError::Timeout {
+                who,
+                waiting_for,
+                at,
+            } => {
+                write!(f, "{who}: timed out at t={at} waiting for {waiting_for}")
+            }
+            ProtocolError::MissingPivot {
+                step,
+                column,
+                slave,
+            } => write!(
+                f,
+                "slave {slave}: missing pivot {step} while updating column {column}"
+            ),
+            ProtocolError::NonNeighborTransfer { from, to, sweep } => write!(
+                f,
+                "slave {to}: transfer from non-neighbor {from} in sweep {sweep}"
+            ),
+            ProtocolError::SlaveDead { slave, at } => {
+                write!(f, "slave {slave} declared dead at t={at}")
+            }
+            ProtocolError::AllSlavesDead => write!(f, "all slaves declared dead"),
+            ProtocolError::SlaveFailed { slave, error } => {
+                write!(f, "slave {slave} failed: {error}")
+            }
+            ProtocolError::Aborted => write!(f, "aborted by master"),
+            ProtocolError::Evicted { slave } => write!(f, "slave {slave} evicted"),
+            ProtocolError::Inconsistent { detail } => {
+                write!(f, "inconsistent bookkeeping: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// `who` strings for error construction.
+pub(crate) fn slave_who(idx: usize) -> String {
+    format!("slave {idx}")
+}
+
+/// Timeouts and retry bounds for fault-mode runs.
+///
+/// All values are virtual time. The defaults suit the chaos tests (unit
+/// compute times well under a second); `suspicion` must comfortably exceed
+/// the longest stretch a healthy slave can go without sending anything —
+/// roughly one unit compute plus the balancing period — or healthy slaves
+/// get evicted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultToleranceConfig {
+    /// Master receive granularity: how often it checks timers.
+    pub master_tick: SimDuration,
+    /// Silence after which the master declares a slave dead.
+    pub suspicion: SimDuration,
+    /// Silence after which the master re-sends control messages
+    /// (Start / InvocationStart / Restore / Gather).
+    pub nudge: SimDuration,
+    /// Maximum re-sends of one unacknowledged instruction message.
+    pub instr_retries: u32,
+    /// Idle-slave heartbeat: how often an idle slave re-sends its
+    /// `InvocationDone`.
+    pub slave_heartbeat: SimDuration,
+    /// Deadline for any single blocking protocol step on a slave
+    /// (pipelined/shrinking waits, start-up).
+    pub op_timeout: SimDuration,
+    /// Heartbeats an idle slave tolerates with no traffic at all before
+    /// giving up on the master.
+    pub give_up_tries: u32,
+    /// Heartbeats a slave waits for a gather acknowledgement before
+    /// assuming its data arrived and exiting.
+    pub gather_patience: u32,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            master_tick: SimDuration::from_millis(250),
+            suspicion: SimDuration::from_secs(8),
+            nudge: SimDuration::from_secs(2),
+            instr_retries: 3,
+            slave_heartbeat: SimDuration::from_secs(1),
+            op_timeout: SimDuration::from_secs(30),
+            give_up_tries: 90,
+            gather_patience: 10,
+        }
+    }
+}
+
+/// A failed run: the typed cause plus everything that was still measurable.
+#[derive(Debug)]
+pub struct RunError {
+    pub error: ProtocolError,
+    /// Total virtual time until the run stopped.
+    pub elapsed: SimDuration,
+    pub stats: BalancerStats,
+    pub recovery: RecoveryStats,
+    pub timeline: Vec<TimelineSample>,
+    /// Full simulator report (fault counters, trace hash, per-node CPU).
+    pub sim: SimReport,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run failed after {}: {}", self.elapsed, self.error)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::MissingPivot {
+            step: 3,
+            column: 7,
+            slave: 1,
+        };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = ProtocolError::SlaveFailed {
+            slave: 2,
+            error: Box::new(ProtocolError::Aborted),
+        };
+        assert!(e.to_string().contains("slave 2"));
+    }
+
+    #[test]
+    fn defaults_are_ordered_sanely() {
+        let t = FaultToleranceConfig::default();
+        assert!(t.master_tick < t.nudge);
+        assert!(t.nudge < t.suspicion);
+        assert!(t.slave_heartbeat < t.suspicion);
+        assert!(t.suspicion < t.op_timeout);
+    }
+}

@@ -203,8 +203,8 @@ mod tests {
     #[test]
     fn hooks_to_skip_matches_target() {
         let fc = FrequencyController::new(ms(100)); // target 500ms
-        // Rate 100 units/s, 1 unit per hook: hook every 10ms -> period
-        // 500ms = 50 hooks -> skip 49.
+                                                    // Rate 100 units/s, 1 unit per hook: hook every 10ms -> period
+                                                    // 500ms = 50 hooks -> skip 49.
         assert_eq!(fc.hooks_to_skip(100.0, 1.0), 49);
         // Huge units: hook every 2s > target -> skip 0 (hook every time).
         assert_eq!(fc.hooks_to_skip(0.5, 1.0), 0);

@@ -66,17 +66,21 @@ pub mod driver;
 pub mod engine_independent;
 pub mod engine_pipelined;
 pub mod engine_shrinking;
+pub mod error;
 pub mod frequency;
 pub mod kernels;
 pub mod master;
 pub mod msg;
 pub mod rate;
+pub mod recovery;
 pub mod slave_common;
 
 pub use balancer::{Balancer, BalancerConfig, BalancerStats, InteractionMode};
-pub use driver::{block_ranges, run, AppSpec, RunConfig, RunReport, StartupDistribution};
+pub use driver::{block_ranges, run, try_run, AppSpec, RunConfig, RunReport, StartupDistribution};
+pub use error::{FaultToleranceConfig, ProtocolError, RunError};
 pub use frequency::{FrequencyController, PeriodBounds};
 pub use kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
 pub use master::TimelineSample;
 pub use msg::{Edge, Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
 pub use rate::RateFilter;
+pub use recovery::RecoveryStats;

@@ -9,13 +9,25 @@
 //! is idle, all expected work units are accounted for, and every issued
 //! work transfer has been received (settlement) — so no unit can be lost
 //! or skipped.
+//!
+//! Three variants of the control loop exist:
+//!
+//! * **plain** — no fault plan; trouble is a typed error, never a panic.
+//! * **recoverable** (independent pattern) — the master detects dead slaves
+//!   by silence, evicts them, and re-scatters their units to survivors via
+//!   [`Msg::Restore`]; the run completes bit-for-bit correct with a
+//!   degraded node count.
+//! * **abort-only** (pipelined/shrinking patterns) — carried dependences
+//!   make mid-run recovery impossible, so the master detects trouble
+//!   (silence, slave errors) and aborts cleanly with partial metrics.
 
 use crate::balancer::{Balancer, BalancerStats};
+use crate::error::ProtocolError;
 use crate::frequency::PeriodBounds;
-use crate::msg::{Msg, UnitData};
+use crate::msg::{Instructions, Msg, UnitData};
+use crate::recovery::{redistribute, RecoveryStats};
 use dlb_sim::{ActorCtx, ActorId, CpuWork, SimTime};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One row of the master's balancing log — the raw material for the
 /// paper's Figure 9 (raw rate, adjusted rate, work assignment over time).
@@ -41,6 +53,27 @@ pub struct MasterOutcome {
     pub bounds: Option<PeriodBounds>,
     /// Virtual time when the last invocation settled (before gather).
     pub compute_done: SimTime,
+    /// Recovery actions taken (all zero for fault-free runs).
+    pub recovery: RecoveryStats,
+    /// The typed failure, if the run did not complete.
+    pub error: Option<ProtocolError>,
+    /// All invocations settled and the gather completed.
+    pub completed: bool,
+}
+
+/// Initial data of a unit, for re-scattering a dead slave's block.
+pub type InitUnitFn = Box<dyn Fn(usize) -> UnitData + Send>;
+/// Recompute a unit end-to-end (init + the given number of completed
+/// invocations).
+pub type RecomputeUnitFn = Box<dyn Fn(usize, u64) -> UnitData + Send>;
+
+/// Fault-tolerance wiring for the master.
+pub struct MasterFt {
+    pub tolerance: crate::error::FaultToleranceConfig,
+    /// Independent pattern: `None` selects the abort-only control loop.
+    pub init_unit: Option<InitUnitFn>,
+    /// Independent pattern: used when a slave dies during the final gather.
+    pub recompute_unit: Option<RecomputeUnitFn>,
 }
 
 /// Master configuration.
@@ -59,6 +92,31 @@ pub struct MasterConfig {
     /// just settled and the reduced convergence metric; `true` ends the
     /// program before the invocation upper bound.
     pub converged: Box<dyn Fn(u64, f64) -> bool + Send>,
+    /// Fault-mode control loop; `None` selects the plain loop.
+    pub ft: Option<MasterFt>,
+}
+
+/// Partial results threaded through the control loops so a failed run
+/// still surfaces everything measured up to the failure.
+#[derive(Default)]
+struct Scratch {
+    result: Vec<(usize, UnitData)>,
+    timeline: Vec<TimelineSample>,
+    compute_done: SimTime,
+    recovery: RecoveryStats,
+}
+
+fn send(ctx: &ActorCtx<Msg>, to: ActorId, msg: Msg) {
+    let bytes = msg.wire_bytes();
+    ctx.send(to, msg, bytes);
+}
+
+fn unexpected(context: &'static str, msg: &Msg) -> ProtocolError {
+    ProtocolError::UnexpectedMessage {
+        who: "master".to_string(),
+        context,
+        message: format!("{msg:?}").chars().take(120).collect(),
+    }
 }
 
 /// The master actor body. `slaves` in slave-index order; `assignment` is
@@ -71,26 +129,71 @@ pub fn run_master(
     block_rows: u64,
     out: Arc<Mutex<MasterOutcome>>,
 ) {
-    let n = slaves.len();
-    let send = |ctx: &ActorCtx<Msg>, to: ActorId, msg: Msg| {
-        let bytes = msg.wire_bytes();
-        ctx.send(to, msg, bytes);
-    };
-
-    // Initial distribution.
-    for &s in &slaves {
-        send(
+    let mut sc = Scratch::default();
+    let ft = cfg.ft.take();
+    let res = match &ft {
+        None => run_plain(&ctx, &mut cfg, &slaves, &assignment, block_rows, &mut sc),
+        Some(ft) if ft.init_unit.is_some() => run_recoverable(
             &ctx,
+            &mut cfg,
+            ft,
+            &slaves,
+            &assignment,
+            block_rows,
+            &mut sc,
+        ),
+        Some(ft) => run_abort_only(
+            &ctx,
+            &mut cfg,
+            ft,
+            &slaves,
+            &assignment,
+            block_rows,
+            &mut sc,
+        ),
+    };
+    if res.is_err() {
+        // Release every slave from whatever it is blocked on. recv_blocking
+        // always matches Abort, so this cannot deadlock even outside fault
+        // mode.
+        for &s in &slaves {
+            send(&ctx, s, Msg::Abort);
+        }
+    }
+    let mut o = out.lock().unwrap_or_else(|p| p.into_inner());
+    o.result = std::mem::take(&mut sc.result);
+    o.timeline = std::mem::take(&mut sc.timeline);
+    o.stats = cfg.balancer.stats();
+    o.bounds = Some(cfg.balancer.period_bounds());
+    o.compute_done = sc.compute_done;
+    o.recovery = sc.recovery;
+    o.completed = res.is_ok();
+    o.error = res.err();
+}
+
+/// Fault-free control loop. Structurally the original master; every
+/// protocol violation is a typed error instead of a panic.
+fn run_plain(
+    ctx: &ActorCtx<Msg>,
+    cfg: &mut MasterConfig,
+    slaves: &[ActorId],
+    assignment: &[(usize, usize)],
+    block_rows: u64,
+    sc: &mut Scratch,
+) -> Result<(), ProtocolError> {
+    let n = slaves.len();
+    for &s in slaves {
+        send(
+            ctx,
             s,
             Msg::Start {
-                slaves: slaves.clone(),
-                assignment: assignment.clone(),
+                slaves: slaves.to_vec(),
+                assignment: assignment.to_vec(),
                 block_rows,
             },
         );
     }
 
-    let mut timeline = Vec::new();
     let mut sent_ctr = vec![0u64; n];
     let mut recv_ctr = vec![0u64; n];
 
@@ -101,8 +204,8 @@ pub fn run_master(
         if let Some(uph) = &cfg.units_per_hook {
             cfg.balancer.set_units_per_hook(uph(inv));
         }
-        for &s in &slaves {
-            send(&ctx, s, Msg::InvocationStart { invocation: inv });
+        for &s in slaves {
+            send(ctx, s, Msg::InvocationStart { invocation: inv });
         }
         let expected = (cfg.expected_units)(inv);
         let mut done_sum = 0u64;
@@ -116,10 +219,13 @@ pub fn run_master(
                 && sent_ctr.iter().sum::<u64>() == recv_ctr.iter().sum::<u64>()
                 && cfg.balancer.outstanding_orders() == 0
             {
-                assert_eq!(
-                    done_sum, expected,
-                    "invocation {inv}: more units completed than exist"
-                );
+                if done_sum != expected {
+                    return Err(ProtocolError::Inconsistent {
+                        detail: format!(
+                            "invocation {inv}: {done_sum} units completed, expected {expected}"
+                        ),
+                    });
+                }
                 break;
             }
             let env = ctx.recv();
@@ -135,11 +241,9 @@ pub fn run_master(
             }
             match env.msg {
                 Msg::Status(st) => {
-                    assert!(
-                        st.invocation <= inv,
-                        "status from the future: {} > {inv}",
-                        st.invocation
-                    );
+                    if st.invocation > inv {
+                        return Err(unexpected("status from the future", &Msg::Status(st)));
+                    }
                     if st.invocation == inv {
                         done_sum += st.units_done_delta;
                     }
@@ -150,7 +254,7 @@ pub fn run_master(
                     ctx.advance_work(cfg.decision_cpu);
                     let decision = cfg.balancer.on_status(&st);
                     if cfg.record_timeline {
-                        timeline.push(TimelineSample {
+                        sc.timeline.push(TimelineSample {
                             t: ctx.now(),
                             slave: st.slave,
                             invocation: inv,
@@ -161,7 +265,7 @@ pub fn run_master(
                         });
                     }
                     send(
-                        &ctx,
+                        ctx,
                         slaves[st.slave],
                         Msg::Instructions(decision.instructions),
                     );
@@ -172,16 +276,26 @@ pub fn run_master(
                     transfers_sent,
                     received_from,
                     metric,
+                    ..
                 } => {
-                    assert_eq!(invocation, inv, "stale InvocationDone");
+                    if invocation != inv {
+                        return Err(ProtocolError::Inconsistent {
+                            detail: format!("InvocationDone for {invocation} while settling {inv}"),
+                        });
+                    }
                     idle[slave] = true;
                     metrics[slave] = metric;
                     sent_ctr[slave] = sent_ctr[slave].max(transfers_sent);
-                    recv_ctr[slave] =
-                        recv_ctr[slave].max(received_from.iter().sum::<u64>());
+                    recv_ctr[slave] = recv_ctr[slave].max(received_from.iter().sum::<u64>());
                     cfg.balancer.ack_transfers(slave, &received_from);
                 }
-                other => panic!("master: unexpected message {other:?}"),
+                Msg::SlaveError { slave, error } => {
+                    return Err(ProtocolError::SlaveFailed {
+                        slave,
+                        error: Box::new(error),
+                    });
+                }
+                other => return Err(unexpected("invocation loop", &other)),
             }
         }
         let reduced: f64 = metrics.iter().sum();
@@ -191,31 +305,575 @@ pub fn run_master(
         }
     }
 
-    let compute_done = ctx.now();
+    sc.compute_done = ctx.now();
 
     // Gather results.
-    for &s in &slaves {
-        send(&ctx, s, Msg::Gather);
+    for &s in slaves {
+        send(ctx, s, Msg::Gather);
     }
-    let mut result = Vec::new();
     let mut got = 0;
     while got < n {
         let env = ctx.recv();
         match env.msg {
             Msg::GatherData { units, .. } => {
-                result.extend(units);
+                sc.result.extend(units);
                 got += 1;
             }
             // Final statuses racing the gather are harmless.
             Msg::Status(_) | Msg::InvocationDone { .. } => {}
-            other => panic!("master at gather: unexpected {other:?}"),
+            Msg::SlaveError { slave, error } => {
+                return Err(ProtocolError::SlaveFailed {
+                    slave,
+                    error: Box::new(error),
+                });
+            }
+            other => return Err(unexpected("gather", &other)),
+        }
+    }
+    Ok(())
+}
+
+/// Recoverable control loop (independent pattern): silence-based failure
+/// detection, eviction, and unit re-scattering.
+#[allow(clippy::too_many_arguments)]
+fn run_recoverable(
+    ctx: &ActorCtx<Msg>,
+    cfg: &mut MasterConfig,
+    ft: &MasterFt,
+    slaves: &[ActorId],
+    assignment: &[(usize, usize)],
+    block_rows: u64,
+    sc: &mut Scratch,
+) -> Result<(), ProtocolError> {
+    let n = slaves.len();
+    let tol = ft.tolerance.clone();
+    let init_unit = ft
+        .init_unit
+        .as_ref()
+        .expect("recoverable loop needs init_unit");
+
+    let start_msg = |slaves: &[ActorId]| Msg::Start {
+        slaves: slaves.to_vec(),
+        assignment: assignment.to_vec(),
+        block_rows,
+    };
+    for &s in slaves {
+        send(ctx, s, start_msg(slaves));
+    }
+
+    // Liveness and dedup state. `next_nudge` rate-limits re-sends per
+    // slave; re-sends themselves are event-triggered (see below), so a
+    // fault-free run never produces one.
+    let mut alive = vec![true; n];
+    let mut heard_any = vec![false; n];
+    let mut last_heard = vec![ctx.now(); n];
+    let mut next_nudge = vec![ctx.now() + tol.nudge; n];
+    let mut last_hook_seq = vec![0u64; n];
+    // Ownership as the master believes it. Work movement is disabled in
+    // fault mode, so only evictions/restores change it — authoritative.
+    let mut owned: Vec<Vec<usize>> = assignment
+        .iter()
+        .map(|&(lo, hi)| (lo..hi).collect())
+        .collect();
+    // Restore protocol: per-destination send counter, acknowledgement
+    // watermark, and unacknowledged messages for nudge re-sends.
+    let mut restore_seq_sent = vec![0u64; n];
+    let mut restore_watermark = vec![0u64; n];
+    let mut pending_restores: Vec<Vec<(u64, Msg)>> = vec![Vec::new(); n];
+    // Bounded instruction retry: (seq, message, re-sends so far), cleared
+    // when a status acknowledges the sequence number.
+    let mut unacked_instr: Vec<Option<(u64, Instructions, u32)>> = (0..n).map(|_| None).collect();
+
+    let mut inv = 0;
+    'invocations: while inv < cfg.invocations {
+        cfg.balancer
+            .set_remaining_invocations(cfg.invocations - inv);
+        if let Some(uph) = &cfg.units_per_hook {
+            cfg.balancer.set_units_per_hook(uph(inv));
+        }
+        for (i, &s) in slaves.iter().enumerate() {
+            if alive[i] {
+                send(ctx, s, Msg::InvocationStart { invocation: inv });
+            }
+        }
+        let mut done = vec![false; n];
+        let mut metrics = vec![0.0f64; n];
+        let settled =
+            |s: usize, done: &[bool], restore_watermark: &[u64], restore_seq_sent: &[u64]| {
+                done[s] && restore_watermark[s] >= restore_seq_sent[s]
+            };
+
+        loop {
+            if (0..n).all(|s| !alive[s] || settled(s, &done, &restore_watermark, &restore_seq_sent))
+            {
+                break;
+            }
+            if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
+                match env.msg {
+                    Msg::Status(st) => {
+                        let s = st.slave;
+                        if !alive[s] {
+                            continue; // evicted slave still talking
+                        }
+                        heard_any[s] = true;
+                        last_heard[s] = ctx.now();
+                        if st.invocation > inv {
+                            return Err(unexpected("status from the future", &Msg::Status(st)));
+                        }
+                        if st.hook_seq <= last_hook_seq[s] {
+                            sc.recovery.status_dups_ignored += 1;
+                            continue;
+                        }
+                        last_hook_seq[s] = st.hook_seq;
+                        if let Some((seq, _, _)) = &unacked_instr[s] {
+                            // Ack lag alone is no evidence of loss: a slave
+                            // pipelines instructions, so it runs a couple of
+                            // sequence numbers behind even fault-free, and a
+                            // dropped instruction is superseded by the next
+                            // one anyway. Retry only fires for a slave stuck
+                            // at a barrier (see the InvocationDone arm),
+                            // where nothing can supersede.
+                            if st.last_applied_seq >= *seq {
+                                unacked_instr[s] = None;
+                            }
+                        }
+                        ctx.advance_work(cfg.decision_cpu);
+                        let decision = cfg.balancer.on_status(&st);
+                        if cfg.record_timeline {
+                            sc.timeline.push(TimelineSample {
+                                t: ctx.now(),
+                                slave: s,
+                                invocation: inv,
+                                raw_rate: decision.raw_rate,
+                                adjusted_rate: decision.adjusted_rate,
+                                assigned: decision.owned_after,
+                                hooks_to_skip: decision.instructions.hooks_to_skip,
+                            });
+                        }
+                        unacked_instr[s] =
+                            Some((decision.instructions.seq, decision.instructions.clone(), 0));
+                        send(ctx, slaves[s], Msg::Instructions(decision.instructions));
+                    }
+                    Msg::InvocationDone {
+                        slave,
+                        invocation,
+                        metric,
+                        restore_seq,
+                        ..
+                    } => {
+                        if !alive[slave] {
+                            sc.recovery.done_dups_ignored += 1;
+                            continue;
+                        }
+                        heard_any[slave] = true;
+                        last_heard[slave] = ctx.now();
+                        restore_watermark[slave] = restore_watermark[slave].max(restore_seq);
+                        let w = restore_watermark[slave];
+                        pending_restores[slave].retain(|(seq, _)| *seq > w);
+                        if invocation == inv {
+                            done[slave] = true;
+                            metrics[slave] = metric;
+                        } else if invocation < inv {
+                            sc.recovery.done_dups_ignored += 1;
+                            // A heartbeat from a slave stuck at the previous
+                            // barrier: its release was lost. The heartbeat
+                            // itself is the re-send trigger — the slave is
+                            // chatty, so a silence timer would never fire.
+                            if ctx.now() >= next_nudge[slave] {
+                                next_nudge[slave] = ctx.now() + tol.nudge;
+                                send(ctx, slaves[slave], Msg::InvocationStart { invocation: inv });
+                                sc.recovery.invocation_start_resends += 1;
+                                // A stuck slave cannot supersede a lost
+                                // instruction with a newer one; replay the
+                                // unacknowledged one (bounded).
+                                if let Some((_, instr, tries)) = &mut unacked_instr[slave] {
+                                    if *tries < tol.instr_retries {
+                                        *tries += 1;
+                                        sc.recovery.instr_resends += 1;
+                                        send(ctx, slaves[slave], Msg::Instructions(instr.clone()));
+                                    }
+                                }
+                            }
+                        } else {
+                            return Err(ProtocolError::Inconsistent {
+                                detail: format!(
+                                    "InvocationDone for {invocation} while settling {inv}"
+                                ),
+                            });
+                        }
+                        // Done but missing restored units: the Restore was
+                        // lost in flight. Replay everything unacknowledged.
+                        if done[slave]
+                            && restore_watermark[slave] < restore_seq_sent[slave]
+                            && ctx.now() >= next_nudge[slave]
+                        {
+                            next_nudge[slave] = ctx.now() + tol.nudge;
+                            for (_, msg) in &pending_restores[slave] {
+                                send(ctx, slaves[slave], msg.clone());
+                                sc.recovery.restore_resends += 1;
+                            }
+                        }
+                    }
+                    Msg::SlaveError { slave, error } => {
+                        return Err(ProtocolError::SlaveFailed {
+                            slave,
+                            error: Box::new(error),
+                        });
+                    }
+                    other => return Err(unexpected("recoverable invocation loop", &other)),
+                }
+            }
+
+            // Timers: suspicion and nudges for every live, unsettled slave.
+            let now = ctx.now();
+            for s in 0..n {
+                if !alive[s] || settled(s, &done, &restore_watermark, &restore_seq_sent) {
+                    continue;
+                }
+                let silent = now.saturating_since(last_heard[s]);
+                if silent >= tol.suspicion {
+                    // Declare dead, evict, and re-scatter its units.
+                    alive[s] = false;
+                    sc.recovery.slaves_declared_dead += 1;
+                    sc.recovery.first_death.get_or_insert(now);
+                    send(ctx, slaves[s], Msg::Evict);
+                    let dead_units = std::mem::take(&mut owned[s]);
+                    // Its per-invocation metric no longer counts: survivors
+                    // recompute its units and contribute their metric.
+                    metrics[s] = 0.0;
+                    let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+                    if survivors.is_empty() {
+                        return Err(ProtocolError::AllSlavesDead);
+                    }
+                    for (t, units) in redistribute(&dead_units, &survivors) {
+                        let payload: Vec<(usize, UnitData)> =
+                            units.iter().map(|&u| (u, init_unit(u))).collect();
+                        sc.recovery.units_restored += payload.len() as u64;
+                        owned[t].extend(&units);
+                        restore_seq_sent[t] += 1;
+                        let msg = Msg::Restore {
+                            seq: restore_seq_sent[t],
+                            invocation: inv,
+                            units: payload,
+                        };
+                        pending_restores[t].push((restore_seq_sent[t], msg.clone()));
+                        send(ctx, slaves[t], msg);
+                    }
+                } else if !heard_any[s] && silent >= tol.nudge && now >= next_nudge[s] {
+                    // A slave that has never spoken may have lost its Start;
+                    // it has nothing to heartbeat, so only a silence timer
+                    // can catch it. Every other loss is event-triggered from
+                    // the receive arms above: a slave missing a control
+                    // message keeps heartbeating, and the heartbeat itself
+                    // carries the evidence of what it is missing.
+                    next_nudge[s] = now + tol.nudge;
+                    send(ctx, slaves[s], start_msg(slaves));
+                    sc.recovery.start_resends += 1;
+                    send(ctx, slaves[s], Msg::InvocationStart { invocation: inv });
+                    sc.recovery.invocation_start_resends += 1;
+                }
+            }
+            if !alive.iter().any(|&a| a) {
+                return Err(ProtocolError::AllSlavesDead);
+            }
+        }
+        let reduced: f64 = metrics.iter().sum();
+        inv += 1;
+        if (cfg.converged)(inv - 1, reduced) {
+            break 'invocations;
         }
     }
 
-    let mut o = out.lock();
-    o.result = result;
-    o.timeline = timeline;
-    o.stats = cfg.balancer.stats();
-    o.bounds = Some(cfg.balancer.period_bounds());
-    o.compute_done = compute_done;
+    sc.compute_done = ctx.now();
+
+    // Gather from the survivors; slaves dying here get their units
+    // recomputed locally from the retained initial data.
+    let recompute = ft
+        .recompute_unit
+        .as_ref()
+        .expect("recoverable loop needs recompute_unit");
+    let mut got = vec![false; n];
+    let now = ctx.now();
+    for s in 0..n {
+        next_nudge[s] = now + tol.nudge;
+        last_heard[s] = now;
+        if alive[s] {
+            send(ctx, slaves[s], Msg::Gather);
+        }
+    }
+    loop {
+        if (0..n).all(|s| !alive[s] || got[s]) {
+            break;
+        }
+        if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
+            match env.msg {
+                Msg::GatherData { slave, units } => {
+                    if !alive[slave] || got[slave] {
+                        sc.recovery.gather_dups_ignored += 1;
+                        if alive[slave] {
+                            send(ctx, slaves[slave], Msg::GatherAck);
+                        }
+                    } else {
+                        got[slave] = true;
+                        last_heard[slave] = ctx.now();
+                        sc.result.extend(units);
+                        send(ctx, slaves[slave], Msg::GatherAck);
+                    }
+                }
+                // Final statuses and idle heartbeats racing the gather. A
+                // heartbeat from a slave that owes us data means it never
+                // received the Gather — the heartbeat is the re-send
+                // trigger (it is chatty, so a silence timer never fires).
+                Msg::Status(st) => {
+                    let s = st.slave;
+                    if alive[s] {
+                        last_heard[s] = ctx.now();
+                        if !got[s] && ctx.now() >= next_nudge[s] {
+                            next_nudge[s] = ctx.now() + tol.nudge;
+                            send(ctx, slaves[s], Msg::Gather);
+                            sc.recovery.gather_resends += 1;
+                        }
+                    }
+                }
+                Msg::InvocationDone { slave, .. } => {
+                    if alive[slave] {
+                        last_heard[slave] = ctx.now();
+                        if !got[slave] && ctx.now() >= next_nudge[slave] {
+                            next_nudge[slave] = ctx.now() + tol.nudge;
+                            send(ctx, slaves[slave], Msg::Gather);
+                            sc.recovery.gather_resends += 1;
+                        }
+                    }
+                }
+                Msg::SlaveError { slave, error } => {
+                    return Err(ProtocolError::SlaveFailed {
+                        slave,
+                        error: Box::new(error),
+                    });
+                }
+                other => return Err(unexpected("recoverable gather", &other)),
+            }
+        }
+        let now = ctx.now();
+        for s in 0..n {
+            if !alive[s] || got[s] {
+                continue;
+            }
+            let silent = now.saturating_since(last_heard[s]);
+            if silent >= tol.suspicion {
+                alive[s] = false;
+                sc.recovery.slaves_declared_dead += 1;
+                sc.recovery.first_death.get_or_insert(now);
+                send(ctx, slaves[s], Msg::Evict);
+                for u in std::mem::take(&mut owned[s]) {
+                    sc.result.push((u, recompute(u, inv)));
+                    sc.recovery.units_recomputed += 1;
+                }
+            } else if silent >= tol.nudge && now >= next_nudge[s] {
+                // Silent but not yet suspect: the slave may be waiting for
+                // a GatherAck after its GatherData was lost (it waits
+                // quietly, re-sending only on a duplicate Gather).
+                next_nudge[s] = now + tol.nudge;
+                send(ctx, slaves[s], Msg::Gather);
+                sc.recovery.gather_resends += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Abort-only control loop (pipelined/shrinking patterns): the plain
+/// settlement logic plus deadlines, duplicate suppression, and
+/// silence-based failure detection. Any fault that loses protocol state
+/// surfaces as a typed error — never a hang.
+#[allow(clippy::too_many_arguments)]
+fn run_abort_only(
+    ctx: &ActorCtx<Msg>,
+    cfg: &mut MasterConfig,
+    ft: &MasterFt,
+    slaves: &[ActorId],
+    assignment: &[(usize, usize)],
+    block_rows: u64,
+    sc: &mut Scratch,
+) -> Result<(), ProtocolError> {
+    let n = slaves.len();
+    let tol = ft.tolerance.clone();
+    for &s in slaves {
+        send(
+            ctx,
+            s,
+            Msg::Start {
+                slaves: slaves.to_vec(),
+                assignment: assignment.to_vec(),
+                block_rows,
+            },
+        );
+    }
+
+    let mut last_heard = vec![ctx.now(); n];
+    let mut last_hook_seq = vec![0u64; n];
+    let mut sent_ctr = vec![0u64; n];
+    let mut recv_ctr = vec![0u64; n];
+
+    let mut inv = 0;
+    while inv < cfg.invocations {
+        cfg.balancer
+            .set_remaining_invocations(cfg.invocations - inv);
+        if let Some(uph) = &cfg.units_per_hook {
+            cfg.balancer.set_units_per_hook(uph(inv));
+        }
+        for &s in slaves {
+            send(ctx, s, Msg::InvocationStart { invocation: inv });
+        }
+        let expected = (cfg.expected_units)(inv);
+        let mut done_sum = 0u64;
+        let mut idle = vec![false; n];
+        let mut metrics = vec![0.0f64; n];
+
+        loop {
+            if idle.iter().all(|&b| b)
+                && done_sum >= expected
+                && sent_ctr.iter().sum::<u64>() == recv_ctr.iter().sum::<u64>()
+                && cfg.balancer.outstanding_orders() == 0
+            {
+                if done_sum != expected {
+                    return Err(ProtocolError::Inconsistent {
+                        detail: format!(
+                            "invocation {inv}: {done_sum} units completed, expected {expected}"
+                        ),
+                    });
+                }
+                break;
+            }
+            if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
+                match env.msg {
+                    Msg::Status(st) => {
+                        let s = st.slave;
+                        last_heard[s] = ctx.now();
+                        if st.invocation > inv {
+                            return Err(unexpected("status from the future", &Msg::Status(st)));
+                        }
+                        if st.hook_seq <= last_hook_seq[s] {
+                            sc.recovery.status_dups_ignored += 1;
+                            continue;
+                        }
+                        last_hook_seq[s] = st.hook_seq;
+                        if st.invocation == inv {
+                            done_sum += st.units_done_delta;
+                        }
+                        sent_ctr[s] = sent_ctr[s].max(st.transfers_sent);
+                        recv_ctr[s] = recv_ctr[s].max(st.received_from.iter().sum::<u64>());
+                        idle[s] = false;
+                        ctx.advance_work(cfg.decision_cpu);
+                        let decision = cfg.balancer.on_status(&st);
+                        if cfg.record_timeline {
+                            sc.timeline.push(TimelineSample {
+                                t: ctx.now(),
+                                slave: s,
+                                invocation: inv,
+                                raw_rate: decision.raw_rate,
+                                adjusted_rate: decision.adjusted_rate,
+                                assigned: decision.owned_after,
+                                hooks_to_skip: decision.instructions.hooks_to_skip,
+                            });
+                        }
+                        send(ctx, slaves[s], Msg::Instructions(decision.instructions));
+                    }
+                    Msg::InvocationDone {
+                        slave,
+                        invocation,
+                        transfers_sent,
+                        received_from,
+                        metric,
+                        ..
+                    } => {
+                        last_heard[slave] = ctx.now();
+                        if invocation == inv {
+                            idle[slave] = true;
+                            metrics[slave] = metric;
+                            sent_ctr[slave] = sent_ctr[slave].max(transfers_sent);
+                            recv_ctr[slave] =
+                                recv_ctr[slave].max(received_from.iter().sum::<u64>());
+                            cfg.balancer.ack_transfers(slave, &received_from);
+                        } else if invocation < inv {
+                            sc.recovery.done_dups_ignored += 1;
+                        } else {
+                            return Err(ProtocolError::Inconsistent {
+                                detail: format!(
+                                    "InvocationDone for {invocation} while settling {inv}"
+                                ),
+                            });
+                        }
+                    }
+                    Msg::SlaveError { slave, error } => {
+                        return Err(ProtocolError::SlaveFailed {
+                            slave,
+                            error: Box::new(error),
+                        });
+                    }
+                    other => return Err(unexpected("abort-only invocation loop", &other)),
+                }
+            }
+            let now = ctx.now();
+            for (s, &heard) in last_heard.iter().enumerate() {
+                if now.saturating_since(heard) >= tol.suspicion {
+                    return Err(ProtocolError::SlaveDead { slave: s, at: now });
+                }
+            }
+        }
+        let reduced: f64 = metrics.iter().sum();
+        inv += 1;
+        if (cfg.converged)(inv - 1, reduced) {
+            break;
+        }
+    }
+
+    sc.compute_done = ctx.now();
+
+    // Gather with deadlines: a lost Gather is re-sent while the slave's
+    // barrier heartbeats keep it alive; a slave that stays silent is dead.
+    let mut got = vec![false; n];
+    let mut next_nudge = vec![ctx.now() + tol.nudge; n];
+    for &s in slaves {
+        send(ctx, s, Msg::Gather);
+    }
+    while !got.iter().all(|&g| g) {
+        if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
+            match env.msg {
+                Msg::GatherData { slave, units } => {
+                    last_heard[slave] = ctx.now();
+                    if got[slave] {
+                        sc.recovery.gather_dups_ignored += 1;
+                    } else {
+                        got[slave] = true;
+                        sc.result.extend(units);
+                    }
+                }
+                Msg::Status(st) => last_heard[st.slave] = ctx.now(),
+                Msg::InvocationDone { slave, .. } => last_heard[slave] = ctx.now(),
+                Msg::SlaveError { slave, error } => {
+                    return Err(ProtocolError::SlaveFailed {
+                        slave,
+                        error: Box::new(error),
+                    });
+                }
+                other => return Err(unexpected("abort-only gather", &other)),
+            }
+        }
+        let now = ctx.now();
+        for s in 0..n {
+            if got[s] {
+                continue;
+            }
+            if now.saturating_since(last_heard[s]) >= tol.suspicion {
+                return Err(ProtocolError::SlaveDead { slave: s, at: now });
+            }
+            if now >= next_nudge[s] {
+                next_nudge[s] = now + tol.nudge;
+                send(ctx, slaves[s], Msg::Gather);
+                sc.recovery.gather_resends += 1;
+            }
+        }
+    }
+    Ok(())
 }

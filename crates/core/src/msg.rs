@@ -51,6 +51,9 @@ pub struct Status {
     pub slave: usize,
     /// Invocation (outer-loop iteration / sweep / step) the slave is in.
     pub invocation: u64,
+    /// Monotone per-slave hook-firing counter. Lets the master discard
+    /// duplicated status messages under fault injection.
+    pub hook_seq: u64,
     /// Work units completed since the previous status message.
     pub units_done_delta: u64,
     /// Elapsed virtual time since the previous status message.
@@ -123,7 +126,9 @@ pub enum Msg {
     },
     Instructions(Instructions),
     /// Barrier release: begin the given invocation (sweep / step / rep).
-    InvocationStart { invocation: u64 },
+    InvocationStart {
+        invocation: u64,
+    },
     /// Request final data; slaves answer with `GatherData` and terminate.
     Gather,
     // ---- slave -> master ----
@@ -137,6 +142,10 @@ pub enum Msg {
         transfers_sent: u64,
         received_from: Vec<u64>,
         metric: f64,
+        /// Restore acknowledgement watermark: the largest `k` such that this
+        /// slave has applied every `Restore` with sequence `1..=k`. Zero when
+        /// no restores were ever addressed to it.
+        restore_seq: u64,
     },
     GatherData {
         slave: usize,
@@ -155,9 +164,39 @@ pub enum Msg {
     },
     /// Pipelined: sweep-start old values of the sender's first column
     /// (the receiver's right halo for the whole sweep).
-    SweepOld { sweep: u64, values: Vec<f64> },
+    SweepOld {
+        sweep: u64,
+        values: Vec<f64>,
+    },
     /// Shrinking: the pivot unit's data for `step`, broadcast by its owner.
-    Pivot { step: u64, values: Vec<f64> },
+    Pivot {
+        step: u64,
+        values: Vec<f64>,
+    },
+    // ---- fault-tolerance protocol ----
+    /// Master → slave: adopt these units of a dead slave. `invocation` is the
+    /// current barrier; the receiver replays each unit's computation up to it.
+    /// `seq` is a monotone per-destination counter acknowledged via
+    /// `InvocationDone::restore_seq`; unacknowledged restores are re-sent, and
+    /// the receiver deduplicates by sequence number.
+    Restore {
+        seq: u64,
+        invocation: u64,
+        units: Vec<(usize, UnitData)>,
+    },
+    /// Master → slave: you were declared dead; terminate quietly. Protects a
+    /// falsely-suspected slave from double-computing units that were already
+    /// re-scattered to survivors.
+    Evict,
+    /// Master → slaves: the run failed; terminate quietly.
+    Abort,
+    /// Slave → master: fatal protocol error; the run cannot continue.
+    SlaveError {
+        slave: usize,
+        error: crate::error::ProtocolError,
+    },
+    /// Master → slave: your `GatherData` arrived; safe to terminate.
+    GatherAck,
 }
 
 impl Msg {
@@ -189,6 +228,14 @@ impl Msg {
             Msg::Boundary { values, .. }
             | Msg::SweepOld { values, .. }
             | Msg::Pivot { values, .. } => HDR + f64s(values),
+            Msg::Restore { units, .. } => {
+                HDR + units
+                    .iter()
+                    .map(|(_, d)| 8 + d.iter().map(f64s).sum::<u64>())
+                    .sum::<u64>()
+            }
+            Msg::Evict | Msg::Abort | Msg::GatherAck => HDR,
+            Msg::SlaveError { .. } => HDR + 64,
         }
     }
 }
@@ -240,6 +287,7 @@ mod tests {
             Msg::Status(Status {
                 slave: 0,
                 invocation: 0,
+                hook_seq: 0,
                 units_done_delta: 0,
                 elapsed: SimDuration::ZERO,
                 active_units: 0,

@@ -1,0 +1,89 @@
+//! Recovery bookkeeping for fault-mode runs.
+
+use dlb_sim::SimTime;
+
+/// Counters describing every recovery action the master and slaves took
+/// during a fault-mode run. All zero for a fault-free run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Slaves the master declared dead after `suspicion` of silence.
+    pub slaves_declared_dead: u64,
+    /// Virtual time of the first death declaration, if any.
+    pub first_death: Option<SimTime>,
+    /// Work units re-scattered from dead slaves to survivors.
+    pub units_restored: u64,
+    /// Work units the master recomputed locally because their owner died
+    /// during the final gather.
+    pub units_recomputed: u64,
+    /// `Restore` messages re-sent because they went unacknowledged.
+    pub restore_resends: u64,
+    /// Balancer instruction messages re-sent.
+    pub instr_resends: u64,
+    /// `Start` messages re-sent to slaves that never spoke.
+    pub start_resends: u64,
+    /// `InvocationStart` barrier releases re-broadcast.
+    pub invocation_start_resends: u64,
+    /// `Gather` requests re-sent.
+    pub gather_resends: u64,
+    /// Duplicate `Status` reports discarded by hook-sequence dedup.
+    pub status_dups_ignored: u64,
+    /// Duplicate or stale `InvocationDone` reports discarded.
+    pub done_dups_ignored: u64,
+    /// Duplicate `GatherData` payloads discarded.
+    pub gather_dups_ignored: u64,
+}
+
+impl RecoveryStats {
+    /// Whether any recovery action happened at all.
+    pub fn any(&self) -> bool {
+        self != &RecoveryStats::default()
+    }
+}
+
+/// Round-robin a dead slave's work units over the surviving slaves.
+///
+/// Returns `(survivor_index, units)` pairs in survivor order; survivors that
+/// receive nothing are omitted. Deterministic: unit order and survivor order
+/// fully define the result.
+pub fn redistribute(units: &[usize], survivors: &[usize]) -> Vec<(usize, Vec<usize>)> {
+    if survivors.is_empty() || units.is_empty() {
+        return Vec::new();
+    }
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); survivors.len()];
+    for (i, &u) in units.iter().enumerate() {
+        buckets[i % survivors.len()].push(u);
+    }
+    survivors
+        .iter()
+        .zip(buckets)
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(&s, b)| (s, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redistribute_round_robin() {
+        let out = redistribute(&[10, 11, 12, 13, 14], &[0, 2]);
+        assert_eq!(out, vec![(0, vec![10, 12, 14]), (2, vec![11, 13])]);
+    }
+
+    #[test]
+    fn redistribute_degenerate() {
+        assert!(redistribute(&[], &[0, 1]).is_empty());
+        assert!(redistribute(&[1, 2], &[]).is_empty());
+        let out = redistribute(&[7], &[3]);
+        assert_eq!(out, vec![(3, vec![7])]);
+    }
+
+    #[test]
+    fn any_reflects_counters() {
+        let mut r = RecoveryStats::default();
+        assert!(!r.any());
+        r.units_restored = 1;
+        assert!(r.any());
+    }
+}

@@ -8,10 +8,49 @@
 //! depending on the interaction mode — either applies previously received
 //! instructions (pipelined, Fig. 2b) or blocks for fresh ones
 //! (synchronous, Fig. 2a).
+//!
+//! All blocking receives route through [`SlaveCommon::recv_blocking`], which
+//! always also accepts `Abort` / `Evict` (so a master-initiated shutdown can
+//! never deadlock a slave, fault mode or not) and, in fault mode, bounds the
+//! wait with the configured operation timeout.
 
 use crate::balancer::InteractionMode;
+use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
 use crate::msg::{Instructions, MoveOrder, Msg, Status};
-use dlb_sim::{ActorCtx, ActorId, CpuWork, SimDuration, SimTime};
+use dlb_sim::{ActorCtx, ActorId, CpuWork, Envelope, SimDuration, SimTime};
+
+/// Contents of the `Start` message: slave ids, initial block assignment,
+/// and rows per block.
+pub type StartInfo = (Vec<ActorId>, Vec<(usize, usize)>, u64);
+
+/// Wait for the initial `Start` message (before a [`SlaveCommon`] exists).
+pub fn recv_start(
+    ctx: &ActorCtx<Msg>,
+    idx: usize,
+    ft: Option<&FaultToleranceConfig>,
+) -> Result<StartInfo, ProtocolError> {
+    let pred = |m: &Msg| matches!(m, Msg::Start { .. } | Msg::Abort | Msg::Evict);
+    let env = match ft {
+        None => ctx.recv_match(pred),
+        Some(ft) => ctx
+            .recv_match_deadline(pred, ctx.now() + ft.op_timeout)
+            .ok_or_else(|| ProtocolError::Timeout {
+                who: slave_who(idx),
+                waiting_for: "start message",
+                at: ctx.now(),
+            })?,
+    };
+    match env.msg {
+        Msg::Start {
+            slaves,
+            assignment,
+            block_rows,
+        } => Ok((slaves, assignment, block_rows)),
+        Msg::Abort => Err(ProtocolError::Aborted),
+        Msg::Evict => Err(ProtocolError::Evicted { slave: idx }),
+        _ => unreachable!(),
+    }
+}
 
 /// Per-slave hook/interaction state.
 pub struct SlaveCommon {
@@ -22,12 +61,16 @@ pub struct SlaveCommon {
     /// All slave actor ids, indexed by slave index.
     pub slaves: Vec<ActorId>,
     pub mode: InteractionMode,
+    /// Fault-tolerance timeouts; `None` outside fault mode.
+    pub ft: Option<FaultToleranceConfig>,
     /// CPU cost of the hook *check* itself.
     pub hook_check_cpu: CpuWork,
     /// Hooks to skip between firings (updated by instructions).
     skip: u64,
     since_fire: u64,
     last_fire_time: SimTime,
+    /// Monotone count of hook firings (dedups duplicated statuses).
+    hook_seq: u64,
     /// Work units completed since the last firing.
     pub done_delta: u64,
     /// Computation time (stretched by competing load) since the last
@@ -52,6 +95,7 @@ impl SlaveCommon {
         slaves: Vec<ActorId>,
         mode: InteractionMode,
         hook_check_cpu: CpuWork,
+        ft: Option<FaultToleranceConfig>,
         now: SimTime,
     ) -> SlaveCommon {
         let n = slaves.len();
@@ -60,10 +104,12 @@ impl SlaveCommon {
             master,
             slaves,
             mode,
+            ft,
             hook_check_cpu,
             skip: 0,
             since_fire: 0,
             last_fire_time: now,
+            hook_seq: 0,
             done_delta: 0,
             busy_delta: SimDuration::ZERO,
             transfers_sent: 0,
@@ -99,14 +145,52 @@ impl SlaveCommon {
         ctx.send(self.slaves[to], msg, bytes);
     }
 
+    /// Blocking receive for a protocol step. Also matches `Abort` / `Evict`
+    /// (turned into errors) so master-initiated shutdown cannot deadlock;
+    /// in fault mode the wait is bounded by `op_timeout`.
+    pub fn recv_blocking(
+        &self,
+        ctx: &ActorCtx<Msg>,
+        mut pred: impl FnMut(&Msg) -> bool,
+        waiting_for: &'static str,
+    ) -> Result<Envelope<Msg>, ProtocolError> {
+        let full = |m: &Msg| pred(m) || matches!(m, Msg::Abort | Msg::Evict);
+        let env = match &self.ft {
+            None => ctx.recv_match(full),
+            Some(ft) => ctx
+                .recv_match_deadline(full, ctx.now() + ft.op_timeout)
+                .ok_or_else(|| ProtocolError::Timeout {
+                    who: slave_who(self.idx),
+                    waiting_for,
+                    at: ctx.now(),
+                })?,
+        };
+        match env.msg {
+            Msg::Abort => Err(ProtocolError::Aborted),
+            Msg::Evict => Err(ProtocolError::Evicted { slave: self.idx }),
+            _ => Ok(env),
+        }
+    }
+
+    /// Build the typed error for a message the protocol cannot accept here.
+    pub fn unexpected(&self, context: &'static str, msg: &Msg) -> ProtocolError {
+        ProtocolError::UnexpectedMessage {
+            who: slave_who(self.idx),
+            context,
+            message: format!("{msg:?}").chars().take(120).collect(),
+        }
+    }
+
     fn apply_instructions(&mut self, instr: Instructions, moves: &mut Vec<MoveOrder>) {
-        // Only the freshest instruction's skip count matters; moves
-        // accumulate (each order was planned once by the master).
-        if instr.seq >= self.last_instr_seq {
+        // Instruction sequence numbers are globally monotone, so any
+        // duplicate or stale replay (possible only under fault injection)
+        // has `seq <= last_instr_seq` and must be ignored wholesale —
+        // re-executing its moves would double-send work units.
+        if instr.seq > self.last_instr_seq {
             self.last_instr_seq = instr.seq;
             self.skip = instr.hooks_to_skip;
+            moves.extend(instr.moves);
         }
-        moves.extend(instr.moves);
     }
 
     /// The load-balancing hook. Returns movement orders to execute *now*
@@ -117,11 +201,11 @@ impl SlaveCommon {
         ctx: &ActorCtx<Msg>,
         invocation: u64,
         active_units: u64,
-    ) -> Vec<MoveOrder> {
+    ) -> Result<Vec<MoveOrder>, ProtocolError> {
         ctx.advance_work(self.hook_check_cpu);
         self.since_fire += 1;
         if self.since_fire <= self.skip {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         self.fire(ctx, invocation, active_units)
     }
@@ -133,8 +217,9 @@ impl SlaveCommon {
         ctx: &ActorCtx<Msg>,
         invocation: u64,
         active_units: u64,
-    ) -> Vec<MoveOrder> {
+    ) -> Result<Vec<MoveOrder>, ProtocolError> {
         self.since_fire = 0;
+        self.hook_seq += 1;
         let t0 = ctx.now();
         let mut moves = Vec::new();
 
@@ -145,6 +230,7 @@ impl SlaveCommon {
         let status = Status {
             slave: self.idx,
             invocation,
+            hook_seq: self.hook_seq,
             units_done_delta: self.done_delta,
             elapsed: self.busy_delta,
             active_units,
@@ -157,7 +243,10 @@ impl SlaveCommon {
         if std::env::var_os("DLB_TRACE").is_some() {
             eprintln!(
                 "[slave{} t={}] fire inv={invocation} delta={} busy={} active={active_units}",
-                self.idx, ctx.now(), self.done_delta, self.busy_delta,
+                self.idx,
+                ctx.now(),
+                self.done_delta,
+                self.busy_delta,
             );
         }
         self.done_delta = 0;
@@ -177,7 +266,11 @@ impl SlaveCommon {
         if self.mode == InteractionMode::Synchronous {
             // Block for the instructions computed from the status we just
             // sent: the whole round trip sits on the critical path.
-            let env = ctx.recv_match(|m| matches!(m, Msg::Instructions(_)));
+            let env = self.recv_blocking(
+                ctx,
+                |m| matches!(m, Msg::Instructions(_)),
+                "balancing instructions",
+            )?;
             if let Msg::Instructions(i) = env.msg {
                 self.apply_instructions(i, &mut moves);
             }
@@ -186,6 +279,6 @@ impl SlaveCommon {
         let now = ctx.now();
         self.interaction_cost_sample = Some(now.saturating_since(t0));
         self.last_fire_time = now;
-        moves
+        Ok(moves)
     }
 }

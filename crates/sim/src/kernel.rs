@@ -12,15 +12,22 @@
 //! the simulated network, and [`ActorCtx::sleep`] waits for virtual time to
 //! pass. All blocking calls *yield* to the kernel, which advances the
 //! virtual clock to the next event.
+//!
+//! A [`crate::fault::FaultPlan`] attached via [`SimBuilder::fault_plan`]
+//! injects message drops/duplicates/jitter and node crashes/freezes at
+//! deterministic points in the event order; [`SimReport::trace_hash`] folds
+//! every processed event into a hash so two runs can be compared for
+//! trace equality.
 
 use crate::cpu::{self, NodeConfig};
+use crate::fault::{FaultPlan, FaultRuntime, FaultStats};
 use crate::net::{Envelope, NetConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::work::CpuWork;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
 
 /// Identifies an actor within a simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -51,12 +58,18 @@ pub struct NodeMetrics {
 /// Everything measured during a run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
-    /// Virtual time at which the last actor finished.
+    /// Virtual time at which the last live actor finished.
     pub end_time: SimTime,
     pub actors: Vec<ActorMetrics>,
     pub nodes: Vec<NodeMetrics>,
     pub node_configs: Vec<NodeConfig>,
     pub events_processed: u64,
+    /// What the fault layer did (all zeros when no plan was attached).
+    pub fault: FaultStats,
+    /// FNV-1a fold over every processed event `(time, kind, actors, bytes)`.
+    /// Two runs with identical inputs (and identical fault plan + seed)
+    /// produce identical hashes.
+    pub trace_hash: u64,
 }
 
 impl SimReport {
@@ -80,6 +93,7 @@ impl SimReport {
 enum EventKind<M> {
     Wake { actor: ActorId, epoch: u64 },
     Deliver { dst: ActorId, env: Envelope<M> },
+    Crash { node: NodeId },
 }
 
 struct Event<M> {
@@ -109,11 +123,49 @@ impl<M> Ord for Event<M> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ActorState {
     /// Parked, waiting for a Wake with the matching epoch.
-    Waiting { epoch: u64, wake_on_msg: bool },
+    Waiting {
+        epoch: u64,
+        wake_on_msg: bool,
+    },
     /// Currently holding the execution token.
     Running,
     Done,
     Panicked,
+    /// The node fail-stopped; the actor never runs again.
+    Crashed,
+}
+
+// ---------------------------------------------------------------------------
+// Quiet shutdown unwind: when the kernel tears down (simulation finished or
+// a crash fault orphaned a parked actor), still-parked actor threads see
+// their control channel close. They must exit their blocking closure, and
+// unwinding is the only way out of arbitrary user code — but that unwind is
+// expected, not an error. A thread-local flag plus a sentinel payload keeps
+// it silent and stops it from masking real panics at join time.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SHUTDOWN_UNWIND: Cell<bool> = const { Cell::new(false) };
+}
+
+struct ShutdownUnwind;
+
+fn shutdown_unwind() -> ! {
+    SHUTDOWN_UNWIND.with(|c| c.set(true));
+    std::panic::panic_any(ShutdownUnwind)
+}
+
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SHUTDOWN_UNWIND.with(|c| c.get()) {
+                return; // expected teardown unwind; stay quiet
+            }
+            prev(info);
+        }));
+    });
 }
 
 struct Inner<M> {
@@ -129,12 +181,23 @@ struct Inner<M> {
     link_free: Vec<SimTime>,
     /// Per ordered (src,dst) pair: latest arrival so far, for FIFO delivery.
     last_arrival: Vec<SimTime>,
+    /// Node each actor runs on.
+    actor_nodes: Vec<NodeId>,
+    /// Actor on each node (if any).
+    node_actor: Vec<Option<ActorId>>,
+    /// Nodes that have fail-stopped.
+    crashed_nodes: Vec<bool>,
     actor_metrics: Vec<ActorMetrics>,
     node_metrics: Vec<NodeMetrics>,
     events_processed: u64,
     max_events: u64,
     panicked: Option<ActorId>,
+    fault: Option<FaultRuntime>,
+    trace_hash: u64,
 }
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
 
 impl<M> Inner<M> {
     fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
@@ -146,14 +209,48 @@ impl<M> Inner<M> {
     fn pair_index(&self, src: ActorId, dst: ActorId) -> usize {
         src.0 * self.states.len() + dst.0
     }
+
+    fn hash_mix(&mut self, v: u64) {
+        self.trace_hash ^= v;
+        self.trace_hash = self.trace_hash.wrapping_mul(FNV_PRIME);
+    }
+
+    fn hash_event(&mut self, ev: &Event<M>) {
+        self.hash_mix(ev.time.0);
+        match &ev.kind {
+            EventKind::Wake { actor, .. } => {
+                self.hash_mix(1);
+                self.hash_mix(actor.0 as u64);
+            }
+            EventKind::Deliver { dst, env } => {
+                self.hash_mix(2);
+                self.hash_mix(dst.0 as u64);
+                self.hash_mix(env.src as u64);
+                self.hash_mix(env.bytes);
+            }
+            EventKind::Crash { node } => {
+                self.hash_mix(3);
+                self.hash_mix(node.0 as u64);
+            }
+        }
+    }
 }
 
 struct Shared<M> {
     inner: Mutex<Inner<M>>,
 }
 
+impl<M> Shared<M> {
+    /// Lock, shrugging off poison: an actor panic mid-critical-section is
+    /// already recorded via `panicked`, and the kernel still needs the state
+    /// to shut down cleanly.
+    fn lock(&self) -> MutexGuard<'_, Inner<M>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// Handle an actor uses to interact with the simulation.
-pub struct ActorCtx<M: Send + 'static> {
+pub struct ActorCtx<M: Send + Clone + 'static> {
     id: ActorId,
     node: NodeId,
     shared: Arc<Shared<M>>,
@@ -161,7 +258,7 @@ pub struct ActorCtx<M: Send + 'static> {
     yield_tx: Sender<ActorId>,
 }
 
-impl<M: Send + 'static> ActorCtx<M> {
+impl<M: Send + Clone + 'static> ActorCtx<M> {
     /// This actor's id (assigned in spawn order, starting at 0).
     pub fn id(&self) -> ActorId {
         self.id
@@ -174,29 +271,26 @@ impl<M: Send + 'static> ActorCtx<M> {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.shared.inner.lock().now
+        self.shared.lock().now
     }
 
     /// The OS scheduling quantum of this actor's node. The runtime is
     /// allowed to know this (it is an OS parameter, not a load measurement);
     /// the paper's frequency rule requires the period to be ≥ 5 quanta.
     pub fn os_quantum(&self) -> SimDuration {
-        self.shared.inner.lock().nodes[self.node.0].quantum
+        self.shared.lock().nodes[self.node.0].quantum
     }
 
     /// Number of actors in the simulation.
     pub fn actor_count(&self) -> usize {
-        self.shared.inner.lock().states.len()
+        self.shared.lock().states.len()
     }
 
     fn park(&self, wake_on_msg: bool, wake_at: Option<SimTime>) {
         {
-            let mut inner = self.shared.inner.lock();
+            let mut inner = self.shared.lock();
             let epoch = self.epoch_bump(&mut inner);
-            inner.states[self.id.0] = ActorState::Waiting {
-                epoch,
-                wake_on_msg,
-            };
+            inner.states[self.id.0] = ActorState::Waiting { epoch, wake_on_msg };
             if let Some(t) = wake_at {
                 debug_assert!(t >= inner.now);
                 inner.push_event(
@@ -208,8 +302,12 @@ impl<M: Send + 'static> ActorCtx<M> {
                 );
             }
         }
-        self.yield_tx.send(self.id).expect("kernel gone");
-        self.go_rx.recv().expect("kernel gone");
+        if self.yield_tx.send(self.id).is_err() {
+            shutdown_unwind();
+        }
+        if self.go_rx.recv().is_err() {
+            shutdown_unwind();
+        }
     }
 
     fn epoch_bump(&self, inner: &mut Inner<M>) -> u64 {
@@ -224,7 +322,7 @@ impl<M: Send + 'static> ActorCtx<M> {
             return;
         }
         let finish = {
-            let mut inner = self.shared.inner.lock();
+            let mut inner = self.shared.lock();
             let cfg = inner.nodes[self.node.0].clone();
             let adv = cpu::advance(&cfg, inner.now, work);
             let nm = &mut inner.node_metrics[self.node.0];
@@ -233,7 +331,9 @@ impl<M: Send + 'static> ActorCtx<M> {
             adv.finish
         };
         self.park(false, Some(finish));
-        debug_assert_eq!(self.now(), finish);
+        // A freeze window may defer the wake past `finish`; time never runs
+        // backwards, so the actor simply resumes late.
+        debug_assert!(self.now() >= finish);
     }
 
     /// Wait for `d` of virtual time to pass without consuming CPU.
@@ -247,36 +347,88 @@ impl<M: Send + 'static> ActorCtx<M> {
 
     /// Send `msg` (`bytes` on the wire) to `dst`. Charges the configured
     /// marshalling CPU to this actor, then hands the message to the network.
-    /// Delivery is asynchronous; per-(src,dst) order is FIFO.
+    /// Delivery is asynchronous; per-(src,dst) order is FIFO — including
+    /// under jitter and duplication faults.
     pub fn send(&self, dst: ActorId, msg: M, bytes: u64) {
         let send_cpu = {
-            let inner = self.shared.inner.lock();
+            let inner = self.shared.lock();
             assert!(dst.0 < inner.states.len(), "send to unknown actor");
             inner.net.send_cpu(bytes)
         };
         self.advance_work(send_cpu);
-        let mut inner = self.shared.inner.lock();
+        let mut inner = self.shared.lock();
         let now = inner.now;
         let start = now.max(inner.link_free[self.id.0]);
         let xfer = inner.net.transfer_time(bytes);
         inner.link_free[self.id.0] = start + xfer;
-        let mut arrival = start + xfer + inner.net.latency;
+        inner.actor_metrics[self.id.0].msgs_sent += 1;
+        inner.actor_metrics[self.id.0].bytes_sent += bytes;
+
+        // Fault draws happen per send in event order, so the RNG stream is
+        // a deterministic function of the message sequence.
+        let mut extra = SimDuration::ZERO;
+        let mut duplicate = false;
+        let src_node = inner.actor_nodes[self.id.0].0;
+        let dst_node = inner.actor_nodes[dst.0].0;
+        if let Some(f) = inner.fault.as_mut() {
+            let lf = f.plan.link_faults(src_node, dst_node);
+            if !lf.is_quiet() {
+                if f.rng.chance(lf.drop_p) {
+                    // Lost in the network: the sender paid CPU and link time
+                    // but no delivery is scheduled.
+                    f.stats.msgs_dropped += 1;
+                    return;
+                }
+                if lf.jitter_p > 0.0 && f.rng.chance(lf.jitter_p) {
+                    extra = SimDuration(f.rng.gen_range(0, lf.max_jitter.0.max(1) + 1));
+                    f.stats.msgs_delayed += 1;
+                }
+                if f.rng.chance(lf.dup_p) {
+                    duplicate = true;
+                    f.stats.msgs_duplicated += 1;
+                }
+            }
+        }
+
+        // Jitter is applied *before* the FIFO clamp: a delayed message holds
+        // up everything behind it instead of being overtaken.
+        let mut arrival = start + xfer + inner.net.latency + extra;
         let pair = inner.pair_index(self.id, dst);
         arrival = arrival.max(inner.last_arrival[pair]);
         inner.last_arrival[pair] = arrival;
-        inner.actor_metrics[self.id.0].msgs_sent += 1;
-        inner.actor_metrics[self.id.0].bytes_sent += bytes;
-        inner.push_event(
-            arrival,
-            EventKind::Deliver {
-                dst,
-                env: Envelope {
-                    src: self.id.0,
-                    msg,
-                    bytes,
+        if duplicate {
+            let copy = Envelope {
+                src: self.id.0,
+                msg: msg.clone(),
+                bytes,
+            };
+            let dup_arrival = arrival + SimDuration(1);
+            inner.last_arrival[pair] = dup_arrival;
+            inner.push_event(
+                arrival,
+                EventKind::Deliver {
+                    dst,
+                    env: Envelope {
+                        src: self.id.0,
+                        msg,
+                        bytes,
+                    },
                 },
-            },
-        );
+            );
+            inner.push_event(dup_arrival, EventKind::Deliver { dst, env: copy });
+        } else {
+            inner.push_event(
+                arrival,
+                EventKind::Deliver {
+                    dst,
+                    env: Envelope {
+                        src: self.id.0,
+                        msg,
+                        bytes,
+                    },
+                },
+            );
+        }
     }
 
     fn take_from_mailbox(
@@ -293,7 +445,7 @@ impl<M: Send + 'static> ActorCtx<M> {
     }
 
     fn charge_recv(&self) {
-        let cost = self.shared.inner.lock().net.recv_cpu_per_msg;
+        let cost = self.shared.lock().net.recv_cpu_per_msg;
         self.advance_work(cost);
     }
 
@@ -307,7 +459,7 @@ impl<M: Send + 'static> ActorCtx<M> {
     pub fn recv_match(&self, mut pred: impl FnMut(&M) -> bool) -> Envelope<M> {
         loop {
             let got = {
-                let mut inner = self.shared.inner.lock();
+                let mut inner = self.shared.lock();
                 self.take_from_mailbox(&mut inner, &mut pred)
             };
             if let Some(env) = got {
@@ -321,7 +473,7 @@ impl<M: Send + 'static> ActorCtx<M> {
     /// Non-blocking receive of the first queued message matching `pred`.
     pub fn try_recv_match(&self, mut pred: impl FnMut(&M) -> bool) -> Option<Envelope<M>> {
         let got = {
-            let mut inner = self.shared.inner.lock();
+            let mut inner = self.shared.lock();
             self.take_from_mailbox(&mut inner, &mut pred)
         };
         if got.is_some() {
@@ -344,7 +496,7 @@ impl<M: Send + 'static> ActorCtx<M> {
     ) -> Option<Envelope<M>> {
         loop {
             let (got, now) = {
-                let mut inner = self.shared.inner.lock();
+                let mut inner = self.shared.lock();
                 let got = self.take_from_mailbox(&mut inner, &mut pred);
                 (got, inner.now)
             };
@@ -366,26 +518,27 @@ impl<M: Send + 'static> ActorCtx<M> {
 }
 
 /// Drops a "panicked" notification to the kernel if the actor unwinds, so
-/// the kernel can stop and propagate the panic instead of hanging.
-struct PanicGuard<M: Send + 'static> {
+/// the kernel can stop and propagate the panic instead of hanging. Quiet
+/// shutdown unwinds (kernel teardown, crashed nodes) are not panics.
+struct PanicGuard<M: Send + Clone + 'static> {
     id: ActorId,
     shared: Arc<Shared<M>>,
     yield_tx: Sender<ActorId>,
 }
 
-impl<M: Send + 'static> Drop for PanicGuard<M> {
+impl<M: Send + Clone + 'static> Drop for PanicGuard<M> {
     fn drop(&mut self) {
-        let state = if std::thread::panicking() {
-            ActorState::Panicked
-        } else {
-            ActorState::Done
-        };
+        let panicking = std::thread::panicking();
+        let quiet = SHUTDOWN_UNWIND.with(|c| c.get());
         {
-            let mut inner = self.shared.inner.lock();
-            inner.states[self.id.0] = state;
-            if state == ActorState::Panicked {
+            let mut inner = self.shared.lock();
+            if panicking && !quiet {
+                inner.states[self.id.0] = ActorState::Panicked;
                 inner.panicked = Some(self.id);
+            } else if !panicking {
+                inner.states[self.id.0] = ActorState::Done;
             }
+            // Quiet unwind: leave the state (Waiting/Crashed) as recorded.
         }
         let _ = self.yield_tx.send(self.id);
     }
@@ -394,21 +547,22 @@ impl<M: Send + 'static> Drop for PanicGuard<M> {
 type ActorFn<M> = Box<dyn FnOnce(ActorCtx<M>) + Send + 'static>;
 
 /// Builder for a simulation: declare nodes, spawn actors, then [`SimBuilder::run`].
-pub struct SimBuilder<M: Send + 'static> {
+pub struct SimBuilder<M: Send + Clone + 'static> {
     nodes: Vec<NodeConfig>,
     net: NetConfig,
     actors: Vec<(NodeId, String, ActorFn<M>)>,
     node_used: Vec<bool>,
     max_events: u64,
+    fault: Option<FaultPlan>,
 }
 
-impl<M: Send + 'static> Default for SimBuilder<M> {
+impl<M: Send + Clone + 'static> Default for SimBuilder<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Send + 'static> SimBuilder<M> {
+impl<M: Send + Clone + 'static> SimBuilder<M> {
     pub fn new() -> Self {
         SimBuilder {
             nodes: Vec::new(),
@@ -416,6 +570,7 @@ impl<M: Send + 'static> SimBuilder<M> {
             actors: Vec::new(),
             node_used: Vec::new(),
             max_events: 200_000_000,
+            fault: None,
         }
     }
 
@@ -428,6 +583,12 @@ impl<M: Send + 'static> SimBuilder<M> {
     /// Safety valve against runaway simulations (default 2·10⁸ events).
     pub fn max_events(mut self, n: u64) -> Self {
         self.max_events = n;
+        self
+    }
+
+    /// Attach a deterministic fault plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -461,11 +622,18 @@ impl<M: Send + 'static> SimBuilder<M> {
     ///
     /// Panics if an actor panics (the panic is propagated), if the
     /// simulation deadlocks (all actors blocked with no pending events), or
-    /// if the event budget is exhausted.
+    /// if the event budget is exhausted. Crashed nodes do not count as
+    /// deadlocked or panicked: their actors are torn down quietly.
     pub fn run(self) -> SimReport {
+        install_quiet_panic_hook();
         let n_actors = self.actors.len();
         assert!(n_actors > 0, "no actors spawned");
         let names: Vec<String> = self.actors.iter().map(|(_, n, _)| n.clone()).collect();
+        let actor_nodes: Vec<NodeId> = self.actors.iter().map(|(n, _, _)| *n).collect();
+        let mut node_actor: Vec<Option<ActorId>> = vec![None; self.nodes.len()];
+        for (i, (n, _, _)) in self.actors.iter().enumerate() {
+            node_actor[n.0] = Some(ActorId(i));
+        }
 
         let mut inner = Inner {
             now: SimTime::ZERO,
@@ -484,11 +652,16 @@ impl<M: Send + 'static> SimBuilder<M> {
             net: self.net,
             link_free: vec![SimTime::ZERO; n_actors],
             last_arrival: vec![SimTime::ZERO; n_actors * n_actors],
+            actor_nodes,
+            node_actor,
+            crashed_nodes: vec![false; self.nodes.len()],
             actor_metrics: vec![ActorMetrics::default(); n_actors],
             node_metrics: vec![NodeMetrics::default(); self.nodes.len()],
             events_processed: 0,
             max_events: self.max_events,
             panicked: None,
+            fault: self.fault.map(FaultRuntime::new),
+            trace_hash: FNV_OFFSET,
         };
         // Seed: wake every actor at t = 0, in spawn order.
         for (i, _) in self.actors.iter().enumerate() {
@@ -500,15 +673,26 @@ impl<M: Send + 'static> SimBuilder<M> {
                 },
             );
         }
+        // Schedule fail-stops.
+        if let Some(f) = &inner.fault {
+            let crashes = f.plan.crashes();
+            for (node, t) in crashes {
+                assert!(
+                    node < self.nodes.len(),
+                    "fault plan crashes unknown node {node}"
+                );
+                inner.push_event(t, EventKind::Crash { node: NodeId(node) });
+            }
+        }
         let shared = Arc::new(Shared {
             inner: Mutex::new(inner),
         });
 
-        let (yield_tx, yield_rx) = unbounded::<ActorId>();
-        let mut go_txs = Vec::with_capacity(n_actors);
+        let (yield_tx, yield_rx) = channel::<ActorId>();
+        let mut go_txs: Vec<SyncSender<()>> = Vec::with_capacity(n_actors);
         let mut handles = Vec::with_capacity(n_actors);
         for (i, (node, name, f)) in self.actors.into_iter().enumerate() {
-            let (go_tx, go_rx) = bounded::<()>(1);
+            let (go_tx, go_rx) = sync_channel::<()>(1);
             go_txs.push(go_tx);
             let ctx = ActorCtx {
                 id: ActorId(i),
@@ -529,7 +713,9 @@ impl<M: Send + 'static> SimBuilder<M> {
                             yield_tx: guard_tx,
                         };
                         // Wait for the first wake.
-                        ctx.go_rx.recv().expect("kernel gone");
+                        if ctx.go_rx.recv().is_err() {
+                            shutdown_unwind();
+                        }
                         f(ctx);
                     })
                     .expect("spawn actor thread"),
@@ -540,12 +726,42 @@ impl<M: Send + 'static> SimBuilder<M> {
         // Kernel loop.
         loop {
             let next = {
-                let mut inner = shared.inner.lock();
+                let mut inner = shared.lock();
                 if inner.panicked.is_some() {
+                    break;
+                }
+                // Once every actor has finished (or crashed), stop without
+                // draining stale events (e.g. deadline wakes scheduled past
+                // the end of the run) so they cannot inflate `end_time`.
+                if inner
+                    .states
+                    .iter()
+                    .all(|s| matches!(s, ActorState::Done | ActorState::Crashed))
+                {
                     break;
                 }
                 match inner.heap.pop() {
                     Some(ev) => {
+                        // Freeze windows: events targeting a frozen node are
+                        // deferred to the thaw time, preserving their order.
+                        let target_node = match &ev.kind {
+                            EventKind::Wake { actor, .. } => Some(inner.actor_nodes[actor.0].0),
+                            EventKind::Deliver { dst, .. } => Some(inner.actor_nodes[dst.0].0),
+                            EventKind::Crash { .. } => None,
+                        };
+                        let thaw = target_node.and_then(|n| {
+                            inner
+                                .fault
+                                .as_ref()
+                                .and_then(|f| f.plan.thaw_time(n, ev.time))
+                        });
+                        if let Some(t) = thaw {
+                            if let Some(f) = inner.fault.as_mut() {
+                                f.stats.freeze_deferrals += 1;
+                            }
+                            inner.push_event(t, ev.kind);
+                            continue;
+                        }
                         inner.events_processed += 1;
                         assert!(
                             inner.events_processed <= inner.max_events,
@@ -554,19 +770,20 @@ impl<M: Send + 'static> SimBuilder<M> {
                         );
                         debug_assert!(ev.time >= inner.now, "time went backwards");
                         inner.now = inner.now.max(ev.time);
+                        inner.hash_event(&ev);
                         Some(ev)
                     }
                     None => None,
                 }
             };
             let Some(ev) = next else {
-                // Heap empty: everyone must be done.
-                let inner = shared.inner.lock();
+                // Heap empty: everyone must be done (or crashed).
+                let inner = shared.lock();
                 let stuck: Vec<String> = inner
                     .states
                     .iter()
                     .enumerate()
-                    .filter(|(_, s)| !matches!(s, ActorState::Done))
+                    .filter(|(_, s)| !matches!(s, ActorState::Done | ActorState::Crashed))
                     .map(|(i, s)| format!("{} ({:?})", names[i], s))
                     .collect();
                 assert!(
@@ -580,13 +797,13 @@ impl<M: Send + 'static> SimBuilder<M> {
             match ev.kind {
                 EventKind::Wake { actor, epoch } => {
                     let run = {
-                        let mut inner = shared.inner.lock();
+                        let mut inner = shared.lock();
                         match inner.states[actor.0] {
                             ActorState::Waiting { epoch: e, .. } if e == epoch => {
                                 inner.states[actor.0] = ActorState::Running;
                                 true
                             }
-                            _ => false, // stale wake
+                            _ => false, // stale wake, or actor crashed
                         }
                     };
                     if run {
@@ -596,7 +813,13 @@ impl<M: Send + 'static> SimBuilder<M> {
                     }
                 }
                 EventKind::Deliver { dst, env } => {
-                    let mut inner = shared.inner.lock();
+                    let mut inner = shared.lock();
+                    if inner.crashed_nodes[inner.actor_nodes[dst.0].0] {
+                        if let Some(f) = inner.fault.as_mut() {
+                            f.stats.deliveries_to_crashed += 1;
+                        }
+                        continue;
+                    }
                     inner.mailboxes[dst.0].push_back(env);
                     if let ActorState::Waiting {
                         epoch,
@@ -604,25 +827,34 @@ impl<M: Send + 'static> SimBuilder<M> {
                     } = inner.states[dst.0]
                     {
                         let now = inner.now;
-                        inner.push_event(
-                            now,
-                            EventKind::Wake {
-                                actor: dst,
-                                epoch,
-                            },
-                        );
+                        inner.push_event(now, EventKind::Wake { actor: dst, epoch });
+                    }
+                }
+                EventKind::Crash { node } => {
+                    let mut inner = shared.lock();
+                    inner.crashed_nodes[node.0] = true;
+                    if let Some(f) = inner.fault.as_mut() {
+                        f.stats.crashed_nodes.push(node.0);
+                    }
+                    if let Some(a) = inner.node_actor[node.0] {
+                        if !matches!(inner.states[a.0], ActorState::Done) {
+                            inner.states[a.0] = ActorState::Crashed;
+                        }
+                        // Anything queued for it will never be read.
+                        inner.mailboxes[a.0].clear();
                     }
                 }
             }
         }
 
-        // Drop our go senders so any still-parked actor errors out instead of
-        // hanging, then join every thread, propagating the first panic.
+        // Drop our go senders so any still-parked actor unwinds quietly
+        // instead of hanging, then join every thread, propagating the first
+        // real panic (shutdown unwinds are filtered out).
         drop(go_txs);
         let mut panic_payload = None;
         for h in handles {
             if let Err(p) = h.join() {
-                if panic_payload.is_none() {
+                if !p.is::<ShutdownUnwind>() && panic_payload.is_none() {
                     panic_payload = Some(p);
                 }
             }
@@ -631,13 +863,19 @@ impl<M: Send + 'static> SimBuilder<M> {
             std::panic::resume_unwind(p);
         }
 
-        let inner = shared.inner.lock();
+        let inner = shared.lock();
         SimReport {
             end_time: inner.now,
             actors: inner.actor_metrics.clone(),
             nodes: inner.node_metrics.clone(),
             node_configs: inner.nodes.clone(),
             events_processed: inner.events_processed,
+            fault: inner
+                .fault
+                .as_ref()
+                .map(|f| f.stats.clone())
+                .unwrap_or_default(),
+            trace_hash: inner.trace_hash,
         }
     }
 }
@@ -645,6 +883,7 @@ impl<M: Send + 'static> SimBuilder<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, LinkFaults};
     use crate::load::LoadModel;
 
     fn two_node_builder() -> (SimBuilder<u64>, NodeId, NodeId) {
@@ -673,6 +912,7 @@ mod tests {
         assert_eq!(report.actors[0].msgs_sent, 1);
         assert_eq!(report.actors[0].msgs_received, 1);
         assert_eq!(report.actors[1].msgs_received, 1);
+        assert!(!report.fault.any());
     }
 
     #[test]
@@ -849,7 +1089,7 @@ mod tests {
                 });
             }
             let r = b.run();
-            (r.end_time, r.events_processed)
+            (r.end_time, r.events_processed, r.trace_hash)
         };
         assert_eq!(run_once(), run_once());
     }
@@ -904,5 +1144,160 @@ mod tests {
         });
         let report = b.run();
         assert_eq!(report.nodes[0].app_cpu, SimDuration::from_micros(500));
+    }
+
+    // --- fault injection ---------------------------------------------------
+
+    #[test]
+    fn drop_fault_loses_message() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.send(a1, 5, 8);
+        });
+        b.spawn(n1, "dst", |ctx| {
+            assert!(ctx.recv_deadline(SimTime(1_000_000)).is_none());
+        });
+        let report = b.fault_plan(FaultPlan::new(1).drop_all(1.0)).run();
+        assert_eq!(report.fault.msgs_dropped, 1);
+        assert_eq!(report.actors[0].msgs_sent, 1);
+        assert_eq!(report.actors[1].msgs_received, 0);
+    }
+
+    #[test]
+    fn dup_fault_delivers_twice() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.send(a1, 5, 8);
+        });
+        b.spawn(n1, "dst", |ctx| {
+            assert_eq!(ctx.recv().msg, 5);
+            assert_eq!(ctx.recv().msg, 5);
+        });
+        let report = b.fault_plan(FaultPlan::new(1).dup_all(1.0)).run();
+        assert_eq!(report.fault.msgs_duplicated, 1);
+        assert_eq!(report.actors[1].msgs_received, 2);
+    }
+
+    #[test]
+    fn jitter_preserves_fifo() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            for i in 0..20u64 {
+                ctx.send(a1, i, 1);
+            }
+        });
+        b.spawn(n1, "dst", |ctx| {
+            for i in 0..20u64 {
+                assert_eq!(ctx.recv().msg, i, "jitter must not reorder a pair");
+            }
+        });
+        let report = b
+            .fault_plan(FaultPlan::new(7).jitter_all(1.0, SimDuration::from_millis(50)))
+            .run();
+        assert_eq!(report.fault.msgs_delayed, 20);
+    }
+
+    #[test]
+    fn crash_stops_actor_and_discards_mail() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "survivor", move |ctx| {
+            ctx.advance_work(CpuWork::from_millis(100));
+            // Sent after the crash: discarded, not delivered.
+            ctx.send(a1, 1, 8);
+            ctx.advance_work(CpuWork::from_millis(100));
+        });
+        b.spawn(n1, "victim", |ctx| loop {
+            ctx.sleep(SimDuration::from_millis(10));
+        });
+        let report = b
+            .fault_plan(FaultPlan::new(0).crash(1, SimTime(50_000)))
+            .run();
+        assert_eq!(report.fault.crashed_nodes, vec![1]);
+        assert_eq!(report.fault.deliveries_to_crashed, 1);
+        assert_eq!(report.end_time, SimTime(200_000));
+    }
+
+    #[test]
+    fn freeze_defers_delivery() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| {
+            ctx.sleep(SimDuration::from_millis(15));
+            ctx.send(a1, 3, 8);
+        });
+        b.spawn(n1, "dst", |ctx| {
+            let env = ctx.recv();
+            assert_eq!(env.msg, 3);
+            assert!(ctx.now() >= SimTime(50_000), "delivery deferred to thaw");
+        });
+        let report = b
+            .fault_plan(FaultPlan::new(0).freeze(1, SimTime(10_000), SimTime(50_000)))
+            .run();
+        assert!(report.fault.freeze_deferrals >= 1);
+    }
+
+    #[test]
+    fn fault_determinism_same_seed_same_trace() {
+        let run_once = |seed: u64| {
+            let mut b = SimBuilder::<u64>::new();
+            let n0 = b.add_node(NodeConfig::default());
+            let n1 = b.add_node(NodeConfig::default());
+            let a1 = ActorId(1);
+            b.spawn(n0, "src", move |ctx| {
+                for i in 0..50u64 {
+                    ctx.send(a1, i, 16);
+                    ctx.advance_work(CpuWork::from_micros(200));
+                }
+            });
+            b.spawn(n1, "dst", |ctx| {
+                while ctx
+                    .recv_deadline(ctx.now() + SimDuration::from_millis(20))
+                    .is_some()
+                {}
+            });
+            let plan = FaultPlan::new(seed)
+                .drop_all(0.2)
+                .dup_all(0.1)
+                .jitter_all(0.3, SimDuration::from_micros(500));
+            let r = b.fault_plan(plan).run();
+            (r.trace_hash, r.end_time, r.fault.clone())
+        };
+        assert_eq!(run_once(11), run_once(11));
+        let (h_a, _, _) = run_once(11);
+        let (h_b, _, _) = run_once(12);
+        assert_ne!(h_a, h_b, "different seeds should give different traces");
+    }
+
+    #[test]
+    fn per_link_faults_override_default() {
+        let mut b = SimBuilder::<u64>::new().net(NetConfig::ideal());
+        let n0 = b.add_node(NodeConfig::default());
+        let n1 = b.add_node(NodeConfig::default());
+        let n2 = b.add_node(NodeConfig::default());
+        let (a1, a2) = (ActorId(1), ActorId(2));
+        b.spawn(n0, "src", move |ctx| {
+            ctx.send(a1, 1, 8); // link 0->1 drops everything
+            ctx.send(a2, 2, 8); // default link is clean
+        });
+        b.spawn(n1, "lossy", |ctx| {
+            assert!(ctx.recv_deadline(SimTime(1_000_000)).is_none());
+        });
+        b.spawn(n2, "clean", |ctx| {
+            assert_eq!(ctx.recv().msg, 2);
+        });
+        let plan = FaultPlan::new(3).link(
+            0,
+            1,
+            LinkFaults {
+                drop_p: 1.0,
+                ..Default::default()
+            },
+        );
+        let report = b.fault_plan(plan).run();
+        assert_eq!(report.fault.msgs_dropped, 1);
     }
 }

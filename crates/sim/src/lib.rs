@@ -42,15 +42,19 @@
 #![forbid(unsafe_code)]
 
 pub mod cpu;
+pub mod fault;
 pub mod kernel;
 pub mod load;
 pub mod net;
+pub mod rng;
 pub mod time;
 pub mod work;
 
 pub use cpu::{advance, Advance, NodeConfig};
+pub use fault::{FaultPlan, FaultStats, LinkFaults, NodeFaults};
 pub use kernel::{ActorCtx, ActorId, ActorMetrics, NodeId, NodeMetrics, SimBuilder, SimReport};
 pub use load::LoadModel;
 pub use net::{Envelope, NetConfig};
+pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};
 pub use work::CpuWork;

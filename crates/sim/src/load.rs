@@ -76,7 +76,11 @@ impl LoadModel {
                 let d = duty.micros();
                 let phase = t.micros() % p;
                 let cycle_start = t.micros() - phase;
-                let next = if phase < d { cycle_start + d } else { cycle_start + p };
+                let next = if phase < d {
+                    cycle_start + d
+                } else {
+                    cycle_start + p
+                };
                 Some(SimTime(next))
             }
             LoadModel::Trace(points) => {

@@ -61,8 +61,7 @@ impl NetConfig {
         assert!(self.bandwidth > 0, "bandwidth must be positive");
         // ceil(bytes * 1e6 / bandwidth) microseconds, computed in u128 to
         // avoid overflow for large transfers.
-        let us = ((bytes as u128) * 1_000_000 + (self.bandwidth as u128 - 1))
-            / self.bandwidth as u128;
+        let us = ((bytes as u128) * 1_000_000).div_ceil(self.bandwidth as u128);
         SimDuration::from_micros(us as u64)
     }
 

@@ -1,0 +1,145 @@
+//! Small deterministic PRNG (PCG-XSH-RR 64/32).
+//!
+//! The simulator must be hermetic — no external crates — and bit-for-bit
+//! reproducible across platforms, so we carry our own generator instead of
+//! depending on `rand`. PCG32 has a 64-bit state, excellent statistical
+//! quality for simulation purposes, and a trivially portable
+//! implementation. It seeds fault injection ([`crate::fault::FaultPlan`]),
+//! input generation in `dlb-apps`, and the seeded-loop property tests.
+
+/// Permuted congruential generator, 64-bit state / 32-bit output.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_DEFAULT_STREAM: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Seeded generator on the default stream.
+    pub fn new(seed: u64) -> Pcg32 {
+        Pcg32::with_stream(seed, PCG_DEFAULT_STREAM)
+    }
+
+    /// Seeded generator on a caller-chosen stream; distinct streams with the
+    /// same seed produce independent sequences.
+    pub fn with_stream(seed: u64, stream: u64) -> Pcg32 {
+        let inc = (stream << 1) | 1;
+        let mut rng = Pcg32 { state: 0, inc };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn next_f64_signed(&mut self) -> f64 {
+        self.next_f64() * 2.0 - 1.0
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping is fine for simulation use;
+        // bias is bounded by span / 2^64.
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn gen_index(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo as u64, hi as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Pcg32::new(42);
+        let mut b = Pcg32::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg32::with_stream(7, 1);
+        let mut b = Pcg32::with_stream(7, 2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 3, "different streams should diverge");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::new(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = Pcg32::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should appear");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

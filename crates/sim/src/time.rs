@@ -77,7 +77,10 @@ impl SimDuration {
     /// Build from fractional seconds, rounding to the nearest microsecond.
     #[inline]
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and >= 0"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 

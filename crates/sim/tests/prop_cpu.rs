@@ -1,25 +1,37 @@
-//! Property tests for the quantum-scheduler CPU model and load models.
+//! Seeded-loop property tests for the quantum-scheduler CPU model and load
+//! models. (Formerly proptest; rewritten as deterministic PCG-driven loops
+//! so the suite runs with zero external dependencies.)
+
+#![allow(clippy::unusual_byte_groupings)] // seeds are mnemonic hex words
 
 use dlb_sim::cpu::{advance, NodeConfig};
-use dlb_sim::{CpuWork, LoadModel, SimDuration, SimTime};
-use proptest::prelude::*;
+use dlb_sim::{CpuWork, LoadModel, Pcg32, SimDuration, SimTime};
 
-fn arb_load() -> impl Strategy<Value = LoadModel> {
-    prop_oneof![
-        Just(LoadModel::Dedicated),
-        (0u32..4).prop_map(LoadModel::Constant),
-        (1u64..30, 1u32..4).prop_flat_map(|(period_s, tasks)| {
-            (0..=period_s).prop_map(move |duty_s| LoadModel::Oscillating {
+const CASES: usize = 256;
+
+fn arb_load(rng: &mut Pcg32) -> LoadModel {
+    match rng.gen_index(0, 4) {
+        0 => LoadModel::Dedicated,
+        1 => LoadModel::Constant(rng.gen_range(0, 4) as u32),
+        2 => {
+            let period_s = rng.gen_range(1, 30);
+            let tasks = rng.gen_range(1, 4) as u32;
+            let duty_s = rng.gen_range(0, period_s + 1);
+            LoadModel::Oscillating {
                 period: SimDuration::from_secs(period_s),
                 duty: SimDuration::from_secs(duty_s),
                 tasks,
-            })
-        }),
-        proptest::collection::vec((0u64..60_000_000, 0u32..4), 0..6).prop_map(|mut v| {
+            }
+        }
+        _ => {
+            let n = rng.gen_index(0, 6);
+            let mut v: Vec<(u64, u32)> = (0..n)
+                .map(|_| (rng.gen_range(0, 60_000_000), rng.gen_range(0, 4) as u32))
+                .collect();
             v.sort_by_key(|&(t, _)| t);
             LoadModel::Trace(v.into_iter().map(|(t, k)| (SimTime(t), k)).collect())
-        }),
-    ]
+        }
+    }
 }
 
 fn node(load: LoadModel, quantum_us: u64) -> NodeConfig {
@@ -30,127 +42,137 @@ fn node(load: LoadModel, quantum_us: u64) -> NodeConfig {
     }
 }
 
-proptest! {
-    /// Splitting a computation into two back-to-back advances finishes at
-    /// exactly the same instant as one combined advance, with the same
-    /// loaded-CPU accounting.
-    #[test]
-    fn advance_composes(
-        load in arb_load(),
-        quantum_us in 1_000u64..500_000,
-        start in 0u64..10_000_000,
-        total_us in 1u64..5_000_000,
-        split_frac in 0.0f64..1.0,
-    ) {
+/// Splitting a computation into two back-to-back advances finishes at
+/// exactly the same instant as one combined advance, with the same
+/// loaded-CPU accounting.
+#[test]
+fn advance_composes() {
+    let mut rng = Pcg32::new(0xc0de_0);
+    for _ in 0..CASES {
+        let load = arb_load(&mut rng);
+        let quantum_us = rng.gen_range(1_000, 500_000);
+        let start = SimTime(rng.gen_range(0, 10_000_000));
+        let total_us = rng.gen_range(1, 5_000_000);
+        let split_frac = rng.next_f64();
         let cfg = node(load, quantum_us);
-        let start = SimTime(start);
         let split = ((total_us as f64 * split_frac) as u64).min(total_us);
         let whole = advance(&cfg, start, CpuWork::from_micros(total_us));
         let a = advance(&cfg, start, CpuWork::from_micros(split));
         let b = advance(&cfg, a.finish, CpuWork::from_micros(total_us - split));
-        prop_assert_eq!(b.finish, whole.finish);
-        prop_assert_eq!(a.cpu_while_loaded + b.cpu_while_loaded, whole.cpu_while_loaded);
+        assert_eq!(b.finish, whole.finish);
+        assert_eq!(
+            a.cpu_while_loaded + b.cpu_while_loaded,
+            whole.cpu_while_loaded
+        );
     }
+}
 
-    /// More work never finishes earlier, and nonzero work takes nonzero time.
-    #[test]
-    fn advance_monotone(
-        load in arb_load(),
-        quantum_us in 1_000u64..500_000,
-        start in 0u64..10_000_000,
-        w1 in 1u64..3_000_000,
-        extra in 0u64..3_000_000,
-    ) {
+/// More work never finishes earlier, and nonzero work takes nonzero time.
+#[test]
+fn advance_monotone() {
+    let mut rng = Pcg32::new(0xc0de_1);
+    for _ in 0..CASES {
+        let load = arb_load(&mut rng);
+        let quantum_us = rng.gen_range(1_000, 500_000);
+        let start = SimTime(rng.gen_range(0, 10_000_000));
+        let w1 = rng.gen_range(1, 3_000_000);
+        let extra = rng.gen_range(0, 3_000_000);
         let cfg = node(load, quantum_us);
-        let start = SimTime(start);
         let a = advance(&cfg, start, CpuWork::from_micros(w1));
         let b = advance(&cfg, start, CpuWork::from_micros(w1 + extra));
-        prop_assert!(a.finish > start);
-        prop_assert!(b.finish >= a.finish);
+        assert!(a.finish > start);
+        assert!(b.finish >= a.finish);
     }
+}
 
-    /// Elapsed time is at least the dedicated time and at most
-    /// (max_tasks + 1) × dedicated + one full scheduling cycle of slack.
-    #[test]
-    fn advance_bounded_by_sharing(
-        k in 0u32..4,
-        quantum_us in 1_000u64..500_000,
-        start in 0u64..10_000_000,
-        work_us in 1u64..5_000_000,
-    ) {
+/// Elapsed time is at least the dedicated time and at most
+/// (max_tasks + 1) × dedicated + one full scheduling cycle of slack.
+#[test]
+fn advance_bounded_by_sharing() {
+    let mut rng = Pcg32::new(0xc0de_2);
+    for _ in 0..CASES {
+        let k = rng.gen_range(0, 4) as u32;
+        let quantum_us = rng.gen_range(1_000, 500_000);
+        let start = SimTime(rng.gen_range(0, 10_000_000));
+        let work_us = rng.gen_range(1, 5_000_000);
         let cfg = node(LoadModel::Constant(k), quantum_us);
-        let start = SimTime(start);
         let a = advance(&cfg, start, CpuWork::from_micros(work_us));
         let elapsed = (a.finish - start).micros();
-        prop_assert!(elapsed >= work_us);
+        assert!(elapsed >= work_us);
         let cycle = (k as u64 + 1) * quantum_us;
         let upper = work_us.div_ceil(quantum_us).max(1) * cycle + cycle;
-        prop_assert!(elapsed <= upper, "elapsed {} > upper {}", elapsed, upper);
+        assert!(elapsed <= upper, "elapsed {elapsed} > upper {upper}");
     }
+}
 
-    /// Loaded-CPU accounting never exceeds the work done nor the loaded time.
-    #[test]
-    fn loaded_cpu_bounded(
-        load in arb_load(),
-        quantum_us in 1_000u64..500_000,
-        start in 0u64..10_000_000,
-        work_us in 1u64..5_000_000,
-    ) {
+/// Loaded-CPU accounting never exceeds the work done nor the loaded time.
+#[test]
+fn loaded_cpu_bounded() {
+    let mut rng = Pcg32::new(0xc0de_3);
+    for _ in 0..CASES {
+        let load = arb_load(&mut rng);
+        let quantum_us = rng.gen_range(1_000, 500_000);
+        let start = SimTime(rng.gen_range(0, 10_000_000));
+        let work_us = rng.gen_range(1, 5_000_000);
         let cfg = node(load.clone(), quantum_us);
-        let start = SimTime(start);
         let a = advance(&cfg, start, CpuWork::from_micros(work_us));
-        prop_assert!(a.cpu_while_loaded.micros() <= work_us);
+        assert!(a.cpu_while_loaded.micros() <= work_us);
         let loaded = load.loaded_integral(start, a.finish);
-        prop_assert!(a.cpu_while_loaded <= loaded);
+        assert!(a.cpu_while_loaded <= loaded);
     }
+}
 
-    /// The loaded-time integral is additive over adjacent intervals and
-    /// bounded by the interval length.
-    #[test]
-    fn loaded_integral_additive(
-        load in arb_load(),
-        a in 0u64..50_000_000,
-        d1 in 0u64..20_000_000,
-        d2 in 0u64..20_000_000,
-    ) {
+/// The loaded-time integral is additive over adjacent intervals and bounded
+/// by the interval length.
+#[test]
+fn loaded_integral_additive() {
+    let mut rng = Pcg32::new(0xc0de_4);
+    for _ in 0..CASES {
+        let load = arb_load(&mut rng);
+        let a = rng.gen_range(0, 50_000_000);
+        let d1 = rng.gen_range(0, 20_000_000);
+        let d2 = rng.gen_range(0, 20_000_000);
         let t0 = SimTime(a);
         let t1 = SimTime(a + d1);
         let t2 = SimTime(a + d1 + d2);
         let whole = load.loaded_integral(t0, t2);
         let parts = load.loaded_integral(t0, t1) + load.loaded_integral(t1, t2);
-        prop_assert_eq!(whole, parts);
-        prop_assert!(whole.micros() <= d1 + d2);
+        assert_eq!(whole, parts);
+        assert!(whole.micros() <= d1 + d2);
     }
+}
 
-    /// tasks_at agrees with next_change: k is constant on [t, next_change).
-    #[test]
-    fn next_change_consistent(
-        load in arb_load(),
-        t in 0u64..50_000_000,
-        probe_frac in 0.0f64..1.0,
-    ) {
-        let t = SimTime(t);
+/// tasks_at agrees with next_change: k is constant on [t, next_change).
+#[test]
+fn next_change_consistent() {
+    let mut rng = Pcg32::new(0xc0de_5);
+    for _ in 0..CASES {
+        let load = arb_load(&mut rng);
+        let t = SimTime(rng.gen_range(0, 50_000_000));
+        let probe_frac = rng.next_f64();
         let k = load.tasks_at(t);
         if let Some(c) = load.next_change(t) {
-            prop_assert!(c > t);
-            prop_assert_ne!(load.tasks_at(c), k);
+            assert!(c > t);
+            assert_ne!(load.tasks_at(c), k);
             let span = c.micros() - t.micros();
             let probe = SimTime(t.micros() + ((span - 1) as f64 * probe_frac) as u64);
-            prop_assert_eq!(load.tasks_at(probe), k);
+            assert_eq!(load.tasks_at(probe), k);
         }
     }
+}
 
-    /// On a dedicated node, elapsed equals dedicated work regardless of
-    /// quantum or start time.
-    #[test]
-    fn dedicated_identity(
-        quantum_us in 1_000u64..500_000,
-        start in 0u64..10_000_000,
-        work_us in 0u64..5_000_000,
-    ) {
+/// On a dedicated node, elapsed equals dedicated work regardless of quantum
+/// or start time.
+#[test]
+fn dedicated_identity() {
+    let mut rng = Pcg32::new(0xc0de_6);
+    for _ in 0..CASES {
+        let quantum_us = rng.gen_range(1_000, 500_000);
+        let start = rng.gen_range(0, 10_000_000);
+        let work_us = rng.gen_range(0, 5_000_000);
         let cfg = node(LoadModel::Dedicated, quantum_us);
         let a = advance(&cfg, SimTime(start), CpuWork::from_micros(work_us));
-        prop_assert_eq!(a.finish, SimTime(start + work_us));
-        prop_assert_eq!(a.cpu_while_loaded, SimDuration::ZERO);
+        assert_eq!(a.finish, SimTime(start + work_us));
+        assert_eq!(a.cpu_while_loaded, SimDuration::ZERO);
     }
 }

@@ -1,15 +1,19 @@
-//! Property tests for the network model and kernel messaging invariants.
+//! Seeded-loop property tests for the network model and kernel messaging
+//! invariants. (Formerly proptest; rewritten as deterministic PCG-driven
+//! loops so the suite runs with zero external dependencies.)
 
-use dlb_sim::{ActorId, CpuWork, NetConfig, NodeConfig, SimBuilder, SimDuration};
-use proptest::prelude::*;
+use dlb_sim::{ActorId, CpuWork, NetConfig, NodeConfig, Pcg32, SimBuilder, SimDuration};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+const CASES: usize = 16;
 
-    /// Per-(src,dst) FIFO holds for arbitrary message sizes, even when
-    /// small messages could physically overtake large ones.
-    #[test]
-    fn fifo_with_mixed_sizes(sizes in proptest::collection::vec(1u64..100_000, 1..20)) {
+/// Per-(src,dst) FIFO holds for arbitrary message sizes, even when small
+/// messages could physically overtake large ones.
+#[test]
+fn fifo_with_mixed_sizes() {
+    let mut rng = Pcg32::new(0x51f0);
+    for _ in 0..CASES {
+        let n_msgs = rng.gen_index(1, 20);
+        let sizes: Vec<u64> = (0..n_msgs).map(|_| rng.gen_range(1, 100_000)).collect();
         let n = sizes.len() as u64;
         let mut b = SimBuilder::<u64>::new().net(NetConfig {
             latency: SimDuration::from_micros(50),
@@ -21,9 +25,8 @@ proptest! {
         let n0 = b.add_node(NodeConfig::default());
         let n1 = b.add_node(NodeConfig::default());
         let dst = ActorId(1);
-        let sizes2 = sizes.clone();
         b.spawn(n0, "src", move |ctx| {
-            for (i, sz) in sizes2.iter().enumerate() {
+            for (i, sz) in sizes.iter().enumerate() {
                 ctx.send(dst, i as u64, *sz);
             }
         });
@@ -35,31 +38,42 @@ proptest! {
         });
         b.run();
     }
+}
 
-    /// Transfer time is monotone in bytes and inversely monotone in
-    /// bandwidth.
-    #[test]
-    fn transfer_time_monotone(
-        bytes in 0u64..10_000_000,
-        extra in 0u64..10_000_000,
-        bw in 1_000u64..1_000_000_000,
-    ) {
-        let slow = NetConfig { bandwidth: bw, ..NetConfig::default() };
-        let fast = NetConfig { bandwidth: bw * 2, ..NetConfig::default() };
-        prop_assert!(slow.transfer_time(bytes + extra) >= slow.transfer_time(bytes));
-        prop_assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
+/// Transfer time is monotone in bytes and inversely monotone in bandwidth.
+#[test]
+fn transfer_time_monotone() {
+    let mut rng = Pcg32::new(0x51f1);
+    for _ in 0..256 {
+        let bytes = rng.gen_range(0, 10_000_000);
+        let extra = rng.gen_range(0, 10_000_000);
+        let bw = rng.gen_range(1_000, 1_000_000_000);
+        let slow = NetConfig {
+            bandwidth: bw,
+            ..NetConfig::default()
+        };
+        let fast = NetConfig {
+            bandwidth: bw * 2,
+            ..NetConfig::default()
+        };
+        assert!(slow.transfer_time(bytes + extra) >= slow.transfer_time(bytes));
+        assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
     }
+}
 
-    /// Messages between many pairs are all delivered exactly once
-    /// (conservation), regardless of topology and sizes.
-    #[test]
-    fn message_conservation(
-        n_actors in 2usize..6,
-        n_msgs in 1usize..30,
-        seed in 0u64..1000,
-    ) {
+/// Messages between many pairs are all delivered exactly once
+/// (conservation), regardless of topology and sizes.
+#[test]
+fn message_conservation() {
+    let mut rng = Pcg32::new(0x51f2);
+    for _ in 0..CASES {
+        let n_actors = rng.gen_index(2, 6);
+        let n_msgs = rng.gen_index(1, 30);
+        let seed = rng.gen_range(0, 1000);
         let mut b = SimBuilder::<u32>::new();
-        let nodes: Vec<_> = (0..n_actors).map(|_| b.add_node(NodeConfig::default())).collect();
+        let nodes: Vec<_> = (0..n_actors)
+            .map(|_| b.add_node(NodeConfig::default()))
+            .collect();
         // Everyone sends a deterministic pseudo-random set of messages to
         // the next actor in the ring, then receives what its predecessor
         // sent.
@@ -79,6 +93,6 @@ proptest! {
         let report = b.run();
         let sent: u64 = report.actors.iter().map(|a| a.msgs_sent).sum();
         let recv: u64 = report.actors.iter().map(|a| a.msgs_received).sum();
-        prop_assert_eq!(sent, recv);
+        assert_eq!(sent, recv);
     }
 }

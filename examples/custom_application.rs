@@ -35,7 +35,9 @@ impl MonteCarlo {
         for _ in 0..self.paths {
             let mut s = 100.0f64;
             for _ in 0..self.steps {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
                 s *= 1.0 + 0.02 * (u - 0.5);
             }
@@ -104,8 +106,7 @@ fn main() {
     });
     let plan = dlb::compiler::compile(&app.program()).expect("compiles");
     println!(
-        "compiled `{}`: pattern {:?}, {} units of ~{:.2} s each",
-        "monte-carlo",
+        "compiled `monte-carlo`: pattern {:?}, {} units of ~{:.2} s each",
         plan.pattern,
         plan.n_units,
         app.unit_cost().as_secs_f64()

@@ -24,7 +24,10 @@ fn main() {
 
     // What the compiler sees:
     let deps = analyze(&program);
-    println!("carried dependence distances: {:?}", deps.carried_distances());
+    println!(
+        "carried dependence distances: {:?}",
+        deps.carried_distances()
+    );
     let plan = dlb::compiler::compile(&program).expect("compiles");
     println!(
         "pattern {:?}; movement {:?}; pipeline along `{}`\n",

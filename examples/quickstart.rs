@@ -26,7 +26,10 @@ fn main() {
     // 1. Compile: the IR program distributes the row loop.
     let plan = dlb::compiler::compile(&mm.program()).expect("compiles");
     println!("pattern: {:?}, movement: {:?}", plan.pattern, plan.movement);
-    println!("hook: after each `{}` iteration", plan.hooks.chosen_site().loop_var);
+    println!(
+        "hook: after each `{}` iteration",
+        plan.hooks.chosen_site().loop_var
+    );
 
     // 3. Four workstations; someone is compiling on the first one.
     let mut cfg = RunConfig::homogeneous(4);

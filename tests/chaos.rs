@@ -1,0 +1,284 @@
+//! Chaos tests: deterministic fault injection against the full runtime.
+//!
+//! The fault plan drops/duplicates/delays messages and crashes nodes at
+//! scheduled virtual times; the run must never panic or hang. The
+//! independent engine must *recover* (bit-identical result with a degraded
+//! node count); the pipelined and shrinking engines must detect trouble
+//! and abort with a typed error. Everything is seeded, so each case
+//! reproduces exactly.
+
+use dlb::apps::{Calibration, Lu, MatMul, Sor};
+use dlb::core::driver::{try_run, AppSpec, RunConfig};
+use dlb::core::ProtocolError;
+use dlb::sim::{FaultPlan, SimTime};
+use std::sync::Arc;
+
+const SLAVES: usize = 4;
+
+/// Crash times are virtual microseconds; node `i + 1` is slave `i`
+/// (node 0 is the master).
+fn slave_node(i: usize) -> usize {
+    i + 1
+}
+
+fn chaos_cfg(plan: FaultPlan) -> RunConfig {
+    let mut cfg = RunConfig::homogeneous(SLAVES);
+    cfg.fault_plan = Some(plan);
+    cfg
+}
+
+fn mm() -> (Arc<MatMul>, dlb::compiler::ParallelPlan) {
+    // ~23 ms per unit: long enough that scheduled crashes land mid-run,
+    // short enough that one unit is far below the suspicion timeout.
+    let k = Arc::new(MatMul::new(24, 3, 7, &Calibration::new(0.05)));
+    let plan = dlb::compiler::compile(&k.program()).unwrap();
+    (k, plan)
+}
+
+fn sor() -> (Arc<Sor>, dlb::compiler::ParallelPlan) {
+    let k = Arc::new(Sor::new(18, 4, 7, &Calibration::new(0.002)));
+    let plan = dlb::compiler::compile(&k.program()).unwrap();
+    (k, plan)
+}
+
+fn lu() -> (Arc<Lu>, dlb::compiler::ParallelPlan) {
+    let k = Arc::new(Lu::new(20, 7, &Calibration::new(0.002)));
+    let plan = dlb::compiler::compile(&k.program()).unwrap();
+    (k, plan)
+}
+
+/// A fault plan with no faults behaves exactly like a plain run: complete,
+/// correct, and with every fault and recovery counter at zero.
+#[test]
+fn quiet_fault_plan_completes_normally() {
+    let (k, plan) = mm();
+    let report = try_run(
+        AppSpec::Independent(k.clone()),
+        &plan,
+        chaos_cfg(FaultPlan::new(1)),
+    )
+    .expect("quiet plan must complete");
+    assert_eq!(MatMul::result_c(&report.result), k.sequential());
+    assert!(
+        !report.recovery.any(),
+        "no recovery without faults: {:?}",
+        report.recovery
+    );
+    assert!(
+        !report.sim.fault.any(),
+        "no faults injected: {:?}",
+        report.sim.fault
+    );
+}
+
+/// The headline recovery scenario: 5 % message drop plus one mid-run node
+/// crash. The independent engine re-scatters the dead slave's units and
+/// finishes bit-for-bit identical to the sequential reference.
+#[test]
+fn independent_recovers_from_drops_and_crash() {
+    let (k, plan) = mm();
+    let fault = FaultPlan::new(42)
+        .drop_all(0.05)
+        .crash(slave_node(2), SimTime(200_000));
+    let report = try_run(AppSpec::Independent(k.clone()), &plan, chaos_cfg(fault))
+        .expect("independent engine must recover");
+    assert_eq!(
+        MatMul::result_c(&report.result),
+        k.sequential(),
+        "recovered result must be bit-identical"
+    );
+    assert_eq!(report.recovery.slaves_declared_dead, 1);
+    assert!(
+        report.recovery.units_restored > 0 || report.recovery.units_recomputed > 0,
+        "the dead slave's units must have been restored or recomputed: {:?}",
+        report.recovery
+    );
+    assert!(report.sim.fault.msgs_dropped > 0);
+}
+
+/// Sweep drop probability × crash time for the independent engine: every
+/// combination must complete with a bit-identical result, and any crash
+/// that fired must be recorded as a recovery.
+#[test]
+fn independent_chaos_sweep() {
+    let (k, plan) = mm();
+    for (pi, &p) in [0.0f64, 0.02, 0.05].iter().enumerate() {
+        for (ci, crash_at) in [None, Some(150_000u64), Some(450_000u64)]
+            .into_iter()
+            .enumerate()
+        {
+            let seed = 100 + (pi * 10 + ci) as u64;
+            let mut fault = FaultPlan::new(seed).drop_all(p).dup_all(p / 2.0);
+            if let Some(t) = crash_at {
+                fault = fault.crash(slave_node(ci % SLAVES), SimTime(t));
+            }
+            let label = format!("p={p} crash={crash_at:?}");
+            let report = try_run(AppSpec::Independent(k.clone()), &plan, chaos_cfg(fault))
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(
+                MatMul::result_c(&report.result),
+                k.sequential(),
+                "{label}: result must be exact"
+            );
+            if !report.sim.fault.crashed_nodes.is_empty() {
+                assert!(
+                    report.recovery.slaves_declared_dead > 0,
+                    "{label}: crash fired but no recovery recorded"
+                );
+            }
+        }
+    }
+}
+
+/// The same sweep against the pipelined and shrinking engines: carried
+/// dependences make recovery impossible, so each combination must either
+/// complete exactly (faults missed anything critical) or surface a typed
+/// error — never a panic, never a hang.
+#[test]
+fn pipelined_and_shrinking_chaos_sweep() {
+    let (sor_k, sor_plan) = sor();
+    let (lu_k, lu_plan) = lu();
+    for (pi, &p) in [0.0f64, 0.02, 0.05].iter().enumerate() {
+        for (ci, crash_at) in [None, Some(300_000u64)].into_iter().enumerate() {
+            let seed = 500 + (pi * 10 + ci) as u64;
+            let build = |stream: u64| {
+                let mut f = FaultPlan::new(seed + stream).drop_all(p);
+                if let Some(t) = crash_at {
+                    f = f.crash(slave_node(1), SimTime(t));
+                }
+                f
+            };
+            let label = format!("p={p} crash={crash_at:?}");
+
+            match try_run(
+                AppSpec::Pipelined(sor_k.clone()),
+                &sor_plan,
+                chaos_cfg(build(0)),
+            ) {
+                Ok(report) => assert_eq!(
+                    sor_k.result_grid(&report.result),
+                    sor_k.sequential(),
+                    "sor {label}: completed run must be exact"
+                ),
+                Err(e) => assert_typed(&e.error, &format!("sor {label}")),
+            }
+
+            match try_run(
+                AppSpec::Shrinking(lu_k.clone()),
+                &lu_plan,
+                chaos_cfg(build(1)),
+            ) {
+                Ok(report) => {
+                    let cols = Lu::result_cols(&report.result);
+                    assert_eq!(
+                        &cols,
+                        &lu_k.sequential(),
+                        "lu {label}: completed run must be exact"
+                    );
+                }
+                Err(e) => assert_typed(&e.error, &format!("lu {label}")),
+            }
+        }
+    }
+}
+
+/// A mid-run crash under the pipelined engine must produce a typed error
+/// (the sweep above allows Ok for combinations where the fault misses; this
+/// one is tuned so the crash always lands mid-computation).
+#[test]
+fn pipelined_crash_aborts_with_typed_error() {
+    let (k, plan) = sor();
+    let fault = FaultPlan::new(9).crash(slave_node(1), SimTime(300_000));
+    let err = try_run(AppSpec::Pipelined(k), &plan, chaos_cfg(fault))
+        .expect_err("crash mid-sweep must abort the pipelined run");
+    assert_typed(&err.error, "pipelined crash");
+    assert!(
+        matches!(
+            err.error,
+            ProtocolError::SlaveDead { .. }
+                | ProtocolError::SlaveFailed { .. }
+                | ProtocolError::Timeout { .. }
+        ),
+        "expected a liveness error, got {}",
+        err.error
+    );
+}
+
+/// Same for the shrinking engine.
+#[test]
+fn shrinking_crash_aborts_with_typed_error() {
+    let (k, plan) = lu();
+    let fault = FaultPlan::new(9).crash(slave_node(2), SimTime(200_000));
+    let err = try_run(AppSpec::Shrinking(k), &plan, chaos_cfg(fault))
+        .expect_err("crash mid-elimination must abort the shrinking run");
+    assert_typed(&err.error, "shrinking crash");
+}
+
+/// Losing every slave is reported as such, not as a hang.
+#[test]
+fn all_slaves_dead_is_reported() {
+    let (k, plan) = mm();
+    let mut fault = FaultPlan::new(3);
+    for i in 0..SLAVES {
+        fault = fault.crash(slave_node(i), SimTime(100_000 + i as u64 * 10_000));
+    }
+    let err = try_run(AppSpec::Independent(k), &plan, chaos_cfg(fault))
+        .expect_err("no survivors: the run cannot complete");
+    assert!(
+        matches!(err.error, ProtocolError::AllSlavesDead),
+        "expected AllSlavesDead, got {}",
+        err.error
+    );
+}
+
+/// Fault injection is part of the deterministic trace: the same seed and
+/// plan reproduce the identical execution (trace hash, fault counters,
+/// result); a different fault seed diverges.
+#[test]
+fn determinism_holds_under_faults() {
+    let (k, plan) = mm();
+    let build = |seed: u64| {
+        FaultPlan::new(seed)
+            .drop_all(0.05)
+            .dup_all(0.02)
+            .jitter_all(0.1, dlb::sim::SimDuration::from_millis(20))
+            .crash(slave_node(3), SimTime(250_000))
+    };
+    let run_one = |seed: u64| {
+        try_run(
+            AppSpec::Independent(k.clone()),
+            &plan,
+            chaos_cfg(build(seed)),
+        )
+        .expect("independent engine must recover")
+    };
+    let a = run_one(77);
+    let b = run_one(77);
+    assert_eq!(a.sim.trace_hash, b.sim.trace_hash, "same seed ⇒ same trace");
+    assert_eq!(a.sim.fault.msgs_dropped, b.sim.fault.msgs_dropped);
+    assert_eq!(a.sim.fault.msgs_duplicated, b.sim.fault.msgs_duplicated);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(MatMul::result_c(&a.result), MatMul::result_c(&b.result));
+    let c = run_one(78);
+    assert_ne!(
+        a.sim.trace_hash, c.sim.trace_hash,
+        "different fault seed ⇒ different trace"
+    );
+}
+
+/// Every error a chaos run can legitimately produce.
+fn assert_typed(e: &ProtocolError, label: &str) {
+    match e {
+        ProtocolError::UnexpectedMessage { .. }
+        | ProtocolError::Timeout { .. }
+        | ProtocolError::MissingPivot { .. }
+        | ProtocolError::NonNeighborTransfer { .. }
+        | ProtocolError::SlaveDead { .. }
+        | ProtocolError::AllSlavesDead
+        | ProtocolError::SlaveFailed { .. }
+        | ProtocolError::Inconsistent { .. } => {}
+        ProtocolError::Aborted | ProtocolError::Evicted { .. } => {
+            panic!("{label}: Aborted/Evicted are internal control errors, not run outcomes: {e}")
+        }
+    }
+}

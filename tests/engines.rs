@@ -214,11 +214,7 @@ fn determinism_identical_runs() {
         let mut cfg = RunConfig::homogeneous(4);
         cfg.slave_nodes = loaded_cluster(4, 0, 1);
         let r = run(AppSpec::Independent(mm), &plan, cfg);
-        (
-            r.elapsed,
-            r.stats.units_moved,
-            r.sim.events_processed,
-        )
+        (r.elapsed, r.stats.units_moved, r.sim.events_processed)
     };
     assert_eq!(once(), once());
 }
@@ -300,7 +296,5 @@ fn speed_proportional_startup_reduces_movement() {
         proportional.stats.units_moved,
         equal.stats.units_moved
     );
-    assert!(
-        proportional.compute_time.as_secs_f64() <= equal.compute_time.as_secs_f64() * 1.02
-    );
+    assert!(proportional.compute_time.as_secs_f64() <= equal.compute_time.as_secs_f64() * 1.02);
 }
