@@ -1,0 +1,21 @@
+//! `dlb-lint`: run every built-in program through the plan linter, then
+//! model-check the restore protocol. Prints each report and exits nonzero
+//! if any error-severity diagnostic was produced.
+
+use dlb_analyze::{check_protocol, lint_builtins};
+
+fn main() {
+    let mut failed = false;
+    for report in lint_builtins() {
+        print!("{}", report.render());
+        failed |= report.has_errors();
+    }
+    let protocol = check_protocol();
+    print!("{}", protocol.render());
+    failed |= protocol.has_errors();
+    if failed {
+        eprintln!("dlb-lint: errors found");
+        std::process::exit(1);
+    }
+    println!("dlb-lint: all checks passed");
+}

@@ -1,0 +1,29 @@
+//! # dlb-analyze — static plan linter + protocol model checker
+//!
+//! The compiler (`dlb-compiler`) derives facts — dependence distances,
+//! hook overheads, strip-mine bounds — and the runtime (`dlb-core`)
+//! trusts them. This crate closes the loop with two pillars sharing one
+//! structured-diagnostics framework ([`diag`]):
+//!
+//! * **[`passes`]** — the plan linter: re-derives the analysis from the IR
+//!   and checks a [`ParallelPlan`](dlb_compiler::ParallelPlan) against it
+//!   (owner-computes legality, adjacency of work movement under carried
+//!   dependences, hook-overhead budget, strip-mine bounds).
+//! * **[`model`]** — the protocol model checker: exhaustively explores the
+//!   master/slave restore protocol (built from `dlb-core`'s production
+//!   [`SenderWindow`](dlb_core::SenderWindow)/[`AckTracker`](dlb_core::AckTracker)
+//!   rules) for duplicate application, lost work, and deadlock, with
+//!   seeded-replayable counterexamples.
+//!
+//! The `dlb-lint` binary runs every built-in program plus the protocol
+//! model and exits nonzero on any error — CI's merge gate.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod model;
+pub mod passes;
+
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use model::{check_protocol, check_protocol_with, CheckConfig};
+pub use passes::{expected_pattern, lint, lint_builtins};

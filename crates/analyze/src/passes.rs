@@ -1,0 +1,403 @@
+//! Pillar 1: the plan linter.
+//!
+//! [`lint`] re-derives the dependence and property analysis from the
+//! program — independently of whatever the plan claims — and checks that
+//! the plan's pattern, movement rule, hook placement, and grain policy are
+//! consistent with it. The passes correspond to the proofs the paper's
+//! compiler must do before emitting SPMD code: owner-computes legality
+//! (§2.1), adjacency of work movement under carried dependences (§3.2,
+//! Fig. 1b), the 1 % hook-overhead budget (§4.2, Fig. 3), and strip-mine
+//! bounds preservation (§4.4).
+
+use crate::diag::{Code, Diagnostic, Report};
+use dlb_compiler::plan::{GrainPolicy, MovementRule, ParallelPlan, Pattern};
+use dlb_compiler::props;
+use dlb_compiler::stripmine::strip_mine;
+use dlb_compiler::{analyze, Affine, DepAnalysis, Program, Span, DEFAULT_MAX_OVERHEAD};
+
+/// The pattern the classification rules demand for `program` — the same
+/// decision procedure as `plan::compile`, applied to a fresh analysis.
+/// `None` means no supported engine exists (carried dependences beyond
+/// nearest-neighbour).
+pub fn expected_pattern(program: &Program, da: &DepAnalysis) -> Option<Pattern> {
+    let props = props::derive_with(program, da);
+    if props.loop_carried_deps {
+        if da.nearest_neighbor_only() {
+            Some(Pattern::Pipelined)
+        } else {
+            None
+        }
+    } else if props.varying_loop_bounds {
+        Some(Pattern::Shrinking)
+    } else {
+        Some(Pattern::Independent)
+    }
+}
+
+/// Run every lint pass over `program` + `plan`.
+pub fn lint(program: &Program, plan: &ParallelPlan) -> Report {
+    let mut report = Report::new(plan.program.clone());
+    let da = analyze(program);
+    check_owner_computes(program, plan, &mut report);
+    check_movement(program, plan, &da, &mut report);
+    check_hooks(program, plan, &mut report);
+    check_stripmine(program, plan, &mut report);
+    report
+}
+
+/// Compile and lint every built-in program.
+pub fn lint_builtins() -> Vec<Report> {
+    dlb_compiler::programs::all_builtin()
+        .iter()
+        .map(|p| match dlb_compiler::compile(p) {
+            Ok(plan) => lint(p, &plan),
+            Err(e) => {
+                let mut r = Report::new(p.name.clone());
+                r.push(Diagnostic::new(
+                    Code::E007,
+                    Span::program(&p.name),
+                    format!("built-in program failed to compile: {e}"),
+                ));
+                r
+            }
+        })
+        .collect()
+}
+
+fn dloop_span(program: &Program) -> Span {
+    let loops: Vec<&str> = program
+        .path_to_distributed()
+        .iter()
+        .map(|l| l.var.as_str())
+        .collect();
+    Span::of_loop(&program.name, &loops)
+}
+
+/// Pass (a): owner-computes legality. For every array the plan moves with a
+/// work unit, a write under the distributed loop must subscript the aligned
+/// dimension with exactly the distributed variable — anything else stores
+/// into an element owned by a different iteration (hence a different slave)
+/// with no modeled transfer: a statically detected data race.
+fn check_owner_computes(program: &Program, plan: &ParallelPlan, report: &mut Report) {
+    let dvar = program.distributed_var.as_str();
+    let ident = Affine::var(dvar);
+    for (scope, stmt) in program.statements() {
+        if !scope.contains(&dvar) {
+            continue; // sequential section: no distributed ownership
+        }
+        for w in &stmt.writes {
+            let Some(moved) = plan.moved_arrays.iter().find(|m| m.name == w.array) else {
+                continue; // replicated or unknown array: no single owner
+            };
+            let Some(sub) = w.subs.get(moved.dim) else {
+                continue; // arity errors are validate()'s job
+            };
+            let delta = sub.diff(&ident);
+            if !(delta.is_constant() && delta.constant == 0) {
+                report.push(
+                    Diagnostic::new(
+                        Code::E001,
+                        program
+                            .span_of(&stmt.label)
+                            .unwrap_or_else(|| Span::program(&program.name)),
+                        format!(
+                            "write to `{}[{sub}]` in dim {} is owned by iteration `{sub}`, \
+                             not the executing iteration `{dvar}`",
+                            w.array, moved.dim
+                        ),
+                    )
+                    .with_notes(vec![format!(
+                        "array `{}` moves with the distributed variable `{dvar}`; \
+                         owner-computes requires writes at `{dvar}` exactly",
+                        w.array
+                    )]),
+                );
+            }
+        }
+    }
+}
+
+/// Pass (b): movement/pattern legality against the re-derived dependences.
+fn check_movement(program: &Program, plan: &ParallelPlan, da: &DepAnalysis, report: &mut Report) {
+    let span = dloop_span(program);
+    let carried_note = || {
+        da.deps
+            .iter()
+            .filter(|d| {
+                !matches!(d.distance, dlb_compiler::Distance::Zero)
+                    && !matches!(d.distance, dlb_compiler::Distance::Global)
+            })
+            .map(|d| {
+                format!(
+                    "{:?} dependence on `{}`: {} -> {} at distance {:?}",
+                    d.kind, d.array, d.src_stmt, d.dst_stmt, d.distance
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    if da.has_carried() {
+        if plan.movement == MovementRule::Direct {
+            report.push(
+                Diagnostic::new(
+                    Code::E003,
+                    span.clone(),
+                    "plan allows direct (non-adjacent) work movement, but the distributed \
+                     loop carries a dependence: moving a unit past a neighbour breaks the \
+                     block distribution the dependences rely on (Fig. 1b)",
+                )
+                .with_notes(carried_note()),
+            );
+        }
+        if plan.pattern == Pattern::Independent || plan.pattern == Pattern::Shrinking {
+            report.push(
+                Diagnostic::new(
+                    Code::E002,
+                    span.clone(),
+                    format!(
+                        "pattern {:?} treats distributed iterations as independent, but \
+                         the loop carries a dependence",
+                        plan.pattern
+                    ),
+                )
+                .with_notes(carried_note()),
+            );
+        }
+        if plan.pattern == Pattern::Pipelined && !da.nearest_neighbor_only() {
+            report.push(
+                Diagnostic::new(
+                    Code::E006,
+                    span.clone(),
+                    "pipelined execution supports only nearest-neighbour (|distance| <= 1) \
+                     carried dependences",
+                )
+                .with_notes(carried_note()),
+            );
+        }
+    }
+
+    match expected_pattern(program, da) {
+        // Only report the generic mismatch when no sharper pass already
+        // explained it.
+        Some(expected)
+            if expected != plan.pattern && !report.has(Code::E002) && !report.has(Code::E006) =>
+        {
+            report.push(Diagnostic::new(
+                Code::E007,
+                span.clone(),
+                format!(
+                    "plan pattern {:?} contradicts the dependence analysis, which \
+                     requires {:?}",
+                    plan.pattern, expected
+                ),
+            ));
+        }
+        None if !report.has(Code::E006) && !report.has(Code::E002) => {
+            report.push(Diagnostic::new(
+                Code::E006,
+                span.clone(),
+                "no supported engine: carried dependences are not nearest-neighbour",
+            ));
+        }
+        _ => {}
+    }
+
+    if da.has_global() {
+        report.push(Diagnostic::new(
+            Code::W003,
+            span.clone(),
+            "a value is shared by all distributed iterations: expect broadcast-style \
+             communication outside the distributed loop each invocation",
+        ));
+    }
+
+    for (scope, stmt) in program.statements() {
+        if stmt.conditional && scope.iter().any(|v| *v == program.distributed_var) {
+            report.push(Diagnostic::new(
+                Code::W002,
+                program
+                    .span_of(&stmt.label)
+                    .unwrap_or_else(|| Span::program(&program.name)),
+                "data-dependent iteration cost: compile-time flops figures are \
+                 expectations, so balancing relies entirely on measured rates",
+            ));
+        }
+    }
+}
+
+/// Pass (c), hooks: the chosen hook site must meet the overhead budget
+/// whenever any site does; if no site can, the fallback placement is legal
+/// but worth a warning.
+fn check_hooks(program: &Program, plan: &ParallelPlan, report: &mut Report) {
+    let chosen = plan.hooks.chosen_site();
+    let site_span = |loop_var: &str| {
+        let mut loops: Vec<&str> = Vec::new();
+        for l in program.path_to_distributed() {
+            loops.push(&l.var[..]);
+            if l.var == loop_var {
+                break;
+            }
+        }
+        Span::of_loop(&program.name, &loops)
+    };
+    if chosen.acceptable(DEFAULT_MAX_OVERHEAD) {
+        return;
+    }
+    if plan
+        .hooks
+        .sites
+        .iter()
+        .any(|s| s.acceptable(DEFAULT_MAX_OVERHEAD))
+    {
+        report.push(
+            Diagnostic::new(
+                Code::E004,
+                site_span(&chosen.loop_var),
+                format!(
+                    "chosen hook site after `{}` costs {:.2}% of the compute between \
+                     hooks, over the {:.0}% budget, while an acceptable site exists",
+                    chosen.loop_var,
+                    chosen.overhead * 100.0,
+                    DEFAULT_MAX_OVERHEAD * 100.0
+                ),
+            )
+            .with_notes(
+                plan.hooks
+                    .sites
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "site `{}` (depth {}): overhead {:.3}%",
+                            s.loop_var,
+                            s.depth,
+                            s.overhead * 100.0
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+    } else {
+        report.push(Diagnostic::new(
+            Code::W001,
+            site_span(&chosen.loop_var),
+            format!(
+                "no hook site meets the {:.0}% budget; best-effort placement after \
+                 `{}` at {:.2}% overhead",
+                DEFAULT_MAX_OVERHEAD * 100.0,
+                chosen.loop_var,
+                chosen.overhead * 100.0
+            ),
+        ));
+    }
+}
+
+/// Pass (c), strip mining: the grain policy must be well-formed, and the
+/// strip-mine transformation of the pipelined loop must cover exactly the
+/// original iteration space (the runtime clamps the last block; the blocked
+/// bound may only overshoot by less than one block, and never undershoot).
+fn check_stripmine(program: &Program, plan: &ParallelPlan, report: &mut Report) {
+    let span = dloop_span(program);
+    match plan.grain {
+        GrainPolicy::FixedBlock { iterations: 0 } => {
+            report.push(Diagnostic::new(
+                Code::E005,
+                span,
+                "fixed grain of 0 iterations: every block is empty, so the pipelined \
+                 loop drops all iterations",
+            ));
+            return;
+        }
+        GrainPolicy::AutoBlock { quantum_factor } if quantum_factor <= 0.0 => {
+            report.push(Diagnostic::new(
+                Code::E005,
+                span,
+                format!("auto grain with non-positive quantum factor {quantum_factor}"),
+            ));
+            return;
+        }
+        GrainPolicy::Unit => return, // nothing strip-mined
+        _ => {}
+    }
+    let Some(pipe) = &plan.pipeline else {
+        return;
+    };
+    let trips = pipe.inner_trips as i64;
+    if trips == 0 {
+        return;
+    }
+    // Exercise the real transformation at boundary-hostile block sizes.
+    let candidates = [1, 7, trips, trips + 3];
+    for block in candidates {
+        let block = block.max(1);
+        let Some(sm) = strip_mine(program, &pipe.inner_var, block) else {
+            report.push(Diagnostic::new(
+                Code::E005,
+                span.clone(),
+                format!(
+                    "grain policy strip-mines `{}`, but no such For loop exists",
+                    pipe.inner_var
+                ),
+            ));
+            return;
+        };
+        // The blocked loop is named `<var>0`; covered = nblocks * block.
+        let blocks_var = format!("{}0", pipe.inner_var);
+        fn find_loop<'a>(
+            nodes: &'a [dlb_compiler::Node],
+            var: &str,
+        ) -> Option<&'a dlb_compiler::Loop> {
+            for n in nodes {
+                if let dlb_compiler::Node::Loop(l) = n {
+                    if l.var == var {
+                        return Some(l);
+                    }
+                    if let Some(found) = find_loop(&l.body, var) {
+                        return Some(found);
+                    }
+                }
+            }
+            None
+        }
+        let covered = find_loop(&sm.body, &blocks_var)
+            .map(|l| sm.estimate_trips(l, &sm.default_env()).max(0) * block);
+        match covered {
+            Some(covered) if covered < trips => {
+                report.push(Diagnostic::new(
+                    Code::E005,
+                    span.clone(),
+                    format!(
+                        "strip-mining `{}` by {block} covers {covered} of {trips} \
+                         iterations: iterations dropped at the extent boundary",
+                        pipe.inner_var
+                    ),
+                ));
+                return;
+            }
+            Some(covered) if covered - trips >= block.max(1) => {
+                report.push(Diagnostic::new(
+                    Code::E005,
+                    span.clone(),
+                    format!(
+                        "strip-mining `{}` by {block} covers {covered} iterations for a \
+                         {trips}-trip loop: overshoot of a full block duplicates work \
+                         even after the runtime clamp",
+                        pipe.inner_var
+                    ),
+                ));
+                return;
+            }
+            Some(_) => {}
+            None => {
+                report.push(Diagnostic::new(
+                    Code::E005,
+                    span.clone(),
+                    format!(
+                        "strip-mined program lost the blocked loop `{blocks_var}`; \
+                         cannot prove bounds legality"
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+}

@@ -124,7 +124,9 @@ pub fn run_diffusion(
                     other => panic!("coordinator gather: unexpected {other:?}"),
                 }
             }
-            *outcome.lock().unwrap() = results;
+            // Tolerate a poisoned lock: a panicking peer must not mask
+            // the gathered results.
+            *outcome.lock().unwrap_or_else(|p| p.into_inner()) = results;
         });
     }
 
@@ -222,7 +224,7 @@ pub fn run_diffusion(
     }
 
     let sim_report = sim.run();
-    let mut gathered = std::mem::take(&mut *outcome.lock().unwrap());
+    let mut gathered = std::mem::take(&mut *outcome.lock().unwrap_or_else(|p| p.into_inner()));
     gathered.sort_by_key(|(id, _)| *id);
     assert_eq!(gathered.len(), n_units, "diffusion lost units");
     DiffReport {

@@ -128,7 +128,10 @@ pub fn run_self_scheduled(
                     other => panic!("queue master drain: unexpected {other:?}"),
                 }
             }
-            let mut o = outcome.lock().unwrap();
+            // Tolerate a poisoned lock: a panicking peer must not mask
+            // the outcome this actor computed (the assert below still sees
+            // whatever was gathered).
+            let mut o = outcome.lock().unwrap_or_else(|p| p.into_inner());
             o.0 = done;
             o.1 = state.chunks_issued();
         });
@@ -156,7 +159,7 @@ pub fn run_self_scheduled(
     }
 
     let sim_report = sim.run();
-    let mut o = outcome.lock().unwrap();
+    let mut o = outcome.lock().unwrap_or_else(|p| p.into_inner());
     let mut gathered = std::mem::take(&mut o.0);
     gathered.sort_by_key(|(id, _)| *id);
     assert_eq!(gathered.len(), n_units, "self-scheduling lost units");

@@ -6,9 +6,12 @@
 //! count under `std::time::Instant` and prints ns/iter. Run with
 //! `cargo bench -p dlb-bench --bench components`.
 
+use dlb_analyze::{check_protocol_with, lint, CheckConfig};
 use dlb_baselines::ChunkPolicy;
+use dlb_compiler::{compile, programs};
 use dlb_core::alloc::{plan_adjacent_shifts, plan_direct_moves, proportional_allocation};
 use dlb_core::msg::Status;
+use dlb_core::RestoreModel;
 use dlb_core::{Balancer, BalancerConfig, RateFilter};
 use dlb_sim::cpu::{advance, NodeConfig};
 use dlb_sim::{CpuWork, LoadModel, SimDuration, SimTime};
@@ -140,10 +143,31 @@ fn bench_chunking() {
     }
 }
 
+fn bench_analyzer() {
+    // Full lint pass (re-derives the dependence analysis) per program.
+    for program in programs::all_builtin() {
+        let plan = compile(&program).expect("built-in compiles");
+        bench(&format!("lint/{}", program.name), 2_000, || {
+            lint(black_box(&program), black_box(&plan))
+        });
+    }
+    // Exhaustive model check of the standard restore protocol; random
+    // walks disabled so the figure is the BFS alone.
+    let cfg = CheckConfig {
+        walks: 0,
+        ..CheckConfig::default()
+    };
+    let model = RestoreModel::standard();
+    bench("model_check/restore_standard", 20, || {
+        check_protocol_with(black_box(&model), cfg)
+    });
+}
+
 fn main() {
     bench_cpu_advance();
     bench_rate_filter();
     bench_allocation();
     bench_balancer_decision();
     bench_chunking();
+    bench_analyzer();
 }

@@ -279,4 +279,76 @@ mod tests {
         let r = aref("a", vec![k]);
         assert_eq!(ref_distance(&w, &r, "i"), Distance::Global);
     }
+
+    #[test]
+    fn non_constant_difference_is_unknown() {
+        // x[i] vs x[i+k] where k is a runtime value: both use the
+        // distributed variable, but the distance depends on k.
+        let i = crate::affine::Affine::var("i");
+        let k = crate::affine::Affine::var("k");
+        let w = aref("x", vec![i.clone()]);
+        let r = aref("x", vec![i + k]);
+        assert_eq!(ref_distance(&w, &r, "i"), Distance::Unknown);
+    }
+
+    /// Whole-program path: an indirect-offset stencil must analyze as
+    /// Unknown-carried, which disqualifies both the independent engine
+    /// (carried) and the pipelined engine (not nearest-neighbour).
+    #[test]
+    fn unknown_carried_program_classification() {
+        let n = crate::affine::Affine::var("n");
+        let i = crate::affine::Affine::var("i");
+        let off = crate::affine::Affine::var("off");
+        let p = crate::ir::Program {
+            name: "offset_stencil".into(),
+            params: vec![param("n", 64), param("off", 3)],
+            arrays: vec![array("x", vec![n.clone()])],
+            body: vec![for_loop(
+                "t",
+                0i64,
+                2i64,
+                vec![for_loop(
+                    "i",
+                    0i64,
+                    n.clone(),
+                    vec![stmt(
+                        "x[i] = x[i+off]",
+                        vec![aref("x", vec![i.clone()])],
+                        vec![aref("x", vec![i.clone() + off.clone()])],
+                        1.0,
+                    )],
+                )],
+            )],
+            distributed_var: "i".into(),
+            distributed_array: "x".into(),
+            distributed_dim: 0,
+        };
+        let a = analyze(&p);
+        assert!(a
+            .deps
+            .iter()
+            .any(|d| d.distance == Distance::Unknown && d.array == "x"));
+        assert!(a.has_carried(), "Unknown must count as carried");
+        assert!(!a.nearest_neighbor_only(), "Unknown cannot be pipelined");
+        assert!(a.carried_distances().is_empty(), "no constant distance");
+    }
+
+    /// Whole-program path: LU's pivot column `a[k][·]` is read by every
+    /// distributed iteration `j` — a Global dependence, with the constant
+    /// carried set empty (broadcast, not pipeline).
+    #[test]
+    fn lu_pivot_column_is_global_flow() {
+        let p = programs::lu(64);
+        let a = analyze(&p);
+        let global: Vec<&Dependence> = a
+            .deps
+            .iter()
+            .filter(|d| d.distance == Distance::Global)
+            .collect();
+        assert!(!global.is_empty());
+        assert!(global.iter().all(|d| d.array == "a"));
+        assert!(global.iter().any(|d| d.kind == DepKind::Flow));
+        assert!(a.carried_distances().is_empty(), "global is not carried");
+        assert!(a.nearest_neighbor_only(), "global does not block pipeline");
+    }
 }

@@ -85,6 +85,63 @@ pub enum Node {
     Stmt(Stmt),
 }
 
+/// A source location in the loop-nest IR: the program, the stack of
+/// enclosing loop variables, and (optionally) a statement label. There are
+/// no line numbers — the IR is built programmatically — so the loop path is
+/// the location, rendered like `sor: iter>j>i: b[j][i] = ...`. Analysis
+/// diagnostics (`dlb-analyze`) anchor on these.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    pub program: String,
+    /// Loop variables from outermost to innermost enclosing loop.
+    pub loops: Vec<String>,
+    /// Statement label, when the span points at a statement rather than a
+    /// loop or the whole program.
+    pub stmt: Option<String>,
+}
+
+impl Span {
+    /// Span covering a whole program.
+    pub fn program(name: &str) -> Span {
+        Span {
+            program: name.to_string(),
+            loops: Vec::new(),
+            stmt: None,
+        }
+    }
+
+    /// Span for a loop given the path of enclosing loop variables ending in
+    /// the loop itself.
+    pub fn of_loop(name: &str, loops: &[&str]) -> Span {
+        Span {
+            program: name.to_string(),
+            loops: loops.iter().map(|s| s.to_string()).collect(),
+            stmt: None,
+        }
+    }
+
+    /// Span for a statement under the given loop path.
+    pub fn of_stmt(name: &str, loops: &[&str], label: &str) -> Span {
+        Span {
+            stmt: Some(label.to_string()),
+            ..Span::of_loop(name, loops)
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.program)?;
+        if !self.loops.is_empty() {
+            write!(f, ": {}", self.loops.join(">"))?;
+        }
+        if let Some(s) = &self.stmt {
+            write!(f, ": {s}")?;
+        }
+        Ok(())
+    }
+}
+
 /// A sequential program: the unit the parallelizing compiler consumes.
 #[derive(Clone, Debug)]
 pub struct Program {
@@ -301,6 +358,14 @@ impl Program {
         }
     }
 
+    /// The [`Span`] of the statement with the given label, if present.
+    pub fn span_of(&self, label: &str) -> Option<Span> {
+        self.statements()
+            .into_iter()
+            .find(|(_, s)| s.label == label)
+            .map(|(loops, s)| Span::of_stmt(&self.name, &loops, &s.label))
+    }
+
     /// All statements in the subtree rooted at `nodes`, with the stack of
     /// enclosing loop variables for each.
     pub fn statements(&self) -> Vec<(Vec<&str>, &Stmt)> {
@@ -383,6 +448,18 @@ pub mod build {
             flops,
             conditional: false,
         })
+    }
+
+    /// A statement guarded by a data-dependent condition (Table 1, last
+    /// row): `flops` is the *expected* cost, not a per-iteration guarantee.
+    pub fn cond_stmt(label: &str, writes: Vec<ArrayRef>, reads: Vec<ArrayRef>, flops: f64) -> Node {
+        match stmt(label, writes, reads, flops) {
+            Node::Stmt(s) => Node::Stmt(Stmt {
+                conditional: true,
+                ..s
+            }),
+            n => n,
+        }
     }
 
     pub fn aref(array: &str, subs: Vec<Affine>) -> ArrayRef {

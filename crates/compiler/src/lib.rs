@@ -35,9 +35,12 @@ pub mod stripmine;
 pub mod transform;
 
 pub use affine::Affine;
-pub use deps::{analyze, DepAnalysis, Dependence, Distance};
-pub use hooks::{place_hooks, place_hooks_pipelined, HookPlacement, HookSite};
-pub use ir::{ArrayDecl, ArrayRef, IrError, Loop, LoopKind, Node, Param, Program, Stmt};
+pub use deps::{analyze, distance_wrt, DepAnalysis, DepKind, Dependence, Distance};
+pub use hooks::{
+    place_hooks, place_hooks_pipelined, HookPlacement, HookSite, DEFAULT_HOOK_CHECK_FLOPS,
+    DEFAULT_MAX_OVERHEAD, NOMINAL_SLAVES,
+};
+pub use ir::{ArrayDecl, ArrayRef, IrError, Loop, LoopKind, Node, Param, Program, Span, Stmt};
 pub use plan::{
     compile, CompileError, GrainPolicy, MovedArray, MovementRule, OuterControl, ParallelPlan,
     Pattern, PipelineSpec,

@@ -7,7 +7,7 @@
 //! work unit — the compiler-generated "application-specific routines for
 //! work movement" of §4.5, here in descriptor form.
 
-use crate::deps;
+use crate::deps::{self, DepAnalysis};
 use crate::hooks::{self, HookPlacement};
 use crate::ir::{IrError, LoopKind, Node, Program};
 use crate::props::{self, AppProperties};
@@ -106,6 +106,10 @@ pub struct ParallelPlan {
     pub unit_bytes: u64,
     /// Present for pipelined programs.
     pub pipeline: Option<PipelineSpec>,
+    /// The dependence analysis the classification was derived from, kept on
+    /// the plan so downstream consumers (`dlb-analyze`'s linter) can audit
+    /// the pattern/movement decisions without re-running the compiler.
+    pub deps: DepAnalysis,
 }
 
 /// Compilation failures.
@@ -257,6 +261,7 @@ pub fn compile(program: &Program) -> Result<ParallelPlan, CompileError> {
         replicated_arrays,
         unit_bytes,
         pipeline,
+        deps: da,
     })
 }
 

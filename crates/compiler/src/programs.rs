@@ -1,8 +1,12 @@
-//! The paper's three example routines as IR programs (Table 1).
+//! The paper's example routines as IR programs (Table 1).
 //!
 //! These are the sequential loop nests a user would hand to the compiler,
-//! together with the distribution directive. `dlb-apps` pairs each with a
-//! real-data kernel; here they drive the compiler analyses.
+//! together with the distribution directive. `dlb-apps` pairs the paper's
+//! three (MM, SOR, LU) with real-data kernels; [`jacobi`] and
+//! [`quadrature`] round out Table 1's other rows (nearest-neighbour
+//! stencil, data-dependent iteration cost) for analysis coverage.
+//! [`all_builtin`] enumerates every program here — `dlb-lint` runs the
+//! whole set through the analyzer.
 
 use crate::affine::Affine;
 use crate::ir::build::*;
@@ -164,15 +168,122 @@ pub fn lu(n: i64) -> Program {
     }
 }
 
+/// Jacobi relaxation on an n×n grid with an in-loop copy-back, `steps`
+/// sweeps, distributed by columns (loop `j`). Reading both neighbouring
+/// columns of `a` while writing `a[j]` carries ±1 dependences, so the
+/// compiler classifies it Pipelined/AdjacentOnly like SOR — but through the
+/// update/copy-back statement pair rather than Gauss-Seidel ordering.
+pub fn jacobi(n: i64, steps: i64) -> Program {
+    let nn = Affine::var("n");
+    let i = Affine::var("i");
+    let j = Affine::var("j");
+    let body: Vec<Node> = vec![for_loop(
+        "t",
+        0i64,
+        Affine::var("steps"),
+        vec![for_loop(
+            "j",
+            1i64,
+            nn.clone() + (-1),
+            vec![for_loop(
+                "i",
+                1i64,
+                nn.clone() + (-1),
+                vec![
+                    stmt(
+                        "b[j][i] = 0.25*(a[j][i-1] + a[j][i+1] + a[j-1][i] + a[j+1][i])",
+                        vec![aref("b", vec![j.clone(), i.clone()])],
+                        vec![
+                            aref("a", vec![j.clone(), i.clone() + (-1)]),
+                            aref("a", vec![j.clone(), i.clone() + 1]),
+                            aref("a", vec![j.clone() + (-1), i.clone()]),
+                            aref("a", vec![j.clone() + 1, i.clone()]),
+                        ],
+                        4.0,
+                    ),
+                    stmt(
+                        "a[j][i] = b[j][i]",
+                        vec![aref("a", vec![j.clone(), i.clone()])],
+                        vec![aref("b", vec![j.clone(), i.clone()])],
+                        1.0,
+                    ),
+                ],
+            )],
+        )],
+    )];
+    Program {
+        name: "jacobi".into(),
+        params: vec![param("n", n), param("steps", steps)],
+        arrays: vec![
+            array("a", vec![nn.clone(), nn.clone()]),
+            array("b", vec![nn.clone(), nn.clone()]),
+        ],
+        body,
+        distributed_var: "j".into(),
+        distributed_array: "a".into(),
+        distributed_dim: 0,
+    }
+}
+
+/// Numerical quadrature over n panels, repeated `reps` times: each panel's
+/// refinement depth depends on the integrand, so the per-iteration cost is
+/// data-dependent (Table 1, last row) — statically Independent/Direct, but
+/// the cost model must treat `flops` as an expectation, not a bound.
+pub fn quadrature(n: i64, reps: i64) -> Program {
+    let nn = Affine::var("n");
+    let i = Affine::var("i");
+    let body: Vec<Node> = vec![for_loop(
+        "rep",
+        0i64,
+        Affine::var("reps"),
+        vec![for_loop(
+            "i",
+            0i64,
+            nn.clone(),
+            vec![cond_stmt(
+                "s[i] = adaptive_panel(x[i], x[i+1])",
+                vec![aref("s", vec![i.clone()])],
+                vec![aref("x", vec![i.clone()]), aref("x", vec![i.clone() + 1])],
+                80.0,
+            )],
+        )],
+    )];
+    Program {
+        name: "quadrature".into(),
+        params: vec![param("n", n), param("reps", reps)],
+        arrays: vec![
+            array("x", vec![nn.clone() + 1]),
+            array("s", vec![nn.clone()]),
+        ],
+        body,
+        distributed_var: "i".into(),
+        distributed_array: "s".into(),
+        distributed_dim: 0,
+    }
+}
+
+/// Every built-in program, at analysis-friendly default sizes. This is the
+/// corpus `dlb-lint` checks; add new example programs here so they are
+/// linted from day one.
+pub fn all_builtin() -> Vec<Program> {
+    vec![
+        matmul(500, 2),
+        sor(2000, 15),
+        jacobi(1000, 10),
+        lu(500),
+        quadrature(4096, 4),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn all_programs_validate() {
-        matmul(500, 1).validate().unwrap();
-        sor(2000, 15).validate().unwrap();
-        lu(500).validate().unwrap();
+        for p in all_builtin() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
     }
 
     #[test]

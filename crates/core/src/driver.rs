@@ -28,6 +28,26 @@ pub enum AppSpec {
     Shrinking(Arc<dyn ShrinkingKernel>),
 }
 
+/// Which slave engine the runtime uses for a plan. Factored out of
+/// [`try_run`]'s dispatch so static analysis (`dlb-analyze`'s agreement
+/// check) can ask "which engine would actually run?" without running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    Independent,
+    Pipelined,
+    Shrinking,
+}
+
+/// The engine [`try_run`] selects for `plan` — dispatch is purely on the
+/// plan's pattern, and [`try_run`] asserts the kernel agrees.
+pub fn engine_for(plan: &ParallelPlan) -> EngineKind {
+    match plan.pattern {
+        Pattern::Independent => EngineKind::Independent,
+        Pattern::Pipelined => EngineKind::Pipelined,
+        Pattern::Shrinking => EngineKind::Shrinking,
+    }
+}
+
 impl AppSpec {
     fn pattern(&self) -> Pattern {
         match self {

@@ -17,34 +17,16 @@ use crate::balancer::InteractionMode;
 use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::IndependentKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
+use crate::protocol::AckTracker;
 use crate::slave_common::{recv_start, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 struct Unit {
     data: UnitData,
     /// Invocation this unit was last computed in.
     done_in: Option<u64>,
-}
-
-/// Restore-sequence bookkeeping: which `Restore` messages this slave has
-/// applied. Sequences can arrive out of order under message drops, so we
-/// keep the full applied set and report the contiguous watermark.
-#[derive(Default)]
-struct RestoreTracker {
-    applied: BTreeSet<u64>,
-}
-
-impl RestoreTracker {
-    /// Largest `k` such that every sequence `1..=k` has been applied.
-    fn watermark(&self) -> u64 {
-        let mut w = 0;
-        while self.applied.contains(&(w + 1)) {
-            w += 1;
-        }
-        w
-    }
 }
 
 /// Static configuration for one independent-engine slave.
@@ -98,7 +80,7 @@ impl IndependentSlave {
                 )
             })
             .collect();
-        let mut rec = RestoreTracker::default();
+        let mut rec = AckTracker::default();
 
         let mut inv = 0;
         let mut metric = 0.0f64;
@@ -205,13 +187,13 @@ fn apply_restore(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut RestoreTracker,
+    rec: &mut AckTracker,
     kernel: &dyn IndependentKernel,
     inv: u64,
     seq: u64,
     restored: Vec<(usize, UnitData)>,
 ) -> Result<bool, ProtocolError> {
-    if !rec.applied.insert(seq) {
+    if !rec.fresh(seq) {
         return Ok(false); // duplicate delivery
     }
     let invocations = kernel.invocations();
@@ -252,7 +234,7 @@ fn drain_incoming(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut RestoreTracker,
+    rec: &mut AckTracker,
     kernel: &dyn IndependentKernel,
     inv: u64,
 ) -> Result<(), ProtocolError> {
@@ -362,13 +344,13 @@ fn idle_until_work_or_barrier(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut RestoreTracker,
+    rec: &mut AckTracker,
     kernel: &dyn IndependentKernel,
     inv: u64,
     invocations: u64,
     metric: f64,
 ) -> Result<Idle, ProtocolError> {
-    let refresh_done = |common: &mut SlaveCommon, rec: &RestoreTracker| Msg::InvocationDone {
+    let refresh_done = |common: &mut SlaveCommon, rec: &AckTracker| Msg::InvocationDone {
         slave: common.idx,
         invocation: inv,
         transfers_sent: common.transfers_sent,
@@ -471,7 +453,7 @@ fn wait_invocation_start(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut RestoreTracker,
+    rec: &mut AckTracker,
     kernel: &dyn IndependentKernel,
 ) -> Result<(), ProtocolError> {
     loop {

@@ -71,16 +71,21 @@ pub mod frequency;
 pub mod kernels;
 pub mod master;
 pub mod msg;
+pub mod protocol;
 pub mod rate;
 pub mod recovery;
 pub mod slave_common;
 
 pub use balancer::{Balancer, BalancerConfig, BalancerStats, InteractionMode};
-pub use driver::{block_ranges, run, try_run, AppSpec, RunConfig, RunReport, StartupDistribution};
+pub use driver::{
+    block_ranges, engine_for, run, try_run, AppSpec, EngineKind, RunConfig, RunReport,
+    StartupDistribution,
+};
 pub use error::{FaultToleranceConfig, ProtocolError, RunError};
 pub use frequency::{FrequencyController, PeriodBounds};
 pub use kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
 pub use master::TimelineSample;
 pub use msg::{Edge, Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
+pub use protocol::{AckTracker, RestoreModel, RestoreState, SenderWindow, Step, Wire};
 pub use rate::RateFilter;
 pub use recovery::RecoveryStats;

@@ -25,6 +25,7 @@ use crate::balancer::{Balancer, BalancerStats};
 use crate::error::ProtocolError;
 use crate::frequency::PeriodBounds;
 use crate::msg::{Instructions, Msg, UnitData};
+use crate::protocol::SenderWindow;
 use crate::recovery::{redistribute, RecoveryStats};
 use dlb_sim::{ActorCtx, ActorId, CpuWork, SimTime};
 use std::sync::{Arc, Mutex};
@@ -375,11 +376,11 @@ fn run_recoverable(
         .iter()
         .map(|&(lo, hi)| (lo..hi).collect())
         .collect();
-    // Restore protocol: per-destination send counter, acknowledgement
-    // watermark, and unacknowledged messages for nudge re-sends.
-    let mut restore_seq_sent = vec![0u64; n];
-    let mut restore_watermark = vec![0u64; n];
-    let mut pending_restores: Vec<Vec<(u64, Msg)>> = vec![Vec::new(); n];
+    // Restore protocol: one sender window per destination (sequence
+    // counter, ack watermark, unacknowledged messages for nudge re-sends).
+    // The transition rules live in `protocol::SenderWindow`, where the
+    // model checker in `dlb-analyze` exercises them exhaustively.
+    let mut restore_win: Vec<SenderWindow<Msg>> = vec![SenderWindow::new(); n];
     // Bounded instruction retry: (seq, message, re-sends so far), cleared
     // when a status acknowledges the sequence number.
     let mut unacked_instr: Vec<Option<(u64, Instructions, u32)>> = (0..n).map(|_| None).collect();
@@ -399,13 +400,10 @@ fn run_recoverable(
         let mut done = vec![false; n];
         let mut metrics = vec![0.0f64; n];
         let settled =
-            |s: usize, done: &[bool], restore_watermark: &[u64], restore_seq_sent: &[u64]| {
-                done[s] && restore_watermark[s] >= restore_seq_sent[s]
-            };
+            |s: usize, done: &[bool], win: &[SenderWindow<Msg>]| done[s] && win[s].fully_acked();
 
         loop {
-            if (0..n).all(|s| !alive[s] || settled(s, &done, &restore_watermark, &restore_seq_sent))
-            {
+            if (0..n).all(|s| !alive[s] || settled(s, &done, &restore_win)) {
                 break;
             }
             if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
@@ -467,9 +465,7 @@ fn run_recoverable(
                         }
                         heard_any[slave] = true;
                         last_heard[slave] = ctx.now();
-                        restore_watermark[slave] = restore_watermark[slave].max(restore_seq);
-                        let w = restore_watermark[slave];
-                        pending_restores[slave].retain(|(seq, _)| *seq > w);
+                        restore_win[slave].ack(restore_seq);
                         if invocation == inv {
                             done[slave] = true;
                             metrics[slave] = metric;
@@ -504,11 +500,11 @@ fn run_recoverable(
                         // Done but missing restored units: the Restore was
                         // lost in flight. Replay everything unacknowledged.
                         if done[slave]
-                            && restore_watermark[slave] < restore_seq_sent[slave]
+                            && !restore_win[slave].fully_acked()
                             && ctx.now() >= next_nudge[slave]
                         {
                             next_nudge[slave] = ctx.now() + tol.nudge;
-                            for (_, msg) in &pending_restores[slave] {
+                            for (_, msg) in restore_win[slave].unacked() {
                                 send(ctx, slaves[slave], msg.clone());
                                 sc.recovery.restore_resends += 1;
                             }
@@ -527,7 +523,7 @@ fn run_recoverable(
             // Timers: suspicion and nudges for every live, unsettled slave.
             let now = ctx.now();
             for s in 0..n {
-                if !alive[s] || settled(s, &done, &restore_watermark, &restore_seq_sent) {
+                if !alive[s] || settled(s, &done, &restore_win) {
                     continue;
                 }
                 let silent = now.saturating_since(last_heard[s]);
@@ -550,13 +546,13 @@ fn run_recoverable(
                             units.iter().map(|&u| (u, init_unit(u))).collect();
                         sc.recovery.units_restored += payload.len() as u64;
                         owned[t].extend(&units);
-                        restore_seq_sent[t] += 1;
-                        let msg = Msg::Restore {
-                            seq: restore_seq_sent[t],
-                            invocation: inv,
-                            units: payload,
-                        };
-                        pending_restores[t].push((restore_seq_sent[t], msg.clone()));
+                        let msg = restore_win[t]
+                            .send_with(|seq| Msg::Restore {
+                                seq,
+                                invocation: inv,
+                                units: payload,
+                            })
+                            .clone();
                         send(ctx, slaves[t], msg);
                     }
                 } else if !heard_any[s] && silent >= tol.nudge && now >= next_nudge[s] {

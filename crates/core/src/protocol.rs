@@ -1,0 +1,490 @@
+//! Pure transition rules for the sequence-numbered reliable-delivery
+//! sub-protocol (Restore / ack-watermark / re-send).
+//!
+//! The fault-tolerant runtime must move state (restored work units,
+//! balancing instructions) over a network that drops and duplicates
+//! messages. It does so with a classic window protocol: the sender stamps
+//! each message with a monotone per-destination sequence number and keeps it
+//! until acknowledged; the receiver deduplicates by sequence number and
+//! acknowledges with a *contiguous watermark* (the largest `k` such that
+//! every sequence `1..=k` was applied); unacknowledged messages are re-sent
+//! on silence.
+//!
+//! These rules used to live inline in `master.rs` and
+//! `engine_independent.rs`, where only example-based chaos tests could reach
+//! them. They are factored here as two small pure types — [`SenderWindow`]
+//! and [`AckTracker`] — used verbatim by the runtime *and* by the
+//! model-checkable [`RestoreModel`], an abstracted master/slaves/network
+//! system that `dlb-analyze` exhaustively explores for lost work, duplicate
+//! application, and deadlock (the properties Eleliemy & Ciorba and Zafari &
+//! Larsson identify as the hard part of distributed self-scheduling).
+
+use crate::recovery::redistribute;
+use dlb_sim::TransitionSystem;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Receiver side: sequence-number deduplication plus the contiguous
+/// acknowledgement watermark reported back to the sender.
+///
+/// Sequences may arrive out of order under drops and re-sends, so the full
+/// applied set is kept; the watermark only advances over a gap once the gap
+/// is filled.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AckTracker {
+    applied: BTreeSet<u64>,
+}
+
+impl AckTracker {
+    /// Record `seq` as applied. Returns `true` if it was fresh — the caller
+    /// must apply the payload exactly when this returns `true`.
+    pub fn fresh(&mut self, seq: u64) -> bool {
+        self.applied.insert(seq)
+    }
+
+    /// Largest `k` such that every sequence `1..=k` has been applied; zero
+    /// when nothing has.
+    pub fn watermark(&self) -> u64 {
+        let mut w = 0;
+        while self.applied.contains(&(w + 1)) {
+            w += 1;
+        }
+        w
+    }
+}
+
+/// Sender side: monotone sequence numbers and the pending-until-acked
+/// window that drives re-sends.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SenderWindow<T> {
+    seq_sent: u64,
+    watermark: u64,
+    pending: Vec<(u64, T)>,
+}
+
+impl<T> SenderWindow<T> {
+    pub fn new() -> SenderWindow<T> {
+        SenderWindow {
+            seq_sent: 0,
+            watermark: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Allocate the next sequence number, build the payload with it, and
+    /// retain it for re-sends. Returns the payload just stored.
+    pub fn send_with(&mut self, make: impl FnOnce(u64) -> T) -> &T {
+        self.seq_sent += 1;
+        let payload = make(self.seq_sent);
+        self.pending.push((self.seq_sent, payload));
+        &self.pending.last().expect("just pushed").1
+    }
+
+    /// Process an acknowledgement watermark: watermarks are monotone, and
+    /// everything at or below the watermark is no longer pending.
+    pub fn ack(&mut self, watermark: u64) {
+        self.watermark = self.watermark.max(watermark);
+        let w = self.watermark;
+        self.pending.retain(|(seq, _)| *seq > w);
+    }
+
+    /// Highest sequence number handed out.
+    pub fn seq_sent(&self) -> u64 {
+        self.seq_sent
+    }
+
+    /// Highest acknowledgement watermark seen.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Everything sent but not yet covered by an acknowledgement, in
+    /// sequence order — the re-send set.
+    pub fn unacked(&self) -> impl Iterator<Item = &(u64, T)> {
+        self.pending.iter()
+    }
+
+    /// True once every sequence handed out has been acknowledged.
+    pub fn fully_acked(&self) -> bool {
+        self.watermark >= self.seq_sent
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-checkable abstraction
+// ---------------------------------------------------------------------------
+
+/// A message in flight in the [`RestoreModel`]'s network.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Wire {
+    /// Master → survivor: adopt these units (sequence-numbered).
+    Restore {
+        to: usize,
+        seq: u64,
+        units: Vec<usize>,
+    },
+    /// Survivor → master: contiguous applied watermark (carried by
+    /// `InvocationDone::restore_seq` in the real runtime).
+    Ack { from: usize, watermark: u64 },
+}
+
+/// One enabled step of the model.
+///
+/// The wire is a *set* of distinct in-flight messages (idempotent
+/// network): re-sending an identical message merges with the copy already
+/// in flight, and duplicate delivery is modeled by [`Step::DeliverCopy`],
+/// which applies a message without consuming it. This is the standard
+/// sound reduction for drop/duplicate networks — it preserves every
+/// receiver-visible delivery sequence while keeping the state space small
+/// enough to exhaust.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Master scatters wave `w` of dead units over the survivors.
+    Scatter(usize),
+    /// Deliver the `i`-th in-flight message (and consume it).
+    Deliver(usize),
+    /// The network delivers a duplicate of the `i`-th in-flight message:
+    /// effects apply but the original stays in flight (bounded budget).
+    DeliverCopy(usize),
+    /// The network drops the `i`-th in-flight message (bounded budget).
+    Drop(usize),
+    /// The master's nudge timer fires for survivor `s`: re-send everything
+    /// unacknowledged that is not already in flight.
+    Resend(usize),
+    /// Survivor `s` heartbeats its current watermark (`InvocationDone`
+    /// re-send in the real runtime), while the ack carries news.
+    Heartbeat(usize),
+}
+
+/// Per-survivor receiver state in the model.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SlaveModel {
+    pub tracker: AckTracker,
+    /// Units held, with how many times each was *applied* — a count above
+    /// one is a duplicate application (double compute / double insert).
+    pub holding: BTreeMap<usize, u32>,
+}
+
+/// Full model state: master windows, survivor trackers, and the network.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RestoreState {
+    pub windows: Vec<SenderWindow<Vec<usize>>>,
+    pub slaves: Vec<SlaveModel>,
+    /// In flight: a sorted set of distinct messages (idempotent network).
+    pub wire: Vec<Wire>,
+    pub scattered_waves: usize,
+    pub drops_used: u32,
+    pub dups_used: u32,
+}
+
+/// The abstracted master/slaves/network system around the restore protocol.
+///
+/// The master scatters `waves` of dead-slave units over `survivors`
+/// (round-robin, exactly as [`crate::recovery::redistribute`] does), the
+/// network may drop or duplicate a bounded number of messages, and both
+/// sides run the [`SenderWindow`]/[`AckTracker`] rules. `dedup_acks = false`
+/// switches the receiver to a deliberately broken variant that acknowledges
+/// without deduplicating — the model checker must find the duplicate-apply
+/// counterexample (and does; see `dlb-analyze`).
+#[derive(Clone, Debug)]
+pub struct RestoreModel {
+    pub survivors: usize,
+    /// Unit ids scattered per wave (each wave is one eviction's re-scatter).
+    pub waves: Vec<Vec<usize>>,
+    pub max_drops: u32,
+    pub max_dups: u32,
+    /// True = the real protocol (receiver dedups by sequence number).
+    pub dedup_acks: bool,
+}
+
+impl RestoreModel {
+    /// The standard checked configuration: two survivors, one eviction wave
+    /// of three units followed by a second single-unit wave, one drop and
+    /// one duplication budget.
+    pub fn standard() -> RestoreModel {
+        RestoreModel {
+            survivors: 2,
+            waves: vec![vec![0, 1, 2], vec![3]],
+            max_drops: 1,
+            max_dups: 1,
+            dedup_acks: true,
+        }
+    }
+
+    /// The broken variant: acknowledgements without receiver dedup.
+    pub fn broken_no_dedup() -> RestoreModel {
+        RestoreModel {
+            dedup_acks: false,
+            ..RestoreModel::standard()
+        }
+    }
+
+    /// Receiver/sender effects of one message delivery (shared by
+    /// [`Step::Deliver`] and [`Step::DeliverCopy`]).
+    fn deliver(&self, n: &mut RestoreState, msg: Wire) {
+        match msg {
+            Wire::Restore { to, seq, units } => {
+                let slave = &mut n.slaves[to];
+                let fresh = if self.dedup_acks {
+                    slave.tracker.fresh(seq)
+                } else {
+                    // Broken variant: acknowledge the sequence but apply
+                    // unconditionally.
+                    slave.tracker.fresh(seq);
+                    true
+                };
+                if fresh {
+                    for u in units {
+                        *slave.holding.entry(u).or_insert(0) += 1;
+                    }
+                }
+                let ack = Wire::Ack {
+                    from: to,
+                    watermark: n.slaves[to].tracker.watermark(),
+                };
+                insert_unique(&mut n.wire, ack);
+            }
+            Wire::Ack { from, watermark } => {
+                n.windows[from].ack(watermark);
+            }
+        }
+    }
+
+    fn all_units(&self) -> usize {
+        self.waves.iter().map(|w| w.len()).sum()
+    }
+
+    fn quiescent(&self, s: &RestoreState) -> bool {
+        s.scattered_waves == self.waves.len()
+            && s.wire.is_empty()
+            && s.windows.iter().all(|w| w.fully_acked())
+    }
+}
+
+fn insert_unique(wire: &mut Vec<Wire>, msg: Wire) {
+    if let Err(at) = wire.binary_search(&msg) {
+        wire.insert(at, msg);
+    }
+}
+
+impl TransitionSystem for RestoreModel {
+    type State = RestoreState;
+    type Action = Step;
+
+    fn initial(&self) -> RestoreState {
+        RestoreState {
+            windows: vec![SenderWindow::new(); self.survivors],
+            slaves: vec![SlaveModel::default(); self.survivors],
+            wire: Vec::new(),
+            scattered_waves: 0,
+            drops_used: 0,
+            dups_used: 0,
+        }
+    }
+
+    fn actions(&self, s: &RestoreState) -> Vec<Step> {
+        let mut out = Vec::new();
+        if s.scattered_waves < self.waves.len() {
+            out.push(Step::Scatter(s.scattered_waves));
+        }
+        for i in 0..s.wire.len() {
+            out.push(Step::Deliver(i));
+            if s.drops_used < self.max_drops {
+                out.push(Step::Drop(i));
+            }
+            if s.dups_used < self.max_dups {
+                out.push(Step::DeliverCopy(i));
+            }
+        }
+        for t in 0..self.survivors {
+            // Nudge: at most one copy of a pending message in flight at a
+            // time (the timer refires, so this loses no behaviours — it
+            // only bounds the wire occupancy).
+            let resendable = s.windows[t].unacked().any(|(seq, units)| {
+                !s.wire.contains(&Wire::Restore {
+                    to: t,
+                    seq: *seq,
+                    units: units.clone(),
+                })
+            });
+            if resendable {
+                out.push(Step::Resend(t));
+            }
+            let hb = Wire::Ack {
+                from: t,
+                watermark: s.slaves[t].tracker.watermark(),
+            };
+            // Heartbeat while it carries news (the ack was lost): in the
+            // runtime a slave re-sends `InvocationDone` until released, and
+            // stops once settled — so the model stops at quiescence too,
+            // which keeps quiescent states terminal for deadlock detection.
+            if s.slaves[t].tracker.watermark() > s.windows[t].watermark() && !s.wire.contains(&hb) {
+                out.push(Step::Heartbeat(t));
+            }
+        }
+        out
+    }
+
+    fn apply(&self, s: &RestoreState, a: &Step) -> RestoreState {
+        let mut n = s.clone();
+        match a {
+            Step::Scatter(w) => {
+                let survivors: Vec<usize> = (0..self.survivors).collect();
+                for (t, units) in redistribute(&self.waves[*w], &survivors) {
+                    n.windows[t].send_with(|_| units.clone());
+                    let msg = Wire::Restore {
+                        to: t,
+                        seq: n.windows[t].seq_sent(),
+                        units,
+                    };
+                    insert_unique(&mut n.wire, msg);
+                }
+                n.scattered_waves += 1;
+            }
+            Step::Deliver(i) => {
+                let msg = n.wire.remove(*i);
+                self.deliver(&mut n, msg);
+            }
+            Step::DeliverCopy(i) => {
+                let msg = n.wire[*i].clone();
+                n.dups_used += 1;
+                self.deliver(&mut n, msg);
+            }
+            Step::Drop(i) => {
+                n.wire.remove(*i);
+                n.drops_used += 1;
+            }
+            Step::Resend(t) => {
+                let msgs: Vec<Wire> = n.windows[*t]
+                    .unacked()
+                    .map(|(seq, units)| Wire::Restore {
+                        to: *t,
+                        seq: *seq,
+                        units: units.clone(),
+                    })
+                    .filter(|m| !n.wire.contains(m))
+                    .collect();
+                for m in msgs {
+                    insert_unique(&mut n.wire, m);
+                }
+            }
+            Step::Heartbeat(t) => {
+                let hb = Wire::Ack {
+                    from: *t,
+                    watermark: n.slaves[*t].tracker.watermark(),
+                };
+                insert_unique(&mut n.wire, hb);
+            }
+        }
+        n
+    }
+
+    fn violation(&self, s: &RestoreState) -> Option<String> {
+        for (idx, slave) in s.slaves.iter().enumerate() {
+            for (unit, applies) in &slave.holding {
+                if *applies > 1 {
+                    return Some(format!(
+                        "unit {unit} applied {applies} times on survivor {idx} (duplicate apply)"
+                    ));
+                }
+            }
+        }
+        // A unit held by two survivors at once is also a duplicate.
+        let mut owners: BTreeMap<usize, usize> = BTreeMap::new();
+        for (idx, slave) in s.slaves.iter().enumerate() {
+            for unit in slave.holding.keys() {
+                if let Some(prev) = owners.insert(*unit, idx) {
+                    return Some(format!(
+                        "unit {unit} held by survivors {prev} and {idx} simultaneously"
+                    ));
+                }
+            }
+        }
+        if self.quiescent(s) {
+            let held: usize = s.slaves.iter().map(|sl| sl.holding.len()).sum();
+            if held != self.all_units() {
+                return Some(format!(
+                    "quiescent with {held} of {} units restored (lost work)",
+                    self.all_units()
+                ));
+            }
+        }
+        None
+    }
+
+    fn is_accepting(&self, s: &RestoreState) -> bool {
+        self.quiescent(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_is_contiguous() {
+        let mut t = AckTracker::default();
+        assert_eq!(t.watermark(), 0);
+        assert!(t.fresh(2));
+        assert_eq!(t.watermark(), 0, "gap at 1 holds the watermark");
+        assert!(t.fresh(1));
+        assert_eq!(t.watermark(), 2);
+        assert!(!t.fresh(2), "duplicate must not be fresh");
+    }
+
+    #[test]
+    fn window_retains_until_acked() {
+        let mut w: SenderWindow<&'static str> = SenderWindow::new();
+        w.send_with(|_| "a");
+        w.send_with(|_| "b");
+        assert_eq!(w.seq_sent(), 2);
+        assert!(!w.fully_acked());
+        w.ack(1);
+        let left: Vec<u64> = w.unacked().map(|(s, _)| *s).collect();
+        assert_eq!(left, vec![2]);
+        w.ack(0); // stale watermark must not regress
+        assert_eq!(w.watermark(), 1);
+        w.ack(2);
+        assert!(w.fully_acked());
+    }
+
+    #[test]
+    fn model_quiesces_on_the_happy_path() {
+        let m = RestoreModel::standard();
+        let mut s = m.initial();
+        // Scatter both waves, then deliver everything FIFO until quiescent.
+        while !m.is_accepting(&s) {
+            let acts = m.actions(&s);
+            let a = acts
+                .iter()
+                .find(|a| matches!(a, Step::Scatter(_) | Step::Deliver(_)))
+                .expect("happy path always has a scatter or deliver");
+            s = m.apply(&s, a);
+            assert_eq!(m.violation(&s), None, "happy path must stay clean");
+        }
+        let held: usize = s.slaves.iter().map(|sl| sl.holding.len()).sum();
+        assert_eq!(held, 4);
+    }
+
+    #[test]
+    fn broken_variant_double_applies_on_duplicate_delivery() {
+        let m = RestoreModel::broken_no_dedup();
+        let mut s = m.initial();
+        s = m.apply(&s, &Step::Scatter(0));
+        // Deliver a duplicate of the first restore, then the original.
+        s = m.apply(&s, &Step::DeliverCopy(0));
+        assert_eq!(m.violation(&s), None);
+        s = m.apply(&s, &Step::Deliver(0));
+        let v = m.violation(&s).expect("duplicate apply must be detected");
+        assert!(v.contains("duplicate apply"), "{v}");
+    }
+
+    #[test]
+    fn dedup_variant_ignores_duplicate_delivery() {
+        let m = RestoreModel::standard();
+        let mut s = m.initial();
+        s = m.apply(&s, &Step::Scatter(0));
+        s = m.apply(&s, &Step::DeliverCopy(0));
+        s = m.apply(&s, &Step::Deliver(0));
+        assert_eq!(m.violation(&s), None, "dedup must absorb the duplicate");
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cpu;
+pub mod explore;
 pub mod fault;
 pub mod kernel;
 pub mod load;
@@ -51,6 +52,7 @@ pub mod time;
 pub mod work;
 
 pub use cpu::{advance, Advance, NodeConfig};
+pub use explore::{explore, random_walks, Exploration, TransitionSystem, Verdict};
 pub use fault::{FaultPlan, FaultStats, LinkFaults, NodeFaults};
 pub use kernel::{ActorCtx, ActorId, ActorMetrics, NodeId, NodeMetrics, SimBuilder, SimReport};
 pub use load::LoadModel;

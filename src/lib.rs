@@ -1,4 +1,6 @@
 //! Facade crate re-exporting the DLB workspace.
+#![forbid(unsafe_code)]
+pub use dlb_analyze as analyze;
 pub use dlb_apps as apps;
 pub use dlb_baselines as baselines;
 pub use dlb_compiler as compiler;
