@@ -1,8 +1,9 @@
 //! `dlb-lint`: run every built-in program through the plan linter, then
-//! model-check the restore protocol. Prints each report and exits nonzero
-//! if any error-severity diagnostic was produced.
+//! model-check the restore protocol and the work-migration (transfer
+//! window) protocol. Prints each report and exits nonzero if any
+//! error-severity diagnostic was produced.
 
-use dlb_analyze::{check_protocol, lint_builtins};
+use dlb_analyze::{check_protocol, check_transfer_protocol, lint_builtins};
 
 fn main() {
     let mut failed = false;
@@ -10,9 +11,10 @@ fn main() {
         print!("{}", report.render());
         failed |= report.has_errors();
     }
-    let protocol = check_protocol();
-    print!("{}", protocol.render());
-    failed |= protocol.has_errors();
+    for protocol in [check_protocol(), check_transfer_protocol()] {
+        print!("{}", protocol.render());
+        failed |= protocol.has_errors();
+    }
     if failed {
         eprintln!("dlb-lint: errors found");
         std::process::exit(1);

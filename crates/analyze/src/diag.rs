@@ -35,6 +35,14 @@ pub enum Code {
     E102,
     /// Protocol: reachable non-quiescent state with no enabled action.
     E103,
+    /// Transfer protocol: a migrated work unit duplicated (applied twice,
+    /// or held by both endpoints at once).
+    E104,
+    /// Transfer protocol: quiescence with a migrated work unit lost.
+    E105,
+    /// Transfer protocol: reachable non-quiescent state with no enabled
+    /// action (a wedged migration).
+    E106,
     /// No acceptable hook site existed; the placement is best-effort.
     W001,
     /// Data-dependent iteration cost: flops figures are expectations.
@@ -67,6 +75,9 @@ impl Code {
             Code::E101 => "duplicate work-unit application",
             Code::E102 => "lost work unit",
             Code::E103 => "protocol deadlock",
+            Code::E104 => "duplicate migrated work unit",
+            Code::E105 => "lost migrated work unit",
+            Code::E106 => "transfer deadlock",
             Code::W001 => "no acceptable hook site",
             Code::W002 => "data-dependent iteration cost",
             Code::W003 => "broadcast communication",

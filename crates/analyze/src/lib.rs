@@ -10,10 +10,12 @@
 //!   (owner-computes legality, adjacency of work movement under carried
 //!   dependences, hook-overhead budget, strip-mine bounds).
 //! * **[`model`]** — the protocol model checker: exhaustively explores the
-//!   master/slave restore protocol (built from `dlb-core`'s production
-//!   [`SenderWindow`](dlb_core::SenderWindow)/[`AckTracker`](dlb_core::AckTracker)
-//!   rules) for duplicate application, lost work, and deadlock, with
-//!   seeded-replayable counterexamples.
+//!   master/slave restore protocol *and* the slave↔slave work-migration
+//!   (transfer-window) protocol (both built from `dlb-core`'s production
+//!   [`SenderWindow`](dlb_core::SenderWindow)/[`AckTracker`](dlb_core::AckTracker)/
+//!   [`TransferWindow`](dlb_core::TransferWindow) rules) for duplicate
+//!   application, lost work, and deadlock, with seeded-replayable
+//!   counterexamples.
 //!
 //! The `dlb-lint` binary runs every built-in program plus the protocol
 //! model and exits nonzero on any error — CI's merge gate.
@@ -25,5 +27,8 @@ pub mod model;
 pub mod passes;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
-pub use model::{check_protocol, check_protocol_with, CheckConfig};
+pub use model::{
+    check_protocol, check_protocol_with, check_transfer_protocol, check_transfer_protocol_with,
+    CheckConfig,
+};
 pub use passes::{expected_pattern, lint, lint_builtins};

@@ -1,25 +1,31 @@
 //! Pillar 2: the protocol model checker.
 //!
-//! Drives `dlb-sim`'s explicit-state explorer over `dlb-core`'s
-//! [`RestoreModel`] — the abstracted master/survivors/network system built
-//! from the *production* [`SenderWindow`]/[`AckTracker`] transition rules —
-//! and converts verdicts into the shared diagnostics format. Three safety
-//! properties (the distributed-self-scheduling correctness conditions of
-//! Eleliemy & Ciorba and Zafari & Larsson):
+//! Drives `dlb-sim`'s explicit-state explorer over `dlb-core`'s abstracted
+//! protocol systems — built from the *production*
+//! [`SenderWindow`]/[`AckTracker`]/[`TransferWindow`] transition rules —
+//! and converts verdicts into the shared diagnostics format.
 //!
-//! * **no duplicate apply** — no work unit is ever applied twice ([`Code::E101`]);
-//! * **no lost work** — quiescence implies every unit was restored ([`Code::E102`]);
-//! * **no deadlock** — every reachable terminal state is quiescent ([`Code::E103`]).
+//! Two models, six safety properties (the distributed-self-scheduling
+//! correctness conditions of Eleliemy & Ciorba and Zafari & Larsson):
+//!
+//! * [`RestoreModel`] — the master/survivors restore protocol:
+//!   **no duplicate apply** ([`Code::E101`]), **no lost work**
+//!   ([`Code::E102`]), **no deadlock** ([`Code::E103`]).
+//! * [`TransferModel`] — the slave↔slave work-migration (MoveOrder)
+//!   protocol, with drops, duplicates, re-sends, and a fail-stop receiver:
+//!   **no duplicate unit** ([`Code::E104`]), **no lost unit**
+//!   ([`Code::E105`]), **no transfer deadlock** ([`Code::E106`]).
 //!
 //! After the exhaustive pass, seeded random walks probe deeper
 //! interleavings; any counterexample replays from its seed.
 //!
 //! [`SenderWindow`]: dlb_core::SenderWindow
 //! [`AckTracker`]: dlb_core::AckTracker
+//! [`TransferWindow`]: dlb_core::TransferWindow
 
 use crate::diag::{Code, Diagnostic, Report};
 use dlb_compiler::Span;
-use dlb_core::RestoreModel;
+use dlb_core::{RestoreModel, TransferModel};
 use dlb_sim::{explore, random_walks, Exploration, Verdict};
 
 /// Bounds for the exhaustive and sampled exploration.
@@ -54,8 +60,40 @@ fn span_for(model: &RestoreModel) -> Span {
     ))
 }
 
-fn push_exploration(model: &RestoreModel, ex: &Exploration, how: &str, report: &mut Report) {
-    let span = span_for(model);
+fn span_for_transfer(model: &TransferModel) -> Span {
+    Span::program(&format!(
+        "transfer-protocol(units={}, moves={:?}, drops={}, dups={}, evict={}, dedup={})",
+        model.units.len(),
+        model.moves,
+        model.max_drops,
+        model.max_dups,
+        model.allow_evict,
+        model.dedup_transfers
+    ))
+}
+
+/// Which diagnostic each class of verdict maps to — the restore and
+/// transfer models share the explorer but report distinct codes.
+#[derive(Clone, Copy)]
+struct CodeMap {
+    duplicate: Code,
+    lost: Code,
+    deadlock: Code,
+}
+
+const RESTORE_CODES: CodeMap = CodeMap {
+    duplicate: Code::E101,
+    lost: Code::E102,
+    deadlock: Code::E103,
+};
+
+const TRANSFER_CODES: CodeMap = CodeMap {
+    duplicate: Code::E104,
+    lost: Code::E105,
+    deadlock: Code::E106,
+};
+
+fn push_exploration(span: Span, codes: CodeMap, ex: &Exploration, how: &str, report: &mut Report) {
     let mut notes = vec![format!(
         "{how}: {} states, depth {}{}",
         ex.states,
@@ -85,9 +123,9 @@ fn push_exploration(model: &RestoreModel, ex: &Exploration, how: &str, report: &
         Verdict::Violation => {
             let detail = ex.trace.as_ref().map(|t| t.detail.as_str()).unwrap_or("");
             let code = if detail.contains("lost work") {
-                Code::E102
+                codes.lost
             } else {
-                Code::E101
+                codes.duplicate
             };
             report.push(
                 Diagnostic::new(code, span, format!("{how} found a safety violation"))
@@ -97,7 +135,7 @@ fn push_exploration(model: &RestoreModel, ex: &Exploration, how: &str, report: &
         Verdict::Deadlock => {
             report.push(
                 Diagnostic::new(
-                    Code::E103,
+                    codes.deadlock,
                     span,
                     format!("{how} reached a non-quiescent state with no enabled action"),
                 )
@@ -114,15 +152,23 @@ pub fn check_protocol_with(model: &RestoreModel, cfg: CheckConfig) -> Report {
         "restore-protocol{}",
         if model.dedup_acks { "" } else { " (no dedup)" }
     ));
+    let span = span_for(model);
     let ex = explore(model, cfg.max_depth, cfg.max_states);
-    push_exploration(model, &ex, "exhaustive exploration", &mut report);
+    push_exploration(
+        span.clone(),
+        RESTORE_CODES,
+        &ex,
+        "exhaustive exploration",
+        &mut report,
+    );
     if !report.has_errors() && cfg.walks > 0 {
         let walked = random_walks(model, cfg.seed, cfg.walks, cfg.walk_depth);
         // Walks only add findings: a clean sample after a clean exhaustive
         // pass is the expected quiet outcome.
         if walked.verdict != Verdict::Ok {
             push_exploration(
-                model,
+                span,
+                RESTORE_CODES,
                 &walked,
                 &format!("random walks (seed {:#x})", cfg.seed),
                 &mut report,
@@ -136,6 +182,49 @@ pub fn check_protocol_with(model: &RestoreModel, cfg: CheckConfig) -> Report {
 /// `dlb-lint` runs.
 pub fn check_protocol() -> Report {
     check_protocol_with(&RestoreModel::standard(), CheckConfig::default())
+}
+
+/// Exhaustively check a work-migration (transfer-window) model, then run
+/// seeded random walks past the exhaustive horizon. Duplicated units map
+/// to [`Code::E104`], lost units to [`Code::E105`], a wedged migration to
+/// [`Code::E106`].
+pub fn check_transfer_protocol_with(model: &TransferModel, cfg: CheckConfig) -> Report {
+    let mut report = Report::new(format!(
+        "transfer-protocol{}",
+        if model.dedup_transfers {
+            ""
+        } else {
+            " (no dedup)"
+        }
+    ));
+    let span = span_for_transfer(model);
+    let ex = explore(model, cfg.max_depth, cfg.max_states);
+    push_exploration(
+        span.clone(),
+        TRANSFER_CODES,
+        &ex,
+        "exhaustive exploration",
+        &mut report,
+    );
+    if !report.has_errors() && cfg.walks > 0 {
+        let walked = random_walks(model, cfg.seed, cfg.walks, cfg.walk_depth);
+        if walked.verdict != Verdict::Ok {
+            push_exploration(
+                span,
+                TRANSFER_CODES,
+                &walked,
+                &format!("random walks (seed {:#x})", cfg.seed),
+                &mut report,
+            );
+        }
+    }
+    report
+}
+
+/// Check the standard transfer-protocol configuration with default bounds
+/// — what `dlb-lint` runs.
+pub fn check_transfer_protocol() -> Report {
+    check_transfer_protocol_with(&TransferModel::standard(), CheckConfig::default())
 }
 
 #[cfg(test)]
@@ -176,6 +265,44 @@ mod tests {
             ..RestoreModel::standard()
         };
         let report = check_protocol_with(&m, CheckConfig::default());
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn standard_transfer_protocol_is_clean_and_exhausted() {
+        let report = check_transfer_protocol();
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(
+            !report.has(Code::W101),
+            "state space must be exhausted within bounds: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn no_dedup_transfer_variant_duplicates_a_unit() {
+        let report =
+            check_transfer_protocol_with(&TransferModel::broken_no_dedup(), CheckConfig::default());
+        assert!(report.has_errors(), "{}", report.render());
+        assert!(report.has(Code::E104), "{}", report.render());
+        // The counterexample trace must be present and replayable.
+        let diag = report.errors().next().unwrap();
+        assert!(
+            diag.notes.iter().any(|n| n.contains("counterexample")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn transfer_happy_path_without_faults_is_clean() {
+        let m = TransferModel {
+            max_drops: 0,
+            max_dups: 0,
+            allow_evict: false,
+            ..TransferModel::standard()
+        };
+        let report = check_transfer_protocol_with(&m, CheckConfig::default());
         assert!(!report.has_errors(), "{}", report.render());
     }
 }

@@ -114,7 +114,8 @@ fn status(slave: usize, done: u64, active: u64) -> Status {
         elapsed: SimDuration::from_secs(1),
         active_units: active,
         last_applied_seq: u64::MAX,
-        transfers_sent: 0,
+        epoch: 0,
+        sent_to: vec![0; 8],
         received_from: vec![0; 8],
         move_cost_sample: None,
         interaction_cost_sample: None,

@@ -96,6 +96,17 @@ pub struct Balancer {
     filters: Vec<RateFilter>,
     /// Last reported active units per slave (sender-accurate).
     reported: Vec<u64>,
+    /// Evicted slaves: excluded from every allocation and adjacency
+    /// computation, their pending entries cleared.
+    dead: Vec<bool>,
+    /// Rollback epoch stamped into every instruction (zero outside the
+    /// checkpointed engines).
+    epoch: u64,
+    /// Fixed surcharge on the profitability cost side (seconds): in
+    /// recoverable runs, movement enlarges the state that a crash forces
+    /// the protocol to restore or roll back, so moves must also buy back
+    /// their share of the expected restart cost.
+    restart_cost_s: f64,
     /// Transfers we ordered that the receiver has not yet acknowledged, as
     /// a FIFO per receiver of `(units, sender)`.
     pending_in: Vec<VecDeque<(u64, usize)>>,
@@ -141,6 +152,9 @@ impl Balancer {
             n,
             filters: vec![RateFilter::default(); n],
             reported: initial_owned,
+            dead: vec![false; n],
+            epoch: 0,
+            restart_cost_s: 0.0,
             pending_in: vec![VecDeque::new(); n],
             pending_out: vec![VecDeque::new(); n],
             acc: vec![(0, SimDuration::ZERO); n],
@@ -165,6 +179,49 @@ impl Balancer {
     /// Adjust the expected units per hook (LU's units shrink per step).
     pub fn set_units_per_hook(&mut self, u: f64) {
         self.units_per_hook = u;
+    }
+
+    /// Fold a fixed restart-cost surcharge (checkpoint restore / rollback
+    /// replay time) into every profitability comparison.
+    pub fn set_restart_cost(&mut self, d: SimDuration) {
+        self.restart_cost_s = d.as_secs_f64();
+    }
+
+    /// The named slave was evicted: drop it from every future allocation
+    /// and clear its in-flight accounting (its channels are fenced; units
+    /// in flight were re-owned by the survivors, which re-report).
+    pub fn mark_dead(&mut self, s: usize) {
+        if self.dead[s] {
+            return;
+        }
+        self.dead[s] = true;
+        self.reported[s] = 0;
+        self.acc[s] = (0, SimDuration::ZERO);
+        self.pending_in[s].clear();
+        self.pending_out[s].clear();
+        for q in &mut self.pending_in {
+            q.retain(|&(_, src)| src != s);
+        }
+    }
+
+    /// Rollback: adopt a new epoch (stamped into every instruction so
+    /// stale orders are discarded), discard all in-flight accounting, and
+    /// install the post-rollback distribution.
+    pub fn rebase(&mut self, epoch: u64, owned: Vec<u64>) {
+        self.epoch = epoch;
+        self.reported = owned;
+        for q in &mut self.pending_in {
+            q.clear();
+        }
+        for q in &mut self.pending_out {
+            q.clear();
+        }
+        for row in &mut self.last_received_from {
+            row.iter_mut().for_each(|v| *v = 0);
+        }
+        for a in &mut self.acc {
+            *a = (0, SimDuration::ZERO);
+        }
     }
 
     /// Set the raw-rate divisor: the pipelined engine counts done deltas in
@@ -204,12 +261,15 @@ impl Balancer {
     /// unacknowledged transfer in flight. Issuing another order across such
     /// a boundary could cross an in-flight transfer in the opposite
     /// direction and tear the block distribution apart.
-    fn busy_boundaries(&self) -> Vec<bool> {
-        let mut busy = vec![false; self.n.saturating_sub(1)];
+    fn busy_boundaries(&self, alive: &[usize]) -> Vec<bool> {
+        let pos = |i: usize| alive.iter().position(|&a| a == i);
+        let mut busy = vec![false; alive.len().saturating_sub(1)];
         for (dst, q) in self.pending_in.iter().enumerate() {
             for &(_, src) in q {
-                if src + 1 == dst || dst + 1 == src {
-                    busy[src.min(dst)] = true;
+                if let (Some(ps), Some(pd)) = (pos(src), pos(dst)) {
+                    if ps + 1 == pd || pd + 1 == ps {
+                        busy[ps.min(pd)] = true;
+                    }
                 }
             }
         }
@@ -295,6 +355,7 @@ impl Balancer {
         Decision {
             instructions: Instructions {
                 seq: self.seq,
+                epoch: self.epoch,
                 moves,
                 hooks_to_skip,
             },
@@ -305,12 +366,22 @@ impl Balancer {
     }
 
     fn decide_moves(&mut self, reporting: usize) -> Vec<MoveOrder> {
-        if !self.cfg.enabled || self.filters.iter().any(|f| !f.is_initialized()) {
+        if !self.cfg.enabled || self.dead[reporting] {
+            return Vec::new();
+        }
+        // Allocation runs over the *live* slaves only: evicted slaves are
+        // compacted away, which also makes "adjacent" mean adjacent
+        // surviving pipeline neighbours.
+        let alive: Vec<usize> = (0..self.n).filter(|&i| !self.dead[i]).collect();
+        if alive.len() < 2 {
+            return Vec::new();
+        }
+        if alive.iter().any(|&i| !self.filters[i].is_initialized()) {
             return Vec::new();
         }
         self.stats.decisions += 1;
-        let rates: Vec<f64> = self.filters.iter().map(|f| f.adjusted()).collect();
-        let owned: Vec<u64> = self.owned_view();
+        let rates: Vec<f64> = alive.iter().map(|&i| self.filters[i].adjusted()).collect();
+        let owned: Vec<u64> = alive.iter().map(|&i| self.owned(i)).collect();
         let total: u64 = owned.iter().sum();
         if total == 0 {
             return Vec::new();
@@ -332,14 +403,15 @@ impl Balancer {
         }
 
         // Refinement 2: profitability — movement must pay for itself over
-        // the remaining invocations.
+        // the remaining invocations, including the restart-cost surcharge
+        // recoverable runs put on every reconfiguration.
         let units_to_move: u64 = owned
             .iter()
             .zip(&target)
             .map(|(&o, &t)| o.saturating_sub(t))
             .sum();
         if self.cfg.profitability && t_cur.is_finite() {
-            let est_cost = units_to_move as f64 * self.per_unit_move_s;
+            let est_cost = units_to_move as f64 * self.per_unit_move_s + self.restart_cost_s;
             let benefit = (t_cur - t_new) * self.remaining_invocations as f64;
             if est_cost > benefit {
                 self.stats.cancelled_profitability += 1;
@@ -356,18 +428,25 @@ impl Balancer {
         // same move is not issued twice, and never issue across an adjacent
         // boundary that still has a transfer in flight (a crossing pair of
         // opposite-direction transfers would break block contiguity).
-        let busy = self.busy_boundaries();
+        let busy = self.busy_boundaries(&alive);
         let mut mine = Vec::new();
-        for (from, order) in all_orders {
+        for (from_c, order_c) in all_orders {
+            let from = alive[from_c];
             if from != reporting {
                 continue;
             }
-            let adjacent = from + 1 == order.to || order.to + 1 == from;
-            if adjacent && busy[from.min(order.to)] {
+            let to = alive[order_c.to];
+            let adjacent = from_c + 1 == order_c.to || order_c.to + 1 == from_c;
+            if adjacent && busy[from_c.min(order_c.to)] {
                 continue;
             }
+            let order = MoveOrder {
+                to,
+                count: order_c.count,
+                edge: order_c.edge,
+            };
             self.pending_out[reporting].push_back((self.seq + 1, order.count));
-            self.pending_in[order.to].push_back((order.count, reporting));
+            self.pending_in[to].push_back((order.count, reporting));
             self.stats.moves_issued += 1;
             self.stats.units_moved += order.count;
             mine.push(order);
@@ -390,7 +469,8 @@ mod tests {
             elapsed: SimDuration::from_secs_f64(secs),
             active_units: active,
             last_applied_seq: u64::MAX, // tests: reports always current
-            transfers_sent: 0,
+            epoch: 0,
+            sent_to: Vec::new(),
             received_from: Vec::new(),
             move_cost_sample: None,
             interaction_cost_sample: None,
@@ -499,6 +579,50 @@ mod tests {
             }
         }
         assert!(b.stats().cancelled_profitability > 0);
+    }
+
+    #[test]
+    fn restart_cost_suppresses_marginal_moves() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        b.set_restart_cost(SimDuration::from_secs(10_000));
+        warm(&mut b, 4, 25);
+        for _ in 0..5 {
+            let d = b.on_status(&status(0, 5, 1.0, 25));
+            assert!(d.instructions.moves.is_empty(), "{:?}", d.instructions);
+            for i in 1..4 {
+                b.on_status(&status(i, 10, 1.0, 25));
+            }
+        }
+        assert!(b.stats().cancelled_profitability > 0);
+        assert_eq!(b.stats().units_moved, 0);
+    }
+
+    #[test]
+    fn dead_slave_excluded_from_allocation() {
+        let mut b = mk(BalancerConfig::default(), vec![25; 4]);
+        warm(&mut b, 4, 25);
+        b.mark_dead(3);
+        // Slave 0 collapses; orders must never target the dead slave, and
+        // the allocation rebalances among survivors only.
+        let mut moved = 0;
+        for _ in 0..5 {
+            let d = b.on_status(&status(0, 5, 1.0, 25 - moved));
+            for m in &d.instructions.moves {
+                assert_ne!(m.to, 3, "move targeted a dead slave");
+                assert_ne!(m.to, 0);
+                moved += m.count;
+            }
+            for i in 1..3 {
+                b.on_status(&status(i, 10, 1.0, 25));
+            }
+        }
+        assert!(
+            moved >= 3,
+            "expected shedding among survivors, moved {moved}"
+        );
+        // A status from the dead slave itself yields no moves.
+        let d = b.on_status(&status(3, 10, 1.0, 25));
+        assert!(d.instructions.moves.is_empty());
     }
 
     #[test]
@@ -622,7 +746,8 @@ mod tests_accounting {
             elapsed: SimDuration::from_secs_f64(secs),
             active_units: active,
             last_applied_seq: u64::MAX,
-            transfers_sent: 0,
+            epoch: 0,
+            sent_to: Vec::new(),
             received_from: Vec::new(),
             move_cost_sample: None,
             interaction_cost_sample: None,

@@ -95,10 +95,12 @@ pub struct RunConfig {
     /// Initial block sizing.
     pub startup: StartupDistribution,
     /// Deterministic fault injection. `Some` switches the runtime into
-    /// fault mode: dynamic balancing is disabled (work movement and crash
-    /// recovery would race), the pipelined interaction mode is forced (a
-    /// hook must never block on a droppable message), and the
-    /// fault-tolerant control loops run on both sides.
+    /// fault mode: the fault-tolerant control loops run on both sides with
+    /// the dynamic balancer live — in-flight moves survive drops,
+    /// duplicates, and crashes of either endpoint through the sequenced
+    /// transfer-window protocol. The pipelined interaction mode is forced
+    /// (a synchronous hook must never block on a droppable Instructions
+    /// message).
     pub fault_plan: Option<FaultPlan>,
     /// Timeouts and retry bounds used when `fault_plan` is set.
     pub fault_tolerance: FaultToleranceConfig,
@@ -254,10 +256,12 @@ pub fn try_run(
         balancer_cfg.min_per_slave = 0;
     }
     let slave_mode = if fault_mode {
-        // Crash recovery re-scatters units itself; concurrent balancer
-        // movement would race with it, and a synchronous-mode hook blocking
-        // on a droppable Instructions message could stall a healthy slave.
-        balancer_cfg.enabled = false;
+        // Balancing stays live under fault injection: transfers ride the
+        // sequenced per-channel windows and evictions fence every channel
+        // before units are re-scattered, so movement and crash recovery
+        // compose. Only the interaction mode is forced — a synchronous-mode
+        // hook blocking on a droppable Instructions message could stall a
+        // healthy slave forever.
         balancer_cfg.mode = InteractionMode::Pipelined;
         InteractionMode::Pipelined
     } else {
@@ -330,33 +334,54 @@ pub fn try_run(
             }
             _ => Box::new(|_, _| false),
         };
-        // Fault mode wires the master's failure detector; the independent
-        // pattern additionally gets the unit-reconstruction closures that
-        // enable mid-run recovery (pipelined/shrinking abort cleanly).
+        // Fault mode wires the master's failure detector. The independent
+        // pattern gets the unit-reconstruction closures that enable
+        // in-place recovery; pipelined/shrinking get the epoch-zero
+        // snapshot closure that seeds checkpoint rollback.
         let ft = if fault_mode {
             use crate::master::{InitUnitFn, RecomputeUnitFn};
-            let (init_unit, recompute_unit): (Option<InitUnitFn>, Option<RecomputeUnitFn>) =
-                match &app {
-                    AppSpec::Independent(k) => {
-                        let ki = Arc::clone(k);
-                        let kr = Arc::clone(k);
-                        (
-                            Some(Box::new(move |id| ki.init_unit(id))),
-                            Some(Box::new(move |id, invs| {
-                                let mut d = kr.init_unit(id);
-                                for i in 0..invs {
-                                    kr.compute(id, &mut d, i);
-                                }
-                                d
-                            })),
-                        )
-                    }
-                    _ => (None, None),
-                };
+            let (init_unit, recompute_unit, checkpoint_init): (
+                Option<InitUnitFn>,
+                Option<RecomputeUnitFn>,
+                Option<InitUnitFn>,
+            ) = match &app {
+                AppSpec::Independent(k) => {
+                    let ki = Arc::clone(k);
+                    let kr = Arc::clone(k);
+                    (
+                        Some(Box::new(move |id| ki.init_unit(id))),
+                        Some(Box::new(move |id, invs| {
+                            let mut d = kr.init_unit(id);
+                            for i in 0..invs {
+                                kr.compute(id, &mut d, i);
+                            }
+                            d
+                        })),
+                        None,
+                    )
+                }
+                AppSpec::Pipelined(k) => {
+                    let kp = Arc::clone(k);
+                    (
+                        None,
+                        None,
+                        Some(Box::new(move |id| vec![kp.init_unit(id)]) as InitUnitFn),
+                    )
+                }
+                AppSpec::Shrinking(k) => {
+                    let kp = Arc::clone(k);
+                    (
+                        None,
+                        None,
+                        Some(Box::new(move |id| vec![kp.init_unit(id)]) as InitUnitFn),
+                    )
+                }
+            };
             Some(MasterFt {
                 tolerance: cfg.fault_tolerance.clone(),
                 init_unit,
                 recompute_unit,
+                checkpoint_init,
             })
         } else {
             None

@@ -11,13 +11,17 @@
 //! dead slave's units to survivors via [`Msg::Restore`]. The receiver
 //! replays each restored unit's computation history (identical `compute`
 //! calls in identical order), so the final gathered data is bit-for-bit the
-//! same as a fault-free run.
+//! same as a fault-free run. Work movement stays live under faults: every
+//! transfer rides a sequenced per-peer channel (dedup + ack + re-send; see
+//! [`crate::slave_common`]), units in flight to an evicted peer are
+//! re-owned, and the master may race a silent suspect's units here
+//! speculatively ([`Msg::Speculate`]) — the results are held aside until
+//! the master commits or cancels them.
 
 use crate::balancer::InteractionMode;
 use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::IndependentKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
-use crate::protocol::AckTracker;
 use crate::slave_common::{recv_start, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::collections::BTreeMap;
@@ -28,6 +32,11 @@ struct Unit {
     /// Invocation this unit was last computed in.
     done_in: Option<u64>,
 }
+
+/// Speculation buffers: results computed on the master's behalf for a
+/// silent suspect, keyed by the `Speculate` sequence number, each unit's
+/// data computed through the tagged invocation.
+type SpecBuffers = BTreeMap<u64, (u64, Vec<(usize, UnitData)>)>;
 
 /// Static configuration for one independent-engine slave.
 pub struct IndependentSlave {
@@ -80,16 +89,16 @@ impl IndependentSlave {
                 )
             })
             .collect();
-        let mut rec = AckTracker::default();
+        let mut spec: SpecBuffers = BTreeMap::new();
 
         let mut inv = 0;
         let mut metric = 0.0f64;
-        wait_invocation_start(ctx, &mut common, &mut units, &mut rec, &*kernel)?;
+        wait_invocation_start(ctx, &mut common, &mut units, &mut spec, &*kernel)?;
         'outer: loop {
             'compute: loop {
                 // Opportunistically pull transfers (and restores) that are
                 // already queued.
-                drain_incoming(ctx, &mut common, &mut units, &mut rec, &*kernel, inv)?;
+                drain_incoming(ctx, &mut common, &mut units, &mut spec, &*kernel, inv)?;
                 let next = units
                     .iter()
                     .find(|(_, u)| u.done_in != Some(inv))
@@ -104,27 +113,26 @@ impl IndependentSlave {
                         common.record_done(1);
                         let active = active_units(&units, inv, invocations);
                         let moves = common.hook(ctx, inv, active)?;
-                        execute_moves(ctx, &mut common, &mut units, inv, invocations, moves);
+                        execute_moves(ctx, &mut common, &mut units, inv, moves);
                     }
                     None => {
                         // Flush the final partial period, then go idle.
                         let active = active_units(&units, inv, invocations);
                         let moves = common.fire(ctx, inv, active)?;
-                        execute_moves(ctx, &mut common, &mut units, inv, invocations, moves);
+                        execute_moves(ctx, &mut common, &mut units, inv, moves);
                         match idle_until_work_or_barrier(
                             ctx,
                             &mut common,
                             &mut units,
-                            &mut rec,
+                            &mut spec,
                             &*kernel,
                             inv,
-                            invocations,
                             metric,
                         )? {
                             Idle::NewWork => {}
                             Idle::NextInvocation => break 'compute,
                             Idle::Gather => {
-                                return reply_gather(ctx, &mut common, units);
+                                return reply_gather(ctx, &mut common, units, inv);
                             }
                         }
                     }
@@ -141,7 +149,7 @@ impl IndependentSlave {
         // the master converging earlier, wait for the gather here.
         let env = common.recv_blocking(ctx, |m| matches!(m, Msg::Gather), "final gather")?;
         debug_assert!(matches!(env.msg, Msg::Gather));
-        reply_gather(ctx, &mut common, units)
+        reply_gather(ctx, &mut common, units, invocations.saturating_sub(1))
     }
 }
 
@@ -154,12 +162,13 @@ fn active_units(units: &BTreeMap<usize, Unit>, inv: u64, invocations: u64) -> u6
     }
 }
 
+/// Apply a fresh transfer payload (the channel layer already deduplicated
+/// and acknowledged it).
 fn incorporate(
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
     t: TransferMsg,
 ) -> Result<(), ProtocolError> {
-    common.received_from[t.from] += 1;
     for mu in t.units {
         let done_in = if mu.done { Some(t.invocation) } else { None };
         let id = mu.id;
@@ -179,21 +188,60 @@ fn incorporate(
     Ok(())
 }
 
+/// Reintegrate units re-owned from channels closed by peer eviction, then
+/// answer any pending ownership reports. Must run before the master can
+/// treat this slave's ownership as settled — every drain point calls it.
+fn settle_evictions(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    inv: u64,
+) -> Result<(), ProtocolError> {
+    for mu in std::mem::take(&mut common.reclaimed) {
+        let done_in = if mu.done { Some(inv) } else { None };
+        let id = mu.id;
+        if units
+            .insert(
+                id,
+                Unit {
+                    data: mu.data,
+                    done_in,
+                },
+            )
+            .is_some()
+        {
+            return Err(ProtocolError::Inconsistent {
+                detail: format!(
+                    "unit {id} re-owned by slave {} already owning it",
+                    common.idx
+                ),
+            });
+        }
+    }
+    for about in std::mem::take(&mut common.own_report_due) {
+        let report = Msg::OwnReport {
+            slave: common.idx,
+            about,
+            ids: units.keys().copied().collect(),
+        };
+        common.send_master(ctx, report);
+    }
+    Ok(())
+}
+
 /// Apply a `Restore`: adopt the units and replay their computation history
 /// so their data matches what the dead owner would have held. Returns
 /// whether the restore was fresh (not a duplicate).
-#[allow(clippy::too_many_arguments)]
 fn apply_restore(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut AckTracker,
     kernel: &dyn IndependentKernel,
     inv: u64,
     seq: u64,
     restored: Vec<(usize, UnitData)>,
 ) -> Result<bool, ProtocolError> {
-    if !rec.fresh(seq) {
+    if !common.master_chan.fresh(seq) {
         return Ok(false); // duplicate delivery
     }
     let invocations = kernel.invocations();
@@ -228,37 +276,167 @@ fn apply_restore(
     Ok(true)
 }
 
-/// Drain already-queued transfers; in fault mode, also restores and
-/// shutdown orders.
+/// Apply a `Speculate`: compute the suspect's units *through* the current
+/// barrier into a side buffer; the master later commits or cancels it.
+#[allow(clippy::too_many_arguments)]
+fn apply_speculate(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &BTreeMap<usize, Unit>,
+    spec: &mut SpecBuffers,
+    kernel: &dyn IndependentKernel,
+    inv: u64,
+    seq: u64,
+    invocation: u64,
+    suspects: Vec<(usize, UnitData)>,
+) -> Result<(), ProtocolError> {
+    if !common.master_chan.fresh(seq) {
+        return Ok(()); // duplicate delivery
+    }
+    let invocations = kernel.invocations();
+    let mut computed = Vec::with_capacity(suspects.len());
+    for (id, mut data) in suspects {
+        for i in 0..=invocation {
+            common.compute(ctx, kernel.unit_cost_for(id, i));
+            kernel.compute(id, &mut data, i);
+            // Speculated units are not owned (yet): not counted done.
+            let _ = common.hook(ctx, inv, active_units(units, inv, invocations))?;
+        }
+        computed.push((id, data));
+    }
+    common.fault_stats.speculations_computed += 1;
+    spec.insert(seq, (invocation, computed));
+    Ok(())
+}
+
+/// Handle the windowed master-channel messages (`Restore` / `Speculate` /
+/// commit / cancel). Returns whether ownership may have changed (new local
+/// work or new owned ids).
+#[allow(clippy::too_many_arguments)]
+fn apply_master_chan(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    spec: &mut SpecBuffers,
+    kernel: &dyn IndependentKernel,
+    inv: u64,
+    msg: Msg,
+) -> Result<bool, ProtocolError> {
+    match msg {
+        Msg::Restore {
+            seq,
+            units: restored,
+            ..
+        } => apply_restore(ctx, common, units, kernel, inv, seq, restored),
+        Msg::Speculate {
+            seq,
+            invocation,
+            units: suspects,
+        } => {
+            apply_speculate(
+                ctx, common, units, spec, kernel, inv, seq, invocation, suspects,
+            )?;
+            Ok(false)
+        }
+        Msg::SpecCommit { seq, spec_seq, ids } => {
+            if !ids.is_empty() && !spec.contains_key(&spec_seq) {
+                // The Speculate this commit refers to has not arrived yet
+                // (drop + out-of-order window replay). Leave the sequence
+                // unacknowledged: the master re-sends the whole unacked
+                // window in order, so the buffer arrives first eventually.
+                return Ok(false);
+            }
+            if !common.master_chan.fresh(seq) {
+                return Ok(false);
+            }
+            let mut changed = false;
+            if let Some((computed_through, buffer)) = spec.remove(&spec_seq) {
+                for (id, data) in buffer {
+                    if !ids.contains(&id) {
+                        continue; // owned elsewhere by now — discard
+                    }
+                    if units
+                        .insert(
+                            id,
+                            Unit {
+                                data,
+                                done_in: Some(computed_through),
+                            },
+                        )
+                        .is_some()
+                    {
+                        return Err(ProtocolError::Inconsistent {
+                            detail: format!(
+                                "speculated unit {id} committed to slave {} already owning it",
+                                common.idx
+                            ),
+                        });
+                    }
+                    changed = true;
+                }
+            }
+            Ok(changed)
+        }
+        Msg::SpecCancel { seq, spec_seq } => {
+            if common.master_chan.fresh(seq) {
+                spec.remove(&spec_seq);
+            }
+            Ok(false)
+        }
+        other => Err(common.unexpected("master channel", &other)),
+    }
+}
+
+/// Drain already-queued transfers; in fault mode, also the windowed master
+/// channel, transfer acks, peer evictions, and shutdown orders.
 fn drain_incoming(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut AckTracker,
+    spec: &mut SpecBuffers,
     kernel: &dyn IndependentKernel,
     inv: u64,
 ) -> Result<(), ProtocolError> {
     let fault_mode = common.ft.is_some();
     let pred = |m: &Msg| {
-        matches!(m, Msg::Transfer(_))
-            || (fault_mode && matches!(m, Msg::Restore { .. } | Msg::Abort | Msg::Evict))
+        matches!(m, Msg::Transfer(_) | Msg::TransferAck { .. })
+            || (fault_mode
+                && matches!(
+                    m,
+                    Msg::Restore { .. }
+                        | Msg::Speculate { .. }
+                        | Msg::SpecCommit { .. }
+                        | Msg::SpecCancel { .. }
+                        | Msg::Evicted { .. }
+                        | Msg::Abort
+                        | Msg::Evict
+                ))
     };
     while let Some(env) = ctx.try_recv_match(pred) {
         match env.msg {
-            Msg::Transfer(t) => incorporate(common, units, t)?,
-            Msg::Restore {
-                seq,
-                units: restored,
-                ..
-            } => {
-                apply_restore(ctx, common, units, rec, kernel, inv, seq, restored)?;
+            Msg::Transfer(t) => {
+                if common.accept_transfer(ctx, &t) {
+                    incorporate(common, units, t)?;
+                }
             }
+            Msg::TransferAck {
+                from,
+                epoch,
+                watermark,
+            } => common.handle_transfer_ack(from, epoch, watermark),
+            Msg::Evicted { slave } => common.peer_evicted(slave),
             Msg::Abort => return Err(ProtocolError::Aborted),
             Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            m @ (Msg::Restore { .. }
+            | Msg::Speculate { .. }
+            | Msg::SpecCommit { .. }
+            | Msg::SpecCancel { .. }) => {
+                apply_master_chan(ctx, common, units, spec, kernel, inv, m)?;
+            }
             _ => unreachable!(),
         }
     }
-    Ok(())
+    settle_evictions(ctx, common, units, inv)
 }
 
 fn execute_moves(
@@ -266,7 +444,6 @@ fn execute_moves(
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
     inv: u64,
-    invocations: u64,
     moves: Vec<MoveOrder>,
 ) {
     if moves.is_empty() {
@@ -275,6 +452,10 @@ fn execute_moves(
     let t0 = ctx.now();
     let mut total_moved = 0;
     for order in moves {
+        if common.dead[order.to] {
+            // Offer to an evicted slave: refused locally, units stay here.
+            continue;
+        }
         // Keep at least one unit (the balancer's min_per_slave mirror).
         let take = (order.count as usize).min(units.len().saturating_sub(1));
         let mut picked: Vec<usize> = Vec::with_capacity(take);
@@ -306,19 +487,19 @@ fn execute_moves(
             })
             .collect();
         total_moved += moved.len() as u64;
+        let from = common.idx;
         // Always send the transfer — even empty — so the master's pending
-        // accounting and the receiver's counters stay settled.
-        let msg = Msg::Transfer(TransferMsg {
-            from: common.idx,
+        // accounting and the channel watermarks stay settled.
+        common.send_transfer(ctx, order.to, |_| TransferMsg {
+            from,
+            seq: 0,
+            epoch: 0,
             invocation: inv,
             effective_block: 0,
             units: moved,
             right_old: None,
         });
-        common.transfers_sent += 1;
-        common.send_slave(ctx, order.to, msg);
     }
-    let _ = invocations;
     common.move_cost_sample = Some((total_moved, ctx.now().saturating_since(t0)));
 }
 
@@ -337,28 +518,32 @@ enum Idle {
 /// after the final invocation — the master requests the gather.
 ///
 /// In fault mode the slave heartbeats: its `InvocationDone` (carrying the
-/// restore watermark) is re-sent whenever nothing arrives for one heartbeat
-/// period, bounded by `give_up_tries`.
+/// master-channel watermark) is re-sent whenever nothing arrives for one
+/// heartbeat period, bounded by `give_up_tries`; unacked transfers are
+/// re-sent on the same trigger.
 #[allow(clippy::too_many_arguments)]
 fn idle_until_work_or_barrier(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut AckTracker,
+    spec: &mut SpecBuffers,
     kernel: &dyn IndependentKernel,
     inv: u64,
-    invocations: u64,
     metric: f64,
 ) -> Result<Idle, ProtocolError> {
-    let refresh_done = |common: &mut SlaveCommon, rec: &AckTracker| Msg::InvocationDone {
-        slave: common.idx,
-        invocation: inv,
-        transfers_sent: common.transfers_sent,
-        received_from: common.received_from.clone(),
-        metric,
-        restore_seq: rec.watermark(),
-    };
-    let msg = refresh_done(common, rec);
+    let refresh_done =
+        |common: &mut SlaveCommon, units: &BTreeMap<usize, Unit>| Msg::InvocationDone {
+            slave: common.idx,
+            invocation: inv,
+            epoch: common.epoch,
+            sent_to: common.sent_to_vec(),
+            received_from: common.recv_watermarks(),
+            metric,
+            restore_seq: common.master_chan.watermark(),
+            owned_ids: units.keys().copied().collect(),
+        };
+    settle_evictions(ctx, common, units, inv)?;
+    let msg = refresh_done(common, units);
     common.send_master(ctx, msg);
     let ft = common.ft.clone();
     let mut silent = 0u32;
@@ -379,7 +564,8 @@ fn idle_until_work_or_barrier(
                             at: ctx.now(),
                         });
                     }
-                    let msg = refresh_done(common, rec);
+                    common.resend_stalled_transfers(ctx);
+                    let msg = refresh_done(common, units);
                     common.send_master(ctx, msg);
                     continue;
                 }
@@ -387,37 +573,60 @@ fn idle_until_work_or_barrier(
         };
         match env.msg {
             Msg::Transfer(t) => {
-                incorporate(common, units, t)?;
+                if common.accept_transfer(ctx, &t) {
+                    incorporate(common, units, t)?;
+                }
                 let has_work = units.values().any(|u| u.done_in != Some(inv));
                 if has_work {
                     return Ok(Idle::NewWork);
                 }
-                // Ownership changed but no new work: refresh the master's
-                // counters so settlement can complete.
-                let msg = refresh_done(common, rec);
+                // Ownership changed (or a duplicate needed re-acking) but no
+                // new work: refresh the master's counters so settlement can
+                // complete.
+                let msg = refresh_done(common, units);
                 common.send_master(ctx, msg);
             }
-            Msg::Restore {
-                seq,
-                units: restored,
-                ..
+            Msg::TransferAck {
+                from,
+                epoch,
+                watermark,
             } => {
-                let fresh = apply_restore(ctx, common, units, rec, kernel, inv, seq, restored)?;
-                if fresh && units.values().any(|u| u.done_in != Some(inv)) {
+                common.handle_transfer_ack(from, epoch, watermark);
+                let msg = refresh_done(common, units);
+                common.send_master(ctx, msg);
+            }
+            Msg::Evicted { slave } => {
+                common.peer_evicted(slave);
+                settle_evictions(ctx, common, units, inv)?;
+                if units.values().any(|u| u.done_in != Some(inv)) {
+                    return Ok(Idle::NewWork);
+                }
+                let msg = refresh_done(common, units);
+                common.send_master(ctx, msg);
+            }
+            m @ (Msg::Restore { .. }
+            | Msg::Speculate { .. }
+            | Msg::SpecCommit { .. }
+            | Msg::SpecCancel { .. }) => {
+                let changed = apply_master_chan(ctx, common, units, spec, kernel, inv, m)?;
+                if changed && units.values().any(|u| u.done_in != Some(inv)) {
                     return Ok(Idle::NewWork);
                 }
                 // Duplicate (or no new work): refresh the watermark either
                 // way so the master's settlement can observe it.
-                let msg = refresh_done(common, rec);
+                let msg = refresh_done(common, units);
                 common.send_master(ctx, msg);
             }
             Msg::Instructions(instr) => {
                 // Late pipelined replies can still carry movement orders.
                 // The master cannot settle until their transfers are
-                // acknowledged, so executing them here is always safe.
-                if !instr.moves.is_empty() {
-                    execute_moves(ctx, common, units, inv, invocations, instr.moves);
-                    let msg = refresh_done(common, rec);
+                // acknowledged, so executing them here is always safe —
+                // but only through the shared epoch/sequence fences, or a
+                // duplicated delivery would double-execute the moves.
+                let moves = common.instructions_out_of_band(instr);
+                if !moves.is_empty() {
+                    execute_moves(ctx, common, units, inv, moves);
+                    let msg = refresh_done(common, units);
                     common.send_master(ctx, msg);
                 }
             }
@@ -428,7 +637,7 @@ fn idle_until_work_or_barrier(
                 if ft.is_some() && invocation <= inv {
                     // Stale re-broadcast: the master has not yet seen our
                     // completion report; refresh it immediately.
-                    let msg = refresh_done(common, rec);
+                    let msg = refresh_done(common, units);
                     common.send_master(ctx, msg);
                     continue;
                 }
@@ -453,25 +662,31 @@ fn wait_invocation_start(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     units: &mut BTreeMap<usize, Unit>,
-    rec: &mut AckTracker,
+    spec: &mut SpecBuffers,
     kernel: &dyn IndependentKernel,
 ) -> Result<(), ProtocolError> {
     loop {
         let env = common.recv_blocking(ctx, |_| true, "first invocation start")?;
         match env.msg {
             Msg::InvocationStart { invocation: 0 } => return Ok(()),
-            Msg::Transfer(t) => incorporate(common, units, t)?,
-            Msg::Restore {
-                seq,
-                units: restored,
-                ..
-            } if common.ft.is_some() => {
-                apply_restore(ctx, common, units, rec, kernel, 0, seq, restored)?;
+            Msg::Transfer(t) => {
+                if common.accept_transfer(ctx, &t) {
+                    incorporate(common, units, t)?;
+                }
+            }
+            m @ (Msg::Restore { .. }
+            | Msg::Speculate { .. }
+            | Msg::SpecCommit { .. }
+            | Msg::SpecCancel { .. })
+                if common.ft.is_some() =>
+            {
+                apply_master_chan(ctx, common, units, spec, kernel, 0, m)?;
             }
             Msg::Instructions(_) => {}
             Msg::Start { .. } if common.ft.is_some() => {} // duplicate delivery
             other => return Err(common.unexpected("waiting for first invocation", &other)),
         }
+        settle_evictions(ctx, common, units, 0)?;
     }
 }
 
@@ -481,12 +696,15 @@ fn wait_invocation_start(
 fn reply_gather(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
-    units: BTreeMap<usize, Unit>,
+    mut units: BTreeMap<usize, Unit>,
+    inv: u64,
 ) -> Result<(), ProtocolError> {
+    settle_evictions(ctx, common, &mut units, inv)?;
     let payload: Vec<(usize, UnitData)> = units.into_iter().map(|(id, u)| (id, u.data)).collect();
     let msg = Msg::GatherData {
         slave: common.idx,
         units: payload.clone(),
+        fault_stats: common.fault_stats.clone(),
     };
     common.send_master(ctx, msg);
     let Some(ft) = common.ft.clone() else {
@@ -509,6 +727,7 @@ fn reply_gather(
                     let msg = Msg::GatherData {
                         slave: common.idx,
                         units: payload.clone(),
+                        fault_stats: common.fault_stats.clone(),
                     };
                     common.send_master(ctx, msg);
                 }

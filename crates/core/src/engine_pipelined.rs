@@ -16,16 +16,23 @@
 //! result is bit-identical to sequential execution no matter when moves
 //! happen — the property tests in `tests/` rely on that.
 //!
-//! Under fault injection this engine is *detect-and-abort*: the tight
-//! neighbour coupling means a lost pipeline stage cannot be recomputed
-//! locally, so every blocking wait carries a deadline and trouble surfaces
-//! as a typed [`ProtocolError`] (never a panic or a deadlock).
+//! Under fault injection this engine is *checkpointed*: at every sweep
+//! barrier each slave ships its column state to the master
+//! ([`Msg::Checkpoint`], best-effort). When a slave dies or wedges, the
+//! master rolls every survivor back to the latest complete snapshot
+//! ([`Msg::Rollback`]): the slave discards all engine state, adopts the
+//! re-partitioned columns, derives its pipeline neighbours from the
+//! survivor list, and resumes the tagged sweep in a new epoch. Boundary and
+//! sweep-old values are pure functions of sweep-start state, so messages
+//! surviving from before the rollback are bit-identical to their replayed
+//! versions and need no fencing; transfers and balancing instructions are
+//! epoch-fenced.
 
 use crate::balancer::InteractionMode;
-use crate::error::{FaultToleranceConfig, ProtocolError};
+use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
 use crate::kernels::PipelinedKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
-use crate::slave_common::{recv_start, SlaveCommon};
+use crate::slave_common::{recv_start, RollbackInfo, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::ops::Range;
 use std::sync::Arc;
@@ -53,7 +60,6 @@ pub struct PipelinedSlave {
 
 struct State {
     idx: usize,
-    n_units: usize,
     cols: Vec<PCol>,
     /// Transfers from the left whose effective phase is still ahead of us:
     /// `(effective_block, columns)`, incorporated when we reach that phase.
@@ -68,6 +74,10 @@ struct State {
     /// Scratch full-length buffer holding the received left halo.
     left_halo: Vec<f64>,
     sweep: u64,
+    /// Pipeline neighbours: the adjacent *live* slaves (by slave index),
+    /// derived from the survivor list at start-up and on every rollback.
+    left: Option<usize>,
+    right: Option<usize>,
 }
 
 impl State {
@@ -89,21 +99,27 @@ impl State {
         self.cols.last().expect("nonempty").id
     }
 
-    fn is_leftmost(&self) -> bool {
-        self.first_id() == 0
-    }
-
-    fn is_rightmost(&self) -> bool {
-        self.last_id() == self.n_units - 1
-    }
-
     fn active_units(&self) -> u64 {
         (self.cols.len() + self.set_aside.iter().map(|(_, v)| v.len()).sum::<usize>()) as u64
     }
 
-    fn assert_contiguous(&self) {
+    fn check_contiguous(&self) -> Result<(), ProtocolError> {
         for w in self.cols.windows(2) {
-            assert_eq!(w[0].id + 1, w[1].id, "column block not contiguous");
+            if w[0].id + 1 != w[1].id {
+                return Err(ProtocolError::Inconsistent {
+                    detail: format!(
+                        "slave {}: column block not contiguous ({} then {})",
+                        self.idx, w[0].id, w[1].id
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn inconsistent(&self, detail: String) -> ProtocolError {
+        ProtocolError::Inconsistent {
+            detail: format!("slave {}: {detail}", self.idx),
         }
     }
 }
@@ -125,6 +141,7 @@ impl PipelinedSlave {
 
     fn run_inner(self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
         let (slaves, assignment, block_rows) = recv_start(ctx, self.idx, self.ft.as_ref())?;
+        let n_slaves = slaves.len();
         let range = assignment[self.idx];
         let kernel = self.kernel;
         let mut common = SlaveCommon::new(
@@ -141,7 +158,6 @@ impl PipelinedSlave {
         let nblocks = interior.div_ceil(block_rows.max(1));
         let mut st = State {
             idx: self.idx,
-            n_units: kernel.n_units(),
             cols: (range.0..range.1)
                 .map(|i| PCol {
                     id: i,
@@ -159,9 +175,162 @@ impl PipelinedSlave {
             col_len,
             left_halo: vec![0.0; col_len],
             sweep: 0,
+            left: (self.idx > 0).then(|| self.idx - 1),
+            right: (self.idx + 1 < n_slaves).then_some(self.idx + 1),
         };
-        assert!(!st.cols.is_empty(), "pipelined slave needs >= 1 column");
+        if st.cols.is_empty() {
+            return Err(st.inconsistent("started with zero columns".into()));
+        }
 
+        let sweeps = kernel.sweeps();
+        let mut start_sweep = 0u64;
+        let mut need_release = true;
+        loop {
+            // The gather reply lives *inside* the restart loop: a peer can
+            // die while the master is collecting results, and the resulting
+            // rollback must re-run the lost sweeps on the survivors — so a
+            // rollback arriving during the gather wait unwinds to here like
+            // any other.
+            let result = run_sweeps(
+                ctx,
+                &mut common,
+                &mut st,
+                &*kernel,
+                start_sweep,
+                sweeps,
+                need_release,
+            )
+            .and_then(|()| reply_gather(ctx, &mut common, &st));
+            match result {
+                Ok(()) => return Ok(()),
+                Err(ProtocolError::RolledBack) => {}
+                Err(e) if common.ft.is_some() && recoverable(&e) => {
+                    // Wedged (lost halo, torn protocol state): report and
+                    // wait to be rolled back rather than dying — the master
+                    // answers a SlaveError with a rollback, not an eviction.
+                    let msg = Msg::SlaveError {
+                        slave: common.idx,
+                        error: e,
+                    };
+                    common.send_master(ctx, msg);
+                    rescue_wait(ctx, &mut common)?;
+                }
+                Err(e) => return Err(e),
+            }
+            let rb = common.pending_rollback.take().ok_or_else(|| {
+                st.inconsistent("rollback unwound with no pending payload".into())
+            })?;
+            start_sweep = apply_rollback(&mut common, &mut st, rb)?;
+            // The rollback itself releases the resumed sweep; no
+            // InvocationStart follows.
+            need_release = false;
+        }
+    }
+}
+
+/// Errors a checkpointed slave reports and survives (by rollback) instead
+/// of dying from.
+fn recoverable(e: &ProtocolError) -> bool {
+    matches!(
+        e,
+        ProtocolError::Timeout { .. }
+            | ProtocolError::MissingPivot { .. }
+            | ProtocolError::NonNeighborTransfer { .. }
+            | ProtocolError::Inconsistent { .. }
+            | ProtocolError::UnexpectedMessage { .. }
+    )
+}
+
+/// After shipping a `SlaveError`, wait for the master's rollback (stashed in
+/// `pending_rollback`), an abort, or an eviction.
+fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), ProtocolError> {
+    let ft = common.ft.clone().expect("rescue_wait requires fault mode");
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.give_up_tries {
+                    return Err(ProtocolError::Timeout {
+                        who: slave_who(common.idx),
+                        waiting_for: "rescue rollback",
+                        at: ctx.now(),
+                    });
+                }
+            }
+            Some(env) => match env.msg {
+                Msg::Abort => return Err(ProtocolError::Aborted),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                m => {
+                    if let Err(ProtocolError::RolledBack) = common.control(&m) {
+                        return Ok(());
+                    }
+                    // anything else is stale traffic of the torn epoch — ignore
+                }
+            },
+        }
+    }
+}
+
+/// Adopt a rollback: discard all engine state, install the re-partitioned
+/// columns, derive neighbours from the survivor list, enter the new epoch.
+/// Returns the sweep to resume from.
+fn apply_rollback(
+    common: &mut SlaveCommon,
+    st: &mut State,
+    rb: RollbackInfo,
+) -> Result<u64, ProtocolError> {
+    let pos = rb
+        .survivors
+        .iter()
+        .position(|&s| s == common.idx)
+        .ok_or(ProtocolError::Evicted { slave: common.idx })?;
+    for s in 0..common.dead.len() {
+        common.dead[s] = !rb.survivors.contains(&s);
+    }
+    common.reclaimed.clear();
+    common.own_report_due.clear();
+    common.rebase_epoch(rb.epoch);
+    st.left = pos.checked_sub(1).map(|p| rb.survivors[p]);
+    st.right = rb.survivors.get(pos + 1).copied();
+    let mut units = rb.units;
+    units.sort_by_key(|(id, _)| *id);
+    st.cols = units
+        .into_iter()
+        .map(|(id, mut d)| PCol {
+            id,
+            data: if d.is_empty() {
+                Vec::new()
+            } else {
+                d.swap_remove(0)
+            },
+            old: Vec::new(),
+            phase: 0,
+        })
+        .collect();
+    if st.cols.is_empty() {
+        return Err(st.inconsistent("rolled back to zero columns".into()));
+    }
+    st.check_contiguous()?;
+    st.set_aside.clear();
+    st.right_old = Vec::new();
+    st.sweep = rb.invocation;
+    Ok(rb.invocation)
+}
+
+/// The main sweep loop, from `start_sweep` to completion (ends by
+/// consuming the final `Gather`). Unwinds with `RolledBack` whenever a
+/// rollback arrives.
+fn run_sweeps(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn PipelinedKernel,
+    start_sweep: u64,
+    sweeps: u64,
+    need_release: bool,
+) -> Result<(), ProtocolError> {
+    if need_release {
         // Initial release: the end-of-sweep barrier consumes every later
         // InvocationStart.
         loop {
@@ -182,38 +351,28 @@ impl PipelinedSlave {
                 _ => unreachable!(),
             }
         }
-
-        let sweeps = kernel.sweeps();
-        for sweep in 0..sweeps {
-            st.sweep = sweep;
-            sweep_body(ctx, &mut common, &mut st, &*kernel)?;
-            // Sweep complete: absorb queued transfers (their catch-up work
-            // counts toward this sweep), then flush status and execute any
-            // sweep-end moves.
-            let nblocks = st.nblocks;
-            drain_transfers(ctx, &mut common, &mut st, &*kernel, nblocks)?;
-            let moves = common.fire(ctx, sweep, st.active_units())?;
-            execute_moves(ctx, &mut common, &mut st, &*kernel, moves, nblocks);
-            purge_stale(ctx, sweep);
-            barrier(
-                ctx,
-                &mut common,
-                &mut st,
-                &*kernel,
-                sweep,
-                sweep + 1 == sweeps,
-            )?;
-        }
-
-        gather(ctx, &mut common, st);
-        Ok(())
     }
+
+    for sweep in start_sweep..sweeps {
+        st.sweep = sweep;
+        sweep_body(ctx, common, st, kernel)?;
+        // Sweep complete: absorb queued transfers (their catch-up work
+        // counts toward this sweep), then flush status and execute any
+        // sweep-end moves.
+        let nblocks = st.nblocks;
+        drain_transfers(ctx, common, st, kernel, nblocks)?;
+        let moves = common.fire(ctx, sweep, st.active_units())?;
+        execute_moves(ctx, common, st, moves, nblocks)?;
+        purge_stale(ctx, sweep);
+        barrier(ctx, common, st, kernel, sweep, sweep + 1 == sweeps)?;
+    }
+    Ok(())
 }
 
 fn send_boundary(ctx: &ActorCtx<Msg>, common: &SlaveCommon, st: &State, b: u64) {
-    if st.is_rightmost() {
+    let Some(right) = st.right else {
         return;
-    }
+    };
     let last = st.cols.last().expect("nonempty");
     let rows = st.rows_of_block(b);
     let msg = Msg::Boundary {
@@ -222,7 +381,7 @@ fn send_boundary(ctx: &ActorCtx<Msg>, common: &SlaveCommon, st: &State, b: u64) 
         col: last.id,
         values: last.data[rows].to_vec(),
     };
-    common.send_slave(ctx, st.idx + 1, msg);
+    common.send_slave(ctx, right, msg);
 }
 
 /// Fetch the left halo for block `b` into `st.left_halo`.
@@ -242,7 +401,7 @@ fn fetch_left_halo(
     b: u64,
 ) -> Result<(), ProtocolError> {
     loop {
-        if st.is_leftmost() {
+        if st.left.is_none() {
             st.left_halo.copy_from_slice(&st.left_wall);
             return Ok(());
         }
@@ -260,7 +419,13 @@ fn fetch_left_halo(
         match env.msg {
             Msg::Boundary { values, .. } => {
                 let rows = st.rows_of_block(b);
-                assert_eq!(values.len(), rows.len(), "boundary segment length");
+                if values.len() != rows.len() {
+                    return Err(st.inconsistent(format!(
+                        "boundary segment length {} != block height {}",
+                        values.len(),
+                        rows.len()
+                    )));
+                }
                 st.left_halo[rows].copy_from_slice(&values);
                 return Ok(());
             }
@@ -269,7 +434,7 @@ fn fetch_left_halo(
                 // effective exactly here merges immediately and changes the
                 // wanted halo column.
                 accept_transfer(ctx, common, st, kernel, t, b)?;
-                incorporate_set_asides(st, b);
+                incorporate_set_asides(st, b)?;
             }
             _ => unreachable!(),
         }
@@ -326,20 +491,22 @@ fn sweep_body(
         c.old = c.data.clone();
         c.phase = 0;
     }
-    if !st.is_leftmost() {
+    if let Some(left) = st.left {
         let msg = Msg::SweepOld {
             sweep: st.sweep,
+            col: st.cols[0].id,
             values: st.cols[0].old.clone(),
         };
-        common.send_slave(ctx, st.idx - 1, msg);
+        common.send_slave(ctx, left, msg);
     }
-    st.right_old = if st.is_rightmost() {
+    st.right_old = if st.right.is_none() {
         st.right_wall.clone()
     } else {
         let want = st.sweep;
+        let want_col = st.last_id() + 1;
         let env = common.recv_blocking(
             ctx,
-            |m| matches!(m, Msg::SweepOld { sweep, .. } if *sweep == want),
+            |m| matches!(m, Msg::SweepOld { sweep, col, .. } if *sweep == want && *col == want_col),
             "right neighbour sweep-old column",
         )?;
         match env.msg {
@@ -349,32 +516,37 @@ fn sweep_body(
     };
 
     for b in 0..st.nblocks {
-        incorporate_set_asides(st, b);
+        incorporate_set_asides(st, b)?;
         fetch_left_halo(ctx, common, st, kernel, b)?;
         compute_block_cols(ctx, common, st, kernel, b, 0, None);
         send_boundary(ctx, common, st, b);
         let moves = common.hook(ctx, st.sweep, st.active_units())?;
-        execute_moves(ctx, common, st, kernel, moves, b + 1);
+        execute_moves(ctx, common, st, moves, b + 1)?;
         drain_transfers(ctx, common, st, kernel, b + 1)?;
     }
-    incorporate_set_asides(st, st.nblocks);
-    st.assert_contiguous();
-    Ok(())
+    incorporate_set_asides(st, st.nblocks)?;
+    st.check_contiguous()
 }
 
 /// Prepend set-aside columns whose effective phase equals `phase`.
-fn incorporate_set_asides(st: &mut State, phase: u64) {
+fn incorporate_set_asides(st: &mut State, phase: u64) -> Result<(), ProtocolError> {
     let mut i = 0;
     while i < st.set_aside.len() {
         if st.set_aside[i].0 == phase {
             let (_, mut cols) = st.set_aside.remove(i);
-            assert_eq!(
-                cols.last().expect("nonempty transfer").id + 1,
-                st.first_id(),
-                "set-aside columns must abut our block"
-            );
-            for c in &cols {
-                assert_eq!(c.phase, phase, "set-aside phase mismatch");
+            let last = cols.last().expect("nonempty transfer");
+            if last.id + 1 != st.first_id() {
+                return Err(st.inconsistent(format!(
+                    "set-aside columns ending at {} do not abut block starting at {}",
+                    last.id,
+                    st.first_id()
+                )));
+            }
+            if let Some(c) = cols.iter().find(|c| c.phase != phase) {
+                return Err(st.inconsistent(format!(
+                    "set-aside column {} at phase {} incorporated at phase {phase}",
+                    c.id, c.phase
+                )));
             }
             cols.append(&mut st.cols);
             st.cols = cols;
@@ -382,29 +554,35 @@ fn incorporate_set_asides(st: &mut State, phase: u64) {
             i += 1;
         }
     }
+    Ok(())
 }
 
 fn execute_moves(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
     st: &mut State,
-    kernel: &dyn PipelinedKernel,
     moves: Vec<MoveOrder>,
     phase: u64,
-) {
-    let _ = kernel;
+) -> Result<(), ProtocolError> {
     if moves.is_empty() {
-        return;
+        return Ok(());
     }
     let t0 = ctx.now();
     let mut total = 0u64;
     for order in moves {
-        assert!(
-            order.to + 1 == common.idx || common.idx + 1 == order.to,
-            "pipelined movement must be adjacent (got {} -> {})",
-            common.idx,
-            order.to
-        );
+        if common.dead[order.to] {
+            // The peer was evicted after the master planned this move; the
+            // next rollback (or re-plan) supersedes it.
+            continue;
+        }
+        let is_right = st.right == Some(order.to);
+        let is_left = st.left == Some(order.to);
+        if !is_right && !is_left {
+            return Err(st.inconsistent(format!(
+                "pipelined movement must target a pipeline neighbour (got {} -> {})",
+                common.idx, order.to
+            )));
+        }
         // Columns still set aside cannot be re-moved, and while any are
         // pending our low edge is not the true boundary — shipping resident
         // low columns would leave a gap below them. Skip such orders (an
@@ -417,7 +595,12 @@ fn execute_moves(
         };
         let (units, right_old) = match order.edge {
             Edge::High => {
-                assert_eq!(order.to, common.idx + 1);
+                if !is_right {
+                    return Err(st.inconsistent(format!(
+                        "high-edge move must target the right neighbour (got {})",
+                        order.to
+                    )));
+                }
                 let split = st.cols.len() - take;
                 let moved: Vec<PCol> = st.cols.split_off(split);
                 if let Some(first) = moved.first() {
@@ -428,7 +611,12 @@ fn execute_moves(
                 (moved, None)
             }
             Edge::Low => {
-                assert_eq!(order.to + 1, common.idx);
+                if !is_left {
+                    return Err(st.inconsistent(format!(
+                        "low-edge move must target the left neighbour (got {})",
+                        order.to
+                    )));
+                }
                 let moved: Vec<PCol> = st.cols.drain(0..take).collect();
                 let ro = st.cols.first().map(|c| c.old.clone());
                 (moved, ro)
@@ -446,34 +634,40 @@ fn execute_moves(
                 st.sweep,
             );
         }
+        if let Some(c) = units.iter().find(|c| c.phase != phase) {
+            return Err(st.inconsistent(format!(
+                "moved column {} at phase {} shipped at phase {phase}",
+                c.id, c.phase
+            )));
+        }
         let moved_units: Vec<MovedUnit> = units
             .into_iter()
-            .map(|c| {
-                assert_eq!(c.phase, phase, "moved column phase mismatch");
-                MovedUnit {
-                    id: c.id,
-                    done: false,
-                    updated_through: c.phase,
-                    data: vec![c.data],
-                    old: Some(c.old),
-                }
+            .map(|c| MovedUnit {
+                id: c.id,
+                done: false,
+                updated_through: c.phase,
+                data: vec![c.data],
+                old: Some(c.old),
             })
             .collect();
-        let msg = Msg::Transfer(TransferMsg {
-            from: common.idx,
-            invocation: st.sweep,
+        let from = common.idx;
+        let sweep = st.sweep;
+        common.send_transfer(ctx, order.to, |_| TransferMsg {
+            from,
+            seq: 0,
+            epoch: 0,
+            invocation: sweep,
             effective_block: phase,
             units: moved_units,
             right_old,
         });
-        common.transfers_sent += 1;
-        common.send_slave(ctx, order.to, msg);
     }
     common.move_cost_sample = Some((total, ctx.now().saturating_since(t0)));
+    Ok(())
 }
 
-/// Process queued transfers. `my_phase` is the number of blocks we have
-/// completed this sweep.
+/// Process queued channel control traffic and transfers. `my_phase` is the
+/// number of blocks we have completed this sweep.
 fn drain_transfers(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
@@ -481,6 +675,7 @@ fn drain_transfers(
     kernel: &dyn PipelinedKernel,
     my_phase: u64,
 ) -> Result<(), ProtocolError> {
+    common.drain_control(ctx)?;
     while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
         if let Msg::Transfer(t) = env.msg {
             accept_transfer(ctx, common, st, kernel, t, my_phase)?;
@@ -497,6 +692,9 @@ fn accept_transfer(
     t: TransferMsg,
     my_phase: u64,
 ) -> Result<(), ProtocolError> {
+    if !common.accept_transfer(ctx, &t) {
+        return Ok(()); // stale epoch, dead sender, or duplicate — fenced
+    }
     if std::env::var_os("DLB_TRACE").is_some() {
         eprintln!(
             "[slave{} t={}] accept transfer from {} eff {} units {:?} (my_phase {my_phase}, sweep {})",
@@ -504,15 +702,21 @@ fn accept_transfer(
             t.units.iter().map(|u| u.id).collect::<Vec<_>>(), st.sweep,
         );
     }
-    if t.from != st.idx + 1 && t.from + 1 != st.idx {
+    let from_right = st.right == Some(t.from);
+    let from_left = st.left == Some(t.from);
+    if !from_right && !from_left {
         return Err(ProtocolError::NonNeighborTransfer {
             from: t.from,
             to: st.idx,
             sweep: st.sweep,
         });
     }
-    common.received_from[t.from] += 1;
-    assert_eq!(t.invocation, st.sweep, "cross-sweep transfer");
+    if t.invocation != st.sweep {
+        return Err(st.inconsistent(format!(
+            "transfer for sweep {} accepted in sweep {}",
+            t.invocation, st.sweep
+        )));
+    }
     let mut cols: Vec<PCol> = t
         .units
         .into_iter()
@@ -520,8 +724,12 @@ fn accept_transfer(
             let mut data: UnitData = mu.data;
             PCol {
                 id: mu.id,
-                data: data.swap_remove(0),
-                old: mu.old.expect("pipelined transfer carries snapshots"),
+                data: if data.is_empty() {
+                    Vec::new()
+                } else {
+                    data.swap_remove(0)
+                },
+                old: mu.old.unwrap_or_default(),
                 phase: mu.updated_through,
             }
         })
@@ -529,18 +737,26 @@ fn accept_transfer(
     if cols.is_empty() {
         return Ok(());
     }
-    if t.from == st.idx + 1 {
+    if from_right {
         // From the right: columns are behind; catch them up (§4.5).
         let eff = t.effective_block;
-        assert!(eff <= my_phase, "right transfer from the future");
-        assert_eq!(
-            cols.first().expect("nonempty").id,
-            st.last_id() + 1,
-            "right transfer must abut our block"
-        );
+        if eff > my_phase {
+            return Err(st.inconsistent(format!(
+                "right transfer effective at phase {eff} ahead of local phase {my_phase}"
+            )));
+        }
+        if cols.first().expect("nonempty").id != st.last_id() + 1 {
+            return Err(st.inconsistent(format!(
+                "right transfer starting at {} does not abut block ending at {}",
+                cols.first().expect("nonempty").id,
+                st.last_id()
+            )));
+        }
         let from_ci = st.cols.len();
         st.cols.append(&mut cols);
-        let right_old = t.right_old.expect("right transfer carries right halo");
+        let right_old = t.right_old.ok_or_else(|| {
+            st.inconsistent("right transfer missing its right-halo snapshot".into())
+        })?;
         for b in eff..my_phase {
             compute_block_cols(ctx, common, st, kernel, b, from_ci, Some(&right_old));
             // The sender's remaining columns need our (new) last column's
@@ -551,12 +767,16 @@ fn accept_transfer(
     } else {
         // From the left: columns are ahead; set aside until we catch up.
         let eff = t.effective_block;
-        assert!(eff >= my_phase, "left transfer from the past");
+        if eff < my_phase {
+            return Err(st.inconsistent(format!(
+                "left transfer effective at phase {eff} behind local phase {my_phase}"
+            )));
+        }
         if eff == my_phase {
             let mut tmp = std::mem::take(&mut st.cols);
             cols.append(&mut tmp);
             st.cols = cols;
-            st.assert_contiguous();
+            st.check_contiguous()?;
         } else {
             st.set_aside.push((eff, cols));
         }
@@ -565,7 +785,9 @@ fn accept_transfer(
 }
 
 /// Drain now-useless messages of the finished sweep (boundaries made
-/// redundant by mid-sweep moves).
+/// redundant by mid-sweep moves). Halo values are pure functions of
+/// sweep-start state, so any stragglers from before a rollback are
+/// bit-identical to their replayed versions — no epoch fencing needed.
 fn purge_stale(ctx: &ActorCtx<Msg>, sweep: u64) {
     while ctx
         .try_recv_match(|m| {
@@ -576,15 +798,37 @@ fn purge_stale(ctx: &ActorCtx<Msg>, sweep: u64) {
     {}
 }
 
-fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, sweep: u64) {
+fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, sweep: u64) {
     let msg = Msg::InvocationDone {
         slave: common.idx,
         invocation: sweep,
-        transfers_sent: common.transfers_sent,
-        received_from: common.received_from.clone(),
+        epoch: common.epoch,
+        sent_to: common.sent_to_vec(),
+        received_from: common.recv_watermarks(),
         metric: 0.0,
-        restore_seq: 0,
+        restore_seq: common.master_chan.watermark(),
+        owned_ids: st.cols.iter().map(|c| c.id).collect(),
     };
+    common.send_master(ctx, msg);
+}
+
+/// Ship the sweep-barrier checkpoint: the state from which sweep
+/// `sweep + 1` starts. Best-effort — a dropped checkpoint only means the
+/// master rolls back to an older complete snapshot.
+fn send_checkpoint(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, sweep: u64) {
+    if common.ft.is_none() {
+        return;
+    }
+    let msg = Msg::Checkpoint {
+        slave: common.idx,
+        invocation: sweep + 1,
+        units: st
+            .cols
+            .iter()
+            .map(|c| (c.id, vec![c.data.clone()]))
+            .collect(),
+    };
+    common.fault_stats.checkpoints_sent += 1;
     common.send_master(ctx, msg);
 }
 
@@ -598,15 +842,14 @@ fn barrier(
 ) -> Result<(), ProtocolError> {
     if std::env::var_os("DLB_TRACE").is_some() {
         eprintln!(
-            "[slave{} t={}] barrier sweep {sweep} cols {:?} sent {} recv {}",
+            "[slave{} t={}] barrier sweep {sweep} cols {:?}",
             st.idx,
             ctx.now(),
             st.cols.iter().map(|c| c.id).collect::<Vec<_>>(),
-            common.transfers_sent,
-            common.received_from.iter().sum::<u64>(),
         );
     }
-    send_done(ctx, common, sweep);
+    send_done(ctx, common, st, sweep);
+    send_checkpoint(ctx, common, st, sweep);
     let fault_mode = common.ft.is_some();
     let mut silent = 0u32;
     loop {
@@ -619,16 +862,19 @@ fn barrier(
                 }
                 None => {
                     // Heartbeat: our done report (or the barrier release)
-                    // may have been lost; refresh it.
+                    // may have been lost; refresh it, re-sending stalled
+                    // transfers and the checkpoint with it.
                     silent += 1;
                     if silent > ft.give_up_tries {
                         return Err(ProtocolError::Timeout {
-                            who: crate::error::slave_who(common.idx),
+                            who: slave_who(common.idx),
                             waiting_for: "sweep barrier",
                             at: ctx.now(),
                         });
                     }
-                    send_done(ctx, common, sweep);
+                    common.resend_stalled_transfers(ctx);
+                    send_done(ctx, common, st, sweep);
+                    send_checkpoint(ctx, common, st, sweep);
                     continue;
                 }
             },
@@ -641,18 +887,23 @@ fn barrier(
                 // before refreshing the done/counters message.
                 let moves = common.fire(ctx, sweep, st.active_units())?;
                 let nblocks = st.nblocks;
-                execute_moves(ctx, common, st, kernel, moves, nblocks);
-                send_done(ctx, common, sweep);
+                execute_moves(ctx, common, st, moves, nblocks)?;
+                send_done(ctx, common, st, sweep);
+                send_checkpoint(ctx, common, st, sweep);
             }
             Msg::Instructions(instr) => {
                 // Sweep-boundary moves keep the next sweep balanced. The
                 // master cannot settle (and so cannot start the next sweep
                 // or the gather) until these transfers are acknowledged, so
-                // executing them here is always safe.
-                if !instr.moves.is_empty() {
+                // executing them here is always safe — routed through the
+                // shared epoch/sequence fences so a duplicated delivery
+                // cannot double-execute the moves.
+                let moves = common.instructions_out_of_band(instr);
+                if !moves.is_empty() {
                     let nblocks = st.nblocks;
-                    execute_moves(ctx, common, st, kernel, instr.moves, nblocks);
-                    send_done(ctx, common, sweep);
+                    execute_moves(ctx, common, st, moves, nblocks)?;
+                    send_done(ctx, common, st, sweep);
+                    send_checkpoint(ctx, common, st, sweep);
                 }
             }
             Msg::InvocationStart { invocation } => {
@@ -676,18 +927,70 @@ fn barrier(
             Msg::Abort => return Err(ProtocolError::Aborted),
             Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
             Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
+            m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
+                common.control(&m)?;
+            }
             other => return Err(common.unexpected("sweep barrier", &other)),
         }
     }
 }
 
 /// The final barrier consumed the Gather message; reply with our columns.
-fn gather(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: State) {
-    assert!(st.set_aside.is_empty(), "set-aside columns at gather");
-    let units: Vec<(usize, UnitData)> = st.cols.into_iter().map(|c| (c.id, vec![c.data])).collect();
+/// In fault mode, wait for the master's acknowledgement (re-sending on
+/// duplicate `Gather` requests) so a dropped reply cannot lose the result.
+fn reply_gather(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &State,
+) -> Result<(), ProtocolError> {
+    if !st.set_aside.is_empty() {
+        return Err(st.inconsistent("set-aside columns at gather".into()));
+    }
+    let payload: Vec<(usize, UnitData)> = st
+        .cols
+        .iter()
+        .map(|c| (c.id, vec![c.data.clone()]))
+        .collect();
     let msg = Msg::GatherData {
         slave: common.idx,
-        units,
+        units: payload.clone(),
+        fault_stats: common.fault_stats.clone(),
     };
     common.send_master(ctx, msg);
+    let Some(ft) = common.ft.clone() else {
+        return Ok(());
+    };
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.gather_patience {
+                    // Assume the data arrived and the ack was lost.
+                    return Ok(());
+                }
+            }
+            Some(env) => match env.msg {
+                Msg::Gather => {
+                    tries = 0;
+                    let msg = Msg::GatherData {
+                        slave: common.idx,
+                        units: payload.clone(),
+                        fault_stats: common.fault_stats.clone(),
+                    };
+                    common.send_master(ctx, msg);
+                }
+                Msg::GatherAck | Msg::Abort => return Ok(()),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                // A peer died while the master was collecting results: the
+                // rollback (or transfer-ack bookkeeping that precedes it)
+                // unwinds through the shared control path so the restart
+                // loop re-runs the lost sweeps.
+                m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
+                    common.control(&m)?;
+                }
+                _ => {} // stale traffic
+            },
+        }
+    }
 }

@@ -7,16 +7,23 @@
 //! direct (no carried dependences) and only ships active columns; a column
 //! arriving one step behind is caught up with the retained pivot history.
 //!
-//! Under fault injection this engine is *detect-and-abort*: a crashed pivot
-//! owner stalls every other slave, so blocking waits carry deadlines and
-//! trouble surfaces as a typed [`ProtocolError`] (never a panic or a
-//! deadlock).
+//! Under fault injection this engine is *checkpointed*: at every step
+//! barrier each slave ships its full local state (retired and active
+//! columns) to the master ([`Msg::Checkpoint`], best-effort). When a slave
+//! dies or wedges, the master rolls every survivor back to the latest
+//! complete snapshot ([`Msg::Rollback`]): the slave discards its engine
+//! state, adopts the re-partitioned columns — ids below the resumed step
+//! are retired, the rest are active and updated through the previous step —
+//! and resumes in a new epoch. Pivot payloads are pure functions of
+//! step-start state, so pivot broadcasts surviving from before the
+//! rollback are bit-identical to their replayed versions; transfers and
+//! balancing instructions are epoch-fenced.
 
 use crate::balancer::InteractionMode;
-use crate::error::{FaultToleranceConfig, ProtocolError};
+use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
 use crate::kernels::ShrinkingKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
-use crate::slave_common::{recv_start, SlaveCommon};
+use crate::slave_common::{recv_start, RollbackInfo, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -88,6 +95,149 @@ impl ShrinkingSlave {
             pivots: vec![None; n],
         };
 
+        let steps = (n as u64).saturating_sub(1);
+        let mut start_step = 0u64;
+        let mut need_release = true;
+        loop {
+            // The gather reply lives *inside* the restart loop: a peer can
+            // die while the master is collecting results, and the resulting
+            // rollback must re-run the lost steps on the survivors.
+            let result = run_steps(
+                ctx,
+                &mut common,
+                &mut st,
+                &*kernel,
+                start_step,
+                steps,
+                need_release,
+            )
+            .and_then(|()| reply_gather(ctx, &mut common, &st));
+            match result {
+                Ok(()) => return Ok(()),
+                Err(ProtocolError::RolledBack) => {}
+                Err(e) if common.ft.is_some() && recoverable(&e) => {
+                    let msg = Msg::SlaveError {
+                        slave: common.idx,
+                        error: e,
+                    };
+                    common.send_master(ctx, msg);
+                    rescue_wait(ctx, &mut common)?;
+                }
+                Err(e) => return Err(e),
+            }
+            let rb = common
+                .pending_rollback
+                .take()
+                .ok_or_else(|| ProtocolError::Inconsistent {
+                    detail: format!(
+                        "slave {}: rollback unwound with no pending payload",
+                        common.idx
+                    ),
+                })?;
+            start_step = apply_rollback(&mut common, &mut st, rb, n)?;
+            need_release = false;
+        }
+    }
+}
+
+/// Errors a checkpointed slave reports and survives (by rollback) instead
+/// of dying from.
+fn recoverable(e: &ProtocolError) -> bool {
+    matches!(
+        e,
+        ProtocolError::Timeout { .. }
+            | ProtocolError::MissingPivot { .. }
+            | ProtocolError::Inconsistent { .. }
+            | ProtocolError::UnexpectedMessage { .. }
+    )
+}
+
+/// After shipping a `SlaveError`, wait for the master's rollback (stashed in
+/// `pending_rollback`), an abort, or an eviction.
+fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), ProtocolError> {
+    let ft = common.ft.clone().expect("rescue_wait requires fault mode");
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.give_up_tries {
+                    return Err(ProtocolError::Timeout {
+                        who: slave_who(common.idx),
+                        waiting_for: "rescue rollback",
+                        at: ctx.now(),
+                    });
+                }
+            }
+            Some(env) => match env.msg {
+                Msg::Abort => return Err(ProtocolError::Aborted),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                m => {
+                    if let Err(ProtocolError::RolledBack) = common.control(&m) {
+                        return Ok(());
+                    }
+                    // anything else is stale traffic of the torn epoch — ignore
+                }
+            },
+        }
+    }
+}
+
+/// Adopt a rollback: ids below the resumed step are retired (their data is
+/// final), the rest are active and updated through the previous step.
+fn apply_rollback(
+    common: &mut SlaveCommon,
+    st: &mut State,
+    rb: RollbackInfo,
+    n: usize,
+) -> Result<u64, ProtocolError> {
+    if !rb.survivors.contains(&common.idx) {
+        return Err(ProtocolError::Evicted { slave: common.idx });
+    }
+    for s in 0..common.dead.len() {
+        common.dead[s] = !rb.survivors.contains(&s);
+    }
+    common.reclaimed.clear();
+    common.own_report_due.clear();
+    common.rebase_epoch(rb.epoch);
+    let k = rb.invocation;
+    st.active.clear();
+    st.retired.clear();
+    st.pivots = vec![None; n];
+    for (id, mut d) in rb.units {
+        let data = if d.is_empty() {
+            Vec::new()
+        } else {
+            d.swap_remove(0)
+        };
+        if (id as u64) < k {
+            st.retired.push((id, data));
+        } else {
+            st.active.insert(
+                id,
+                SCol {
+                    data,
+                    updated_through: k as i64 - 1,
+                },
+            );
+        }
+    }
+    Ok(k)
+}
+
+/// The main step loop, from `start_step` to completion (ends by consuming
+/// the final `Gather`). Unwinds with `RolledBack` whenever a rollback
+/// arrives.
+fn run_steps(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &mut State,
+    kernel: &dyn ShrinkingKernel,
+    start_step: u64,
+    steps: u64,
+    need_release: bool,
+) -> Result<(), ProtocolError> {
+    if need_release {
         // Initial release (later steps are released by the barrier).
         loop {
             let env = common.recv_blocking(
@@ -107,32 +257,18 @@ impl ShrinkingSlave {
                 _ => unreachable!(),
             }
         }
-
-        let steps = (n as u64).saturating_sub(1);
-        for k in 0..steps {
-            step(ctx, &mut common, &mut st, &*kernel, k as usize)?;
-            // Flush the final partial period (and execute any late moves)
-            // before reporting the step done.
-            drain_transfers(ctx, &mut common, &mut st, &*kernel, k as usize)?;
-            let moves = common.fire(ctx, k, st.active.len() as u64)?;
-            execute_moves(ctx, &mut common, &mut st, k as usize, moves);
-            barrier(ctx, &mut common, &mut st, &*kernel, k, k + 1 == steps)?;
-        }
-
-        // Final barrier consumed Gather.
-        let mut units: Vec<(usize, UnitData)> = st
-            .retired
-            .into_iter()
-            .map(|(id, data)| (id, vec![data]))
-            .collect();
-        units.extend(st.active.into_iter().map(|(id, c)| (id, vec![c.data])));
-        let msg = Msg::GatherData {
-            slave: common.idx,
-            units,
-        };
-        common.send_master(ctx, msg);
-        Ok(())
     }
+
+    for k in start_step..steps {
+        step(ctx, common, st, kernel, k as usize)?;
+        // Flush the final partial period (and execute any late moves)
+        // before reporting the step done.
+        drain_transfers(ctx, common, st, kernel, k as usize)?;
+        let moves = common.fire(ctx, k, st.active.len() as u64)?;
+        execute_moves(ctx, common, st, k as usize, moves)?;
+        barrier(ctx, common, st, kernel, k, k + 1 == steps)?;
+    }
+    Ok(())
 }
 
 fn step(
@@ -144,14 +280,17 @@ fn step(
 ) -> Result<(), ProtocolError> {
     // Pivot phase: the owner finalizes and broadcasts column k.
     if let Some(col) = st.active.remove(&k) {
-        assert_eq!(
-            col.updated_through,
-            k as i64 - 1,
-            "pivot column not up to date at step {k}"
-        );
+        if col.updated_through != k as i64 - 1 {
+            return Err(ProtocolError::Inconsistent {
+                detail: format!(
+                    "slave {}: pivot column {k} updated through {} at step {k}",
+                    common.idx, col.updated_through
+                ),
+            });
+        }
         let payload = kernel.pivot_payload(k, &col.data);
         for to in 0..common.slaves.len() {
-            if to != common.idx {
+            if to != common.idx && !common.dead[to] {
                 let msg = Msg::Pivot {
                     step: k as u64,
                     values: payload.clone(),
@@ -186,7 +325,7 @@ fn step(
         update_column(ctx, common, st, kernel, j, k)?;
         let active = st.active.len() as u64;
         let moves = common.hook(ctx, k as u64, active)?;
-        execute_moves(ctx, common, st, k, moves);
+        execute_moves(ctx, common, st, k, moves)?;
     }
     Ok(())
 }
@@ -226,13 +365,17 @@ fn execute_moves(
     st: &mut State,
     k: usize,
     moves: Vec<MoveOrder>,
-) {
+) -> Result<(), ProtocolError> {
     if moves.is_empty() {
-        return;
+        return Ok(());
     }
     let t0 = ctx.now();
     let mut total = 0u64;
     for order in moves {
+        if common.dead[order.to] {
+            // Planned before the peer's death reached the master.
+            continue;
+        }
         let take = (order.count as usize).min(st.active.len());
         let ids: Vec<usize> = match order.edge {
             Edge::High => st.active.keys().rev().take(take).copied().collect(),
@@ -252,23 +395,33 @@ fn execute_moves(
             })
             .collect();
         total += units.len() as u64;
-        let msg = Msg::Transfer(TransferMsg {
-            from: common.idx,
+        let from = common.idx;
+        common.send_transfer(ctx, order.to, |_| TransferMsg {
+            from,
+            seq: 0,
+            epoch: 0,
             invocation: k as u64,
             effective_block: 0,
             units,
             right_old: None,
         });
-        common.transfers_sent += 1;
-        common.send_slave(ctx, order.to, msg);
     }
     common.move_cost_sample = Some((total, ctx.now().saturating_since(t0)));
+    Ok(())
 }
 
-fn incorporate(common: &mut SlaveCommon, st: &mut State, t: TransferMsg, k: usize) {
-    common.received_from[t.from] += 1;
+fn incorporate(
+    common: &mut SlaveCommon,
+    st: &mut State,
+    t: TransferMsg,
+    k: usize,
+) -> Result<(), ProtocolError> {
     for mu in t.units {
-        assert!(mu.id > k, "inactive column {} moved", mu.id);
+        if mu.id <= k {
+            return Err(ProtocolError::Inconsistent {
+                detail: format!("slave {}: inactive column {} moved", common.idx, mu.id),
+            });
+        }
         // `updated_through` is only meaningful when the column is done for
         // the tagged step (it is >= k >= 0). An undone column is exactly one
         // step behind — per-step settlement guarantees it was updated
@@ -283,12 +436,21 @@ fn incorporate(common: &mut SlaveCommon, st: &mut State, t: TransferMsg, k: usiz
         let prev = st.active.insert(
             mu.id,
             SCol {
-                data: data.swap_remove(0),
+                data: if data.is_empty() {
+                    Vec::new()
+                } else {
+                    data.swap_remove(0)
+                },
                 updated_through: ut,
             },
         );
-        assert!(prev.is_none(), "column {} duplicated by move", mu.id);
+        if prev.is_some() {
+            return Err(ProtocolError::Inconsistent {
+                detail: format!("slave {}: column {} duplicated by move", common.idx, mu.id),
+            });
+        }
     }
+    Ok(())
 }
 
 fn drain_transfers(
@@ -299,13 +461,17 @@ fn drain_transfers(
     k: usize,
 ) -> Result<(), ProtocolError> {
     let _ = kernel;
+    common.drain_control(ctx)?;
     while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Transfer(_))) {
         if let Msg::Transfer(t) = env.msg {
-            incorporate(common, st, t, k);
+            if common.accept_transfer(ctx, &t) {
+                incorporate(common, st, t, k)?;
+            }
         }
     }
     // Also bank any pivot broadcasts that raced ahead (idempotent under
-    // duplicated deliveries).
+    // duplicated deliveries; pivot payloads are value-deterministic, so
+    // even pre-rollback stragglers are safe to bank).
     while let Some(env) = ctx.try_recv_match(|m| matches!(m, Msg::Pivot { .. })) {
         if let Msg::Pivot { step, values } = env.msg {
             st.pivots[step as usize] = Some(values);
@@ -322,6 +488,43 @@ fn drain_transfers(
     Ok(())
 }
 
+fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, k: u64) {
+    let mut owned: Vec<usize> = st.retired.iter().map(|(id, _)| *id).collect();
+    owned.extend(st.active.keys().copied());
+    let msg = Msg::InvocationDone {
+        slave: common.idx,
+        invocation: k,
+        epoch: common.epoch,
+        sent_to: common.sent_to_vec(),
+        received_from: common.recv_watermarks(),
+        metric: 0.0,
+        restore_seq: common.master_chan.watermark(),
+        owned_ids: owned,
+    };
+    common.send_master(ctx, msg);
+}
+
+/// Ship the step-barrier checkpoint: retired and active columns, i.e. the
+/// state from which step `k + 1` starts. Best-effort.
+fn send_checkpoint(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, k: u64) {
+    if common.ft.is_none() {
+        return;
+    }
+    let mut units: Vec<(usize, UnitData)> = st
+        .retired
+        .iter()
+        .map(|(id, data)| (*id, vec![data.clone()]))
+        .collect();
+    units.extend(st.active.iter().map(|(&id, c)| (id, vec![c.data.clone()])));
+    let msg = Msg::Checkpoint {
+        slave: common.idx,
+        invocation: k + 1,
+        units,
+    };
+    common.fault_stats.checkpoints_sent += 1;
+    common.send_master(ctx, msg);
+}
+
 fn barrier(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
@@ -330,18 +533,8 @@ fn barrier(
     k: u64,
     is_final: bool,
 ) -> Result<(), ProtocolError> {
-    let send_done = |ctx: &ActorCtx<Msg>, common: &mut SlaveCommon| {
-        let msg = Msg::InvocationDone {
-            slave: common.idx,
-            invocation: k,
-            transfers_sent: common.transfers_sent,
-            received_from: common.received_from.clone(),
-            metric: 0.0,
-            restore_seq: 0,
-        };
-        common.send_master(ctx, msg);
-    };
-    send_done(ctx, common);
+    send_done(ctx, common, st, k);
+    send_checkpoint(ctx, common, st, k);
     let fault_mode = common.ft.is_some();
     let mut silent = 0u32;
     loop {
@@ -356,43 +549,52 @@ fn barrier(
                     silent += 1;
                     if silent > ft.give_up_tries {
                         return Err(ProtocolError::Timeout {
-                            who: crate::error::slave_who(common.idx),
+                            who: slave_who(common.idx),
                             waiting_for: "step barrier",
                             at: ctx.now(),
                         });
                     }
-                    send_done(ctx, common);
+                    common.resend_stalled_transfers(ctx);
+                    send_done(ctx, common, st, k);
+                    send_checkpoint(ctx, common, st, k);
                     continue;
                 }
             },
         };
         match env.msg {
             Msg::Transfer(t) => {
-                incorporate(common, st, t, k as usize);
-                // Arrivals may still need this step's update.
-                loop {
-                    let next = st
-                        .active
-                        .iter()
-                        .find(|(_, c)| c.updated_through < k as i64)
-                        .map(|(&id, _)| id);
-                    let Some(j) = next else { break };
-                    update_column(ctx, common, st, kernel, j, k as usize)?;
+                if common.accept_transfer(ctx, &t) {
+                    incorporate(common, st, t, k as usize)?;
+                    // Arrivals may still need this step's update.
+                    loop {
+                        let next = st
+                            .active
+                            .iter()
+                            .find(|(_, c)| c.updated_through < k as i64)
+                            .map(|(&id, _)| id);
+                        let Some(j) = next else { break };
+                        update_column(ctx, common, st, kernel, j, k as usize)?;
+                    }
+                    let active = st.active.len() as u64;
+                    let moves = common.fire(ctx, k, active)?;
+                    execute_moves(ctx, common, st, k as usize, moves)?;
                 }
-                let active = st.active.len() as u64;
-                let moves = common.fire(ctx, k, active)?;
-                execute_moves(ctx, common, st, k as usize, moves);
-                send_done(ctx, common);
+                send_done(ctx, common, st, k);
+                send_checkpoint(ctx, common, st, k);
             }
             Msg::Pivot { step, values } => {
                 st.pivots[step as usize] = Some(values);
             }
             Msg::Instructions(instr) => {
                 // Safe at any barrier: the master cannot settle until the
-                // transfers are acknowledged.
-                if !instr.moves.is_empty() {
-                    execute_moves(ctx, common, st, k as usize, instr.moves);
-                    send_done(ctx, common);
+                // transfers are acknowledged. Routed through the shared
+                // epoch/sequence fences so a duplicated delivery cannot
+                // double-execute the moves.
+                let moves = common.instructions_out_of_band(instr);
+                if !moves.is_empty() {
+                    execute_moves(ctx, common, st, k as usize, moves)?;
+                    send_done(ctx, common, st, k);
+                    send_checkpoint(ctx, common, st, k);
                 }
             }
             Msg::InvocationStart { invocation } => {
@@ -414,7 +616,67 @@ fn barrier(
             Msg::Abort => return Err(ProtocolError::Aborted),
             Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
             Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
+            m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
+                common.control(&m)?;
+            }
             other => return Err(common.unexpected("step barrier", &other)),
+        }
+    }
+}
+
+/// The final barrier consumed the Gather message; reply with all columns.
+/// In fault mode, wait for the master's acknowledgement (re-sending on
+/// duplicate `Gather` requests) so a dropped reply cannot lose the result.
+fn reply_gather(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    st: &State,
+) -> Result<(), ProtocolError> {
+    let mut payload: Vec<(usize, UnitData)> = st
+        .retired
+        .iter()
+        .map(|(id, data)| (*id, vec![data.clone()]))
+        .collect();
+    payload.extend(st.active.iter().map(|(&id, c)| (id, vec![c.data.clone()])));
+    let msg = Msg::GatherData {
+        slave: common.idx,
+        units: payload.clone(),
+        fault_stats: common.fault_stats.clone(),
+    };
+    common.send_master(ctx, msg);
+    let Some(ft) = common.ft.clone() else {
+        return Ok(());
+    };
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.gather_patience {
+                    // Assume the data arrived and the ack was lost.
+                    return Ok(());
+                }
+            }
+            Some(env) => match env.msg {
+                Msg::Gather => {
+                    tries = 0;
+                    let msg = Msg::GatherData {
+                        slave: common.idx,
+                        units: payload.clone(),
+                        fault_stats: common.fault_stats.clone(),
+                    };
+                    common.send_master(ctx, msg);
+                }
+                Msg::GatherAck | Msg::Abort => return Ok(()),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                // A peer died while the master was collecting results: the
+                // rollback unwinds through the shared control path so the
+                // restart loop re-runs the lost steps.
+                m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
+                    common.control(&m)?;
+                }
+                _ => {} // stale traffic
+            },
         }
     }
 }

@@ -52,6 +52,11 @@ pub enum ProtocolError {
     Aborted,
     /// The master evicted this slave after (possibly false) suspicion.
     Evicted { slave: usize },
+    /// Internal control flow, never surfaced to the driver: a
+    /// [`crate::msg::Msg::Rollback`] arrived inside a blocking receive and
+    /// the checkpointed engine must unwind to its restart loop to apply it
+    /// (the payload is stashed in `SlaveCommon::pending_rollback`).
+    RolledBack,
     /// Bookkeeping that must balance did not (lost/duplicated units, bad
     /// completion counts).
     Inconsistent { detail: String },
@@ -95,6 +100,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Aborted => write!(f, "aborted by master"),
             ProtocolError::Evicted { slave } => write!(f, "slave {slave} evicted"),
+            ProtocolError::RolledBack => {
+                write!(f, "rollback in progress (internal control flow)")
+            }
             ProtocolError::Inconsistent { detail } => {
                 write!(f, "inconsistent bookkeeping: {detail}")
             }
@@ -122,6 +130,10 @@ pub struct FaultToleranceConfig {
     pub master_tick: SimDuration,
     /// Silence after which the master declares a slave dead.
     pub suspicion: SimDuration,
+    /// Silence after which the master speculatively races the suspect's
+    /// units on an idle survivor (independent engine; must be below
+    /// `suspicion` to buy anything).
+    pub speculate_after: SimDuration,
     /// Silence after which the master re-sends control messages
     /// (Start / InvocationStart / Restore / Gather).
     pub nudge: SimDuration,
@@ -146,6 +158,7 @@ impl Default for FaultToleranceConfig {
         FaultToleranceConfig {
             master_tick: SimDuration::from_millis(250),
             suspicion: SimDuration::from_secs(8),
+            speculate_after: SimDuration::from_secs(4),
             nudge: SimDuration::from_secs(2),
             instr_retries: 3,
             slave_heartbeat: SimDuration::from_secs(1),
@@ -202,6 +215,7 @@ mod tests {
         assert!(t.master_tick < t.nudge);
         assert!(t.nudge < t.suspicion);
         assert!(t.slave_heartbeat < t.suspicion);
+        assert!(t.speculate_after < t.suspicion);
         assert!(t.suspicion < t.op_timeout);
     }
 }

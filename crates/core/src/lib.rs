@@ -86,6 +86,9 @@ pub use frequency::{FrequencyController, PeriodBounds};
 pub use kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
 pub use master::TimelineSample;
 pub use msg::{Edge, Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
-pub use protocol::{AckTracker, RestoreModel, RestoreState, SenderWindow, Step, Wire};
+pub use protocol::{
+    AckTracker, RestoreModel, RestoreState, SenderWindow, Step, TStep, TWire, TransferModel,
+    TransferState, TransferWindow, Wire,
+};
 pub use rate::RateFilter;
-pub use recovery::RecoveryStats;
+pub use recovery::{RecoveryStats, SlaveFaultStats};

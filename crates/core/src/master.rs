@@ -6,28 +6,42 @@
 //! distributed loop (MM repetition, SOR sweep, LU step). Within an
 //! invocation it answers every slave status with instructions from the
 //! [`Balancer`], and it releases the next invocation only when every slave
-//! is idle, all expected work units are accounted for, and every issued
-//! work transfer has been received (settlement) — so no unit can be lost
-//! or skipped.
+//! is idle, every transfer channel has settled (`sent_to[a][b] ==
+//! received_from[b][a]` for every live pair), and no movement order is
+//! outstanding — so no unit can be lost, duplicated, or skipped.
 //!
 //! Three variants of the control loop exist:
 //!
 //! * **plain** — no fault plan; trouble is a typed error, never a panic.
 //! * **recoverable** (independent pattern) — the master detects dead slaves
-//!   by silence, evicts them, and re-scatters their units to survivors via
-//!   [`Msg::Restore`]; the run completes bit-for-bit correct with a
-//!   degraded node count.
-//! * **abort-only** (pipelined/shrinking patterns) — carried dependences
-//!   make mid-run recovery impossible, so the master detects trouble
-//!   (silence, slave errors) and aborts cleanly with partial metrics.
+//!   by silence, evicts them, fences off their transfer channels via
+//!   [`Msg::Evicted`] / [`Msg::OwnReport`], and re-scatters exactly the
+//!   units no survivor reports. Before a suspect is formally evicted, its
+//!   units may be speculatively re-executed on an idle survivor
+//!   ([`Msg::Speculate`]); a commit adopts the results without replay.
+//! * **checkpointed** (pipelined/shrinking patterns) — carried dependences
+//!   make in-place recovery impossible, so slaves ship best-effort state
+//!   checkpoints at invocation barriers and the master rolls the survivors
+//!   back to the newest complete checkpoint ([`Msg::Rollback`]) instead of
+//!   aborting. The estimated restart cost is folded into the balancer's
+//!   move-profitability check.
+//!
+//! All master → slave recovery messages (`Restore`, `Speculate`,
+//! `SpecCommit`, `SpecCancel`, `Rollback`) share one per-destination
+//! [`SenderWindow`]: sequence-numbered, acknowledged via
+//! `InvocationDone::restore_seq`, deduplicated by the receiver, re-sent on
+//! evidence of loss. The transition rules are modelled and exhaustively
+//! checked in `dlb-analyze` (restore + transfer models).
 
 use crate::balancer::{Balancer, BalancerStats};
-use crate::error::ProtocolError;
+use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::frequency::PeriodBounds;
 use crate::msg::{Instructions, Msg, UnitData};
 use crate::protocol::SenderWindow;
 use crate::recovery::{redistribute, RecoveryStats};
-use dlb_sim::{ActorCtx, ActorId, CpuWork, SimTime};
+use dlb_sim::{ActorCtx, ActorId, CpuWork, SimDuration, SimTime};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 /// One row of the master's balancing log — the raw material for the
@@ -70,11 +84,15 @@ pub type RecomputeUnitFn = Box<dyn Fn(usize, u64) -> UnitData + Send>;
 
 /// Fault-tolerance wiring for the master.
 pub struct MasterFt {
-    pub tolerance: crate::error::FaultToleranceConfig,
-    /// Independent pattern: `None` selects the abort-only control loop.
+    pub tolerance: FaultToleranceConfig,
+    /// Independent pattern: selects the recoverable control loop.
     pub init_unit: Option<InitUnitFn>,
     /// Independent pattern: used when a slave dies during the final gather.
     pub recompute_unit: Option<RecomputeUnitFn>,
+    /// Pipelined/shrinking patterns: initial unit data for the epoch-zero
+    /// snapshot; selects the checkpointed control loop when `init_unit` is
+    /// absent.
+    pub checkpoint_init: Option<InitUnitFn>,
 }
 
 /// Master configuration.
@@ -120,6 +138,37 @@ fn unexpected(context: &'static str, msg: &Msg) -> ProtocolError {
     }
 }
 
+/// Elementwise monotone merge of per-channel counters. Counters only grow,
+/// so taking the max makes duplicated or reordered reports harmless.
+fn merge_max(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(s);
+    }
+}
+
+/// Every transfer channel between live slaves has settled: everything slave
+/// `a` ever sent to slave `b` has been applied at `b`. Channels touching a
+/// dead slave are exempt — they are closed by the eviction protocol, which
+/// re-owns whatever was still in flight.
+fn channels_settled(alive: &[bool], sent: &[Vec<u64>], recv: &[Vec<u64>]) -> bool {
+    let n = alive.len();
+    (0..n).all(|a| !alive[a] || (0..n).all(|b| !alive[b] || recv[b][a] >= sent[a][b]))
+}
+
+/// Whether a slave-reported error is survivable by a checkpoint rollback
+/// (the slave keeps running and waits for the `Rollback`) as opposed to a
+/// failure of the slave itself.
+fn slave_recoverable(e: &ProtocolError) -> bool {
+    matches!(
+        e,
+        ProtocolError::Timeout { .. }
+            | ProtocolError::MissingPivot { .. }
+            | ProtocolError::NonNeighborTransfer { .. }
+            | ProtocolError::Inconsistent { .. }
+            | ProtocolError::UnexpectedMessage { .. }
+    )
+}
+
 /// The master actor body. `slaves` in slave-index order; `assignment` is
 /// the initial block distribution; the outcome lands in `out`.
 pub fn run_master(
@@ -143,7 +192,7 @@ pub fn run_master(
             block_rows,
             &mut sc,
         ),
-        Some(ft) => run_abort_only(
+        Some(ft) => run_checkpointed(
             &ctx,
             &mut cfg,
             ft,
@@ -195,8 +244,11 @@ fn run_plain(
         );
     }
 
-    let mut sent_ctr = vec![0u64; n];
-    let mut recv_ctr = vec![0u64; n];
+    // Per-channel counters: sent[a][b] = transfers a allocated towards b,
+    // recv[b][a] = contiguous transfers from a applied at b.
+    let mut sent = vec![vec![0u64; n]; n];
+    let mut recv = vec![vec![0u64; n]; n];
+    let all_alive = vec![true; n];
 
     let mut inv = 0;
     while inv < cfg.invocations {
@@ -217,7 +269,7 @@ fn run_plain(
             // Settlement check.
             if idle.iter().all(|&b| b)
                 && done_sum >= expected
-                && sent_ctr.iter().sum::<u64>() == recv_ctr.iter().sum::<u64>()
+                && channels_settled(&all_alive, &sent, &recv)
                 && cfg.balancer.outstanding_orders() == 0
             {
                 if done_sum != expected {
@@ -232,10 +284,13 @@ fn run_plain(
             let env = ctx.recv();
             if std::env::var_os("DLB_TRACE").is_some() {
                 eprintln!(
-                    "[master t={} inv={inv}] got {:?} (done {done_sum}/{expected}, idle {idle:?}, sent {sent_ctr:?}, recv {recv_ctr:?})",
+                    "[master t={} inv={inv}] got {:?} (done {done_sum}/{expected}, idle {idle:?})",
                     ctx.now(),
                     match &env.msg {
-                        Msg::Status(s) => format!("Status(slave {}, delta {}, active {})", s.slave, s.units_done_delta, s.active_units),
+                        Msg::Status(s) => format!(
+                            "Status(slave {}, delta {}, active {})",
+                            s.slave, s.units_done_delta, s.active_units
+                        ),
                         other => format!("{other:?}").chars().take(60).collect::<String>(),
                     }
                 );
@@ -248,9 +303,8 @@ fn run_plain(
                     if st.invocation == inv {
                         done_sum += st.units_done_delta;
                     }
-                    sent_ctr[st.slave] = sent_ctr[st.slave].max(st.transfers_sent);
-                    recv_ctr[st.slave] =
-                        recv_ctr[st.slave].max(st.received_from.iter().sum::<u64>());
+                    merge_max(&mut sent[st.slave], &st.sent_to);
+                    merge_max(&mut recv[st.slave], &st.received_from);
                     idle[st.slave] = false;
                     ctx.advance_work(cfg.decision_cpu);
                     let decision = cfg.balancer.on_status(&st);
@@ -274,20 +328,26 @@ fn run_plain(
                 Msg::InvocationDone {
                     slave,
                     invocation,
-                    transfers_sent,
+                    sent_to,
                     received_from,
                     metric,
                     ..
                 } => {
-                    if invocation != inv {
+                    if invocation > inv {
                         return Err(ProtocolError::Inconsistent {
                             detail: format!("InvocationDone for {invocation} while settling {inv}"),
                         });
                     }
-                    idle[slave] = true;
-                    metrics[slave] = metric;
-                    sent_ctr[slave] = sent_ctr[slave].max(transfers_sent);
-                    recv_ctr[slave] = recv_ctr[slave].max(received_from.iter().sum::<u64>());
+                    // A refreshed report for an earlier invocation (sent
+                    // after executing late balancing moves) can straggle
+                    // into the next settlement; its channel counts still
+                    // matter, its idle claim does not.
+                    if invocation == inv {
+                        idle[slave] = true;
+                        metrics[slave] = metric;
+                    }
+                    merge_max(&mut sent[slave], &sent_to);
+                    merge_max(&mut recv[slave], &received_from);
                     cfg.balancer.ack_transfers(slave, &received_from);
                 }
                 Msg::SlaveError { slave, error } => {
@@ -312,13 +372,23 @@ fn run_plain(
     for &s in slaves {
         send(ctx, s, Msg::Gather);
     }
-    let mut got = 0;
-    while got < n {
+    let mut got = vec![false; n];
+    while !got.iter().all(|&g| g) {
         let env = ctx.recv();
         match env.msg {
-            Msg::GatherData { units, .. } => {
-                sc.result.extend(units);
-                got += 1;
+            Msg::GatherData {
+                slave,
+                units,
+                fault_stats,
+            } => {
+                if !got[slave] {
+                    got[slave] = true;
+                    sc.recovery.absorb(&fault_stats);
+                    sc.result.extend(units);
+                }
+                // No GatherAck in plain mode: the slave exits right after
+                // replying, so an ack would never be received (and message
+                // conservation is promised without faults).
             }
             // Final statuses racing the gather are harmless.
             Msg::Status(_) | Msg::InvocationDone { .. } => {}
@@ -334,8 +404,160 @@ fn run_plain(
     Ok(())
 }
 
+/// A pending eviction: the master re-scatters the dead slave's units only
+/// after every survivor has fenced off its channels with the dead peer and
+/// reported its authoritative ownership ([`Msg::OwnReport`]). Until then
+/// in-flight transfers could resurrect units behind the master's back.
+struct Eviction {
+    dead: usize,
+    /// Survivors whose `OwnReport` about `dead` is still outstanding.
+    awaiting: BTreeSet<usize>,
+    /// What the master believed the dead slave owned (for the re-own
+    /// accounting; the OwnReports are the authority).
+    dead_owned: Vec<usize>,
+}
+
+/// An in-flight speculative re-execution of a silent suspect's units on an
+/// idle survivor (§ speculation): committed if the suspect is evicted,
+/// cancelled the moment the suspect speaks.
+struct Spec {
+    suspect: usize,
+    executor: usize,
+    /// Window sequence of the `Speculate` message (keys the executor's
+    /// speculation buffer).
+    spec_seq: u64,
+    /// Unit ids seeded into the speculation.
+    ids: Vec<usize>,
+}
+
+/// Cancel the in-flight speculation (the suspect proved alive).
+fn cancel_spec(
+    ctx: &ActorCtx<Msg>,
+    slaves: &[ActorId],
+    win: &mut [SenderWindow<Msg>],
+    spec: &mut Option<Spec>,
+    sc: &mut Scratch,
+) {
+    if let Some(sp) = spec.take() {
+        let msg = win[sp.executor]
+            .send_with(|seq| Msg::SpecCancel {
+                seq,
+                spec_seq: sp.spec_seq,
+            })
+            .clone();
+        send(ctx, slaves[sp.executor], msg);
+        sc.recovery.speculations_cancelled += 1;
+    }
+}
+
+/// All pending evictions are fully reported: compute the set of units no
+/// survivor owns (directly or in an unacknowledged master message still in
+/// flight), adopt speculation results for whatever they cover, and
+/// re-scatter the rest from initial data.
+#[allow(clippy::too_many_arguments)]
+fn resolve_evictions(
+    ctx: &ActorCtx<Msg>,
+    slaves: &[ActorId],
+    n_units: usize,
+    inv: u64,
+    alive: &[bool],
+    owned: &mut [BTreeSet<usize>],
+    win: &mut [SenderWindow<Msg>],
+    evictions: &mut Vec<Eviction>,
+    spec: &mut Option<Spec>,
+    done: &mut [bool],
+    init_unit: &InitUnitFn,
+    sc: &mut Scratch,
+) {
+    let n = slaves.len();
+    // Units accounted for: owned by a survivor, or inside an unacknowledged
+    // Restore/SpecCommit payload (the owner's `owned_ids` cannot reflect
+    // those yet — `restore_seq` and `owned_ids` travel atomically in
+    // InvocationDone, so once the window is acked the report includes them).
+    let mut assigned: BTreeSet<usize> = BTreeSet::new();
+    for s in 0..n {
+        if !alive[s] {
+            continue;
+        }
+        assigned.extend(owned[s].iter().copied());
+        for (_, m) in win[s].unacked() {
+            match m {
+                Msg::Restore { units, .. } => {
+                    assigned.extend(units.iter().map(|(id, _)| *id));
+                }
+                Msg::SpecCommit { ids, .. } => assigned.extend(ids.iter().copied()),
+                _ => {}
+            }
+        }
+    }
+    // In-flight units the survivors re-owned by closing channels with the
+    // dead peers (a proxy count: everything the dead slave was believed to
+    // own that a survivor now accounts for).
+    for ev in evictions.iter() {
+        sc.recovery.units_reowned += ev
+            .dead_owned
+            .iter()
+            .filter(|u| assigned.contains(u))
+            .count() as u64;
+    }
+    let mut missing: Vec<usize> = (0..n_units).filter(|u| !assigned.contains(u)).collect();
+
+    // Speculation first: if the suspect is among the dead, its units were
+    // already recomputed on the executor — adopt them without replay.
+    if spec.as_ref().is_some_and(|sp| !alive[sp.suspect]) {
+        let sp = spec.take().expect("checked above");
+        let commit: Vec<usize> = missing
+            .iter()
+            .copied()
+            .filter(|u| sp.ids.contains(u))
+            .collect();
+        if commit.is_empty() {
+            let msg = win[sp.executor]
+                .send_with(|seq| Msg::SpecCancel {
+                    seq,
+                    spec_seq: sp.spec_seq,
+                })
+                .clone();
+            send(ctx, slaves[sp.executor], msg);
+            sc.recovery.speculations_cancelled += 1;
+        } else {
+            missing.retain(|u| !commit.contains(u));
+            owned[sp.executor].extend(commit.iter().copied());
+            sc.recovery.units_speculated += commit.len() as u64;
+            sc.recovery.speculations_committed += 1;
+            done[sp.executor] = false;
+            let msg = win[sp.executor]
+                .send_with(|seq| Msg::SpecCommit {
+                    seq,
+                    spec_seq: sp.spec_seq,
+                    ids: commit,
+                })
+                .clone();
+            send(ctx, slaves[sp.executor], msg);
+        }
+    }
+
+    let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+    for (t, units) in redistribute(&missing, &survivors) {
+        let payload: Vec<(usize, UnitData)> = units.iter().map(|&u| (u, init_unit(u))).collect();
+        sc.recovery.units_restored += payload.len() as u64;
+        owned[t].extend(units.iter().copied());
+        done[t] = false;
+        let msg = win[t]
+            .send_with(|seq| Msg::Restore {
+                seq,
+                invocation: inv,
+                units: payload,
+            })
+            .clone();
+        send(ctx, slaves[t], msg);
+    }
+    evictions.clear();
+}
+
 /// Recoverable control loop (independent pattern): silence-based failure
-/// detection, eviction, and unit re-scattering.
+/// detection, channel-fenced eviction, speculative re-execution, and unit
+/// re-scattering — with the dynamic balancer live throughout.
 #[allow(clippy::too_many_arguments)]
 fn run_recoverable(
     ctx: &ActorCtx<Msg>,
@@ -352,6 +574,7 @@ fn run_recoverable(
         .init_unit
         .as_ref()
         .expect("recoverable loop needs init_unit");
+    let n_units = assignment.iter().map(|&(_, hi)| hi).max().unwrap_or(0);
 
     let start_msg = |slaves: &[ActorId]| Msg::Start {
         slaves: slaves.to_vec(),
@@ -363,27 +586,35 @@ fn run_recoverable(
     }
 
     // Liveness and dedup state. `next_nudge` rate-limits re-sends per
-    // slave; re-sends themselves are event-triggered (see below), so a
+    // slave; re-sends themselves are event-triggered where possible, so a
     // fault-free run never produces one.
     let mut alive = vec![true; n];
     let mut heard_any = vec![false; n];
     let mut last_heard = vec![ctx.now(); n];
     let mut next_nudge = vec![ctx.now() + tol.nudge; n];
     let mut last_hook_seq = vec![0u64; n];
-    // Ownership as the master believes it. Work movement is disabled in
-    // fault mode, so only evictions/restores change it — authoritative.
-    let mut owned: Vec<Vec<usize>> = assignment
+    // Ownership as the master believes it: refreshed from every
+    // InvocationDone (`owned_ids`) and authoritative OwnReports. With the
+    // balancer live this map can lag a transfer in flight; the eviction
+    // protocol never trusts it alone (see resolve_evictions).
+    let mut owned: Vec<BTreeSet<usize>> = assignment
         .iter()
         .map(|&(lo, hi)| (lo..hi).collect())
         .collect();
-    // Restore protocol: one sender window per destination (sequence
-    // counter, ack watermark, unacknowledged messages for nudge re-sends).
-    // The transition rules live in `protocol::SenderWindow`, where the
-    // model checker in `dlb-analyze` exercises them exhaustively.
-    let mut restore_win: Vec<SenderWindow<Msg>> = vec![SenderWindow::new(); n];
+    // One sender window per destination for all recovery messages
+    // (Restore / Speculate / SpecCommit / SpecCancel), acknowledged via
+    // InvocationDone::restore_seq. The transition rules live in
+    // `protocol::SenderWindow`, where the model checker in `dlb-analyze`
+    // exercises them exhaustively.
+    let mut win: Vec<SenderWindow<Msg>> = vec![SenderWindow::new(); n];
     // Bounded instruction retry: (seq, message, re-sends so far), cleared
     // when a status acknowledges the sequence number.
     let mut unacked_instr: Vec<Option<(u64, Instructions, u32)>> = (0..n).map(|_| None).collect();
+    // Per-channel transfer settlement matrices (monotone max-merged).
+    let mut sent = vec![vec![0u64; n]; n];
+    let mut recv = vec![vec![0u64; n]; n];
+    let mut evictions: Vec<Eviction> = Vec::new();
+    let mut spec: Option<Spec> = None;
 
     let mut inv = 0;
     'invocations: while inv < cfg.invocations {
@@ -399,11 +630,13 @@ fn run_recoverable(
         }
         let mut done = vec![false; n];
         let mut metrics = vec![0.0f64; n];
-        let settled =
-            |s: usize, done: &[bool], win: &[SenderWindow<Msg>]| done[s] && win[s].fully_acked();
 
         loop {
-            if (0..n).all(|s| !alive[s] || settled(s, &done, &restore_win)) {
+            let all_settled = (0..n).all(|s| !alive[s] || (done[s] && win[s].fully_acked()))
+                && evictions.is_empty()
+                && channels_settled(&alive, &sent, &recv)
+                && cfg.balancer.outstanding_orders() == 0;
+            if all_settled {
                 break;
             }
             if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
@@ -415,6 +648,9 @@ fn run_recoverable(
                         }
                         heard_any[s] = true;
                         last_heard[s] = ctx.now();
+                        if spec.as_ref().is_some_and(|sp| sp.suspect == s) {
+                            cancel_spec(ctx, slaves, &mut win, &mut spec, sc);
+                        }
                         if st.invocation > inv {
                             return Err(unexpected("status from the future", &Msg::Status(st)));
                         }
@@ -423,6 +659,8 @@ fn run_recoverable(
                             continue;
                         }
                         last_hook_seq[s] = st.hook_seq;
+                        // A status means the slave is computing again.
+                        done[s] = false;
                         if let Some((seq, _, _)) = &unacked_instr[s] {
                             // Ack lag alone is no evidence of loss: a slave
                             // pipelines instructions, so it runs a couple of
@@ -435,6 +673,8 @@ fn run_recoverable(
                                 unacked_instr[s] = None;
                             }
                         }
+                        merge_max(&mut sent[s], &st.sent_to);
+                        merge_max(&mut recv[s], &st.received_from);
                         ctx.advance_work(cfg.decision_cpu);
                         let decision = cfg.balancer.on_status(&st);
                         if cfg.record_timeline {
@@ -455,8 +695,11 @@ fn run_recoverable(
                     Msg::InvocationDone {
                         slave,
                         invocation,
+                        sent_to,
+                        received_from,
                         metric,
                         restore_seq,
+                        owned_ids,
                         ..
                     } => {
                         if !alive[slave] {
@@ -465,10 +708,22 @@ fn run_recoverable(
                         }
                         heard_any[slave] = true;
                         last_heard[slave] = ctx.now();
-                        restore_win[slave].ack(restore_seq);
+                        if spec.as_ref().is_some_and(|sp| sp.suspect == slave) {
+                            cancel_spec(ctx, slaves, &mut win, &mut spec, sc);
+                        }
+                        win[slave].ack(restore_seq);
+                        merge_max(&mut sent[slave], &sent_to);
+                        merge_max(&mut recv[slave], &received_from);
+                        cfg.balancer.ack_transfers(slave, &received_from);
                         if invocation == inv {
                             done[slave] = true;
                             metrics[slave] = metric;
+                            // Fresh report for the current barrier: adopt its
+                            // ownership snapshot. (A duplicated older report
+                            // is caught by the invocation comparison; a
+                            // transfer still in flight at most doubles a
+                            // unit, which the deterministic gather dedups.)
+                            owned[slave] = owned_ids.iter().copied().collect();
                         } else if invocation < inv {
                             sc.recovery.done_dups_ignored += 1;
                             // A heartbeat from a slave stuck at the previous
@@ -497,17 +752,62 @@ fn run_recoverable(
                                 ),
                             });
                         }
-                        // Done but missing restored units: the Restore was
-                        // lost in flight. Replay everything unacknowledged.
+                        // Done but missing windowed messages: they were lost
+                        // in flight. Replay everything unacknowledged.
                         if done[slave]
-                            && !restore_win[slave].fully_acked()
+                            && !win[slave].fully_acked()
                             && ctx.now() >= next_nudge[slave]
                         {
                             next_nudge[slave] = ctx.now() + tol.nudge;
-                            for (_, msg) in restore_win[slave].unacked() {
+                            for (_, msg) in win[slave].unacked() {
                                 send(ctx, slaves[slave], msg.clone());
                                 sc.recovery.restore_resends += 1;
                             }
+                        }
+                    }
+                    Msg::OwnReport {
+                        slave: v,
+                        about,
+                        ids,
+                    } => {
+                        if !alive[v] {
+                            continue;
+                        }
+                        heard_any[v] = true;
+                        last_heard[v] = ctx.now();
+                        if spec.as_ref().is_some_and(|sp| sp.suspect == v) {
+                            cancel_spec(ctx, slaves, &mut win, &mut spec, sc);
+                        }
+                        let mut matched = false;
+                        for ev in evictions.iter_mut() {
+                            if ev.dead == about && ev.awaiting.remove(&v) {
+                                matched = true;
+                            }
+                        }
+                        if !matched {
+                            // Late duplicate (its eviction already resolved):
+                            // the ids are stale — never adopt them.
+                            sc.recovery.done_dups_ignored += 1;
+                            continue;
+                        }
+                        owned[v] = ids.into_iter().collect();
+                        done[v] = false;
+                        if !evictions.is_empty() && evictions.iter().all(|e| e.awaiting.is_empty())
+                        {
+                            resolve_evictions(
+                                ctx,
+                                slaves,
+                                n_units,
+                                inv,
+                                &alive,
+                                &mut owned,
+                                &mut win,
+                                &mut evictions,
+                                &mut spec,
+                                &mut done,
+                                init_unit,
+                                sc,
+                            );
                         }
                     }
                     Msg::SlaveError { slave, error } => {
@@ -520,42 +820,86 @@ fn run_recoverable(
                 }
             }
 
-            // Timers: suspicion and nudges for every live, unsettled slave.
+            // Timers: suspicion, speculation, and nudges for every live,
+            // unsettled slave.
             let now = ctx.now();
             for s in 0..n {
-                if !alive[s] || settled(s, &done, &restore_win) {
+                if !alive[s] {
+                    continue;
+                }
+                let settled_s = done[s] && win[s].fully_acked();
+                if settled_s {
                     continue;
                 }
                 let silent = now.saturating_since(last_heard[s]);
                 if silent >= tol.suspicion {
-                    // Declare dead, evict, and re-scatter its units.
+                    // Declare dead, fence off its channels, and wait for the
+                    // survivors' ownership reports before re-scattering.
                     alive[s] = false;
                     sc.recovery.slaves_declared_dead += 1;
                     sc.recovery.first_death.get_or_insert(now);
                     send(ctx, slaves[s], Msg::Evict);
-                    let dead_units = std::mem::take(&mut owned[s]);
+                    cfg.balancer.mark_dead(s);
                     // Its per-invocation metric no longer counts: survivors
                     // recompute its units and contribute their metric.
                     metrics[s] = 0.0;
+                    unacked_instr[s] = None;
+                    let dead_owned: Vec<usize> =
+                        std::mem::take(&mut owned[s]).into_iter().collect();
+                    if spec.as_ref().is_some_and(|sp| sp.executor == s) {
+                        // The speculation died with its executor.
+                        spec = None;
+                    }
+                    for ev in evictions.iter_mut() {
+                        ev.awaiting.remove(&s);
+                    }
                     let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
                     if survivors.is_empty() {
                         return Err(ProtocolError::AllSlavesDead);
                     }
-                    for (t, units) in redistribute(&dead_units, &survivors) {
-                        let payload: Vec<(usize, UnitData)> =
-                            units.iter().map(|&u| (u, init_unit(u))).collect();
-                        sc.recovery.units_restored += payload.len() as u64;
-                        owned[t].extend(&units);
-                        let msg = restore_win[t]
-                            .send_with(|seq| Msg::Restore {
+                    for &v in &survivors {
+                        send(ctx, slaves[v], Msg::Evicted { slave: s });
+                    }
+                    evictions.push(Eviction {
+                        dead: s,
+                        awaiting: survivors.into_iter().collect(),
+                        dead_owned,
+                    });
+                    continue;
+                }
+                if silent >= tol.speculate_after
+                    && spec.is_none()
+                    && evictions.is_empty()
+                    && !owned[s].is_empty()
+                {
+                    // Suspicion is building: start recomputing the suspect's
+                    // units on an idle, fully settled survivor so an eviction
+                    // commits finished results instead of replaying.
+                    if let Some(e) =
+                        (0..n).find(|&e| e != s && alive[e] && done[e] && win[e].fully_acked())
+                    {
+                        let ids: Vec<usize> = owned[s].iter().copied().collect();
+                        let units: Vec<(usize, UnitData)> =
+                            ids.iter().map(|&u| (u, init_unit(u))).collect();
+                        let msg = win[e]
+                            .send_with(|seq| Msg::Speculate {
                                 seq,
                                 invocation: inv,
-                                units: payload,
+                                units,
                             })
                             .clone();
-                        send(ctx, slaves[t], msg);
+                        send(ctx, slaves[e], msg);
+                        let spec_seq = win[e].seq_sent();
+                        spec = Some(Spec {
+                            suspect: s,
+                            executor: e,
+                            spec_seq,
+                            ids,
+                        });
+                        sc.recovery.speculations_launched += 1;
                     }
-                } else if !heard_any[s] && silent >= tol.nudge && now >= next_nudge[s] {
+                }
+                if !heard_any[s] && silent >= tol.nudge && now >= next_nudge[s] {
                     // A slave that has never spoken may have lost its Start;
                     // it has nothing to heartbeat, so only a silence timer
                     // can catch it. Every other loss is event-triggered from
@@ -567,6 +911,18 @@ fn run_recoverable(
                     sc.recovery.start_resends += 1;
                     send(ctx, slaves[s], Msg::InvocationStart { invocation: inv });
                     sc.recovery.invocation_start_resends += 1;
+                }
+            }
+            // A lost Evicted (or a lost OwnReport) stalls an eviction; the
+            // awaiting survivors are re-notified on the nudge timer. The
+            // slave-side dedup makes the re-broadcast idempotent.
+            for ev in &evictions {
+                for &v in &ev.awaiting {
+                    if now >= next_nudge[v] {
+                        next_nudge[v] = now + tol.nudge;
+                        send(ctx, slaves[v], Msg::Evicted { slave: ev.dead });
+                        sc.recovery.restore_resends += 1;
+                    }
                 }
             }
             if !alive.iter().any(|&a| a) {
@@ -582,17 +938,18 @@ fn run_recoverable(
 
     sc.compute_done = ctx.now();
 
-    // Gather from the survivors; slaves dying here get their units
-    // recomputed locally from the retained initial data.
+    // Gather from the survivors; a slave dying here gets its units
+    // recomputed locally from the retained initial data (safety net).
     let recompute = ft
         .recompute_unit
         .as_ref()
         .expect("recoverable loop needs recompute_unit");
+    let mut seen: BTreeMap<usize, UnitData> = BTreeMap::new();
     let mut got = vec![false; n];
-    let now = ctx.now();
+    let now0 = ctx.now();
     for s in 0..n {
-        next_nudge[s] = now + tol.nudge;
-        last_heard[s] = now;
+        next_nudge[s] = now0 + tol.nudge;
+        last_heard[s] = now0;
         if alive[s] {
             send(ctx, slaves[s], Msg::Gather);
         }
@@ -603,17 +960,34 @@ fn run_recoverable(
         }
         if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
             match env.msg {
-                Msg::GatherData { slave, units } => {
-                    if !alive[slave] || got[slave] {
+                Msg::GatherData {
+                    slave,
+                    units,
+                    fault_stats,
+                } => {
+                    if !alive[slave] {
                         sc.recovery.gather_dups_ignored += 1;
-                        if alive[slave] {
-                            send(ctx, slaves[slave], Msg::GatherAck);
+                        continue;
+                    }
+                    last_heard[slave] = ctx.now();
+                    send(ctx, slaves[slave], Msg::GatherAck);
+                    if got[slave] {
+                        sc.recovery.gather_dups_ignored += 1;
+                        continue;
+                    }
+                    got[slave] = true;
+                    sc.recovery.absorb(&fault_stats);
+                    for (id, data) in units {
+                        // A unit restored while its old owner's transfer was
+                        // still in flight can briefly have two owners; both
+                        // copies are deterministic and identical — keep the
+                        // first.
+                        match seen.entry(id) {
+                            Entry::Vacant(e) => {
+                                e.insert(data);
+                            }
+                            Entry::Occupied(_) => sc.recovery.gather_dup_units_dropped += 1,
                         }
-                    } else {
-                        got[slave] = true;
-                        last_heard[slave] = ctx.now();
-                        sc.result.extend(units);
-                        send(ctx, slaves[slave], Msg::GatherAck);
                     }
                 }
                 // Final statuses and idle heartbeats racing the gather. A
@@ -631,7 +1005,23 @@ fn run_recoverable(
                         }
                     }
                 }
-                Msg::InvocationDone { slave, .. } => {
+                Msg::InvocationDone {
+                    slave, restore_seq, ..
+                } => {
+                    if alive[slave] {
+                        last_heard[slave] = ctx.now();
+                        win[slave].ack(restore_seq);
+                        if !got[slave] && ctx.now() >= next_nudge[slave] {
+                            next_nudge[slave] = ctx.now() + tol.nudge;
+                            send(ctx, slaves[slave], Msg::Gather);
+                            sc.recovery.gather_resends += 1;
+                        }
+                    }
+                }
+                // A duplicated Evicted delivery can make a survivor repeat
+                // an old ownership report during the gather; it is only a
+                // liveness signal here.
+                Msg::OwnReport { slave, .. } => {
                     if alive[slave] {
                         last_heard[slave] = ctx.now();
                         if !got[slave] && ctx.now() >= next_nudge[slave] {
@@ -657,14 +1047,13 @@ fn run_recoverable(
             }
             let silent = now.saturating_since(last_heard[s]);
             if silent >= tol.suspicion {
+                // Dead during the gather: the end-of-gather safety net
+                // recomputes whatever no survivor delivered.
                 alive[s] = false;
                 sc.recovery.slaves_declared_dead += 1;
                 sc.recovery.first_death.get_or_insert(now);
                 send(ctx, slaves[s], Msg::Evict);
-                for u in std::mem::take(&mut owned[s]) {
-                    sc.result.push((u, recompute(u, inv)));
-                    sc.recovery.units_recomputed += 1;
-                }
+                owned[s].clear();
             } else if silent >= tol.nudge && now >= next_nudge[s] {
                 // Silent but not yet suspect: the slave may be waiting for
                 // a GatherAck after its GatherData was lost (it waits
@@ -675,15 +1064,185 @@ fn run_recoverable(
             }
         }
     }
+    // Safety net: any unit no survivor delivered is recomputed locally
+    // from initial data (deterministic, so bit-identical to the lost copy).
+    for u in 0..n_units {
+        if let Entry::Vacant(e) = seen.entry(u) {
+            e.insert(recompute(u, inv));
+            sc.recovery.units_recomputed += 1;
+        }
+    }
+    sc.result.extend(seen);
     Ok(())
 }
 
-/// Abort-only control loop (pipelined/shrinking patterns): the plain
-/// settlement logic plus deadlines, duplicate suppression, and
-/// silence-based failure detection. Any fault that loses protocol state
-/// surfaces as a typed error — never a hang.
+/// Mutable state of the checkpointed control loop, factored out so the
+/// rollback procedure can be a method instead of a 15-argument function.
+struct CkState {
+    alive: Vec<bool>,
+    heard_any: Vec<bool>,
+    last_heard: Vec<SimTime>,
+    next_nudge: Vec<SimTime>,
+    last_hook_seq: Vec<u64>,
+    done: Vec<bool>,
+    metrics: Vec<f64>,
+    sent: Vec<Vec<u64>>,
+    recv: Vec<Vec<u64>>,
+    win: Vec<SenderWindow<Msg>>,
+    unacked_instr: Vec<Option<(u64, Instructions, u32)>>,
+    /// Current rollback epoch; all protocol state is fenced by it.
+    epoch: u64,
+    /// Invocation being settled.
+    inv: u64,
+    /// The current invocation was released by a `Rollback` (which doubles
+    /// as the barrier release), so the head of the loop must not broadcast
+    /// another `InvocationStart`.
+    released: bool,
+    /// Partial checkpoints per invocation, merged as slave contributions
+    /// arrive. Value-deterministic, so contributions from different epochs
+    /// merge safely.
+    bank: BTreeMap<u64, BTreeMap<usize, UnitData>>,
+    /// Newest complete checkpoint: (invocation it releases, full snapshot).
+    best: Option<(u64, BTreeMap<usize, UnitData>)>,
+    /// Exponential moving average of the invocation wall time (seconds),
+    /// for the restart-cost estimate fed to the balancer.
+    ema_s: f64,
+    inv_started: SimTime,
+}
+
+impl CkState {
+    fn new(ctx: &ActorCtx<Msg>, n: usize, tol: &FaultToleranceConfig) -> CkState {
+        CkState {
+            alive: vec![true; n],
+            heard_any: vec![false; n],
+            last_heard: vec![ctx.now(); n],
+            next_nudge: vec![ctx.now() + tol.nudge; n],
+            last_hook_seq: vec![0u64; n],
+            done: vec![false; n],
+            metrics: vec![0.0; n],
+            sent: vec![vec![0u64; n]; n],
+            recv: vec![vec![0u64; n]; n],
+            win: vec![SenderWindow::new(); n],
+            unacked_instr: (0..n).map(|_| None).collect(),
+            epoch: 0,
+            inv: 0,
+            released: false,
+            bank: BTreeMap::new(),
+            best: None,
+            ema_s: 0.0,
+            inv_started: ctx.now(),
+        }
+    }
+
+    fn settled(&self, balancer: &Balancer) -> bool {
+        let n = self.alive.len();
+        (0..n).all(|s| !self.alive[s] || (self.done[s] && self.win[s].fully_acked()))
+            && channels_settled(&self.alive, &self.sent, &self.recv)
+            && balancer.outstanding_orders() == 0
+    }
+
+    /// Declare a slave dead. The caller must follow up with `rollback` —
+    /// pipelined/shrinking state cannot be recovered in place.
+    fn evict(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        slaves: &[ActorId],
+        balancer: &mut Balancer,
+        s: usize,
+        sc: &mut Scratch,
+    ) {
+        self.alive[s] = false;
+        sc.recovery.slaves_declared_dead += 1;
+        sc.recovery.first_death.get_or_insert(ctx.now());
+        send(ctx, slaves[s], Msg::Evict);
+        balancer.mark_dead(s);
+        self.metrics[s] = 0.0;
+        self.done[s] = false;
+        self.unacked_instr[s] = None;
+    }
+
+    /// Roll the survivors back to the newest complete checkpoint (or the
+    /// initial data when none was banked yet): bump the epoch, re-partition
+    /// the snapshot contiguously over the survivors, and release the
+    /// resumed invocation through the windowed `Rollback` itself. The
+    /// estimated re-execution cost is handed to the balancer so marginal
+    /// moves stop looking profitable while the run is catching up.
+    #[allow(clippy::too_many_arguments)]
+    fn rollback(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        slaves: &[ActorId],
+        balancer: &mut Balancer,
+        ck_init: &InitUnitFn,
+        n_units: usize,
+        tol: &FaultToleranceConfig,
+        sc: &mut Scratch,
+    ) -> Result<(), ProtocolError> {
+        let n = self.alive.len();
+        let survivors: Vec<usize> = (0..n).filter(|&i| self.alive[i]).collect();
+        if survivors.is_empty() {
+            return Err(ProtocolError::AllSlavesDead);
+        }
+        let (ck_inv, snapshot): (u64, Vec<(usize, UnitData)>) = match &self.best {
+            Some((i, snap)) => (*i, snap.iter().map(|(id, d)| (*id, d.clone())).collect()),
+            None => (0, (0..n_units).map(|id| (id, ck_init(id))).collect()),
+        };
+        sc.recovery.rollbacks += 1;
+        sc.recovery.units_rolled_back += snapshot.len() as u64;
+        self.epoch += 1;
+        // Restart cost: invocations lost since the checkpoint (including
+        // the partially-done one), priced at the running per-invocation
+        // average. `ck_inv` can exceed `inv` when a complete checkpoint for
+        // the *next* barrier arrived before this one settled — then nothing
+        // is lost. (In that corner the convergence test for the skipped
+        // settlement is never evaluated; acceptable for a WHILE loop, which
+        // only ever runs a bounded number of extra invocations.)
+        let lost_invs = (self.inv + 1).saturating_sub(ck_inv);
+        balancer.set_restart_cost(SimDuration::from_secs_f64(self.ema_s * lost_invs as f64));
+        let ranges = crate::driver::block_ranges(n_units, survivors.len());
+        let mut counts = vec![0u64; n];
+        let epoch = self.epoch;
+        for (k, &sv) in survivors.iter().enumerate() {
+            let (lo, hi) = ranges[k];
+            counts[sv] = (hi - lo) as u64;
+            let units: Vec<(usize, UnitData)> = snapshot[lo..hi].to_vec();
+            let msg = self.win[sv]
+                .send_with(|seq| Msg::Rollback {
+                    seq,
+                    epoch,
+                    invocation: ck_inv,
+                    survivors: survivors.clone(),
+                    units,
+                })
+                .clone();
+            send(ctx, slaves[sv], msg);
+        }
+        balancer.rebase(self.epoch, counts);
+        // Everything tracked under the old epoch is void: the slaves reset
+        // their channels on rebase, so the settlement matrices restart from
+        // zero, and old-epoch instructions must never be replayed.
+        for row in self.sent.iter_mut().chain(self.recv.iter_mut()) {
+            row.iter_mut().for_each(|v| *v = 0);
+        }
+        self.unacked_instr.iter_mut().for_each(|u| *u = None);
+        self.inv = ck_inv;
+        self.released = true;
+        let now = ctx.now();
+        for &sv in &survivors {
+            self.last_heard[sv] = now;
+            self.next_nudge[sv] = now + tol.nudge;
+            self.done[sv] = false;
+        }
+        Ok(())
+    }
+}
+
+/// Checkpointed control loop (pipelined/shrinking patterns): slaves ship
+/// best-effort state checkpoints at invocation barriers; a death or an
+/// unrecoverable protocol loss rolls the survivors back to the newest
+/// complete checkpoint instead of aborting the run.
 #[allow(clippy::too_many_arguments)]
-fn run_abort_only(
+fn run_checkpointed(
     ctx: &ActorCtx<Msg>,
     cfg: &mut MasterConfig,
     ft: &MasterFt,
@@ -694,182 +1253,437 @@ fn run_abort_only(
 ) -> Result<(), ProtocolError> {
     let n = slaves.len();
     let tol = ft.tolerance.clone();
+    let ck_init = ft
+        .checkpoint_init
+        .as_ref()
+        .expect("checkpointed loop needs checkpoint_init");
+    let n_units = assignment.iter().map(|&(_, hi)| hi).max().unwrap_or(0);
+
+    let start_msg = |slaves: &[ActorId]| Msg::Start {
+        slaves: slaves.to_vec(),
+        assignment: assignment.to_vec(),
+        block_rows,
+    };
     for &s in slaves {
-        send(
-            ctx,
-            s,
-            Msg::Start {
-                slaves: slaves.to_vec(),
-                assignment: assignment.to_vec(),
-                block_rows,
-            },
-        );
+        send(ctx, s, start_msg(slaves));
     }
 
-    let mut last_heard = vec![ctx.now(); n];
-    let mut last_hook_seq = vec![0u64; n];
-    let mut sent_ctr = vec![0u64; n];
-    let mut recv_ctr = vec![0u64; n];
+    let mut st = CkState::new(ctx, n, &tol);
+    // Convergence can end the run early; a post-convergence rollback must
+    // not run invocations the converged run never executed.
+    let mut target = cfg.invocations;
 
-    let mut inv = 0;
-    while inv < cfg.invocations {
-        cfg.balancer
-            .set_remaining_invocations(cfg.invocations - inv);
-        if let Some(uph) = &cfg.units_per_hook {
-            cfg.balancer.set_units_per_hook(uph(inv));
-        }
-        for &s in slaves {
-            send(ctx, s, Msg::InvocationStart { invocation: inv });
-        }
-        let expected = (cfg.expected_units)(inv);
-        let mut done_sum = 0u64;
-        let mut idle = vec![false; n];
-        let mut metrics = vec![0.0f64; n];
-
-        loop {
-            if idle.iter().all(|&b| b)
-                && done_sum >= expected
-                && sent_ctr.iter().sum::<u64>() == recv_ctr.iter().sum::<u64>()
-                && cfg.balancer.outstanding_orders() == 0
-            {
-                if done_sum != expected {
-                    return Err(ProtocolError::Inconsistent {
-                        detail: format!(
-                            "invocation {inv}: {done_sum} units completed, expected {expected}"
-                        ),
-                    });
+    'run: loop {
+        'invocations: while st.inv < target {
+            cfg.balancer.set_remaining_invocations(target - st.inv);
+            if let Some(uph) = &cfg.units_per_hook {
+                cfg.balancer.set_units_per_hook(uph(st.inv));
+            }
+            if st.released {
+                // The Rollback message itself released this invocation.
+                st.released = false;
+            } else {
+                for (i, &s) in slaves.iter().enumerate() {
+                    if st.alive[i] {
+                        send(ctx, s, Msg::InvocationStart { invocation: st.inv });
+                    }
                 }
-                break;
+            }
+            for s in 0..n {
+                st.done[s] = false;
+                st.metrics[s] = 0.0;
+            }
+            st.inv_started = ctx.now();
+
+            loop {
+                if st.settled(&cfg.balancer) {
+                    break;
+                }
+                if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
+                    match env.msg {
+                        Msg::Status(stm) => {
+                            let s = stm.slave;
+                            if !st.alive[s] {
+                                continue;
+                            }
+                            st.heard_any[s] = true;
+                            st.last_heard[s] = ctx.now();
+                            // Epoch fence: a pre-rollback status describes a
+                            // distribution that no longer exists.
+                            if stm.epoch < st.epoch {
+                                sc.recovery.stale_epoch_dropped += 1;
+                                continue;
+                            }
+                            if stm.epoch > st.epoch || stm.invocation > st.inv {
+                                return Err(unexpected(
+                                    "status from the future",
+                                    &Msg::Status(stm),
+                                ));
+                            }
+                            if stm.hook_seq <= st.last_hook_seq[s] {
+                                sc.recovery.status_dups_ignored += 1;
+                                continue;
+                            }
+                            st.last_hook_seq[s] = stm.hook_seq;
+                            st.done[s] = false;
+                            if let Some((seq, _, _)) = &st.unacked_instr[s] {
+                                if stm.last_applied_seq >= *seq {
+                                    st.unacked_instr[s] = None;
+                                }
+                            }
+                            merge_max(&mut st.sent[s], &stm.sent_to);
+                            merge_max(&mut st.recv[s], &stm.received_from);
+                            ctx.advance_work(cfg.decision_cpu);
+                            let decision = cfg.balancer.on_status(&stm);
+                            if cfg.record_timeline {
+                                sc.timeline.push(TimelineSample {
+                                    t: ctx.now(),
+                                    slave: s,
+                                    invocation: st.inv,
+                                    raw_rate: decision.raw_rate,
+                                    adjusted_rate: decision.adjusted_rate,
+                                    assigned: decision.owned_after,
+                                    hooks_to_skip: decision.instructions.hooks_to_skip,
+                                });
+                            }
+                            st.unacked_instr[s] =
+                                Some((decision.instructions.seq, decision.instructions.clone(), 0));
+                            send(ctx, slaves[s], Msg::Instructions(decision.instructions));
+                        }
+                        Msg::InvocationDone {
+                            slave,
+                            invocation,
+                            epoch,
+                            sent_to,
+                            received_from,
+                            metric,
+                            restore_seq,
+                            ..
+                        } => {
+                            if !st.alive[slave] {
+                                sc.recovery.done_dups_ignored += 1;
+                                continue;
+                            }
+                            st.heard_any[slave] = true;
+                            st.last_heard[slave] = ctx.now();
+                            // Ack before the epoch fence: the master-channel
+                            // watermark is not epoch-scoped, and a stale
+                            // report still proves what the slave applied.
+                            st.win[slave].ack(restore_seq);
+                            if epoch < st.epoch {
+                                sc.recovery.stale_epoch_dropped += 1;
+                                continue;
+                            }
+                            if epoch > st.epoch {
+                                return Err(ProtocolError::Inconsistent {
+                                    detail: format!(
+                                        "InvocationDone from epoch {epoch} while in {}",
+                                        st.epoch
+                                    ),
+                                });
+                            }
+                            merge_max(&mut st.sent[slave], &sent_to);
+                            merge_max(&mut st.recv[slave], &received_from);
+                            cfg.balancer.ack_transfers(slave, &received_from);
+                            if invocation == st.inv {
+                                st.done[slave] = true;
+                                st.metrics[slave] = metric;
+                            } else if invocation < st.inv {
+                                sc.recovery.done_dups_ignored += 1;
+                                if ctx.now() >= st.next_nudge[slave] {
+                                    st.next_nudge[slave] = ctx.now() + tol.nudge;
+                                    send(
+                                        ctx,
+                                        slaves[slave],
+                                        Msg::InvocationStart { invocation: st.inv },
+                                    );
+                                    sc.recovery.invocation_start_resends += 1;
+                                    if let Some((_, instr, tries)) = &mut st.unacked_instr[slave] {
+                                        if *tries < tol.instr_retries {
+                                            *tries += 1;
+                                            sc.recovery.instr_resends += 1;
+                                            send(
+                                                ctx,
+                                                slaves[slave],
+                                                Msg::Instructions(instr.clone()),
+                                            );
+                                        }
+                                    }
+                                }
+                            } else {
+                                return Err(ProtocolError::Inconsistent {
+                                    detail: format!(
+                                        "InvocationDone for {invocation} while settling {}",
+                                        st.inv
+                                    ),
+                                });
+                            }
+                            if st.done[slave]
+                                && !st.win[slave].fully_acked()
+                                && ctx.now() >= st.next_nudge[slave]
+                            {
+                                st.next_nudge[slave] = ctx.now() + tol.nudge;
+                                for (_, msg) in st.win[slave].unacked() {
+                                    send(ctx, slaves[slave], msg.clone());
+                                    sc.recovery.restore_resends += 1;
+                                }
+                            }
+                        }
+                        Msg::Checkpoint {
+                            slave,
+                            invocation,
+                            units,
+                        } => {
+                            if st.alive[slave] {
+                                st.heard_any[slave] = true;
+                                st.last_heard[slave] = ctx.now();
+                            }
+                            // Checkpoints carry no epoch on purpose: the
+                            // state after k invocations is deterministic
+                            // regardless of which distribution computed it,
+                            // so contributions bank from any epoch.
+                            if st.best.as_ref().is_some_and(|(b, _)| invocation <= *b) {
+                                continue;
+                            }
+                            let entry = st.bank.entry(invocation).or_default();
+                            for (id, d) in units {
+                                entry.insert(id, d);
+                            }
+                            if entry.len() == n_units {
+                                let snap = st.bank.remove(&invocation).expect("entry exists");
+                                st.best = Some((invocation, snap));
+                                st.bank.retain(|&i, _| i > invocation);
+                                sc.recovery.checkpoints_banked += 1;
+                            }
+                        }
+                        // A gather interrupted by a rollback can leave stale
+                        // GatherData in flight; harmless here.
+                        Msg::GatherData { .. } => {
+                            sc.recovery.gather_dups_ignored += 1;
+                        }
+                        Msg::SlaveError { slave, error } => {
+                            if !st.alive[slave] {
+                                continue;
+                            }
+                            if !st.win[slave].fully_acked() {
+                                // The error predates a rollback already in
+                                // flight to this slave; the rollback will
+                                // resolve it.
+                                continue;
+                            }
+                            if !slave_recoverable(&error) {
+                                // The slave itself failed: evict it, then
+                                // roll the survivors back.
+                                st.evict(ctx, slaves, &mut cfg.balancer, slave, sc);
+                            }
+                            // Either way the run restarts from the newest
+                            // complete checkpoint; a recoverable slave
+                            // parks quietly until its Rollback arrives.
+                            st.rollback(
+                                ctx,
+                                slaves,
+                                &mut cfg.balancer,
+                                ck_init,
+                                n_units,
+                                &tol,
+                                sc,
+                            )?;
+                            continue 'invocations;
+                        }
+                        other => return Err(unexpected("checkpointed invocation loop", &other)),
+                    }
+                }
+
+                // Timers.
+                let now = ctx.now();
+                let mut suspect = None;
+                for s in 0..n {
+                    if !st.alive[s] {
+                        continue;
+                    }
+                    let settled_s = st.done[s] && st.win[s].fully_acked();
+                    let silent = now.saturating_since(st.last_heard[s]);
+                    if !settled_s && silent >= tol.suspicion {
+                        suspect = Some(s);
+                        break;
+                    }
+                    if !st.heard_any[s] && silent >= tol.nudge && now >= st.next_nudge[s] {
+                        st.next_nudge[s] = now + tol.nudge;
+                        send(ctx, slaves[s], start_msg(slaves));
+                        sc.recovery.start_resends += 1;
+                        send(ctx, slaves[s], Msg::InvocationStart { invocation: st.inv });
+                        sc.recovery.invocation_start_resends += 1;
+                    } else if !st.win[s].fully_acked()
+                        && silent >= tol.nudge
+                        && now >= st.next_nudge[s]
+                    {
+                        // A slave parked after a recoverable error is
+                        // silent — no heartbeat can event-trigger the
+                        // re-send of a lost Rollback, so the timer must.
+                        st.next_nudge[s] = now + tol.nudge;
+                        for (_, msg) in st.win[s].unacked() {
+                            send(ctx, slaves[s], msg.clone());
+                            sc.recovery.restore_resends += 1;
+                        }
+                    }
+                }
+                if let Some(s) = suspect {
+                    st.evict(ctx, slaves, &mut cfg.balancer, s, sc);
+                    st.rollback(ctx, slaves, &mut cfg.balancer, ck_init, n_units, &tol, sc)?;
+                    continue 'invocations;
+                }
+                if !st.alive.iter().any(|&a| a) {
+                    return Err(ProtocolError::AllSlavesDead);
+                }
+            }
+
+            // Settled: fold the invocation wall time into the restart-cost
+            // estimate and advance.
+            let dur = ctx.now().saturating_since(st.inv_started).as_secs_f64();
+            st.ema_s = if st.ema_s == 0.0 {
+                dur
+            } else {
+                0.5 * st.ema_s + 0.5 * dur
+            };
+            let reduced: f64 = st.metrics.iter().sum();
+            st.inv += 1;
+            if (cfg.converged)(st.inv - 1, reduced) {
+                target = st.inv;
+            }
+        }
+
+        sc.compute_done = ctx.now();
+
+        // Gather with *deferred* acknowledgement: slaves must stay resident
+        // until the whole result is in hand, because a death mid-gather
+        // forces a rollback and a redo — a slave released early could not
+        // participate in it.
+        let mut seen: BTreeMap<usize, UnitData> = BTreeMap::new();
+        let mut got = vec![false; n];
+        let now0 = ctx.now();
+        for (s, &sl) in slaves.iter().enumerate() {
+            st.next_nudge[s] = now0 + tol.nudge;
+            st.last_heard[s] = now0;
+            if st.alive[s] {
+                send(ctx, sl, Msg::Gather);
+            }
+        }
+        loop {
+            if seen.len() == n_units {
+                for (s, &sl) in slaves.iter().enumerate() {
+                    if st.alive[s] {
+                        send(ctx, sl, Msg::GatherAck);
+                    }
+                }
+                sc.result.extend(seen);
+                return Ok(());
             }
             if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
                 match env.msg {
-                    Msg::Status(st) => {
-                        let s = st.slave;
-                        last_heard[s] = ctx.now();
-                        if st.invocation > inv {
-                            return Err(unexpected("status from the future", &Msg::Status(st)));
-                        }
-                        if st.hook_seq <= last_hook_seq[s] {
-                            sc.recovery.status_dups_ignored += 1;
+                    Msg::GatherData {
+                        slave,
+                        units,
+                        fault_stats,
+                    } => {
+                        if !st.alive[slave] {
+                            sc.recovery.gather_dups_ignored += 1;
                             continue;
                         }
-                        last_hook_seq[s] = st.hook_seq;
-                        if st.invocation == inv {
-                            done_sum += st.units_done_delta;
+                        st.last_heard[slave] = ctx.now();
+                        if got[slave] {
+                            sc.recovery.gather_dups_ignored += 1;
+                            continue;
                         }
-                        sent_ctr[s] = sent_ctr[s].max(st.transfers_sent);
-                        recv_ctr[s] = recv_ctr[s].max(st.received_from.iter().sum::<u64>());
-                        idle[s] = false;
-                        ctx.advance_work(cfg.decision_cpu);
-                        let decision = cfg.balancer.on_status(&st);
-                        if cfg.record_timeline {
-                            sc.timeline.push(TimelineSample {
-                                t: ctx.now(),
-                                slave: s,
-                                invocation: inv,
-                                raw_rate: decision.raw_rate,
-                                adjusted_rate: decision.adjusted_rate,
-                                assigned: decision.owned_after,
-                                hooks_to_skip: decision.instructions.hooks_to_skip,
-                            });
+                        got[slave] = true;
+                        sc.recovery.absorb(&fault_stats);
+                        for (id, data) in units {
+                            match seen.entry(id) {
+                                Entry::Vacant(e) => {
+                                    e.insert(data);
+                                }
+                                Entry::Occupied(_) => sc.recovery.gather_dup_units_dropped += 1,
+                            }
                         }
-                        send(ctx, slaves[s], Msg::Instructions(decision.instructions));
+                    }
+                    Msg::Status(stm) => {
+                        let s = stm.slave;
+                        if st.alive[s] {
+                            st.last_heard[s] = ctx.now();
+                            if !got[s] && ctx.now() >= st.next_nudge[s] {
+                                st.next_nudge[s] = ctx.now() + tol.nudge;
+                                send(ctx, slaves[s], Msg::Gather);
+                                sc.recovery.gather_resends += 1;
+                            }
+                        }
                     }
                     Msg::InvocationDone {
-                        slave,
-                        invocation,
-                        transfers_sent,
-                        received_from,
-                        metric,
-                        ..
+                        slave, restore_seq, ..
                     } => {
-                        last_heard[slave] = ctx.now();
-                        if invocation == inv {
-                            idle[slave] = true;
-                            metrics[slave] = metric;
-                            sent_ctr[slave] = sent_ctr[slave].max(transfers_sent);
-                            recv_ctr[slave] =
-                                recv_ctr[slave].max(received_from.iter().sum::<u64>());
-                            cfg.balancer.ack_transfers(slave, &received_from);
-                        } else if invocation < inv {
-                            sc.recovery.done_dups_ignored += 1;
-                        } else {
-                            return Err(ProtocolError::Inconsistent {
-                                detail: format!(
-                                    "InvocationDone for {invocation} while settling {inv}"
-                                ),
-                            });
+                        if st.alive[slave] {
+                            st.last_heard[slave] = ctx.now();
+                            st.win[slave].ack(restore_seq);
+                            if !got[slave] && ctx.now() >= st.next_nudge[slave] {
+                                st.next_nudge[slave] = ctx.now() + tol.nudge;
+                                send(ctx, slaves[slave], Msg::Gather);
+                                sc.recovery.gather_resends += 1;
+                            }
+                        }
+                    }
+                    // A late checkpoint racing the gather is only a
+                    // liveness signal now.
+                    Msg::Checkpoint { slave, .. } => {
+                        if st.alive[slave] {
+                            st.last_heard[slave] = ctx.now();
                         }
                     }
                     Msg::SlaveError { slave, error } => {
-                        return Err(ProtocolError::SlaveFailed {
-                            slave,
-                            error: Box::new(error),
-                        });
+                        if !st.alive[slave] || !st.win[slave].fully_acked() {
+                            continue;
+                        }
+                        if !slave_recoverable(&error) {
+                            st.evict(ctx, slaves, &mut cfg.balancer, slave, sc);
+                        }
+                        st.rollback(ctx, slaves, &mut cfg.balancer, ck_init, n_units, &tol, sc)?;
+                        continue 'run;
                     }
-                    other => return Err(unexpected("abort-only invocation loop", &other)),
+                    other => return Err(unexpected("checkpointed gather", &other)),
                 }
             }
             let now = ctx.now();
-            for (s, &heard) in last_heard.iter().enumerate() {
-                if now.saturating_since(heard) >= tol.suspicion {
-                    return Err(ProtocolError::SlaveDead { slave: s, at: now });
+            let mut dead_in_gather = None;
+            for s in 0..n {
+                if !st.alive[s] || got[s] {
+                    continue;
                 }
-            }
-        }
-        let reduced: f64 = metrics.iter().sum();
-        inv += 1;
-        if (cfg.converged)(inv - 1, reduced) {
-            break;
-        }
-    }
-
-    sc.compute_done = ctx.now();
-
-    // Gather with deadlines: a lost Gather is re-sent while the slave's
-    // barrier heartbeats keep it alive; a slave that stays silent is dead.
-    let mut got = vec![false; n];
-    let mut next_nudge = vec![ctx.now() + tol.nudge; n];
-    for &s in slaves {
-        send(ctx, s, Msg::Gather);
-    }
-    while !got.iter().all(|&g| g) {
-        if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
-            match env.msg {
-                Msg::GatherData { slave, units } => {
-                    last_heard[slave] = ctx.now();
-                    if got[slave] {
-                        sc.recovery.gather_dups_ignored += 1;
+                let silent = now.saturating_since(st.last_heard[s]);
+                if silent >= tol.suspicion {
+                    dead_in_gather = Some(s);
+                    break;
+                }
+                if silent >= tol.nudge && now >= st.next_nudge[s] {
+                    st.next_nudge[s] = now + tol.nudge;
+                    if st.win[s].fully_acked() {
+                        send(ctx, slaves[s], Msg::Gather);
+                        sc.recovery.gather_resends += 1;
                     } else {
-                        got[slave] = true;
-                        sc.result.extend(units);
+                        // A parked slave still waiting for its Rollback.
+                        for (_, msg) in st.win[s].unacked() {
+                            send(ctx, slaves[s], msg.clone());
+                            sc.recovery.restore_resends += 1;
+                        }
                     }
                 }
-                Msg::Status(st) => last_heard[st.slave] = ctx.now(),
-                Msg::InvocationDone { slave, .. } => last_heard[slave] = ctx.now(),
-                Msg::SlaveError { slave, error } => {
-                    return Err(ProtocolError::SlaveFailed {
-                        slave,
-                        error: Box::new(error),
-                    });
-                }
-                other => return Err(unexpected("abort-only gather", &other)),
             }
-        }
-        let now = ctx.now();
-        for s in 0..n {
-            if got[s] {
-                continue;
+            if let Some(s) = dead_in_gather {
+                // Death mid-gather: its un-gathered state is gone, so roll
+                // the survivors back and redo from the newest checkpoint.
+                st.evict(ctx, slaves, &mut cfg.balancer, s, sc);
+                st.rollback(ctx, slaves, &mut cfg.balancer, ck_init, n_units, &tol, sc)?;
+                continue 'run;
             }
-            if now.saturating_since(last_heard[s]) >= tol.suspicion {
-                return Err(ProtocolError::SlaveDead { slave: s, at: now });
-            }
-            if now >= next_nudge[s] {
-                next_nudge[s] = now + tol.nudge;
-                send(ctx, slaves[s], Msg::Gather);
-                sc.recovery.gather_resends += 1;
+            if !st.alive.iter().any(|&a| a) {
+                return Err(ProtocolError::AllSlavesDead);
             }
         }
     }
-    Ok(())
 }

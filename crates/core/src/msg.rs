@@ -7,6 +7,7 @@
 //! logic is exercised for real and results can be verified bit-for-bit
 //! against sequential execution.
 
+use crate::recovery::SlaveFaultStats;
 use dlb_sim::SimDuration;
 
 /// The per-unit application payload: one `Vec<f64>` per moved array (in the
@@ -37,6 +38,10 @@ pub struct MoveOrder {
 pub struct Instructions {
     /// Monotone sequence number (per slave).
     pub seq: u64,
+    /// Rollback epoch these orders were computed in. Instructions from an
+    /// earlier epoch reference a work distribution that no longer exists
+    /// and are discarded wholesale (zero outside the checkpointed engines).
+    pub epoch: u64,
     /// Outgoing work movements this slave must perform.
     pub moves: Vec<MoveOrder>,
     /// How many hook instances to skip before the next status exchange
@@ -64,11 +69,19 @@ pub struct Status {
     /// master tell whether `active_units` already reflects the orders it
     /// issued earlier (unapplied orders must still be discounted).
     pub last_applied_seq: u64,
-    /// Cumulative count of Transfer messages this slave has sent.
-    pub transfers_sent: u64,
-    /// Cumulative count of Transfer messages received, by sender index.
-    /// Per-sender resolution lets the master match acknowledgements to the
-    /// orders it issued even when transfers from different senders race.
+    /// Rollback epoch this slave is operating in (checkpointed engines).
+    /// The master discards reports from earlier epochs.
+    pub epoch: u64,
+    /// Per-destination transfer-channel sequence counter: `sent_to[d]` is
+    /// the highest transfer sequence this slave has allocated on its
+    /// channel to slave `d`.
+    pub sent_to: Vec<u64>,
+    /// Per-source transfer-channel watermark: `received_from[s]` is the
+    /// largest `k` such that every transfer `1..=k` from slave `s` has been
+    /// applied here. Per-sender resolution lets the master match
+    /// acknowledgements to the orders it issued even when transfers from
+    /// different senders race, and the pair of counters settles each
+    /// channel exactly (`sent_to[a][b] == received_from[b][a]`).
     pub received_from: Vec<u64>,
     /// Measured elapsed cost of the most recent work movement as
     /// `(units_moved, elapsed)`, if any (feeds the frequency controller's
@@ -100,6 +113,15 @@ pub struct MovedUnit {
 #[derive(Clone, Debug)]
 pub struct TransferMsg {
     pub from: usize,
+    /// Monotone per-channel (sender → receiver pair) sequence number. The
+    /// receiver deduplicates by it and acknowledges with a contiguous
+    /// watermark ([`Msg::TransferAck`]); the sender retains the transfer
+    /// until acknowledged and re-sends it on silence.
+    pub seq: u64,
+    /// Rollback epoch the transfer was sent in. A transfer from another
+    /// epoch is discarded without counting: after a rollback the old
+    /// distribution no longer exists.
+    pub epoch: u64,
     /// Invocation / sweep / step this transfer belongs to.
     pub invocation: u64,
     /// Pipelined engine: the sender's phase when the move takes effect; the
@@ -139,20 +161,44 @@ pub enum Msg {
     InvocationDone {
         slave: usize,
         invocation: u64,
-        transfers_sent: u64,
+        /// Rollback epoch (checkpointed engines; zero elsewhere).
+        epoch: u64,
+        /// Per-destination transfer sequence counters (see [`Status`]).
+        sent_to: Vec<u64>,
+        /// Per-source transfer watermarks (see [`Status`]).
         received_from: Vec<u64>,
         metric: f64,
-        /// Restore acknowledgement watermark: the largest `k` such that this
-        /// slave has applied every `Restore` with sequence `1..=k`. Zero when
-        /// no restores were ever addressed to it.
+        /// Master-channel acknowledgement watermark: the largest `k` such
+        /// that this slave has applied every windowed master message
+        /// (`Restore` / `Rollback` / `Speculate` / `SpecCommit` /
+        /// `SpecCancel`) with sequence `1..=k`. Zero when none were ever
+        /// addressed to it.
         restore_seq: u64,
+        /// Unit ids this slave currently owns — the master's (possibly
+        /// stale) ownership map, which seeds speculative re-execution when
+        /// this slave later falls silent.
+        owned_ids: Vec<usize>,
     },
     GatherData {
         slave: usize,
         units: Vec<(usize, UnitData)>,
+        /// Slave-local fault-protocol counters, folded into
+        /// [`crate::recovery::RecoveryStats`] at gather.
+        fault_stats: SlaveFaultStats,
     },
     // ---- slave <-> slave ----
     Transfer(TransferMsg),
+    /// Receiver → sender: contiguous applied watermark for the transfer
+    /// channel `from → me`. Sent on every transfer delivery (fresh or
+    /// duplicate), so a lost ack is repaired by the sender's re-send.
+    TransferAck {
+        /// The acknowledging slave (the transfer receiver).
+        from: usize,
+        /// Epoch the ack belongs to; stale-epoch acks are discarded.
+        epoch: u64,
+        /// Largest `k` such that transfers `1..=k` on this channel applied.
+        watermark: u64,
+    },
     /// Pipelined: new values of column `col` (the sender's last column)
     /// for one row block. Tagged with the column id so a receiver whose
     /// left neighbour changed mid-sweep never consumes stale halos.
@@ -163,9 +209,12 @@ pub enum Msg {
         values: Vec<f64>,
     },
     /// Pipelined: sweep-start old values of the sender's first column
-    /// (the receiver's right halo for the whole sweep).
+    /// (the receiver's right halo for the whole sweep). Tagged with the
+    /// column id so a receiver whose right neighbour changed (movement or
+    /// eviction) never adopts a halo for the wrong boundary.
     SweepOld {
         sweep: u64,
+        col: usize,
         values: Vec<f64>,
     },
     /// Shrinking: the pivot unit's data for `step`, broadcast by its owner.
@@ -188,6 +237,66 @@ pub enum Msg {
     /// falsely-suspected slave from double-computing units that were already
     /// re-scattered to survivors.
     Evict,
+    /// Master → survivors: the named peer was declared dead. Each survivor
+    /// closes its transfer channels with the peer (re-owning in-flight
+    /// units) and answers with an [`Msg::OwnReport`]; re-sent on the nudge
+    /// timer until the report arrives.
+    Evicted {
+        slave: usize,
+    },
+    /// Survivor → master: authoritative unit ownership after fencing off
+    /// the named dead peer. The master restores exactly the units no
+    /// survivor reports.
+    OwnReport {
+        slave: usize,
+        /// Which eviction this report answers.
+        about: usize,
+        ids: Vec<usize>,
+    },
+    /// Slave → master (checkpointed engines): full local state at the
+    /// barrier that completed invocation `invocation - 1` — i.e. the state
+    /// from which invocation `invocation` starts. Best-effort: a dropped
+    /// checkpoint only means a deeper rollback.
+    Checkpoint {
+        slave: usize,
+        invocation: u64,
+        units: Vec<(usize, UnitData)>,
+    },
+    /// Master → slave (checkpointed engines): discard all engine state,
+    /// adopt these units, and resume computing from invocation
+    /// `invocation` in the given epoch with the given surviving peers.
+    /// Windowed like `Restore` (acknowledged via
+    /// `InvocationDone::restore_seq`).
+    Rollback {
+        seq: u64,
+        epoch: u64,
+        invocation: u64,
+        /// Live slave indices, ascending — the receiver derives its
+        /// pipeline neighbours from its position in this list.
+        survivors: Vec<usize>,
+        units: Vec<(usize, UnitData)>,
+    },
+    /// Master → idle survivor (independent engine): speculatively
+    /// re-execute a silent suspect's units, holding the results aside
+    /// until the master commits or cancels. Windowed like `Restore`.
+    Speculate {
+        seq: u64,
+        invocation: u64,
+        units: Vec<(usize, UnitData)>,
+    },
+    /// Master → survivor: the suspect was evicted — adopt the named units
+    /// from the speculation buffer of `spec_seq` and drop the rest.
+    SpecCommit {
+        seq: u64,
+        spec_seq: u64,
+        ids: Vec<usize>,
+    },
+    /// Master → survivor: the suspect spoke again — drop the speculation
+    /// buffer of `spec_seq` entirely.
+    SpecCancel {
+        seq: u64,
+        spec_seq: u64,
+    },
     /// Master → slaves: the run failed; terminate quietly.
     Abort,
     /// Slave → master: fatal protocol error; the run cannot continue.
@@ -204,17 +313,24 @@ impl Msg {
     pub fn wire_bytes(&self) -> u64 {
         const HDR: u64 = 32;
         let f64s = |v: &Vec<f64>| 8 * v.len() as u64;
+        let unit_list = |units: &Vec<(usize, UnitData)>| {
+            units
+                .iter()
+                .map(|(_, d)| 8 + d.iter().map(f64s).sum::<u64>())
+                .sum::<u64>()
+        };
         match self {
             Msg::Start { assignment, .. } => HDR + 16 * assignment.len() as u64,
             Msg::Instructions(i) => HDR + 24 * i.moves.len() as u64,
-            Msg::InvocationStart { .. } | Msg::Gather | Msg::InvocationDone { .. } => HDR,
-            Msg::Status(_) => HDR + 64,
-            Msg::GatherData { units, .. } => {
-                HDR + units
-                    .iter()
-                    .map(|(_, d)| 8 + d.iter().map(f64s).sum::<u64>())
-                    .sum::<u64>()
-            }
+            Msg::InvocationStart { .. } | Msg::Gather => HDR,
+            Msg::InvocationDone {
+                sent_to,
+                received_from,
+                owned_ids,
+                ..
+            } => HDR + 8 * (sent_to.len() + received_from.len() + owned_ids.len()) as u64,
+            Msg::Status(st) => HDR + 64 + 8 * (st.sent_to.len() + st.received_from.len()) as u64,
+            Msg::GatherData { units, .. } => HDR + 48 + unit_list(units),
             Msg::Transfer(t) => {
                 HDR + t.right_old.as_ref().map(f64s).unwrap_or(0)
                     + t.units
@@ -228,13 +344,19 @@ impl Msg {
             Msg::Boundary { values, .. }
             | Msg::SweepOld { values, .. }
             | Msg::Pivot { values, .. } => HDR + f64s(values),
-            Msg::Restore { units, .. } => {
-                HDR + units
-                    .iter()
-                    .map(|(_, d)| 8 + d.iter().map(f64s).sum::<u64>())
-                    .sum::<u64>()
-            }
-            Msg::Evict | Msg::Abort | Msg::GatherAck => HDR,
+            Msg::Restore { units, .. }
+            | Msg::Checkpoint { units, .. }
+            | Msg::Speculate { units, .. } => HDR + unit_list(units),
+            Msg::Rollback {
+                survivors, units, ..
+            } => HDR + 8 * survivors.len() as u64 + unit_list(units),
+            Msg::OwnReport { ids, .. } | Msg::SpecCommit { ids, .. } => HDR + 8 * ids.len() as u64,
+            Msg::Evict
+            | Msg::Evicted { .. }
+            | Msg::Abort
+            | Msg::GatherAck
+            | Msg::TransferAck { .. }
+            | Msg::SpecCancel { .. } => HDR,
             Msg::SlaveError { .. } => HDR + 64,
         }
     }
@@ -266,6 +388,8 @@ mod tests {
     fn transfer_counts_all_unit_arrays() {
         let t = Msg::Transfer(TransferMsg {
             from: 0,
+            seq: 1,
+            epoch: 0,
             invocation: 0,
             effective_block: 0,
             units: vec![MovedUnit {
@@ -292,7 +416,8 @@ mod tests {
                 elapsed: SimDuration::ZERO,
                 active_units: 0,
                 last_applied_seq: 0,
-                transfers_sent: 0,
+                epoch: 0,
+                sent_to: Vec::new(),
                 received_from: Vec::new(),
                 move_cost_sample: None,
                 interaction_cost_sample: None,

@@ -416,6 +416,442 @@ impl TransitionSystem for RestoreModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Slave ↔ slave transfer channel
+// ---------------------------------------------------------------------------
+
+/// One direction of a slave↔slave work-migration channel: the sender half
+/// ([`SenderWindow`]) for payloads we originate plus the receiver half
+/// ([`AckTracker`]) for payloads the peer originates, and an `open` flag
+/// that closes the channel for good once the peer is evicted.
+///
+/// The runtime keeps one `TransferWindow` per peer on every slave. Sends
+/// allocate a per-channel sequence number and retain the payload for
+/// event-triggered re-sends; receipts are deduplicated by sequence number
+/// and acknowledged with the contiguous watermark. Closing the channel
+/// (peer evicted) drains the unacknowledged payloads so the survivor can
+/// re-own the units that were still in flight — the peer either never
+/// applied them (they died on the wire) or died holding them; either way
+/// the survivor's copy is the only live one.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TransferWindow<T> {
+    out: SenderWindow<T>,
+    inn: AckTracker,
+    open: bool,
+}
+
+impl<T> TransferWindow<T> {
+    pub fn new() -> TransferWindow<T> {
+        TransferWindow {
+            out: SenderWindow::new(),
+            inn: AckTracker::default(),
+            open: true,
+        }
+    }
+
+    /// False once the peer was evicted: no sends, no accepts.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Allocate the next outbound sequence number and retain the payload.
+    /// Returns `None` without allocating when the channel is closed — an
+    /// offer to an evicted slave is refused locally, never put on the wire.
+    pub fn send_with(&mut self, make: impl FnOnce(u64) -> T) -> Option<&T> {
+        if !self.open {
+            return None;
+        }
+        Some(self.out.send_with(make))
+    }
+
+    /// Process the peer's acknowledgement watermark (monotone; duplicate
+    /// acks are absorbed). Harmless after close — the pending set is
+    /// already drained.
+    pub fn ack(&mut self, watermark: u64) {
+        self.out.ack(watermark);
+    }
+
+    /// Deduplicate an inbound payload: `true` exactly when `seq` is fresh
+    /// *and* the channel is open — the caller applies the payload (and
+    /// counts the receipt) iff this returns `true`.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        self.open && self.inn.fresh(seq)
+    }
+
+    /// Contiguous watermark of inbound payloads applied — what we
+    /// acknowledge back to the peer.
+    pub fn recv_watermark(&self) -> u64 {
+        self.inn.watermark()
+    }
+
+    /// Outbound payloads not yet covered by an acknowledgement.
+    pub fn unacked(&self) -> impl Iterator<Item = &(u64, T)> {
+        self.out.unacked()
+    }
+
+    pub fn fully_acked(&self) -> bool {
+        self.out.fully_acked()
+    }
+
+    pub fn seq_sent(&self) -> u64 {
+        self.out.seq_sent()
+    }
+
+    /// Highest acknowledgement watermark seen from the peer.
+    pub fn acked_watermark(&self) -> u64 {
+        self.out.watermark()
+    }
+
+    /// Close the channel (peer evicted) and drain the unacknowledged
+    /// outbound payloads for re-owning. Idempotent: a second close drains
+    /// nothing.
+    pub fn close(&mut self) -> Vec<T> {
+        if !self.open {
+            return Vec::new();
+        }
+        self.open = false;
+        let w = self.out.watermark();
+        std::mem::take(&mut self.out.pending)
+            .into_iter()
+            .filter(|(seq, _)| *seq > w)
+            .map(|(_, payload)| payload)
+            .collect()
+    }
+
+    /// Forget all channel state and reopen (rollback to a checkpoint: every
+    /// in-flight transfer is fenced off by the epoch bump, so both sides
+    /// restart from sequence zero).
+    pub fn reset(&mut self) {
+        *self = TransferWindow::new();
+    }
+}
+
+/// A message in flight in the [`TransferModel`]'s network.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TWire {
+    /// Sender → receiver: adopt these units (sequence-numbered move).
+    Transfer { seq: u64, units: Vec<usize> },
+    /// Receiver → sender: contiguous applied watermark.
+    Ack { watermark: u64 },
+}
+
+/// One enabled step of the [`TransferModel`]. Same idempotent-wire
+/// reduction as [`Step`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TStep {
+    /// The balancer orders move `m`: the sender sheds its units onto the
+    /// channel (or keeps them, if the receiver was already evicted).
+    Offer(usize),
+    /// Deliver the `i`-th in-flight message (and consume it). Deliveries
+    /// to an evicted receiver are discarded, as the fail-stop network does.
+    Deliver(usize),
+    /// Deliver a duplicate of the `i`-th message (bounded budget).
+    DeliverCopy(usize),
+    /// Drop the `i`-th message (bounded budget).
+    Drop(usize),
+    /// The sender's re-send trigger fires: re-send everything
+    /// unacknowledged that is not already in flight.
+    Resend,
+    /// The receiver re-acknowledges while the ack carries news.
+    Heartbeat,
+    /// The receiver fail-stops: the master evicts it, the sender closes
+    /// the channel and re-owns in-flight units, and the master re-scatters
+    /// whatever no survivor reports owning (bounded budget).
+    Evict,
+}
+
+/// Full [`TransferModel`] state: both channel endpoints, both unit sets
+/// (with apply counts), and the network.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TransferState {
+    /// Sender endpoint of the channel (the slave shedding work).
+    pub sender: TransferWindow<Vec<usize>>,
+    /// Receiver endpoint (the slave gaining work).
+    pub receiver: TransferWindow<Vec<usize>>,
+    pub sender_holding: BTreeMap<usize, u32>,
+    pub receiver_holding: BTreeMap<usize, u32>,
+    pub wire: Vec<TWire>,
+    pub offered: usize,
+    pub receiver_evicted: bool,
+    pub drops_used: u32,
+    pub dups_used: u32,
+}
+
+/// The abstracted slave↔slave work-migration system around
+/// [`TransferWindow`] — the runtime's MoveOrder execution path, minus
+/// everything that does not affect unit safety.
+///
+/// The sender starts holding every unit; the balancer orders `moves`
+/// (disjoint unit batches) shed to the receiver; the network may drop or
+/// duplicate a bounded number of messages; and the receiver may fail-stop
+/// once ([`TStep::Evict`]), upon which the sender re-owns the in-flight
+/// units and the master re-scatters exactly the units no survivor reports.
+/// `dedup_transfers = false` is the deliberately broken variant that
+/// applies transfer payloads without sequence-number dedup — the checker
+/// must find the duplicate-unit counterexample (`dlb-analyze` maps it to
+/// E104).
+#[derive(Clone, Debug)]
+pub struct TransferModel {
+    /// Unit ids the sender starts with (the receiver starts empty).
+    pub units: Vec<usize>,
+    /// Unit batches shed to the receiver, in order (disjoint subsets of
+    /// `units`).
+    pub moves: Vec<Vec<usize>>,
+    pub max_drops: u32,
+    pub max_dups: u32,
+    /// Whether the receiver may fail-stop mid-protocol.
+    pub allow_evict: bool,
+    /// True = the real protocol (receiver dedups by sequence number).
+    pub dedup_transfers: bool,
+}
+
+impl TransferModel {
+    /// The standard checked configuration: four units, two move batches,
+    /// one drop and one duplication budget, eviction enabled.
+    pub fn standard() -> TransferModel {
+        TransferModel {
+            units: vec![0, 1, 2, 3],
+            moves: vec![vec![0, 1], vec![2]],
+            max_drops: 1,
+            max_dups: 1,
+            allow_evict: true,
+            dedup_transfers: true,
+        }
+    }
+
+    /// The broken variant: transfer payloads applied without dedup.
+    pub fn broken_no_dedup() -> TransferModel {
+        TransferModel {
+            dedup_transfers: false,
+            ..TransferModel::standard()
+        }
+    }
+
+    fn deliver(&self, n: &mut TransferState, msg: TWire) {
+        match msg {
+            TWire::Transfer { seq, units } => {
+                if n.receiver_evicted {
+                    // Fail-stop: deliveries to a crashed node vanish.
+                    return;
+                }
+                let fresh = if self.dedup_transfers {
+                    n.receiver.accept(seq)
+                } else {
+                    // Broken variant: acknowledge the sequence but apply
+                    // unconditionally.
+                    n.receiver.accept(seq);
+                    true
+                };
+                if fresh {
+                    for u in units {
+                        *n.receiver_holding.entry(u).or_insert(0) += 1;
+                    }
+                }
+                let ack = TWire::Ack {
+                    watermark: n.receiver.recv_watermark(),
+                };
+                insert_unique_t(&mut n.wire, ack);
+            }
+            TWire::Ack { watermark } => {
+                n.sender.ack(watermark);
+            }
+        }
+    }
+
+    fn quiescent(&self, s: &TransferState) -> bool {
+        s.offered == self.moves.len()
+            && s.wire.is_empty()
+            && (s.receiver_evicted || s.sender.fully_acked())
+    }
+}
+
+fn insert_unique_t(wire: &mut Vec<TWire>, msg: TWire) {
+    if let Err(at) = wire.binary_search(&msg) {
+        wire.insert(at, msg);
+    }
+}
+
+impl TransitionSystem for TransferModel {
+    type State = TransferState;
+    type Action = TStep;
+
+    fn initial(&self) -> TransferState {
+        TransferState {
+            sender: TransferWindow::new(),
+            receiver: TransferWindow::new(),
+            sender_holding: self.units.iter().map(|&u| (u, 1)).collect(),
+            receiver_holding: BTreeMap::new(),
+            wire: Vec::new(),
+            offered: 0,
+            receiver_evicted: false,
+            drops_used: 0,
+            dups_used: 0,
+        }
+    }
+
+    fn actions(&self, s: &TransferState) -> Vec<TStep> {
+        let mut out = Vec::new();
+        if s.offered < self.moves.len() {
+            out.push(TStep::Offer(s.offered));
+        }
+        for i in 0..s.wire.len() {
+            out.push(TStep::Deliver(i));
+            if s.drops_used < self.max_drops {
+                out.push(TStep::Drop(i));
+            }
+            if s.dups_used < self.max_dups {
+                out.push(TStep::DeliverCopy(i));
+            }
+        }
+        if !s.receiver_evicted {
+            let resendable = s.sender.unacked().any(|(seq, units)| {
+                !s.wire.contains(&TWire::Transfer {
+                    seq: *seq,
+                    units: units.clone(),
+                })
+            });
+            if resendable {
+                out.push(TStep::Resend);
+            }
+            let hb = TWire::Ack {
+                watermark: s.receiver.recv_watermark(),
+            };
+            // Re-ack while it carries news, as [`Step::Heartbeat`] does —
+            // quiescent states stay terminal.
+            if s.receiver.recv_watermark() > s.sender.acked_watermark() && !s.wire.contains(&hb) {
+                out.push(TStep::Heartbeat);
+            }
+            if self.allow_evict {
+                out.push(TStep::Evict);
+            }
+        }
+        out
+    }
+
+    fn apply(&self, s: &TransferState, a: &TStep) -> TransferState {
+        let mut n = s.clone();
+        match a {
+            TStep::Offer(m) => {
+                if n.receiver_evicted {
+                    // Offer to an evicted slave: refused locally, the
+                    // sender keeps the units.
+                    n.offered += 1;
+                } else {
+                    let units = self.moves[*m].clone();
+                    for u in &units {
+                        let gone = n.sender_holding.remove(u).is_some();
+                        debug_assert!(gone, "move batches must be disjoint owned units");
+                    }
+                    n.sender.send_with(|_| units.clone());
+                    let msg = TWire::Transfer {
+                        seq: n.sender.seq_sent(),
+                        units,
+                    };
+                    insert_unique_t(&mut n.wire, msg);
+                    n.offered += 1;
+                }
+            }
+            TStep::Deliver(i) => {
+                let msg = n.wire.remove(*i);
+                self.deliver(&mut n, msg);
+            }
+            TStep::DeliverCopy(i) => {
+                let msg = n.wire[*i].clone();
+                n.dups_used += 1;
+                self.deliver(&mut n, msg);
+            }
+            TStep::Drop(i) => {
+                n.wire.remove(*i);
+                n.drops_used += 1;
+            }
+            TStep::Resend => {
+                let msgs: Vec<TWire> = n
+                    .sender
+                    .unacked()
+                    .map(|(seq, units)| TWire::Transfer {
+                        seq: *seq,
+                        units: units.clone(),
+                    })
+                    .filter(|m| !n.wire.contains(m))
+                    .collect();
+                for m in msgs {
+                    insert_unique_t(&mut n.wire, m);
+                }
+            }
+            TStep::Heartbeat => {
+                let hb = TWire::Ack {
+                    watermark: n.receiver.recv_watermark(),
+                };
+                insert_unique_t(&mut n.wire, hb);
+            }
+            TStep::Evict => {
+                n.receiver_evicted = true;
+                // The survivor re-owns everything still unacknowledged on
+                // its channel to the dead peer...
+                for units in n.sender.close() {
+                    for u in units {
+                        *n.sender_holding.entry(u).or_insert(0) += 1;
+                    }
+                }
+                // ...then the master re-scatters exactly the units no
+                // survivor reports owning (the OwnReport fence): with one
+                // survivor, that is everything the sender does not hold.
+                let missing: Vec<usize> = self
+                    .units
+                    .iter()
+                    .copied()
+                    .filter(|u| !n.sender_holding.contains_key(u))
+                    .collect();
+                for u in missing {
+                    *n.sender_holding.entry(u).or_insert(0) += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn violation(&self, s: &TransferState) -> Option<String> {
+        for (who, holding) in [
+            ("sender", &s.sender_holding),
+            ("receiver", &s.receiver_holding),
+        ] {
+            for (unit, applies) in holding.iter() {
+                if *applies > 1 {
+                    return Some(format!(
+                        "duplicate work unit {unit} applied {applies} times on {who}"
+                    ));
+                }
+            }
+        }
+        if !s.receiver_evicted {
+            for unit in s.sender_holding.keys() {
+                if s.receiver_holding.contains_key(unit) {
+                    return Some(format!("duplicate work unit {unit} held by both endpoints"));
+                }
+            }
+        }
+        if self.quiescent(s) {
+            let held = s.sender_holding.len()
+                + if s.receiver_evicted {
+                    0
+                } else {
+                    s.receiver_holding.len()
+                };
+            if held != self.units.len() {
+                return Some(format!(
+                    "lost work unit: quiescent with {held} of {} units owned",
+                    self.units.len()
+                ));
+            }
+        }
+        None
+    }
+
+    fn is_accepting(&self, s: &TransferState) -> bool {
+        self.quiescent(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,5 +922,106 @@ mod tests {
         s = m.apply(&s, &Step::DeliverCopy(0));
         s = m.apply(&s, &Step::Deliver(0));
         assert_eq!(m.violation(&s), None, "dedup must absorb the duplicate");
+    }
+
+    #[test]
+    fn transfer_window_crash_mid_payload_reowns_only_unacked() {
+        let mut w: TransferWindow<Vec<usize>> = TransferWindow::new();
+        w.send_with(|_| vec![0, 1]);
+        w.send_with(|_| vec![2]);
+        w.ack(1);
+        // The peer crashes with sequence 2 still on the wire: closing the
+        // channel re-owns exactly the unacked payload.
+        let reowned = w.close();
+        assert_eq!(reowned, vec![vec![2]]);
+        assert!(!w.is_open());
+        assert_eq!(w.close(), Vec::<Vec<usize>>::new(), "close is idempotent");
+    }
+
+    #[test]
+    fn transfer_window_absorbs_duplicate_acks() {
+        let mut w: TransferWindow<&'static str> = TransferWindow::new();
+        w.send_with(|_| "a");
+        w.send_with(|_| "b");
+        w.ack(1);
+        w.ack(1); // duplicated ack delivery
+        w.ack(0); // stale ack must not regress the watermark
+        assert_eq!(w.acked_watermark(), 1);
+        assert_eq!(w.unacked().count(), 1);
+        w.ack(2);
+        assert!(w.fully_acked());
+    }
+
+    #[test]
+    fn transfer_window_refuses_offer_to_evicted_slave() {
+        let mut w: TransferWindow<Vec<usize>> = TransferWindow::new();
+        w.close();
+        assert!(w.send_with(|_| vec![7]).is_none(), "no sends after close");
+        assert_eq!(w.seq_sent(), 0, "no sequence allocated for the refusal");
+        assert!(!w.accept(1), "inbound from an evicted peer is ignored");
+        assert_eq!(w.recv_watermark(), 0);
+    }
+
+    #[test]
+    fn transfer_window_dedups_and_acks_inbound() {
+        let mut w: TransferWindow<()> = TransferWindow::new();
+        assert!(w.accept(2));
+        assert!(!w.accept(2), "duplicate payload must not be fresh");
+        assert_eq!(w.recv_watermark(), 0, "gap at 1 holds the watermark");
+        assert!(w.accept(1));
+        assert_eq!(w.recv_watermark(), 2);
+        w.reset();
+        assert!(w.accept(1), "reset reopens a fresh channel");
+        assert_eq!(w.seq_sent(), 0);
+    }
+
+    #[test]
+    fn transfer_model_quiesces_on_the_happy_path() {
+        let m = TransferModel::standard();
+        let mut s = m.initial();
+        while !m.is_accepting(&s) {
+            let acts = m.actions(&s);
+            let a = acts
+                .iter()
+                .find(|a| matches!(a, TStep::Offer(_) | TStep::Deliver(_)))
+                .expect("happy path always has an offer or deliver");
+            s = m.apply(&s, a);
+            assert_eq!(m.violation(&s), None, "happy path must stay clean");
+        }
+        assert_eq!(s.sender_holding.len(), 1, "unit 3 stays at the sender");
+        assert_eq!(s.receiver_holding.len(), 3);
+    }
+
+    #[test]
+    fn transfer_model_eviction_reowns_in_flight_units() {
+        let m = TransferModel::standard();
+        let mut s = m.initial();
+        s = m.apply(&s, &TStep::Offer(0));
+        // The receiver crashes with the transfer still on the wire.
+        s = m.apply(&s, &TStep::Evict);
+        assert_eq!(m.violation(&s), None);
+        assert_eq!(
+            s.sender_holding.len(),
+            4,
+            "sender re-owns the in-flight units"
+        );
+        // Offer 1 is refused locally; the stale transfer on the wire is
+        // discarded at the dead node. No unit is lost or duplicated.
+        s = m.apply(&s, &TStep::Offer(1));
+        s = m.apply(&s, &TStep::Deliver(0));
+        assert_eq!(m.violation(&s), None);
+        assert!(m.is_accepting(&s));
+    }
+
+    #[test]
+    fn broken_transfer_variant_double_applies_on_duplicate_delivery() {
+        let m = TransferModel::broken_no_dedup();
+        let mut s = m.initial();
+        s = m.apply(&s, &TStep::Offer(0));
+        s = m.apply(&s, &TStep::DeliverCopy(0));
+        assert_eq!(m.violation(&s), None);
+        s = m.apply(&s, &TStep::Deliver(0));
+        let v = m.violation(&s).expect("duplicate apply must be detected");
+        assert!(v.contains("duplicate work unit"), "{v}");
     }
 }

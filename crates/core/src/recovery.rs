@@ -31,6 +31,44 @@ pub struct RecoveryStats {
     pub done_dups_ignored: u64,
     /// Duplicate `GatherData` payloads discarded.
     pub gather_dups_ignored: u64,
+    // ---- crash-safe migration (all engines) ----
+    /// Complete barrier checkpoints the master banked (checkpointed
+    /// engines: pipelined / shrinking).
+    pub checkpoints_banked: u64,
+    /// Rollbacks the master initiated (each re-scatters a checkpoint over
+    /// the survivors and restarts the invocation).
+    pub rollbacks: u64,
+    /// Work units re-scattered by rollbacks.
+    pub units_rolled_back: u64,
+    /// Speculative re-executions launched for silent suspects.
+    pub speculations_launched: u64,
+    /// Speculations committed (the suspect was evicted and the speculated
+    /// units adopted without replay).
+    pub speculations_committed: u64,
+    /// Speculations cancelled (the suspect spoke again).
+    pub speculations_cancelled: u64,
+    /// Work units adopted from committed speculation buffers.
+    pub units_speculated: u64,
+    /// In-flight transfer units re-owned by survivors when their peer was
+    /// evicted mid-move.
+    pub units_reowned: u64,
+    /// Duplicate gather payload units discarded (a unit restored while a
+    /// dead sender's transfer was still in flight can briefly have two
+    /// owners; both copies are fully computed and identical by gather).
+    pub gather_dup_units_dropped: u64,
+    // ---- slave-reported (folded in at gather) ----
+    /// Transfer messages re-sent by slaves because they went unacked.
+    pub transfer_resends: u64,
+    /// Duplicate transfer deliveries discarded by sequence dedup.
+    pub transfer_dups_dropped: u64,
+    /// Messages discarded because they belonged to a pre-rollback epoch.
+    pub stale_epoch_dropped: u64,
+    /// Rollbacks applied by slaves (counts each slave separately).
+    pub rollbacks_applied: u64,
+    /// Barrier checkpoints shipped by slaves.
+    pub checkpoints_sent: u64,
+    /// Speculation requests computed by survivors.
+    pub speculations_computed: u64,
 }
 
 impl RecoveryStats {
@@ -38,6 +76,35 @@ impl RecoveryStats {
     pub fn any(&self) -> bool {
         self != &RecoveryStats::default()
     }
+
+    /// Fold one slave's locally-counted fault statistics in (at gather).
+    pub fn absorb(&mut self, s: &SlaveFaultStats) {
+        self.transfer_resends += s.transfer_resends;
+        self.transfer_dups_dropped += s.transfer_dups_dropped;
+        self.stale_epoch_dropped += s.stale_epoch_dropped;
+        self.rollbacks_applied += s.rollbacks_applied;
+        self.checkpoints_sent += s.checkpoints_sent;
+        self.speculations_computed += s.speculations_computed;
+    }
+}
+
+/// Fault-protocol counters a slave accumulates locally and reports with its
+/// `GatherData` (dead slaves' counters are lost with them, which is fine —
+/// the numbers are diagnostics, not protocol state).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlaveFaultStats {
+    /// Transfer messages re-sent because they went unacked.
+    pub transfer_resends: u64,
+    /// Duplicate transfer deliveries discarded by sequence dedup.
+    pub transfer_dups_dropped: u64,
+    /// Messages discarded for belonging to a pre-rollback epoch.
+    pub stale_epoch_dropped: u64,
+    /// Rollbacks this slave applied.
+    pub rollbacks_applied: u64,
+    /// Barrier checkpoints this slave shipped.
+    pub checkpoints_sent: u64,
+    /// Speculation requests this slave computed.
+    pub speculations_computed: u64,
 }
 
 /// Round-robin a dead slave's work units over the surviving slaves.

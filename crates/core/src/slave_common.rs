@@ -1,5 +1,6 @@
-//! Shared slave-side machinery: hook bookkeeping, status exchange, and
-//! instruction application (§4.2, §3.2).
+//! Shared slave-side machinery: hook bookkeeping, status exchange,
+//! instruction application (§4.2, §3.2), and the sequenced slave↔slave
+//! transfer channels that make work migration crash-safe.
 //!
 //! The compiler inserts *hooks* — conditional calls to this code — into the
 //! generated loop nest. A hook usually just decrements a counter (we charge
@@ -9,19 +10,39 @@
 //! instructions (pipelined, Fig. 2b) or blocks for fresh ones
 //! (synchronous, Fig. 2a).
 //!
+//! Work movement rides per-peer [`TransferWindow`] channels: every
+//! outbound transfer gets a per-channel sequence number and is retained
+//! until the receiver's [`Msg::TransferAck`] watermark covers it; inbound
+//! transfers are deduplicated by sequence number. When a peer is evicted
+//! the channel closes and the unacknowledged payloads are *re-owned* (they
+//! surface in [`SlaveCommon::reclaimed`] for the engine to reintegrate).
+//!
 //! All blocking receives route through [`SlaveCommon::recv_blocking`], which
 //! always also accepts `Abort` / `Evict` (so a master-initiated shutdown can
-//! never deadlock a slave, fault mode or not) and, in fault mode, bounds the
+//! never deadlock a slave, fault mode or not), transparently services
+//! transfer acks and peer-eviction notices, and, in fault mode, bounds the
 //! wait with the configured operation timeout.
 
 use crate::balancer::InteractionMode;
 use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
-use crate::msg::{Instructions, MoveOrder, Msg, Status};
+use crate::msg::{Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
+use crate::protocol::{AckTracker, TransferWindow};
+use crate::recovery::SlaveFaultStats;
 use dlb_sim::{ActorCtx, ActorId, CpuWork, Envelope, SimDuration, SimTime};
 
 /// Contents of the `Start` message: slave ids, initial block assignment,
 /// and rows per block.
 pub type StartInfo = (Vec<ActorId>, Vec<(usize, usize)>, u64);
+
+/// A stashed [`Msg::Rollback`] payload, surfaced to the checkpointed
+/// engines' restart loops via [`ProtocolError::RolledBack`].
+#[derive(Clone, Debug)]
+pub struct RollbackInfo {
+    pub epoch: u64,
+    pub invocation: u64,
+    pub survivors: Vec<usize>,
+    pub units: Vec<(usize, UnitData)>,
+}
 
 /// Wait for the initial `Start` message (before a [`SlaveCommon`] exists).
 pub fn recv_start(
@@ -78,10 +99,31 @@ pub struct SlaveCommon {
     /// "measures the time spent in the computation") so that pipeline
     /// stalls and barrier waits do not masquerade as lost capacity.
     busy_delta: SimDuration,
-    /// Cumulative transfer counters (reported to the master for settlement).
-    pub transfers_sent: u64,
-    /// Transfers received, by sender index.
-    pub received_from: Vec<u64>,
+    /// One sequenced transfer channel per peer (the own-index entry is
+    /// never used).
+    channels: Vec<TransferWindow<TransferMsg>>,
+    /// Peers known to be evicted (their channels are closed).
+    pub dead: Vec<bool>,
+    /// Rollback epoch this slave operates in (checkpointed engines).
+    pub epoch: u64,
+    /// Receiver tracker for the windowed master → slave channel
+    /// (`Restore` / `Rollback` / `Speculate` / commit / cancel); its
+    /// watermark is reported as `InvocationDone::restore_seq`.
+    pub master_chan: AckTracker,
+    /// A rollback that arrived inside a blocking receive, waiting for the
+    /// engine's restart loop (paired with [`ProtocolError::RolledBack`]).
+    pub pending_rollback: Option<RollbackInfo>,
+    /// Units re-owned from channels closed by peer eviction; the engine
+    /// reintegrates these at its next drain point.
+    pub reclaimed: Vec<MovedUnit>,
+    /// Evictions still owed an [`Msg::OwnReport`] (answered by the engine
+    /// once `reclaimed` has been reintegrated).
+    pub own_report_due: Vec<usize>,
+    /// Locally-counted fault-protocol statistics (shipped with gather).
+    pub fault_stats: SlaveFaultStats,
+    /// Per-channel acked watermark at the last stall re-send, gating
+    /// re-sends to channels that made no progress since.
+    resend_gate: Vec<u64>,
     /// Most recent work-movement cost sample, consumed by the next status.
     pub move_cost_sample: Option<(u64, SimDuration)>,
     interaction_cost_sample: Option<SimDuration>,
@@ -112,8 +154,15 @@ impl SlaveCommon {
             hook_seq: 0,
             done_delta: 0,
             busy_delta: SimDuration::ZERO,
-            transfers_sent: 0,
-            received_from: vec![0; n],
+            channels: vec![TransferWindow::new(); n],
+            dead: vec![false; n],
+            epoch: 0,
+            master_chan: AckTracker::default(),
+            pending_rollback: None,
+            reclaimed: Vec::new(),
+            own_report_due: Vec::new(),
+            fault_stats: SlaveFaultStats::default(),
+            resend_gate: vec![0; n],
             move_cost_sample: None,
             interaction_cost_sample: None,
             last_instr_seq: 0,
@@ -145,30 +194,254 @@ impl SlaveCommon {
         ctx.send(self.slaves[to], msg, bytes);
     }
 
+    // ---- sequenced transfer channels -----------------------------------
+
+    /// Per-destination transfer sequence counters (for status/settlement).
+    pub fn sent_to_vec(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.seq_sent()).collect()
+    }
+
+    /// Per-source applied-transfer watermarks (for status/settlement and
+    /// the master's order acknowledgement).
+    pub fn recv_watermarks(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.recv_watermark()).collect()
+    }
+
+    /// Send a sequenced work transfer to `to`. `make` builds the transfer
+    /// for the allocated sequence number (its `seq`/`epoch` fields are
+    /// overwritten). Returns `false` — and sends nothing, keeping the
+    /// units with the caller — when the peer is already evicted.
+    pub fn send_transfer(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        to: usize,
+        make: impl FnOnce(u64) -> TransferMsg,
+    ) -> bool {
+        if self.dead[to] {
+            return false;
+        }
+        let epoch = self.epoch;
+        let Some(t) = self.channels[to].send_with(|seq| {
+            let mut t = make(seq);
+            t.seq = seq;
+            t.epoch = epoch;
+            t
+        }) else {
+            return false;
+        };
+        let msg = Msg::Transfer(t.clone());
+        self.send_slave(ctx, to, msg);
+        true
+    }
+
+    /// Accept an inbound transfer: epoch-fence, deduplicate by sequence
+    /// number, and acknowledge. Returns `true` exactly when the caller
+    /// must apply the payload.
+    pub fn accept_transfer(&mut self, ctx: &ActorCtx<Msg>, t: &TransferMsg) -> bool {
+        if t.epoch != self.epoch {
+            self.fault_stats.stale_epoch_dropped += 1;
+            return false;
+        }
+        if self.dead[t.from] {
+            // Fenced: the sender was evicted and its units re-scattered;
+            // applying this stale payload would duplicate them.
+            self.fault_stats.stale_epoch_dropped += 1;
+            return false;
+        }
+        let fresh = self.channels[t.from].accept(t.seq);
+        if !fresh {
+            self.fault_stats.transfer_dups_dropped += 1;
+        }
+        let ack = Msg::TransferAck {
+            from: self.idx,
+            epoch: self.epoch,
+            watermark: self.channels[t.from].recv_watermark(),
+        };
+        self.send_slave(ctx, t.from, ack);
+        fresh
+    }
+
+    /// Process a peer's transfer acknowledgement.
+    pub fn handle_transfer_ack(&mut self, from: usize, epoch: u64, watermark: u64) {
+        if epoch == self.epoch {
+            self.channels[from].ack(watermark);
+        }
+    }
+
+    /// Re-send every unacknowledged transfer on channels that made no ack
+    /// progress since the last call. Called from heartbeat timers and hook
+    /// firings — the progress gate keeps a busy ack path from being
+    /// flooded with duplicates.
+    pub fn resend_stalled_transfers(&mut self, ctx: &ActorCtx<Msg>) {
+        for to in 0..self.channels.len() {
+            if self.dead[to] || to == self.idx {
+                continue;
+            }
+            let acked = self.channels[to].acked_watermark();
+            let stalled =
+                self.channels[to].unacked().next().is_some() && acked == self.resend_gate[to];
+            self.resend_gate[to] = acked;
+            if !stalled {
+                continue;
+            }
+            let msgs: Vec<Msg> = self.channels[to]
+                .unacked()
+                .map(|(_, t)| Msg::Transfer(t.clone()))
+                .collect();
+            for m in msgs {
+                self.fault_stats.transfer_resends += 1;
+                self.send_slave(ctx, to, m);
+            }
+        }
+    }
+
+    /// True once every transfer this slave originated has been
+    /// acknowledged (closed channels count as settled).
+    pub fn transfers_settled(&self) -> bool {
+        self.channels
+            .iter()
+            .all(|c| !c.is_open() || c.fully_acked())
+    }
+
+    /// The named peer was evicted: close both channel halves, re-own the
+    /// in-flight payload units, and queue an ownership report.
+    pub fn peer_evicted(&mut self, peer: usize) {
+        if !self.dead[peer] {
+            self.dead[peer] = true;
+            for t in self.channels[peer].close() {
+                self.reclaimed.extend(t.units);
+            }
+        }
+        // A re-delivered Evicted means the master is still waiting for our
+        // OwnReport (the first one was lost): owe it again. Deduplicate so
+        // duplicated deliveries queue at most one report.
+        if !self.own_report_due.contains(&peer) {
+            self.own_report_due.push(peer);
+        }
+    }
+
+    /// Reset every transfer channel and adopt a new epoch (rollback).
+    pub fn rebase_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        for (i, c) in self.channels.iter_mut().enumerate() {
+            if !self.dead[i] {
+                c.reset();
+            }
+        }
+        self.resend_gate = vec![0; self.channels.len()];
+        self.fault_stats.rollbacks_applied += 1;
+    }
+
+    /// Handle a control message every receive point must service. Returns
+    /// `true` if `msg` was consumed here; `Err(RolledBack)` when a fresh
+    /// rollback was stashed for the engine's restart loop.
+    pub fn control(&mut self, msg: &Msg) -> Result<bool, ProtocolError> {
+        match msg {
+            Msg::TransferAck {
+                from,
+                epoch,
+                watermark,
+            } => {
+                self.handle_transfer_ack(*from, *epoch, *watermark);
+                Ok(true)
+            }
+            Msg::Evicted { slave } => {
+                self.peer_evicted(*slave);
+                Ok(true)
+            }
+            Msg::Rollback {
+                seq,
+                epoch,
+                invocation,
+                survivors,
+                units,
+            } => {
+                if *epoch <= self.epoch {
+                    // A rollback we already applied (or that a newer one
+                    // superseded) arriving late: acknowledge the sequence so
+                    // the master's window can settle, but never re-apply —
+                    // rebasing to a stale epoch would resurrect a dead
+                    // distribution.
+                    self.master_chan.fresh(*seq);
+                    self.fault_stats.stale_epoch_dropped += 1;
+                    return Ok(true);
+                }
+                if self.master_chan.fresh(*seq) {
+                    self.pending_rollback = Some(RollbackInfo {
+                        epoch: *epoch,
+                        invocation: *invocation,
+                        survivors: survivors.clone(),
+                        units: units.clone(),
+                    });
+                    Err(ProtocolError::RolledBack)
+                } else {
+                    // Duplicate delivery of an applied rollback: the ack
+                    // rides the next InvocationDone watermark.
+                    Ok(true)
+                }
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Non-blocking drain of channel control traffic (acks, peer
+    /// evictions, rollbacks). Engines call this from their transfer-drain
+    /// loops.
+    pub fn drain_control(&mut self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
+        while let Some(env) = ctx.try_recv_match(|m| {
+            matches!(
+                m,
+                Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }
+            )
+        }) {
+            self.control(&env.msg)?;
+        }
+        Ok(())
+    }
+
     /// Blocking receive for a protocol step. Also matches `Abort` / `Evict`
-    /// (turned into errors) so master-initiated shutdown cannot deadlock;
-    /// in fault mode the wait is bounded by `op_timeout`.
+    /// (turned into errors) so master-initiated shutdown cannot deadlock,
+    /// transparently services channel control traffic, and in fault mode
+    /// bounds the wait with `op_timeout`.
     pub fn recv_blocking(
-        &self,
+        &mut self,
         ctx: &ActorCtx<Msg>,
         mut pred: impl FnMut(&Msg) -> bool,
         waiting_for: &'static str,
     ) -> Result<Envelope<Msg>, ProtocolError> {
-        let full = |m: &Msg| pred(m) || matches!(m, Msg::Abort | Msg::Evict);
-        let env = match &self.ft {
-            None => ctx.recv_match(full),
-            Some(ft) => ctx
-                .recv_match_deadline(full, ctx.now() + ft.op_timeout)
-                .ok_or_else(|| ProtocolError::Timeout {
-                    who: slave_who(self.idx),
-                    waiting_for,
-                    at: ctx.now(),
-                })?,
-        };
-        match env.msg {
-            Msg::Abort => Err(ProtocolError::Aborted),
-            Msg::Evict => Err(ProtocolError::Evicted { slave: self.idx }),
-            _ => Ok(env),
+        let deadline = self.ft.as_ref().map(|ft| ctx.now() + ft.op_timeout);
+        loop {
+            let full = |m: &Msg| {
+                pred(m)
+                    || matches!(
+                        m,
+                        Msg::Abort
+                            | Msg::Evict
+                            | Msg::TransferAck { .. }
+                            | Msg::Evicted { .. }
+                            | Msg::Rollback { .. }
+                    )
+            };
+            let env = match deadline {
+                None => ctx.recv_match(full),
+                Some(d) => {
+                    ctx.recv_match_deadline(full, d)
+                        .ok_or_else(|| ProtocolError::Timeout {
+                            who: slave_who(self.idx),
+                            waiting_for,
+                            at: ctx.now(),
+                        })?
+                }
+            };
+            match &env.msg {
+                Msg::Abort => return Err(ProtocolError::Aborted),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: self.idx }),
+                m => {
+                    if !self.control(m)? {
+                        return Ok(env);
+                    }
+                }
+            }
         }
     }
 
@@ -185,12 +458,28 @@ impl SlaveCommon {
         // Instruction sequence numbers are globally monotone, so any
         // duplicate or stale replay (possible only under fault injection)
         // has `seq <= last_instr_seq` and must be ignored wholesale —
-        // re-executing its moves would double-send work units.
+        // re-executing its moves would double-send work units. Orders from
+        // an earlier rollback epoch reference a distribution that no longer
+        // exists and are likewise discarded.
+        if instr.epoch != self.epoch {
+            self.fault_stats.stale_epoch_dropped += 1;
+            return;
+        }
         if instr.seq > self.last_instr_seq {
             self.last_instr_seq = instr.seq;
             self.skip = instr.hooks_to_skip;
             moves.extend(instr.moves);
         }
+    }
+
+    /// Apply an instruction message received *outside* a hook firing (idle
+    /// loops, barrier waits). Routes through the same epoch and sequence
+    /// fences as hook-applied instructions, so duplicated deliveries can
+    /// never double-execute movement orders.
+    pub fn instructions_out_of_band(&mut self, instr: Instructions) -> Vec<MoveOrder> {
+        let mut moves = Vec::new();
+        self.apply_instructions(instr, &mut moves);
+        moves
     }
 
     /// The load-balancing hook. Returns movement orders to execute *now*
@@ -222,6 +511,11 @@ impl SlaveCommon {
         self.hook_seq += 1;
         let t0 = ctx.now();
         let mut moves = Vec::new();
+        if self.ft.is_some() {
+            // Event-triggered repair: a hook firing is evidence of local
+            // progress with no matching ack progress on a stalled channel.
+            self.resend_stalled_transfers(ctx);
+        }
 
         // The status must reflect the state *before* this hook applies any
         // queued instructions: `active_units` was measured before any moves
@@ -235,8 +529,9 @@ impl SlaveCommon {
             elapsed: self.busy_delta,
             active_units,
             last_applied_seq: self.last_instr_seq,
-            transfers_sent: self.transfers_sent,
-            received_from: self.received_from.clone(),
+            epoch: self.epoch,
+            sent_to: self.sent_to_vec(),
+            received_from: self.recv_watermarks(),
             move_cost_sample: self.move_cost_sample.take(),
             interaction_cost_sample: self.interaction_cost_sample.take(),
         };

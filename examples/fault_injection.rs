@@ -1,4 +1,5 @@
-//! Fault injection: crash a node mid-run and watch the runtime recover.
+//! Fault injection: crash a node mid-run and watch the runtime recover —
+//! with the dynamic load balancer live the whole time.
 //!
 //! ```sh
 //! cargo run --release --example fault_injection
@@ -7,11 +8,16 @@
 //! A `FaultPlan` is part of the deterministic simulation: message drops,
 //! duplicates, delays, and node crashes are drawn from a seeded stream, so
 //! the same seed replays the identical failure — and the identical
-//! recovery. Under faults the driver runs the fault-tolerant protocol:
-//!  - the independent pattern *recovers* — a dead slave is detected by
-//!    silence, evicted, and its units re-scattered to the survivors;
-//!  - the pipelined/shrinking patterns carry dependences across nodes, so
-//!    a crash there surfaces as a typed `RunError` instead of a panic.
+//! recovery. Under faults the driver runs the fault-tolerant protocol
+//! with balancing enabled: work migrations ride the sequenced transfer
+//! window, so in-flight moves survive drops, duplicates, and crashes of
+//! either endpoint.
+//!  - the independent pattern *recovers in place* — a dead slave is
+//!    detected by silence, speculatively covered by an idle survivor, then
+//!    evicted and its units re-scattered;
+//!  - the pipelined/shrinking patterns checkpoint at every barrier, so a
+//!    crash rolls the survivors back to the latest complete snapshot and
+//!    the run completes on the smaller cluster.
 
 use dlb::apps::{Calibration, MatMul, Sor};
 use dlb::core::driver::{try_run, AppSpec, RunConfig};
@@ -24,19 +30,21 @@ fn main() {
     let plan = dlb::compiler::compile(&mm.program()).expect("compiles");
 
     // 5 % of messages dropped, 2 % duplicated, and slave 2 (node 3 —
-    // node 0 is the master) dies 0.2 virtual seconds in.
+    // node 0 is the master) dies 0.2 virtual seconds in. The balancer
+    // stays enabled (the default): migrations and recovery interleave.
     let faults = FaultPlan::new(42)
         .drop_all(0.05)
         .dup_all(0.02)
         .crash(3, SimTime(200_000));
 
     let mut cfg = RunConfig::homogeneous(4);
+    assert!(cfg.balancer.enabled, "balancing stays on under faults");
     cfg.fault_plan = Some(faults);
 
     let report = try_run(AppSpec::Independent(mm.clone()), &plan, cfg)
         .expect("the independent pattern recovers from a single crash");
 
-    println!("-- independent pattern: crash + 5% message loss --");
+    println!("-- independent pattern: crash + 5% message loss, balancer on --");
     let f = &report.sim.fault;
     println!(
         "injected: {} dropped, {} duplicated, {} crashed node(s)",
@@ -46,10 +54,16 @@ fn main() {
     );
     let r = &report.recovery;
     println!(
-        "recovered: {} slave(s) declared dead, {} unit(s) re-scattered, {} re-sent message(s)",
+        "recovered: {} slave(s) declared dead, {} unit(s) re-scattered, \
+         {} unit(s) re-owned, {} re-sent message(s)",
         r.slaves_declared_dead,
         r.units_restored,
+        r.units_reowned,
         r.start_resends + r.invocation_start_resends + r.restore_resends + r.gather_resends
+    );
+    println!(
+        "speculation: {} launched, {} committed, {} unit(s) pre-computed on idle survivors",
+        r.speculations_launched, r.speculations_committed, r.units_speculated
     );
     if let Some(t) = r.first_death {
         println!("first death detected at t = {:.2}s", t.0 as f64 / 1e6);
@@ -57,16 +71,23 @@ fn main() {
     assert_eq!(MatMul::result_c(&report.result), mm.sequential());
     println!("result still bit-identical to sequential execution ✓");
 
-    // The pipelined pattern cannot lose a node: neighbours exchange
-    // boundary rows every sweep. The same crash aborts with a typed error.
+    // The pipelined pattern carries dependences across nodes, so it cannot
+    // simply re-scatter a dead slave's work: instead every barrier ships a
+    // checkpoint, and the same crash rolls the survivors back to the
+    // latest complete snapshot.
     let sor = Arc::new(Sor::new(18, 4, 7, &Calibration::new(0.002)));
     let sor_plan = dlb::compiler::compile(&sor.program()).expect("compiles");
     let mut cfg = RunConfig::homogeneous(4);
     cfg.fault_plan = Some(FaultPlan::new(9).crash(2, SimTime(300_000)));
 
-    println!("\n-- pipelined pattern: same crash --");
-    match try_run(AppSpec::Pipelined(sor), &sor_plan, cfg) {
-        Ok(_) => unreachable!("a mid-sweep crash cannot complete"),
-        Err(e) => println!("aborted cleanly: {e}"),
-    }
+    println!("\n-- pipelined pattern: same crash, checkpoint rollback --");
+    let report = try_run(AppSpec::Pipelined(sor.clone()), &sor_plan, cfg)
+        .expect("the pipelined pattern resumes from its checkpoint");
+    let r = &report.recovery;
+    println!(
+        "recovered: {} rollback(s) from {} banked checkpoint(s), {} unit(s) rolled back",
+        r.rollbacks, r.checkpoints_banked, r.units_rolled_back
+    );
+    assert_eq!(sor.result_grid(&report.result), sor.sequential());
+    println!("result still bit-identical to sequential execution ✓");
 }
