@@ -25,7 +25,7 @@
 
 use crate::diag::{Code, Diagnostic, Report};
 use dlb_compiler::Span;
-use dlb_core::{RestoreModel, TransferModel};
+use dlb_core::session::model::{RestoreModel, TransferModel};
 use dlb_sim::{explore, random_walks, Exploration, Verdict};
 
 /// Bounds for the exhaustive and sampled exploration.

@@ -630,7 +630,7 @@ fn idle_until_work_or_barrier(
                     common.send_master(ctx, msg);
                 }
             }
-            Msg::InvocationStart { invocation } => {
+            Msg::InvocationStart { invocation, .. } => {
                 if invocation == inv + 1 {
                     return Ok(Idle::NextInvocation);
                 }
@@ -641,7 +641,13 @@ fn idle_until_work_or_barrier(
                     common.send_master(ctx, msg);
                     continue;
                 }
-                return Err(common.unexpected("idle barrier", &Msg::InvocationStart { invocation }));
+                return Err(common.unexpected(
+                    "idle barrier",
+                    &Msg::InvocationStart {
+                        invocation,
+                        ckpt_stride: 1,
+                    },
+                ));
             }
             Msg::Gather => {
                 // The master decides when the loop ends (fixed count or
@@ -668,7 +674,7 @@ fn wait_invocation_start(
     loop {
         let env = common.recv_blocking(ctx, |_| true, "first invocation start")?;
         match env.msg {
-            Msg::InvocationStart { invocation: 0 } => return Ok(()),
+            Msg::InvocationStart { invocation: 0, .. } => return Ok(()),
             Msg::Transfer(t) => {
                 if common.accept_transfer(ctx, &t) {
                     incorporate(common, units, t)?;

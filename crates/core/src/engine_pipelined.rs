@@ -16,22 +16,22 @@
 //! result is bit-identical to sequential execution no matter when moves
 //! happen — the property tests in `tests/` rely on that.
 //!
-//! Under fault injection this engine is *checkpointed*: at every sweep
-//! barrier each slave ships its column state to the master
-//! ([`Msg::Checkpoint`], best-effort). When a slave dies or wedges, the
-//! master rolls every survivor back to the latest complete snapshot
-//! ([`Msg::Rollback`]): the slave discards all engine state, adopts the
-//! re-partitioned columns, derives its pipeline neighbours from the
-//! survivor list, and resumes the tagged sweep in a new epoch. Boundary and
-//! sweep-old values are pure functions of sweep-start state, so messages
-//! surviving from before the rollback are bit-identical to their replayed
-//! versions and need no fencing; transfers and balancing instructions are
-//! epoch-fenced.
+//! The fault-tolerant life cycle (checkpoint cadence, rollback, snapshot
+//! speculation, rescue, gather) lives in [`crate::session::slave`]; this
+//! module supplies the pipelined [`DistributionStrategy`]: the sweep body,
+//! set-aside/catch-up transfer integration, neighbour derivation on
+//! rollback, and the sequential one-sweep snapshot advance used to race a
+//! silent suspect. Boundary and sweep-old values are pure functions of
+//! sweep-start state, so messages surviving from before a rollback are
+//! bit-identical to their replayed versions and need no fencing; transfers
+//! and balancing instructions are epoch-fenced.
 
 use crate::balancer::InteractionMode;
-use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
+use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::PipelinedKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
+use crate::session::slave as session_slave;
+use crate::session::strategy::DistributionStrategy;
 use crate::slave_common::{recv_start, RollbackInfo, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::ops::Range;
@@ -156,7 +156,7 @@ impl PipelinedSlave {
         let col_len = kernel.col_len();
         let interior = (col_len - 2) as u64;
         let nblocks = interior.div_ceil(block_rows.max(1));
-        let mut st = State {
+        let st = State {
             idx: self.idx,
             cols: (range.0..range.1)
                 .map(|i| PCol {
@@ -181,192 +181,197 @@ impl PipelinedSlave {
         if st.cols.is_empty() {
             return Err(st.inconsistent("started with zero columns".into()));
         }
-
-        let sweeps = kernel.sweeps();
-        let mut start_sweep = 0u64;
-        let mut need_release = true;
-        loop {
-            // The gather reply lives *inside* the restart loop: a peer can
-            // die while the master is collecting results, and the resulting
-            // rollback must re-run the lost sweeps on the survivors — so a
-            // rollback arriving during the gather wait unwinds to here like
-            // any other.
-            let result = run_sweeps(
-                ctx,
-                &mut common,
-                &mut st,
-                &*kernel,
-                start_sweep,
-                sweeps,
-                need_release,
-            )
-            .and_then(|()| reply_gather(ctx, &mut common, &st));
-            match result {
-                Ok(()) => return Ok(()),
-                Err(ProtocolError::RolledBack) => {}
-                Err(e) if common.ft.is_some() && recoverable(&e) => {
-                    // Wedged (lost halo, torn protocol state): report and
-                    // wait to be rolled back rather than dying — the master
-                    // answers a SlaveError with a rollback, not an eviction.
-                    let msg = Msg::SlaveError {
-                        slave: common.idx,
-                        error: e,
-                    };
-                    common.send_master(ctx, msg);
-                    rescue_wait(ctx, &mut common)?;
-                }
-                Err(e) => return Err(e),
-            }
-            let rb = common.pending_rollback.take().ok_or_else(|| {
-                st.inconsistent("rollback unwound with no pending payload".into())
-            })?;
-            start_sweep = apply_rollback(&mut common, &mut st, rb)?;
-            // The rollback itself releases the resumed sweep; no
-            // InvocationStart follows.
-            need_release = false;
-        }
+        let mut strategy = PipelinedStrategy { st, kernel };
+        session_slave::run(ctx, &mut common, &mut strategy)
     }
 }
 
-/// Errors a checkpointed slave reports and survives (by rollback) instead
-/// of dying from.
-fn recoverable(e: &ProtocolError) -> bool {
-    matches!(
-        e,
-        ProtocolError::Timeout { .. }
-            | ProtocolError::MissingPivot { .. }
-            | ProtocolError::NonNeighborTransfer { .. }
-            | ProtocolError::Inconsistent { .. }
-            | ProtocolError::UnexpectedMessage { .. }
-    )
+/// The pipelined distribution pattern plugged into the shared checkpointed
+/// slave runner.
+struct PipelinedStrategy {
+    st: State,
+    kernel: Arc<dyn PipelinedKernel>,
 }
 
-/// After shipping a `SlaveError`, wait for the master's rollback (stashed in
-/// `pending_rollback`), an abort, or an eviction.
-fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), ProtocolError> {
-    let ft = common.ft.clone().expect("rescue_wait requires fault mode");
-    let mut tries = 0u32;
-    loop {
-        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
-            None => {
-                tries += 1;
-                if tries > ft.give_up_tries {
-                    return Err(ProtocolError::Timeout {
-                        who: slave_who(common.idx),
-                        waiting_for: "rescue rollback",
-                        at: ctx.now(),
-                    });
-                }
-            }
-            Some(env) => match env.msg {
-                Msg::Abort => return Err(ProtocolError::Aborted),
-                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-                m => {
-                    if let Err(ProtocolError::RolledBack) = common.control(&m) {
-                        return Ok(());
-                    }
-                    // anything else is stale traffic of the torn epoch — ignore
-                }
-            },
-        }
-    }
-}
-
-/// Adopt a rollback: discard all engine state, install the re-partitioned
-/// columns, derive neighbours from the survivor list, enter the new epoch.
-/// Returns the sweep to resume from.
-fn apply_rollback(
-    common: &mut SlaveCommon,
-    st: &mut State,
-    rb: RollbackInfo,
-) -> Result<u64, ProtocolError> {
-    let pos = rb
-        .survivors
-        .iter()
-        .position(|&s| s == common.idx)
-        .ok_or(ProtocolError::Evicted { slave: common.idx })?;
-    for s in 0..common.dead.len() {
-        common.dead[s] = !rb.survivors.contains(&s);
-    }
-    common.reclaimed.clear();
-    common.own_report_due.clear();
-    common.rebase_epoch(rb.epoch);
-    st.left = pos.checked_sub(1).map(|p| rb.survivors[p]);
-    st.right = rb.survivors.get(pos + 1).copied();
-    let mut units = rb.units;
-    units.sort_by_key(|(id, _)| *id);
-    st.cols = units
-        .into_iter()
-        .map(|(id, mut d)| PCol {
-            id,
-            data: if d.is_empty() {
-                Vec::new()
-            } else {
-                d.swap_remove(0)
-            },
-            old: Vec::new(),
-            phase: 0,
-        })
-        .collect();
-    if st.cols.is_empty() {
-        return Err(st.inconsistent("rolled back to zero columns".into()));
-    }
-    st.check_contiguous()?;
-    st.set_aside.clear();
-    st.right_old = Vec::new();
-    st.sweep = rb.invocation;
-    Ok(rb.invocation)
-}
-
-/// The main sweep loop, from `start_sweep` to completion (ends by
-/// consuming the final `Gather`). Unwinds with `RolledBack` whenever a
-/// rollback arrives.
-fn run_sweeps(
-    ctx: &ActorCtx<Msg>,
-    common: &mut SlaveCommon,
-    st: &mut State,
-    kernel: &dyn PipelinedKernel,
-    start_sweep: u64,
-    sweeps: u64,
-    need_release: bool,
-) -> Result<(), ProtocolError> {
-    if need_release {
-        // Initial release: the end-of-sweep barrier consumes every later
-        // InvocationStart.
-        loop {
-            let env = common.recv_blocking(
-                ctx,
-                |m| matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_)),
-                "first sweep start",
-            )?;
-            match env.msg {
-                Msg::InvocationStart { invocation: 0 } => break,
-                Msg::InvocationStart { invocation } => {
-                    return Err(common.unexpected(
-                        "waiting for first sweep",
-                        &Msg::InvocationStart { invocation },
-                    ));
-                }
-                Msg::Instructions(_) => {}
-                _ => unreachable!(),
-            }
-        }
+impl DistributionStrategy for PipelinedStrategy {
+    fn invocations(&self) -> u64 {
+        self.kernel.sweeps()
     }
 
-    for sweep in start_sweep..sweeps {
-        st.sweep = sweep;
-        sweep_body(ctx, common, st, kernel)?;
+    fn first_release_context(&self) -> &'static str {
+        "first sweep start"
+    }
+
+    fn barrier_context(&self) -> &'static str {
+        "sweep barrier"
+    }
+
+    fn recoverable(&self, e: &ProtocolError) -> bool {
+        matches!(
+            e,
+            ProtocolError::Timeout { .. }
+                | ProtocolError::MissingPivot { .. }
+                | ProtocolError::NonNeighborTransfer { .. }
+                | ProtocolError::Inconsistent { .. }
+                | ProtocolError::UnexpectedMessage { .. }
+        )
+    }
+
+    fn run_invocation(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+    ) -> Result<(), ProtocolError> {
+        let st = &mut self.st;
+        st.sweep = inv;
+        sweep_body(ctx, common, st, &*self.kernel)?;
         // Sweep complete: absorb queued transfers (their catch-up work
         // counts toward this sweep), then flush status and execute any
         // sweep-end moves.
         let nblocks = st.nblocks;
-        drain_transfers(ctx, common, st, kernel, nblocks)?;
-        let moves = common.fire(ctx, sweep, st.active_units())?;
+        drain_transfers(ctx, common, st, &*self.kernel, nblocks)?;
+        let moves = common.fire(ctx, inv, st.active_units())?;
         execute_moves(ctx, common, st, moves, nblocks)?;
-        purge_stale(ctx, sweep);
-        barrier(ctx, common, st, kernel, sweep, sweep + 1 == sweeps)?;
+        purge_stale(ctx, inv);
+        Ok(())
     }
-    Ok(())
+
+    fn on_barrier_transfer(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+        t: TransferMsg,
+    ) -> Result<(), ProtocolError> {
+        let st = &mut self.st;
+        let nblocks = st.nblocks;
+        accept_transfer(ctx, common, st, &*self.kernel, t, nblocks)?;
+        let moves = common.fire(ctx, inv, st.active_units())?;
+        execute_moves(ctx, common, st, moves, nblocks)
+    }
+
+    fn on_barrier_moves(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        _inv: u64,
+        moves: Vec<MoveOrder>,
+    ) -> Result<(), ProtocolError> {
+        let nblocks = self.st.nblocks;
+        execute_moves(ctx, common, &mut self.st, moves, nblocks)
+    }
+
+    fn owned_ids(&self) -> Vec<usize> {
+        self.st.cols.iter().map(|c| c.id).collect()
+    }
+
+    fn checkpoint_units(&self) -> Vec<(usize, UnitData)> {
+        self.st
+            .cols
+            .iter()
+            .map(|c| (c.id, vec![c.data.clone()]))
+            .collect()
+    }
+
+    fn gather_units(&self) -> Result<Vec<(usize, UnitData)>, ProtocolError> {
+        if !self.st.set_aside.is_empty() {
+            return Err(self.st.inconsistent("set-aside columns at gather".into()));
+        }
+        Ok(self.checkpoint_units())
+    }
+
+    /// Discard all engine state, install the re-partitioned columns, derive
+    /// neighbours from the survivor list.
+    fn restore(
+        &mut self,
+        common: &mut SlaveCommon,
+        rb: RollbackInfo,
+    ) -> Result<u64, ProtocolError> {
+        let st = &mut self.st;
+        let pos = rb
+            .survivors
+            .iter()
+            .position(|&s| s == common.idx)
+            .ok_or(ProtocolError::Evicted { slave: common.idx })?;
+        st.left = pos.checked_sub(1).map(|p| rb.survivors[p]);
+        st.right = rb.survivors.get(pos + 1).copied();
+        let mut units = rb.units;
+        units.sort_by_key(|(id, _)| *id);
+        st.cols = units
+            .into_iter()
+            .map(|(id, mut d)| PCol {
+                id,
+                data: if d.is_empty() {
+                    Vec::new()
+                } else {
+                    d.swap_remove(0)
+                },
+                old: Vec::new(),
+                phase: 0,
+            })
+            .collect();
+        if st.cols.is_empty() {
+            return Err(st.inconsistent("rolled back to zero columns".into()));
+        }
+        st.check_contiguous()?;
+        st.set_aside.clear();
+        st.right_old = Vec::new();
+        st.sweep = rb.invocation;
+        Ok(rb.invocation)
+    }
+
+    /// Run sweep `invocation` over the whole banked grid, sequentially and
+    /// without any communication: the left halo of the global first column
+    /// is the wall, every other left halo is the *new* value of the column
+    /// to the left (already updated this sweep), and every right halo is
+    /// the sweep-start snapshot — exactly the distributed dataflow, so the
+    /// speculative state is bit-identical to what the suspect would have
+    /// produced.
+    fn advance_snapshot(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        _common: &mut SlaveCommon,
+        _invocation: u64,
+        units: Vec<(usize, UnitData)>,
+    ) -> Result<Vec<(usize, UnitData)>, ProtocolError> {
+        let st = &self.st;
+        let kernel = &*self.kernel;
+        let mut cols: Vec<(usize, Vec<f64>)> = units
+            .into_iter()
+            .map(|(id, mut d)| {
+                (
+                    id,
+                    if d.is_empty() {
+                        Vec::new()
+                    } else {
+                        d.swap_remove(0)
+                    },
+                )
+            })
+            .collect();
+        cols.sort_by_key(|(id, _)| *id);
+        let olds: Vec<Vec<f64>> = cols.iter().map(|(_, d)| d.clone()).collect();
+        for b in 0..st.nblocks {
+            let rows = st.rows_of_block(b);
+            let cost = kernel.elem_cost() * rows.len() as u64;
+            for j in 0..cols.len() {
+                ctx.advance_work(cost);
+                let (left_part, rest) = cols.split_at_mut(j);
+                let (me, _) = rest.split_first_mut().expect("j in range");
+                let left: &[f64] = match left_part.last() {
+                    Some((_, l)) => l,
+                    None => &st.left_wall,
+                };
+                let right: &[f64] = match olds.get(j + 1) {
+                    Some(o) => o,
+                    None => &st.right_wall,
+                };
+                kernel.compute_block(&mut me.1, left, right, rows.clone());
+            }
+        }
+        Ok(cols.into_iter().map(|(id, d)| (id, vec![d])).collect())
+    }
 }
 
 fn send_boundary(ctx: &ActorCtx<Msg>, common: &SlaveCommon, st: &State, b: u64) {
@@ -796,201 +801,4 @@ fn purge_stale(ctx: &ActorCtx<Msg>, sweep: u64) {
         })
         .is_some()
     {}
-}
-
-fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, sweep: u64) {
-    let msg = Msg::InvocationDone {
-        slave: common.idx,
-        invocation: sweep,
-        epoch: common.epoch,
-        sent_to: common.sent_to_vec(),
-        received_from: common.recv_watermarks(),
-        metric: 0.0,
-        restore_seq: common.master_chan.watermark(),
-        owned_ids: st.cols.iter().map(|c| c.id).collect(),
-    };
-    common.send_master(ctx, msg);
-}
-
-/// Ship the sweep-barrier checkpoint: the state from which sweep
-/// `sweep + 1` starts. Best-effort — a dropped checkpoint only means the
-/// master rolls back to an older complete snapshot.
-fn send_checkpoint(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, sweep: u64) {
-    if common.ft.is_none() {
-        return;
-    }
-    let msg = Msg::Checkpoint {
-        slave: common.idx,
-        invocation: sweep + 1,
-        units: st
-            .cols
-            .iter()
-            .map(|c| (c.id, vec![c.data.clone()]))
-            .collect(),
-    };
-    common.fault_stats.checkpoints_sent += 1;
-    common.send_master(ctx, msg);
-}
-
-fn barrier(
-    ctx: &ActorCtx<Msg>,
-    common: &mut SlaveCommon,
-    st: &mut State,
-    kernel: &dyn PipelinedKernel,
-    sweep: u64,
-    is_final: bool,
-) -> Result<(), ProtocolError> {
-    if std::env::var_os("DLB_TRACE").is_some() {
-        eprintln!(
-            "[slave{} t={}] barrier sweep {sweep} cols {:?}",
-            st.idx,
-            ctx.now(),
-            st.cols.iter().map(|c| c.id).collect::<Vec<_>>(),
-        );
-    }
-    send_done(ctx, common, st, sweep);
-    send_checkpoint(ctx, common, st, sweep);
-    let fault_mode = common.ft.is_some();
-    let mut silent = 0u32;
-    loop {
-        let env = match common.ft.clone() {
-            None => common.recv_blocking(ctx, |_| true, "sweep barrier")?,
-            Some(ft) => match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
-                Some(env) => {
-                    silent = 0;
-                    env
-                }
-                None => {
-                    // Heartbeat: our done report (or the barrier release)
-                    // may have been lost; refresh it, re-sending stalled
-                    // transfers and the checkpoint with it.
-                    silent += 1;
-                    if silent > ft.give_up_tries {
-                        return Err(ProtocolError::Timeout {
-                            who: slave_who(common.idx),
-                            waiting_for: "sweep barrier",
-                            at: ctx.now(),
-                        });
-                    }
-                    common.resend_stalled_transfers(ctx);
-                    send_done(ctx, common, st, sweep);
-                    send_checkpoint(ctx, common, st, sweep);
-                    continue;
-                }
-            },
-        };
-        match env.msg {
-            Msg::Transfer(t) => {
-                accept_transfer(ctx, common, st, kernel, t, st.nblocks)?;
-                // Catch-up work done while incorporating counts toward this
-                // sweep: flush it (and any movement the reply requests)
-                // before refreshing the done/counters message.
-                let moves = common.fire(ctx, sweep, st.active_units())?;
-                let nblocks = st.nblocks;
-                execute_moves(ctx, common, st, moves, nblocks)?;
-                send_done(ctx, common, st, sweep);
-                send_checkpoint(ctx, common, st, sweep);
-            }
-            Msg::Instructions(instr) => {
-                // Sweep-boundary moves keep the next sweep balanced. The
-                // master cannot settle (and so cannot start the next sweep
-                // or the gather) until these transfers are acknowledged, so
-                // executing them here is always safe — routed through the
-                // shared epoch/sequence fences so a duplicated delivery
-                // cannot double-execute the moves.
-                let moves = common.instructions_out_of_band(instr);
-                if !moves.is_empty() {
-                    let nblocks = st.nblocks;
-                    execute_moves(ctx, common, st, moves, nblocks)?;
-                    send_done(ctx, common, st, sweep);
-                    send_checkpoint(ctx, common, st, sweep);
-                }
-            }
-            Msg::InvocationStart { invocation } => {
-                if invocation == sweep + 1 && !is_final {
-                    return Ok(());
-                }
-                if fault_mode && invocation <= sweep {
-                    // Stale duplicate of an earlier release.
-                    continue;
-                }
-                return Err(
-                    common.unexpected("sweep barrier", &Msg::InvocationStart { invocation })
-                );
-            }
-            Msg::Gather => {
-                if is_final {
-                    return Ok(());
-                }
-                return Err(common.unexpected("sweep barrier", &Msg::Gather));
-            }
-            Msg::Abort => return Err(ProtocolError::Aborted),
-            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-            Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
-            m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
-                common.control(&m)?;
-            }
-            other => return Err(common.unexpected("sweep barrier", &other)),
-        }
-    }
-}
-
-/// The final barrier consumed the Gather message; reply with our columns.
-/// In fault mode, wait for the master's acknowledgement (re-sending on
-/// duplicate `Gather` requests) so a dropped reply cannot lose the result.
-fn reply_gather(
-    ctx: &ActorCtx<Msg>,
-    common: &mut SlaveCommon,
-    st: &State,
-) -> Result<(), ProtocolError> {
-    if !st.set_aside.is_empty() {
-        return Err(st.inconsistent("set-aside columns at gather".into()));
-    }
-    let payload: Vec<(usize, UnitData)> = st
-        .cols
-        .iter()
-        .map(|c| (c.id, vec![c.data.clone()]))
-        .collect();
-    let msg = Msg::GatherData {
-        slave: common.idx,
-        units: payload.clone(),
-        fault_stats: common.fault_stats.clone(),
-    };
-    common.send_master(ctx, msg);
-    let Some(ft) = common.ft.clone() else {
-        return Ok(());
-    };
-    let mut tries = 0u32;
-    loop {
-        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
-            None => {
-                tries += 1;
-                if tries > ft.gather_patience {
-                    // Assume the data arrived and the ack was lost.
-                    return Ok(());
-                }
-            }
-            Some(env) => match env.msg {
-                Msg::Gather => {
-                    tries = 0;
-                    let msg = Msg::GatherData {
-                        slave: common.idx,
-                        units: payload.clone(),
-                        fault_stats: common.fault_stats.clone(),
-                    };
-                    common.send_master(ctx, msg);
-                }
-                Msg::GatherAck | Msg::Abort => return Ok(()),
-                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-                // A peer died while the master was collecting results: the
-                // rollback (or transfer-ack bookkeeping that precedes it)
-                // unwinds through the shared control path so the restart
-                // loop re-runs the lost sweeps.
-                m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
-                    common.control(&m)?;
-                }
-                _ => {} // stale traffic
-            },
-        }
-    }
 }

@@ -7,22 +7,21 @@
 //! direct (no carried dependences) and only ships active columns; a column
 //! arriving one step behind is caught up with the retained pivot history.
 //!
-//! Under fault injection this engine is *checkpointed*: at every step
-//! barrier each slave ships its full local state (retired and active
-//! columns) to the master ([`Msg::Checkpoint`], best-effort). When a slave
-//! dies or wedges, the master rolls every survivor back to the latest
-//! complete snapshot ([`Msg::Rollback`]): the slave discards its engine
-//! state, adopts the re-partitioned columns — ids below the resumed step
-//! are retired, the rest are active and updated through the previous step —
-//! and resumes in a new epoch. Pivot payloads are pure functions of
-//! step-start state, so pivot broadcasts surviving from before the
-//! rollback are bit-identical to their replayed versions; transfers and
-//! balancing instructions are epoch-fenced.
+//! The fault-tolerant life cycle (checkpoint cadence, rollback, snapshot
+//! speculation, rescue, gather) lives in [`crate::session::slave`]; this
+//! module supplies the shrinking [`DistributionStrategy`]: the pivot/update
+//! step body, active/retired bookkeeping on rollback, and the sequential
+//! one-step snapshot advance used to race a silent suspect. Pivot payloads
+//! are pure functions of step-start state, so pivot broadcasts surviving
+//! from before a rollback are bit-identical to their replayed versions;
+//! transfers and balancing instructions are epoch-fenced.
 
 use crate::balancer::InteractionMode;
-use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
+use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::kernels::ShrinkingKernel;
 use crate::msg::{Edge, MoveOrder, MovedUnit, Msg, TransferMsg, UnitData};
+use crate::session::slave as session_slave;
+use crate::session::strategy::DistributionStrategy;
 use crate::slave_common::{recv_start, RollbackInfo, SlaveCommon};
 use dlb_sim::{ActorCtx, ActorId, CpuWork};
 use std::collections::BTreeMap;
@@ -79,7 +78,7 @@ impl ShrinkingSlave {
             self.ft.clone(),
             ctx.now(),
         );
-        let mut st = State {
+        let st = State {
             active: (range.0..range.1)
                 .map(|i| {
                     (
@@ -94,181 +93,221 @@ impl ShrinkingSlave {
             retired: Vec::new(),
             pivots: vec![None; n],
         };
-
-        let steps = (n as u64).saturating_sub(1);
-        let mut start_step = 0u64;
-        let mut need_release = true;
-        loop {
-            // The gather reply lives *inside* the restart loop: a peer can
-            // die while the master is collecting results, and the resulting
-            // rollback must re-run the lost steps on the survivors.
-            let result = run_steps(
-                ctx,
-                &mut common,
-                &mut st,
-                &*kernel,
-                start_step,
-                steps,
-                need_release,
-            )
-            .and_then(|()| reply_gather(ctx, &mut common, &st));
-            match result {
-                Ok(()) => return Ok(()),
-                Err(ProtocolError::RolledBack) => {}
-                Err(e) if common.ft.is_some() && recoverable(&e) => {
-                    let msg = Msg::SlaveError {
-                        slave: common.idx,
-                        error: e,
-                    };
-                    common.send_master(ctx, msg);
-                    rescue_wait(ctx, &mut common)?;
-                }
-                Err(e) => return Err(e),
-            }
-            let rb = common
-                .pending_rollback
-                .take()
-                .ok_or_else(|| ProtocolError::Inconsistent {
-                    detail: format!(
-                        "slave {}: rollback unwound with no pending payload",
-                        common.idx
-                    ),
-                })?;
-            start_step = apply_rollback(&mut common, &mut st, rb, n)?;
-            need_release = false;
-        }
+        let mut strategy = ShrinkingStrategy { st, kernel };
+        session_slave::run(ctx, &mut common, &mut strategy)
     }
 }
 
-/// Errors a checkpointed slave reports and survives (by rollback) instead
-/// of dying from.
-fn recoverable(e: &ProtocolError) -> bool {
-    matches!(
-        e,
-        ProtocolError::Timeout { .. }
-            | ProtocolError::MissingPivot { .. }
-            | ProtocolError::Inconsistent { .. }
-            | ProtocolError::UnexpectedMessage { .. }
-    )
+/// The shrinking distribution pattern plugged into the shared checkpointed
+/// slave runner.
+struct ShrinkingStrategy {
+    st: State,
+    kernel: Arc<dyn ShrinkingKernel>,
 }
 
-/// After shipping a `SlaveError`, wait for the master's rollback (stashed in
-/// `pending_rollback`), an abort, or an eviction.
-fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), ProtocolError> {
-    let ft = common.ft.clone().expect("rescue_wait requires fault mode");
-    let mut tries = 0u32;
-    loop {
-        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
-            None => {
-                tries += 1;
-                if tries > ft.give_up_tries {
-                    return Err(ProtocolError::Timeout {
-                        who: slave_who(common.idx),
-                        waiting_for: "rescue rollback",
-                        at: ctx.now(),
-                    });
-                }
-            }
-            Some(env) => match env.msg {
-                Msg::Abort => return Err(ProtocolError::Aborted),
-                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-                m => {
-                    if let Err(ProtocolError::RolledBack) = common.control(&m) {
-                        return Ok(());
-                    }
-                    // anything else is stale traffic of the torn epoch — ignore
-                }
-            },
-        }
-    }
-}
-
-/// Adopt a rollback: ids below the resumed step are retired (their data is
-/// final), the rest are active and updated through the previous step.
-fn apply_rollback(
-    common: &mut SlaveCommon,
-    st: &mut State,
-    rb: RollbackInfo,
-    n: usize,
-) -> Result<u64, ProtocolError> {
-    if !rb.survivors.contains(&common.idx) {
-        return Err(ProtocolError::Evicted { slave: common.idx });
-    }
-    for s in 0..common.dead.len() {
-        common.dead[s] = !rb.survivors.contains(&s);
-    }
-    common.reclaimed.clear();
-    common.own_report_due.clear();
-    common.rebase_epoch(rb.epoch);
-    let k = rb.invocation;
-    st.active.clear();
-    st.retired.clear();
-    st.pivots = vec![None; n];
-    for (id, mut d) in rb.units {
-        let data = if d.is_empty() {
-            Vec::new()
-        } else {
-            d.swap_remove(0)
-        };
-        if (id as u64) < k {
-            st.retired.push((id, data));
-        } else {
-            st.active.insert(
-                id,
-                SCol {
-                    data,
-                    updated_through: k as i64 - 1,
-                },
-            );
-        }
-    }
-    Ok(k)
-}
-
-/// The main step loop, from `start_step` to completion (ends by consuming
-/// the final `Gather`). Unwinds with `RolledBack` whenever a rollback
-/// arrives.
-fn run_steps(
-    ctx: &ActorCtx<Msg>,
-    common: &mut SlaveCommon,
-    st: &mut State,
-    kernel: &dyn ShrinkingKernel,
-    start_step: u64,
-    steps: u64,
-    need_release: bool,
-) -> Result<(), ProtocolError> {
-    if need_release {
-        // Initial release (later steps are released by the barrier).
-        loop {
-            let env = common.recv_blocking(
-                ctx,
-                |m| matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_)),
-                "first step start",
-            )?;
-            match env.msg {
-                Msg::InvocationStart { invocation: 0 } => break,
-                Msg::InvocationStart { invocation } => {
-                    return Err(common.unexpected(
-                        "waiting for first step",
-                        &Msg::InvocationStart { invocation },
-                    ));
-                }
-                Msg::Instructions(_) => {}
-                _ => unreachable!(),
-            }
-        }
+impl DistributionStrategy for ShrinkingStrategy {
+    fn invocations(&self) -> u64 {
+        (self.kernel.n_units() as u64).saturating_sub(1)
     }
 
-    for k in start_step..steps {
-        step(ctx, common, st, kernel, k as usize)?;
+    fn first_release_context(&self) -> &'static str {
+        "first step start"
+    }
+
+    fn barrier_context(&self) -> &'static str {
+        "step barrier"
+    }
+
+    fn recoverable(&self, e: &ProtocolError) -> bool {
+        matches!(
+            e,
+            ProtocolError::Timeout { .. }
+                | ProtocolError::MissingPivot { .. }
+                | ProtocolError::Inconsistent { .. }
+                | ProtocolError::UnexpectedMessage { .. }
+        )
+    }
+
+    fn run_invocation(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+    ) -> Result<(), ProtocolError> {
+        let st = &mut self.st;
+        let kernel = &*self.kernel;
+        let k = inv as usize;
+        step(ctx, common, st, kernel, k)?;
         // Flush the final partial period (and execute any late moves)
         // before reporting the step done.
-        drain_transfers(ctx, common, st, kernel, k as usize)?;
-        let moves = common.fire(ctx, k, st.active.len() as u64)?;
-        execute_moves(ctx, common, st, k as usize, moves)?;
-        barrier(ctx, common, st, kernel, k, k + 1 == steps)?;
+        drain_transfers(ctx, common, st, kernel, k)?;
+        let moves = common.fire(ctx, inv, st.active.len() as u64)?;
+        execute_moves(ctx, common, st, k, moves)
     }
-    Ok(())
+
+    fn on_barrier_transfer(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+        t: TransferMsg,
+    ) -> Result<(), ProtocolError> {
+        let st = &mut self.st;
+        let kernel = &*self.kernel;
+        let k = inv as usize;
+        if common.accept_transfer(ctx, &t) {
+            incorporate(common, st, t, k)?;
+            // Arrivals may still need this step's update.
+            loop {
+                let next = st
+                    .active
+                    .iter()
+                    .find(|(_, c)| c.updated_through < k as i64)
+                    .map(|(&id, _)| id);
+                let Some(j) = next else { break };
+                update_column(ctx, common, st, kernel, j, k)?;
+            }
+            let active = st.active.len() as u64;
+            let moves = common.fire(ctx, inv, active)?;
+            execute_moves(ctx, common, st, k, moves)?;
+        }
+        Ok(())
+    }
+
+    fn on_barrier_moves(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+        moves: Vec<MoveOrder>,
+    ) -> Result<(), ProtocolError> {
+        execute_moves(ctx, common, &mut self.st, inv as usize, moves)
+    }
+
+    fn on_barrier_misc(
+        &mut self,
+        _ctx: &ActorCtx<Msg>,
+        _common: &mut SlaveCommon,
+        _inv: u64,
+        msg: Msg,
+    ) -> Result<Option<Msg>, ProtocolError> {
+        if let Msg::Pivot { step, values } = msg {
+            // A pivot broadcast racing ahead of the release; bank it
+            // (idempotent — pivot payloads are value-deterministic).
+            self.st.pivots[step as usize] = Some(values);
+            return Ok(None);
+        }
+        Ok(Some(msg))
+    }
+
+    fn owned_ids(&self) -> Vec<usize> {
+        let mut owned: Vec<usize> = self.st.retired.iter().map(|(id, _)| *id).collect();
+        owned.extend(self.st.active.keys().copied());
+        owned
+    }
+
+    fn checkpoint_units(&self) -> Vec<(usize, UnitData)> {
+        let mut units: Vec<(usize, UnitData)> = self
+            .st
+            .retired
+            .iter()
+            .map(|(id, data)| (*id, vec![data.clone()]))
+            .collect();
+        units.extend(
+            self.st
+                .active
+                .iter()
+                .map(|(&id, c)| (id, vec![c.data.clone()])),
+        );
+        units
+    }
+
+    fn gather_units(&self) -> Result<Vec<(usize, UnitData)>, ProtocolError> {
+        Ok(self.checkpoint_units())
+    }
+
+    /// Ids below the resumed step are retired (their data is final), the
+    /// rest are active and updated through the previous step.
+    fn restore(
+        &mut self,
+        _common: &mut SlaveCommon,
+        rb: RollbackInfo,
+    ) -> Result<u64, ProtocolError> {
+        let st = &mut self.st;
+        let n = self.kernel.n_units();
+        let k = rb.invocation;
+        st.active.clear();
+        st.retired.clear();
+        st.pivots = vec![None; n];
+        for (id, mut d) in rb.units {
+            let data = if d.is_empty() {
+                Vec::new()
+            } else {
+                d.swap_remove(0)
+            };
+            if (id as u64) < k {
+                st.retired.push((id, data));
+            } else {
+                st.active.insert(
+                    id,
+                    SCol {
+                        data,
+                        updated_through: k as i64 - 1,
+                    },
+                );
+            }
+        }
+        Ok(k)
+    }
+
+    /// Run step `invocation` over the whole banked matrix, sequentially and
+    /// without any communication: finalize the pivot column's payload, then
+    /// update every later column through the step — exactly the distributed
+    /// dataflow, so the speculative state is bit-identical to what the
+    /// suspect would have produced. Columns at or below the step are final
+    /// in the snapshot and pass through unchanged.
+    fn advance_snapshot(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        invocation: u64,
+        units: Vec<(usize, UnitData)>,
+    ) -> Result<Vec<(usize, UnitData)>, ProtocolError> {
+        let kernel = &*self.kernel;
+        let k = invocation as usize;
+        let mut cols: Vec<(usize, Vec<f64>)> = units
+            .into_iter()
+            .map(|(id, mut d)| {
+                (
+                    id,
+                    if d.is_empty() {
+                        Vec::new()
+                    } else {
+                        d.swap_remove(0)
+                    },
+                )
+            })
+            .collect();
+        cols.sort_by_key(|(id, _)| *id);
+        let payload = {
+            let col_k = cols.iter().find(|(id, _)| *id == k).ok_or_else(|| {
+                ProtocolError::Inconsistent {
+                    detail: format!(
+                        "slave {}: speculation snapshot missing pivot column {k}",
+                        common.idx
+                    ),
+                }
+            })?;
+            kernel.pivot_payload(k, &col_k.1)
+        };
+        for (id, data) in cols.iter_mut() {
+            if *id > k {
+                ctx.advance_work(kernel.step_cost(k));
+                kernel.update(*id, data, &payload, k);
+            }
+        }
+        Ok(cols.into_iter().map(|(id, d)| (id, vec![d])).collect())
+    }
 }
 
 fn step(
@@ -486,197 +525,4 @@ fn drain_transfers(
         }
     }
     Ok(())
-}
-
-fn send_done(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, k: u64) {
-    let mut owned: Vec<usize> = st.retired.iter().map(|(id, _)| *id).collect();
-    owned.extend(st.active.keys().copied());
-    let msg = Msg::InvocationDone {
-        slave: common.idx,
-        invocation: k,
-        epoch: common.epoch,
-        sent_to: common.sent_to_vec(),
-        received_from: common.recv_watermarks(),
-        metric: 0.0,
-        restore_seq: common.master_chan.watermark(),
-        owned_ids: owned,
-    };
-    common.send_master(ctx, msg);
-}
-
-/// Ship the step-barrier checkpoint: retired and active columns, i.e. the
-/// state from which step `k + 1` starts. Best-effort.
-fn send_checkpoint(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon, st: &State, k: u64) {
-    if common.ft.is_none() {
-        return;
-    }
-    let mut units: Vec<(usize, UnitData)> = st
-        .retired
-        .iter()
-        .map(|(id, data)| (*id, vec![data.clone()]))
-        .collect();
-    units.extend(st.active.iter().map(|(&id, c)| (id, vec![c.data.clone()])));
-    let msg = Msg::Checkpoint {
-        slave: common.idx,
-        invocation: k + 1,
-        units,
-    };
-    common.fault_stats.checkpoints_sent += 1;
-    common.send_master(ctx, msg);
-}
-
-fn barrier(
-    ctx: &ActorCtx<Msg>,
-    common: &mut SlaveCommon,
-    st: &mut State,
-    kernel: &dyn ShrinkingKernel,
-    k: u64,
-    is_final: bool,
-) -> Result<(), ProtocolError> {
-    send_done(ctx, common, st, k);
-    send_checkpoint(ctx, common, st, k);
-    let fault_mode = common.ft.is_some();
-    let mut silent = 0u32;
-    loop {
-        let env = match common.ft.clone() {
-            None => common.recv_blocking(ctx, |_| true, "step barrier")?,
-            Some(ft) => match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
-                Some(env) => {
-                    silent = 0;
-                    env
-                }
-                None => {
-                    silent += 1;
-                    if silent > ft.give_up_tries {
-                        return Err(ProtocolError::Timeout {
-                            who: slave_who(common.idx),
-                            waiting_for: "step barrier",
-                            at: ctx.now(),
-                        });
-                    }
-                    common.resend_stalled_transfers(ctx);
-                    send_done(ctx, common, st, k);
-                    send_checkpoint(ctx, common, st, k);
-                    continue;
-                }
-            },
-        };
-        match env.msg {
-            Msg::Transfer(t) => {
-                if common.accept_transfer(ctx, &t) {
-                    incorporate(common, st, t, k as usize)?;
-                    // Arrivals may still need this step's update.
-                    loop {
-                        let next = st
-                            .active
-                            .iter()
-                            .find(|(_, c)| c.updated_through < k as i64)
-                            .map(|(&id, _)| id);
-                        let Some(j) = next else { break };
-                        update_column(ctx, common, st, kernel, j, k as usize)?;
-                    }
-                    let active = st.active.len() as u64;
-                    let moves = common.fire(ctx, k, active)?;
-                    execute_moves(ctx, common, st, k as usize, moves)?;
-                }
-                send_done(ctx, common, st, k);
-                send_checkpoint(ctx, common, st, k);
-            }
-            Msg::Pivot { step, values } => {
-                st.pivots[step as usize] = Some(values);
-            }
-            Msg::Instructions(instr) => {
-                // Safe at any barrier: the master cannot settle until the
-                // transfers are acknowledged. Routed through the shared
-                // epoch/sequence fences so a duplicated delivery cannot
-                // double-execute the moves.
-                let moves = common.instructions_out_of_band(instr);
-                if !moves.is_empty() {
-                    execute_moves(ctx, common, st, k as usize, moves)?;
-                    send_done(ctx, common, st, k);
-                    send_checkpoint(ctx, common, st, k);
-                }
-            }
-            Msg::InvocationStart { invocation } => {
-                if invocation == k + 1 && !is_final {
-                    return Ok(());
-                }
-                if fault_mode && invocation <= k {
-                    // Stale duplicate of an earlier release.
-                    continue;
-                }
-                return Err(common.unexpected("step barrier", &Msg::InvocationStart { invocation }));
-            }
-            Msg::Gather => {
-                if is_final {
-                    return Ok(());
-                }
-                return Err(common.unexpected("step barrier", &Msg::Gather));
-            }
-            Msg::Abort => return Err(ProtocolError::Aborted),
-            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-            Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
-            m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
-                common.control(&m)?;
-            }
-            other => return Err(common.unexpected("step barrier", &other)),
-        }
-    }
-}
-
-/// The final barrier consumed the Gather message; reply with all columns.
-/// In fault mode, wait for the master's acknowledgement (re-sending on
-/// duplicate `Gather` requests) so a dropped reply cannot lose the result.
-fn reply_gather(
-    ctx: &ActorCtx<Msg>,
-    common: &mut SlaveCommon,
-    st: &State,
-) -> Result<(), ProtocolError> {
-    let mut payload: Vec<(usize, UnitData)> = st
-        .retired
-        .iter()
-        .map(|(id, data)| (*id, vec![data.clone()]))
-        .collect();
-    payload.extend(st.active.iter().map(|(&id, c)| (id, vec![c.data.clone()])));
-    let msg = Msg::GatherData {
-        slave: common.idx,
-        units: payload.clone(),
-        fault_stats: common.fault_stats.clone(),
-    };
-    common.send_master(ctx, msg);
-    let Some(ft) = common.ft.clone() else {
-        return Ok(());
-    };
-    let mut tries = 0u32;
-    loop {
-        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
-            None => {
-                tries += 1;
-                if tries > ft.gather_patience {
-                    // Assume the data arrived and the ack was lost.
-                    return Ok(());
-                }
-            }
-            Some(env) => match env.msg {
-                Msg::Gather => {
-                    tries = 0;
-                    let msg = Msg::GatherData {
-                        slave: common.idx,
-                        units: payload.clone(),
-                        fault_stats: common.fault_stats.clone(),
-                    };
-                    common.send_master(ctx, msg);
-                }
-                Msg::GatherAck | Msg::Abort => return Ok(()),
-                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-                // A peer died while the master was collecting results: the
-                // rollback unwinds through the shared control path so the
-                // restart loop re-runs the lost steps.
-                m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
-                    common.control(&m)?;
-                }
-                _ => {} // stale traffic
-            },
-        }
-    }
 }

@@ -151,6 +151,14 @@ pub struct FaultToleranceConfig {
     /// Heartbeats a slave waits for a gather acknowledgement before
     /// assuming its data arrived and exiting.
     pub gather_patience: u32,
+    /// Adaptive checkpoint cadence: the most consecutive barriers a slave
+    /// may skip snapshotting when restarts look cheap. Zero disables the
+    /// adaptation (a checkpoint at every barrier — the safest cadence).
+    pub ckpt_max_skip: u64,
+    /// Adaptive checkpoint cadence: target bound on the expected recompute
+    /// time a rollback may cost. The stride is chosen so that
+    /// `stride × EMA(invocation time)` stays at or under this budget.
+    pub ckpt_loss_budget: SimDuration,
 }
 
 impl Default for FaultToleranceConfig {
@@ -165,6 +173,8 @@ impl Default for FaultToleranceConfig {
             op_timeout: SimDuration::from_secs(30),
             give_up_tries: 90,
             gather_patience: 10,
+            ckpt_max_skip: 0,
+            ckpt_loss_budget: SimDuration::from_secs(2),
         }
     }
 }

@@ -74,6 +74,7 @@ pub mod msg;
 pub mod protocol;
 pub mod rate;
 pub mod recovery;
+pub mod session;
 pub mod slave_common;
 
 pub use balancer::{Balancer, BalancerConfig, BalancerStats, InteractionMode};
@@ -86,9 +87,9 @@ pub use frequency::{FrequencyController, PeriodBounds};
 pub use kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
 pub use master::TimelineSample;
 pub use msg::{Edge, Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
-pub use protocol::{
-    AckTracker, RestoreModel, RestoreState, SenderWindow, Step, TStep, TWire, TransferModel,
-    TransferState, TransferWindow, Wire,
-};
+pub use protocol::{AckTracker, SenderWindow, TransferWindow};
 pub use rate::RateFilter;
 pub use recovery::{RecoveryStats, SlaveFaultStats};
+pub use session::model::{
+    RestoreModel, RestoreState, Step, TStep, TWire, TransferModel, TransferState, Wire,
+};

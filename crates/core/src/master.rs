@@ -24,22 +24,33 @@
 //!   checkpoints at invocation barriers and the master rolls the survivors
 //!   back to the newest complete checkpoint ([`Msg::Rollback`]) instead of
 //!   aborting. The estimated restart cost is folded into the balancer's
-//!   move-profitability check.
+//!   move-profitability check, and a silent suspect's next invocation is
+//!   raced on an idle survivor from the banked snapshot ([`Msg::Speculate`])
+//!   so an eviction rolls back one invocation less.
 //!
-//! All master → slave recovery messages (`Restore`, `Speculate`,
-//! `SpecCommit`, `SpecCancel`, `Rollback`) share one per-destination
-//! [`SenderWindow`]: sequence-numbered, acknowledged via
-//! `InvocationDone::restore_seq`, deduplicated by the receiver, re-sent on
-//! evidence of loss. The transition rules are modelled and exhaustively
-//! checked in `dlb-analyze` (restore + transfer models).
+//! The structural state of both fault-mode loops — membership, epochs, the
+//! checkpoint bank, speculation, eviction resolution — lives in
+//! [`crate::session`]; this file is the protocol driver (receive arms,
+//! timer sweeps, the gather). All master → slave recovery messages
+//! (`Restore`, `Speculate`, `SpecCommit`, `SpecCancel`, `Rollback`) share
+//! one per-destination [`SenderWindow`](crate::protocol::SenderWindow):
+//! sequence-numbered, acknowledged via `InvocationDone::restore_seq`,
+//! deduplicated by the receiver, re-sent on evidence of loss. The
+//! transition rules are modelled and exhaustively checked in `dlb-analyze`
+//! (restore + transfer models in [`crate::session::model`]).
 
 use crate::balancer::{Balancer, BalancerStats};
 use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::frequency::PeriodBounds;
 use crate::msg::{Instructions, Msg, UnitData};
 use crate::protocol::SenderWindow;
-use crate::recovery::{redistribute, RecoveryStats};
-use dlb_sim::{ActorCtx, ActorId, CpuWork, SimDuration, SimTime};
+use crate::recovery::RecoveryStats;
+use crate::session::master::{
+    cancel_spec, channels_settled, merge_max, resolve_evictions, send, CkSession, Eviction,
+};
+use crate::session::membership::Membership;
+use crate::session::speculation::RestartSpec;
+use dlb_sim::{ActorCtx, ActorId, CpuWork, SimTime};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
@@ -125,34 +136,12 @@ struct Scratch {
     recovery: RecoveryStats,
 }
 
-fn send(ctx: &ActorCtx<Msg>, to: ActorId, msg: Msg) {
-    let bytes = msg.wire_bytes();
-    ctx.send(to, msg, bytes);
-}
-
 fn unexpected(context: &'static str, msg: &Msg) -> ProtocolError {
     ProtocolError::UnexpectedMessage {
         who: "master".to_string(),
         context,
         message: format!("{msg:?}").chars().take(120).collect(),
     }
-}
-
-/// Elementwise monotone merge of per-channel counters. Counters only grow,
-/// so taking the max makes duplicated or reordered reports harmless.
-fn merge_max(dst: &mut [u64], src: &[u64]) {
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = (*d).max(s);
-    }
-}
-
-/// Every transfer channel between live slaves has settled: everything slave
-/// `a` ever sent to slave `b` has been applied at `b`. Channels touching a
-/// dead slave are exempt — they are closed by the eviction protocol, which
-/// re-owns whatever was still in flight.
-fn channels_settled(alive: &[bool], sent: &[Vec<u64>], recv: &[Vec<u64>]) -> bool {
-    let n = alive.len();
-    (0..n).all(|a| !alive[a] || (0..n).all(|b| !alive[b] || recv[b][a] >= sent[a][b]))
 }
 
 /// Whether a slave-reported error is survivable by a checkpoint rollback
@@ -258,7 +247,14 @@ fn run_plain(
             cfg.balancer.set_units_per_hook(uph(inv));
         }
         for &s in slaves {
-            send(ctx, s, Msg::InvocationStart { invocation: inv });
+            send(
+                ctx,
+                s,
+                Msg::InvocationStart {
+                    invocation: inv,
+                    ckpt_stride: 1,
+                },
+            );
         }
         let expected = (cfg.expected_units)(inv);
         let mut done_sum = 0u64;
@@ -404,157 +400,6 @@ fn run_plain(
     Ok(())
 }
 
-/// A pending eviction: the master re-scatters the dead slave's units only
-/// after every survivor has fenced off its channels with the dead peer and
-/// reported its authoritative ownership ([`Msg::OwnReport`]). Until then
-/// in-flight transfers could resurrect units behind the master's back.
-struct Eviction {
-    dead: usize,
-    /// Survivors whose `OwnReport` about `dead` is still outstanding.
-    awaiting: BTreeSet<usize>,
-    /// What the master believed the dead slave owned (for the re-own
-    /// accounting; the OwnReports are the authority).
-    dead_owned: Vec<usize>,
-}
-
-/// An in-flight speculative re-execution of a silent suspect's units on an
-/// idle survivor (§ speculation): committed if the suspect is evicted,
-/// cancelled the moment the suspect speaks.
-struct Spec {
-    suspect: usize,
-    executor: usize,
-    /// Window sequence of the `Speculate` message (keys the executor's
-    /// speculation buffer).
-    spec_seq: u64,
-    /// Unit ids seeded into the speculation.
-    ids: Vec<usize>,
-}
-
-/// Cancel the in-flight speculation (the suspect proved alive).
-fn cancel_spec(
-    ctx: &ActorCtx<Msg>,
-    slaves: &[ActorId],
-    win: &mut [SenderWindow<Msg>],
-    spec: &mut Option<Spec>,
-    sc: &mut Scratch,
-) {
-    if let Some(sp) = spec.take() {
-        let msg = win[sp.executor]
-            .send_with(|seq| Msg::SpecCancel {
-                seq,
-                spec_seq: sp.spec_seq,
-            })
-            .clone();
-        send(ctx, slaves[sp.executor], msg);
-        sc.recovery.speculations_cancelled += 1;
-    }
-}
-
-/// All pending evictions are fully reported: compute the set of units no
-/// survivor owns (directly or in an unacknowledged master message still in
-/// flight), adopt speculation results for whatever they cover, and
-/// re-scatter the rest from initial data.
-#[allow(clippy::too_many_arguments)]
-fn resolve_evictions(
-    ctx: &ActorCtx<Msg>,
-    slaves: &[ActorId],
-    n_units: usize,
-    inv: u64,
-    alive: &[bool],
-    owned: &mut [BTreeSet<usize>],
-    win: &mut [SenderWindow<Msg>],
-    evictions: &mut Vec<Eviction>,
-    spec: &mut Option<Spec>,
-    done: &mut [bool],
-    init_unit: &InitUnitFn,
-    sc: &mut Scratch,
-) {
-    let n = slaves.len();
-    // Units accounted for: owned by a survivor, or inside an unacknowledged
-    // Restore/SpecCommit payload (the owner's `owned_ids` cannot reflect
-    // those yet — `restore_seq` and `owned_ids` travel atomically in
-    // InvocationDone, so once the window is acked the report includes them).
-    let mut assigned: BTreeSet<usize> = BTreeSet::new();
-    for s in 0..n {
-        if !alive[s] {
-            continue;
-        }
-        assigned.extend(owned[s].iter().copied());
-        for (_, m) in win[s].unacked() {
-            match m {
-                Msg::Restore { units, .. } => {
-                    assigned.extend(units.iter().map(|(id, _)| *id));
-                }
-                Msg::SpecCommit { ids, .. } => assigned.extend(ids.iter().copied()),
-                _ => {}
-            }
-        }
-    }
-    // In-flight units the survivors re-owned by closing channels with the
-    // dead peers (a proxy count: everything the dead slave was believed to
-    // own that a survivor now accounts for).
-    for ev in evictions.iter() {
-        sc.recovery.units_reowned += ev
-            .dead_owned
-            .iter()
-            .filter(|u| assigned.contains(u))
-            .count() as u64;
-    }
-    let mut missing: Vec<usize> = (0..n_units).filter(|u| !assigned.contains(u)).collect();
-
-    // Speculation first: if the suspect is among the dead, its units were
-    // already recomputed on the executor — adopt them without replay.
-    if spec.as_ref().is_some_and(|sp| !alive[sp.suspect]) {
-        let sp = spec.take().expect("checked above");
-        let commit: Vec<usize> = missing
-            .iter()
-            .copied()
-            .filter(|u| sp.ids.contains(u))
-            .collect();
-        if commit.is_empty() {
-            let msg = win[sp.executor]
-                .send_with(|seq| Msg::SpecCancel {
-                    seq,
-                    spec_seq: sp.spec_seq,
-                })
-                .clone();
-            send(ctx, slaves[sp.executor], msg);
-            sc.recovery.speculations_cancelled += 1;
-        } else {
-            missing.retain(|u| !commit.contains(u));
-            owned[sp.executor].extend(commit.iter().copied());
-            sc.recovery.units_speculated += commit.len() as u64;
-            sc.recovery.speculations_committed += 1;
-            done[sp.executor] = false;
-            let msg = win[sp.executor]
-                .send_with(|seq| Msg::SpecCommit {
-                    seq,
-                    spec_seq: sp.spec_seq,
-                    ids: commit,
-                })
-                .clone();
-            send(ctx, slaves[sp.executor], msg);
-        }
-    }
-
-    let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
-    for (t, units) in redistribute(&missing, &survivors) {
-        let payload: Vec<(usize, UnitData)> = units.iter().map(|&u| (u, init_unit(u))).collect();
-        sc.recovery.units_restored += payload.len() as u64;
-        owned[t].extend(units.iter().copied());
-        done[t] = false;
-        let msg = win[t]
-            .send_with(|seq| Msg::Restore {
-                seq,
-                invocation: inv,
-                units: payload,
-            })
-            .clone();
-        send(ctx, slaves[t], msg);
-    }
-    evictions.clear();
-}
-
 /// Recoverable control loop (independent pattern): silence-based failure
 /// detection, channel-fenced eviction, speculative re-execution, and unit
 /// re-scattering — with the dynamic balancer live throughout.
@@ -585,13 +430,10 @@ fn run_recoverable(
         send(ctx, s, start_msg(slaves));
     }
 
-    // Liveness and dedup state. `next_nudge` rate-limits re-sends per
-    // slave; re-sends themselves are event-triggered where possible, so a
-    // fault-free run never produces one.
-    let mut alive = vec![true; n];
-    let mut heard_any = vec![false; n];
-    let mut last_heard = vec![ctx.now(); n];
-    let mut next_nudge = vec![ctx.now() + tol.nudge; n];
+    // Liveness state (suspicion, nudge rate-limiting, barrier flags) lives
+    // in the session membership table; re-sends are event-triggered where
+    // possible, so a fault-free run never produces one.
+    let mut memb = Membership::new(n, ctx.now(), tol.nudge);
     let mut last_hook_seq = vec![0u64; n];
     // Ownership as the master believes it: refreshed from every
     // InvocationDone (`owned_ids`) and authoritative OwnReports. With the
@@ -614,7 +456,7 @@ fn run_recoverable(
     let mut sent = vec![vec![0u64; n]; n];
     let mut recv = vec![vec![0u64; n]; n];
     let mut evictions: Vec<Eviction> = Vec::new();
-    let mut spec: Option<Spec> = None;
+    let mut spec: Option<RestartSpec> = None;
 
     let mut inv = 0;
     'invocations: while inv < cfg.invocations {
@@ -624,17 +466,27 @@ fn run_recoverable(
             cfg.balancer.set_units_per_hook(uph(inv));
         }
         for (i, &s) in slaves.iter().enumerate() {
-            if alive[i] {
-                send(ctx, s, Msg::InvocationStart { invocation: inv });
+            if memb.alive[i] {
+                send(
+                    ctx,
+                    s,
+                    Msg::InvocationStart {
+                        invocation: inv,
+                        ckpt_stride: 1,
+                    },
+                );
             }
         }
-        let mut done = vec![false; n];
+        for s in 0..n {
+            memb.done[s] = false;
+        }
         let mut metrics = vec![0.0f64; n];
 
         loop {
-            let all_settled = (0..n).all(|s| !alive[s] || (done[s] && win[s].fully_acked()))
+            let all_settled = (0..n)
+                .all(|s| !memb.alive[s] || (memb.done[s] && win[s].fully_acked()))
                 && evictions.is_empty()
-                && channels_settled(&alive, &sent, &recv)
+                && channels_settled(&memb.alive, &sent, &recv)
                 && cfg.balancer.outstanding_orders() == 0;
             if all_settled {
                 break;
@@ -643,13 +495,12 @@ fn run_recoverable(
                 match env.msg {
                     Msg::Status(st) => {
                         let s = st.slave;
-                        if !alive[s] {
+                        if !memb.alive[s] {
                             continue; // evicted slave still talking
                         }
-                        heard_any[s] = true;
-                        last_heard[s] = ctx.now();
+                        memb.heard(s, ctx.now());
                         if spec.as_ref().is_some_and(|sp| sp.suspect == s) {
-                            cancel_spec(ctx, slaves, &mut win, &mut spec, sc);
+                            cancel_spec(ctx, slaves, &mut win, &mut spec, &mut sc.recovery);
                         }
                         if st.invocation > inv {
                             return Err(unexpected("status from the future", &Msg::Status(st)));
@@ -660,7 +511,7 @@ fn run_recoverable(
                         }
                         last_hook_seq[s] = st.hook_seq;
                         // A status means the slave is computing again.
-                        done[s] = false;
+                        memb.done[s] = false;
                         if let Some((seq, _, _)) = &unacked_instr[s] {
                             // Ack lag alone is no evidence of loss: a slave
                             // pipelines instructions, so it runs a couple of
@@ -702,21 +553,20 @@ fn run_recoverable(
                         owned_ids,
                         ..
                     } => {
-                        if !alive[slave] {
+                        if !memb.alive[slave] {
                             sc.recovery.done_dups_ignored += 1;
                             continue;
                         }
-                        heard_any[slave] = true;
-                        last_heard[slave] = ctx.now();
+                        memb.heard(slave, ctx.now());
                         if spec.as_ref().is_some_and(|sp| sp.suspect == slave) {
-                            cancel_spec(ctx, slaves, &mut win, &mut spec, sc);
+                            cancel_spec(ctx, slaves, &mut win, &mut spec, &mut sc.recovery);
                         }
                         win[slave].ack(restore_seq);
                         merge_max(&mut sent[slave], &sent_to);
                         merge_max(&mut recv[slave], &received_from);
                         cfg.balancer.ack_transfers(slave, &received_from);
                         if invocation == inv {
-                            done[slave] = true;
+                            memb.done[slave] = true;
                             metrics[slave] = metric;
                             // Fresh report for the current barrier: adopt its
                             // ownership snapshot. (A duplicated older report
@@ -730,9 +580,15 @@ fn run_recoverable(
                             // barrier: its release was lost. The heartbeat
                             // itself is the re-send trigger — the slave is
                             // chatty, so a silence timer would never fire.
-                            if ctx.now() >= next_nudge[slave] {
-                                next_nudge[slave] = ctx.now() + tol.nudge;
-                                send(ctx, slaves[slave], Msg::InvocationStart { invocation: inv });
+                            if memb.nudge_due(slave, ctx.now(), tol.nudge) {
+                                send(
+                                    ctx,
+                                    slaves[slave],
+                                    Msg::InvocationStart {
+                                        invocation: inv,
+                                        ckpt_stride: 1,
+                                    },
+                                );
                                 sc.recovery.invocation_start_resends += 1;
                                 // A stuck slave cannot supersede a lost
                                 // instruction with a newer one; replay the
@@ -754,11 +610,10 @@ fn run_recoverable(
                         }
                         // Done but missing windowed messages: they were lost
                         // in flight. Replay everything unacknowledged.
-                        if done[slave]
+                        if memb.done[slave]
                             && !win[slave].fully_acked()
-                            && ctx.now() >= next_nudge[slave]
+                            && memb.nudge_due(slave, ctx.now(), tol.nudge)
                         {
-                            next_nudge[slave] = ctx.now() + tol.nudge;
                             for (_, msg) in win[slave].unacked() {
                                 send(ctx, slaves[slave], msg.clone());
                                 sc.recovery.restore_resends += 1;
@@ -770,13 +625,12 @@ fn run_recoverable(
                         about,
                         ids,
                     } => {
-                        if !alive[v] {
+                        if !memb.alive[v] {
                             continue;
                         }
-                        heard_any[v] = true;
-                        last_heard[v] = ctx.now();
+                        memb.heard(v, ctx.now());
                         if spec.as_ref().is_some_and(|sp| sp.suspect == v) {
-                            cancel_spec(ctx, slaves, &mut win, &mut spec, sc);
+                            cancel_spec(ctx, slaves, &mut win, &mut spec, &mut sc.recovery);
                         }
                         let mut matched = false;
                         for ev in evictions.iter_mut() {
@@ -791,7 +645,7 @@ fn run_recoverable(
                             continue;
                         }
                         owned[v] = ids.into_iter().collect();
-                        done[v] = false;
+                        memb.done[v] = false;
                         if !evictions.is_empty() && evictions.iter().all(|e| e.awaiting.is_empty())
                         {
                             resolve_evictions(
@@ -799,15 +653,24 @@ fn run_recoverable(
                                 slaves,
                                 n_units,
                                 inv,
-                                &alive,
+                                &mut memb,
                                 &mut owned,
                                 &mut win,
                                 &mut evictions,
                                 &mut spec,
-                                &mut done,
                                 init_unit,
-                                sc,
+                                &mut sc.recovery,
                             );
+                        }
+                    }
+                    // A slave blocked on a peer (not the master) pings so
+                    // the suspicion timer cannot mistake it for a crash.
+                    Msg::Alive { slave } => {
+                        if memb.alive[slave] {
+                            memb.ping(slave, ctx.now());
+                            if spec.as_ref().is_some_and(|sp| sp.suspect == slave) {
+                                cancel_spec(ctx, slaves, &mut win, &mut spec, &mut sc.recovery);
+                            }
                         }
                     }
                     Msg::SlaveError { slave, error } => {
@@ -824,18 +687,18 @@ fn run_recoverable(
             // unsettled slave.
             let now = ctx.now();
             for s in 0..n {
-                if !alive[s] {
+                if !memb.alive[s] {
                     continue;
                 }
-                let settled_s = done[s] && win[s].fully_acked();
+                let settled_s = memb.done[s] && win[s].fully_acked();
                 if settled_s {
                     continue;
                 }
-                let silent = now.saturating_since(last_heard[s]);
+                let silent = memb.silent_for(s, now);
                 if silent >= tol.suspicion {
                     // Declare dead, fence off its channels, and wait for the
                     // survivors' ownership reports before re-scattering.
-                    alive[s] = false;
+                    memb.evict(s);
                     sc.recovery.slaves_declared_dead += 1;
                     sc.recovery.first_death.get_or_insert(now);
                     send(ctx, slaves[s], Msg::Evict);
@@ -853,7 +716,7 @@ fn run_recoverable(
                     for ev in evictions.iter_mut() {
                         ev.awaiting.remove(&s);
                     }
-                    let survivors: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+                    let survivors = memb.survivors();
                     if survivors.is_empty() {
                         return Err(ProtocolError::AllSlavesDead);
                     }
@@ -875,8 +738,8 @@ fn run_recoverable(
                     // Suspicion is building: start recomputing the suspect's
                     // units on an idle, fully settled survivor so an eviction
                     // commits finished results instead of replaying.
-                    if let Some(e) =
-                        (0..n).find(|&e| e != s && alive[e] && done[e] && win[e].fully_acked())
+                    if let Some(e) = (0..n)
+                        .find(|&e| e != s && memb.alive[e] && memb.done[e] && win[e].fully_acked())
                     {
                         let ids: Vec<usize> = owned[s].iter().copied().collect();
                         let units: Vec<(usize, UnitData)> =
@@ -890,7 +753,7 @@ fn run_recoverable(
                             .clone();
                         send(ctx, slaves[e], msg);
                         let spec_seq = win[e].seq_sent();
-                        spec = Some(Spec {
+                        spec = Some(RestartSpec {
                             suspect: s,
                             executor: e,
                             spec_seq,
@@ -899,17 +762,25 @@ fn run_recoverable(
                         sc.recovery.speculations_launched += 1;
                     }
                 }
-                if !heard_any[s] && silent >= tol.nudge && now >= next_nudge[s] {
-                    // A slave that has never spoken may have lost its Start;
-                    // it has nothing to heartbeat, so only a silence timer
-                    // can catch it. Every other loss is event-triggered from
-                    // the receive arms above: a slave missing a control
-                    // message keeps heartbeating, and the heartbeat itself
-                    // carries the evidence of what it is missing.
-                    next_nudge[s] = now + tol.nudge;
+                if !memb.heard_any[s] && memb.nudge_due(s, now, tol.nudge) {
+                    // A slave that has never spoken a protocol message may
+                    // have lost its Start or its first release; its `Alive`
+                    // pings refresh the suspicion timer but carry no
+                    // evidence of what it is missing, so re-send both on
+                    // the nudge timer. Every other loss is event-triggered
+                    // from the receive arms above: a slave missing a
+                    // control message keeps heartbeating, and the
+                    // heartbeat itself carries what it is missing.
                     send(ctx, slaves[s], start_msg(slaves));
                     sc.recovery.start_resends += 1;
-                    send(ctx, slaves[s], Msg::InvocationStart { invocation: inv });
+                    send(
+                        ctx,
+                        slaves[s],
+                        Msg::InvocationStart {
+                            invocation: inv,
+                            ckpt_stride: 1,
+                        },
+                    );
                     sc.recovery.invocation_start_resends += 1;
                 }
             }
@@ -918,14 +789,13 @@ fn run_recoverable(
             // slave-side dedup makes the re-broadcast idempotent.
             for ev in &evictions {
                 for &v in &ev.awaiting {
-                    if now >= next_nudge[v] {
-                        next_nudge[v] = now + tol.nudge;
+                    if memb.nudge_due(v, now, tol.nudge) {
                         send(ctx, slaves[v], Msg::Evicted { slave: ev.dead });
                         sc.recovery.restore_resends += 1;
                     }
                 }
             }
-            if !alive.iter().any(|&a| a) {
+            if !memb.any_alive() {
                 return Err(ProtocolError::AllSlavesDead);
             }
         }
@@ -947,15 +817,15 @@ fn run_recoverable(
     let mut seen: BTreeMap<usize, UnitData> = BTreeMap::new();
     let mut got = vec![false; n];
     let now0 = ctx.now();
-    for s in 0..n {
-        next_nudge[s] = now0 + tol.nudge;
-        last_heard[s] = now0;
-        if alive[s] {
-            send(ctx, slaves[s], Msg::Gather);
+    for (s, &slave_id) in slaves.iter().enumerate() {
+        memb.rearm_nudge(s, now0, tol.nudge);
+        memb.last_heard[s] = now0;
+        if memb.alive[s] {
+            send(ctx, slave_id, Msg::Gather);
         }
     }
     loop {
-        if (0..n).all(|s| !alive[s] || got[s]) {
+        if (0..n).all(|s| !memb.alive[s] || got[s]) {
             break;
         }
         if let Some(env) = ctx.recv_deadline(ctx.now() + tol.master_tick) {
@@ -965,11 +835,11 @@ fn run_recoverable(
                     units,
                     fault_stats,
                 } => {
-                    if !alive[slave] {
+                    if !memb.alive[slave] {
                         sc.recovery.gather_dups_ignored += 1;
                         continue;
                     }
-                    last_heard[slave] = ctx.now();
+                    memb.last_heard[slave] = ctx.now();
                     send(ctx, slaves[slave], Msg::GatherAck);
                     if got[slave] {
                         sc.recovery.gather_dups_ignored += 1;
@@ -996,10 +866,9 @@ fn run_recoverable(
                 // trigger (it is chatty, so a silence timer never fires).
                 Msg::Status(st) => {
                     let s = st.slave;
-                    if alive[s] {
-                        last_heard[s] = ctx.now();
-                        if !got[s] && ctx.now() >= next_nudge[s] {
-                            next_nudge[s] = ctx.now() + tol.nudge;
+                    if memb.alive[s] {
+                        memb.last_heard[s] = ctx.now();
+                        if !got[s] && memb.nudge_due(s, ctx.now(), tol.nudge) {
                             send(ctx, slaves[s], Msg::Gather);
                             sc.recovery.gather_resends += 1;
                         }
@@ -1008,11 +877,10 @@ fn run_recoverable(
                 Msg::InvocationDone {
                     slave, restore_seq, ..
                 } => {
-                    if alive[slave] {
-                        last_heard[slave] = ctx.now();
+                    if memb.alive[slave] {
+                        memb.last_heard[slave] = ctx.now();
                         win[slave].ack(restore_seq);
-                        if !got[slave] && ctx.now() >= next_nudge[slave] {
-                            next_nudge[slave] = ctx.now() + tol.nudge;
+                        if !got[slave] && memb.nudge_due(slave, ctx.now(), tol.nudge) {
                             send(ctx, slaves[slave], Msg::Gather);
                             sc.recovery.gather_resends += 1;
                         }
@@ -1022,13 +890,19 @@ fn run_recoverable(
                 // an old ownership report during the gather; it is only a
                 // liveness signal here.
                 Msg::OwnReport { slave, .. } => {
-                    if alive[slave] {
-                        last_heard[slave] = ctx.now();
-                        if !got[slave] && ctx.now() >= next_nudge[slave] {
-                            next_nudge[slave] = ctx.now() + tol.nudge;
+                    if memb.alive[slave] {
+                        memb.last_heard[slave] = ctx.now();
+                        if !got[slave] && memb.nudge_due(slave, ctx.now(), tol.nudge) {
                             send(ctx, slaves[slave], Msg::Gather);
                             sc.recovery.gather_resends += 1;
                         }
+                    }
+                }
+                Msg::Alive { slave } => {
+                    if memb.alive[slave] {
+                        // Defers suspicion only; the timer sweep below still
+                        // re-sends Gather on protocol silence.
+                        memb.ping(slave, ctx.now());
                     }
                 }
                 Msg::SlaveError { slave, error } => {
@@ -1042,23 +916,23 @@ fn run_recoverable(
         }
         let now = ctx.now();
         for s in 0..n {
-            if !alive[s] || got[s] {
+            if !memb.alive[s] || got[s] {
                 continue;
             }
-            let silent = now.saturating_since(last_heard[s]);
+            let silent = memb.silent_for(s, now);
             if silent >= tol.suspicion {
                 // Dead during the gather: the end-of-gather safety net
                 // recomputes whatever no survivor delivered.
-                alive[s] = false;
+                memb.evict(s);
+                sc.recovery.gathers_interrupted += 1;
                 sc.recovery.slaves_declared_dead += 1;
                 sc.recovery.first_death.get_or_insert(now);
                 send(ctx, slaves[s], Msg::Evict);
                 owned[s].clear();
-            } else if silent >= tol.nudge && now >= next_nudge[s] {
+            } else if memb.unheard_for(s, now) >= tol.nudge && memb.nudge_due(s, now, tol.nudge) {
                 // Silent but not yet suspect: the slave may be waiting for
                 // a GatherAck after its GatherData was lost (it waits
                 // quietly, re-sending only on a duplicate Gather).
-                next_nudge[s] = now + tol.nudge;
                 send(ctx, slaves[s], Msg::Gather);
                 sc.recovery.gather_resends += 1;
             }
@@ -1076,171 +950,12 @@ fn run_recoverable(
     Ok(())
 }
 
-/// Mutable state of the checkpointed control loop, factored out so the
-/// rollback procedure can be a method instead of a 15-argument function.
-struct CkState {
-    alive: Vec<bool>,
-    heard_any: Vec<bool>,
-    last_heard: Vec<SimTime>,
-    next_nudge: Vec<SimTime>,
-    last_hook_seq: Vec<u64>,
-    done: Vec<bool>,
-    metrics: Vec<f64>,
-    sent: Vec<Vec<u64>>,
-    recv: Vec<Vec<u64>>,
-    win: Vec<SenderWindow<Msg>>,
-    unacked_instr: Vec<Option<(u64, Instructions, u32)>>,
-    /// Current rollback epoch; all protocol state is fenced by it.
-    epoch: u64,
-    /// Invocation being settled.
-    inv: u64,
-    /// The current invocation was released by a `Rollback` (which doubles
-    /// as the barrier release), so the head of the loop must not broadcast
-    /// another `InvocationStart`.
-    released: bool,
-    /// Partial checkpoints per invocation, merged as slave contributions
-    /// arrive. Value-deterministic, so contributions from different epochs
-    /// merge safely.
-    bank: BTreeMap<u64, BTreeMap<usize, UnitData>>,
-    /// Newest complete checkpoint: (invocation it releases, full snapshot).
-    best: Option<(u64, BTreeMap<usize, UnitData>)>,
-    /// Exponential moving average of the invocation wall time (seconds),
-    /// for the restart-cost estimate fed to the balancer.
-    ema_s: f64,
-    inv_started: SimTime,
-}
-
-impl CkState {
-    fn new(ctx: &ActorCtx<Msg>, n: usize, tol: &FaultToleranceConfig) -> CkState {
-        CkState {
-            alive: vec![true; n],
-            heard_any: vec![false; n],
-            last_heard: vec![ctx.now(); n],
-            next_nudge: vec![ctx.now() + tol.nudge; n],
-            last_hook_seq: vec![0u64; n],
-            done: vec![false; n],
-            metrics: vec![0.0; n],
-            sent: vec![vec![0u64; n]; n],
-            recv: vec![vec![0u64; n]; n],
-            win: vec![SenderWindow::new(); n],
-            unacked_instr: (0..n).map(|_| None).collect(),
-            epoch: 0,
-            inv: 0,
-            released: false,
-            bank: BTreeMap::new(),
-            best: None,
-            ema_s: 0.0,
-            inv_started: ctx.now(),
-        }
-    }
-
-    fn settled(&self, balancer: &Balancer) -> bool {
-        let n = self.alive.len();
-        (0..n).all(|s| !self.alive[s] || (self.done[s] && self.win[s].fully_acked()))
-            && channels_settled(&self.alive, &self.sent, &self.recv)
-            && balancer.outstanding_orders() == 0
-    }
-
-    /// Declare a slave dead. The caller must follow up with `rollback` —
-    /// pipelined/shrinking state cannot be recovered in place.
-    fn evict(
-        &mut self,
-        ctx: &ActorCtx<Msg>,
-        slaves: &[ActorId],
-        balancer: &mut Balancer,
-        s: usize,
-        sc: &mut Scratch,
-    ) {
-        self.alive[s] = false;
-        sc.recovery.slaves_declared_dead += 1;
-        sc.recovery.first_death.get_or_insert(ctx.now());
-        send(ctx, slaves[s], Msg::Evict);
-        balancer.mark_dead(s);
-        self.metrics[s] = 0.0;
-        self.done[s] = false;
-        self.unacked_instr[s] = None;
-    }
-
-    /// Roll the survivors back to the newest complete checkpoint (or the
-    /// initial data when none was banked yet): bump the epoch, re-partition
-    /// the snapshot contiguously over the survivors, and release the
-    /// resumed invocation through the windowed `Rollback` itself. The
-    /// estimated re-execution cost is handed to the balancer so marginal
-    /// moves stop looking profitable while the run is catching up.
-    #[allow(clippy::too_many_arguments)]
-    fn rollback(
-        &mut self,
-        ctx: &ActorCtx<Msg>,
-        slaves: &[ActorId],
-        balancer: &mut Balancer,
-        ck_init: &InitUnitFn,
-        n_units: usize,
-        tol: &FaultToleranceConfig,
-        sc: &mut Scratch,
-    ) -> Result<(), ProtocolError> {
-        let n = self.alive.len();
-        let survivors: Vec<usize> = (0..n).filter(|&i| self.alive[i]).collect();
-        if survivors.is_empty() {
-            return Err(ProtocolError::AllSlavesDead);
-        }
-        let (ck_inv, snapshot): (u64, Vec<(usize, UnitData)>) = match &self.best {
-            Some((i, snap)) => (*i, snap.iter().map(|(id, d)| (*id, d.clone())).collect()),
-            None => (0, (0..n_units).map(|id| (id, ck_init(id))).collect()),
-        };
-        sc.recovery.rollbacks += 1;
-        sc.recovery.units_rolled_back += snapshot.len() as u64;
-        self.epoch += 1;
-        // Restart cost: invocations lost since the checkpoint (including
-        // the partially-done one), priced at the running per-invocation
-        // average. `ck_inv` can exceed `inv` when a complete checkpoint for
-        // the *next* barrier arrived before this one settled — then nothing
-        // is lost. (In that corner the convergence test for the skipped
-        // settlement is never evaluated; acceptable for a WHILE loop, which
-        // only ever runs a bounded number of extra invocations.)
-        let lost_invs = (self.inv + 1).saturating_sub(ck_inv);
-        balancer.set_restart_cost(SimDuration::from_secs_f64(self.ema_s * lost_invs as f64));
-        let ranges = crate::driver::block_ranges(n_units, survivors.len());
-        let mut counts = vec![0u64; n];
-        let epoch = self.epoch;
-        for (k, &sv) in survivors.iter().enumerate() {
-            let (lo, hi) = ranges[k];
-            counts[sv] = (hi - lo) as u64;
-            let units: Vec<(usize, UnitData)> = snapshot[lo..hi].to_vec();
-            let msg = self.win[sv]
-                .send_with(|seq| Msg::Rollback {
-                    seq,
-                    epoch,
-                    invocation: ck_inv,
-                    survivors: survivors.clone(),
-                    units,
-                })
-                .clone();
-            send(ctx, slaves[sv], msg);
-        }
-        balancer.rebase(self.epoch, counts);
-        // Everything tracked under the old epoch is void: the slaves reset
-        // their channels on rebase, so the settlement matrices restart from
-        // zero, and old-epoch instructions must never be replayed.
-        for row in self.sent.iter_mut().chain(self.recv.iter_mut()) {
-            row.iter_mut().for_each(|v| *v = 0);
-        }
-        self.unacked_instr.iter_mut().for_each(|u| *u = None);
-        self.inv = ck_inv;
-        self.released = true;
-        let now = ctx.now();
-        for &sv in &survivors {
-            self.last_heard[sv] = now;
-            self.next_nudge[sv] = now + tol.nudge;
-            self.done[sv] = false;
-        }
-        Ok(())
-    }
-}
-
 /// Checkpointed control loop (pipelined/shrinking patterns): slaves ship
 /// best-effort state checkpoints at invocation barriers; a death or an
 /// unrecoverable protocol loss rolls the survivors back to the newest
-/// complete checkpoint instead of aborting the run.
+/// complete checkpoint instead of aborting the run. Session state —
+/// membership, epoch, bank, speculation, stride — lives in
+/// [`CkSession`]; this function is the protocol driver.
 #[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     ctx: &ActorCtx<Msg>,
@@ -1268,7 +983,7 @@ fn run_checkpointed(
         send(ctx, s, start_msg(slaves));
     }
 
-    let mut st = CkState::new(ctx, n, &tol);
+    let mut st = CkSession::new(ctx.now(), n, &tol);
     // Convergence can end the run early; a post-convergence rollback must
     // not run invocations the converged run never executed.
     let mut target = cfg.invocations;
@@ -1284,13 +999,20 @@ fn run_checkpointed(
                 st.released = false;
             } else {
                 for (i, &s) in slaves.iter().enumerate() {
-                    if st.alive[i] {
-                        send(ctx, s, Msg::InvocationStart { invocation: st.inv });
+                    if st.memb.alive[i] {
+                        send(
+                            ctx,
+                            s,
+                            Msg::InvocationStart {
+                                invocation: st.inv,
+                                ckpt_stride: st.ckpt_stride,
+                            },
+                        );
                     }
                 }
             }
             for s in 0..n {
-                st.done[s] = false;
+                st.memb.done[s] = false;
                 st.metrics[s] = 0.0;
             }
             st.inv_started = ctx.now();
@@ -1303,11 +1025,11 @@ fn run_checkpointed(
                     match env.msg {
                         Msg::Status(stm) => {
                             let s = stm.slave;
-                            if !st.alive[s] {
+                            if !st.memb.alive[s] {
                                 continue;
                             }
-                            st.heard_any[s] = true;
-                            st.last_heard[s] = ctx.now();
+                            st.memb.heard(s, ctx.now());
+                            st.cancel_speculation_for(s, &mut sc.recovery);
                             // Epoch fence: a pre-rollback status describes a
                             // distribution that no longer exists.
                             if stm.epoch < st.epoch {
@@ -1325,7 +1047,7 @@ fn run_checkpointed(
                                 continue;
                             }
                             st.last_hook_seq[s] = stm.hook_seq;
-                            st.done[s] = false;
+                            st.memb.done[s] = false;
                             if let Some((seq, _, _)) = &st.unacked_instr[s] {
                                 if stm.last_applied_seq >= *seq {
                                     st.unacked_instr[s] = None;
@@ -1360,12 +1082,12 @@ fn run_checkpointed(
                             restore_seq,
                             ..
                         } => {
-                            if !st.alive[slave] {
+                            if !st.memb.alive[slave] {
                                 sc.recovery.done_dups_ignored += 1;
                                 continue;
                             }
-                            st.heard_any[slave] = true;
-                            st.last_heard[slave] = ctx.now();
+                            st.memb.heard(slave, ctx.now());
+                            st.cancel_speculation_for(slave, &mut sc.recovery);
                             // Ack before the epoch fence: the master-channel
                             // watermark is not epoch-scoped, and a stale
                             // report still proves what the slave applied.
@@ -1386,16 +1108,18 @@ fn run_checkpointed(
                             merge_max(&mut st.recv[slave], &received_from);
                             cfg.balancer.ack_transfers(slave, &received_from);
                             if invocation == st.inv {
-                                st.done[slave] = true;
+                                st.memb.done[slave] = true;
                                 st.metrics[slave] = metric;
                             } else if invocation < st.inv {
                                 sc.recovery.done_dups_ignored += 1;
-                                if ctx.now() >= st.next_nudge[slave] {
-                                    st.next_nudge[slave] = ctx.now() + tol.nudge;
+                                if st.memb.nudge_due(slave, ctx.now(), tol.nudge) {
                                     send(
                                         ctx,
                                         slaves[slave],
-                                        Msg::InvocationStart { invocation: st.inv },
+                                        Msg::InvocationStart {
+                                            invocation: st.inv,
+                                            ckpt_stride: st.ckpt_stride,
+                                        },
                                     );
                                     sc.recovery.invocation_start_resends += 1;
                                     if let Some((_, instr, tries)) = &mut st.unacked_instr[slave] {
@@ -1418,11 +1142,10 @@ fn run_checkpointed(
                                     ),
                                 });
                             }
-                            if st.done[slave]
+                            if st.memb.done[slave]
                                 && !st.win[slave].fully_acked()
-                                && ctx.now() >= st.next_nudge[slave]
+                                && st.memb.nudge_due(slave, ctx.now(), tol.nudge)
                             {
-                                st.next_nudge[slave] = ctx.now() + tol.nudge;
                                 for (_, msg) in st.win[slave].unacked() {
                                     send(ctx, slaves[slave], msg.clone());
                                     sc.recovery.restore_resends += 1;
@@ -1434,25 +1157,23 @@ fn run_checkpointed(
                             invocation,
                             units,
                         } => {
-                            if st.alive[slave] {
-                                st.heard_any[slave] = true;
-                                st.last_heard[slave] = ctx.now();
+                            if st.memb.alive[slave] {
+                                st.memb.heard(slave, ctx.now());
+                                st.cancel_speculation_for(slave, &mut sc.recovery);
                             }
+                            // The speculative result banks like any other
+                            // checkpoint; only the accounting differs.
+                            st.note_speculative_checkpoint(
+                                slave,
+                                invocation,
+                                units.len(),
+                                &mut sc.recovery,
+                            );
                             // Checkpoints carry no epoch on purpose: the
                             // state after k invocations is deterministic
                             // regardless of which distribution computed it,
                             // so contributions bank from any epoch.
-                            if st.best.as_ref().is_some_and(|(b, _)| invocation <= *b) {
-                                continue;
-                            }
-                            let entry = st.bank.entry(invocation).or_default();
-                            for (id, d) in units {
-                                entry.insert(id, d);
-                            }
-                            if entry.len() == n_units {
-                                let snap = st.bank.remove(&invocation).expect("entry exists");
-                                st.best = Some((invocation, snap));
-                                st.bank.retain(|&i, _| i > invocation);
+                            if st.bank.offer(invocation, units, n_units) {
                                 sc.recovery.checkpoints_banked += 1;
                             }
                         }
@@ -1462,7 +1183,7 @@ fn run_checkpointed(
                             sc.recovery.gather_dups_ignored += 1;
                         }
                         Msg::SlaveError { slave, error } => {
-                            if !st.alive[slave] {
+                            if !st.memb.alive[slave] {
                                 continue;
                             }
                             if !st.win[slave].fully_acked() {
@@ -1474,7 +1195,7 @@ fn run_checkpointed(
                             if !slave_recoverable(&error) {
                                 // The slave itself failed: evict it, then
                                 // roll the survivors back.
-                                st.evict(ctx, slaves, &mut cfg.balancer, slave, sc);
+                                st.evict(ctx, slaves, &mut cfg.balancer, slave, &mut sc.recovery);
                             }
                             // Either way the run restarts from the newest
                             // complete checkpoint; a recoverable slave
@@ -1486,9 +1207,18 @@ fn run_checkpointed(
                                 ck_init,
                                 n_units,
                                 &tol,
-                                sc,
+                                &mut sc.recovery,
                             )?;
                             continue 'invocations;
+                        }
+                        // A slave blocked on a peer (a halo or pivot from a
+                        // crashed neighbour) pings so the suspicion timer
+                        // cannot mistake the stall for a second crash.
+                        Msg::Alive { slave } => {
+                            if st.memb.alive[slave] {
+                                st.memb.ping(slave, ctx.now());
+                                st.cancel_speculation_for(slave, &mut sc.recovery);
+                            }
                         }
                         other => return Err(unexpected("checkpointed invocation loop", &other)),
                     }
@@ -1498,29 +1228,46 @@ fn run_checkpointed(
                 let now = ctx.now();
                 let mut suspect = None;
                 for s in 0..n {
-                    if !st.alive[s] {
+                    if !st.memb.alive[s] {
                         continue;
                     }
-                    let settled_s = st.done[s] && st.win[s].fully_acked();
-                    let silent = now.saturating_since(st.last_heard[s]);
+                    let settled_s = st.memb.done[s] && st.win[s].fully_acked();
+                    let silent = st.memb.silent_for(s, now);
                     if !settled_s && silent >= tol.suspicion {
                         suspect = Some(s);
                         break;
                     }
-                    if !st.heard_any[s] && silent >= tol.nudge && now >= st.next_nudge[s] {
-                        st.next_nudge[s] = now + tol.nudge;
+                    if !settled_s && silent >= tol.speculate_after {
+                        // Suspicion is building: race the suspect's next
+                        // invocation on an idle survivor from the banked
+                        // snapshot, so an eviction rolls back one
+                        // invocation less.
+                        st.speculate(ctx, slaves, ck_init, n_units, s, &mut sc.recovery);
+                    }
+                    // See the recoverable loop: a never-spoken slave's
+                    // `Alive` pings refresh the suspicion timer but cannot
+                    // name what it is missing, so silence is not required
+                    // here — only the nudge timer.
+                    if !st.memb.heard_any[s] && st.memb.nudge_due(s, now, tol.nudge) {
                         send(ctx, slaves[s], start_msg(slaves));
                         sc.recovery.start_resends += 1;
-                        send(ctx, slaves[s], Msg::InvocationStart { invocation: st.inv });
+                        send(
+                            ctx,
+                            slaves[s],
+                            Msg::InvocationStart {
+                                invocation: st.inv,
+                                ckpt_stride: st.ckpt_stride,
+                            },
+                        );
                         sc.recovery.invocation_start_resends += 1;
                     } else if !st.win[s].fully_acked()
-                        && silent >= tol.nudge
-                        && now >= st.next_nudge[s]
+                        && st.memb.unheard_for(s, now) >= tol.nudge
+                        && st.memb.nudge_due(s, now, tol.nudge)
                     {
-                        // A slave parked after a recoverable error is
-                        // silent — no heartbeat can event-trigger the
-                        // re-send of a lost Rollback, so the timer must.
-                        st.next_nudge[s] = now + tol.nudge;
+                        // A slave that lost its Rollback cannot event-trigger
+                        // the re-send — it is either parked silent or still
+                        // pinging from a blocked wait — so the timer keys off
+                        // *protocol* silence, which pings do not refresh.
                         for (_, msg) in st.win[s].unacked() {
                             send(ctx, slaves[s], msg.clone());
                             sc.recovery.restore_resends += 1;
@@ -1528,23 +1275,27 @@ fn run_checkpointed(
                     }
                 }
                 if let Some(s) = suspect {
-                    st.evict(ctx, slaves, &mut cfg.balancer, s, sc);
-                    st.rollback(ctx, slaves, &mut cfg.balancer, ck_init, n_units, &tol, sc)?;
+                    st.evict(ctx, slaves, &mut cfg.balancer, s, &mut sc.recovery);
+                    st.rollback(
+                        ctx,
+                        slaves,
+                        &mut cfg.balancer,
+                        ck_init,
+                        n_units,
+                        &tol,
+                        &mut sc.recovery,
+                    )?;
                     continue 'invocations;
                 }
-                if !st.alive.iter().any(|&a| a) {
+                if !st.memb.any_alive() {
                     return Err(ProtocolError::AllSlavesDead);
                 }
             }
 
             // Settled: fold the invocation wall time into the restart-cost
-            // estimate and advance.
-            let dur = ctx.now().saturating_since(st.inv_started).as_secs_f64();
-            st.ema_s = if st.ema_s == 0.0 {
-                dur
-            } else {
-                0.5 * st.ema_s + 0.5 * dur
-            };
+            // estimate (which also picks the checkpoint stride for the next
+            // release) and advance.
+            st.fold_invocation_time(ctx.now(), &tol);
             let reduced: f64 = st.metrics.iter().sum();
             st.inv += 1;
             if (cfg.converged)(st.inv - 1, reduced) {
@@ -1562,16 +1313,16 @@ fn run_checkpointed(
         let mut got = vec![false; n];
         let now0 = ctx.now();
         for (s, &sl) in slaves.iter().enumerate() {
-            st.next_nudge[s] = now0 + tol.nudge;
-            st.last_heard[s] = now0;
-            if st.alive[s] {
+            st.memb.rearm_nudge(s, now0, tol.nudge);
+            st.memb.last_heard[s] = now0;
+            if st.memb.alive[s] {
                 send(ctx, sl, Msg::Gather);
             }
         }
         loop {
             if seen.len() == n_units {
                 for (s, &sl) in slaves.iter().enumerate() {
-                    if st.alive[s] {
+                    if st.memb.alive[s] {
                         send(ctx, sl, Msg::GatherAck);
                     }
                 }
@@ -1585,11 +1336,11 @@ fn run_checkpointed(
                         units,
                         fault_stats,
                     } => {
-                        if !st.alive[slave] {
+                        if !st.memb.alive[slave] {
                             sc.recovery.gather_dups_ignored += 1;
                             continue;
                         }
-                        st.last_heard[slave] = ctx.now();
+                        st.memb.last_heard[slave] = ctx.now();
                         if got[slave] {
                             sc.recovery.gather_dups_ignored += 1;
                             continue;
@@ -1607,10 +1358,9 @@ fn run_checkpointed(
                     }
                     Msg::Status(stm) => {
                         let s = stm.slave;
-                        if st.alive[s] {
-                            st.last_heard[s] = ctx.now();
-                            if !got[s] && ctx.now() >= st.next_nudge[s] {
-                                st.next_nudge[s] = ctx.now() + tol.nudge;
+                        if st.memb.alive[s] {
+                            st.memb.last_heard[s] = ctx.now();
+                            if !got[s] && st.memb.nudge_due(s, ctx.now(), tol.nudge) {
                                 send(ctx, slaves[s], Msg::Gather);
                                 sc.recovery.gather_resends += 1;
                             }
@@ -1619,11 +1369,10 @@ fn run_checkpointed(
                     Msg::InvocationDone {
                         slave, restore_seq, ..
                     } => {
-                        if st.alive[slave] {
-                            st.last_heard[slave] = ctx.now();
+                        if st.memb.alive[slave] {
+                            st.memb.last_heard[slave] = ctx.now();
                             st.win[slave].ack(restore_seq);
-                            if !got[slave] && ctx.now() >= st.next_nudge[slave] {
-                                st.next_nudge[slave] = ctx.now() + tol.nudge;
+                            if !got[slave] && st.memb.nudge_due(slave, ctx.now(), tol.nudge) {
                                 send(ctx, slaves[slave], Msg::Gather);
                                 sc.recovery.gather_resends += 1;
                             }
@@ -1632,19 +1381,34 @@ fn run_checkpointed(
                     // A late checkpoint racing the gather is only a
                     // liveness signal now.
                     Msg::Checkpoint { slave, .. } => {
-                        if st.alive[slave] {
-                            st.last_heard[slave] = ctx.now();
+                        if st.memb.alive[slave] {
+                            st.memb.last_heard[slave] = ctx.now();
                         }
                     }
                     Msg::SlaveError { slave, error } => {
-                        if !st.alive[slave] || !st.win[slave].fully_acked() {
+                        if !st.memb.alive[slave] || !st.win[slave].fully_acked() {
                             continue;
                         }
                         if !slave_recoverable(&error) {
-                            st.evict(ctx, slaves, &mut cfg.balancer, slave, sc);
+                            st.evict(ctx, slaves, &mut cfg.balancer, slave, &mut sc.recovery);
                         }
-                        st.rollback(ctx, slaves, &mut cfg.balancer, ck_init, n_units, &tol, sc)?;
+                        st.rollback(
+                            ctx,
+                            slaves,
+                            &mut cfg.balancer,
+                            ck_init,
+                            n_units,
+                            &tol,
+                            &mut sc.recovery,
+                        )?;
                         continue 'run;
+                    }
+                    Msg::Alive { slave } => {
+                        if st.memb.alive[slave] {
+                            // Defers suspicion only; the timer sweep below
+                            // still re-sends Gather on protocol silence.
+                            st.memb.ping(slave, ctx.now());
+                        }
                     }
                     other => return Err(unexpected("checkpointed gather", &other)),
                 }
@@ -1652,16 +1416,16 @@ fn run_checkpointed(
             let now = ctx.now();
             let mut dead_in_gather = None;
             for s in 0..n {
-                if !st.alive[s] || got[s] {
+                if !st.memb.alive[s] || got[s] {
                     continue;
                 }
-                let silent = now.saturating_since(st.last_heard[s]);
+                let silent = st.memb.silent_for(s, now);
                 if silent >= tol.suspicion {
                     dead_in_gather = Some(s);
                     break;
                 }
-                if silent >= tol.nudge && now >= st.next_nudge[s] {
-                    st.next_nudge[s] = now + tol.nudge;
+                if st.memb.unheard_for(s, now) >= tol.nudge && st.memb.nudge_due(s, now, tol.nudge)
+                {
                     if st.win[s].fully_acked() {
                         send(ctx, slaves[s], Msg::Gather);
                         sc.recovery.gather_resends += 1;
@@ -1677,11 +1441,20 @@ fn run_checkpointed(
             if let Some(s) = dead_in_gather {
                 // Death mid-gather: its un-gathered state is gone, so roll
                 // the survivors back and redo from the newest checkpoint.
-                st.evict(ctx, slaves, &mut cfg.balancer, s, sc);
-                st.rollback(ctx, slaves, &mut cfg.balancer, ck_init, n_units, &tol, sc)?;
+                sc.recovery.gathers_interrupted += 1;
+                st.evict(ctx, slaves, &mut cfg.balancer, s, &mut sc.recovery);
+                st.rollback(
+                    ctx,
+                    slaves,
+                    &mut cfg.balancer,
+                    ck_init,
+                    n_units,
+                    &tol,
+                    &mut sc.recovery,
+                )?;
                 continue 'run;
             }
-            if !st.alive.iter().any(|&a| a) {
+            if !st.memb.any_alive() {
                 return Err(ProtocolError::AllSlavesDead);
             }
         }

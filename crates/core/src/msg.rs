@@ -148,8 +148,13 @@ pub enum Msg {
     },
     Instructions(Instructions),
     /// Barrier release: begin the given invocation (sweep / step / rep).
+    /// `ckpt_stride` is the adaptive checkpoint cadence the master chose
+    /// for the coming invocations: send a checkpoint only when the
+    /// completed invocation number is a multiple of it (1 = every barrier;
+    /// the default, and the only value outside the checkpointed engines).
     InvocationStart {
         invocation: u64,
+        ckpt_stride: u64,
     },
     /// Request final data; slaves answer with `GatherData` and terminate.
     Gather,
@@ -274,11 +279,18 @@ pub enum Msg {
         /// Live slave indices, ascending — the receiver derives its
         /// pipeline neighbours from its position in this list.
         survivors: Vec<usize>,
+        /// Checkpoint cadence in force after the restart (see
+        /// [`Msg::InvocationStart`]).
+        ckpt_stride: u64,
         units: Vec<(usize, UnitData)>,
     },
-    /// Master → idle survivor (independent engine): speculatively
-    /// re-execute a silent suspect's units, holding the results aside
-    /// until the master commits or cancels. Windowed like `Restore`.
+    /// Master → idle survivor: speculatively re-execute a silent suspect's
+    /// work, holding the results aside until the master commits or
+    /// cancels. For the independent engine `units` are the suspect's units
+    /// to recompute in `invocation`; for the checkpointed engines `units`
+    /// are the full banked snapshot of invocation `invocation`, which the
+    /// survivor advances by one invocation and returns as a
+    /// [`Msg::Checkpoint`] for `invocation + 1`. Windowed like `Restore`.
     Speculate {
         seq: u64,
         invocation: u64,
@@ -296,6 +308,14 @@ pub enum Msg {
     SpecCancel {
         seq: u64,
         spec_seq: u64,
+    },
+    /// Slave → master (fault mode): pure liveness ping. Sent while a slave
+    /// is blocked waiting on a *peer* (e.g. a pipeline halo from a crashed
+    /// neighbour) and therefore has no protocol message of its own to
+    /// re-send. Refreshes the master's suspicion timer and cancels any
+    /// speculation on the sender; carries no other state.
+    Alive {
+        slave: usize,
     },
     /// Master → slaves: the run failed; terminate quietly.
     Abort,
@@ -322,7 +342,8 @@ impl Msg {
         match self {
             Msg::Start { assignment, .. } => HDR + 16 * assignment.len() as u64,
             Msg::Instructions(i) => HDR + 24 * i.moves.len() as u64,
-            Msg::InvocationStart { .. } | Msg::Gather => HDR,
+            Msg::InvocationStart { .. } => HDR + 8,
+            Msg::Gather => HDR,
             Msg::InvocationDone {
                 sent_to,
                 received_from,
@@ -354,6 +375,7 @@ impl Msg {
             Msg::Evict
             | Msg::Evicted { .. }
             | Msg::Abort
+            | Msg::Alive { .. }
             | Msg::GatherAck
             | Msg::TransferAck { .. }
             | Msg::SpecCancel { .. } => HDR,

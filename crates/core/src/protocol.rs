@@ -12,16 +12,16 @@
 //!
 //! These rules used to live inline in `master.rs` and
 //! `engine_independent.rs`, where only example-based chaos tests could reach
-//! them. They are factored here as two small pure types — [`SenderWindow`]
-//! and [`AckTracker`] — used verbatim by the runtime *and* by the
-//! model-checkable [`RestoreModel`], an abstracted master/slaves/network
-//! system that `dlb-analyze` exhaustively explores for lost work, duplicate
-//! application, and deadlock (the properties Eleliemy & Ciorba and Zafari &
-//! Larsson identify as the hard part of distributed self-scheduling).
+//! them. They are factored here as three small pure types — [`SenderWindow`],
+//! [`AckTracker`], and [`TransferWindow`] — used verbatim by the runtime
+//! *and* by the model-checkable abstractions in
+//! [`crate::session::model`] ([`crate::session::model::RestoreModel`],
+//! [`crate::session::model::TransferModel`]), which `dlb-analyze`
+//! exhaustively explores for lost work, duplicate application, and deadlock
+//! (the properties Eleliemy & Ciorba and Zafari & Larsson identify as the
+//! hard part of distributed self-scheduling).
 
-use crate::recovery::redistribute;
-use dlb_sim::TransitionSystem;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Receiver side: sequence-number deduplication plus the contiguous
 /// acknowledgement watermark reported back to the sender.
@@ -106,313 +106,6 @@ impl<T> SenderWindow<T> {
     /// True once every sequence handed out has been acknowledged.
     pub fn fully_acked(&self) -> bool {
         self.watermark >= self.seq_sent
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Model-checkable abstraction
-// ---------------------------------------------------------------------------
-
-/// A message in flight in the [`RestoreModel`]'s network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Wire {
-    /// Master → survivor: adopt these units (sequence-numbered).
-    Restore {
-        to: usize,
-        seq: u64,
-        units: Vec<usize>,
-    },
-    /// Survivor → master: contiguous applied watermark (carried by
-    /// `InvocationDone::restore_seq` in the real runtime).
-    Ack { from: usize, watermark: u64 },
-}
-
-/// One enabled step of the model.
-///
-/// The wire is a *set* of distinct in-flight messages (idempotent
-/// network): re-sending an identical message merges with the copy already
-/// in flight, and duplicate delivery is modeled by [`Step::DeliverCopy`],
-/// which applies a message without consuming it. This is the standard
-/// sound reduction for drop/duplicate networks — it preserves every
-/// receiver-visible delivery sequence while keeping the state space small
-/// enough to exhaust.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Step {
-    /// Master scatters wave `w` of dead units over the survivors.
-    Scatter(usize),
-    /// Deliver the `i`-th in-flight message (and consume it).
-    Deliver(usize),
-    /// The network delivers a duplicate of the `i`-th in-flight message:
-    /// effects apply but the original stays in flight (bounded budget).
-    DeliverCopy(usize),
-    /// The network drops the `i`-th in-flight message (bounded budget).
-    Drop(usize),
-    /// The master's nudge timer fires for survivor `s`: re-send everything
-    /// unacknowledged that is not already in flight.
-    Resend(usize),
-    /// Survivor `s` heartbeats its current watermark (`InvocationDone`
-    /// re-send in the real runtime), while the ack carries news.
-    Heartbeat(usize),
-}
-
-/// Per-survivor receiver state in the model.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
-pub struct SlaveModel {
-    pub tracker: AckTracker,
-    /// Units held, with how many times each was *applied* — a count above
-    /// one is a duplicate application (double compute / double insert).
-    pub holding: BTreeMap<usize, u32>,
-}
-
-/// Full model state: master windows, survivor trackers, and the network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub struct RestoreState {
-    pub windows: Vec<SenderWindow<Vec<usize>>>,
-    pub slaves: Vec<SlaveModel>,
-    /// In flight: a sorted set of distinct messages (idempotent network).
-    pub wire: Vec<Wire>,
-    pub scattered_waves: usize,
-    pub drops_used: u32,
-    pub dups_used: u32,
-}
-
-/// The abstracted master/slaves/network system around the restore protocol.
-///
-/// The master scatters `waves` of dead-slave units over `survivors`
-/// (round-robin, exactly as [`crate::recovery::redistribute`] does), the
-/// network may drop or duplicate a bounded number of messages, and both
-/// sides run the [`SenderWindow`]/[`AckTracker`] rules. `dedup_acks = false`
-/// switches the receiver to a deliberately broken variant that acknowledges
-/// without deduplicating — the model checker must find the duplicate-apply
-/// counterexample (and does; see `dlb-analyze`).
-#[derive(Clone, Debug)]
-pub struct RestoreModel {
-    pub survivors: usize,
-    /// Unit ids scattered per wave (each wave is one eviction's re-scatter).
-    pub waves: Vec<Vec<usize>>,
-    pub max_drops: u32,
-    pub max_dups: u32,
-    /// True = the real protocol (receiver dedups by sequence number).
-    pub dedup_acks: bool,
-}
-
-impl RestoreModel {
-    /// The standard checked configuration: two survivors, one eviction wave
-    /// of three units followed by a second single-unit wave, one drop and
-    /// one duplication budget.
-    pub fn standard() -> RestoreModel {
-        RestoreModel {
-            survivors: 2,
-            waves: vec![vec![0, 1, 2], vec![3]],
-            max_drops: 1,
-            max_dups: 1,
-            dedup_acks: true,
-        }
-    }
-
-    /// The broken variant: acknowledgements without receiver dedup.
-    pub fn broken_no_dedup() -> RestoreModel {
-        RestoreModel {
-            dedup_acks: false,
-            ..RestoreModel::standard()
-        }
-    }
-
-    /// Receiver/sender effects of one message delivery (shared by
-    /// [`Step::Deliver`] and [`Step::DeliverCopy`]).
-    fn deliver(&self, n: &mut RestoreState, msg: Wire) {
-        match msg {
-            Wire::Restore { to, seq, units } => {
-                let slave = &mut n.slaves[to];
-                let fresh = if self.dedup_acks {
-                    slave.tracker.fresh(seq)
-                } else {
-                    // Broken variant: acknowledge the sequence but apply
-                    // unconditionally.
-                    slave.tracker.fresh(seq);
-                    true
-                };
-                if fresh {
-                    for u in units {
-                        *slave.holding.entry(u).or_insert(0) += 1;
-                    }
-                }
-                let ack = Wire::Ack {
-                    from: to,
-                    watermark: n.slaves[to].tracker.watermark(),
-                };
-                insert_unique(&mut n.wire, ack);
-            }
-            Wire::Ack { from, watermark } => {
-                n.windows[from].ack(watermark);
-            }
-        }
-    }
-
-    fn all_units(&self) -> usize {
-        self.waves.iter().map(|w| w.len()).sum()
-    }
-
-    fn quiescent(&self, s: &RestoreState) -> bool {
-        s.scattered_waves == self.waves.len()
-            && s.wire.is_empty()
-            && s.windows.iter().all(|w| w.fully_acked())
-    }
-}
-
-fn insert_unique(wire: &mut Vec<Wire>, msg: Wire) {
-    if let Err(at) = wire.binary_search(&msg) {
-        wire.insert(at, msg);
-    }
-}
-
-impl TransitionSystem for RestoreModel {
-    type State = RestoreState;
-    type Action = Step;
-
-    fn initial(&self) -> RestoreState {
-        RestoreState {
-            windows: vec![SenderWindow::new(); self.survivors],
-            slaves: vec![SlaveModel::default(); self.survivors],
-            wire: Vec::new(),
-            scattered_waves: 0,
-            drops_used: 0,
-            dups_used: 0,
-        }
-    }
-
-    fn actions(&self, s: &RestoreState) -> Vec<Step> {
-        let mut out = Vec::new();
-        if s.scattered_waves < self.waves.len() {
-            out.push(Step::Scatter(s.scattered_waves));
-        }
-        for i in 0..s.wire.len() {
-            out.push(Step::Deliver(i));
-            if s.drops_used < self.max_drops {
-                out.push(Step::Drop(i));
-            }
-            if s.dups_used < self.max_dups {
-                out.push(Step::DeliverCopy(i));
-            }
-        }
-        for t in 0..self.survivors {
-            // Nudge: at most one copy of a pending message in flight at a
-            // time (the timer refires, so this loses no behaviours — it
-            // only bounds the wire occupancy).
-            let resendable = s.windows[t].unacked().any(|(seq, units)| {
-                !s.wire.contains(&Wire::Restore {
-                    to: t,
-                    seq: *seq,
-                    units: units.clone(),
-                })
-            });
-            if resendable {
-                out.push(Step::Resend(t));
-            }
-            let hb = Wire::Ack {
-                from: t,
-                watermark: s.slaves[t].tracker.watermark(),
-            };
-            // Heartbeat while it carries news (the ack was lost): in the
-            // runtime a slave re-sends `InvocationDone` until released, and
-            // stops once settled — so the model stops at quiescence too,
-            // which keeps quiescent states terminal for deadlock detection.
-            if s.slaves[t].tracker.watermark() > s.windows[t].watermark() && !s.wire.contains(&hb) {
-                out.push(Step::Heartbeat(t));
-            }
-        }
-        out
-    }
-
-    fn apply(&self, s: &RestoreState, a: &Step) -> RestoreState {
-        let mut n = s.clone();
-        match a {
-            Step::Scatter(w) => {
-                let survivors: Vec<usize> = (0..self.survivors).collect();
-                for (t, units) in redistribute(&self.waves[*w], &survivors) {
-                    n.windows[t].send_with(|_| units.clone());
-                    let msg = Wire::Restore {
-                        to: t,
-                        seq: n.windows[t].seq_sent(),
-                        units,
-                    };
-                    insert_unique(&mut n.wire, msg);
-                }
-                n.scattered_waves += 1;
-            }
-            Step::Deliver(i) => {
-                let msg = n.wire.remove(*i);
-                self.deliver(&mut n, msg);
-            }
-            Step::DeliverCopy(i) => {
-                let msg = n.wire[*i].clone();
-                n.dups_used += 1;
-                self.deliver(&mut n, msg);
-            }
-            Step::Drop(i) => {
-                n.wire.remove(*i);
-                n.drops_used += 1;
-            }
-            Step::Resend(t) => {
-                let msgs: Vec<Wire> = n.windows[*t]
-                    .unacked()
-                    .map(|(seq, units)| Wire::Restore {
-                        to: *t,
-                        seq: *seq,
-                        units: units.clone(),
-                    })
-                    .filter(|m| !n.wire.contains(m))
-                    .collect();
-                for m in msgs {
-                    insert_unique(&mut n.wire, m);
-                }
-            }
-            Step::Heartbeat(t) => {
-                let hb = Wire::Ack {
-                    from: *t,
-                    watermark: n.slaves[*t].tracker.watermark(),
-                };
-                insert_unique(&mut n.wire, hb);
-            }
-        }
-        n
-    }
-
-    fn violation(&self, s: &RestoreState) -> Option<String> {
-        for (idx, slave) in s.slaves.iter().enumerate() {
-            for (unit, applies) in &slave.holding {
-                if *applies > 1 {
-                    return Some(format!(
-                        "unit {unit} applied {applies} times on survivor {idx} (duplicate apply)"
-                    ));
-                }
-            }
-        }
-        // A unit held by two survivors at once is also a duplicate.
-        let mut owners: BTreeMap<usize, usize> = BTreeMap::new();
-        for (idx, slave) in s.slaves.iter().enumerate() {
-            for unit in slave.holding.keys() {
-                if let Some(prev) = owners.insert(*unit, idx) {
-                    return Some(format!(
-                        "unit {unit} held by survivors {prev} and {idx} simultaneously"
-                    ));
-                }
-            }
-        }
-        if self.quiescent(s) {
-            let held: usize = s.slaves.iter().map(|sl| sl.holding.len()).sum();
-            if held != self.all_units() {
-                return Some(format!(
-                    "quiescent with {held} of {} units restored (lost work)",
-                    self.all_units()
-                ));
-            }
-        }
-        None
-    }
-
-    fn is_accepting(&self, s: &RestoreState) -> bool {
-        self.quiescent(s)
     }
 }
 
@@ -526,332 +219,6 @@ impl<T> TransferWindow<T> {
     }
 }
 
-/// A message in flight in the [`TransferModel`]'s network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum TWire {
-    /// Sender → receiver: adopt these units (sequence-numbered move).
-    Transfer { seq: u64, units: Vec<usize> },
-    /// Receiver → sender: contiguous applied watermark.
-    Ack { watermark: u64 },
-}
-
-/// One enabled step of the [`TransferModel`]. Same idempotent-wire
-/// reduction as [`Step`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TStep {
-    /// The balancer orders move `m`: the sender sheds its units onto the
-    /// channel (or keeps them, if the receiver was already evicted).
-    Offer(usize),
-    /// Deliver the `i`-th in-flight message (and consume it). Deliveries
-    /// to an evicted receiver are discarded, as the fail-stop network does.
-    Deliver(usize),
-    /// Deliver a duplicate of the `i`-th message (bounded budget).
-    DeliverCopy(usize),
-    /// Drop the `i`-th message (bounded budget).
-    Drop(usize),
-    /// The sender's re-send trigger fires: re-send everything
-    /// unacknowledged that is not already in flight.
-    Resend,
-    /// The receiver re-acknowledges while the ack carries news.
-    Heartbeat,
-    /// The receiver fail-stops: the master evicts it, the sender closes
-    /// the channel and re-owns in-flight units, and the master re-scatters
-    /// whatever no survivor reports owning (bounded budget).
-    Evict,
-}
-
-/// Full [`TransferModel`] state: both channel endpoints, both unit sets
-/// (with apply counts), and the network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub struct TransferState {
-    /// Sender endpoint of the channel (the slave shedding work).
-    pub sender: TransferWindow<Vec<usize>>,
-    /// Receiver endpoint (the slave gaining work).
-    pub receiver: TransferWindow<Vec<usize>>,
-    pub sender_holding: BTreeMap<usize, u32>,
-    pub receiver_holding: BTreeMap<usize, u32>,
-    pub wire: Vec<TWire>,
-    pub offered: usize,
-    pub receiver_evicted: bool,
-    pub drops_used: u32,
-    pub dups_used: u32,
-}
-
-/// The abstracted slave↔slave work-migration system around
-/// [`TransferWindow`] — the runtime's MoveOrder execution path, minus
-/// everything that does not affect unit safety.
-///
-/// The sender starts holding every unit; the balancer orders `moves`
-/// (disjoint unit batches) shed to the receiver; the network may drop or
-/// duplicate a bounded number of messages; and the receiver may fail-stop
-/// once ([`TStep::Evict`]), upon which the sender re-owns the in-flight
-/// units and the master re-scatters exactly the units no survivor reports.
-/// `dedup_transfers = false` is the deliberately broken variant that
-/// applies transfer payloads without sequence-number dedup — the checker
-/// must find the duplicate-unit counterexample (`dlb-analyze` maps it to
-/// E104).
-#[derive(Clone, Debug)]
-pub struct TransferModel {
-    /// Unit ids the sender starts with (the receiver starts empty).
-    pub units: Vec<usize>,
-    /// Unit batches shed to the receiver, in order (disjoint subsets of
-    /// `units`).
-    pub moves: Vec<Vec<usize>>,
-    pub max_drops: u32,
-    pub max_dups: u32,
-    /// Whether the receiver may fail-stop mid-protocol.
-    pub allow_evict: bool,
-    /// True = the real protocol (receiver dedups by sequence number).
-    pub dedup_transfers: bool,
-}
-
-impl TransferModel {
-    /// The standard checked configuration: four units, two move batches,
-    /// one drop and one duplication budget, eviction enabled.
-    pub fn standard() -> TransferModel {
-        TransferModel {
-            units: vec![0, 1, 2, 3],
-            moves: vec![vec![0, 1], vec![2]],
-            max_drops: 1,
-            max_dups: 1,
-            allow_evict: true,
-            dedup_transfers: true,
-        }
-    }
-
-    /// The broken variant: transfer payloads applied without dedup.
-    pub fn broken_no_dedup() -> TransferModel {
-        TransferModel {
-            dedup_transfers: false,
-            ..TransferModel::standard()
-        }
-    }
-
-    fn deliver(&self, n: &mut TransferState, msg: TWire) {
-        match msg {
-            TWire::Transfer { seq, units } => {
-                if n.receiver_evicted {
-                    // Fail-stop: deliveries to a crashed node vanish.
-                    return;
-                }
-                let fresh = if self.dedup_transfers {
-                    n.receiver.accept(seq)
-                } else {
-                    // Broken variant: acknowledge the sequence but apply
-                    // unconditionally.
-                    n.receiver.accept(seq);
-                    true
-                };
-                if fresh {
-                    for u in units {
-                        *n.receiver_holding.entry(u).or_insert(0) += 1;
-                    }
-                }
-                let ack = TWire::Ack {
-                    watermark: n.receiver.recv_watermark(),
-                };
-                insert_unique_t(&mut n.wire, ack);
-            }
-            TWire::Ack { watermark } => {
-                n.sender.ack(watermark);
-            }
-        }
-    }
-
-    fn quiescent(&self, s: &TransferState) -> bool {
-        s.offered == self.moves.len()
-            && s.wire.is_empty()
-            && (s.receiver_evicted || s.sender.fully_acked())
-    }
-}
-
-fn insert_unique_t(wire: &mut Vec<TWire>, msg: TWire) {
-    if let Err(at) = wire.binary_search(&msg) {
-        wire.insert(at, msg);
-    }
-}
-
-impl TransitionSystem for TransferModel {
-    type State = TransferState;
-    type Action = TStep;
-
-    fn initial(&self) -> TransferState {
-        TransferState {
-            sender: TransferWindow::new(),
-            receiver: TransferWindow::new(),
-            sender_holding: self.units.iter().map(|&u| (u, 1)).collect(),
-            receiver_holding: BTreeMap::new(),
-            wire: Vec::new(),
-            offered: 0,
-            receiver_evicted: false,
-            drops_used: 0,
-            dups_used: 0,
-        }
-    }
-
-    fn actions(&self, s: &TransferState) -> Vec<TStep> {
-        let mut out = Vec::new();
-        if s.offered < self.moves.len() {
-            out.push(TStep::Offer(s.offered));
-        }
-        for i in 0..s.wire.len() {
-            out.push(TStep::Deliver(i));
-            if s.drops_used < self.max_drops {
-                out.push(TStep::Drop(i));
-            }
-            if s.dups_used < self.max_dups {
-                out.push(TStep::DeliverCopy(i));
-            }
-        }
-        if !s.receiver_evicted {
-            let resendable = s.sender.unacked().any(|(seq, units)| {
-                !s.wire.contains(&TWire::Transfer {
-                    seq: *seq,
-                    units: units.clone(),
-                })
-            });
-            if resendable {
-                out.push(TStep::Resend);
-            }
-            let hb = TWire::Ack {
-                watermark: s.receiver.recv_watermark(),
-            };
-            // Re-ack while it carries news, as [`Step::Heartbeat`] does —
-            // quiescent states stay terminal.
-            if s.receiver.recv_watermark() > s.sender.acked_watermark() && !s.wire.contains(&hb) {
-                out.push(TStep::Heartbeat);
-            }
-            if self.allow_evict {
-                out.push(TStep::Evict);
-            }
-        }
-        out
-    }
-
-    fn apply(&self, s: &TransferState, a: &TStep) -> TransferState {
-        let mut n = s.clone();
-        match a {
-            TStep::Offer(m) => {
-                if n.receiver_evicted {
-                    // Offer to an evicted slave: refused locally, the
-                    // sender keeps the units.
-                    n.offered += 1;
-                } else {
-                    let units = self.moves[*m].clone();
-                    for u in &units {
-                        let gone = n.sender_holding.remove(u).is_some();
-                        debug_assert!(gone, "move batches must be disjoint owned units");
-                    }
-                    n.sender.send_with(|_| units.clone());
-                    let msg = TWire::Transfer {
-                        seq: n.sender.seq_sent(),
-                        units,
-                    };
-                    insert_unique_t(&mut n.wire, msg);
-                    n.offered += 1;
-                }
-            }
-            TStep::Deliver(i) => {
-                let msg = n.wire.remove(*i);
-                self.deliver(&mut n, msg);
-            }
-            TStep::DeliverCopy(i) => {
-                let msg = n.wire[*i].clone();
-                n.dups_used += 1;
-                self.deliver(&mut n, msg);
-            }
-            TStep::Drop(i) => {
-                n.wire.remove(*i);
-                n.drops_used += 1;
-            }
-            TStep::Resend => {
-                let msgs: Vec<TWire> = n
-                    .sender
-                    .unacked()
-                    .map(|(seq, units)| TWire::Transfer {
-                        seq: *seq,
-                        units: units.clone(),
-                    })
-                    .filter(|m| !n.wire.contains(m))
-                    .collect();
-                for m in msgs {
-                    insert_unique_t(&mut n.wire, m);
-                }
-            }
-            TStep::Heartbeat => {
-                let hb = TWire::Ack {
-                    watermark: n.receiver.recv_watermark(),
-                };
-                insert_unique_t(&mut n.wire, hb);
-            }
-            TStep::Evict => {
-                n.receiver_evicted = true;
-                // The survivor re-owns everything still unacknowledged on
-                // its channel to the dead peer...
-                for units in n.sender.close() {
-                    for u in units {
-                        *n.sender_holding.entry(u).or_insert(0) += 1;
-                    }
-                }
-                // ...then the master re-scatters exactly the units no
-                // survivor reports owning (the OwnReport fence): with one
-                // survivor, that is everything the sender does not hold.
-                let missing: Vec<usize> = self
-                    .units
-                    .iter()
-                    .copied()
-                    .filter(|u| !n.sender_holding.contains_key(u))
-                    .collect();
-                for u in missing {
-                    *n.sender_holding.entry(u).or_insert(0) += 1;
-                }
-            }
-        }
-        n
-    }
-
-    fn violation(&self, s: &TransferState) -> Option<String> {
-        for (who, holding) in [
-            ("sender", &s.sender_holding),
-            ("receiver", &s.receiver_holding),
-        ] {
-            for (unit, applies) in holding.iter() {
-                if *applies > 1 {
-                    return Some(format!(
-                        "duplicate work unit {unit} applied {applies} times on {who}"
-                    ));
-                }
-            }
-        }
-        if !s.receiver_evicted {
-            for unit in s.sender_holding.keys() {
-                if s.receiver_holding.contains_key(unit) {
-                    return Some(format!("duplicate work unit {unit} held by both endpoints"));
-                }
-            }
-        }
-        if self.quiescent(s) {
-            let held = s.sender_holding.len()
-                + if s.receiver_evicted {
-                    0
-                } else {
-                    s.receiver_holding.len()
-                };
-            if held != self.units.len() {
-                return Some(format!(
-                    "lost work unit: quiescent with {held} of {} units owned",
-                    self.units.len()
-                ));
-            }
-        }
-        None
-    }
-
-    fn is_accepting(&self, s: &TransferState) -> bool {
-        self.quiescent(s)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -881,47 +248,6 @@ mod tests {
         assert_eq!(w.watermark(), 1);
         w.ack(2);
         assert!(w.fully_acked());
-    }
-
-    #[test]
-    fn model_quiesces_on_the_happy_path() {
-        let m = RestoreModel::standard();
-        let mut s = m.initial();
-        // Scatter both waves, then deliver everything FIFO until quiescent.
-        while !m.is_accepting(&s) {
-            let acts = m.actions(&s);
-            let a = acts
-                .iter()
-                .find(|a| matches!(a, Step::Scatter(_) | Step::Deliver(_)))
-                .expect("happy path always has a scatter or deliver");
-            s = m.apply(&s, a);
-            assert_eq!(m.violation(&s), None, "happy path must stay clean");
-        }
-        let held: usize = s.slaves.iter().map(|sl| sl.holding.len()).sum();
-        assert_eq!(held, 4);
-    }
-
-    #[test]
-    fn broken_variant_double_applies_on_duplicate_delivery() {
-        let m = RestoreModel::broken_no_dedup();
-        let mut s = m.initial();
-        s = m.apply(&s, &Step::Scatter(0));
-        // Deliver a duplicate of the first restore, then the original.
-        s = m.apply(&s, &Step::DeliverCopy(0));
-        assert_eq!(m.violation(&s), None);
-        s = m.apply(&s, &Step::Deliver(0));
-        let v = m.violation(&s).expect("duplicate apply must be detected");
-        assert!(v.contains("duplicate apply"), "{v}");
-    }
-
-    #[test]
-    fn dedup_variant_ignores_duplicate_delivery() {
-        let m = RestoreModel::standard();
-        let mut s = m.initial();
-        s = m.apply(&s, &Step::Scatter(0));
-        s = m.apply(&s, &Step::DeliverCopy(0));
-        s = m.apply(&s, &Step::Deliver(0));
-        assert_eq!(m.violation(&s), None, "dedup must absorb the duplicate");
     }
 
     #[test]
@@ -973,55 +299,5 @@ mod tests {
         w.reset();
         assert!(w.accept(1), "reset reopens a fresh channel");
         assert_eq!(w.seq_sent(), 0);
-    }
-
-    #[test]
-    fn transfer_model_quiesces_on_the_happy_path() {
-        let m = TransferModel::standard();
-        let mut s = m.initial();
-        while !m.is_accepting(&s) {
-            let acts = m.actions(&s);
-            let a = acts
-                .iter()
-                .find(|a| matches!(a, TStep::Offer(_) | TStep::Deliver(_)))
-                .expect("happy path always has an offer or deliver");
-            s = m.apply(&s, a);
-            assert_eq!(m.violation(&s), None, "happy path must stay clean");
-        }
-        assert_eq!(s.sender_holding.len(), 1, "unit 3 stays at the sender");
-        assert_eq!(s.receiver_holding.len(), 3);
-    }
-
-    #[test]
-    fn transfer_model_eviction_reowns_in_flight_units() {
-        let m = TransferModel::standard();
-        let mut s = m.initial();
-        s = m.apply(&s, &TStep::Offer(0));
-        // The receiver crashes with the transfer still on the wire.
-        s = m.apply(&s, &TStep::Evict);
-        assert_eq!(m.violation(&s), None);
-        assert_eq!(
-            s.sender_holding.len(),
-            4,
-            "sender re-owns the in-flight units"
-        );
-        // Offer 1 is refused locally; the stale transfer on the wire is
-        // discarded at the dead node. No unit is lost or duplicated.
-        s = m.apply(&s, &TStep::Offer(1));
-        s = m.apply(&s, &TStep::Deliver(0));
-        assert_eq!(m.violation(&s), None);
-        assert!(m.is_accepting(&s));
-    }
-
-    #[test]
-    fn broken_transfer_variant_double_applies_on_duplicate_delivery() {
-        let m = TransferModel::broken_no_dedup();
-        let mut s = m.initial();
-        s = m.apply(&s, &TStep::Offer(0));
-        s = m.apply(&s, &TStep::DeliverCopy(0));
-        assert_eq!(m.violation(&s), None);
-        s = m.apply(&s, &TStep::Deliver(0));
-        let v = m.violation(&s).expect("duplicate apply must be detected");
-        assert!(v.contains("duplicate work unit"), "{v}");
     }
 }

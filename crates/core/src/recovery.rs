@@ -31,6 +31,10 @@ pub struct RecoveryStats {
     pub done_dups_ignored: u64,
     /// Duplicate `GatherData` payloads discarded.
     pub gather_dups_ignored: u64,
+    /// Gathers interrupted by a death: the master evicted the silent slave
+    /// and (checkpointed engines) rolled the survivors back to redo the
+    /// lost work before gathering again.
+    pub gathers_interrupted: u64,
     // ---- crash-safe migration (all engines) ----
     /// Complete barrier checkpoints the master banked (checkpointed
     /// engines: pipelined / shrinking).

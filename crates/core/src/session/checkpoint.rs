@@ -1,0 +1,151 @@
+//! The checkpoint bank: globally consistent snapshots, rollback sourcing,
+//! and the adaptive checkpoint cadence.
+//!
+//! Checkpointed engines snapshot their units at every `stride`-th barrier;
+//! the master banks partial snapshots per invocation and promotes one to
+//! *best* once every unit id is covered. A rollback restarts the run from
+//! the best snapshot (or from the initial state when none is complete yet).
+//! Snapshots carry **no epoch**: unit values at a given invocation are
+//! deterministic, so a snapshot banked before an eviction is still valid
+//! after it — this is also what makes speculation from the bank sound.
+
+use crate::msg::UnitData;
+use dlb_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// Master-side bank of checkpoint fragments, keyed by invocation.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointBank {
+    /// Partial snapshots still being assembled: invocation → unit id → data.
+    bank: BTreeMap<u64, BTreeMap<usize, UnitData>>,
+    /// The newest *complete* snapshot: every unit id present.
+    best: Option<(u64, BTreeMap<usize, UnitData>)>,
+}
+
+impl CheckpointBank {
+    pub fn new() -> CheckpointBank {
+        CheckpointBank::default()
+    }
+
+    /// True when the best complete snapshot already covers `invocation` —
+    /// a fragment for it carries no new information.
+    pub fn covered(&self, invocation: u64) -> bool {
+        self.best.as_ref().is_some_and(|(b, _)| *b >= invocation)
+    }
+
+    /// Invocation of the best complete snapshot, if any.
+    pub fn best_invocation(&self) -> Option<u64> {
+        self.best.as_ref().map(|(b, _)| *b)
+    }
+
+    /// Bank a snapshot fragment from one slave. Returns `true` exactly when
+    /// this fragment completed the snapshot for `invocation` (it was
+    /// promoted to best and older fragments were discarded) — the caller
+    /// counts `checkpoints_banked` on `true`.
+    pub fn offer(
+        &mut self,
+        invocation: u64,
+        units: Vec<(usize, UnitData)>,
+        n_units: usize,
+    ) -> bool {
+        if self.covered(invocation) {
+            return false;
+        }
+        let entry = self.bank.entry(invocation).or_default();
+        for (id, data) in units {
+            entry.insert(id, data);
+        }
+        if entry.len() == n_units {
+            let full = self.bank.remove(&invocation).expect("entry just filled");
+            self.best = Some((invocation, full));
+            self.bank.retain(|&i, _| i > invocation);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The restart point for a rollback (also the seed for speculation):
+    /// the best complete snapshot, or the initial state (invocation 0) when
+    /// none is complete yet. Unit ids ascend.
+    pub fn rollback_snapshot(
+        &self,
+        n_units: usize,
+        init: &dyn Fn(usize) -> UnitData,
+    ) -> (u64, Vec<(usize, UnitData)>) {
+        match &self.best {
+            Some((inv, units)) => (*inv, units.iter().map(|(&id, d)| (id, d.clone())).collect()),
+            None => (0, (0..n_units).map(|id| (id, init(id))).collect()),
+        }
+    }
+}
+
+/// Adaptive checkpoint cadence: how many invocations apart the slaves
+/// should snapshot, given the EMA of one invocation's virtual time.
+///
+/// The stride is the largest `k ≤ max_skip + 1` such that a rollback's
+/// expected recompute (`k × ema`) stays within `loss_budget`; at least 1
+/// (a checkpoint every barrier) and exactly 1 when the adaptation is
+/// disabled (`max_skip == 0`) or no EMA is known yet.
+pub fn checkpoint_stride(max_skip: u64, loss_budget: SimDuration, ema_s: f64) -> u64 {
+    if max_skip == 0 || ema_s <= 0.0 {
+        return 1;
+    }
+    ((loss_budget.as_secs_f64() / ema_s).floor() as u64).clamp(1, max_skip + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: f64) -> UnitData {
+        vec![vec![v]]
+    }
+
+    #[test]
+    fn fragments_assemble_into_a_complete_snapshot() {
+        let mut b = CheckpointBank::new();
+        assert!(!b.offer(1, vec![(0, unit(0.0)), (1, unit(1.0))], 3));
+        assert_eq!(b.best_invocation(), None);
+        assert!(b.offer(1, vec![(2, unit(2.0))], 3), "third id completes it");
+        assert_eq!(b.best_invocation(), Some(1));
+        assert!(b.covered(1));
+        assert!(!b.covered(2));
+    }
+
+    #[test]
+    fn promotion_discards_stale_fragments_and_dups_are_inert() {
+        let mut b = CheckpointBank::new();
+        b.offer(1, vec![(0, unit(0.0))], 2); // stays partial forever
+        b.offer(2, vec![(0, unit(0.0)), (1, unit(1.0))], 2);
+        assert_eq!(b.best_invocation(), Some(2));
+        // A late fragment for a covered invocation must not regress best.
+        assert!(!b.offer(1, vec![(1, unit(9.0))], 2));
+        assert_eq!(b.best_invocation(), Some(2));
+    }
+
+    #[test]
+    fn rollback_snapshot_falls_back_to_initial_state() {
+        let b = CheckpointBank::new();
+        let (inv, units) = b.rollback_snapshot(2, &|id| unit(id as f64));
+        assert_eq!(inv, 0);
+        assert_eq!(units, vec![(0, unit(0.0)), (1, unit(1.0))]);
+
+        let mut b = CheckpointBank::new();
+        b.offer(3, vec![(1, unit(10.0)), (0, unit(20.0))], 2);
+        let (inv, units) = b.rollback_snapshot(2, &|_| unreachable!());
+        assert_eq!(inv, 3);
+        assert_eq!(units, vec![(0, unit(20.0)), (1, unit(10.0))]);
+    }
+
+    #[test]
+    fn stride_respects_budget_and_bounds() {
+        let budget = SimDuration::from_secs(2);
+        assert_eq!(checkpoint_stride(0, budget, 0.1), 1, "disabled");
+        assert_eq!(checkpoint_stride(4, budget, 0.0), 1, "no EMA yet");
+        assert_eq!(checkpoint_stride(4, budget, 10.0), 1, "restarts expensive");
+        assert_eq!(checkpoint_stride(4, budget, 0.7), 2);
+        assert_eq!(checkpoint_stride(4, budget, 0.1), 5, "capped at skip+1");
+        assert_eq!(checkpoint_stride(2, budget, 0.1), 3);
+    }
+}

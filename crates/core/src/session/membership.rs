@@ -1,0 +1,201 @@
+//! The membership table: per-slave liveness, suspicion timers, nudge
+//! scheduling, and barrier-completion flags.
+//!
+//! Both fault-mode master loops (recoverable and checkpointed) used to keep
+//! four parallel `Vec`s of this state inline; the table factors them into
+//! one place with the timer arithmetic — silence measurement, nudge
+//! re-arming, eviction — expressed once.
+
+use dlb_sim::{SimDuration, SimTime};
+
+/// Per-slave liveness and barrier state as seen by the master.
+///
+/// Indices are slave indices (`0..n`), not node ids. Eviction is
+/// irreversible: a false suspicion is resolved by the evicted slave
+/// exiting, never by resurrection (fail-stop model).
+#[derive(Clone, Debug)]
+pub struct Membership {
+    /// Still part of the computation.
+    pub alive: Vec<bool>,
+    /// Ever heard from at all (distinguishes "lost the Start" from
+    /// "went silent mid-run").
+    pub heard_any: Vec<bool>,
+    /// Instant of the last *protocol* message from each slave.
+    pub last_heard: Vec<SimTime>,
+    /// Instant of the last bare liveness ping ([`crate::msg::Msg::Alive`]).
+    /// Kept separate from `last_heard` so pings defer suspicion without
+    /// starving the silence-gated re-send paths (a pinging slave may be
+    /// pinging precisely *because* it lost the message those paths re-send).
+    pub last_ping: Vec<SimTime>,
+    /// Next instant the nudge timer may fire for each slave.
+    pub next_nudge: Vec<SimTime>,
+    /// Reported done for the current invocation.
+    pub done: Vec<bool>,
+}
+
+impl Membership {
+    pub fn new(n: usize, now: SimTime, nudge: SimDuration) -> Membership {
+        Membership {
+            alive: vec![true; n],
+            heard_any: vec![false; n],
+            last_heard: vec![now; n],
+            last_ping: vec![now; n],
+            next_nudge: vec![now + nudge; n],
+            done: vec![false; n],
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Record traffic from slave `s`: refreshes the suspicion timer and
+    /// marks the slave as heard.
+    pub fn heard(&mut self, s: usize, now: SimTime) {
+        self.heard_any[s] = true;
+        self.last_heard[s] = now;
+    }
+
+    /// Record a bare liveness ping ([`crate::msg::Msg::Alive`]): refreshes
+    /// the suspicion clock but *not* `last_heard` or `heard_any` — the
+    /// repair paths key off protocol silence ([`Self::unheard_for`]), and a
+    /// pinging slave may be pinging precisely because it lost the message
+    /// they re-send.
+    pub fn ping(&mut self, s: usize, now: SimTime) {
+        self.last_ping[s] = now;
+    }
+
+    /// How long slave `s` has shown no sign of life (neither protocol
+    /// traffic nor a liveness ping). Feeds suspicion and speculation.
+    pub fn silent_for(&self, s: usize, now: SimTime) -> SimDuration {
+        now.saturating_since(self.last_heard[s].max(self.last_ping[s]))
+    }
+
+    /// How long since slave `s` made *protocol progress* (pings excluded).
+    /// Feeds the silence-gated re-send paths: a slave can vouch for its own
+    /// liveness, but only a real protocol message proves it is unstuck.
+    pub fn unheard_for(&self, s: usize, now: SimTime) -> SimDuration {
+        now.saturating_since(self.last_heard[s])
+    }
+
+    /// True when the nudge timer for `s` has expired; re-arms it for
+    /// `interval` from now when it has (so each expiry fires once).
+    pub fn nudge_due(&mut self, s: usize, now: SimTime, interval: SimDuration) -> bool {
+        if now >= self.next_nudge[s] {
+            self.next_nudge[s] = now + interval;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Push the nudge timer for `s` out to `interval` from now (after a
+    /// direct send, so the timer does not immediately re-fire).
+    pub fn rearm_nudge(&mut self, s: usize, now: SimTime, interval: SimDuration) {
+        self.next_nudge[s] = now + interval;
+    }
+
+    /// Indices of the slaves still alive, in order.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&s| self.alive[s]).collect()
+    }
+
+    pub fn any_alive(&self) -> bool {
+        self.alive.iter().any(|&a| a)
+    }
+
+    /// All living slaves report done.
+    pub fn all_done(&self) -> bool {
+        (0..self.n()).all(|s| !self.alive[s] || self.done[s])
+    }
+
+    /// Evict slave `s`: irreversible removal from the computation.
+    pub fn evict(&mut self, s: usize) {
+        self.alive[s] = false;
+        self.done[s] = false;
+    }
+
+    /// Reset barrier-completion flags and timers for a new invocation or
+    /// after a rollback (living slaves only; the dead stay done = false).
+    pub fn reset_barrier(&mut self, now: SimTime, nudge: SimDuration) {
+        for s in 0..self.n() {
+            self.done[s] = false;
+            self.last_heard[s] = now;
+            self.last_ping[s] = now;
+            self.next_nudge[s] = now + nudge;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn silence_is_measured_from_last_traffic() {
+        let mut m = Membership::new(2, t(0), SimDuration::from_secs(2));
+        m.heard(0, t(1_000));
+        assert_eq!(m.silent_for(0, t(5_000)), SimDuration::from_micros(4_000));
+        assert_eq!(m.silent_for(1, t(5_000)), SimDuration::from_micros(5_000));
+        assert!(m.heard_any[0]);
+        assert!(!m.heard_any[1]);
+    }
+
+    #[test]
+    fn pings_defer_suspicion_but_not_protocol_silence() {
+        let mut m = Membership::new(1, t(0), SimDuration::from_secs(2));
+        m.heard(0, t(1_000));
+        m.ping(0, t(4_000));
+        // Liveness clock follows the ping…
+        assert_eq!(m.silent_for(0, t(5_000)), SimDuration::from_micros(1_000));
+        // …but protocol progress does not, so re-send gates still fire.
+        assert_eq!(m.unheard_for(0, t(5_000)), SimDuration::from_micros(4_000));
+        assert!(m.heard_any[0]);
+        // A ping alone never counts as having spoken.
+        let mut fresh = Membership::new(1, t(0), SimDuration::from_secs(2));
+        fresh.ping(0, t(1_000));
+        assert!(!fresh.heard_any[0]);
+    }
+
+    #[test]
+    fn nudge_fires_once_per_expiry_and_rearms() {
+        let nudge = SimDuration::from_secs(1);
+        let mut m = Membership::new(1, t(0), nudge);
+        assert!(!m.nudge_due(0, t(500_000), nudge), "not yet expired");
+        assert!(m.nudge_due(0, t(1_000_000), nudge));
+        assert!(
+            !m.nudge_due(0, t(1_000_001), nudge),
+            "must re-arm after firing"
+        );
+        assert!(m.nudge_due(0, t(2_000_001), nudge));
+    }
+
+    #[test]
+    fn eviction_is_irreversible_and_drops_done() {
+        let mut m = Membership::new(3, t(0), SimDuration::from_secs(1));
+        m.done[1] = true;
+        m.evict(1);
+        assert_eq!(m.survivors(), vec![0, 2]);
+        assert!(!m.done[1], "a dead slave cannot satisfy the barrier");
+        assert!(m.any_alive());
+        m.evict(0);
+        m.evict(2);
+        assert!(!m.any_alive());
+    }
+
+    #[test]
+    fn barrier_completion_ignores_the_dead() {
+        let mut m = Membership::new(3, t(0), SimDuration::from_secs(1));
+        m.done[0] = true;
+        m.done[2] = true;
+        assert!(!m.all_done());
+        m.evict(1);
+        assert!(m.all_done(), "the dead do not block the barrier");
+        m.reset_barrier(t(10), SimDuration::from_secs(1));
+        assert!(!m.all_done());
+    }
+}

@@ -1,0 +1,34 @@
+//! The session kernel: everything the master/slave runtime needs to keep a
+//! distributed computation *alive* — membership, epochs, checkpoints,
+//! speculation — factored out of the engines so each engine is only a
+//! distribution strategy.
+//!
+//! Layering (bottom up):
+//!
+//! * [`crate::protocol`] — pure window types (sequence numbers, ack
+//!   watermarks, transfer channels). No policy.
+//! * `session` (this module) — the shared liveness/ownership substrate:
+//!   - [`membership`]: the per-slave liveness table with suspicion timers,
+//!     nudge scheduling, and eviction;
+//!   - [`checkpoint`]: the checkpoint bank, rollback sourcing, and the
+//!     adaptive checkpoint cadence;
+//!   - [`speculation`]: racing a suspect's work on an idle survivor,
+//!     commit-or-cancel before suspicion expires;
+//!   - [`master`]: the master-side session ([`master::CkSession`]) tying
+//!     those together with epoch fencing and per-slave control windows;
+//!   - [`slave`]: the generic checkpointed slave runner (restart loop,
+//!     barrier protocol, gather reply) driven through a
+//!     [`strategy::DistributionStrategy`];
+//!   - [`model`]: model-checkable abstractions of the restore and transfer
+//!     sub-protocols, exhaustively explored by `dlb-analyze`.
+//! * Engines (`engine_independent`, `engine_pipelined`,
+//!   `engine_shrinking`) — per-dependence-structure strategies: hook
+//!   placement, adjacency constraints, and the actual numerics.
+
+pub mod checkpoint;
+pub(crate) mod master;
+pub mod membership;
+pub mod model;
+pub mod slave;
+pub mod speculation;
+pub mod strategy;

@@ -1,0 +1,402 @@
+//! The generic checkpointed slave runner: the engine-independent half of
+//! every checkpointed slave, driven through a
+//! [`DistributionStrategy`](crate::session::strategy::DistributionStrategy).
+//!
+//! [`run`] owns the restart loop (run → gather → rollback → run again), the
+//! per-invocation barrier protocol (done reports, stride-gated checkpoints,
+//! heartbeat re-sends, barrier-time transfers and instructions), snapshot
+//! speculation (racing a suspect's next invocation from the banked
+//! snapshot), the rescue wait after a reported wedge, and the acknowledged
+//! gather reply. The strategy supplies only the dependence-structure
+//! specifics: the invocation body, transfer integration, snapshot layout,
+//! and rollback restoration.
+
+use crate::error::{slave_who, ProtocolError};
+use crate::msg::Msg;
+use crate::session::strategy::DistributionStrategy;
+use crate::slave_common::{RollbackInfo, SlaveCommon};
+use dlb_sim::ActorCtx;
+
+/// Execute the whole checkpointed slave life cycle. Returns when the run
+/// completes (gather acknowledged) or with a fatal error; recoverable
+/// trouble is reported to the master and survived by rollback.
+pub fn run<S: DistributionStrategy>(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    strategy: &mut S,
+) -> Result<(), ProtocolError> {
+    let total = strategy.invocations();
+    let mut start = 0u64;
+    let mut need_release = true;
+    loop {
+        // The gather reply lives *inside* the restart loop: a peer can die
+        // while the master is collecting results, and the resulting
+        // rollback must re-run the lost invocations on the survivors — so
+        // a rollback arriving during the gather wait unwinds to here like
+        // any other.
+        let result = run_invocations(ctx, common, strategy, start, total, need_release)
+            .and_then(|()| reply_gather(ctx, common, strategy));
+        match result {
+            Ok(()) => return Ok(()),
+            Err(ProtocolError::RolledBack) => {}
+            Err(e) if common.ft.is_some() && strategy.recoverable(&e) => {
+                // Wedged (lost halo, torn protocol state): report and wait
+                // to be rolled back rather than dying — the master answers
+                // a SlaveError with a rollback, not an eviction.
+                let msg = Msg::SlaveError {
+                    slave: common.idx,
+                    error: e,
+                };
+                common.send_master(ctx, msg);
+                rescue_wait(ctx, common)?;
+            }
+            Err(e) => return Err(e),
+        }
+        let rb = common
+            .pending_rollback
+            .take()
+            .ok_or_else(|| ProtocolError::Inconsistent {
+                detail: format!(
+                    "slave {}: rollback unwound with no pending payload",
+                    common.idx
+                ),
+            })?;
+        start = apply_rollback(common, strategy, rb)?;
+        // The rollback itself releases the resumed invocation; no
+        // InvocationStart follows.
+        need_release = false;
+    }
+}
+
+/// After shipping a `SlaveError`, wait for the master's rollback (stashed
+/// in `pending_rollback`), an abort, or an eviction.
+fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), ProtocolError> {
+    let ft = common.ft.clone().expect("rescue_wait requires fault mode");
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.give_up_tries {
+                    return Err(ProtocolError::Timeout {
+                        who: slave_who(common.idx),
+                        waiting_for: "rescue rollback",
+                        at: ctx.now(),
+                    });
+                }
+                // Keep the suspicion timer fed while waiting to be rescued:
+                // the error report may have been dropped, and a silent wait
+                // here reads as a second death.
+                common.send_master(ctx, Msg::Alive { slave: common.idx });
+            }
+            Some(env) => match env.msg {
+                Msg::Abort => return Err(ProtocolError::Aborted),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                m => {
+                    if let Err(ProtocolError::RolledBack) = common.control(&m) {
+                        return Ok(());
+                    }
+                    // anything else is stale traffic of the torn epoch — ignore
+                }
+            },
+        }
+    }
+}
+
+/// Adopt a rollback: fence the shared channel state (epoch, transfer
+/// dedup, report bookkeeping, checkpoint cadence), then hand the snapshot
+/// to the strategy to rebuild its own state. Returns the invocation to
+/// resume from.
+fn apply_rollback<S: DistributionStrategy>(
+    common: &mut SlaveCommon,
+    strategy: &mut S,
+    rb: RollbackInfo,
+) -> Result<u64, ProtocolError> {
+    if !rb.survivors.contains(&common.idx) {
+        return Err(ProtocolError::Evicted { slave: common.idx });
+    }
+    for s in 0..common.dead.len() {
+        common.dead[s] = !rb.survivors.contains(&s);
+    }
+    common.reclaimed.clear();
+    common.own_report_due.clear();
+    common.rebase_epoch(rb.epoch);
+    common.ckpt_stride = rb.ckpt_stride.max(1);
+    strategy.restore(common, rb)
+}
+
+fn run_invocations<S: DistributionStrategy>(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    strategy: &mut S,
+    start: u64,
+    total: u64,
+    need_release: bool,
+) -> Result<(), ProtocolError> {
+    if need_release {
+        // Initial release: the end-of-invocation barrier consumes every
+        // later InvocationStart.
+        loop {
+            let env = common.recv_blocking(
+                ctx,
+                |m| matches!(m, Msg::InvocationStart { .. } | Msg::Instructions(_)),
+                strategy.first_release_context(),
+            )?;
+            match env.msg {
+                Msg::InvocationStart {
+                    invocation: 0,
+                    ckpt_stride,
+                } => {
+                    common.ckpt_stride = ckpt_stride.max(1);
+                    break;
+                }
+                Msg::InvocationStart {
+                    invocation,
+                    ckpt_stride,
+                } => {
+                    return Err(common.unexpected(
+                        strategy.first_release_context(),
+                        &Msg::InvocationStart {
+                            invocation,
+                            ckpt_stride,
+                        },
+                    ));
+                }
+                Msg::Instructions(_) => {}
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    for inv in start..total {
+        strategy.run_invocation(ctx, common, inv)?;
+        barrier(ctx, common, strategy, inv, inv + 1 == total)?;
+    }
+    Ok(())
+}
+
+fn send_done<S: DistributionStrategy>(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    strategy: &S,
+    inv: u64,
+) {
+    let msg = Msg::InvocationDone {
+        slave: common.idx,
+        invocation: inv,
+        epoch: common.epoch,
+        sent_to: common.sent_to_vec(),
+        received_from: common.recv_watermarks(),
+        metric: 0.0,
+        restore_seq: common.master_chan.watermark(),
+        owned_ids: strategy.owned_ids(),
+    };
+    common.send_master(ctx, msg);
+}
+
+/// Ship the barrier checkpoint — the state from which invocation `inv + 1`
+/// starts — when the adaptive cadence says this barrier is a checkpoint
+/// barrier. Best-effort: a dropped (or skipped) checkpoint only means the
+/// master rolls back to an older complete snapshot.
+fn send_checkpoint<S: DistributionStrategy>(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    strategy: &S,
+    inv: u64,
+) {
+    if common.ft.is_none() {
+        return;
+    }
+    if !(inv + 1).is_multiple_of(common.ckpt_stride.max(1)) {
+        return;
+    }
+    let msg = Msg::Checkpoint {
+        slave: common.idx,
+        invocation: inv + 1,
+        units: strategy.checkpoint_units(),
+    };
+    common.fault_stats.checkpoints_sent += 1;
+    common.send_master(ctx, msg);
+}
+
+fn barrier<S: DistributionStrategy>(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    strategy: &mut S,
+    inv: u64,
+    is_final: bool,
+) -> Result<(), ProtocolError> {
+    send_done(ctx, common, strategy, inv);
+    send_checkpoint(ctx, common, strategy, inv);
+    let fault_mode = common.ft.is_some();
+    let mut silent = 0u32;
+    loop {
+        let env = match common.ft.clone() {
+            None => common.recv_blocking(ctx, |_| true, strategy.barrier_context())?,
+            Some(ft) => match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+                Some(env) => {
+                    silent = 0;
+                    env
+                }
+                None => {
+                    // Heartbeat: our done report (or the barrier release)
+                    // may have been lost; refresh it, re-sending stalled
+                    // transfers and the checkpoint with it.
+                    silent += 1;
+                    if silent > ft.give_up_tries {
+                        return Err(ProtocolError::Timeout {
+                            who: slave_who(common.idx),
+                            waiting_for: strategy.barrier_context(),
+                            at: ctx.now(),
+                        });
+                    }
+                    common.resend_stalled_transfers(ctx);
+                    send_done(ctx, common, strategy, inv);
+                    send_checkpoint(ctx, common, strategy, inv);
+                    continue;
+                }
+            },
+        };
+        match env.msg {
+            Msg::Transfer(t) => {
+                // Catch-up work done while incorporating counts toward this
+                // invocation; the strategy flushes it (and any movement the
+                // reply requests) before we refresh the done report.
+                strategy.on_barrier_transfer(ctx, common, inv, t)?;
+                send_done(ctx, common, strategy, inv);
+                send_checkpoint(ctx, common, strategy, inv);
+            }
+            Msg::Instructions(instr) => {
+                // Barrier-time moves keep the next invocation balanced. The
+                // master cannot settle (and so cannot start the next
+                // invocation or the gather) until these transfers are
+                // acknowledged, so executing them here is always safe —
+                // routed through the shared epoch/sequence fences so a
+                // duplicated delivery cannot double-execute the moves.
+                let moves = common.instructions_out_of_band(instr);
+                if !moves.is_empty() {
+                    strategy.on_barrier_moves(ctx, common, inv, moves)?;
+                    send_done(ctx, common, strategy, inv);
+                    send_checkpoint(ctx, common, strategy, inv);
+                }
+            }
+            Msg::Speculate {
+                seq,
+                invocation,
+                units,
+            } if fault_mode => {
+                // Race a silent suspect: advance the banked full-grid
+                // snapshot by one invocation and ship the result as a
+                // checkpoint for `invocation + 1`. The master commits by
+                // rolling back onto the advanced snapshot (or simply by
+                // banking it) and cancels by discarding it — either way the
+                // speculative checkpoint is value-deterministic, so a
+                // cancelled speculation leaves nothing to fence.
+                if common.master_chan.fresh(seq) {
+                    let advanced = strategy.advance_snapshot(ctx, common, invocation, units)?;
+                    common.fault_stats.speculations_computed += 1;
+                    let msg = Msg::Checkpoint {
+                        slave: common.idx,
+                        invocation: invocation + 1,
+                        units: advanced,
+                    };
+                    common.fault_stats.checkpoints_sent += 1;
+                    common.send_master(ctx, msg);
+                }
+                // The refreshed done report carries the new master-channel
+                // watermark: the master's settlement waits for this ack.
+                send_done(ctx, common, strategy, inv);
+            }
+            Msg::InvocationStart {
+                invocation,
+                ckpt_stride,
+            } => {
+                if invocation == inv + 1 && !is_final {
+                    common.ckpt_stride = ckpt_stride.max(1);
+                    return Ok(());
+                }
+                if fault_mode && invocation <= inv {
+                    // Stale duplicate of an earlier release.
+                    continue;
+                }
+                return Err(common.unexpected(
+                    strategy.barrier_context(),
+                    &Msg::InvocationStart {
+                        invocation,
+                        ckpt_stride,
+                    },
+                ));
+            }
+            Msg::Gather => {
+                if is_final {
+                    return Ok(());
+                }
+                return Err(common.unexpected(strategy.barrier_context(), &Msg::Gather));
+            }
+            Msg::Abort => return Err(ProtocolError::Aborted),
+            Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            Msg::Start { .. } | Msg::GatherAck if fault_mode => {} // duplicate deliveries
+            m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
+                common.control(&m)?;
+            }
+            other => match strategy.on_barrier_misc(ctx, common, inv, other)? {
+                None => {}
+                Some(m) => return Err(common.unexpected(strategy.barrier_context(), &m)),
+            },
+        }
+    }
+}
+
+/// The final barrier consumed the Gather message; reply with the local
+/// units. In fault mode, wait for the master's acknowledgement (re-sending
+/// on duplicate `Gather` requests) so a dropped reply cannot lose the
+/// result.
+fn reply_gather<S: DistributionStrategy>(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    strategy: &S,
+) -> Result<(), ProtocolError> {
+    let payload = strategy.gather_units()?;
+    let msg = Msg::GatherData {
+        slave: common.idx,
+        units: payload.clone(),
+        fault_stats: common.fault_stats.clone(),
+    };
+    common.send_master(ctx, msg);
+    let Some(ft) = common.ft.clone() else {
+        return Ok(());
+    };
+    let mut tries = 0u32;
+    loop {
+        match ctx.recv_deadline(ctx.now() + ft.slave_heartbeat) {
+            None => {
+                tries += 1;
+                if tries > ft.gather_patience {
+                    // Assume the data arrived and the ack was lost.
+                    return Ok(());
+                }
+            }
+            Some(env) => match env.msg {
+                Msg::Gather => {
+                    tries = 0;
+                    let msg = Msg::GatherData {
+                        slave: common.idx,
+                        units: payload.clone(),
+                        fault_stats: common.fault_stats.clone(),
+                    };
+                    common.send_master(ctx, msg);
+                }
+                Msg::GatherAck | Msg::Abort => return Ok(()),
+                Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+                // A peer died while the master was collecting results: the
+                // rollback (or the transfer-ack bookkeeping that precedes
+                // it) unwinds through the shared control path so the
+                // restart loop re-runs the lost invocations.
+                m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
+                    common.control(&m)?;
+                }
+                _ => {} // stale traffic
+            },
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The strategy interface between the shared checkpointed slave runner
+//! ([`crate::session::slave`]) and the per-dependence-structure engines.
+//!
+//! The runner owns everything that keeps a checkpointed slave *alive* —
+//! the restart loop, barrier protocol, checkpoint cadence, speculation,
+//! rescue wait, gather reply. A [`DistributionStrategy`] supplies only
+//! what differs between dependence structures: how an invocation is
+//! computed, how mid-protocol transfers and movement orders integrate,
+//! what a snapshot looks like, and how to resume from one.
+
+use crate::error::ProtocolError;
+use crate::msg::{MoveOrder, Msg, TransferMsg, UnitData};
+use crate::slave_common::{RollbackInfo, SlaveCommon};
+use dlb_sim::ActorCtx;
+
+/// One distribution pattern (pipelined sweeps, shrinking steps) plugged
+/// into the generic checkpointed slave runner.
+///
+/// Invariants the runner relies on:
+///
+/// * [`run_invocation`](DistributionStrategy::run_invocation) leaves the
+///   strategy at the barrier of `inv`: all local work done, final hook
+///   fired, pending movement executed.
+/// * [`checkpoint_units`](DistributionStrategy::checkpoint_units) is the
+///   state from which invocation `inv + 1` starts — value-deterministic,
+///   so snapshots bank across epochs.
+/// * [`advance_snapshot`](DistributionStrategy::advance_snapshot) is a
+///   *pure* function of its snapshot argument: it must not read or write
+///   live engine state, and must not hook, move work, or message peers —
+///   it races a whole invocation on one idle slave.
+pub trait DistributionStrategy {
+    /// Total number of invocations (sweeps, steps) the run executes.
+    fn invocations(&self) -> u64;
+
+    /// Wait context for the initial barrier release (timeout diagnostics).
+    fn first_release_context(&self) -> &'static str;
+
+    /// Wait context for the per-invocation barrier (timeout diagnostics).
+    fn barrier_context(&self) -> &'static str;
+
+    /// Errors this engine reports and survives (by rollback) instead of
+    /// dying from.
+    fn recoverable(&self, e: &ProtocolError) -> bool;
+
+    /// Compute invocation `inv` end to end: the loop body, the final
+    /// transfer drain, the unconditional end-of-invocation hook firing,
+    /// and any movement it ordered.
+    fn run_invocation(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+    ) -> Result<(), ProtocolError>;
+
+    /// A work transfer arrived while parked at the barrier of `inv`. The
+    /// strategy routes it through the shared dedup/epoch fences itself
+    /// (via [`SlaveCommon::accept_transfer`]) and does whatever follow-up
+    /// its pattern needs (catch-up computation, hook firing, counter
+    /// moves). The runner refreshes the done report and checkpoint after.
+    fn on_barrier_transfer(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+        t: TransferMsg,
+    ) -> Result<(), ProtocolError>;
+
+    /// Execute movement orders received at the barrier of `inv` (already
+    /// fenced by sequence/epoch). The runner refreshes done + checkpoint.
+    fn on_barrier_moves(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+        moves: Vec<MoveOrder>,
+    ) -> Result<(), ProtocolError>;
+
+    /// A message the runner's barrier does not understand. Return `None`
+    /// when consumed (e.g. a pivot broadcast racing ahead), or give it
+    /// back to be reported as a protocol violation.
+    fn on_barrier_misc(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        inv: u64,
+        msg: Msg,
+    ) -> Result<Option<Msg>, ProtocolError> {
+        let _ = (ctx, common, inv);
+        Ok(Some(msg))
+    }
+
+    /// Unit ids this slave currently owns (for `InvocationDone`).
+    fn owned_ids(&self) -> Vec<usize>;
+
+    /// Snapshot of the local state at the current barrier — the state from
+    /// which the next invocation starts.
+    fn checkpoint_units(&self) -> Vec<(usize, UnitData)>;
+
+    /// The final result payload. May fail when local state is torn (e.g.
+    /// columns still set aside) — the runner then reports and parks for
+    /// rescue like any other recoverable error.
+    fn gather_units(&self) -> Result<Vec<(usize, UnitData)>, ProtocolError>;
+
+    /// Adopt a rollback: rebuild engine state from the re-partitioned
+    /// snapshot and the survivor list. The runner has already fenced the
+    /// channels, rebased the epoch, and adopted the checkpoint stride;
+    /// this only installs the engine's own state. Returns the invocation
+    /// to resume from.
+    fn restore(&mut self, common: &mut SlaveCommon, rb: RollbackInfo)
+        -> Result<u64, ProtocolError>;
+
+    /// Speculation: advance the full-grid snapshot (the state at
+    /// `invocation`) by one invocation, sequentially and without any
+    /// communication, and return the state at `invocation + 1`. Charges
+    /// CPU via [`ActorCtx::advance_work`] directly so the raced work never
+    /// distorts this slave's measured work rate.
+    fn advance_snapshot(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        common: &mut SlaveCommon,
+        invocation: u64,
+        units: Vec<(usize, UnitData)>,
+    ) -> Result<Vec<(usize, UnitData)>, ProtocolError>;
+}

@@ -41,6 +41,7 @@ pub struct RollbackInfo {
     pub epoch: u64,
     pub invocation: u64,
     pub survivors: Vec<usize>,
+    pub ckpt_stride: u64,
     pub units: Vec<(usize, UnitData)>,
 }
 
@@ -128,6 +129,10 @@ pub struct SlaveCommon {
     pub move_cost_sample: Option<(u64, SimDuration)>,
     interaction_cost_sample: Option<SimDuration>,
     last_instr_seq: u64,
+    /// Checkpoint cadence in force (adopted from barrier releases and
+    /// rollbacks): send a checkpoint only when the completed invocation
+    /// number is a multiple of this. Always ≥ 1.
+    pub ckpt_stride: u64,
 }
 
 impl SlaveCommon {
@@ -166,6 +171,7 @@ impl SlaveCommon {
             move_cost_sample: None,
             interaction_cost_sample: None,
             last_instr_seq: 0,
+            ckpt_stride: 1,
         }
     }
 
@@ -354,6 +360,7 @@ impl SlaveCommon {
                 epoch,
                 invocation,
                 survivors,
+                ckpt_stride,
                 units,
             } => {
                 if *epoch <= self.epoch {
@@ -371,6 +378,7 @@ impl SlaveCommon {
                         epoch: *epoch,
                         invocation: *invocation,
                         survivors: survivors.clone(),
+                        ckpt_stride: *ckpt_stride,
                         units: units.clone(),
                     });
                     Err(ProtocolError::RolledBack)
@@ -403,15 +411,35 @@ impl SlaveCommon {
     /// (turned into errors) so master-initiated shutdown cannot deadlock,
     /// transparently services channel control traffic, and in fault mode
     /// bounds the wait with `op_timeout`.
+    ///
+    /// In fault mode the wait is sliced into `slave_heartbeat` intervals:
+    /// a slave blocked on a *peer* (a pipeline halo, a pivot broadcast)
+    /// has no report of its own to re-send, so each silent slice ships an
+    /// [`Msg::Alive`] ping to the master — otherwise a survivor stalled
+    /// on a crashed neighbour looks exactly like a second crash and gets
+    /// evicted by the suspicion timer along with it. The same slice also
+    /// re-sends stalled outbound transfers, since a long local wait is
+    /// evidence the ack path may have lost something.
+    ///
+    /// The pings are *bounded to one suspicion window*: that is exactly
+    /// long enough for the master to evict a genuinely dead peer first
+    /// and rescue this slave with the ensuing rollback. A wait that
+    /// outlives the window is indistinguishable from deadlock (e.g. a
+    /// halo lost on the wire, which no one re-sends), and vouching for
+    /// ourselves forever would stall the whole run — going silent hands
+    /// the stall to the failure detector, whose eviction + rollback is
+    /// the one repair that always exists.
     pub fn recv_blocking(
         &mut self,
         ctx: &ActorCtx<Msg>,
         mut pred: impl FnMut(&Msg) -> bool,
         waiting_for: &'static str,
     ) -> Result<Envelope<Msg>, ProtocolError> {
-        let deadline = self.ft.as_ref().map(|ft| ctx.now() + ft.op_timeout);
+        let ft = self.ft.clone();
+        let deadline = ft.as_ref().map(|ft| ctx.now() + ft.op_timeout);
+        let ping_until = ft.as_ref().map(|ft| ctx.now() + ft.suspicion);
         loop {
-            let full = |m: &Msg| {
+            let mut full = |m: &Msg| {
                 pred(m)
                     || matches!(
                         m,
@@ -422,16 +450,38 @@ impl SlaveCommon {
                             | Msg::Rollback { .. }
                     )
             };
-            let env = match deadline {
-                None => ctx.recv_match(full),
-                Some(d) => {
-                    ctx.recv_match_deadline(full, d)
-                        .ok_or_else(|| ProtocolError::Timeout {
-                            who: slave_who(self.idx),
-                            waiting_for,
-                            at: ctx.now(),
-                        })?
+            let env = match (&ft, deadline) {
+                (Some(ft), Some(d)) => {
+                    let mut got = None;
+                    while got.is_none() {
+                        let slice = (ctx.now() + ft.slave_heartbeat).min(d);
+                        match ctx.recv_match_deadline(&mut full, slice) {
+                            Some(env) => got = Some(env),
+                            None if ctx.now() >= d => {
+                                return Err(ProtocolError::Timeout {
+                                    who: slave_who(self.idx),
+                                    waiting_for,
+                                    at: ctx.now(),
+                                });
+                            }
+                            None => {
+                                self.resend_stalled_transfers(ctx);
+                                if ping_until.is_some_and(|p| ctx.now() < p) {
+                                    if std::env::var_os("DLB_TRACE").is_some() {
+                                        eprintln!(
+                                            "[slave{} t={}] ping while waiting for {waiting_for}",
+                                            self.idx,
+                                            ctx.now(),
+                                        );
+                                    }
+                                    self.send_master(ctx, Msg::Alive { slave: self.idx });
+                                }
+                            }
+                        }
+                    }
+                    got.expect("loop exits with a message")
                 }
+                _ => ctx.recv_match(full),
             };
             match &env.msg {
                 Msg::Abort => return Err(ProtocolError::Aborted),

@@ -210,6 +210,33 @@ fn independent_recovers_from_drops_and_crash() {
     assert!(report.sim.fault.msgs_dropped > 0);
 }
 
+/// A crashed slave under the independent engine is raced: before suspicion
+/// expires, an idle survivor recomputes the suspect's units from the master's
+/// ownership map and the master commits the speculation on eviction.
+#[test]
+fn independent_crash_speculates_on_idle_survivor() {
+    let (k, plan) = mm();
+    let fault = FaultPlan::new(5).crash(slave_node(1), SimTime(200_000));
+    let report = try_run(
+        AppSpec::Independent(k.clone()),
+        &plan,
+        chaos_cfg(fault, true),
+    )
+    .expect("independent engine must recover");
+    check_independent(&report, &k, "crash+speculation");
+    assert_eq!(report.recovery.slaves_declared_dead, 1);
+    assert!(
+        report.recovery.speculations_launched > 0,
+        "the suspect's units must be raced on an idle survivor: {:?}",
+        report.recovery
+    );
+    assert!(
+        report.recovery.speculations_computed > 0,
+        "the executor must have recomputed the suspect's units: {:?}",
+        report.recovery
+    );
+}
+
 /// A mid-sweep crash under the pipelined engine rolls the survivors back
 /// to the latest complete checkpoint and the run completes exactly.
 #[test]
@@ -235,6 +262,16 @@ fn pipelined_crash_resumes_from_checkpoint() {
         "survivors must have applied the rollback: {:?}",
         report.recovery
     );
+    assert!(
+        report.recovery.speculations_launched > 0,
+        "the silent suspect's next sweep must be raced on an idle survivor: {:?}",
+        report.recovery
+    );
+    assert!(
+        report.recovery.speculations_computed > 0,
+        "the executor must have advanced the banked snapshot: {:?}",
+        report.recovery
+    );
 }
 
 /// Same for the shrinking engine: a crash mid-elimination resumes on the
@@ -255,6 +292,16 @@ fn shrinking_crash_resumes_from_checkpoint() {
     assert!(
         report.recovery.checkpoints_banked > 0,
         "{:?}",
+        report.recovery
+    );
+    assert!(
+        report.recovery.speculations_launched > 0,
+        "the silent suspect's next step must be raced on an idle survivor: {:?}",
+        report.recovery
+    );
+    assert!(
+        report.recovery.speculations_computed > 0,
+        "the executor must have advanced the banked snapshot: {:?}",
         report.recovery
     );
 }
