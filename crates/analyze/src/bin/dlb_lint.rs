@@ -1,9 +1,16 @@
 //! `dlb-lint`: run every built-in program through the plan linter, then
-//! model-check the restore protocol and the work-migration (transfer
-//! window) protocol. Prints each report and exits nonzero if any
-//! error-severity diagnostic was produced.
+//! model-check the restore protocol, the work-migration (transfer window)
+//! protocol, and the master-failover election. The election checker is
+//! additionally self-tested: a deliberately broken split-brain variant
+//! must yield a counterexample, proving the invariant has teeth. Prints
+//! each report and exits nonzero if any error-severity diagnostic was
+//! produced (or the expected counterexample was not).
 
-use dlb_analyze::{check_protocol, check_transfer_protocol, lint_builtins};
+use dlb_analyze::{
+    check_election_protocol, check_election_protocol_with, check_protocol, check_transfer_protocol,
+    lint_builtins, CheckConfig, Code,
+};
+use dlb_core::ElectionModel;
 
 fn main() {
     let mut failed = false;
@@ -11,9 +18,28 @@ fn main() {
         print!("{}", report.render());
         failed |= report.has_errors();
     }
-    for protocol in [check_protocol(), check_transfer_protocol()] {
+    for protocol in [
+        check_protocol(),
+        check_transfer_protocol(),
+        check_election_protocol(),
+    ] {
         print!("{}", protocol.render());
         failed |= protocol.has_errors();
+    }
+    // Negative fixture: the split-brain election variant must be caught
+    // with a replayable counterexample, or the checker has lost its teeth.
+    let broken =
+        check_election_protocol_with(&ElectionModel::broken_split_brain(), CheckConfig::default());
+    if broken.has(Code::E107) {
+        println!(
+            "election-protocol (forgetful voters): split-brain counterexample found, as expected"
+        );
+    } else {
+        eprintln!(
+            "election-protocol (forgetful voters): expected a DLB-E107 counterexample, got:\n{}",
+            broken.render()
+        );
+        failed = true;
     }
     if failed {
         eprintln!("dlb-lint: errors found");

@@ -43,6 +43,14 @@ pub enum Code {
     /// Transfer protocol: reachable non-quiescent state with no enabled
     /// action (a wedged migration).
     E106,
+    /// Election protocol: two masters promoted in one term (split brain).
+    E107,
+    /// Election protocol: a winner's electing quorum contained a deputy
+    /// with a strictly fresher replica (newest-replica rule broken).
+    E108,
+    /// Election protocol: reachable non-quiescent state with no enabled
+    /// action (a wedged election).
+    E109,
     /// No acceptable hook site existed; the placement is best-effort.
     W001,
     /// Data-dependent iteration cost: flops figures are expectations.
@@ -78,6 +86,9 @@ impl Code {
             Code::E104 => "duplicate migrated work unit",
             Code::E105 => "lost migrated work unit",
             Code::E106 => "transfer deadlock",
+            Code::E107 => "split-brain election",
+            Code::E108 => "stale-replica winner",
+            Code::E109 => "election deadlock",
             Code::W001 => "no acceptable hook site",
             Code::W002 => "data-dependent iteration cost",
             Code::W003 => "broadcast communication",

@@ -10,15 +10,19 @@
 //!   (owner-computes legality, adjacency of work movement under carried
 //!   dependences, hook-overhead budget, strip-mine bounds).
 //! * **[`model`]** — the protocol model checker: exhaustively explores the
-//!   master/slave restore protocol *and* the slave↔slave work-migration
+//!   master/slave restore protocol, the slave↔slave work-migration
 //!   (transfer-window) protocol (both built from `dlb-core`'s production
 //!   [`SenderWindow`](dlb_core::SenderWindow)/[`AckTracker`](dlb_core::AckTracker)/
-//!   [`TransferWindow`](dlb_core::TransferWindow) rules) for duplicate
-//!   application, lost work, and deadlock, with seeded-replayable
-//!   counterexamples.
+//!   [`TransferWindow`](dlb_core::TransferWindow) rules), and the
+//!   master-failover deputy election (mirroring
+//!   [`DeputyState`](dlb_core::DeputyState)'s voting rules) for duplicate
+//!   application, lost work, split-brain promotions, and deadlock, with
+//!   seeded-replayable counterexamples.
 //!
 //! The `dlb-lint` binary runs every built-in program plus the protocol
-//! model and exits nonzero on any error — CI's merge gate.
+//! models — including a deliberately broken split-brain election variant
+//! that must yield a counterexample — and exits nonzero on any error or
+//! missing counterexample: CI's merge gate.
 
 #![forbid(unsafe_code)]
 
@@ -28,7 +32,7 @@ pub mod passes;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use model::{
-    check_protocol, check_protocol_with, check_transfer_protocol, check_transfer_protocol_with,
-    CheckConfig,
+    check_election_protocol, check_election_protocol_with, check_protocol, check_protocol_with,
+    check_transfer_protocol, check_transfer_protocol_with, CheckConfig,
 };
 pub use passes::{expected_pattern, lint, lint_builtins};

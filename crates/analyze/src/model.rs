@@ -5,7 +5,7 @@
 //! [`SenderWindow`]/[`AckTracker`]/[`TransferWindow`] transition rules —
 //! and converts verdicts into the shared diagnostics format.
 //!
-//! Two models, six safety properties (the distributed-self-scheduling
+//! Three models, nine safety properties (the distributed-self-scheduling
 //! correctness conditions of Eleliemy & Ciorba and Zafari & Larsson):
 //!
 //! * [`RestoreModel`] — the master/survivors restore protocol:
@@ -15,6 +15,10 @@
 //!   protocol, with drops, duplicates, re-sends, and a fail-stop receiver:
 //!   **no duplicate unit** ([`Code::E104`]), **no lost unit**
 //!   ([`Code::E105`]), **no transfer deadlock** ([`Code::E106`]).
+//! * [`ElectionModel`] — the master-failover deputy election (one vote per
+//!   term, newest-replica guard, majority quorum): **at most one master
+//!   per term** ([`Code::E107`]), **no stale-replica winner**
+//!   ([`Code::E108`]), **no election deadlock** ([`Code::E109`]).
 //!
 //! After the exhaustive pass, seeded random walks probe deeper
 //! interleavings; any counterexample replays from its seed.
@@ -25,7 +29,7 @@
 
 use crate::diag::{Code, Diagnostic, Report};
 use dlb_compiler::Span;
-use dlb_core::session::model::{RestoreModel, TransferModel};
+use dlb_core::session::model::{ElectionModel, RestoreModel, TransferModel};
 use dlb_sim::{explore, random_walks, Exploration, Verdict};
 
 /// Bounds for the exhaustive and sampled exploration.
@@ -72,25 +76,38 @@ fn span_for_transfer(model: &TransferModel) -> Span {
     ))
 }
 
-/// Which diagnostic each class of verdict maps to — the restore and
-/// transfer models share the explorer but report distinct codes.
+/// Which diagnostic each class of verdict maps to — the restore, transfer,
+/// and election models share the explorer but report distinct codes.
 #[derive(Clone, Copy)]
 struct CodeMap {
+    /// Something existed twice (double apply / double owner / two masters).
     duplicate: Code,
+    /// Something went missing or stale; selected when the violation detail
+    /// contains `lost_marker`.
     lost: Code,
     deadlock: Code,
+    lost_marker: &'static str,
 }
 
 const RESTORE_CODES: CodeMap = CodeMap {
     duplicate: Code::E101,
     lost: Code::E102,
     deadlock: Code::E103,
+    lost_marker: "lost work",
 };
 
 const TRANSFER_CODES: CodeMap = CodeMap {
     duplicate: Code::E104,
     lost: Code::E105,
     deadlock: Code::E106,
+    lost_marker: "lost work",
+};
+
+const ELECTION_CODES: CodeMap = CodeMap {
+    duplicate: Code::E107,
+    lost: Code::E108,
+    deadlock: Code::E109,
+    lost_marker: "stale replica",
 };
 
 fn push_exploration(span: Span, codes: CodeMap, ex: &Exploration, how: &str, report: &mut Report) {
@@ -122,7 +139,7 @@ fn push_exploration(span: Span, codes: CodeMap, ex: &Exploration, how: &str, rep
         }
         Verdict::Violation => {
             let detail = ex.trace.as_ref().map(|t| t.detail.as_str()).unwrap_or("");
-            let code = if detail.contains("lost work") {
+            let code = if detail.contains(codes.lost_marker) {
                 codes.lost
             } else {
                 codes.duplicate
@@ -227,6 +244,61 @@ pub fn check_transfer_protocol() -> Report {
     check_transfer_protocol_with(&TransferModel::standard(), CheckConfig::default())
 }
 
+fn span_for_election(model: &ElectionModel) -> Span {
+    Span::program(&format!(
+        "election-protocol(deputies={}, fresh={:?}, stands={}, drops={}, dups={}, \
+         one_vote_per_term={}, fresh_guard={})",
+        model.deputies,
+        model.fresh,
+        model.max_stands,
+        model.max_drops,
+        model.max_dups,
+        model.one_vote_per_term,
+        model.fresh_guard
+    ))
+}
+
+/// Exhaustively check a master-failover election model, then run seeded
+/// random walks past the exhaustive horizon. Two masters promoted in one
+/// term map to [`Code::E107`], a winner elected by a strictly fresher
+/// quorum member to [`Code::E108`], a wedged election to [`Code::E109`].
+pub fn check_election_protocol_with(model: &ElectionModel, cfg: CheckConfig) -> Report {
+    let tag = match (model.one_vote_per_term, model.fresh_guard) {
+        (true, true) => "",
+        (false, _) => " (forgetful voters)",
+        (_, false) => " (freshness-blind voters)",
+    };
+    let mut report = Report::new(format!("election-protocol{tag}"));
+    let span = span_for_election(model);
+    let ex = explore(model, cfg.max_depth, cfg.max_states);
+    push_exploration(
+        span.clone(),
+        ELECTION_CODES,
+        &ex,
+        "exhaustive exploration",
+        &mut report,
+    );
+    if !report.has_errors() && cfg.walks > 0 {
+        let walked = random_walks(model, cfg.seed, cfg.walks, cfg.walk_depth);
+        if walked.verdict != Verdict::Ok {
+            push_exploration(
+                span,
+                ELECTION_CODES,
+                &walked,
+                &format!("random walks (seed {:#x})", cfg.seed),
+                &mut report,
+            );
+        }
+    }
+    report
+}
+
+/// Check the standard election configuration with default bounds — what
+/// `dlb-lint` runs.
+pub fn check_election_protocol() -> Report {
+    check_election_protocol_with(&ElectionModel::standard(), CheckConfig::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +364,44 @@ mod tests {
             "{}",
             report.render()
         );
+    }
+
+    #[test]
+    fn standard_election_protocol_is_clean_and_exhausted() {
+        let report = check_election_protocol();
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(
+            !report.has(Code::W101),
+            "state space must be exhausted within bounds: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn split_brain_variant_promotes_two_masters() {
+        let report = check_election_protocol_with(
+            &ElectionModel::broken_split_brain(),
+            CheckConfig::default(),
+        );
+        assert!(report.has_errors(), "{}", report.render());
+        assert!(report.has(Code::E107), "{}", report.render());
+        // The counterexample trace must be present and replayable.
+        let diag = report.errors().next().unwrap();
+        assert!(
+            diag.notes.iter().any(|n| n.contains("counterexample")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn fresh_blind_variant_elects_a_stale_winner() {
+        let report = check_election_protocol_with(
+            &ElectionModel::broken_fresh_blind(),
+            CheckConfig::default(),
+        );
+        assert!(report.has_errors(), "{}", report.render());
+        assert!(report.has(Code::E108), "{}", report.render());
     }
 
     #[test]

@@ -4,11 +4,14 @@
 //! carried dependence, zero-sized grain, owner-computes violation, and a
 //! protocol variant that acks without deduplicating).
 
-use dlb_analyze::{check_protocol_with, lint, lint_builtins, CheckConfig, Code};
+use dlb_analyze::{
+    check_election_protocol, check_election_protocol_with, check_protocol_with, lint,
+    lint_builtins, CheckConfig, Code,
+};
 use dlb_compiler::ir::build::*;
 use dlb_compiler::programs;
 use dlb_compiler::{compile, Affine, GrainPolicy, MovementRule, Program};
-use dlb_core::RestoreModel;
+use dlb_core::{ElectionModel, RestoreModel};
 
 #[test]
 fn every_builtin_plan_lints_clean() {
@@ -111,6 +114,35 @@ fn misaligned_write_to_moved_array_is_e001() {
     let skewed = offset_writer(1);
     let report = lint(&skewed, &plan);
     assert!(report.has(Code::E001), "{}", report.render());
+}
+
+#[test]
+fn standard_election_is_exhaustively_clean() {
+    let report = check_election_protocol();
+    assert!(!report.has_errors(), "{}", report.render());
+    assert!(
+        !report.has(Code::W101),
+        "the election state space must be exhausted, not truncated:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn forgetful_voter_election_is_e107_with_counterexample() {
+    let report =
+        check_election_protocol_with(&ElectionModel::broken_split_brain(), CheckConfig::default());
+    assert!(report.has(Code::E107), "{}", report.render());
+    let diag = report.errors().next().expect("an error diagnostic");
+    assert!(
+        diag.notes.iter().any(|n| n.contains("counterexample")),
+        "counterexample trace must accompany the split brain:\n{}",
+        report.render()
+    );
+    assert!(
+        diag.notes.iter().any(|n| n.contains("split brain")),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]

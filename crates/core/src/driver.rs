@@ -11,7 +11,9 @@ use crate::engine_pipelined::PipelinedSlave;
 use crate::engine_shrinking::ShrinkingSlave;
 use crate::error::{FaultToleranceConfig, ProtocolError, RunError};
 use crate::kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
-use crate::master::{run_master, MasterConfig, MasterFt, MasterOutcome, TimelineSample};
+use crate::master::{
+    run_master, MasterConfig, MasterFt, MasterOutcome, TakeoverKit, TimelineSample,
+};
 use crate::msg::{Msg, UnitData};
 use crate::recovery::RecoveryStats;
 use dlb_compiler::{grain_iterations, GrainPolicy, ParallelPlan, Pattern};
@@ -280,31 +282,112 @@ pub fn try_run(
         }
         _ => 1.0,
     };
-    let mut balancer = Balancer::new(
-        balancer_cfg,
-        initial_owned,
-        quantum,
-        per_unit_move_est,
-        invocations,
-        units_per_hook,
-    );
-    balancer.set_units_scale(units_scale);
+    // The whole master configuration is built by a factory so a promoted
+    // deputy can rebuild the master role from scratch mid-run (the balancer
+    // is not replicated — the new reign re-learns rates from the first
+    // statuses it sees).
+    let make_master_cfg: Arc<dyn Fn() -> MasterConfig + Send + Sync> = {
+        let app = app.clone();
+        let tol = cfg.fault_tolerance.clone();
+        let decision_cpu = cfg.decision_cpu;
+        let record_timeline = cfg.record_timeline;
+        Arc::new(move || {
+            let mut balancer = Balancer::new(
+                balancer_cfg.clone(),
+                initial_owned.clone(),
+                quantum,
+                per_unit_move_est,
+                invocations,
+                units_per_hook,
+            );
+            balancer.set_units_scale(units_scale);
 
-    // Expected completions per invocation.
-    let expected_units: Box<dyn Fn(u64) -> u64 + Send> = match &app {
-        AppSpec::Independent(_) => {
-            let n = n_units as u64;
-            Box::new(move |_| n)
-        }
-        AppSpec::Pipelined(k) => {
-            let n = n_units as u64;
-            let rows = (k.col_len() - 2) as u64;
-            Box::new(move |_| n * rows)
-        }
-        AppSpec::Shrinking(_) => {
-            let n = n_units as u64;
-            Box::new(move |k| n - 1 - k)
-        }
+            // Expected completions per invocation.
+            let expected_units: Box<dyn Fn(u64) -> u64 + Send> = match &app {
+                AppSpec::Independent(_) => {
+                    let n = n_units as u64;
+                    Box::new(move |_| n)
+                }
+                AppSpec::Pipelined(k) => {
+                    let n = n_units as u64;
+                    let rows = (k.col_len() - 2) as u64;
+                    Box::new(move |_| n * rows)
+                }
+                AppSpec::Shrinking(_) => {
+                    let n = n_units as u64;
+                    Box::new(move |k| n - 1 - k)
+                }
+            };
+            let converged: Box<dyn Fn(u64, f64) -> bool + Send> = match &app {
+                AppSpec::Independent(k) => {
+                    let k = Arc::clone(k);
+                    Box::new(move |inv, metric| k.converged(inv, metric))
+                }
+                _ => Box::new(|_, _| false),
+            };
+            // Fault mode wires the master's failure detector. The
+            // independent pattern gets the unit-reconstruction closures that
+            // enable in-place recovery; pipelined/shrinking get the
+            // epoch-zero snapshot closure that seeds checkpoint rollback.
+            let ft = if fault_mode {
+                use crate::master::{InitUnitFn, RecomputeUnitFn};
+                let (init_unit, recompute_unit, checkpoint_init): (
+                    Option<InitUnitFn>,
+                    Option<RecomputeUnitFn>,
+                    Option<InitUnitFn>,
+                ) = match &app {
+                    AppSpec::Independent(k) => {
+                        let ki = Arc::clone(k);
+                        let kr = Arc::clone(k);
+                        (
+                            Some(Box::new(move |id| ki.init_unit(id))),
+                            Some(Box::new(move |id, invs| {
+                                let mut d = kr.init_unit(id);
+                                for i in 0..invs {
+                                    kr.compute(id, &mut d, i);
+                                }
+                                d
+                            })),
+                            None,
+                        )
+                    }
+                    AppSpec::Pipelined(k) => {
+                        let kp = Arc::clone(k);
+                        (
+                            None,
+                            None,
+                            Some(Box::new(move |id| vec![kp.init_unit(id)]) as InitUnitFn),
+                        )
+                    }
+                    AppSpec::Shrinking(k) => {
+                        let kp = Arc::clone(k);
+                        (
+                            None,
+                            None,
+                            Some(Box::new(move |id| vec![kp.init_unit(id)]) as InitUnitFn),
+                        )
+                    }
+                };
+                Some(MasterFt {
+                    tolerance: tol.clone(),
+                    init_unit,
+                    recompute_unit,
+                    checkpoint_init,
+                })
+            } else {
+                None
+            };
+            MasterConfig {
+                balancer,
+                invocations,
+                expected_units,
+                units_per_hook: None,
+                decision_cpu,
+                record_timeline,
+                converged,
+                ft,
+            }
+        })
     };
 
     let mut sim = SimBuilder::<Msg>::new().net(cfg.net.clone());
@@ -327,85 +410,32 @@ pub fn try_run(
         let outcome = Arc::clone(&outcome);
         let slave_ids = slave_ids.clone();
         let assignment = assignment.clone();
-        let converged: Box<dyn Fn(u64, f64) -> bool + Send> = match &app {
-            AppSpec::Independent(k) => {
-                let k = Arc::clone(k);
-                Box::new(move |inv, metric| k.converged(inv, metric))
-            }
-            _ => Box::new(|_, _| false),
-        };
-        // Fault mode wires the master's failure detector. The independent
-        // pattern gets the unit-reconstruction closures that enable
-        // in-place recovery; pipelined/shrinking get the epoch-zero
-        // snapshot closure that seeds checkpoint rollback.
-        let ft = if fault_mode {
-            use crate::master::{InitUnitFn, RecomputeUnitFn};
-            let (init_unit, recompute_unit, checkpoint_init): (
-                Option<InitUnitFn>,
-                Option<RecomputeUnitFn>,
-                Option<InitUnitFn>,
-            ) = match &app {
-                AppSpec::Independent(k) => {
-                    let ki = Arc::clone(k);
-                    let kr = Arc::clone(k);
-                    (
-                        Some(Box::new(move |id| ki.init_unit(id))),
-                        Some(Box::new(move |id, invs| {
-                            let mut d = kr.init_unit(id);
-                            for i in 0..invs {
-                                kr.compute(id, &mut d, i);
-                            }
-                            d
-                        })),
-                        None,
-                    )
-                }
-                AppSpec::Pipelined(k) => {
-                    let kp = Arc::clone(k);
-                    (
-                        None,
-                        None,
-                        Some(Box::new(move |id| vec![kp.init_unit(id)]) as InitUnitFn),
-                    )
-                }
-                AppSpec::Shrinking(k) => {
-                    let kp = Arc::clone(k);
-                    (
-                        None,
-                        None,
-                        Some(Box::new(move |id| vec![kp.init_unit(id)]) as InitUnitFn),
-                    )
-                }
-            };
-            Some(MasterFt {
-                tolerance: cfg.fault_tolerance.clone(),
-                init_unit,
-                recompute_unit,
-                checkpoint_init,
-            })
-        } else {
-            None
-        };
-        let master_cfg = MasterConfig {
-            balancer,
-            invocations,
-            expected_units,
-            units_per_hook: None,
-            decision_cpu: cfg.decision_cpu,
-            record_timeline: cfg.record_timeline,
-            converged,
-            ft,
-        };
+        let master_cfg = make_master_cfg();
         sim.spawn(master_node, "master", move |ctx| {
             run_master(ctx, master_cfg, slave_ids, assignment, block_rows, outcome)
         });
     }
+
+    // In fault mode every slave carries the takeover kit: the election
+    // winner uses it to rebuild the master role in place.
+    let takeover_kit = fault_mode.then(|| {
+        let make_cfg = Arc::clone(&make_master_cfg);
+        Arc::new(TakeoverKit {
+            make_cfg: Box::new(move || make_cfg()),
+            master: master_id,
+            slaves: slave_ids.clone(),
+            assignment: assignment.clone(),
+            block_rows,
+            outcome: Arc::clone(&outcome),
+        })
+    });
 
     let slave_ft = fault_mode.then(|| cfg.fault_tolerance.clone());
     for (i, node) in slave_nodes.into_iter().enumerate() {
         let mode = slave_mode;
         let hook_cpu = cfg.hook_check_cpu;
         let ft = slave_ft.clone();
+        let takeover = takeover_kit.clone();
         match &app {
             AppSpec::Independent(k) => {
                 let slave = IndependentSlave {
@@ -415,6 +445,7 @@ pub fn try_run(
                     hook_check_cpu: hook_cpu,
                     kernel: Arc::clone(k),
                     ft,
+                    takeover,
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -426,6 +457,7 @@ pub fn try_run(
                     hook_check_cpu: hook_cpu,
                     kernel: Arc::clone(k),
                     ft,
+                    takeover,
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -437,6 +469,7 @@ pub fn try_run(
                     hook_check_cpu: hook_cpu,
                     kernel: Arc::clone(k),
                     ft,
+                    takeover,
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }

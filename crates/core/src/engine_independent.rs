@@ -17,6 +17,16 @@
 //! re-owned, and the master may race a silent suspect's units here
 //! speculatively ([`Msg::Speculate`]) — the results are held aside until
 //! the master commits or cancels them.
+//!
+//! The *master itself* may also die. Low-ranked slaves double as deputies
+//! ([`crate::session::replica`]): they absorb the master's control-plane
+//! replicas, watch its heartbeat, and elect a successor when it falls
+//! silent. A promoted deputy leaves the worker pool (propagated here as
+//! [`ProtocolError::Elected`]) and reboots the run as the new master via
+//! [`crate::master::run_takeover`]; the survivors are rolled back to the
+//! replicated invocation watermark with a [`Msg::Rollback`] — previously a
+//! checkpointed-engine-only message — which this engine's restart loop
+//! turns into a wholesale re-adoption of the re-scattered units.
 
 use crate::balancer::InteractionMode;
 use crate::error::{FaultToleranceConfig, ProtocolError};
@@ -46,6 +56,9 @@ pub struct IndependentSlave {
     pub hook_check_cpu: CpuWork,
     pub kernel: Arc<dyn IndependentKernel>,
     pub ft: Option<FaultToleranceConfig>,
+    /// Everything a promoted deputy needs to rebuild the master role
+    /// (config factory, outcome slot, topology). `None` outside fault mode.
+    pub takeover: Option<Arc<crate::master::TakeoverKit>>,
 }
 
 impl IndependentSlave {
@@ -76,8 +89,10 @@ impl IndependentSlave {
             self.ft.clone(),
             ctx.now(),
         );
+        // Freshness for the election is the replicated invocation watermark:
+        // this engine restarts from `recompute_unit`, not a held snapshot.
+        common.enable_deputy(false, ctx.now());
         let kernel = self.kernel;
-        let invocations = kernel.invocations();
         let mut units: BTreeMap<usize, Unit> = (range.0..range.1)
             .map(|i| {
                 (
@@ -90,67 +105,146 @@ impl IndependentSlave {
             })
             .collect();
         let mut spec: SpecBuffers = BTreeMap::new();
-
-        let mut inv = 0;
-        let mut metric = 0.0f64;
-        wait_invocation_start(ctx, &mut common, &mut units, &mut spec, &*kernel)?;
-        'outer: loop {
-            'compute: loop {
-                // Opportunistically pull transfers (and restores) that are
-                // already queued.
-                drain_incoming(ctx, &mut common, &mut units, &mut spec, &*kernel, inv)?;
-                let next = units
-                    .iter()
-                    .find(|(_, u)| u.done_in != Some(inv))
-                    .map(|(&id, _)| id);
-                match next {
-                    Some(id) => {
-                        common.compute(ctx, kernel.unit_cost_for(id, inv));
-                        let u = units.get_mut(&id).expect("unit present");
-                        kernel.compute(id, &mut u.data, inv);
-                        u.done_in = Some(inv);
-                        metric += kernel.local_metric(id, &u.data);
-                        common.record_done(1);
-                        let active = active_units(&units, inv, invocations);
-                        let moves = common.hook(ctx, inv, active)?;
-                        execute_moves(ctx, &mut common, &mut units, inv, moves);
+        let mut start_inv = 0u64;
+        let mut need_release = true;
+        // Reboot loop: a master-failover rollback restarts the work loop at
+        // the replicated invocation with a wholly re-scattered unit set; an
+        // election win turns this slave into the new master.
+        loop {
+            match work_loop(
+                ctx,
+                &mut common,
+                &mut units,
+                &mut spec,
+                &*kernel,
+                start_inv,
+                need_release,
+            ) {
+                Err(ProtocolError::RolledBack) => {
+                    let rb = common
+                        .pending_rollback
+                        .take()
+                        .expect("RolledBack pairs with a stashed rollback");
+                    if !rb.survivors.contains(&common.idx) {
+                        return Err(ProtocolError::Evicted { slave: common.idx });
                     }
-                    None => {
-                        // Flush the final partial period, then go idle.
-                        let active = active_units(&units, inv, invocations);
-                        let moves = common.fire(ctx, inv, active)?;
-                        execute_moves(ctx, &mut common, &mut units, inv, moves);
-                        match idle_until_work_or_barrier(
-                            ctx,
-                            &mut common,
-                            &mut units,
-                            &mut spec,
-                            &*kernel,
-                            inv,
-                            metric,
-                        )? {
-                            Idle::NewWork => {}
-                            Idle::NextInvocation => break 'compute,
-                            Idle::Gather => {
-                                return reply_gather(ctx, &mut common, units, inv);
-                            }
+                    for s in 0..common.dead.len() {
+                        if s != common.idx && !rb.survivors.contains(&s) {
+                            common.peer_evicted(s);
+                        }
+                    }
+                    // The rollback re-scatters every unit from the master's
+                    // replica: nothing reclaimed from closed channels (and no
+                    // ownership report) survives it.
+                    common.reclaimed.clear();
+                    common.own_report_due.clear();
+                    common.rebase_epoch(rb.epoch);
+                    common.ckpt_stride = rb.ckpt_stride;
+                    spec.clear();
+                    units = rb
+                        .units
+                        .into_iter()
+                        .map(|(id, data)| {
+                            (
+                                id,
+                                Unit {
+                                    data,
+                                    done_in: None,
+                                },
+                            )
+                        })
+                        .collect();
+                    start_inv = rb.invocation;
+                    // The Rollback doubles as the barrier release.
+                    need_release = false;
+                }
+                Err(ProtocolError::Elected { .. }) => {
+                    let seed = common
+                        .takeover
+                        .take()
+                        .expect("Elected pairs with a stashed takeover seed");
+                    let Some(kit) = self.takeover.as_deref() else {
+                        return Err(ProtocolError::Inconsistent {
+                            detail: format!(
+                                "slave {} won an election without a takeover kit",
+                                common.idx
+                            ),
+                        });
+                    };
+                    return crate::master::run_takeover(ctx, kit, seed, common.idx);
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+/// One life of the compute loop: from `start_inv` to the gather, or until a
+/// failover rollback / election win unwinds it.
+fn work_loop(
+    ctx: &ActorCtx<Msg>,
+    common: &mut SlaveCommon,
+    units: &mut BTreeMap<usize, Unit>,
+    spec: &mut SpecBuffers,
+    kernel: &dyn IndependentKernel,
+    start_inv: u64,
+    need_release: bool,
+) -> Result<(), ProtocolError> {
+    let invocations = kernel.invocations();
+    let mut inv = start_inv;
+    let mut metric = 0.0f64;
+    if need_release {
+        wait_invocation_start(ctx, common, units, spec, kernel)?;
+    }
+    'outer: while inv < invocations {
+        'compute: loop {
+            // Opportunistically pull transfers (and restores) that are
+            // already queued.
+            drain_incoming(ctx, common, units, spec, kernel, inv)?;
+            let next = units
+                .iter()
+                .find(|(_, u)| u.done_in != Some(inv))
+                .map(|(&id, _)| id);
+            match next {
+                Some(id) => {
+                    common.compute(ctx, kernel.unit_cost_for(id, inv));
+                    let u = units.get_mut(&id).expect("unit present");
+                    kernel.compute(id, &mut u.data, inv);
+                    u.done_in = Some(inv);
+                    metric += kernel.local_metric(id, &u.data);
+                    common.record_done(1);
+                    let active = active_units(units, inv, invocations);
+                    let moves = common.hook(ctx, inv, active)?;
+                    execute_moves(ctx, common, units, inv, moves);
+                }
+                None => {
+                    // Flush the final partial period, then go idle.
+                    let active = active_units(units, inv, invocations);
+                    let moves = common.fire(ctx, inv, active)?;
+                    execute_moves(ctx, common, units, inv, moves);
+                    match idle_until_work_or_barrier(ctx, common, units, spec, kernel, inv, metric)?
+                    {
+                        Idle::NewWork => {}
+                        Idle::NextInvocation => break 'compute,
+                        Idle::Gather => {
+                            return reply_gather(ctx, common, units, inv);
                         }
                     }
                 }
             }
-            inv += 1;
-            metric = 0.0;
-            if inv >= invocations {
-                break 'outer;
-            }
         }
-
-        // Safety net: if the upper bound on invocations is reached without
-        // the master converging earlier, wait for the gather here.
-        let env = common.recv_blocking(ctx, |m| matches!(m, Msg::Gather), "final gather")?;
-        debug_assert!(matches!(env.msg, Msg::Gather));
-        reply_gather(ctx, &mut common, units, invocations.saturating_sub(1))
+        inv += 1;
+        metric = 0.0;
+        if inv >= invocations {
+            break 'outer;
+        }
     }
+
+    // Safety net: if the upper bound on invocations is reached without
+    // the master converging earlier, wait for the gather here.
+    let env = common.recv_blocking(ctx, |m| matches!(m, Msg::Gather), "final gather")?;
+    debug_assert!(matches!(env.msg, Msg::Gather));
+    reply_gather(ctx, common, units, invocations.saturating_sub(1))
 }
 
 fn active_units(units: &BTreeMap<usize, Unit>, inv: u64, invocations: u64) -> u64 {
@@ -410,6 +504,12 @@ fn drain_incoming(
                         | Msg::Evicted { .. }
                         | Msg::Abort
                         | Msg::Evict
+                        | Msg::Rollback { .. }
+                        | Msg::Replica(_)
+                        | Msg::MasterPing { .. }
+                        | Msg::Candidacy { .. }
+                        | Msg::Vote { .. }
+                        | Msg::Promoted { .. }
                 ))
     };
     while let Some(env) = ctx.try_recv_match(pred) {
@@ -432,6 +532,17 @@ fn drain_incoming(
             | Msg::SpecCommit { .. }
             | Msg::SpecCancel { .. }) => {
                 apply_master_chan(ctx, common, units, spec, kernel, inv, m)?;
+            }
+            m @ Msg::Rollback { .. } => {
+                // A failover rollback: stash + unwind to the reboot loop.
+                common.control(&m)?;
+            }
+            m @ (Msg::Replica(_)
+            | Msg::MasterPing { .. }
+            | Msg::Candidacy { .. }
+            | Msg::Vote { .. }
+            | Msg::Promoted { .. }) => {
+                common.election(ctx, &m)?;
             }
             _ => unreachable!(),
         }
@@ -541,6 +652,7 @@ fn idle_until_work_or_barrier(
             metric,
             restore_seq: common.master_chan.watermark(),
             owned_ids: units.keys().copied().collect(),
+            replica_inv: common.replica_inv(),
         };
     settle_evictions(ctx, common, units, inv)?;
     let msg = refresh_done(common, units);
@@ -565,6 +677,7 @@ fn idle_until_work_or_barrier(
                         });
                     }
                     common.resend_stalled_transfers(ctx);
+                    common.deputy_tick(ctx)?;
                     let msg = refresh_done(common, units);
                     common.send_master(ctx, msg);
                     continue;
@@ -656,6 +769,18 @@ fn idle_until_work_or_barrier(
             }
             Msg::Abort => return Err(ProtocolError::Aborted),
             Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
+            m @ Msg::Rollback { .. } => {
+                // A failover rollback: stash + unwind to the reboot loop
+                // (or ack a stale duplicate and keep idling).
+                common.control(&m)?;
+            }
+            m @ (Msg::Replica(_)
+            | Msg::MasterPing { .. }
+            | Msg::Candidacy { .. }
+            | Msg::Vote { .. }
+            | Msg::Promoted { .. }) => {
+                common.election(ctx, &m)?;
+            }
             Msg::Start { .. } | Msg::GatherAck if ft.is_some() => {} // duplicate deliveries
             other => return Err(common.unexpected("idle loop", &other)),
         }
@@ -702,11 +827,12 @@ fn wait_invocation_start(
 fn reply_gather(
     ctx: &ActorCtx<Msg>,
     common: &mut SlaveCommon,
-    mut units: BTreeMap<usize, Unit>,
+    units: &mut BTreeMap<usize, Unit>,
     inv: u64,
 ) -> Result<(), ProtocolError> {
-    settle_evictions(ctx, common, &mut units, inv)?;
-    let payload: Vec<(usize, UnitData)> = units.into_iter().map(|(id, u)| (id, u.data)).collect();
+    settle_evictions(ctx, common, units, inv)?;
+    let payload: Vec<(usize, UnitData)> =
+        units.iter().map(|(&id, u)| (id, u.data.clone())).collect();
     let msg = Msg::GatherData {
         slave: common.idx,
         units: payload.clone(),
@@ -726,6 +852,9 @@ fn reply_gather(
                     // master recomputes locally if it really did not.
                     return Ok(());
                 }
+                // The master may die between our GatherData and its ack:
+                // deputies keep the election live even here.
+                common.deputy_tick(ctx)?;
             }
             Some(env) => match env.msg {
                 Msg::Gather => {
@@ -739,7 +868,14 @@ fn reply_gather(
                 }
                 Msg::GatherAck | Msg::Abort => return Ok(()),
                 Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
-                _ => {} // stale traffic
+                m => {
+                    // Election traffic and a takeover rollback (the new
+                    // master restarting the final invocation) both unwind
+                    // through the reboot loop; everything else is stale.
+                    if !common.election(ctx, &m)? {
+                        common.control(&m)?;
+                    }
+                }
             },
         }
     }

@@ -56,6 +56,9 @@ pub struct PipelinedSlave {
     pub hook_check_cpu: CpuWork,
     pub kernel: Arc<dyn PipelinedKernel>,
     pub ft: Option<FaultToleranceConfig>,
+    /// Master-failover kit (fault mode): lets this slave rebuild the master
+    /// role in place if it wins a deputy election.
+    pub takeover: Option<Arc<crate::master::TakeoverKit>>,
 }
 
 struct State {
@@ -153,6 +156,9 @@ impl PipelinedSlave {
             self.ft.clone(),
             ctx.now(),
         );
+        // Checkpointed engines measure replica freshness by the held
+        // snapshot: a takeover restarts from it.
+        common.enable_deputy(true, ctx.now());
         let col_len = kernel.col_len();
         let interior = (col_len - 2) as u64;
         let nblocks = interior.div_ceil(block_rows.max(1));
@@ -182,7 +188,26 @@ impl PipelinedSlave {
             return Err(st.inconsistent("started with zero columns".into()));
         }
         let mut strategy = PipelinedStrategy { st, kernel };
-        session_slave::run(ctx, &mut common, &mut strategy)
+        match session_slave::run(ctx, &mut common, &mut strategy) {
+            Err(ProtocolError::Elected { .. }) => {
+                // This deputy won the master election: drop the slave role
+                // and rebuild the master in place from the replicated seed.
+                let seed = common
+                    .takeover
+                    .take()
+                    .ok_or_else(|| ProtocolError::Inconsistent {
+                        detail: format!("slave {}: elected with no takeover seed", common.idx),
+                    })?;
+                let kit = self
+                    .takeover
+                    .as_deref()
+                    .ok_or_else(|| ProtocolError::Inconsistent {
+                        detail: format!("slave {}: elected with no takeover kit", common.idx),
+                    })?;
+                crate::master::run_takeover(ctx, kit, seed, common.idx)
+            }
+            r => r,
+        }
     }
 }
 

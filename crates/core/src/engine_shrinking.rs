@@ -41,6 +41,9 @@ pub struct ShrinkingSlave {
     pub hook_check_cpu: CpuWork,
     pub kernel: Arc<dyn ShrinkingKernel>,
     pub ft: Option<FaultToleranceConfig>,
+    /// Master-failover kit (fault mode): lets this slave rebuild the master
+    /// role in place if it wins a deputy election.
+    pub takeover: Option<Arc<crate::master::TakeoverKit>>,
 }
 
 struct State {
@@ -78,6 +81,9 @@ impl ShrinkingSlave {
             self.ft.clone(),
             ctx.now(),
         );
+        // Checkpointed engines measure replica freshness by the held
+        // snapshot: a takeover restarts from it.
+        common.enable_deputy(true, ctx.now());
         let st = State {
             active: (range.0..range.1)
                 .map(|i| {
@@ -94,7 +100,26 @@ impl ShrinkingSlave {
             pivots: vec![None; n],
         };
         let mut strategy = ShrinkingStrategy { st, kernel };
-        session_slave::run(ctx, &mut common, &mut strategy)
+        match session_slave::run(ctx, &mut common, &mut strategy) {
+            Err(ProtocolError::Elected { .. }) => {
+                // This deputy won the master election: drop the slave role
+                // and rebuild the master in place from the replicated seed.
+                let seed = common
+                    .takeover
+                    .take()
+                    .ok_or_else(|| ProtocolError::Inconsistent {
+                        detail: format!("slave {}: elected with no takeover seed", common.idx),
+                    })?;
+                let kit = self
+                    .takeover
+                    .as_deref()
+                    .ok_or_else(|| ProtocolError::Inconsistent {
+                        detail: format!("slave {}: elected with no takeover kit", common.idx),
+                    })?;
+                crate::master::run_takeover(ctx, kit, seed, common.idx)
+            }
+            r => r,
+        }
     }
 }
 

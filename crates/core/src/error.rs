@@ -57,6 +57,15 @@ pub enum ProtocolError {
     /// the checkpointed engine must unwind to its restart loop to apply it
     /// (the payload is stashed in `SlaveCommon::pending_rollback`).
     RolledBack,
+    /// Internal control flow, never surfaced to the driver: this slave won
+    /// a master election and must unwind its engine to take over as master
+    /// (the takeover seed is stashed in `SlaveCommon::takeover`).
+    Elected { term: u64 },
+    /// A newer master was elected while this master still believed it was
+    /// in charge (it was frozen, not dead). The superseded master exits
+    /// silently: no abort broadcast, no outcome write — the new master owns
+    /// the run now.
+    Superseded { term: u64 },
     /// Bookkeeping that must balance did not (lost/duplicated units, bad
     /// completion counts).
     Inconsistent { detail: String },
@@ -103,9 +112,42 @@ impl fmt::Display for ProtocolError {
             ProtocolError::RolledBack => {
                 write!(f, "rollback in progress (internal control flow)")
             }
+            ProtocolError::Elected { term } => {
+                write!(f, "elected master for term {term} (internal control flow)")
+            }
+            ProtocolError::Superseded { term } => {
+                write!(f, "superseded by the master elected in term {term}")
+            }
             ProtocolError::Inconsistent { detail } => {
                 write!(f, "inconsistent bookkeeping: {detail}")
             }
+        }
+    }
+}
+
+impl ProtocolError {
+    /// Approximate payload size when this error travels inside a
+    /// [`crate::msg::Msg::SlaveError`]: the variant's actual fields, not a
+    /// flat guess — long diagnostics must be charged to the network model.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            ProtocolError::UnexpectedMessage {
+                who,
+                context,
+                message,
+            } => (who.len() + context.len() + message.len()) as u64,
+            ProtocolError::Timeout {
+                who, waiting_for, ..
+            } => 8 + (who.len() + waiting_for.len()) as u64,
+            ProtocolError::MissingPivot { .. } => 24,
+            ProtocolError::NonNeighborTransfer { .. } => 24,
+            ProtocolError::SlaveDead { .. } => 16,
+            ProtocolError::AllSlavesDead => 0,
+            ProtocolError::SlaveFailed { error, .. } => 8 + error.payload_bytes(),
+            ProtocolError::Aborted | ProtocolError::RolledBack => 0,
+            ProtocolError::Evicted { .. } => 8,
+            ProtocolError::Elected { .. } | ProtocolError::Superseded { .. } => 8,
+            ProtocolError::Inconsistent { detail } => detail.len() as u64,
         }
     }
 }
@@ -159,6 +201,31 @@ pub struct FaultToleranceConfig {
     /// time a rollback may cost. The stride is chosen so that
     /// `stride × EMA(invocation time)` stays at or under this budget.
     pub ckpt_loss_budget: SimDuration,
+    /// Master failover: size of the deputy set (the lowest-ranked slaves
+    /// that receive control-plane replicas and may stand for election when
+    /// the master falls silent). Clamped to the slave count; an election
+    /// needs a majority of the deputy set, so 3 tolerates one dead deputy.
+    pub deputies: usize,
+    /// Master failover: how often the master pings its deputies when it has
+    /// no protocol traffic for them (the master-side analogue of
+    /// `slave_heartbeat`; defers the election trigger only).
+    pub master_heartbeat: SimDuration,
+    /// Master failover: master silence (neither protocol traffic nor pings)
+    /// after which the rank-0 deputy stands for election.
+    pub master_suspicion: SimDuration,
+    /// Master failover: extra silence per deputy rank before standing, so
+    /// the lowest live rank with a fresh replica wins without a vote split.
+    /// Must exceed `slave_heartbeat`: the election timer is checked from
+    /// heartbeat slices, so a finer stagger cannot separate two deputies
+    /// whose timer wakes happen to align — they would stand in the same
+    /// slice, cross candidacies, and each refuse the other (both spent
+    /// their term's vote on themselves) term after term.
+    pub election_stagger: SimDuration,
+    /// Master failover: replication cadence — publish a control-plane
+    /// replica to the deputies every this-many settled invocations
+    /// (1 = every barrier; larger values trade replication bytes for a
+    /// staler takeover point).
+    pub replicate_every: u64,
 }
 
 impl Default for FaultToleranceConfig {
@@ -175,6 +242,11 @@ impl Default for FaultToleranceConfig {
             gather_patience: 10,
             ckpt_max_skip: 0,
             ckpt_loss_budget: SimDuration::from_secs(2),
+            deputies: 3,
+            master_heartbeat: SimDuration::from_secs(1),
+            master_suspicion: SimDuration::from_secs(8),
+            election_stagger: SimDuration::from_secs(2),
+            replicate_every: 1,
         }
     }
 }
@@ -227,5 +299,35 @@ mod tests {
         assert!(t.slave_heartbeat < t.suspicion);
         assert!(t.speculate_after < t.suspicion);
         assert!(t.suspicion < t.op_timeout);
+        // Failover: the master's pings must outpace the election trigger by
+        // a wide margin, the stagger must separate candidacies well inside
+        // one suspicion window, and the whole election must finish long
+        // before blocked slaves give up on the run.
+        assert!(t.master_heartbeat * 4 <= t.master_suspicion);
+        assert!(t.election_stagger * (t.deputies as u64) < t.master_suspicion);
+        assert!(
+            t.election_stagger > t.slave_heartbeat,
+            "a stagger finer than the heartbeat tick cannot separate candidacies"
+        );
+        assert!(
+            t.master_suspicion + t.election_stagger * (t.deputies as u64) < t.op_timeout,
+            "an election must complete within one op timeout"
+        );
+        assert!(t.deputies >= 1);
+        assert!(t.replicate_every >= 1);
+    }
+
+    #[test]
+    fn payload_bytes_follow_the_variant() {
+        assert_eq!(ProtocolError::Aborted.payload_bytes(), 0);
+        let long = ProtocolError::Inconsistent {
+            detail: "y".repeat(300),
+        };
+        assert_eq!(long.payload_bytes(), 300);
+        let nested = ProtocolError::SlaveFailed {
+            slave: 1,
+            error: Box::new(long),
+        };
+        assert_eq!(nested.payload_bytes(), 308);
     }
 }

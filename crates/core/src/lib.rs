@@ -85,11 +85,13 @@ pub use driver::{
 pub use error::{FaultToleranceConfig, ProtocolError, RunError};
 pub use frequency::{FrequencyController, PeriodBounds};
 pub use kernels::{IndependentKernel, PipelinedKernel, ShrinkingKernel};
-pub use master::TimelineSample;
+pub use master::{TakeoverKit, TimelineSample};
 pub use msg::{Edge, Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
 pub use protocol::{AckTracker, SenderWindow, TransferWindow};
 pub use rate::RateFilter;
 pub use recovery::{RecoveryStats, SlaveFaultStats};
 pub use session::model::{
-    RestoreModel, RestoreState, Step, TStep, TWire, TransferModel, TransferState, Wire,
+    DeputyModel, EStep, EWire, ElectionModel, ElectionState, RestoreModel, RestoreState, Step,
+    TStep, TWire, TransferModel, TransferState, Wire,
 };
+pub use session::replica::{DeputyState, TakeoverSeed};

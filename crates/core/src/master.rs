@@ -38,17 +38,32 @@
 //! deduplicated by the receiver, re-sent on evidence of loss. The
 //! transition rules are modelled and exhaustively checked in `dlb-analyze`
 //! (restore + transfer models in [`crate::session::model`]).
+//!
+//! Both fault-mode loops also *replicate the control plane*: at each
+//! invocation boundary the master publishes a [`ReplicaMsg`] (membership,
+//! epoch, invocation watermark, newest complete checkpoint, cumulative
+//! recovery counters) to the deputy slaves, and heartbeats them with
+//! [`Msg::MasterPing`] between barriers. When the master crashes the
+//! deputies elect a successor ([`crate::session::replica`]); the winner
+//! re-enters these same loops through [`run_takeover`] with a
+//! [`TakeoverSeed`], which seeds the session from the replica, fences the
+//! new reign behind `term << 32` epochs, rolls the survivors back, and
+//! resumes — bit-exact, because rollback state is value-deterministic. A
+//! master that learns of a higher-term [`Msg::Promoted`] exits silently
+//! with [`ProtocolError::Superseded`]: it writes no outcome and aborts
+//! no one, because exactly one reign per term owns the run.
 
 use crate::balancer::{Balancer, BalancerStats};
 use crate::error::{FaultToleranceConfig, ProtocolError};
 use crate::frequency::PeriodBounds;
-use crate::msg::{Instructions, Msg, UnitData};
+use crate::msg::{Instructions, Msg, ReplicaMsg, UnitData};
 use crate::protocol::SenderWindow;
 use crate::recovery::RecoveryStats;
 use crate::session::master::{
     cancel_spec, channels_settled, merge_max, resolve_evictions, send, CkSession, Eviction,
 };
 use crate::session::membership::Membership;
+use crate::session::replica::TakeoverSeed;
 use crate::session::speculation::RestartSpec;
 use dlb_sim::{ActorCtx, ActorId, CpuWork, SimTime};
 use std::collections::btree_map::Entry;
@@ -106,6 +121,23 @@ pub struct MasterFt {
     pub checkpoint_init: Option<InitUnitFn>,
 }
 
+/// Everything a promoted deputy needs to rebuild the master role in place:
+/// a factory for a fresh [`MasterConfig`] (balancer included — balancer
+/// state is not replicated, it re-learns rates from the first statuses),
+/// the run topology, and the shared outcome slot. Handed to every slave in
+/// fault mode; used only by the election winner.
+pub struct TakeoverKit {
+    /// Rebuilds the master configuration from scratch.
+    pub make_cfg: Box<dyn Fn() -> MasterConfig + Send + Sync>,
+    /// The original master's actor id (fenced with `Promoted` on takeover
+    /// in case it is merely slow, not dead).
+    pub master: ActorId,
+    pub slaves: Vec<ActorId>,
+    pub assignment: Vec<(usize, usize)>,
+    pub block_rows: u64,
+    pub outcome: Arc<Mutex<MasterOutcome>>,
+}
+
 /// Master configuration.
 pub struct MasterConfig {
     pub balancer: Balancer,
@@ -158,6 +190,175 @@ fn slave_recoverable(e: &ProtocolError) -> bool {
     )
 }
 
+/// Master-side failover state: this reign's term, the deputy set, the
+/// replica freshness each deputy has confirmed (piggybacked on
+/// `InvocationDone::replica_inv`), and the heartbeat timer.
+struct Failover {
+    term: u64,
+    deputies: usize,
+    /// Replica freshness confirmed by each deputy.
+    acked: Vec<u64>,
+    next_ping: SimTime,
+}
+
+impl Failover {
+    fn new(n: usize, term: u64, tol: &FaultToleranceConfig, now: SimTime) -> Failover {
+        let deputies = tol.deputies.min(n);
+        Failover {
+            term,
+            deputies,
+            acked: vec![0; deputies],
+            next_ping: now + tol.master_heartbeat,
+        }
+    }
+
+    /// Record a deputy's piggybacked replica confirmation.
+    fn note_ack(&mut self, slave: usize, replica_inv: u64) {
+        if slave < self.deputies {
+            self.acked[slave] = self.acked[slave].max(replica_inv);
+        }
+    }
+
+    /// Heartbeat the live deputies so their election trigger stays quiet
+    /// between barriers. Runs from every timer sweep; rate-limited to the
+    /// configured cadence.
+    fn ping(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        slaves: &[ActorId],
+        alive: &[bool],
+        tol: &FaultToleranceConfig,
+        rec: &mut RecoveryStats,
+    ) {
+        let now = ctx.now();
+        if now < self.next_ping {
+            return;
+        }
+        self.next_ping = now + tol.master_heartbeat;
+        let msg = Msg::MasterPing { term: self.term };
+        for d in 0..self.deputies {
+            if alive[d] {
+                rec.replication_bytes += msg.wire_bytes();
+                send(ctx, slaves[d], msg.clone());
+            }
+        }
+    }
+
+    /// Publish a control-plane replica to every live deputy. The snapshot
+    /// payload rides only to deputies whose confirmed freshness lags
+    /// `fresh` — once a deputy acknowledges holding generation `fresh`,
+    /// further publishes shrink to the cheap scalar core. A lost replica
+    /// self-heals at the next cadence point (the lagging ack keeps the
+    /// snapshot riding along).
+    fn publish(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        slaves: &[ActorId],
+        alive: &[bool],
+        fresh: u64,
+        make: impl Fn(bool) -> ReplicaMsg,
+        rec: &mut RecoveryStats,
+    ) {
+        for d in 0..self.deputies {
+            if !alive[d] {
+                continue;
+            }
+            let with_snapshot = self.acked[d] < fresh;
+            let msg = Msg::Replica(Box::new(make(with_snapshot)));
+            rec.replicas_published += 1;
+            rec.replication_bytes += msg.wire_bytes();
+            send(ctx, slaves[d], msg);
+        }
+    }
+}
+
+/// The election winner's actor body: announce the new reign, then re-enter
+/// the regular fault-mode control loop seeded from the replica. Writes the
+/// shared outcome itself (the crashed master never will); returns `Ok` even
+/// on a failed run — the failure is recorded in the outcome, exactly as
+/// `run_master` records it — so the caller never ships a stray
+/// `SlaveError` to a dead master.
+pub fn run_takeover(
+    ctx: &ActorCtx<Msg>,
+    kit: &TakeoverKit,
+    seed: TakeoverSeed,
+    me: usize,
+) -> Result<(), ProtocolError> {
+    if std::env::var_os("DLB_TRACE").is_some() {
+        eprintln!(
+            "[takeover t={}] slave {me} won term {} (replica inv {})",
+            ctx.now(),
+            seed.term,
+            seed.replica.invocation
+        );
+    }
+    let mut cfg = (kit.make_cfg)();
+    let mut sc = Scratch {
+        // Adopt the crashed master's cumulative counters so the final
+        // report covers the whole run.
+        recovery: seed.replica.recovery.clone(),
+        ..Scratch::default()
+    };
+    sc.recovery.elections_held += 1;
+    sc.recovery.takeover_latency = Some(ctx.now().saturating_since(seed.last_heard));
+    let promoted = Msg::Promoted {
+        term: seed.term,
+        master_idx: me,
+    };
+    for (i, &s) in kit.slaves.iter().enumerate() {
+        if i != me {
+            send(ctx, s, promoted.clone());
+        }
+    }
+    // Fence the old master too, in case it is merely slow, not dead.
+    send(ctx, kit.master, promoted.clone());
+    let ft = cfg.ft.take().expect("takeover requires fault mode");
+    let res = if ft.init_unit.is_some() {
+        run_recoverable(
+            ctx,
+            &mut cfg,
+            &ft,
+            &kit.slaves,
+            &kit.assignment,
+            kit.block_rows,
+            &mut sc,
+            Some((&seed, me)),
+        )
+    } else {
+        run_checkpointed(
+            ctx,
+            &mut cfg,
+            &ft,
+            &kit.slaves,
+            &kit.assignment,
+            kit.block_rows,
+            &mut sc,
+            Some((&seed, me)),
+        )
+    };
+    if matches!(res, Err(ProtocolError::Superseded { .. })) {
+        // A still-newer reign owns the run (and the outcome) now.
+        return Ok(());
+    }
+    if res.is_err() {
+        for (i, &s) in kit.slaves.iter().enumerate() {
+            if i != me {
+                send(ctx, s, Msg::Abort);
+            }
+        }
+    }
+    let mut o = kit.outcome.lock().unwrap_or_else(|p| p.into_inner());
+    o.result = std::mem::take(&mut sc.result);
+    o.timeline = std::mem::take(&mut sc.timeline);
+    o.stats = cfg.balancer.stats();
+    o.bounds = Some(cfg.balancer.period_bounds());
+    o.compute_done = sc.compute_done;
+    o.recovery = sc.recovery;
+    o.completed = res.is_ok();
+    o.error = res.err();
+    Ok(())
+}
+
 /// The master actor body. `slaves` in slave-index order; `assignment` is
 /// the initial block distribution; the outcome lands in `out`.
 pub fn run_master(
@@ -180,6 +381,7 @@ pub fn run_master(
             &assignment,
             block_rows,
             &mut sc,
+            None,
         ),
         Some(ft) => run_checkpointed(
             &ctx,
@@ -189,8 +391,15 @@ pub fn run_master(
             &assignment,
             block_rows,
             &mut sc,
+            None,
         ),
     };
+    if matches!(res, Err(ProtocolError::Superseded { .. })) {
+        // A promoted deputy owns the run now: it writes the outcome and it
+        // commands the slaves. Aborting them or writing a failed outcome
+        // here would sabotage the legitimate reign — exit silently.
+        return;
+    }
     if res.is_err() {
         // Release every slave from whatever it is blocked on. recv_blocking
         // always matches Abort, so this cannot deadlock even outside fault
@@ -412,6 +621,7 @@ fn run_recoverable(
     assignment: &[(usize, usize)],
     block_rows: u64,
     sc: &mut Scratch,
+    takeover: Option<(&TakeoverSeed, usize)>,
 ) -> Result<(), ProtocolError> {
     let n = slaves.len();
     let tol = ft.tolerance.clone();
@@ -426,9 +636,6 @@ fn run_recoverable(
         assignment: assignment.to_vec(),
         block_rows,
     };
-    for &s in slaves {
-        send(ctx, s, start_msg(slaves));
-    }
 
     // Liveness state (suspicion, nudge rate-limiting, barrier flags) lives
     // in the session membership table; re-sends are event-triggered where
@@ -457,25 +664,120 @@ fn run_recoverable(
     let mut recv = vec![vec![0u64; n]; n];
     let mut evictions: Vec<Eviction> = Vec::new();
     let mut spec: Option<RestartSpec> = None;
+    let mut fo = Failover::new(n, takeover.map_or(0, |(s, _)| s.term), &tol, ctx.now());
 
     let mut inv = 0;
+    // Epoch in force: 0 for an original reign. A takeover fences its reign
+    // behind `term << 32` so every pre-promotion epoch is strictly older.
+    let mut cur_epoch = 0u64;
+    let mut released = false;
+    if let Some((seed, me)) = takeover {
+        // Seed the session from the replica instead of broadcasting Start:
+        // the survivors are mid-run. Evict the dead, evict ourselves (the
+        // winner computes no units), and roll everyone back to the
+        // replicated invocation watermark with recomputed unit state.
+        let recompute = ft
+            .recompute_unit
+            .as_ref()
+            .expect("recoverable loop needs recompute_unit");
+        for i in 0..n {
+            if !seed.replica.alive[i] || i == me {
+                memb.evict(i);
+                cfg.balancer.mark_dead(i);
+            }
+        }
+        let survivors = memb.survivors();
+        if survivors.is_empty() {
+            return Err(ProtocolError::AllSlavesDead);
+        }
+        inv = seed.replica.invocation;
+        cur_epoch = (seed.term << 32) | 1;
+        let ranges = crate::driver::block_ranges(n_units, survivors.len());
+        let mut counts = vec![0u64; n];
+        for o in owned.iter_mut() {
+            o.clear();
+        }
+        for (k, &sv) in survivors.iter().enumerate() {
+            let (lo, hi) = ranges[k];
+            counts[sv] = (hi - lo) as u64;
+            owned[sv] = (lo..hi).collect();
+            // Recompute each unit through the completed invocations: the
+            // state at the start of invocation `inv`, bit-identical to what
+            // the survivors would have held.
+            let units: Vec<(usize, UnitData)> = (lo..hi).map(|u| (u, recompute(u, inv))).collect();
+            let epoch = cur_epoch;
+            let survivors_c = survivors.clone();
+            let msg = win[sv]
+                .send_with(|seq| Msg::Rollback {
+                    seq,
+                    epoch,
+                    invocation: inv,
+                    survivors: survivors_c,
+                    ckpt_stride: 1,
+                    units,
+                })
+                .clone();
+            send(ctx, slaves[sv], msg);
+        }
+        sc.recovery.rollbacks += 1;
+        sc.recovery.units_rolled_back += n_units as u64;
+        cfg.balancer.rebase(cur_epoch, counts);
+        // The Rollback doubles as the barrier release for `inv`.
+        released = true;
+    } else {
+        for &s in slaves {
+            send(ctx, s, start_msg(slaves));
+        }
+    }
+
     'invocations: while inv < cfg.invocations {
         cfg.balancer
             .set_remaining_invocations(cfg.invocations - inv);
         if let Some(uph) = &cfg.units_per_hook {
             cfg.balancer.set_units_per_hook(uph(inv));
         }
-        for (i, &s) in slaves.iter().enumerate() {
-            if memb.alive[i] {
-                send(
-                    ctx,
-                    s,
-                    Msg::InvocationStart {
-                        invocation: inv,
-                        ckpt_stride: 1,
-                    },
-                );
+        if released {
+            released = false;
+        } else {
+            for (i, &s) in slaves.iter().enumerate() {
+                if memb.alive[i] {
+                    send(
+                        ctx,
+                        s,
+                        Msg::InvocationStart {
+                            invocation: inv,
+                            ckpt_stride: 1,
+                        },
+                    );
+                }
             }
+        }
+        // Publish the control-plane replica for this barrier: membership,
+        // the invocation watermark a takeover can resume at, and the
+        // cumulative counters. No snapshot — this loop restarts from
+        // `recompute_unit`, so the watermark alone is the whole state.
+        if inv % tol.replicate_every.max(1) == 0 {
+            let term = fo.term;
+            let rec_snap = sc.recovery.clone();
+            let alive = &memb.alive;
+            fo.publish(
+                ctx,
+                slaves,
+                alive,
+                inv,
+                |_| ReplicaMsg {
+                    term,
+                    epoch: cur_epoch,
+                    invocation: inv,
+                    ckpt_stride: 1,
+                    alive: alive.clone(),
+                    fresh: inv,
+                    snapshot: None,
+                    best_banked: 0,
+                    recovery: rec_snap.clone(),
+                },
+                &mut sc.recovery,
+            );
         }
         for s in 0..n {
             memb.done[s] = false;
@@ -497,6 +799,16 @@ fn run_recoverable(
                         let s = st.slave;
                         if !memb.alive[s] {
                             continue; // evicted slave still talking
+                        }
+                        if st.epoch < cur_epoch {
+                            // Pre-takeover traffic from a survivor that has
+                            // not applied this reign's Rollback yet: proof of
+                            // life (defer suspicion) but not of progress —
+                            // only `ping`, so `unheard_for` keeps growing and
+                            // the window re-send timer below fires.
+                            memb.ping(s, ctx.now());
+                            sc.recovery.stale_epoch_dropped += 1;
+                            continue;
                         }
                         memb.heard(s, ctx.now());
                         if spec.as_ref().is_some_and(|sp| sp.suspect == s) {
@@ -546,15 +858,26 @@ fn run_recoverable(
                     Msg::InvocationDone {
                         slave,
                         invocation,
+                        epoch,
                         sent_to,
                         received_from,
                         metric,
                         restore_seq,
                         owned_ids,
-                        ..
+                        replica_inv,
                     } => {
                         if !memb.alive[slave] {
                             sc.recovery.done_dups_ignored += 1;
+                            continue;
+                        }
+                        fo.note_ack(slave, replica_inv);
+                        if epoch < cur_epoch {
+                            // Pre-takeover barrier report: alive, not
+                            // progress (see the Status arm). Its restore_seq
+                            // acknowledges the crashed master's window, not
+                            // ours — never ack.
+                            memb.ping(slave, ctx.now());
+                            sc.recovery.stale_epoch_dropped += 1;
                             continue;
                         }
                         memb.heard(slave, ctx.now());
@@ -679,7 +1002,25 @@ fn run_recoverable(
                             error: Box::new(error),
                         });
                     }
-                    other => return Err(unexpected("recoverable invocation loop", &other)),
+                    // A still-newer reign fenced us out: exit silently, it
+                    // owns the run now. Stale or duplicate Promoted for our
+                    // own (or an older) term is ignored.
+                    Msg::Promoted { term, .. } => {
+                        if term > fo.term {
+                            return Err(ProtocolError::Superseded { term });
+                        }
+                    }
+                    other => {
+                        if takeover.is_some() {
+                            // A promoted deputy still has a slave's address:
+                            // stray peer traffic (late transfers/acks,
+                            // election chatter, messages the crashed master
+                            // had in flight) keeps arriving. All of it is
+                            // pre-reign — tolerate silently.
+                            continue;
+                        }
+                        return Err(unexpected("recoverable invocation loop", &other));
+                    }
                 }
             }
 
@@ -699,6 +1040,9 @@ fn run_recoverable(
                     // Declare dead, fence off its channels, and wait for the
                     // survivors' ownership reports before re-scattering.
                     memb.evict(s);
+                    if std::env::var_os("DLB_TRACE").is_some() {
+                        eprintln!("[master t={now}] declaring slave {s} dead (inv {inv})");
+                    }
                     sc.recovery.slaves_declared_dead += 1;
                     sc.recovery.first_death.get_or_insert(now);
                     send(ctx, slaves[s], Msg::Evict);
@@ -762,7 +1106,7 @@ fn run_recoverable(
                         sc.recovery.speculations_launched += 1;
                     }
                 }
-                if !memb.heard_any[s] && memb.nudge_due(s, now, tol.nudge) {
+                if takeover.is_none() && !memb.heard_any[s] && memb.nudge_due(s, now, tol.nudge) {
                     // A slave that has never spoken a protocol message may
                     // have lost its Start or its first release; its `Alive`
                     // pings refresh the suspicion timer but carry no
@@ -770,7 +1114,9 @@ fn run_recoverable(
                     // the nudge timer. Every other loss is event-triggered
                     // from the receive arms above: a slave missing a
                     // control message keeps heartbeating, and the
-                    // heartbeat itself carries what it is missing.
+                    // heartbeat itself carries what it is missing. (Never
+                    // under a takeover: the survivors are mid-run, and the
+                    // reign's opening move is the Rollback, not a Start.)
                     send(ctx, slaves[s], start_msg(slaves));
                     sc.recovery.start_resends += 1;
                     send(
@@ -782,8 +1128,34 @@ fn run_recoverable(
                         },
                     );
                     sc.recovery.invocation_start_resends += 1;
+                } else if !win[s].fully_acked()
+                    && memb.unheard_for(s, now) >= tol.nudge
+                    && memb.nudge_due(s, now, tol.nudge)
+                {
+                    // Windowed messages outstanding to a slave that has made
+                    // no protocol progress (stale-epoch chatter counts only
+                    // as `ping`): the window content was lost. Replay it —
+                    // under a takeover, led by the Promoted announcement in
+                    // case the slave never learned of the reign (it resets
+                    // the slave's master-channel dedup so the replayed
+                    // Rollback is fresh to it).
+                    if let Some((seed, me)) = takeover {
+                        send(
+                            ctx,
+                            slaves[s],
+                            Msg::Promoted {
+                                term: seed.term,
+                                master_idx: me,
+                            },
+                        );
+                    }
+                    for (_, msg) in win[s].unacked() {
+                        send(ctx, slaves[s], msg.clone());
+                        sc.recovery.restore_resends += 1;
+                    }
                 }
             }
+            fo.ping(ctx, slaves, &memb.alive, &tol, &mut sc.recovery);
             // A lost Evicted (or a lost OwnReport) stalls an eviction; the
             // awaiting survivors are re-notified on the nudge timer. The
             // slave-side dedup makes the re-broadcast idempotent.
@@ -817,6 +1189,12 @@ fn run_recoverable(
     let mut seen: BTreeMap<usize, UnitData> = BTreeMap::new();
     let mut got = vec![false; n];
     let now0 = ctx.now();
+    if std::env::var_os("DLB_TRACE").is_some() {
+        eprintln!(
+            "[master t={now0}] recoverable gather begins, alive {:?}",
+            memb.alive
+        );
+    }
     for (s, &slave_id) in slaves.iter().enumerate() {
         memb.rearm_nudge(s, now0, tol.nudge);
         memb.last_heard[s] = now0;
@@ -911,7 +1289,17 @@ fn run_recoverable(
                         error: Box::new(error),
                     });
                 }
-                other => return Err(unexpected("recoverable gather", &other)),
+                Msg::Promoted { term, .. } => {
+                    if term > fo.term {
+                        return Err(ProtocolError::Superseded { term });
+                    }
+                }
+                other => {
+                    if takeover.is_some() {
+                        continue; // stray pre-reign traffic (see above)
+                    }
+                    return Err(unexpected("recoverable gather", &other));
+                }
             }
         }
         let now = ctx.now();
@@ -937,6 +1325,8 @@ fn run_recoverable(
                 sc.recovery.gather_resends += 1;
             }
         }
+        // Keep the deputies' election trigger quiet through the gather.
+        fo.ping(ctx, slaves, &memb.alive, &tol, &mut sc.recovery);
     }
     // Safety net: any unit no survivor delivered is recomputed locally
     // from initial data (deterministic, so bit-identical to the lost copy).
@@ -965,6 +1355,7 @@ fn run_checkpointed(
     assignment: &[(usize, usize)],
     block_rows: u64,
     sc: &mut Scratch,
+    takeover: Option<(&TakeoverSeed, usize)>,
 ) -> Result<(), ProtocolError> {
     let n = slaves.len();
     let tol = ft.tolerance.clone();
@@ -979,11 +1370,51 @@ fn run_checkpointed(
         assignment: assignment.to_vec(),
         block_rows,
     };
-    for &s in slaves {
-        send(ctx, s, start_msg(slaves));
-    }
 
     let mut st = CkSession::new(ctx.now(), n, &tol);
+    let mut fo = Failover::new(n, takeover.map_or(0, |(s, _)| s.term), &tol, ctx.now());
+    // Window-acknowledgement floor: reports from epochs below the reign
+    // floor acknowledge the *crashed* master's window, never ours.
+    let reign = takeover.map_or(0, |(s, _)| s.term << 32);
+    if let Some((seed, me)) = takeover {
+        // Seed the session from the replica instead of broadcasting Start.
+        // The reign's epochs live above `term << 32`, strictly newer than
+        // anything the old master (or a previous reign) ever issued.
+        st.epoch = seed.term << 32;
+        for i in 0..n {
+            if !seed.replica.alive[i] || i == me {
+                st.memb.evict(i);
+                cfg.balancer.mark_dead(i);
+            }
+        }
+        if !st.memb.any_alive() {
+            return Err(ProtocolError::AllSlavesDead);
+        }
+        if let Some((ck_inv, units)) = seed.replica.snapshot.clone() {
+            st.bank.offer(ck_inv, units, n_units);
+        }
+        // How much further back the run restarts because our replica lagged
+        // the old master's bank (0 = we resume from its newest checkpoint).
+        sc.recovery.checkpoints_lost_to_stale_replica = seed
+            .replica
+            .best_banked
+            .saturating_sub(st.bank.best_invocation().unwrap_or(0));
+        // Roll the survivors back to the newest replicated checkpoint; the
+        // Rollback doubles as the barrier release (`released`).
+        st.rollback(
+            ctx,
+            slaves,
+            &mut cfg.balancer,
+            ck_init,
+            n_units,
+            &tol,
+            &mut sc.recovery,
+        )?;
+    } else {
+        for &s in slaves {
+            send(ctx, s, start_msg(slaves));
+        }
+    }
     // Convergence can end the run early; a post-convergence rollback must
     // not run invocations the converged run never executed.
     let mut target = cfg.invocations;
@@ -1011,6 +1442,39 @@ fn run_checkpointed(
                     }
                 }
             }
+            // Publish the control-plane replica for this barrier. The
+            // freshness a deputy can take over from is the newest complete
+            // banked checkpoint; the snapshot payload rides only until the
+            // deputy confirms holding it (`InvocationDone::replica_inv`).
+            if st.inv.is_multiple_of(tol.replicate_every.max(1)) {
+                let term = fo.term;
+                let fresh = st.bank.best_invocation().unwrap_or(0);
+                let (epoch, invocation, ckpt_stride) = (st.epoch, st.inv, st.ckpt_stride);
+                let rec_snap = sc.recovery.clone();
+                let (alive, bank) = (&st.memb.alive, &st.bank);
+                fo.publish(
+                    ctx,
+                    slaves,
+                    alive,
+                    fresh,
+                    |with_snap| ReplicaMsg {
+                        term,
+                        epoch,
+                        invocation,
+                        ckpt_stride,
+                        alive: alive.clone(),
+                        fresh,
+                        snapshot: if with_snap {
+                            bank.best_snapshot()
+                        } else {
+                            None
+                        },
+                        best_banked: fresh,
+                        recovery: rec_snap.clone(),
+                    },
+                    &mut sc.recovery,
+                );
+            }
             for s in 0..n {
                 st.memb.done[s] = false;
                 st.metrics[s] = 0.0;
@@ -1028,14 +1492,21 @@ fn run_checkpointed(
                             if !st.memb.alive[s] {
                                 continue;
                             }
-                            st.memb.heard(s, ctx.now());
-                            st.cancel_speculation_for(s, &mut sc.recovery);
                             // Epoch fence: a pre-rollback status describes a
-                            // distribution that no longer exists.
+                            // distribution that no longer exists. It proves
+                            // the slave is alive (defer suspicion with
+                            // `ping`) but not that it made protocol progress
+                            // — `unheard_for` keeps growing, so the window
+                            // re-send timer still fires for its lost
+                            // Rollback.
                             if stm.epoch < st.epoch {
+                                st.memb.ping(s, ctx.now());
+                                st.cancel_speculation_for(s, &mut sc.recovery);
                                 sc.recovery.stale_epoch_dropped += 1;
                                 continue;
                             }
+                            st.memb.heard(s, ctx.now());
+                            st.cancel_speculation_for(s, &mut sc.recovery);
                             if stm.epoch > st.epoch || stm.invocation > st.inv {
                                 return Err(unexpected(
                                     "status from the future",
@@ -1080,22 +1551,32 @@ fn run_checkpointed(
                             received_from,
                             metric,
                             restore_seq,
+                            replica_inv,
                             ..
                         } => {
                             if !st.memb.alive[slave] {
                                 sc.recovery.done_dups_ignored += 1;
                                 continue;
                             }
-                            st.memb.heard(slave, ctx.now());
+                            fo.note_ack(slave, replica_inv);
                             st.cancel_speculation_for(slave, &mut sc.recovery);
                             // Ack before the epoch fence: the master-channel
-                            // watermark is not epoch-scoped, and a stale
-                            // report still proves what the slave applied.
-                            st.win[slave].ack(restore_seq);
+                            // watermark is not epoch-scoped within a reign,
+                            // and a stale report still proves what the slave
+                            // applied. Below the reign floor the watermark
+                            // belongs to the crashed master's window — never
+                            // ack.
+                            if epoch >= reign {
+                                st.win[slave].ack(restore_seq);
+                            }
                             if epoch < st.epoch {
+                                // Alive, but pre-rollback: see the Status
+                                // arm.
+                                st.memb.ping(slave, ctx.now());
                                 sc.recovery.stale_epoch_dropped += 1;
                                 continue;
                             }
+                            st.memb.heard(slave, ctx.now());
                             if epoch > st.epoch {
                                 return Err(ProtocolError::Inconsistent {
                                     detail: format!(
@@ -1220,7 +1701,23 @@ fn run_checkpointed(
                                 st.cancel_speculation_for(slave, &mut sc.recovery);
                             }
                         }
-                        other => return Err(unexpected("checkpointed invocation loop", &other)),
+                        // A still-newer reign fenced us out: exit silently,
+                        // it owns the run now.
+                        Msg::Promoted { term, .. } => {
+                            if term > fo.term {
+                                return Err(ProtocolError::Superseded { term });
+                            }
+                        }
+                        other => {
+                            if takeover.is_some() {
+                                // Stray pre-reign traffic at a promoted
+                                // deputy's slave address (late halos, acks,
+                                // election chatter, the crashed master's
+                                // in-flight sends): tolerate silently.
+                                continue;
+                            }
+                            return Err(unexpected("checkpointed invocation loop", &other));
+                        }
                     }
                 }
 
@@ -1248,7 +1745,13 @@ fn run_checkpointed(
                     // `Alive` pings refresh the suspicion timer but cannot
                     // name what it is missing, so silence is not required
                     // here — only the nudge timer.
-                    if !st.memb.heard_any[s] && st.memb.nudge_due(s, now, tol.nudge) {
+                    if takeover.is_none()
+                        && !st.memb.heard_any[s]
+                        && st.memb.nudge_due(s, now, tol.nudge)
+                    {
+                        // (Never under a takeover: the survivors are
+                        // mid-run, and the reign's opening move is the
+                        // Rollback, not a Start.)
                         send(ctx, slaves[s], start_msg(slaves));
                         sc.recovery.start_resends += 1;
                         send(
@@ -1265,15 +1768,31 @@ fn run_checkpointed(
                         && st.memb.nudge_due(s, now, tol.nudge)
                     {
                         // A slave that lost its Rollback cannot event-trigger
-                        // the re-send — it is either parked silent or still
-                        // pinging from a blocked wait — so the timer keys off
-                        // *protocol* silence, which pings do not refresh.
+                        // the re-send — it is either parked silent, still
+                        // pinging from a blocked wait, or chattering from a
+                        // stale epoch — so the timer keys off *protocol*
+                        // silence, which pings do not refresh. Under a
+                        // takeover, lead with the Promoted announcement in
+                        // case the slave never learned of the reign (it
+                        // resets the slave's master-channel dedup so the
+                        // replayed Rollback is fresh to it).
+                        if let Some((seed, me)) = takeover {
+                            send(
+                                ctx,
+                                slaves[s],
+                                Msg::Promoted {
+                                    term: seed.term,
+                                    master_idx: me,
+                                },
+                            );
+                        }
                         for (_, msg) in st.win[s].unacked() {
                             send(ctx, slaves[s], msg.clone());
                             sc.recovery.restore_resends += 1;
                         }
                     }
                 }
+                fo.ping(ctx, slaves, &st.memb.alive, &tol, &mut sc.recovery);
                 if let Some(s) = suspect {
                     st.evict(ctx, slaves, &mut cfg.balancer, s, &mut sc.recovery);
                     st.rollback(
@@ -1410,7 +1929,17 @@ fn run_checkpointed(
                             st.memb.ping(slave, ctx.now());
                         }
                     }
-                    other => return Err(unexpected("checkpointed gather", &other)),
+                    Msg::Promoted { term, .. } => {
+                        if term > fo.term {
+                            return Err(ProtocolError::Superseded { term });
+                        }
+                    }
+                    other => {
+                        if takeover.is_some() {
+                            continue; // stray pre-reign traffic (see above)
+                        }
+                        return Err(unexpected("checkpointed gather", &other));
+                    }
                 }
             }
             let now = ctx.now();
@@ -1438,6 +1967,8 @@ fn run_checkpointed(
                     }
                 }
             }
+            // Keep the deputies' election trigger quiet through the gather.
+            fo.ping(ctx, slaves, &st.memb.alive, &tol, &mut sc.recovery);
             if let Some(s) = dead_in_gather {
                 // Death mid-gather: its un-gathered state is gone, so roll
                 // the survivors back and redo from the newest checkpoint.

@@ -7,7 +7,7 @@
 //! logic is exercised for real and results can be verified bit-for-bit
 //! against sequential execution.
 
-use crate::recovery::SlaveFaultStats;
+use crate::recovery::{RecoveryStats, SlaveFaultStats};
 use dlb_sim::SimDuration;
 
 /// The per-unit application payload: one `Vec<f64>` per moved array (in the
@@ -134,6 +134,38 @@ pub struct TransferMsg {
     pub right_old: Option<Vec<f64>>,
 }
 
+/// Master → deputy: a replica of the master's control-plane state, from
+/// which an elected deputy can rebuild the session after the master dies.
+/// Published at invocation barriers (cadence `replicate_every`) and re-sent
+/// on the nudge timer to deputies whose confirmed snapshot lags the bank.
+#[derive(Clone, Debug)]
+pub struct ReplicaMsg {
+    /// The publishing master's election term (0 = the original master).
+    pub term: u64,
+    /// Current rollback epoch.
+    pub epoch: u64,
+    /// Invocation the master is currently running/settling.
+    pub invocation: u64,
+    /// Checkpoint cadence in force.
+    pub ckpt_stride: u64,
+    /// Membership as the master believes it (`alive[i]` per slave).
+    pub alive: Vec<bool>,
+    /// Replica freshness: the invocation a takeover from this replica can
+    /// resume at (the banked checkpoint's invocation for the checkpointed
+    /// loop, the current invocation for the recoverable loop). Candidates
+    /// advertise it; voters refuse staler candidates.
+    pub fresh: u64,
+    /// Newest complete checkpoint snapshot (checkpointed loop only), sent
+    /// when this deputy has not yet confirmed holding it.
+    pub snapshot: Option<(u64, Vec<(usize, UnitData)>)>,
+    /// The newest complete checkpoint invocation in the master's bank —
+    /// lets a promoted deputy count checkpoints lost to a stale replica.
+    pub best_banked: u64,
+    /// The master's cumulative recovery counters, so a takeover's final
+    /// report covers the whole run, not just the post-failover part.
+    pub recovery: RecoveryStats,
+}
+
 /// All runtime messages.
 #[derive(Clone, Debug)]
 pub enum Msg {
@@ -183,6 +215,10 @@ pub enum Msg {
         /// stale) ownership map, which seeds speculative re-execution when
         /// this slave later falls silent.
         owned_ids: Vec<usize>,
+        /// Deputy replica confirmation: the checkpoint generation this
+        /// slave's replica could take over from (zero for non-deputies).
+        /// Lets the master stop re-shipping snapshots a deputy holds.
+        replica_inv: u64,
     },
     GatherData {
         slave: usize,
@@ -326,6 +362,38 @@ pub enum Msg {
     },
     /// Master → slave: your `GatherData` arrived; safe to terminate.
     GatherAck,
+    // ---- master failover ----
+    /// Master → deputy: control-plane replication (see [`ReplicaMsg`]).
+    /// Counts as protocol traffic for the deputy's master-silence clock.
+    Replica(Box<ReplicaMsg>),
+    /// Master → deputies: pure liveness ping, the master-side analogue of
+    /// [`Msg::Alive`]. Defers the deputies' election trigger without
+    /// carrying replica state (ping clock, not the heard clock).
+    MasterPing {
+        term: u64,
+    },
+    /// Deputy → deputies: the sender stands for master in `term`. `fresh`
+    /// advertises its replica's freshness; voters with a fresher replica
+    /// refuse, so the winner holds the newest replica in its quorum.
+    Candidacy {
+        term: u64,
+        candidate: usize,
+        fresh: u64,
+    },
+    /// Deputy → candidate: vote grant for `term`. A deputy votes at most
+    /// once per term, which makes the election winner unique per term.
+    Vote {
+        term: u64,
+        voter: usize,
+        candidate: usize,
+    },
+    /// Election winner → everyone (slaves and the old master): slave
+    /// `master_idx` is the master for `term`. Receivers redirect their
+    /// master channel; a superseded master exits silently.
+    Promoted {
+        term: u64,
+        master_idx: usize,
+    },
 }
 
 impl Msg {
@@ -379,7 +447,21 @@ impl Msg {
             | Msg::GatherAck
             | Msg::TransferAck { .. }
             | Msg::SpecCancel { .. } => HDR,
-            Msg::SlaveError { .. } => HDR + 64,
+            Msg::SlaveError { error, .. } => HDR + 8 + error.payload_bytes(),
+            Msg::Replica(r) => {
+                // Fixed scalars + membership bitmap + counters block +
+                // the snapshot payload when one rides along.
+                HDR + 48
+                    + r.alive.len() as u64
+                    + RecoveryStats::WIRE_BYTES
+                    + r.snapshot
+                        .as_ref()
+                        .map(|(_, units)| 8 + unit_list(units))
+                        .unwrap_or(0)
+            }
+            Msg::MasterPing { .. } => HDR + 8,
+            Msg::Promoted { .. } => HDR + 16,
+            Msg::Candidacy { .. } | Msg::Vote { .. } => HDR + 24,
         }
     }
 }
@@ -447,5 +529,94 @@ mod tests {
             .wire_bytes()
                 < 128
         );
+    }
+
+    #[test]
+    fn slave_error_wire_cost_tracks_its_payload() {
+        use crate::error::ProtocolError;
+        // The old flat `HDR + 64` estimate undercounted long diagnostics;
+        // the cost now follows the carried error's actual payload.
+        let small = Msg::SlaveError {
+            slave: 0,
+            error: ProtocolError::Aborted,
+        };
+        let detail = "x".repeat(500);
+        let big = Msg::SlaveError {
+            slave: 0,
+            error: ProtocolError::Inconsistent {
+                detail: detail.clone(),
+            },
+        };
+        assert!(small.wire_bytes() < 32 + 64);
+        assert!(
+            big.wire_bytes() >= 32 + detail.len() as u64,
+            "long diagnostics must be charged: {}",
+            big.wire_bytes()
+        );
+        let nested = Msg::SlaveError {
+            slave: 0,
+            error: ProtocolError::SlaveFailed {
+                slave: 3,
+                error: Box::new(ProtocolError::Inconsistent { detail }),
+            },
+        };
+        assert!(nested.wire_bytes() > big.wire_bytes() - 32);
+    }
+
+    #[test]
+    fn replica_wire_cost_counts_snapshot_and_counters() {
+        let bare = Msg::Replica(Box::new(ReplicaMsg {
+            term: 0,
+            epoch: 0,
+            invocation: 3,
+            ckpt_stride: 1,
+            alive: vec![true; 16],
+            fresh: 2,
+            snapshot: None,
+            best_banked: 2,
+            recovery: RecoveryStats::default(),
+        }));
+        let with_snap = Msg::Replica(Box::new(ReplicaMsg {
+            term: 0,
+            epoch: 0,
+            invocation: 3,
+            ckpt_stride: 1,
+            alive: vec![true; 16],
+            fresh: 2,
+            snapshot: Some((
+                2,
+                vec![(0, vec![vec![0.0; 100]]), (1, vec![vec![0.0; 100]])],
+            )),
+            best_banked: 2,
+            recovery: RecoveryStats::default(),
+        }));
+        assert!(bare.wire_bytes() >= 32 + 48 + 16 + RecoveryStats::WIRE_BYTES);
+        assert_eq!(
+            with_snap.wire_bytes(),
+            bare.wire_bytes() + 8 + 2 * (8 + 800)
+        );
+    }
+
+    #[test]
+    fn election_messages_are_small() {
+        for m in [
+            Msg::MasterPing { term: 1 },
+            Msg::Candidacy {
+                term: 1,
+                candidate: 0,
+                fresh: 4,
+            },
+            Msg::Vote {
+                term: 1,
+                voter: 2,
+                candidate: 0,
+            },
+            Msg::Promoted {
+                term: 1,
+                master_idx: 0,
+            },
+        ] {
+            assert!(m.wire_bytes() <= 64, "{m:?} must stay control-sized");
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Recovery bookkeeping for fault-mode runs.
 
-use dlb_sim::SimTime;
+use dlb_sim::{SimDuration, SimTime};
 
 /// Counters describing every recovery action the master and slaves took
 /// during a fault-mode run. All zero for a fault-free run.
@@ -73,13 +73,39 @@ pub struct RecoveryStats {
     pub checkpoints_sent: u64,
     /// Speculation requests computed by survivors.
     pub speculations_computed: u64,
+    // ---- master failover ----
+    /// Master elections held (a deputy reached quorum and took over).
+    pub elections_held: u64,
+    /// Virtual time from the winning deputy last hearing the old master to
+    /// its promotion (the failover blackout), for the last election held.
+    pub takeover_latency: Option<SimDuration>,
+    /// Control-plane replicas published to deputies (one per live deputy
+    /// per cadence point — routine traffic, not a recovery action).
+    pub replicas_published: u64,
+    /// Bytes of control-plane replication the master(s) sent to deputies.
+    pub replication_bytes: u64,
+    /// Checkpoint generations the takeover lost because the winning
+    /// deputy's replica lagged the old master's bank (0 = the takeover
+    /// resumed from the newest checkpoint the old master ever banked).
+    pub checkpoints_lost_to_stale_replica: u64,
 }
 
 impl RecoveryStats {
-    /// Whether any recovery action happened at all.
+    /// Whether any recovery *action* happened at all. Routine control-plane
+    /// replication to deputies runs in every fault-mode run, faults or not,
+    /// so it is excluded.
     pub fn any(&self) -> bool {
-        self != &RecoveryStats::default()
+        let routine = RecoveryStats {
+            replicas_published: self.replicas_published,
+            replication_bytes: self.replication_bytes,
+            ..RecoveryStats::default()
+        };
+        self != &routine
     }
+
+    /// Approximate wire size when these counters travel inside a
+    /// [`crate::msg::ReplicaMsg`].
+    pub const WIRE_BYTES: u64 = 272;
 
     /// Fold one slave's locally-counted fault statistics in (at gather).
     pub fn absorb(&mut self, s: &SlaveFaultStats) {

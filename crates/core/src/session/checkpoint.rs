@@ -38,6 +38,14 @@ impl CheckpointBank {
         self.best.as_ref().map(|(b, _)| *b)
     }
 
+    /// The best complete snapshot as a unit list (ids ascending), for
+    /// replication to a deputy. `None` until a snapshot completes.
+    pub fn best_snapshot(&self) -> Option<(u64, Vec<(usize, UnitData)>)> {
+        self.best
+            .as_ref()
+            .map(|(inv, units)| (*inv, units.iter().map(|(&id, d)| (id, d.clone())).collect()))
+    }
+
     /// Bank a snapshot fragment from one slave. Returns `true` exactly when
     /// this fragment completed the snapshot for `invocation` (it was
     /// promoted to best and older fragments were discarded) — the caller

@@ -187,6 +187,38 @@ mod tests {
         assert!(!m.any_alive());
     }
 
+    /// Deputies reuse a one-row table to watch the *master* under the same
+    /// two-clock rules: `MasterPing` feeds the ping clock and defers the
+    /// election trigger (`silent_for`), while the replica re-request paths
+    /// key off protocol silence (`unheard_for`), which pings never touch.
+    #[test]
+    fn master_watch_pings_defer_election_but_not_replica_staleness() {
+        let nudge = SimDuration::from_secs(2);
+        let mut w = Membership::new(1, t(0), nudge);
+        w.heard(0, t(1_000_000)); // a replica arrived at t=1s
+        for k in 2..=9u64 {
+            w.ping(0, t(k * 1_000_000)); // pings every second after
+        }
+        let now = t(9_500_000);
+        // The election trigger sees half a second of silence…
+        assert_eq!(w.silent_for(0, now), SimDuration::from_micros(500_000));
+        // …while the replica clock shows 8.5 s without protocol progress.
+        assert_eq!(w.unheard_for(0, now), SimDuration::from_micros(8_500_000));
+    }
+
+    /// The reverse edge: protocol traffic alone (no pings at all) must also
+    /// keep the election trigger quiet — `silent_for` is the *later* of the
+    /// two clocks, so neither clock alone can trip it.
+    #[test]
+    fn master_watch_either_clock_defers_the_trigger() {
+        let mut w = Membership::new(1, t(0), SimDuration::from_secs(2));
+        w.ping(0, t(3_000));
+        w.heard(0, t(5_000));
+        assert_eq!(w.silent_for(0, t(6_000)), SimDuration::from_micros(1_000));
+        w.ping(0, t(7_000));
+        assert_eq!(w.silent_for(0, t(8_000)), SimDuration::from_micros(1_000));
+    }
+
     #[test]
     fn barrier_completion_ignores_the_dead() {
         let mut m = Membership::new(3, t(0), SimDuration::from_secs(1));

@@ -19,8 +19,11 @@
 //!   - [`slave`]: the generic checkpointed slave runner (restart loop,
 //!     barrier protocol, gather reply) driven through a
 //!     [`strategy::DistributionStrategy`];
-//!   - [`model`]: model-checkable abstractions of the restore and transfer
-//!     sub-protocols, exhaustively explored by `dlb-analyze`.
+//!   - [`replica`]: the deputy role — control-plane replica absorption,
+//!     master-silence watch, and the epoch-fenced election state machine
+//!     behind master failover;
+//!   - [`model`]: model-checkable abstractions of the restore, transfer,
+//!     and election sub-protocols, exhaustively explored by `dlb-analyze`.
 //! * Engines (`engine_independent`, `engine_pipelined`,
 //!   `engine_shrinking`) — per-dependence-structure strategies: hook
 //!   placement, adjacency constraints, and the actual numerics.
@@ -29,6 +32,7 @@ pub mod checkpoint;
 pub(crate) mod master;
 pub mod membership;
 pub mod model;
+pub mod replica;
 pub mod slave;
 pub mod speculation;
 pub mod strategy;

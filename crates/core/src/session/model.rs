@@ -1,19 +1,25 @@
-//! Model-checkable abstractions of the session kernel's two reliable-delivery
-//! sub-protocols: master→survivor restore scatter ([`RestoreModel`]) and
-//! slave↔slave work migration ([`TransferModel`]).
+//! Model-checkable abstractions of the session kernel's reliable-delivery
+//! and coordination sub-protocols: master→survivor restore scatter
+//! ([`RestoreModel`]), slave↔slave work migration ([`TransferModel`]), and
+//! the deputy election that replaces a crashed master ([`ElectionModel`]).
 //!
-//! Both models run the *same* [`SenderWindow`] / [`AckTracker`] /
+//! The first two models run the *same* [`SenderWindow`] / [`AckTracker`] /
 //! [`TransferWindow`] rules the runtime uses (re-exported from
 //! [`crate::protocol`]), wrapped in an abstracted master/slaves/network
 //! system that `dlb-analyze` exhaustively explores for lost work, duplicate
-//! application, and deadlock. Each model also ships a deliberately broken
-//! variant (acknowledge without dedup) whose counterexample the checker must
-//! find — the E101/E104 fixtures in `dlb-analyze`.
+//! application, and deadlock. The election model mirrors the pure voting
+//! rules of [`crate::session::replica::DeputyState`] (one vote per term,
+//! the newest-replica freshness guard, majority quorum over the full deputy
+//! set) under a dropping/duplicating network, and checks that no term ever
+//! promotes two masters. Each model also ships a deliberately broken
+//! variant (acknowledge without dedup; a voter that forgets which terms it
+//! voted in) whose counterexample the checker must find — the
+//! E101/E104/E107 fixtures in `dlb-analyze`.
 
 use crate::protocol::{AckTracker, SenderWindow, TransferWindow};
 use crate::recovery::redistribute;
 use dlb_sim::TransitionSystem;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A message in flight in the [`RestoreModel`]'s network.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -648,6 +654,346 @@ impl TransitionSystem for TransferModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deputy election (master failover)
+// ---------------------------------------------------------------------------
+
+/// A message in flight in the [`ElectionModel`]'s network. Every variant
+/// carries its recipient so delivery is well-defined under reordering.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EWire {
+    /// Candidate → peer deputy: stand for `term` with replica freshness
+    /// `fresh` (the runtime's [`crate::msg::Msg::Candidacy`]).
+    Candidacy {
+        to: usize,
+        term: u64,
+        candidate: usize,
+        fresh: u64,
+    },
+    /// Voter → candidate: vote granted in `term`
+    /// ([`crate::msg::Msg::Vote`]).
+    Vote { to: usize, term: u64, voter: usize },
+    /// Winner → peer deputy: takeover announcement
+    /// ([`crate::msg::Msg::Promoted`]).
+    Promoted { to: usize, term: u64, winner: usize },
+}
+
+/// One enabled step of the [`ElectionModel`]. Same idempotent-wire
+/// reduction as [`Step`]: re-sending an identical message merges with the
+/// in-flight copy, duplicates apply without consuming.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EStep {
+    /// Deputy `d`'s master-silence timer fires: it stands in a fresh term
+    /// (re-standing abandons any stalled candidacy, as the runtime's
+    /// rate-limited retry does). Bounded by the stand budget.
+    Stand(usize),
+    /// Deliver the `i`-th in-flight message (and consume it).
+    Deliver(usize),
+    /// Deliver a duplicate of the `i`-th message (bounded budget).
+    DeliverCopy(usize),
+    /// Drop the `i`-th message (bounded budget).
+    Drop(usize),
+    /// Deputy `d`'s candidacy reached quorum: it promotes itself and
+    /// announces the takeover.
+    Win(usize),
+}
+
+/// Per-deputy election state in the model — the pure subset of
+/// [`crate::session::replica::DeputyState`] that decides votes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeputyModel {
+    pub term_seen: u64,
+    /// Highest term voted in (including self-votes when standing). The
+    /// broken variant never consults it — the split-brain bug.
+    pub voted_in: u64,
+    /// Term of the live candidacy (0 = not standing).
+    pub standing: u64,
+    /// Voters collected for the live candidacy (includes self).
+    pub votes: BTreeSet<usize>,
+    /// This deputy won and became master; it takes no further part.
+    pub promoted_self: bool,
+}
+
+/// Full [`ElectionModel`] state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ElectionState {
+    pub deps: Vec<DeputyModel>,
+    pub wire: Vec<EWire>,
+    /// Every promotion announced so far, as `(term, winner)` — the
+    /// split-brain invariant reads this.
+    pub promoted: Vec<(u64, usize)>,
+    /// Set when a winner's electing quorum contained a voter with a
+    /// strictly fresher replica: `(term, winner, fresher_voter)`.
+    pub stale_win: Option<(u64, usize, usize)>,
+    pub stands_used: u32,
+    pub drops_used: u32,
+    pub dups_used: u32,
+}
+
+/// The abstracted deputy-set/network system around the election rules of
+/// [`crate::session::replica::DeputyState`].
+///
+/// Every deputy suspects the master (it is dead in this model) and may
+/// stand; the network may drop or duplicate a bounded number of messages;
+/// votes follow the production rules: one vote per term, never for a
+/// candidate whose replica is staler than the voter's, majority of the
+/// *full* deputy set to win. `one_vote_per_term = false` is the
+/// deliberately broken variant whose voters forget which terms they voted
+/// in — the model checker must find the two-winners-one-term counterexample
+/// (`dlb-analyze` maps it to E107). `fresh_guard = false` drops the
+/// newest-replica rule instead, electing a quorum that out-freshes its
+/// winner (E108).
+#[derive(Clone, Debug)]
+pub struct ElectionModel {
+    /// Size of the full deputy set (quorum denominator).
+    pub deputies: usize,
+    /// Per-deputy replica freshness (the election's comparison scale).
+    pub fresh: Vec<u64>,
+    /// Total stands allowed across all deputies (bounds the term space).
+    pub max_stands: u32,
+    pub max_drops: u32,
+    pub max_dups: u32,
+    /// True = the real protocol (a voter spends its vote for the term).
+    pub one_vote_per_term: bool,
+    /// True = the real protocol (no vote for a staler candidate).
+    pub fresh_guard: bool,
+}
+
+impl ElectionModel {
+    /// The standard checked configuration: three deputies with distinct
+    /// replica freshness, three stands, one drop and one duplication
+    /// budget.
+    pub fn standard() -> ElectionModel {
+        ElectionModel {
+            deputies: 3,
+            fresh: vec![2, 1, 0],
+            max_stands: 3,
+            max_drops: 1,
+            max_dups: 1,
+            one_vote_per_term: true,
+            fresh_guard: true,
+        }
+    }
+
+    /// The broken variant: voters forget which terms they voted in, so one
+    /// term can promote two masters (split brain).
+    pub fn broken_split_brain() -> ElectionModel {
+        ElectionModel {
+            one_vote_per_term: false,
+            ..ElectionModel::standard()
+        }
+    }
+
+    /// The broken variant that ignores replica freshness when voting: a
+    /// stale deputy can win while a quorum member holds newer state.
+    pub fn broken_fresh_blind() -> ElectionModel {
+        ElectionModel {
+            fresh_guard: false,
+            ..ElectionModel::standard()
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.deputies / 2 + 1
+    }
+
+    fn deliver(&self, n: &mut ElectionState, msg: EWire) {
+        match msg {
+            EWire::Candidacy {
+                to,
+                term,
+                candidate,
+                fresh,
+            } => {
+                let dep = &mut n.deps[to];
+                dep.term_seen = dep.term_seen.max(term);
+                if dep.promoted_self {
+                    return; // Now a master; election traffic is inert.
+                }
+                let spent = self.one_vote_per_term && term <= dep.voted_in;
+                let staler = self.fresh_guard && fresh < self.fresh[to];
+                if spent || staler {
+                    return;
+                }
+                dep.voted_in = dep.voted_in.max(term);
+                insert_unique_e(
+                    &mut n.wire,
+                    EWire::Vote {
+                        to: candidate,
+                        term,
+                        voter: to,
+                    },
+                );
+            }
+            EWire::Vote { to, term, voter } => {
+                let dep = &mut n.deps[to];
+                dep.term_seen = dep.term_seen.max(term);
+                // Counted only while standing in exactly that term (late
+                // votes for abandoned candidacies are inert).
+                if !dep.promoted_self && dep.standing == term {
+                    dep.votes.insert(voter);
+                }
+            }
+            EWire::Promoted {
+                to,
+                term,
+                winner: _,
+            } => {
+                let dep = &mut n.deps[to];
+                dep.term_seen = dep.term_seen.max(term);
+                // Stand down any candidacy the promotion outranks.
+                if dep.standing != 0 && dep.standing <= term {
+                    dep.standing = 0;
+                    dep.votes.clear();
+                }
+            }
+        }
+    }
+
+    fn quiescent(&self, s: &ElectionState) -> bool {
+        s.wire.is_empty()
+    }
+}
+
+fn insert_unique_e(wire: &mut Vec<EWire>, msg: EWire) {
+    if let Err(at) = wire.binary_search(&msg) {
+        wire.insert(at, msg);
+    }
+}
+
+impl TransitionSystem for ElectionModel {
+    type State = ElectionState;
+    type Action = EStep;
+
+    fn initial(&self) -> ElectionState {
+        ElectionState {
+            deps: vec![DeputyModel::default(); self.deputies],
+            wire: Vec::new(),
+            promoted: Vec::new(),
+            stale_win: None,
+            stands_used: 0,
+            drops_used: 0,
+            dups_used: 0,
+        }
+    }
+
+    fn actions(&self, s: &ElectionState) -> Vec<EStep> {
+        let mut out = Vec::new();
+        for d in 0..self.deputies {
+            if s.stands_used < self.max_stands && !s.deps[d].promoted_self {
+                out.push(EStep::Stand(d));
+            }
+            if !s.deps[d].promoted_self
+                && s.deps[d].standing != 0
+                && s.deps[d].votes.len() >= self.quorum()
+            {
+                out.push(EStep::Win(d));
+            }
+        }
+        for i in 0..s.wire.len() {
+            out.push(EStep::Deliver(i));
+            if s.drops_used < self.max_drops {
+                out.push(EStep::Drop(i));
+            }
+            if s.dups_used < self.max_dups {
+                out.push(EStep::DeliverCopy(i));
+            }
+        }
+        out
+    }
+
+    fn apply(&self, s: &ElectionState, a: &EStep) -> ElectionState {
+        let mut n = s.clone();
+        match a {
+            EStep::Stand(d) => {
+                let term = n.deps[*d].term_seen + 1;
+                let dep = &mut n.deps[*d];
+                dep.term_seen = term;
+                dep.voted_in = term; // self-vote spends the term
+                dep.standing = term;
+                dep.votes = BTreeSet::from([*d]);
+                n.stands_used += 1;
+                for to in (0..self.deputies).filter(|&to| to != *d) {
+                    insert_unique_e(
+                        &mut n.wire,
+                        EWire::Candidacy {
+                            to,
+                            term,
+                            candidate: *d,
+                            fresh: self.fresh[*d],
+                        },
+                    );
+                }
+            }
+            EStep::Deliver(i) => {
+                let msg = n.wire.remove(*i);
+                self.deliver(&mut n, msg);
+            }
+            EStep::DeliverCopy(i) => {
+                let msg = n.wire[*i].clone();
+                n.dups_used += 1;
+                self.deliver(&mut n, msg);
+            }
+            EStep::Drop(i) => {
+                n.wire.remove(*i);
+                n.drops_used += 1;
+            }
+            EStep::Win(d) => {
+                let term = n.deps[*d].standing;
+                if let Some(fresher) = n.deps[*d]
+                    .votes
+                    .iter()
+                    .find(|&&v| self.fresh[v] > self.fresh[*d])
+                {
+                    n.stale_win = Some((term, *d, *fresher));
+                }
+                n.promoted.push((term, *d));
+                n.promoted.sort_unstable();
+                let dep = &mut n.deps[*d];
+                dep.promoted_self = true;
+                dep.standing = 0;
+                dep.votes.clear();
+                for to in (0..self.deputies).filter(|&to| to != *d) {
+                    insert_unique_e(
+                        &mut n.wire,
+                        EWire::Promoted {
+                            to,
+                            term,
+                            winner: *d,
+                        },
+                    );
+                }
+            }
+        }
+        n
+    }
+
+    fn violation(&self, s: &ElectionState) -> Option<String> {
+        for pair in s.promoted.windows(2) {
+            if pair[0].0 == pair[1].0 && pair[0].1 != pair[1].1 {
+                return Some(format!(
+                    "split brain: deputies {} and {} both promoted in term {}",
+                    pair[0].1, pair[1].1, pair[0].0
+                ));
+            }
+        }
+        if let Some((term, winner, voter)) = s.stale_win {
+            return Some(format!(
+                "stale replica won term {term}: deputy {winner} (fresh {}) elected by \
+                 fresher voter {voter} (fresh {})",
+                self.fresh[winner], self.fresh[voter]
+            ));
+        }
+        None
+    }
+
+    fn is_accepting(&self, s: &ElectionState) -> bool {
+        // Bounded model: liveness (someone eventually wins) is out of
+        // scope; any drained-wire terminal state is a legitimate end.
+        self.quiescent(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -741,5 +1087,152 @@ mod tests {
         s = m.apply(&s, &TStep::Deliver(0));
         let v = m.violation(&s).expect("duplicate apply must be detected");
         assert!(v.contains("duplicate work unit"), "{v}");
+    }
+
+    #[test]
+    fn election_single_candidate_wins_cleanly() {
+        let m = ElectionModel::standard();
+        let mut s = m.initial();
+        s = m.apply(&s, &EStep::Stand(0)); // freshest deputy stands first
+        while let Some(i) = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, EWire::Candidacy { .. }))
+        {
+            s = m.apply(&s, &EStep::Deliver(i));
+        }
+        while let Some(i) = s.wire.iter().position(|w| matches!(w, EWire::Vote { .. })) {
+            s = m.apply(&s, &EStep::Deliver(i));
+        }
+        assert!(m.actions(&s).contains(&EStep::Win(0)), "quorum reached");
+        s = m.apply(&s, &EStep::Win(0));
+        assert_eq!(m.violation(&s), None);
+        assert_eq!(s.promoted, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn election_one_vote_per_term_blocks_the_second_winner() {
+        let m = ElectionModel::standard();
+        let mut s = m.initial();
+        // Deputies 0 and 1 both stand in term 1 (neither has heard the
+        // other), and deputy 2 sees both candidacies.
+        s = m.apply(&s, &EStep::Stand(0));
+        s = m.apply(&s, &EStep::Stand(1));
+        let to2: Vec<usize> = (0..s.wire.len())
+            .filter(|&i| matches!(s.wire[i], EWire::Candidacy { to: 2, .. }))
+            .collect();
+        assert_eq!(to2.len(), 2);
+        // Deliver both candidacies to deputy 2 (highest index first so the
+        // removal indices stay valid): only ONE vote leaves.
+        s = m.apply(&s, &EStep::Deliver(to2[1]));
+        s = m.apply(&s, &EStep::Deliver(to2[0]));
+        let votes = s
+            .wire
+            .iter()
+            .filter(|w| matches!(w, EWire::Vote { voter: 2, .. }))
+            .count();
+        assert_eq!(votes, 1, "term 1 is spent after the first grant");
+    }
+
+    #[test]
+    fn broken_election_variant_promotes_two_masters_in_one_term() {
+        let m = ElectionModel::broken_split_brain();
+        let mut s = m.initial();
+        s = m.apply(&s, &EStep::Stand(0));
+        s = m.apply(&s, &EStep::Stand(1));
+        // The forgetful voter (deputy 2) grants term 1 twice.
+        while let Some(i) = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, EWire::Candidacy { to: 2, .. }))
+        {
+            s = m.apply(&s, &EStep::Deliver(i));
+        }
+        while let Some(i) = s.wire.iter().position(|w| matches!(w, EWire::Vote { .. })) {
+            s = m.apply(&s, &EStep::Deliver(i));
+        }
+        s = m.apply(&s, &EStep::Win(0));
+        assert_eq!(m.violation(&s), None, "one winner is still legal");
+        s = m.apply(&s, &EStep::Win(1));
+        let v = m.violation(&s).expect("split brain must be detected");
+        assert!(v.contains("split brain"), "{v}");
+    }
+
+    #[test]
+    fn fresh_blind_variant_elects_a_stale_winner() {
+        let m = ElectionModel::broken_fresh_blind();
+        let mut s = m.initial();
+        // The stalest deputy stands; without the freshness guard the
+        // freshest deputy still votes for it.
+        s = m.apply(&s, &EStep::Stand(2));
+        while let Some(i) = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, EWire::Candidacy { .. }))
+        {
+            s = m.apply(&s, &EStep::Deliver(i));
+        }
+        while let Some(i) = s.wire.iter().position(|w| matches!(w, EWire::Vote { .. })) {
+            s = m.apply(&s, &EStep::Deliver(i));
+        }
+        s = m.apply(&s, &EStep::Win(2));
+        let v = m.violation(&s).expect("stale winner must be detected");
+        assert!(v.contains("stale replica"), "{v}");
+    }
+
+    #[test]
+    fn election_vote_rule_matches_production_deputy_state() {
+        use crate::error::FaultToleranceConfig;
+        use crate::session::replica::DeputyState;
+        use dlb_sim::SimTime;
+
+        // The model's grant/refuse decision must agree with
+        // `DeputyState::on_candidacy` case by case. Model deputy 0 holds
+        // freshness 2 (ElectionModel::standard); give the production deputy
+        // the same effective freshness via its replica watermark.
+        let tol = FaultToleranceConfig::default();
+        let mut prod = DeputyState::new(0, 3, 4, false, SimTime::ZERO, &tol);
+        let mut r = prod.replica.clone();
+        r.invocation = 2;
+        prod.absorb(r, SimTime::ZERO);
+
+        let m = ElectionModel::standard();
+        let cases = [
+            (1u64, 1usize, 1u64, false), // staler candidate: refuse
+            (1, 1, 2, true),             // tie: grant
+            (1, 2, 9, false),            // term spent: refuse
+            (2, 2, 2, true),             // new term: grant
+        ];
+        let mut s = m.initial();
+        for (term, candidate, fresh, expect_grant) in cases {
+            let granted = !prod.on_candidacy(term, candidate, fresh).is_empty();
+            assert_eq!(granted, expect_grant, "production at term {term}");
+            let before = s
+                .wire
+                .iter()
+                .filter(|w| matches!(w, EWire::Vote { .. }))
+                .count();
+            insert_unique_e(
+                &mut s.wire,
+                EWire::Candidacy {
+                    to: 0,
+                    term,
+                    candidate,
+                    fresh,
+                },
+            );
+            let at = s
+                .wire
+                .iter()
+                .position(|w| matches!(w, EWire::Candidacy { to: 0, .. }))
+                .unwrap();
+            s = m.apply(&s, &EStep::Deliver(at));
+            let after = s
+                .wire
+                .iter()
+                .filter(|w| matches!(w, EWire::Vote { .. }))
+                .count();
+            assert_eq!(after > before, expect_grant, "model at term {term}");
+        }
     }
 }

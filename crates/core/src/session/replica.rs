@@ -1,0 +1,499 @@
+//! Deputy-side master failover: replica absorption, master-silence watch,
+//! and the epoch-fenced election state machine.
+//!
+//! The lowest-ranked `deputies` slaves each hold a [`DeputyState`]: a copy
+//! of the master's control-plane replica ([`crate::msg::ReplicaMsg`]), a
+//! one-row [`Membership`] table watching the *master's* liveness with the
+//! same two-clock rules slaves are watched by, and the election bookkeeping
+//! (terms, one vote per term, quorum counting).
+//!
+//! The state machine is pure: every input returns the messages to send as
+//! `(slave_index, Msg)` pairs and never touches an actor context, so the
+//! whole election is unit-testable without a simulator.
+//!
+//! ## Election rules
+//!
+//! * A deputy **stands** when the master has shown no sign of life (neither
+//!   protocol traffic nor [`crate::msg::Msg::MasterPing`]) for
+//!   `master_suspicion + rank × election_stagger`. The stagger makes the
+//!   lowest live rank stand first, so the common case is a one-candidate
+//!   election.
+//! * Standing picks the term `term_seen + 1`, votes for itself, and
+//!   broadcasts [`crate::msg::Msg::Candidacy`] to the other deputies.
+//! * A deputy **grants** a vote iff the candidacy's term is newer than any
+//!   term it already voted in (one vote per term — this is what makes two
+//!   winners in one term impossible) *and* the candidate's replica is at
+//!   least as fresh as its own (the newest-replica rule; ties go to the
+//!   first candidacy to arrive, which the stagger biases toward the lowest
+//!   rank).
+//! * A candidate **wins** on a majority of the full deputy set (dead
+//!   deputies count against the quorum, never for it). With one deputy the
+//!   self-vote is the majority and the stand wins instantly.
+//! * A candidacy that stalls (lost messages, dead voters) is retried after
+//!   one more suspicion window *plus the rank stagger*, in a fresh term.
+//!   Re-applying the stagger on every retry keeps the ranks separated even
+//!   if a round dueled (two deputies standing in the same heartbeat slice,
+//!   each refusing the other because its own vote for the term was spent) —
+//!   without it, dueling candidates stay phase-locked forever. For the same
+//!   reason the stagger must be coarser than the heartbeat slice that
+//!   drives the election timer (see
+//!   [`FaultToleranceConfig::election_stagger`]).
+//!
+//! Exactly one winner can reach quorum in a given term; distinct terms may
+//! each have a winner, and [`crate::msg::Msg::Promoted`] fencing resolves
+//! that: the higher term supersedes the lower
+//! ([`crate::error::ProtocolError::Superseded`]).
+
+use crate::error::FaultToleranceConfig;
+use crate::msg::{Msg, ReplicaMsg};
+use crate::recovery::RecoveryStats;
+use crate::session::membership::Membership;
+use dlb_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// Everything the election winner needs to take over as master: carried out
+/// of the engine unwind by `SlaveCommon::takeover`.
+#[derive(Clone, Debug)]
+pub struct TakeoverSeed {
+    /// The term this deputy won; fences the takeover epoch.
+    pub term: u64,
+    /// The newest control-plane replica it holds.
+    pub replica: ReplicaMsg,
+    /// When it last heard the old master (either clock) — the start of the
+    /// failover blackout, for `takeover_latency`.
+    pub last_heard: SimTime,
+}
+
+/// The deputy role riding alongside a slave: replica storage, master watch,
+/// and election state.
+#[derive(Clone, Debug)]
+pub struct DeputyState {
+    /// This deputy's rank == its slave index (deputies are slaves
+    /// `0..n_deputies`).
+    pub idx: usize,
+    /// Size of the full deputy set (quorum denominator).
+    pub n_deputies: usize,
+    /// Whether the engine banks checkpoints: decides how replica freshness
+    /// is measured (checkpointed → held snapshot's invocation; independent
+    /// → the replica's invocation watermark).
+    pub checkpointed: bool,
+    /// One-row liveness table watching the master (index 0 = the master),
+    /// under the same two-clock rules the master applies to slaves.
+    pub watch: Membership,
+    /// Newest control-plane replica received (term-gated).
+    pub replica: ReplicaMsg,
+    /// Highest term seen anywhere (candidacies, votes, pings, promotions).
+    pub term_seen: u64,
+    /// Highest term this deputy has voted in (including for itself).
+    voted_in: u64,
+    /// `Some(term)` while standing as a candidate in `term`.
+    standing: Option<u64>,
+    /// Voters collected for the current candidacy (includes self).
+    votes: BTreeSet<usize>,
+    /// Earliest instant a (re-)stand is allowed: rate-limits candidacies.
+    next_stand_ok: SimTime,
+}
+
+impl DeputyState {
+    pub fn new(
+        idx: usize,
+        n_deputies: usize,
+        n_slaves: usize,
+        checkpointed: bool,
+        now: SimTime,
+        tol: &FaultToleranceConfig,
+    ) -> DeputyState {
+        DeputyState {
+            idx,
+            n_deputies,
+            checkpointed,
+            watch: Membership::new(1, now, tol.nudge),
+            replica: ReplicaMsg {
+                term: 0,
+                epoch: 0,
+                invocation: 0,
+                ckpt_stride: 1,
+                alive: vec![true; n_slaves],
+                fresh: 0,
+                snapshot: None,
+                best_banked: 0,
+                recovery: RecoveryStats::default(),
+            },
+            term_seen: 0,
+            voted_in: 0,
+            standing: None,
+            votes: BTreeSet::new(),
+            next_stand_ok: now + tol.master_suspicion,
+        }
+    }
+
+    /// Votes needed to win: a majority of the *full* deputy set.
+    pub fn quorum(&self) -> usize {
+        self.n_deputies / 2 + 1
+    }
+
+    /// Record protocol traffic from the master (replica, rollback, any
+    /// control message): defers the election trigger.
+    pub fn master_heard(&mut self, now: SimTime) {
+        self.watch.heard(0, now);
+    }
+
+    /// Record a bare [`crate::msg::Msg::MasterPing`]: defers the election
+    /// trigger on the ping clock only, mirroring how slave `Alive` pings
+    /// defer suspicion without counting as protocol progress.
+    pub fn master_ping(&mut self, term: u64, now: SimTime) {
+        self.watch.ping(0, now);
+        self.term_seen = self.term_seen.max(term);
+    }
+
+    /// Absorb a control-plane replica. Stale terms (an old master still
+    /// flushing) are ignored; within the current term the newest message
+    /// wins, but a held snapshot is never discarded just because a newer
+    /// replica chose not to re-ship it.
+    pub fn absorb(&mut self, r: ReplicaMsg, now: SimTime) {
+        if r.term < self.replica.term {
+            return;
+        }
+        self.term_seen = self.term_seen.max(r.term);
+        self.master_heard(now);
+        let held = self.replica.snapshot.take();
+        let keep_held = match (&r.snapshot, &held) {
+            (None, Some(_)) => true,
+            (Some((new_inv, _)), Some((held_inv, _))) => held_inv > new_inv,
+            _ => false,
+        };
+        self.replica = r;
+        if keep_held {
+            self.replica.snapshot = held;
+        }
+    }
+
+    /// How fresh this deputy's replica is, on the scale the election
+    /// compares: checkpointed engines can only restart from a snapshot they
+    /// actually hold; the independent engine recomputes from the invocation
+    /// watermark alone.
+    pub fn effective_fresh(&self) -> u64 {
+        if self.checkpointed {
+            self.replica
+                .snapshot
+                .as_ref()
+                .map(|(inv, _)| *inv)
+                .unwrap_or(0)
+        } else {
+            self.replica.invocation
+        }
+    }
+
+    /// Timer check: stand for election when the master has been silent past
+    /// this rank's staggered threshold. Returns candidacy broadcasts (empty
+    /// when not standing). Call [`Self::won`] afterwards — with one deputy
+    /// the self-vote wins immediately.
+    pub fn tick(&mut self, now: SimTime, tol: &FaultToleranceConfig) -> Vec<(usize, Msg)> {
+        let threshold = tol.master_suspicion + tol.election_stagger * (self.idx as u64);
+        if self.watch.silent_for(0, now) < threshold || now < self.next_stand_ok {
+            return Vec::new();
+        }
+        let term = self.term_seen + 1;
+        self.term_seen = term;
+        self.voted_in = term;
+        self.standing = Some(term);
+        self.votes = BTreeSet::from([self.idx]);
+        // The retry backoff re-applies the rank stagger: if a round ever
+        // duels (two candidacies crossing on the wire, each refused because
+        // the voter spent its term on itself), the retries separate by rank
+        // again instead of staying phase-locked in dueling candidacies.
+        self.next_stand_ok = now + tol.master_suspicion + tol.election_stagger * (self.idx as u64);
+        let fresh = self.effective_fresh();
+        (0..self.n_deputies)
+            .filter(|&d| d != self.idx)
+            .map(|d| {
+                (
+                    d,
+                    Msg::Candidacy {
+                        term,
+                        candidate: self.idx,
+                        fresh,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// A peer deputy stood. Grant a vote iff the term is newer than any we
+    /// voted in and the candidate's replica is at least as fresh as ours.
+    pub fn on_candidacy(&mut self, term: u64, candidate: usize, fresh: u64) -> Vec<(usize, Msg)> {
+        self.term_seen = self.term_seen.max(term);
+        if candidate == self.idx || term <= self.voted_in || fresh < self.effective_fresh() {
+            return Vec::new();
+        }
+        self.voted_in = term;
+        vec![(
+            candidate,
+            Msg::Vote {
+                term,
+                voter: self.idx,
+                candidate,
+            },
+        )]
+    }
+
+    /// A vote arrived. Counted only while standing in exactly that term for
+    /// exactly this deputy (late votes for abandoned candidacies are inert).
+    pub fn on_vote(&mut self, term: u64, voter: usize, candidate: usize) {
+        self.term_seen = self.term_seen.max(term);
+        if self.standing == Some(term) && candidate == self.idx {
+            self.votes.insert(voter);
+        }
+    }
+
+    /// `Some(term)` when the current candidacy has reached quorum.
+    pub fn won(&self) -> Option<u64> {
+        self.standing.filter(|_| self.votes.len() >= self.quorum())
+    }
+
+    /// A master was promoted in `term`. Stand down any candidacy it
+    /// outranks and start watching the new master's clocks from now.
+    pub fn on_promoted(&mut self, term: u64, now: SimTime) {
+        self.term_seen = self.term_seen.max(term);
+        if self.standing.is_some_and(|t| t <= term) {
+            self.standing = None;
+            self.votes.clear();
+        }
+        self.replica.term = self.replica.term.max(term);
+        self.watch.heard(0, now);
+    }
+
+    /// Package the takeover seed after winning `term`.
+    pub fn seed(&self, term: u64) -> TakeoverSeed {
+        TakeoverSeed {
+            term,
+            replica: self.replica.clone(),
+            last_heard: self.watch.last_heard[0].max(self.watch.last_ping[0]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn tol() -> FaultToleranceConfig {
+        FaultToleranceConfig::default() // suspicion 8 s, stagger 2 s
+    }
+
+    fn deputy(idx: usize, n: usize, checkpointed: bool) -> DeputyState {
+        DeputyState::new(idx, n, 16, checkpointed, t(0), &tol())
+    }
+
+    fn replica(term: u64, invocation: u64, snapshot: Option<u64>) -> ReplicaMsg {
+        ReplicaMsg {
+            term,
+            epoch: 0,
+            invocation,
+            ckpt_stride: 1,
+            alive: vec![true; 16],
+            fresh: snapshot.unwrap_or(invocation),
+            snapshot: snapshot.map(|inv| (inv, vec![(0, vec![vec![1.0]])])),
+            best_banked: snapshot.unwrap_or(0),
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    #[test]
+    fn stagger_orders_candidacies_by_rank() {
+        let mut d0 = deputy(0, 3, false);
+        let mut d1 = deputy(1, 3, false);
+        // Rank 0 stands right at the suspicion threshold…
+        assert!(d0.tick(t(7_999), &tol()).is_empty());
+        let msgs = d0.tick(t(8_000), &tol());
+        assert_eq!(msgs.len(), 2, "candidacy goes to the other two deputies");
+        assert!(matches!(
+            msgs[0],
+            (
+                1,
+                Msg::Candidacy {
+                    term: 1,
+                    candidate: 0,
+                    ..
+                }
+            )
+        ));
+        // …rank 1 must wait one extra stagger.
+        assert!(d1.tick(t(9_999), &tol()).is_empty());
+        assert!(!d1.tick(t(10_000), &tol()).is_empty());
+    }
+
+    #[test]
+    fn master_pings_defer_the_stand_but_not_forever() {
+        let mut d = deputy(0, 3, false);
+        d.master_ping(0, t(6_000));
+        assert!(d.tick(t(8_000), &tol()).is_empty(), "ping reset the clock");
+        assert!(
+            !d.tick(t(14_000), &tol()).is_empty(),
+            "silence since the ping"
+        );
+    }
+
+    #[test]
+    fn one_vote_per_term_and_staleness_guard() {
+        let mut d = deputy(2, 3, false);
+        d.absorb(replica(0, 5, None), t(100));
+        // A candidate with a staler replica is refused…
+        assert!(d.on_candidacy(1, 0, 4).is_empty());
+        // …a tie is granted (lowest rank stands first, so ties go to it)…
+        let v = d.on_candidacy(1, 0, 5);
+        assert!(matches!(
+            v[0],
+            (
+                0,
+                Msg::Vote {
+                    term: 1,
+                    voter: 2,
+                    candidate: 0
+                }
+            )
+        ));
+        // …and the term is now spent, even for a fresher rival.
+        assert!(d.on_candidacy(1, 1, 9).is_empty());
+        assert!(!d.on_candidacy(2, 1, 9).is_empty(), "new term, new vote");
+    }
+
+    #[test]
+    fn standing_consumes_own_vote_for_the_term() {
+        let mut d = deputy(0, 3, false);
+        let msgs = d.tick(t(8_000), &tol());
+        assert_eq!(msgs.len(), 2);
+        assert!(
+            d.on_candidacy(1, 1, u64::MAX).is_empty(),
+            "already voted for self"
+        );
+        assert!(!d.on_candidacy(2, 1, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn quorum_counts_the_full_deputy_set() {
+        let mut d = deputy(0, 3, false);
+        d.tick(t(8_000), &tol());
+        assert_eq!(d.won(), None, "self-vote alone is 1 of 3");
+        d.on_vote(1, 5, 0); // vote for someone else's term? no: term 1, us
+        assert_eq!(d.won(), Some(1), "2 of 3 is a majority");
+        // A single-deputy set wins on the stand itself.
+        let mut solo = deputy(0, 1, false);
+        solo.tick(t(8_000), &tol());
+        assert_eq!(solo.won(), Some(1));
+    }
+
+    #[test]
+    fn late_votes_for_other_terms_or_candidates_are_inert() {
+        let mut d = deputy(0, 3, false);
+        d.tick(t(8_000), &tol());
+        d.on_vote(2, 1, 0); // wrong term
+        d.on_vote(1, 1, 2); // wrong candidate
+        assert_eq!(d.won(), None);
+    }
+
+    #[test]
+    fn dueling_retry_backoff_restores_rank_order() {
+        let cfg = tol();
+        let mut d1 = deputy(1, 3, false);
+        let mut d2 = deputy(2, 3, false);
+        // Rank 0 is dead and the survivors' timer wakes aligned: both stand
+        // in the same heartbeat slice, candidacies cross on the wire, and
+        // each refuses the other (its own vote for the term is spent).
+        assert!(!d1.tick(t(12_000), &cfg).is_empty());
+        assert!(!d2.tick(t(12_000), &cfg).is_empty());
+        assert!(d1.on_candidacy(1, 2, 0).is_empty(), "vote spent on self");
+        assert!(d2.on_candidacy(1, 1, 0).is_empty(), "vote spent on self");
+        // The retry backoff re-applies the stagger: rank 1 re-stands a full
+        // stagger before rank 2 is allowed to, so its fresh-term candidacy
+        // lands while rank 2 is still rate-limited — and collects the vote.
+        let retry = t(12_000) + cfg.master_suspicion + cfg.election_stagger;
+        assert!(!d1.tick(retry, &cfg).is_empty(), "rank 1 re-stands first");
+        assert!(d2.tick(retry, &cfg).is_empty(), "rank 2 still rate-limited");
+        let v = d2.on_candidacy(2, 1, 0);
+        assert!(matches!(
+            v[0],
+            (
+                1,
+                Msg::Vote {
+                    term: 2,
+                    voter: 2,
+                    candidate: 1
+                }
+            )
+        ));
+        d1.on_vote(2, 2, 1);
+        assert_eq!(d1.won(), Some(2), "the duel breaks on the first retry");
+    }
+
+    #[test]
+    fn restand_is_rate_limited_and_bumps_the_term() {
+        let cfg = tol();
+        let mut d = deputy(0, 3, false);
+        assert!(!d.tick(t(8_000), &cfg).is_empty());
+        assert!(d.tick(t(9_000), &cfg).is_empty(), "too soon to re-stand");
+        let again = d.tick(t(16_000), &cfg);
+        assert!(matches!(again[0].1, Msg::Candidacy { term: 2, .. }));
+    }
+
+    #[test]
+    fn absorb_is_term_gated_and_keeps_the_newest_snapshot() {
+        let mut d = deputy(1, 3, true);
+        d.absorb(replica(1, 4, Some(3)), t(100));
+        assert_eq!(
+            d.effective_fresh(),
+            3,
+            "checkpointed freshness = held snapshot"
+        );
+        // A newer replica without a snapshot keeps the held one…
+        d.absorb(replica(1, 6, None), t(200));
+        assert_eq!(d.replica.invocation, 6);
+        assert_eq!(d.effective_fresh(), 3);
+        // …a stale-term replica is dropped wholesale…
+        d.absorb(replica(0, 9, Some(9)), t(300));
+        assert_eq!(d.replica.invocation, 6);
+        // …and a newer snapshot replaces the held one.
+        d.absorb(replica(1, 7, Some(5)), t(400));
+        assert_eq!(d.effective_fresh(), 5);
+    }
+
+    #[test]
+    fn independent_freshness_is_the_invocation_watermark() {
+        let mut d = deputy(1, 3, false);
+        d.absorb(replica(0, 7, None), t(100));
+        assert_eq!(d.effective_fresh(), 7);
+    }
+
+    #[test]
+    fn promotion_stands_down_outranked_candidacies_only() {
+        let cfg = tol();
+        let mut d = deputy(0, 3, false);
+        d.tick(t(8_000), &cfg); // standing in term 1
+        d.on_promoted(1, t(8_100));
+        assert_eq!(d.won(), None, "stood down");
+        assert!(d.tick(t(8_200), &cfg).is_empty(), "new master is live");
+        // A *lower*-term promotion does not cancel a newer candidacy.
+        let mut d = deputy(0, 3, false);
+        d.term_seen = 4;
+        d.tick(t(8_000), &cfg); // standing in term 5
+        d.on_promoted(3, t(8_001));
+        d.on_vote(5, 1, 0);
+        assert_eq!(d.won(), Some(5));
+    }
+
+    #[test]
+    fn seed_carries_the_replica_and_blackout_start() {
+        let mut d = deputy(0, 3, true);
+        d.absorb(replica(0, 4, Some(4)), t(1_000));
+        d.master_ping(0, t(2_000));
+        let seed = d.seed(3);
+        assert_eq!(seed.term, 3);
+        assert_eq!(seed.replica.invocation, 4);
+        assert_eq!(seed.last_heard, t(2_000), "later of the two clocks");
+    }
+}

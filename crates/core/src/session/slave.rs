@@ -84,6 +84,9 @@ fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), Prot
                         at: ctx.now(),
                     });
                 }
+                // The master that would rescue us may itself be the casualty:
+                // a deputy wedged here must still be able to stand.
+                common.deputy_tick(ctx)?;
                 // Keep the suspicion timer fed while waiting to be rescued:
                 // the error report may have been dropped, and a silent wait
                 // here reads as a second death.
@@ -93,7 +96,10 @@ fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), Prot
                 Msg::Abort => return Err(ProtocolError::Aborted),
                 Msg::Evict => return Err(ProtocolError::Evicted { slave: common.idx }),
                 m => {
-                    if let Err(ProtocolError::RolledBack) = common.control(&m) {
+                    if common.election(ctx, &m)? {
+                        // Failover traffic (a promotion repoints the master;
+                        // the takeover rollback that follows rescues us).
+                    } else if let Err(ProtocolError::RolledBack) = common.control(&m) {
                         return Ok(());
                     }
                     // anything else is stale traffic of the torn epoch — ignore
@@ -190,6 +196,7 @@ fn send_done<S: DistributionStrategy>(
         metric: 0.0,
         restore_seq: common.master_chan.watermark(),
         owned_ids: strategy.owned_ids(),
+        replica_inv: common.replica_inv(),
     };
     common.send_master(ctx, msg);
 }
@@ -251,6 +258,7 @@ fn barrier<S: DistributionStrategy>(
                         });
                     }
                     common.resend_stalled_transfers(ctx);
+                    common.deputy_tick(ctx)?;
                     send_done(ctx, common, strategy, inv);
                     send_checkpoint(ctx, common, strategy, inv);
                     continue;
@@ -339,6 +347,13 @@ fn barrier<S: DistributionStrategy>(
             m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
                 common.control(&m)?;
             }
+            m @ (Msg::Replica(_)
+            | Msg::MasterPing { .. }
+            | Msg::Candidacy { .. }
+            | Msg::Vote { .. }
+            | Msg::Promoted { .. }) => {
+                common.election(ctx, &m)?;
+            }
             other => match strategy.on_barrier_misc(ctx, common, inv, other)? {
                 None => {}
                 Some(m) => return Err(common.unexpected(strategy.barrier_context(), &m)),
@@ -375,6 +390,9 @@ fn reply_gather<S: DistributionStrategy>(
                     // Assume the data arrived and the ack was lost.
                     return Ok(());
                 }
+                // The ack may be missing because the master died: a deputy
+                // here must stand before patience runs out.
+                common.deputy_tick(ctx)?;
             }
             Some(env) => match env.msg {
                 Msg::Gather => {
@@ -394,6 +412,16 @@ fn reply_gather<S: DistributionStrategy>(
                 // restart loop re-runs the lost invocations.
                 m @ (Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }) => {
                     common.control(&m)?;
+                }
+                m @ (Msg::Replica(_)
+                | Msg::MasterPing { .. }
+                | Msg::Candidacy { .. }
+                | Msg::Vote { .. }
+                | Msg::Promoted { .. }) => {
+                    // A re-gather request from a newly promoted master must
+                    // reach us at the new address, so promotions (and any
+                    // election a master death here triggers) are serviced.
+                    common.election(ctx, &m)?;
                 }
                 _ => {} // stale traffic
             },

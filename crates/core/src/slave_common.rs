@@ -28,6 +28,7 @@ use crate::error::{slave_who, FaultToleranceConfig, ProtocolError};
 use crate::msg::{Instructions, MoveOrder, MovedUnit, Msg, Status, TransferMsg, UnitData};
 use crate::protocol::{AckTracker, TransferWindow};
 use crate::recovery::SlaveFaultStats;
+use crate::session::replica::{DeputyState, TakeoverSeed};
 use dlb_sim::{ActorCtx, ActorId, CpuWork, Envelope, SimDuration, SimTime};
 
 /// Contents of the `Start` message: slave ids, initial block assignment,
@@ -133,6 +134,17 @@ pub struct SlaveCommon {
     /// rollbacks): send a checkpoint only when the completed invocation
     /// number is a multiple of this. Always ≥ 1.
     pub ckpt_stride: u64,
+    /// The deputy role, when this slave is one of the lowest-ranked
+    /// `deputies` slaves in fault mode: control-plane replica, master
+    /// watch, election state. See [`SlaveCommon::enable_deputy`].
+    pub deputy: Option<DeputyState>,
+    /// The takeover seed, stashed when this deputy wins an election —
+    /// paired with [`ProtocolError::Elected`] the way `pending_rollback`
+    /// pairs with [`ProtocolError::RolledBack`].
+    pub takeover: Option<TakeoverSeed>,
+    /// Highest promotion term already applied (dedups `Promoted`
+    /// re-broadcasts and fences out stale lower-term promotions).
+    promoted_term: u64,
 }
 
 impl SlaveCommon {
@@ -172,7 +184,40 @@ impl SlaveCommon {
             interaction_cost_sample: None,
             last_instr_seq: 0,
             ckpt_stride: 1,
+            deputy: None,
+            takeover: None,
+            promoted_term: 0,
         }
+    }
+
+    /// Take on the deputy role when this slave's rank is inside the deputy
+    /// set (fault mode only). `checkpointed` tells the election how to
+    /// measure replica freshness: checkpointed engines restart from a held
+    /// snapshot, the independent engine from the invocation watermark.
+    pub fn enable_deputy(&mut self, checkpointed: bool, now: SimTime) {
+        if let Some(ft) = &self.ft {
+            let nd = ft.deputies.min(self.slaves.len());
+            if self.idx < nd {
+                self.deputy = Some(DeputyState::new(
+                    self.idx,
+                    nd,
+                    self.slaves.len(),
+                    checkpointed,
+                    now,
+                    ft,
+                ));
+            }
+        }
+    }
+
+    /// The checkpoint generation this deputy could take over from, reported
+    /// on every `InvocationDone` so the master can stop re-shipping
+    /// snapshots the deputy already holds. Zero for non-deputies.
+    pub fn replica_inv(&self) -> u64 {
+        self.deputy
+            .as_ref()
+            .map(|d| d.effective_fresh())
+            .unwrap_or(0)
     }
 
     /// Record completed work units (counted toward the next status delta).
@@ -392,17 +437,156 @@ impl SlaveCommon {
         }
     }
 
+    /// Handle a master-failover message (replication, election, promotion).
+    /// Returns `true` when `msg` was consumed here; `Err(Elected)` when a
+    /// vote completed this deputy's quorum (the takeover seed is stashed in
+    /// [`SlaveCommon::takeover`]). Every receive point services these the
+    /// way it services [`SlaveCommon::control`] traffic — an election must
+    /// be able to proceed no matter what the electorate was doing when the
+    /// master died.
+    pub fn election(&mut self, ctx: &ActorCtx<Msg>, msg: &Msg) -> Result<bool, ProtocolError> {
+        match msg {
+            Msg::Replica(r) => {
+                if let Some(d) = self.deputy.as_mut() {
+                    d.absorb((**r).clone(), ctx.now());
+                }
+                Ok(true)
+            }
+            Msg::MasterPing { term } => {
+                if let Some(d) = self.deputy.as_mut() {
+                    d.master_ping(*term, ctx.now());
+                }
+                Ok(true)
+            }
+            Msg::Candidacy {
+                term,
+                candidate,
+                fresh,
+            } => {
+                let replies = self
+                    .deputy
+                    .as_mut()
+                    .map(|d| d.on_candidacy(*term, *candidate, *fresh))
+                    .unwrap_or_default();
+                if std::env::var_os("DLB_TRACE").is_some() {
+                    eprintln!(
+                        "[slave{} t={}] candidacy term {term} from {candidate} fresh {fresh} -> {}",
+                        self.idx,
+                        ctx.now(),
+                        if replies.is_empty() {
+                            "refused"
+                        } else {
+                            "granted"
+                        },
+                    );
+                }
+                for (to, m) in replies {
+                    self.send_slave(ctx, to, m);
+                }
+                Ok(true)
+            }
+            Msg::Vote {
+                term,
+                voter,
+                candidate,
+            } => {
+                if let Some(d) = self.deputy.as_mut() {
+                    d.on_vote(*term, *voter, *candidate);
+                    if let Some(t) = d.won() {
+                        self.takeover = Some(d.seed(t));
+                        return Err(ProtocolError::Elected { term: t });
+                    }
+                }
+                Ok(true)
+            }
+            Msg::Promoted { term, master_idx } => {
+                self.adopt_master(ctx.now(), *term, *master_idx);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Deputy timer: stand for election when the master has been silent
+    /// past this rank's staggered threshold. Runs in every silent
+    /// heartbeat slice of [`SlaveCommon::recv_blocking`]; with a single
+    /// deputy the stand itself reaches quorum and returns `Err(Elected)`.
+    pub fn deputy_tick(&mut self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
+        let Some(ft) = self.ft.clone() else {
+            return Ok(());
+        };
+        let Some(d) = self.deputy.as_mut() else {
+            return Ok(());
+        };
+        let candidacies = d.tick(ctx.now(), &ft);
+        if !candidacies.is_empty() && std::env::var_os("DLB_TRACE").is_some() {
+            eprintln!(
+                "[slave{} t={}] standing for term {} (fresh {})",
+                self.idx,
+                ctx.now(),
+                d.term_seen,
+                d.effective_fresh(),
+            );
+        }
+        if let Some(t) = d.won() {
+            self.takeover = Some(d.seed(t));
+            return Err(ProtocolError::Elected { term: t });
+        }
+        for (to, m) in candidacies {
+            self.send_slave(ctx, to, m);
+        }
+        Ok(())
+    }
+
+    /// Apply a [`Msg::Promoted`]: repoint the master, drop the winner from
+    /// the worker set (it stops computing), and reset the master control
+    /// channel so the new master's windowed sends (which restart at
+    /// sequence 1) are accepted. Idempotent per term; stale lower-term
+    /// promotions are fenced out. The in-flight payloads of the winner's
+    /// transfer channel are discarded, not re-owned: the takeover rollback
+    /// re-scatters every unit from the replicated checkpoint, so nothing
+    /// the winner held in flight survives anyway.
+    fn adopt_master(&mut self, now: SimTime, term: u64, master_idx: usize) {
+        if term <= self.promoted_term {
+            return;
+        }
+        self.promoted_term = term;
+        self.master = self.slaves[master_idx];
+        if master_idx != self.idx && !self.dead[master_idx] {
+            self.dead[master_idx] = true;
+            let _ = self.channels[master_idx].close();
+        }
+        self.master_chan = AckTracker::default();
+        // The new master brings a new balancer whose instruction sequence
+        // restarts at 1; without this reset its orders would be fenced out
+        // as stale forever.
+        self.last_instr_seq = 0;
+        if let Some(d) = self.deputy.as_mut() {
+            d.on_promoted(term, now);
+        }
+    }
+
     /// Non-blocking drain of channel control traffic (acks, peer
-    /// evictions, rollbacks). Engines call this from their transfer-drain
+    /// evictions, rollbacks) and failover traffic (replicas, election
+    /// messages, promotions). Engines call this from their transfer-drain
     /// loops.
     pub fn drain_control(&mut self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
         while let Some(env) = ctx.try_recv_match(|m| {
             matches!(
                 m,
-                Msg::TransferAck { .. } | Msg::Evicted { .. } | Msg::Rollback { .. }
+                Msg::TransferAck { .. }
+                    | Msg::Evicted { .. }
+                    | Msg::Rollback { .. }
+                    | Msg::Replica(_)
+                    | Msg::MasterPing { .. }
+                    | Msg::Candidacy { .. }
+                    | Msg::Vote { .. }
+                    | Msg::Promoted { .. }
             )
         }) {
-            self.control(&env.msg)?;
+            if !self.election(ctx, &env.msg)? {
+                self.control(&env.msg)?;
+            }
         }
         Ok(())
     }
@@ -448,6 +632,11 @@ impl SlaveCommon {
                             | Msg::TransferAck { .. }
                             | Msg::Evicted { .. }
                             | Msg::Rollback { .. }
+                            | Msg::Replica(_)
+                            | Msg::MasterPing { .. }
+                            | Msg::Candidacy { .. }
+                            | Msg::Vote { .. }
+                            | Msg::Promoted { .. }
                     )
             };
             let env = match (&ft, deadline) {
@@ -466,6 +655,7 @@ impl SlaveCommon {
                             }
                             None => {
                                 self.resend_stalled_transfers(ctx);
+                                self.deputy_tick(ctx)?;
                                 if ping_until.is_some_and(|p| ctx.now() < p) {
                                     if std::env::var_os("DLB_TRACE").is_some() {
                                         eprintln!(
@@ -487,7 +677,7 @@ impl SlaveCommon {
                 Msg::Abort => return Err(ProtocolError::Aborted),
                 Msg::Evict => return Err(ProtocolError::Evicted { slave: self.idx }),
                 m => {
-                    if !self.control(m)? {
+                    if !self.election(ctx, m)? && !self.control(m)? {
                         return Ok(env);
                     }
                 }

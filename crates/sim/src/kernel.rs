@@ -724,6 +724,7 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
         drop(yield_tx);
 
         // Kernel loop.
+        let trace_events = std::env::var_os("DLB_TRACE_EVENTS").is_some();
         loop {
             let next = {
                 let mut inner = shared.lock();
@@ -771,6 +772,22 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
                         debug_assert!(ev.time >= inner.now, "time went backwards");
                         inner.now = inner.now.max(ev.time);
                         inner.hash_event(&ev);
+                        if trace_events {
+                            match &ev.kind {
+                                EventKind::Wake { actor, .. } => {
+                                    eprintln!("[ev t={}] wake {}", ev.time, names[actor.0]);
+                                }
+                                EventKind::Deliver { dst, env } => {
+                                    eprintln!(
+                                        "[ev t={}] deliver {} -> {}",
+                                        ev.time, names[env.src], names[dst.0]
+                                    );
+                                }
+                                EventKind::Crash { node } => {
+                                    eprintln!("[ev t={}] crash node {}", ev.time, node.0);
+                                }
+                            }
+                        }
                         Some(ev)
                     }
                     None => None,
