@@ -5,29 +5,181 @@
 //! must yield a counterexample, proving the invariant has teeth. Prints
 //! each report and exits nonzero if any error-severity diagnostic was
 //! produced (or the expected counterexample was not).
+//!
+//! Flags scale the models to runtime widths and tune the exploration:
+//!
+//! ```text
+//! dlb-lint [--width N] [--max-states N] [--max-depth N] [--walks N]
+//!          [--seed N] [--no-reduce] [--exact] [--deny-truncation]
+//! dlb-lint --conform FILE
+//! ```
+//!
+//! `--conform FILE` switches to trace-conformance mode: parse a recorded
+//! kernel event trace (see `dlb_sim::trace`) and replay its election
+//! traffic through the protocol model, exiting nonzero on any refinement
+//! violation (DLB-E110) or trace parse error.
 
 use dlb_analyze::{
-    check_election_protocol, check_election_protocol_with, check_protocol, check_transfer_protocol,
-    lint_builtins, CheckConfig, Code,
+    check_conformance, check_election_protocol_with, check_protocol_with,
+    check_transfer_protocol_with, lint_builtins, CheckConfig, Code, Report,
 };
-use dlb_core::ElectionModel;
+use dlb_core::{ElectionModel, RestoreModel, TransferModel};
+
+const USAGE: &str = "\
+usage: dlb-lint [options]
+       dlb-lint --conform FILE
+
+options:
+  --width N          model-check runtime-width instances: N survivors
+                     (restore), N receivers (transfer), N deputies
+                     (election); default = the small standard fixtures
+  --max-states N     exploration state budget (default 2000000)
+  --max-depth N      exploration depth bound (default 64)
+  --walks N          post-exhaustive random walks, 0 disables (default 256)
+  --seed N           seed for the random walks (default 0xd1b)
+  --no-reduce        disable symmetry + partial-order reduction
+  --exact            exact visited-state set instead of 64-bit fingerprints
+  --deny-truncation  treat a truncated exploration (DLB-W102) as failure
+  --conform FILE     replay a recorded event trace through the election
+                     model; fail on divergence (DLB-E110)
+  --help             print this help
+";
+
+struct Options {
+    width: Option<usize>,
+    cfg: CheckConfig,
+    deny_truncation: bool,
+    conform: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        width: None,
+        cfg: CheckConfig::default(),
+        deny_truncation: false,
+        conform: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--width" => {
+                let v = value("--width", &mut args)?;
+                let n: usize = v.parse().map_err(|_| format!("bad --width {v:?}"))?;
+                if n < 2 {
+                    return Err("--width must be at least 2".into());
+                }
+                opts.width = Some(n);
+            }
+            "--max-states" => {
+                let v = value("--max-states", &mut args)?;
+                opts.cfg.max_states = v.parse().map_err(|_| format!("bad --max-states {v:?}"))?;
+            }
+            "--max-depth" => {
+                let v = value("--max-depth", &mut args)?;
+                opts.cfg.max_depth = v.parse().map_err(|_| format!("bad --max-depth {v:?}"))?;
+            }
+            "--walks" => {
+                let v = value("--walks", &mut args)?;
+                opts.cfg.walks = v.parse().map_err(|_| format!("bad --walks {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed", &mut args)?;
+                opts.cfg.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
+            "--no-reduce" => opts.cfg.reduce = false,
+            "--exact" => opts.cfg.exact = true,
+            "--deny-truncation" => opts.deny_truncation = true,
+            "--conform" => opts.conform = Some(value("--conform", &mut args)?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Conformance mode: parse + replay one trace file, report, exit.
+fn run_conform(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dlb-lint: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match check_conformance(&text) {
+        Ok((report, conf)) => {
+            print!("{}", report.render());
+            if report.has_errors() {
+                eprintln!("dlb-lint: trace diverges from the protocol model");
+                1
+            } else {
+                println!(
+                    "dlb-lint: trace conforms ({} events, {} replayed, {} deputies, \
+                     {} stand(s), {} win(s))",
+                    conf.events, conf.replayed, conf.deputies, conf.stands, conf.wins
+                );
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("dlb-lint: bad trace {path}: {e}");
+            1
+        }
+    }
+}
 
 fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dlb-lint: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &opts.conform {
+        std::process::exit(run_conform(path));
+    }
+
+    let (restore, transfer, election) = match opts.width {
+        Some(n) => (
+            RestoreModel::wide(n),
+            TransferModel::wide(n),
+            ElectionModel::wide(n),
+        ),
+        None => (
+            RestoreModel::standard(),
+            TransferModel::standard(),
+            ElectionModel::standard(),
+        ),
+    };
+
     let mut failed = false;
-    for report in lint_builtins() {
+    let mut truncated = false;
+    let consume = |report: &Report, failed: &mut bool, truncated: &mut bool| {
         print!("{}", report.render());
-        failed |= report.has_errors();
+        *failed |= report.has_errors();
+        *truncated |= report.has(Code::W102);
+    };
+    for report in lint_builtins() {
+        consume(&report, &mut failed, &mut truncated);
     }
     for protocol in [
-        check_protocol(),
-        check_transfer_protocol(),
-        check_election_protocol(),
+        check_protocol_with(&restore, opts.cfg),
+        check_transfer_protocol_with(&transfer, opts.cfg),
+        check_election_protocol_with(&election, opts.cfg),
     ] {
-        print!("{}", protocol.render());
-        failed |= protocol.has_errors();
+        consume(&protocol, &mut failed, &mut truncated);
     }
     // Negative fixture: the split-brain election variant must be caught
     // with a replayable counterexample, or the checker has lost its teeth.
+    // Always checked at the small standard width where the bug is cheap to
+    // reach.
     let broken =
         check_election_protocol_with(&ElectionModel::broken_split_brain(), CheckConfig::default());
     if broken.has(Code::E107) {
@@ -39,6 +191,10 @@ fn main() {
             "election-protocol (forgetful voters): expected a DLB-E107 counterexample, got:\n{}",
             broken.render()
         );
+        failed = true;
+    }
+    if truncated && opts.deny_truncation {
+        eprintln!("dlb-lint: exploration truncated (DLB-W102) and --deny-truncation is set");
         failed = true;
     }
     if failed {

@@ -51,21 +51,29 @@ pub enum Code {
     /// Election protocol: reachable non-quiescent state with no enabled
     /// action (a wedged election).
     E109,
+    /// Trace conformance: a runtime trace contains an election action that
+    /// is not enabled in the protocol model at that point — the
+    /// implementation diverged from the checked abstraction (refinement
+    /// violation).
+    E110,
     /// No acceptable hook site existed; the placement is best-effort.
     W001,
     /// Data-dependent iteration cost: flops figures are expectations.
     W002,
     /// Global dependence implies broadcast communication each invocation.
     W003,
-    /// Model-checker state space was truncated by its bounds.
+    /// Retired (superseded by [`Code::W102`]); never reused.
     W101,
+    /// Exploration was truncated by its bounds: the verdict certifies only
+    /// the explored prefix, not the full state space.
+    W102,
 }
 
 impl Code {
     /// Severity is a property of the code, not the call site.
     pub fn severity(self) -> Severity {
         match self {
-            Code::W001 | Code::W002 | Code::W003 | Code::W101 => Severity::Warning,
+            Code::W001 | Code::W002 | Code::W003 | Code::W101 | Code::W102 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -89,10 +97,12 @@ impl Code {
             Code::E107 => "split-brain election",
             Code::E108 => "stale-replica winner",
             Code::E109 => "election deadlock",
+            Code::E110 => "runtime trace diverges from model",
             Code::W001 => "no acceptable hook site",
             Code::W002 => "data-dependent iteration cost",
             Code::W003 => "broadcast communication",
-            Code::W101 => "model bounds truncated",
+            Code::W101 => "model bounds truncated (retired)",
+            Code::W102 => "exploration truncated; verdict is bounded, not exhaustive",
         }
     }
 }

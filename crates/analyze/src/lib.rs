@@ -17,7 +17,12 @@
 //!   master-failover deputy election (mirroring
 //!   [`DeputyState`](dlb_core::DeputyState)'s voting rules) for duplicate
 //!   application, lost work, split-brain promotions, and deadlock, with
-//!   seeded-replayable counterexamples.
+//!   seeded-replayable counterexamples. Runtime-width instances are made
+//!   tractable by symmetry and partial-order reduction ([`dlb_sim`]'s
+//!   [`explore_reduced`](dlb_sim::explore_reduced)).
+//! * **[`conform`]** — trace-conformance checking: replays a recorded
+//!   kernel event trace (`dlb-lint --conform`) through the election model
+//!   and reports any runtime action the model does not enable (E110).
 //!
 //! The `dlb-lint` binary runs every built-in program plus the protocol
 //! models — including a deliberately broken split-brain election variant
@@ -26,10 +31,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod conform;
 pub mod diag;
 pub mod model;
 pub mod passes;
 
+pub use conform::{check_conformance, conform_election, Conformance, Divergence};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use model::{
     check_election_protocol, check_election_protocol_with, check_protocol, check_protocol_with,

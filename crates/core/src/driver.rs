@@ -106,6 +106,10 @@ pub struct RunConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Timeouts and retry bounds used when `fault_plan` is set.
     pub fault_tolerance: FaultToleranceConfig,
+    /// Record the kernel event trace into `RunReport::sim.trace` (the
+    /// `dlb-lint --conform` input). Election messages are tagged via
+    /// [`Msg::trace_tag`]; off by default — traces grow with every send.
+    pub record_trace: bool,
 }
 
 impl RunConfig {
@@ -122,6 +126,7 @@ impl RunConfig {
             startup: StartupDistribution::Equal,
             fault_plan: None,
             fault_tolerance: FaultToleranceConfig::default(),
+            record_trace: false,
         }
     }
 }
@@ -390,7 +395,10 @@ pub fn try_run(
         })
     };
 
-    let mut sim = SimBuilder::<Msg>::new().net(cfg.net.clone());
+    let mut sim = SimBuilder::<Msg>::new()
+        .net(cfg.net.clone())
+        .trace_tag(|m: &Msg| m.trace_tag())
+        .record_trace(cfg.record_trace);
     if let Some(p) = &cfg.fault_plan {
         sim = sim.fault_plan(p.clone());
     }

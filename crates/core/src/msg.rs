@@ -464,6 +464,33 @@ impl Msg {
             Msg::Candidacy { .. } | Msg::Vote { .. } => HDR + 24,
         }
     }
+
+    /// Stable trace tag for the event-trace format (`DLB_TRACE_EVENTS`,
+    /// [`dlb_sim::SimBuilder::record_trace`]). Only the election messages
+    /// are tagged — they are what `dlb-lint --conform` replays through
+    /// [`crate::session::model::ElectionModel`]; everything else traces
+    /// untagged. The key=value grammar here is part of the trace format:
+    /// changing it breaks recorded traces.
+    pub fn trace_tag(&self) -> Option<String> {
+        match self {
+            Msg::Candidacy {
+                term,
+                candidate,
+                fresh,
+            } => Some(format!(
+                "candidacy term={term} cand={candidate} fresh={fresh}"
+            )),
+            Msg::Vote {
+                term,
+                voter,
+                candidate,
+            } => Some(format!("vote term={term} voter={voter} cand={candidate}")),
+            Msg::Promoted { term, master_idx } => {
+                Some(format!("promoted term={term} winner={master_idx}"))
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ use std::collections::BTreeSet;
 /// Sequences may arrive out of order under drops and re-sends, so the full
 /// applied set is kept; the watermark only advances over a gap once the gap
 /// is filled.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AckTracker {
     applied: BTreeSet<u64>,
 }
@@ -54,7 +54,7 @@ impl AckTracker {
 
 /// Sender side: monotone sequence numbers and the pending-until-acked
 /// window that drives re-sends.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SenderWindow<T> {
     seq_sent: u64,
     watermark: u64,
@@ -107,6 +107,16 @@ impl<T> SenderWindow<T> {
     pub fn fully_acked(&self) -> bool {
         self.watermark >= self.seq_sent
     }
+
+    /// Rewrite every retained payload in place. Exists for symmetry
+    /// canonicalization in [`crate::session::model`], where payloads carry
+    /// peer indices that must be relabeled consistently with the rest of
+    /// the state; sequence numbers and watermarks are untouched.
+    pub fn map_payloads(&mut self, mut f: impl FnMut(&mut T)) {
+        for (_, payload) in &mut self.pending {
+            f(payload);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -126,7 +136,7 @@ impl<T> SenderWindow<T> {
 /// re-own the units that were still in flight — the peer either never
 /// applied them (they died on the wire) or died holding them; either way
 /// the survivor's copy is the only live one.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransferWindow<T> {
     out: SenderWindow<T>,
     inn: AckTracker,
@@ -216,6 +226,12 @@ impl<T> TransferWindow<T> {
     /// restart from sequence zero).
     pub fn reset(&mut self) {
         *self = TransferWindow::new();
+    }
+
+    /// Rewrite every retained outbound payload in place (see
+    /// [`SenderWindow::map_payloads`]).
+    pub fn map_payloads(&mut self, f: impl FnMut(&mut T)) {
+        self.out.map_payloads(f);
     }
 }
 

@@ -16,13 +16,26 @@
 //! voted in) whose counterexample the checker must find — the
 //! E101/E104/E107 fixtures in `dlb-analyze`.
 
+//! ## Scaling to runtime widths
+//!
+//! All three models implement [`Symmetric`] and [`Ample`] so
+//! [`dlb_sim::explore_reduced`] can check them at the widths the runtime
+//! actually runs (16 survivors / deputies) instead of toy configurations:
+//! slaves with identical roles are canonicalized into one representative
+//! per permutation orbit, and when an acknowledgement (or vote) is in
+//! flight, the wire actions of every *other* message are postponed —
+//! acknowledgement processing only max-advances a sender watermark, so the
+//! postponed interleavings commute with it. The `wide(n)` constructors
+//! build the fully-symmetric n-wide instances the `lint-wide` CI job
+//! checks exhaustively.
+
 use crate::protocol::{AckTracker, SenderWindow, TransferWindow};
 use crate::recovery::redistribute;
-use dlb_sim::TransitionSystem;
+use dlb_sim::{Ample, Symmetric, TransitionSystem};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A message in flight in the [`RestoreModel`]'s network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Wire {
     /// Master → survivor: adopt these units (sequence-numbered).
     Restore {
@@ -64,7 +77,7 @@ pub enum Step {
 }
 
 /// Per-survivor receiver state in the model.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlaveModel {
     pub tracker: AckTracker,
     /// Units held, with how many times each was *applied* — a count above
@@ -73,7 +86,7 @@ pub struct SlaveModel {
 }
 
 /// Full model state: master windows, survivor trackers, and the network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RestoreState {
     pub windows: Vec<SenderWindow<Vec<usize>>>,
     pub slaves: Vec<SlaveModel>,
@@ -123,6 +136,19 @@ impl RestoreModel {
         RestoreModel {
             dedup_acks: false,
             ..RestoreModel::standard()
+        }
+    }
+
+    /// A runtime-width instance: `n` survivors, one eviction wave of `n`
+    /// units (one per survivor — fully symmetric), the standard fault
+    /// budget. This is what the `lint-wide` CI job checks at n = 16.
+    pub fn wide(n: usize) -> RestoreModel {
+        RestoreModel {
+            survivors: n,
+            waves: vec![(0..n).collect()],
+            max_drops: 1,
+            max_dups: 1,
+            dedup_acks: true,
         }
     }
 
@@ -324,17 +350,227 @@ impl TransitionSystem for RestoreModel {
     }
 }
 
+/// A unit's scatter coordinates minus the survivor: `(wave, ordinal within
+/// the survivor's batch)`. Invariant under admissible survivor relabeling,
+/// so signatures built over coordinates compare survivors fairly.
+type UnitCoord = (usize, usize);
+
+/// Permutation-invariant rendering of one survivor's entire view of a
+/// [`RestoreState`]: sender window, tracker, holdings, and wire messages,
+/// with unit ids replaced by scatter coordinates. Restore state never
+/// crosses survivors, so equal signatures mean interchangeable survivors.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct SurvivorSig {
+    window: (u64, u64, Vec<(u64, Vec<UnitCoord>)>),
+    tracker: AckTracker,
+    holding: Vec<(UnitCoord, u32)>,
+    wire: Vec<(u8, u64, Vec<UnitCoord>)>,
+}
+
+impl RestoreModel {
+    /// Batch size survivor `s` receives in wave `w` under the round-robin
+    /// redistribution (`waves[w][i]` goes to survivor `i % survivors`).
+    fn batch_len(&self, w: usize, s: usize) -> usize {
+        let len = self.waves[w].len();
+        if len > s {
+            (len - s).div_ceil(self.survivors)
+        } else {
+            0
+        }
+    }
+
+    /// Per-survivor scatter profile (batch size per wave). Two survivors
+    /// are interchangeable exactly when their profiles are equal: the
+    /// scatter then sends them same-shaped batches with the same sequence
+    /// numbers.
+    fn profile(&self, s: usize) -> Vec<usize> {
+        (0..self.waves.len())
+            .map(|w| self.batch_len(w, s))
+            .collect()
+    }
+
+    /// Equal-profile survivor classes, members ascending.
+    fn classes(&self) -> Vec<Vec<usize>> {
+        let mut by_profile: BTreeMap<Vec<usize>, Vec<usize>> = BTreeMap::new();
+        for s in 0..self.survivors {
+            by_profile.entry(self.profile(s)).or_default().push(s);
+        }
+        by_profile.into_values().collect()
+    }
+
+    /// unit id → (wave, batch ordinal, destination survivor).
+    fn unit_coords(&self) -> BTreeMap<usize, (usize, usize, usize)> {
+        let mut m = BTreeMap::new();
+        for (w, wave) in self.waves.iter().enumerate() {
+            for (i, &u) in wave.iter().enumerate() {
+                m.insert(u, (w, i / self.survivors, i % self.survivors));
+            }
+        }
+        m
+    }
+
+    /// Relabel survivors by `sigma` (`sigma[d]` is `d`'s new index), which
+    /// must map every survivor to one with an equal scatter profile. Unit
+    /// ids are renamed along — unit `(wave, k)` of `d`'s batch becomes unit
+    /// `(wave, k)` of `sigma[d]`'s batch — so the result is exactly the
+    /// state the model would have reached with the roles swapped.
+    pub fn permute(&self, s: &RestoreState, sigma: &[usize]) -> RestoreState {
+        let coords = self.unit_coords();
+        let pi = |u: usize| -> usize {
+            let (w, k, d) = coords[&u];
+            self.waves[w][k * self.survivors + sigma[d]]
+        };
+        let mut n = s.clone();
+        for (d, w) in s.windows.iter().enumerate() {
+            let mut wnd = w.clone();
+            wnd.map_payloads(|units| units.iter_mut().for_each(|u| *u = pi(*u)));
+            n.windows[sigma[d]] = wnd;
+        }
+        for (d, sl) in s.slaves.iter().enumerate() {
+            n.slaves[sigma[d]] = SlaveModel {
+                tracker: sl.tracker.clone(),
+                holding: sl.holding.iter().map(|(u, c)| (pi(*u), *c)).collect(),
+            };
+        }
+        n.wire = s
+            .wire
+            .iter()
+            .map(|m| match m {
+                Wire::Restore { to, seq, units } => Wire::Restore {
+                    to: sigma[*to],
+                    seq: *seq,
+                    units: units.iter().map(|&u| pi(u)).collect(),
+                },
+                Wire::Ack { from, watermark } => Wire::Ack {
+                    from: sigma[*from],
+                    watermark: *watermark,
+                },
+            })
+            .collect();
+        n.wire.sort();
+        n
+    }
+
+    fn survivor_sig(
+        &self,
+        s: &RestoreState,
+        d: usize,
+        coords: &BTreeMap<usize, (usize, usize, usize)>,
+    ) -> SurvivorSig {
+        let co = |u: usize| -> UnitCoord {
+            let (w, k, _) = coords[&u];
+            (w, k)
+        };
+        let w = &s.windows[d];
+        let window = (
+            w.seq_sent(),
+            w.watermark(),
+            w.unacked()
+                .map(|(seq, units)| (*seq, units.iter().map(|&u| co(u)).collect()))
+                .collect(),
+        );
+        let holding = s.slaves[d]
+            .holding
+            .iter()
+            .map(|(u, c)| (co(*u), *c))
+            .collect();
+        let mut wire: Vec<(u8, u64, Vec<UnitCoord>)> = s
+            .wire
+            .iter()
+            .filter_map(|m| match m {
+                Wire::Restore { to, seq, units } if *to == d => {
+                    Some((0, *seq, units.iter().map(|&u| co(u)).collect()))
+                }
+                Wire::Ack { from, watermark } if *from == d => Some((1, *watermark, Vec::new())),
+                _ => None,
+            })
+            .collect();
+        wire.sort();
+        SurvivorSig {
+            window,
+            tracker: s.slaves[d].tracker.clone(),
+            holding,
+            wire,
+        }
+    }
+}
+
+impl Symmetric for RestoreModel {
+    fn canonical(&self, s: &RestoreState) -> RestoreState {
+        let coords = self.unit_coords();
+        let mut sigma: Vec<usize> = (0..self.survivors).collect();
+        let mut moved = false;
+        for class in self.classes() {
+            if class.len() < 2 {
+                continue;
+            }
+            let mut order = class.clone();
+            order.sort_by_cached_key(|&d| self.survivor_sig(s, d, &coords));
+            for (rank, &d) in order.iter().enumerate() {
+                sigma[d] = class[rank];
+                moved |= d != class[rank];
+            }
+        }
+        if moved {
+            self.permute(s, &sigma)
+        } else {
+            s.clone()
+        }
+    }
+}
+
+impl Ample for RestoreModel {
+    fn ample(&self, s: &RestoreState, enabled: Vec<Step>) -> Vec<Step> {
+        // Serialize wire handling per survivor lane. A lane-`d` message (a
+        // `Restore` to `d`, or an `Ack` from `d`) touches only survivor
+        // `d`'s slot and its sender window, so wire actions in *different*
+        // lanes are independent: expanding only the first message's lane
+        // preserves all verdicts. Local actions (Scatter / Resend /
+        // Heartbeat) race with deliveries through the shared windows, so
+        // they stay in. Every action advances a monotone event counter,
+        // making the transition graph a DAG — the ignoring proviso is
+        // vacuous. Soundness is continuously re-validated by the
+        // reduced-vs-full agreement tests, including the zero-budget
+        // Resend-race counterexample.
+        let Some(first) = s.wire.first() else {
+            return enabled;
+        };
+        let lane = |m: &Wire| match m {
+            Wire::Restore { to, .. } => *to,
+            Wire::Ack { from, .. } => *from,
+        };
+        let d = lane(first);
+        let ample: Vec<Step> = enabled
+            .iter()
+            .filter(|a| match a {
+                Step::Deliver(j) | Step::DeliverCopy(j) | Step::Drop(j) => lane(&s.wire[*j]) == d,
+                Step::Scatter(_) | Step::Resend(_) | Step::Heartbeat(_) => true,
+            })
+            .cloned()
+            .collect();
+        if ample.is_empty() {
+            enabled
+        } else {
+            ample
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Slave ↔ slave transfer channel
 // ---------------------------------------------------------------------------
 
 /// A message in flight in the [`TransferModel`]'s network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TWire {
-    /// Sender → receiver: adopt these units (sequence-numbered move).
-    Transfer { seq: u64, units: Vec<usize> },
-    /// Receiver → sender: contiguous applied watermark.
-    Ack { watermark: u64 },
+    /// Sender → receiver `to`: adopt these units (sequence-numbered move).
+    Transfer {
+        to: usize,
+        seq: u64,
+        units: Vec<usize>,
+    },
+    /// Receiver `from` → sender: contiguous applied watermark.
+    Ack { from: usize, watermark: u64 },
 }
 
 /// One enabled step of the [`TransferModel`]. Same idempotent-wire
@@ -342,7 +578,8 @@ pub enum TWire {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TStep {
     /// The balancer orders move `m`: the sender sheds its units onto the
-    /// channel (or keeps them, if the receiver was already evicted).
+    /// channel to receiver `m % receivers` (or keeps them, if that
+    /// receiver was already evicted).
     Offer(usize),
     /// Deliver the `i`-th in-flight message (and consume it). Deliveries
     /// to an evicted receiver are discarded, as the fail-stop network does.
@@ -351,30 +588,47 @@ pub enum TStep {
     DeliverCopy(usize),
     /// Drop the `i`-th message (bounded budget).
     Drop(usize),
-    /// The sender's re-send trigger fires: re-send everything
-    /// unacknowledged that is not already in flight.
-    Resend,
-    /// The receiver re-acknowledges while the ack carries news.
-    Heartbeat,
-    /// The receiver fail-stops: the master evicts it, the sender closes
-    /// the channel and re-owns in-flight units, and the master re-scatters
-    /// whatever no survivor reports owning (bounded budget).
-    Evict,
+    /// The sender's re-send trigger for the channel to receiver `r` fires:
+    /// re-send everything unacknowledged that is not already in flight.
+    Resend(usize),
+    /// Receiver `r` re-acknowledges while the ack carries news.
+    Heartbeat(usize),
+    /// Receiver `r` fail-stops: the master evicts it, the sender closes
+    /// that channel and re-owns in-flight units, and the master
+    /// re-scatters whatever no survivor reports owning (bounded budget).
+    Evict(usize),
 }
 
-/// Full [`TransferModel`] state: both channel endpoints, both unit sets
-/// (with apply counts), and the network.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+/// One receiving slave's slot in the [`TransferModel`]: its channel
+/// endpoint, held units (with apply counts), and whether it fail-stopped.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReceiverSlot {
+    pub window: TransferWindow<Vec<usize>>,
+    pub holding: BTreeMap<usize, u32>,
+    pub evicted: bool,
+}
+
+impl ReceiverSlot {
+    fn new() -> ReceiverSlot {
+        ReceiverSlot {
+            window: TransferWindow::new(),
+            holding: BTreeMap::new(),
+            evicted: false,
+        }
+    }
+}
+
+/// Full [`TransferModel`] state: the sender's per-receiver channel
+/// endpoints and unit set, every receiver slot, and the network.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransferState {
-    /// Sender endpoint of the channel (the slave shedding work).
-    pub sender: TransferWindow<Vec<usize>>,
-    /// Receiver endpoint (the slave gaining work).
-    pub receiver: TransferWindow<Vec<usize>>,
+    /// Sender endpoints, one channel per receiver.
+    pub senders: Vec<TransferWindow<Vec<usize>>>,
     pub sender_holding: BTreeMap<usize, u32>,
-    pub receiver_holding: BTreeMap<usize, u32>,
+    pub receivers: Vec<ReceiverSlot>,
     pub wire: Vec<TWire>,
     pub offered: usize,
-    pub receiver_evicted: bool,
+    pub evicts_used: u32,
     pub drops_used: u32,
     pub dups_used: u32,
 }
@@ -384,39 +638,44 @@ pub struct TransferState {
 /// everything that does not affect unit safety.
 ///
 /// The sender starts holding every unit; the balancer orders `moves`
-/// (disjoint unit batches) shed to the receiver; the network may drop or
-/// duplicate a bounded number of messages; and the receiver may fail-stop
-/// once ([`TStep::Evict`]), upon which the sender re-owns the in-flight
-/// units and the master re-scatters exactly the units no survivor reports.
-/// `dedup_transfers = false` is the deliberately broken variant that
-/// applies transfer payloads without sequence-number dedup — the checker
-/// must find the duplicate-unit counterexample (`dlb-analyze` maps it to
-/// E104).
+/// (disjoint unit batches) shed to the `receivers` round-robin (move `m`
+/// targets receiver `m % receivers`); the network may drop or duplicate a
+/// bounded number of messages; and receivers may fail-stop
+/// ([`TStep::Evict`], bounded by `max_evicts`), upon which the sender
+/// re-owns the units in flight to the dead peer and the master re-scatters
+/// exactly the units no survivor reports. `dedup_transfers = false` is the
+/// deliberately broken variant that applies transfer payloads without
+/// sequence-number dedup — the checker must find the duplicate-unit
+/// counterexample (`dlb-analyze` maps it to E104).
 #[derive(Clone, Debug)]
 pub struct TransferModel {
-    /// Unit ids the sender starts with (the receiver starts empty).
+    /// Unit ids the sender starts with (receivers start empty).
     pub units: Vec<usize>,
-    /// Unit batches shed to the receiver, in order (disjoint subsets of
+    /// Number of receiving slaves; move `m` targets receiver
+    /// `m % receivers`.
+    pub receivers: usize,
+    /// Unit batches shed to the receivers, in order (disjoint subsets of
     /// `units`).
     pub moves: Vec<Vec<usize>>,
     pub max_drops: u32,
     pub max_dups: u32,
-    /// Whether the receiver may fail-stop mid-protocol.
-    pub allow_evict: bool,
+    /// How many receivers may fail-stop mid-protocol.
+    pub max_evicts: u32,
     /// True = the real protocol (receiver dedups by sequence number).
     pub dedup_transfers: bool,
 }
 
 impl TransferModel {
-    /// The standard checked configuration: four units, two move batches,
-    /// one drop and one duplication budget, eviction enabled.
+    /// The standard checked configuration: four units, one receiver, two
+    /// move batches, one drop, one duplication, and one eviction budget.
     pub fn standard() -> TransferModel {
         TransferModel {
             units: vec![0, 1, 2, 3],
+            receivers: 1,
             moves: vec![vec![0, 1], vec![2]],
             max_drops: 1,
             max_dups: 1,
-            allow_evict: true,
+            max_evicts: 1,
             dedup_transfers: true,
         }
     }
@@ -429,33 +688,50 @@ impl TransferModel {
         }
     }
 
+    /// A runtime-width instance: `n` receivers, one single-unit move per
+    /// receiver (fully symmetric), the standard fault budget. This is what
+    /// the `lint-wide` CI job checks at n = 16.
+    pub fn wide(n: usize) -> TransferModel {
+        TransferModel {
+            units: (0..n).collect(),
+            receivers: n,
+            moves: (0..n).map(|u| vec![u]).collect(),
+            max_drops: 1,
+            max_dups: 1,
+            max_evicts: 1,
+            dedup_transfers: true,
+        }
+    }
+
     fn deliver(&self, n: &mut TransferState, msg: TWire) {
         match msg {
-            TWire::Transfer { seq, units } => {
-                if n.receiver_evicted {
+            TWire::Transfer { to, seq, units } => {
+                let slot = &mut n.receivers[to];
+                if slot.evicted {
                     // Fail-stop: deliveries to a crashed node vanish.
                     return;
                 }
                 let fresh = if self.dedup_transfers {
-                    n.receiver.accept(seq)
+                    slot.window.accept(seq)
                 } else {
                     // Broken variant: acknowledge the sequence but apply
                     // unconditionally.
-                    n.receiver.accept(seq);
+                    slot.window.accept(seq);
                     true
                 };
                 if fresh {
                     for u in units {
-                        *n.receiver_holding.entry(u).or_insert(0) += 1;
+                        *slot.holding.entry(u).or_insert(0) += 1;
                     }
                 }
                 let ack = TWire::Ack {
-                    watermark: n.receiver.recv_watermark(),
+                    from: to,
+                    watermark: slot.window.recv_watermark(),
                 };
                 insert_unique_t(&mut n.wire, ack);
             }
-            TWire::Ack { watermark } => {
-                n.sender.ack(watermark);
+            TWire::Ack { from, watermark } => {
+                n.senders[from].ack(watermark);
             }
         }
     }
@@ -463,7 +739,7 @@ impl TransferModel {
     fn quiescent(&self, s: &TransferState) -> bool {
         s.offered == self.moves.len()
             && s.wire.is_empty()
-            && (s.receiver_evicted || s.sender.fully_acked())
+            && (0..self.receivers).all(|r| s.receivers[r].evicted || s.senders[r].fully_acked())
     }
 }
 
@@ -479,13 +755,12 @@ impl TransitionSystem for TransferModel {
 
     fn initial(&self) -> TransferState {
         TransferState {
-            sender: TransferWindow::new(),
-            receiver: TransferWindow::new(),
+            senders: vec![TransferWindow::new(); self.receivers],
             sender_holding: self.units.iter().map(|&u| (u, 1)).collect(),
-            receiver_holding: BTreeMap::new(),
+            receivers: vec![ReceiverSlot::new(); self.receivers],
             wire: Vec::new(),
             offered: 0,
-            receiver_evicted: false,
+            evicts_used: 0,
             drops_used: 0,
             dups_used: 0,
         }
@@ -505,26 +780,33 @@ impl TransitionSystem for TransferModel {
                 out.push(TStep::DeliverCopy(i));
             }
         }
-        if !s.receiver_evicted {
-            let resendable = s.sender.unacked().any(|(seq, units)| {
+        for r in 0..self.receivers {
+            if s.receivers[r].evicted {
+                continue;
+            }
+            let resendable = s.senders[r].unacked().any(|(seq, units)| {
                 !s.wire.contains(&TWire::Transfer {
+                    to: r,
                     seq: *seq,
                     units: units.clone(),
                 })
             });
             if resendable {
-                out.push(TStep::Resend);
+                out.push(TStep::Resend(r));
             }
             let hb = TWire::Ack {
-                watermark: s.receiver.recv_watermark(),
+                from: r,
+                watermark: s.receivers[r].window.recv_watermark(),
             };
             // Re-ack while it carries news, as [`Step::Heartbeat`] does —
             // quiescent states stay terminal.
-            if s.receiver.recv_watermark() > s.sender.acked_watermark() && !s.wire.contains(&hb) {
-                out.push(TStep::Heartbeat);
+            if s.receivers[r].window.recv_watermark() > s.senders[r].acked_watermark()
+                && !s.wire.contains(&hb)
+            {
+                out.push(TStep::Heartbeat(r));
             }
-            if self.allow_evict {
-                out.push(TStep::Evict);
+            if s.evicts_used < self.max_evicts {
+                out.push(TStep::Evict(r));
             }
         }
         out
@@ -534,7 +816,8 @@ impl TransitionSystem for TransferModel {
         let mut n = s.clone();
         match a {
             TStep::Offer(m) => {
-                if n.receiver_evicted {
+                let r = *m % self.receivers;
+                if n.receivers[r].evicted {
                     // Offer to an evicted slave: refused locally, the
                     // sender keeps the units.
                     n.offered += 1;
@@ -544,9 +827,10 @@ impl TransitionSystem for TransferModel {
                         let gone = n.sender_holding.remove(u).is_some();
                         debug_assert!(gone, "move batches must be disjoint owned units");
                     }
-                    n.sender.send_with(|_| units.clone());
+                    let _ = n.senders[r].send_with(|_| units.clone());
                     let msg = TWire::Transfer {
-                        seq: n.sender.seq_sent(),
+                        to: r,
+                        seq: n.senders[r].seq_sent(),
                         units,
                     };
                     insert_unique_t(&mut n.wire, msg);
@@ -566,11 +850,11 @@ impl TransitionSystem for TransferModel {
                 n.wire.remove(*i);
                 n.drops_used += 1;
             }
-            TStep::Resend => {
-                let msgs: Vec<TWire> = n
-                    .sender
+            TStep::Resend(r) => {
+                let msgs: Vec<TWire> = n.senders[*r]
                     .unacked()
                     .map(|(seq, units)| TWire::Transfer {
+                        to: *r,
                         seq: *seq,
                         units: units.clone(),
                     })
@@ -580,29 +864,45 @@ impl TransitionSystem for TransferModel {
                     insert_unique_t(&mut n.wire, m);
                 }
             }
-            TStep::Heartbeat => {
+            TStep::Heartbeat(r) => {
                 let hb = TWire::Ack {
-                    watermark: n.receiver.recv_watermark(),
+                    from: *r,
+                    watermark: n.receivers[*r].window.recv_watermark(),
                 };
                 insert_unique_t(&mut n.wire, hb);
             }
-            TStep::Evict => {
-                n.receiver_evicted = true;
-                // The survivor re-owns everything still unacknowledged on
+            TStep::Evict(r) => {
+                n.receivers[*r].evicted = true;
+                n.evicts_used += 1;
+                // The sender re-owns everything still unacknowledged on
                 // its channel to the dead peer...
-                for units in n.sender.close() {
+                for units in n.senders[*r].close() {
                     for u in units {
                         *n.sender_holding.entry(u).or_insert(0) += 1;
                     }
                 }
                 // ...then the master re-scatters exactly the units no
-                // survivor reports owning (the OwnReport fence): with one
-                // survivor, that is everything the sender does not hold.
+                // survivor reports owning (the OwnReport fence). Survivors
+                // report units they hold plus units still pending on their
+                // live channels — the sender retains those for re-send, so
+                // they are recoverable, not lost.
+                let mut owned: BTreeSet<usize> = n.sender_holding.keys().copied().collect();
+                for (r2, slot) in n.receivers.iter().enumerate() {
+                    if slot.evicted {
+                        continue;
+                    }
+                    owned.extend(slot.holding.keys().copied());
+                    owned.extend(
+                        n.senders[r2]
+                            .unacked()
+                            .flat_map(|(_, units)| units.iter().copied()),
+                    );
+                }
                 let missing: Vec<usize> = self
                     .units
                     .iter()
                     .copied()
-                    .filter(|u| !n.sender_holding.contains_key(u))
+                    .filter(|u| !owned.contains(u))
                     .collect();
                 for u in missing {
                     *n.sender_holding.entry(u).or_insert(0) += 1;
@@ -613,32 +913,42 @@ impl TransitionSystem for TransferModel {
     }
 
     fn violation(&self, s: &TransferState) -> Option<String> {
-        for (who, holding) in [
-            ("sender", &s.sender_holding),
-            ("receiver", &s.receiver_holding),
-        ] {
-            for (unit, applies) in holding.iter() {
+        for (unit, applies) in s.sender_holding.iter() {
+            if *applies > 1 {
+                return Some(format!(
+                    "duplicate work unit {unit} applied {applies} times on sender"
+                ));
+            }
+        }
+        for (r, slot) in s.receivers.iter().enumerate() {
+            for (unit, applies) in slot.holding.iter() {
                 if *applies > 1 {
                     return Some(format!(
-                        "duplicate work unit {unit} applied {applies} times on {who}"
+                        "duplicate work unit {unit} applied {applies} times on receiver {r}"
                     ));
                 }
             }
         }
-        if !s.receiver_evicted {
-            for unit in s.sender_holding.keys() {
-                if s.receiver_holding.contains_key(unit) {
-                    return Some(format!("duplicate work unit {unit} held by both endpoints"));
+        // A unit held by two live owners at once is also a duplicate.
+        let mut owners: BTreeMap<usize, String> = s
+            .sender_holding
+            .keys()
+            .map(|&u| (u, "sender".to_string()))
+            .collect();
+        for (r, slot) in s.receivers.iter().enumerate() {
+            if slot.evicted {
+                continue;
+            }
+            for unit in slot.holding.keys() {
+                if let Some(prev) = owners.insert(*unit, format!("receiver {r}")) {
+                    return Some(format!(
+                        "duplicate work unit {unit} held by both {prev} and receiver {r}"
+                    ));
                 }
             }
         }
         if self.quiescent(s) {
-            let held = s.sender_holding.len()
-                + if s.receiver_evicted {
-                    0
-                } else {
-                    s.receiver_holding.len()
-                };
+            let held = owners.len();
             if held != self.units.len() {
                 return Some(format!(
                     "lost work unit: quiescent with {held} of {} units owned",
@@ -654,13 +964,244 @@ impl TransitionSystem for TransferModel {
     }
 }
 
+/// Permutation-invariant rendering of one receiver's view of a
+/// [`TransferState`] (unit ids replaced by `(round, position)` move
+/// coordinates), including the slice of the sender's holdings that belongs
+/// to this receiver's moves. Transfer state never crosses receivers, so
+/// equal signatures mean interchangeable receivers.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct ReceiverSig {
+    sender: (bool, u64, u64, Vec<(u64, Vec<UnitCoord>)>),
+    window: TransferWindow<Vec<usize>>,
+    holding: Vec<(UnitCoord, u32)>,
+    reowned: Vec<(UnitCoord, u32)>,
+    evicted: bool,
+    wire: Vec<(u8, u64, Vec<UnitCoord>)>,
+}
+
+impl TransferModel {
+    /// unit id → (round, position in batch, destination receiver). Units
+    /// in no move are fixed points of every relabeling.
+    fn unit_coords(&self) -> BTreeMap<usize, (usize, usize, usize)> {
+        let mut m = BTreeMap::new();
+        for (mi, mv) in self.moves.iter().enumerate() {
+            for (j, &u) in mv.iter().enumerate() {
+                m.insert(u, (mi / self.receivers, j, mi % self.receivers));
+            }
+        }
+        m
+    }
+
+    /// Receiver `r`'s static move profile: batch size per round. Receivers
+    /// are only interchangeable when their profiles are equal.
+    fn profile(&self, r: usize) -> Vec<usize> {
+        (0..)
+            .map_while(|k| self.moves.get(k * self.receivers + r).map(Vec::len))
+            .collect()
+    }
+
+    /// How many of receiver `r`'s moves have been offered after `offered`
+    /// total offers (offers go round-robin in move order).
+    fn offers_done(&self, offered: usize, r: usize) -> usize {
+        offered / self.receivers + usize::from(r < offered % self.receivers)
+    }
+
+    /// Interchangeability classes for a state: receivers with equal move
+    /// profiles *and* equal offered counts (a partially-offered round
+    /// distinguishes receivers before and after the boundary).
+    fn classes(&self, s: &TransferState) -> Vec<Vec<usize>> {
+        let mut by_key: BTreeMap<(Vec<usize>, usize), Vec<usize>> = BTreeMap::new();
+        for r in 0..self.receivers {
+            by_key
+                .entry((self.profile(r), self.offers_done(s.offered, r)))
+                .or_default()
+                .push(r);
+        }
+        by_key.into_values().collect()
+    }
+
+    /// Relabel receivers by `sigma` (`sigma[r]` is `r`'s new index), which
+    /// must map every receiver to one in the same class for the state
+    /// being permuted. Unit ids are renamed along move coordinates.
+    pub fn permute(&self, s: &TransferState, sigma: &[usize]) -> TransferState {
+        let coords = self.unit_coords();
+        let pi = |u: usize| -> usize {
+            match coords.get(&u) {
+                Some(&(k, j, r)) => self.moves[k * self.receivers + sigma[r]][j],
+                None => u,
+            }
+        };
+        let mut n = s.clone();
+        for (r, w) in s.senders.iter().enumerate() {
+            let mut wnd = w.clone();
+            wnd.map_payloads(|units| units.iter_mut().for_each(|u| *u = pi(*u)));
+            n.senders[sigma[r]] = wnd;
+        }
+        for (r, slot) in s.receivers.iter().enumerate() {
+            n.receivers[sigma[r]] = ReceiverSlot {
+                window: slot.window.clone(),
+                holding: slot.holding.iter().map(|(u, c)| (pi(*u), *c)).collect(),
+                evicted: slot.evicted,
+            };
+        }
+        n.sender_holding = s.sender_holding.iter().map(|(u, c)| (pi(*u), *c)).collect();
+        n.wire = s
+            .wire
+            .iter()
+            .map(|m| match m {
+                TWire::Transfer { to, seq, units } => TWire::Transfer {
+                    to: sigma[*to],
+                    seq: *seq,
+                    units: units.iter().map(|&u| pi(u)).collect(),
+                },
+                TWire::Ack { from, watermark } => TWire::Ack {
+                    from: sigma[*from],
+                    watermark: *watermark,
+                },
+            })
+            .collect();
+        n.wire.sort();
+        n
+    }
+
+    fn receiver_sig(
+        &self,
+        s: &TransferState,
+        r: usize,
+        coords: &BTreeMap<usize, (usize, usize, usize)>,
+    ) -> ReceiverSig {
+        let co = |u: usize| -> UnitCoord {
+            let (k, j, _) = coords[&u];
+            (k, j)
+        };
+        let snd = &s.senders[r];
+        let sender = (
+            snd.is_open(),
+            snd.seq_sent(),
+            snd.acked_watermark(),
+            snd.unacked()
+                .map(|(seq, units)| (*seq, units.iter().map(|&u| co(u)).collect()))
+                .collect(),
+        );
+        let holding = s.receivers[r]
+            .holding
+            .iter()
+            .map(|(u, c)| (co(*u), *c))
+            .collect();
+        let reowned = s
+            .sender_holding
+            .iter()
+            .filter(|(u, _)| matches!(coords.get(u), Some(&(_, _, dest)) if dest == r))
+            .map(|(u, c)| (co(*u), *c))
+            .collect();
+        let mut wire: Vec<(u8, u64, Vec<UnitCoord>)> = s
+            .wire
+            .iter()
+            .filter_map(|m| match m {
+                TWire::Transfer { to, seq, units } if *to == r => {
+                    Some((0, *seq, units.iter().map(|&u| co(u)).collect()))
+                }
+                TWire::Ack { from, watermark } if *from == r => Some((1, *watermark, Vec::new())),
+                _ => None,
+            })
+            .collect();
+        wire.sort();
+        ReceiverSig {
+            sender,
+            window: s.receivers[r].window.clone(),
+            holding,
+            reowned,
+            evicted: s.receivers[r].evicted,
+            wire,
+        }
+    }
+}
+
+impl Symmetric for TransferModel {
+    fn canonical(&self, s: &TransferState) -> TransferState {
+        let coords = self.unit_coords();
+        let mut sigma: Vec<usize> = (0..self.receivers).collect();
+        let mut moved = false;
+        for class in self.classes(s) {
+            if class.len() < 2 {
+                continue;
+            }
+            let mut order = class.clone();
+            order.sort_by_cached_key(|&r| self.receiver_sig(s, r, &coords));
+            for (rank, &r) in order.iter().enumerate() {
+                sigma[r] = class[rank];
+                moved |= r != class[rank];
+            }
+        }
+        if moved {
+            self.permute(s, &sigma)
+        } else {
+            s.clone()
+        }
+    }
+}
+
+impl Ample for TransferModel {
+    fn ample(&self, s: &TransferState, enabled: Vec<TStep>) -> Vec<TStep> {
+        // Two-tier serialization. First: while an ack is in flight, only
+        // its own wire actions plus the local actions (which race with it
+        // through the sender windows) need expanding now — an ack only
+        // advances one sender's contiguous watermark, so ack deliveries
+        // commute with everything but that sender's locals, and resolving
+        // them eagerly collapses the watermark-advance interleavings
+        // (the dominant blowup at width 16). Second, with no ack in
+        // flight: serialize transfer handling per receiver lane — a
+        // `Transfer` to `r` touches only `senders[r]`/`receivers[r]` and
+        // set-valued wire appends, so wire actions in *different* lanes
+        // are independent and only the first message's lane expands.
+        // Every action advances a monotone event counter, so the
+        // transition graph is a DAG and the ignoring proviso is vacuous.
+        // Soundness is continuously re-validated by the reduced-vs-full
+        // agreement tests, including the no-dedup duplicate-apply
+        // counterexample.
+        let lane = |m: &TWire| match m {
+            TWire::Transfer { to, .. } => *to,
+            TWire::Ack { from, .. } => *from,
+        };
+        let pick = s
+            .wire
+            .iter()
+            .position(|m| matches!(m, TWire::Ack { .. }))
+            .or(if s.wire.is_empty() { None } else { Some(0) });
+        let Some(i) = pick else {
+            return enabled;
+        };
+        let ack_first = matches!(s.wire[i], TWire::Ack { .. });
+        let r = lane(&s.wire[i]);
+        let ample: Vec<TStep> = enabled
+            .iter()
+            .filter(|a| match a {
+                TStep::Deliver(j) | TStep::DeliverCopy(j) | TStep::Drop(j) => {
+                    if ack_first {
+                        *j == i
+                    } else {
+                        lane(&s.wire[*j]) == r
+                    }
+                }
+                TStep::Offer(_) | TStep::Resend(_) | TStep::Heartbeat(_) | TStep::Evict(_) => true,
+            })
+            .cloned()
+            .collect();
+        if ample.is_empty() {
+            enabled
+        } else {
+            ample
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deputy election (master failover)
 // ---------------------------------------------------------------------------
 
 /// A message in flight in the [`ElectionModel`]'s network. Every variant
 /// carries its recipient so delivery is well-defined under reordering.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EWire {
     /// Candidate → peer deputy: stand for `term` with replica freshness
     /// `fresh` (the runtime's [`crate::msg::Msg::Candidacy`]).
@@ -700,7 +1241,7 @@ pub enum EStep {
 
 /// Per-deputy election state in the model — the pure subset of
 /// [`crate::session::replica::DeputyState`] that decides votes.
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeputyModel {
     pub term_seen: u64,
     /// Highest term voted in (including self-votes when standing). The
@@ -715,7 +1256,7 @@ pub struct DeputyModel {
 }
 
 /// Full [`ElectionModel`] state.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ElectionState {
     pub deps: Vec<DeputyModel>,
     pub wire: Vec<EWire>,
@@ -790,6 +1331,22 @@ impl ElectionModel {
         ElectionModel {
             fresh_guard: false,
             ..ElectionModel::standard()
+        }
+    }
+
+    /// A runtime-width configuration: `n` deputies with *equal* replica
+    /// freshness (the common case right after a checkpoint broadcast),
+    /// which makes the whole deputy set one symmetry class. Two stands
+    /// keep the term space bounded.
+    pub fn wide(n: usize) -> ElectionModel {
+        ElectionModel {
+            deputies: n,
+            fresh: vec![1; n],
+            max_stands: 2,
+            max_drops: 1,
+            max_dups: 1,
+            one_vote_per_term: true,
+            fresh_guard: true,
         }
     }
 
@@ -994,6 +1551,279 @@ impl TransitionSystem for ElectionModel {
     }
 }
 
+/// Permutation-covariant summary of one deputy's situation: local election
+/// state plus its wire involvement and promotion record, with peer indices
+/// erased. Election state references other deputies (vote sets, message
+/// addressing), so equal signatures do not guarantee interchangeability —
+/// the sort is a canonicalization heuristic, never a soundness condition.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct DeputySig {
+    term_seen: u64,
+    voted_in: u64,
+    standing: u64,
+    promoted_self: bool,
+    votes: usize,
+    wire_in: Vec<(u8, u64)>,
+    wire_out: Vec<(u8, u64)>,
+    promoted_terms: Vec<u64>,
+    stale_role: (bool, bool),
+}
+
+impl ElectionModel {
+    /// Interchangeability classes: deputies with equal replica freshness.
+    /// Freshness is the only per-deputy model parameter, so any relabeling
+    /// within a class maps the model onto itself.
+    fn classes(&self) -> Vec<Vec<usize>> {
+        let mut by_fresh: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for d in 0..self.deputies {
+            by_fresh.entry(self.fresh[d]).or_default().push(d);
+        }
+        by_fresh.into_values().collect()
+    }
+
+    /// Relabel deputies by `sigma` (`sigma[d]` is `d`'s new index), which
+    /// must map each deputy to one with equal freshness.
+    pub fn permute(&self, s: &ElectionState, sigma: &[usize]) -> ElectionState {
+        let mut n = s.clone();
+        for (d, dep) in s.deps.iter().enumerate() {
+            n.deps[sigma[d]] = DeputyModel {
+                votes: dep.votes.iter().map(|&v| sigma[v]).collect(),
+                ..dep.clone()
+            };
+        }
+        n.wire = s
+            .wire
+            .iter()
+            .map(|m| match m {
+                EWire::Candidacy {
+                    to,
+                    term,
+                    candidate,
+                    fresh,
+                } => EWire::Candidacy {
+                    to: sigma[*to],
+                    term: *term,
+                    candidate: sigma[*candidate],
+                    fresh: *fresh,
+                },
+                EWire::Vote { to, term, voter } => EWire::Vote {
+                    to: sigma[*to],
+                    term: *term,
+                    voter: sigma[*voter],
+                },
+                EWire::Promoted { to, term, winner } => EWire::Promoted {
+                    to: sigma[*to],
+                    term: *term,
+                    winner: sigma[*winner],
+                },
+            })
+            .collect();
+        n.wire.sort();
+        n.promoted = s.promoted.iter().map(|&(t, w)| (t, sigma[w])).collect();
+        n.promoted.sort_unstable();
+        n.stale_win = s.stale_win.map(|(t, w, v)| (t, sigma[w], sigma[v]));
+        n
+    }
+
+    fn deputy_sig(&self, s: &ElectionState, d: usize) -> DeputySig {
+        let dep = &s.deps[d];
+        let mut wire_in = Vec::new();
+        let mut wire_out = Vec::new();
+        for m in &s.wire {
+            let (kind, to, from, term) = match m {
+                EWire::Candidacy {
+                    to,
+                    term,
+                    candidate,
+                    ..
+                } => (0u8, *to, *candidate, *term),
+                EWire::Vote { to, term, voter } => (1, *to, *voter, *term),
+                EWire::Promoted { to, term, winner } => (2, *to, *winner, *term),
+            };
+            if to == d {
+                wire_in.push((kind, term));
+            }
+            if from == d {
+                wire_out.push((kind, term));
+            }
+        }
+        wire_in.sort_unstable();
+        wire_out.sort_unstable();
+        DeputySig {
+            term_seen: dep.term_seen,
+            voted_in: dep.voted_in,
+            standing: dep.standing,
+            promoted_self: dep.promoted_self,
+            votes: dep.votes.len(),
+            wire_in,
+            wire_out,
+            promoted_terms: s
+                .promoted
+                .iter()
+                .filter(|&&(_, w)| w == d)
+                .map(|&(t, _)| t)
+                .collect(),
+            stale_role: match s.stale_win {
+                Some((_, w, v)) => (w == d, v == d),
+                None => (false, false),
+            },
+        }
+    }
+}
+
+impl ElectionModel {
+    /// Deputies the rest of the state can point at: candidates, winners,
+    /// and vote targets. Ranked by local signature so the ranking itself
+    /// is label-free (ties keep index order — a dedup loss, never a
+    /// soundness one).
+    fn anchors(&self, s: &ElectionState) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.deputies)
+            .filter(|&d| {
+                s.deps[d].standing != 0
+                    || s.deps[d].promoted_self
+                    || s.promoted.iter().any(|&(_, w)| w == d)
+                    || s.wire.iter().any(|m| match m {
+                        EWire::Candidacy { candidate, .. } => *candidate == d,
+                        EWire::Vote { to, .. } => *to == d,
+                        EWire::Promoted { winner, .. } => *winner == d,
+                    })
+            })
+            .collect();
+        out.sort_by_cached_key(|&a| self.deputy_sig(s, a));
+        out
+    }
+
+    /// How deputy `d` relates to anchor `a`, with labels erased: vote-set
+    /// membership plus the terms of each directed in-flight message kind
+    /// between them. This is what [`DeputySig`] alone cannot express —
+    /// *which* candidate a voter's references point at — and recovering it
+    /// is what keeps orbit-equivalent wide states merging instead of
+    /// multiplying through voter-membership patterns.
+    fn relation(
+        &self,
+        s: &ElectionState,
+        d: usize,
+        a: usize,
+    ) -> (bool, Vec<u64>, Vec<u64>, Vec<u64>) {
+        let voted = s.deps[a].votes.contains(&d);
+        let mut cand_in = Vec::new(); // candidacy a → d
+        let mut vote_out = Vec::new(); // vote d → a
+        let mut prom_in = Vec::new(); // promotion a → d
+        for m in &s.wire {
+            match m {
+                EWire::Candidacy {
+                    to,
+                    term,
+                    candidate,
+                    ..
+                } if *candidate == a && *to == d => cand_in.push(*term),
+                EWire::Vote { to, term, voter } if *to == a && *voter == d => vote_out.push(*term),
+                EWire::Promoted { to, term, winner } if *winner == a && *to == d => {
+                    prom_in.push(*term)
+                }
+                _ => {}
+            }
+        }
+        (voted, cand_in, vote_out, prom_in)
+    }
+
+    /// One pass of anchored refinement: sort each symmetry class by local
+    /// signature extended with the anchor relations, and apply that
+    /// relabeling.
+    fn refine_once(&self, s: &ElectionState) -> ElectionState {
+        let anchors = self.anchors(s);
+        let mut sigma: Vec<usize> = (0..self.deputies).collect();
+        let mut moved = false;
+        for class in self.classes() {
+            if class.len() < 2 {
+                continue;
+            }
+            let mut order = class.clone();
+            order.sort_by_cached_key(|&d| {
+                (
+                    self.deputy_sig(s, d),
+                    anchors
+                        .iter()
+                        .map(|&a| self.relation(s, d, a))
+                        .collect::<Vec<_>>(),
+                )
+            });
+            for (rank, &d) in order.iter().enumerate() {
+                sigma[d] = class[rank];
+                moved |= d != class[rank];
+            }
+        }
+        if moved {
+            self.permute(s, &sigma)
+        } else {
+            s.clone()
+        }
+    }
+}
+
+impl Symmetric for ElectionModel {
+    fn canonical(&self, s: &ElectionState) -> ElectionState {
+        // Iterate the refinement pass to a deterministic representative.
+        // Relabeling can shuffle the anchor ranking, so a single pass is
+        // not always a fixpoint; iterating until the state repeats — and
+        // taking the least state of the final cycle — makes the result
+        // both stable (idempotent) and independent of the starting
+        // labels' incidental order. In practice the loop exits after one
+        // or two passes.
+        let mut seen: Vec<ElectionState> = vec![s.clone()];
+        loop {
+            let next = self.refine_once(seen.last().expect("nonempty"));
+            if let Some(pos) = seen.iter().position(|t| *t == next) {
+                return seen[pos..].iter().min().expect("nonempty").clone();
+            }
+            seen.push(next);
+        }
+    }
+}
+
+impl Ample for ElectionModel {
+    fn ample(&self, s: &ElectionState, enabled: Vec<EStep>) -> Vec<EStep> {
+        // Serialize wire handling per recipient. A delivery touches only
+        // its recipient's local state (plus set-valued wire appends, which
+        // commute), so wire actions addressed to *different* deputies are
+        // independent: expanding only the first message's recipient — and
+        // every local action, since stands and wins race with deliveries
+        // and must stay interleaved — preserves all verdicts. Deliveries
+        // to the *same* deputy do conflict (the first candidacy wins its
+        // vote), so the ample set keeps every action on that recipient's
+        // messages. Every action advances a monotone event counter
+        // (delivered + dropped + duplicated + stood), so the transition
+        // graph is a DAG and the classic ignoring/cycle proviso is
+        // vacuous. Soundness is continuously re-validated by the
+        // reduced-vs-full agreement tests, including the broken variants'
+        // counterexamples.
+        let Some(first) = s.wire.first() else {
+            return enabled;
+        };
+        let recipient = |m: &EWire| match m {
+            EWire::Candidacy { to, .. } | EWire::Vote { to, .. } | EWire::Promoted { to, .. } => {
+                *to
+            }
+        };
+        let d = recipient(first);
+        let ample: Vec<EStep> = enabled
+            .iter()
+            .filter(|a| match a {
+                EStep::Deliver(j) | EStep::DeliverCopy(j) | EStep::Drop(j) => {
+                    recipient(&s.wire[*j]) == d
+                }
+                EStep::Stand(_) | EStep::Win(_) => true,
+            })
+            .cloned()
+            .collect();
+        if ample.is_empty() {
+            enabled
+        } else {
+            ample
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1053,7 +1883,7 @@ mod tests {
             assert_eq!(m.violation(&s), None, "happy path must stay clean");
         }
         assert_eq!(s.sender_holding.len(), 1, "unit 3 stays at the sender");
-        assert_eq!(s.receiver_holding.len(), 3);
+        assert_eq!(s.receivers[0].holding.len(), 3);
     }
 
     #[test]
@@ -1062,7 +1892,7 @@ mod tests {
         let mut s = m.initial();
         s = m.apply(&s, &TStep::Offer(0));
         // The receiver crashes with the transfer still on the wire.
-        s = m.apply(&s, &TStep::Evict);
+        s = m.apply(&s, &TStep::Evict(0));
         assert_eq!(m.violation(&s), None);
         assert_eq!(
             s.sender_holding.len(),
@@ -1234,5 +2064,212 @@ mod tests {
                 .count();
             assert_eq!(after > before, expect_grant, "model at term {term}");
         }
+    }
+
+    // -- symmetry + reduction soundness -------------------------------------
+
+    use dlb_sim::{explore, explore_reduced, Pcg32, ReduceConfig};
+
+    fn shuffle(rng: &mut Pcg32, v: &mut [usize]) {
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_index(0, i + 1);
+            v.swap(i, j);
+        }
+    }
+
+    /// Random admissible relabeling: an independent shuffle of each class.
+    fn random_sigma(rng: &mut Pcg32, n: usize, classes: &[Vec<usize>]) -> Vec<usize> {
+        let mut sigma: Vec<usize> = (0..n).collect();
+        for class in classes {
+            let mut perm = class.clone();
+            shuffle(rng, &mut perm);
+            for (i, &d) in class.iter().enumerate() {
+                sigma[d] = perm[i];
+            }
+        }
+        sigma
+    }
+
+    #[test]
+    fn restore_canonical_is_permutation_invariant() {
+        let m = RestoreModel::wide(3);
+        let mut rng = Pcg32::with_stream(0xD1B, 1);
+        for walk in 0..20 {
+            let mut s = m.initial();
+            for _ in 0..40 {
+                let sigma = random_sigma(&mut rng, m.survivors, &m.classes());
+                let permuted = m.permute(&s, &sigma);
+                assert_eq!(
+                    m.canonical(&s),
+                    m.canonical(&permuted),
+                    "walk {walk}: canonical must erase relabeling {sigma:?}"
+                );
+                let acts = m.actions(&s);
+                if acts.is_empty() {
+                    break;
+                }
+                let a = acts[rng.gen_index(0, acts.len())].clone();
+                s = m.apply(&s, &a);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_canonical_is_permutation_invariant() {
+        let m = TransferModel::wide(3);
+        let mut rng = Pcg32::with_stream(0xD1B, 2);
+        for walk in 0..20 {
+            let mut s = m.initial();
+            for _ in 0..40 {
+                let sigma = random_sigma(&mut rng, m.receivers, &m.classes(&s));
+                let permuted = m.permute(&s, &sigma);
+                assert_eq!(
+                    m.canonical(&s),
+                    m.canonical(&permuted),
+                    "walk {walk}: canonical must erase relabeling {sigma:?}"
+                );
+                let acts = m.actions(&s);
+                if acts.is_empty() {
+                    break;
+                }
+                let a = acts[rng.gen_index(0, acts.len())].clone();
+                s = m.apply(&s, &a);
+            }
+        }
+    }
+
+    #[test]
+    fn election_canonical_is_sound_up_to_orbit() {
+        // Election state holds cross-deputy references (vote sets, message
+        // addressing), so the signature sort is a heuristic: canonical forms
+        // of two relabelings may differ, but must stay in the same orbit,
+        // and canonicalization must be idempotent. At three deputies the
+        // orbit is small enough to check by enumerating all six relabelings.
+        let m = ElectionModel::wide(3);
+        let perms: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        let mut rng = Pcg32::with_stream(0xD1B, 3);
+        for walk in 0..20 {
+            let mut s = m.initial();
+            for _ in 0..40 {
+                let sigma = &perms[rng.gen_index(0, perms.len())];
+                let ca = m.canonical(&s);
+                let cb = m.canonical(&m.permute(&s, sigma));
+                assert!(
+                    perms.iter().any(|p| m.permute(&ca, p) == cb),
+                    "walk {walk}: canonical left the orbit under {sigma:?}"
+                );
+                assert_eq!(m.canonical(&ca), ca, "canonical must be idempotent");
+                let acts = m.actions(&s);
+                if acts.is_empty() {
+                    break;
+                }
+                let a = acts[rng.gen_index(0, acts.len())].clone();
+                s = m.apply(&s, &a);
+            }
+        }
+    }
+
+    /// The violation keyword `dlb-analyze` keys its diagnostic codes on.
+    fn code_of(detail: &str) -> &'static str {
+        for k in [
+            "duplicate apply",
+            "duplicate work unit",
+            "lost work unit",
+            "lost work",
+            "split brain",
+            "stale replica",
+        ] {
+            if detail.contains(k) {
+                return k;
+            }
+        }
+        panic!("unrecognized violation detail: {detail}");
+    }
+
+    /// Reduction soundness: reduced and full exploration must reach the
+    /// same verdict (and the same violation class) on every configuration
+    /// small enough to exhaust both ways.
+    fn assert_reduced_agrees<S>(sys: &S)
+    where
+        S: Symmetric + Ample,
+        S::State: std::hash::Hash,
+    {
+        let full = explore(sys, 64, 2_000_000);
+        let (red, _) = explore_reduced(
+            sys,
+            &ReduceConfig {
+                max_depth: 64,
+                max_states: 2_000_000,
+                symmetry: true,
+                ample: true,
+                fingerprint: false,
+            },
+        );
+        assert!(
+            !full.truncated && !red.truncated,
+            "agreement needs both runs exhaustive"
+        );
+        assert_eq!(full.verdict, red.verdict, "verdicts diverged");
+        // State counts are only comparable when both searches ran to
+        // completion — a violation stops each one at a different point.
+        if full.verdict == dlb_sim::Verdict::Ok {
+            assert!(
+                red.states <= full.states,
+                "reduction must not inflate the space ({} > {})",
+                red.states,
+                full.states
+            );
+        }
+        match (&full.trace, &red.trace) {
+            (Some(a), Some(b)) => assert_eq!(code_of(&a.detail), code_of(&b.detail)),
+            (None, None) => {}
+            _ => panic!("counterexample presence diverged"),
+        }
+    }
+
+    #[test]
+    fn reduced_exploration_agrees_with_full_restore() {
+        assert_reduced_agrees(&RestoreModel::standard());
+        assert_reduced_agrees(&RestoreModel::broken_no_dedup());
+        assert_reduced_agrees(&RestoreModel::wide(2));
+    }
+
+    #[test]
+    fn reduced_exploration_agrees_with_full_transfer() {
+        assert_reduced_agrees(&TransferModel::standard());
+        assert_reduced_agrees(&TransferModel::broken_no_dedup());
+        assert_reduced_agrees(&TransferModel::wide(2));
+    }
+
+    #[test]
+    fn reduced_exploration_agrees_with_full_election() {
+        assert_reduced_agrees(&ElectionModel::standard());
+        assert_reduced_agrees(&ElectionModel::broken_split_brain());
+        assert_reduced_agrees(&ElectionModel::broken_fresh_blind());
+        assert_reduced_agrees(&ElectionModel::wide(2));
+    }
+
+    #[test]
+    fn reduced_exploration_keeps_the_resend_race() {
+        // The duplicate-apply race that needs no fault budget at all:
+        // deliver a restore, re-send it while the acknowledgement is still
+        // in flight, deliver the stale copy. An over-eager "deliver acks
+        // first" reduction would prune exactly this interleaving — the
+        // ample sets must keep local re-send actions expanded.
+        let m = RestoreModel {
+            max_drops: 0,
+            max_dups: 0,
+            ..RestoreModel::broken_no_dedup()
+        };
+        assert_reduced_agrees(&m);
+        let full = explore(&m, 64, 2_000_000);
+        assert_eq!(full.verdict, dlb_sim::Verdict::Violation);
     }
 }

@@ -23,6 +23,7 @@ use crate::cpu::{self, NodeConfig};
 use crate::fault::{FaultPlan, FaultRuntime, FaultStats};
 use crate::net::{Envelope, NetConfig};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceKind};
 use crate::work::CpuWork;
 use std::cell::Cell;
 use std::collections::{BinaryHeap, VecDeque};
@@ -70,6 +71,9 @@ pub struct SimReport {
     /// Two runs with identical inputs (and identical fault plan + seed)
     /// produce identical hashes.
     pub trace_hash: u64,
+    /// The recorded event trace ([`crate::trace`] format), empty unless
+    /// [`SimBuilder::record_trace`] was enabled.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl SimReport {
@@ -168,6 +172,39 @@ fn install_quiet_panic_hook() {
     });
 }
 
+/// Message tagger for traced sends/deliveries: maps a message to the
+/// stable tag rendered after the fixed `EV` fields (None = untagged).
+type TagFn<M> = Box<dyn Fn(&M) -> Option<String> + Send>;
+
+/// Event narration: echo to stderr (`DLB_TRACE_EVENTS`), record into the
+/// report ([`SimBuilder::record_trace`]), or both. Inactive = zero cost.
+struct Tracer<M> {
+    tag: Option<TagFn<M>>,
+    echo: bool,
+    record: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl<M> Tracer<M> {
+    fn active(&self) -> bool {
+        self.echo || self.record
+    }
+
+    fn tag_of(&self, msg: &M) -> Option<String> {
+        self.tag.as_ref().and_then(|f| f(msg))
+    }
+
+    fn emit(&mut self, time: SimTime, kind: TraceKind) {
+        let ev = TraceEvent { time, kind };
+        if self.echo {
+            eprintln!("{}", ev.render());
+        }
+        if self.record {
+            self.events.push(ev);
+        }
+    }
+}
+
 struct Inner<M> {
     now: SimTime,
     seq: u64,
@@ -194,6 +231,7 @@ struct Inner<M> {
     panicked: Option<ActorId>,
     fault: Option<FaultRuntime>,
     trace_hash: u64,
+    tracer: Tracer<M>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -363,6 +401,22 @@ impl<M: Send + Clone + 'static> ActorCtx<M> {
         inner.link_free[self.id.0] = start + xfer;
         inner.actor_metrics[self.id.0].msgs_sent += 1;
         inner.actor_metrics[self.id.0].bytes_sent += bytes;
+
+        // Trace the send before any fault draw: a dropped message still
+        // shows its send, which is what trace-conformance replay needs to
+        // see the sender's protocol action.
+        if inner.tracer.active() {
+            let tag = inner.tracer.tag_of(&msg);
+            inner.tracer.emit(
+                now,
+                TraceKind::Send {
+                    src: self.id.0,
+                    dst: dst.0,
+                    bytes,
+                    tag,
+                },
+            );
+        }
 
         // Fault draws happen per send in event order, so the RNG stream is
         // a deterministic function of the message sequence.
@@ -554,6 +608,8 @@ pub struct SimBuilder<M: Send + Clone + 'static> {
     node_used: Vec<bool>,
     max_events: u64,
     fault: Option<FaultPlan>,
+    tag: Option<TagFn<M>>,
+    record_trace: bool,
 }
 
 impl<M: Send + Clone + 'static> Default for SimBuilder<M> {
@@ -571,6 +627,8 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
             node_used: Vec::new(),
             max_events: 200_000_000,
             fault: None,
+            tag: None,
+            record_trace: false,
         }
     }
 
@@ -589,6 +647,22 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
     /// Attach a deterministic fault plan.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Install a message tagger for the event trace: traced `SEND`/`DELIVER`
+    /// lines carry `f(msg)` as their tag (None = untagged). Only consulted
+    /// while tracing is active.
+    pub fn trace_tag(mut self, f: impl Fn(&M) -> Option<String> + Send + 'static) -> Self {
+        self.tag = Some(Box::new(f));
+        self
+    }
+
+    /// Record the event trace into [`SimReport::trace`] (default off). The
+    /// `DLB_TRACE_EVENTS` env var independently echoes the same lines to
+    /// stderr.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
         self
     }
 
@@ -662,6 +736,12 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
             panicked: None,
             fault: self.fault.map(FaultRuntime::new),
             trace_hash: FNV_OFFSET,
+            tracer: Tracer {
+                tag: self.tag,
+                echo: std::env::var_os("DLB_TRACE_EVENTS").is_some(),
+                record: self.record_trace,
+                events: Vec::new(),
+            },
         };
         // Seed: wake every actor at t = 0, in spawn order.
         for (i, _) in self.actors.iter().enumerate() {
@@ -724,7 +804,6 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
         drop(yield_tx);
 
         // Kernel loop.
-        let trace_events = std::env::var_os("DLB_TRACE_EVENTS").is_some();
         loop {
             let next = {
                 let mut inner = shared.lock();
@@ -772,21 +851,18 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
                         debug_assert!(ev.time >= inner.now, "time went backwards");
                         inner.now = inner.now.max(ev.time);
                         inner.hash_event(&ev);
-                        if trace_events {
-                            match &ev.kind {
-                                EventKind::Wake { actor, .. } => {
-                                    eprintln!("[ev t={}] wake {}", ev.time, names[actor.0]);
-                                }
-                                EventKind::Deliver { dst, env } => {
-                                    eprintln!(
-                                        "[ev t={}] deliver {} -> {}",
-                                        ev.time, names[env.src], names[dst.0]
-                                    );
-                                }
-                                EventKind::Crash { node } => {
-                                    eprintln!("[ev t={}] crash node {}", ev.time, node.0);
-                                }
-                            }
+                        if inner.tracer.active() {
+                            let kind = match &ev.kind {
+                                EventKind::Wake { actor, .. } => TraceKind::Wake { actor: actor.0 },
+                                EventKind::Deliver { dst, env } => TraceKind::Deliver {
+                                    src: env.src,
+                                    dst: dst.0,
+                                    bytes: env.bytes,
+                                    tag: inner.tracer.tag_of(&env.msg),
+                                },
+                                EventKind::Crash { node } => TraceKind::Crash { node: node.0 },
+                            };
+                            inner.tracer.emit(ev.time, kind);
                         }
                         Some(ev)
                     }
@@ -880,7 +956,8 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
             std::panic::resume_unwind(p);
         }
 
-        let inner = shared.lock();
+        let mut inner = shared.lock();
+        let trace = std::mem::take(&mut inner.tracer.events);
         SimReport {
             end_time: inner.now,
             actors: inner.actor_metrics.clone(),
@@ -893,6 +970,7 @@ impl<M: Send + Clone + 'static> SimBuilder<M> {
                 .map(|f| f.stats.clone())
                 .unwrap_or_default(),
             trace_hash: inner.trace_hash,
+            trace,
         }
     }
 }
@@ -930,6 +1008,56 @@ mod tests {
         assert_eq!(report.actors[0].msgs_received, 1);
         assert_eq!(report.actors[1].msgs_received, 1);
         assert!(!report.fault.any());
+    }
+
+    #[test]
+    fn record_trace_captures_sends_and_deliveries() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b = b
+            .record_trace(true)
+            .trace_tag(|m: &u64| (*m == 42).then(|| "answer".to_string()));
+        b.spawn(n0, "ping", move |ctx| {
+            ctx.send(a1, 42, 8);
+            let _ = ctx.recv();
+        });
+        b.spawn(n1, "pong", move |ctx| {
+            let m = ctx.recv();
+            ctx.send(ActorId(m.src), m.msg + 1, 8);
+        });
+        let report = b.run();
+        let sends: Vec<_> = report
+            .trace
+            .iter()
+            .filter_map(|ev| match &ev.kind {
+                TraceKind::Send { src, dst, tag, .. } => Some((*src, *dst, tag.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            sends,
+            vec![(0, 1, Some("answer".to_string())), (1, 0, None)]
+        );
+        let delivers = report
+            .trace
+            .iter()
+            .filter(|ev| matches!(ev.kind, TraceKind::Deliver { .. }))
+            .count();
+        assert_eq!(delivers, 2);
+        // The trace round-trips through the stable text format.
+        let text = crate::trace::render_trace(&report.trace);
+        assert_eq!(crate::trace::parse_trace(&text).unwrap(), report.trace);
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let (mut b, n0, n1) = two_node_builder();
+        let a1 = ActorId(1);
+        b.spawn(n0, "src", move |ctx| ctx.send(a1, 1, 8));
+        b.spawn(n1, "dst", |ctx| {
+            ctx.recv();
+        });
+        assert!(b.run().trace.is_empty());
     }
 
     #[test]

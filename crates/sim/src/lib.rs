@@ -47,8 +47,10 @@ pub mod fault;
 pub mod kernel;
 pub mod load;
 pub mod net;
+pub mod reduce;
 pub mod rng;
 pub mod time;
+pub mod trace;
 pub mod work;
 
 pub use cpu::{advance, Advance, NodeConfig};
@@ -57,6 +59,8 @@ pub use fault::{FaultPlan, FaultStats, LinkFaults, NodeFaults};
 pub use kernel::{ActorCtx, ActorId, ActorMetrics, NodeId, NodeMetrics, SimBuilder, SimReport};
 pub use load::LoadModel;
 pub use net::{Envelope, NetConfig};
+pub use reduce::{explore_reduced, fingerprint, Ample, ReduceConfig, ReduceStats, Symmetric};
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};
+pub use trace::{parse_trace, render_trace, TraceEvent, TraceKind};
 pub use work::CpuWork;

@@ -1,0 +1,205 @@
+//! Stable, machine-readable event-trace format for the kernel.
+//!
+//! The kernel can narrate its event loop two ways — echoed to stderr when
+//! `DLB_TRACE_EVENTS` is set, or recorded into [`crate::SimReport`] via
+//! [`crate::SimBuilder::record_trace`]. Both use this one line format, so
+//! a captured stderr dump and a recorded trace are interchangeable inputs
+//! to downstream tooling (notably `dlb-lint --conform`, which replays a
+//! runtime trace through the protocol models):
+//!
+//! ```text
+//! DLBTRACE 1
+//! EV <time> SEND <src> <dst> <bytes> [tag...]
+//! EV <time> DELIVER <src> <dst> <bytes> [tag...]
+//! EV <time> WAKE <actor>
+//! EV <time> CRASH <node>
+//! ```
+//!
+//! `SEND` is recorded when an actor hands a message to the network —
+//! *before* any fault draw, so dropped messages still show their send.
+//! `DELIVER` is the mailbox arrival. The optional `tag` is everything
+//! after the fixed fields (it may contain spaces) and is produced by the
+//! message tagger installed with [`crate::SimBuilder::trace_tag`];
+//! untagged messages trace with no tag. Times are integer microseconds,
+//! actors/nodes are ids. The leading `DLBTRACE 1` header versions the
+//! format; unknown lines are a parse error, not silently skipped.
+
+use crate::time::SimTime;
+
+/// Format version emitted in the header line.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// One traced kernel event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    pub kind: TraceKind,
+}
+
+/// What happened. `Send` and `Deliver` carry the optional message tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    Send {
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        tag: Option<String>,
+    },
+    Deliver {
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        tag: Option<String>,
+    },
+    Wake {
+        actor: usize,
+    },
+    Crash {
+        node: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Render as one stable `EV ...` line (no trailing newline).
+    pub fn render(&self) -> String {
+        let t = self.time.0;
+        match &self.kind {
+            TraceKind::Send {
+                src,
+                dst,
+                bytes,
+                tag,
+            } => match tag {
+                Some(tag) => format!("EV {t} SEND {src} {dst} {bytes} {tag}"),
+                None => format!("EV {t} SEND {src} {dst} {bytes}"),
+            },
+            TraceKind::Deliver {
+                src,
+                dst,
+                bytes,
+                tag,
+            } => match tag {
+                Some(tag) => format!("EV {t} DELIVER {src} {dst} {bytes} {tag}"),
+                None => format!("EV {t} DELIVER {src} {dst} {bytes}"),
+            },
+            TraceKind::Wake { actor } => format!("EV {t} WAKE {actor}"),
+            TraceKind::Crash { node } => format!("EV {t} CRASH {node}"),
+        }
+    }
+
+    /// Parse one `EV ...` line.
+    pub fn parse(line: &str) -> Result<TraceEvent, String> {
+        let mut it = line.split_whitespace();
+        let bad = || format!("malformed trace line: {line:?}");
+        if it.next() != Some("EV") {
+            return Err(bad());
+        }
+        let time = SimTime(it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?);
+        let kind = it.next().ok_or_else(bad)?;
+        let num = |it: &mut std::str::SplitWhitespace| -> Result<usize, String> {
+            it.next().ok_or_else(bad)?.parse().map_err(|_| bad())
+        };
+        let kind = match kind {
+            "SEND" | "DELIVER" => {
+                let src = num(&mut it)?;
+                let dst = num(&mut it)?;
+                let bytes = num(&mut it)? as u64;
+                let rest: Vec<&str> = it.collect();
+                let tag = (!rest.is_empty()).then(|| rest.join(" "));
+                if kind == "SEND" {
+                    TraceKind::Send {
+                        src,
+                        dst,
+                        bytes,
+                        tag,
+                    }
+                } else {
+                    TraceKind::Deliver {
+                        src,
+                        dst,
+                        bytes,
+                        tag,
+                    }
+                }
+            }
+            "WAKE" => TraceKind::Wake {
+                actor: num(&mut it)?,
+            },
+            "CRASH" => TraceKind::Crash {
+                node: num(&mut it)?,
+            },
+            _ => return Err(bad()),
+        };
+        Ok(TraceEvent { time, kind })
+    }
+}
+
+/// Render a full trace: header line plus one line per event.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = format!("DLBTRACE {TRACE_FORMAT_VERSION}\n");
+    for ev in events {
+        out.push_str(&ev.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a full trace (header required; blank lines allowed).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some(h) if h.trim() == format!("DLBTRACE {TRACE_FORMAT_VERSION}") => {}
+        Some(h) => return Err(format!("unsupported trace header: {h:?}")),
+        None => return Err("empty trace".into()),
+    }
+    lines.map(|l| TraceEvent::parse(l.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            TraceEvent {
+                time: SimTime(0),
+                kind: TraceKind::Wake { actor: 3 },
+            },
+            TraceEvent {
+                time: SimTime(17),
+                kind: TraceKind::Send {
+                    src: 1,
+                    dst: 2,
+                    bytes: 56,
+                    tag: Some("candidacy term=1 cand=0 fresh=3".into()),
+                },
+            },
+            TraceEvent {
+                time: SimTime(42),
+                kind: TraceKind::Deliver {
+                    src: 1,
+                    dst: 2,
+                    bytes: 56,
+                    tag: None,
+                },
+            },
+            TraceEvent {
+                time: SimTime(99),
+                kind: TraceKind::Crash { node: 0 },
+            },
+        ];
+        let text = render_trace(&events);
+        assert!(text.starts_with("DLBTRACE 1\n"), "{text}");
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("DLBTRACE 9\nEV 0 WAKE 1\n").is_err());
+        assert!(parse_trace("DLBTRACE 1\nEV zero WAKE 1\n").is_err());
+        assert!(parse_trace("DLBTRACE 1\nEV 0 EXPLODE 1\n").is_err());
+        assert!(TraceEvent::parse("EV 5 SEND 1").is_err());
+    }
+}
