@@ -1,10 +1,12 @@
 //! `dlb-lint`: run every built-in program through the plan linter, then
 //! model-check the restore protocol, the work-migration (transfer window)
-//! protocol, and the master-failover election. The election checker is
-//! additionally self-tested: a deliberately broken split-brain variant
-//! must yield a counterexample, proving the invariant has teeth. Prints
-//! each report and exits nonzero if any error-severity diagnostic was
-//! produced (or the expected counterexample was not).
+//! protocol, the master-failover election, and the mid-run join/rejoin
+//! handshake. The election and join checkers are additionally
+//! self-tested: deliberately broken variants (split-brain voters, an
+//! unfenced zombie incarnation) must yield counterexamples, proving the
+//! invariants have teeth. Prints each report and exits nonzero if any
+//! error-severity diagnostic was produced (or an expected counterexample
+//! was not).
 //!
 //! Flags scale the models to runtime widths and tune the exploration:
 //!
@@ -20,10 +22,10 @@
 //! violation (DLB-E110) or trace parse error.
 
 use dlb_analyze::{
-    check_conformance, check_election_protocol_with, check_protocol_with,
+    check_conformance, check_election_protocol_with, check_join_protocol_with, check_protocol_with,
     check_transfer_protocol_with, lint_builtins, CheckConfig, Code, Report,
 };
-use dlb_core::{ElectionModel, RestoreModel, TransferModel};
+use dlb_core::{ElectionModel, JoinModel, RestoreModel, TransferModel};
 
 const USAGE: &str = "\
 usage: dlb-lint [options]
@@ -32,7 +34,8 @@ usage: dlb-lint [options]
 options:
   --width N          model-check runtime-width instances: N survivors
                      (restore), N receivers (transfer), N deputies
-                     (election); default = the small standard fixtures
+                     (election), N slots (join); default = the small
+                     standard fixtures
   --max-states N     exploration state budget (default 2000000)
   --max-depth N      exploration depth bound (default 64)
   --walks N          post-exhaustive random walks, 0 disables (default 256)
@@ -146,16 +149,18 @@ fn main() {
         std::process::exit(run_conform(path));
     }
 
-    let (restore, transfer, election) = match opts.width {
+    let (restore, transfer, election, join) = match opts.width {
         Some(n) => (
             RestoreModel::wide(n),
             TransferModel::wide(n),
             ElectionModel::wide(n),
+            JoinModel::wide(n),
         ),
         None => (
             RestoreModel::standard(),
             TransferModel::standard(),
             ElectionModel::standard(),
+            JoinModel::standard(),
         ),
     };
 
@@ -173,11 +178,12 @@ fn main() {
         check_protocol_with(&restore, opts.cfg),
         check_transfer_protocol_with(&transfer, opts.cfg),
         check_election_protocol_with(&election, opts.cfg),
+        check_join_protocol_with(&join, opts.cfg),
     ] {
         consume(&protocol, &mut failed, &mut truncated);
     }
-    // Negative fixture: the split-brain election variant must be caught
-    // with a replayable counterexample, or the checker has lost its teeth.
+    // Negative fixtures: deliberately broken variants must be caught with
+    // replayable counterexamples, or the checker has lost its teeth.
     // Always checked at the small standard width where the bug is cheap to
     // reach.
     let broken =
@@ -190,6 +196,21 @@ fn main() {
         eprintln!(
             "election-protocol (forgetful voters): expected a DLB-E107 counterexample, got:\n{}",
             broken.render()
+        );
+        failed = true;
+    }
+    let broken_join = check_join_protocol_with(
+        &JoinModel::broken_double_incarnation(),
+        CheckConfig::default(),
+    );
+    if broken_join.has(Code::E111) {
+        println!(
+            "join-protocol (no incarnation fence): zombie-credit counterexample found, as expected"
+        );
+    } else {
+        eprintln!(
+            "join-protocol (no incarnation fence): expected a DLB-E111 counterexample, got:\n{}",
+            broken_join.render()
         );
         failed = true;
     }

@@ -56,6 +56,17 @@ pub enum Code {
     /// implementation diverged from the checked abstraction (refinement
     /// violation).
     E110,
+    /// Join protocol: a zombie incarnation (a slot's pre-eviction life)
+    /// was credited as the member after a newer life was admitted
+    /// (incarnation fence broken).
+    E111,
+    /// Join protocol: a checkpoint acknowledgement below the admission ack
+    /// floor was credited — a rejoiner is booked as holding snapshot state
+    /// it was never shipped (stale-snapshot join).
+    E112,
+    /// Join protocol: reachable non-quiescent state with no enabled action
+    /// (a wedged join/rejoin handshake).
+    E113,
     /// No acceptable hook site existed; the placement is best-effort.
     W001,
     /// Data-dependent iteration cost: flops figures are expectations.
@@ -98,6 +109,9 @@ impl Code {
             Code::E108 => "stale-replica winner",
             Code::E109 => "election deadlock",
             Code::E110 => "runtime trace diverges from model",
+            Code::E111 => "double-incarnation credit",
+            Code::E112 => "stale-snapshot join",
+            Code::E113 => "join deadlock",
             Code::W001 => "no acceptable hook site",
             Code::W002 => "data-dependent iteration cost",
             Code::W003 => "broadcast communication",

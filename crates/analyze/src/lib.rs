@@ -15,9 +15,11 @@
 //!   [`SenderWindow`](dlb_core::SenderWindow)/[`AckTracker`](dlb_core::AckTracker)/
 //!   [`TransferWindow`](dlb_core::TransferWindow) rules), and the
 //!   master-failover deputy election (mirroring
-//!   [`DeputyState`](dlb_core::DeputyState)'s voting rules) for duplicate
-//!   application, lost work, split-brain promotions, and deadlock, with
-//!   seeded-replayable counterexamples. Runtime-width instances are made
+//!   [`DeputyState`](dlb_core::DeputyState)'s voting rules), and the
+//!   mid-run join/rejoin handshake (incarnation-fenced admission with an
+//!   ack-floored snapshot ship) for duplicate application, lost work,
+//!   split-brain promotions, zombie-incarnation credit, stale-snapshot
+//!   joins, and deadlock, with seeded-replayable counterexamples. Runtime-width instances are made
 //!   tractable by symmetry and partial-order reduction ([`dlb_sim`]'s
 //!   [`explore_reduced`](dlb_sim::explore_reduced)).
 //! * **[`conform`]** — trace-conformance checking: replays a recorded
@@ -39,7 +41,8 @@ pub mod passes;
 pub use conform::{check_conformance, conform_election, Conformance, Divergence};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use model::{
-    check_election_protocol, check_election_protocol_with, check_protocol, check_protocol_with,
-    check_transfer_protocol, check_transfer_protocol_with, CheckConfig,
+    check_election_protocol, check_election_protocol_with, check_join_protocol,
+    check_join_protocol_with, check_protocol, check_protocol_with, check_transfer_protocol,
+    check_transfer_protocol_with, CheckConfig,
 };
 pub use passes::{expected_pattern, lint, lint_builtins};

@@ -5,7 +5,7 @@
 //! [`SenderWindow`]/[`AckTracker`]/[`TransferWindow`] transition rules —
 //! and converts verdicts into the shared diagnostics format.
 //!
-//! Three models, nine safety properties (the distributed-self-scheduling
+//! Four models, twelve safety properties (the distributed-self-scheduling
 //! correctness conditions of Eleliemy & Ciorba and Zafari & Larsson):
 //!
 //! * [`RestoreModel`] — the master/survivors restore protocol:
@@ -19,6 +19,10 @@
 //!   term, newest-replica guard, majority quorum): **at most one master
 //!   per term** ([`Code::E107`]), **no stale-replica winner**
 //!   ([`Code::E108`]), **no election deadlock** ([`Code::E109`]).
+//! * [`JoinModel`] — the mid-run join/rejoin handshake (incarnation-fenced
+//!   admission, ack-floored snapshot shipping): **no double-incarnation
+//!   credit** ([`Code::E111`]), **no stale-snapshot join**
+//!   ([`Code::E112`]), **no join deadlock** ([`Code::E113`]).
 //!
 //! After the exhaustive pass, seeded random walks probe deeper
 //! interleavings; any counterexample replays from its seed.
@@ -29,7 +33,7 @@
 
 use crate::diag::{Code, Diagnostic, Report};
 use dlb_compiler::Span;
-use dlb_core::session::model::{ElectionModel, RestoreModel, TransferModel};
+use dlb_core::session::model::{ElectionModel, JoinModel, RestoreModel, TransferModel};
 use dlb_sim::{
     explore, explore_reduced, random_walks, Ample, Exploration, ReduceConfig, ReduceStats,
     Symmetric, Verdict,
@@ -165,6 +169,13 @@ const ELECTION_CODES: CodeMap = CodeMap {
     lost: Code::E108,
     deadlock: Code::E109,
     lost_marker: "stale replica",
+};
+
+const JOIN_CODES: CodeMap = CodeMap {
+    duplicate: Code::E111,
+    lost: Code::E112,
+    deadlock: Code::E113,
+    lost_marker: "stale snapshot",
 };
 
 fn push_exploration(
@@ -373,6 +384,64 @@ pub fn check_election_protocol() -> Report {
     check_election_protocol_with(&ElectionModel::standard(), CheckConfig::default())
 }
 
+fn span_for_join(model: &JoinModel) -> Span {
+    Span::program(&format!(
+        "join-protocol(slots={}, evicts={}, rejoins={}, drops={}, dups={}, \
+         incarnation_fence={}, ack_floor={})",
+        model.slots,
+        model.max_evicts,
+        model.max_rejoins,
+        model.max_drops,
+        model.max_dups,
+        model.fence_incarnation,
+        model.fence_epoch
+    ))
+}
+
+/// Exhaustively check a mid-run join/rejoin model, then run seeded random
+/// walks past the exhaustive horizon. A zombie incarnation credited after
+/// a newer life was admitted maps to [`Code::E111`], a checkpoint ack
+/// credited below the admission ack floor to [`Code::E112`], a wedged
+/// join handshake to [`Code::E113`].
+pub fn check_join_protocol_with(model: &JoinModel, cfg: CheckConfig) -> Report {
+    let tag = match (model.fence_incarnation, model.fence_epoch) {
+        (true, true) => "",
+        (false, _) => " (no incarnation fence)",
+        (_, false) => " (no ack floor)",
+    };
+    let mut report = Report::new(format!("join-protocol{tag}"));
+    let span = span_for_join(model);
+    let (ex, stats) = run_exhaustive(model, &cfg);
+    push_exploration(
+        span.clone(),
+        JOIN_CODES,
+        &ex,
+        exhaustive_label(&cfg),
+        reduction_notes(&stats),
+        &mut report,
+    );
+    if !report.has_errors() && cfg.walks > 0 {
+        let walked = random_walks(model, cfg.seed, cfg.walks, cfg.walk_depth);
+        if walked.verdict != Verdict::Ok {
+            push_exploration(
+                span,
+                JOIN_CODES,
+                &walked,
+                &format!("random walks (seed {:#x})", cfg.seed),
+                Vec::new(),
+                &mut report,
+            );
+        }
+    }
+    report
+}
+
+/// Check the standard join configuration with default bounds — what
+/// `dlb-lint` runs.
+pub fn check_join_protocol() -> Report {
+    check_join_protocol_with(&JoinModel::standard(), CheckConfig::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +548,42 @@ mod tests {
     }
 
     #[test]
+    fn standard_join_protocol_is_clean_and_exhausted() {
+        let report = check_join_protocol();
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(
+            !report.has(Code::W102),
+            "state space must be exhausted within bounds: {}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn unfenced_join_variant_credits_a_zombie_incarnation() {
+        let report = check_join_protocol_with(
+            &JoinModel::broken_double_incarnation(),
+            CheckConfig::default(),
+        );
+        assert!(report.has_errors(), "{}", report.render());
+        assert!(report.has(Code::E111), "{}", report.render());
+        // The counterexample trace must be present and replayable.
+        let diag = report.errors().next().unwrap();
+        assert!(
+            diag.notes.iter().any(|n| n.contains("counterexample")),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn unfloored_join_variant_books_a_stale_snapshot() {
+        let report =
+            check_join_protocol_with(&JoinModel::broken_stale_snapshot(), CheckConfig::default());
+        assert!(report.has_errors(), "{}", report.render());
+        assert!(report.has(Code::E112), "{}", report.render());
+    }
+
+    #[test]
     fn transfer_happy_path_without_faults_is_clean() {
         let m = TransferModel {
             max_drops: 0,
@@ -503,6 +608,7 @@ mod tests {
             check_protocol_with(&RestoreModel::wide(6), cfg),
             check_transfer_protocol_with(&TransferModel::wide(6), cfg),
             check_election_protocol_with(&ElectionModel::wide(6), cfg),
+            check_join_protocol_with(&JoinModel::wide(6), cfg),
         ] {
             assert!(!report.has_errors(), "{}", report.render());
             assert!(
@@ -560,6 +666,17 @@ mod tests {
                 codes(&check_election_protocol_with(&model, on)),
                 codes(&check_election_protocol_with(&model, off)),
                 "election codes diverged under reduction"
+            );
+        }
+        for model in [
+            JoinModel::standard(),
+            JoinModel::broken_double_incarnation(),
+            JoinModel::broken_stale_snapshot(),
+        ] {
+            assert_eq!(
+                codes(&check_join_protocol_with(&model, on)),
+                codes(&check_join_protocol_with(&model, off)),
+                "join codes diverged under reduction"
             );
         }
     }

@@ -204,6 +204,24 @@ impl Balancer {
         }
     }
 
+    /// The named slave (re)joined: make it allocatable again with clean
+    /// accounting. The caller follows up with [`Self::rebase`] (the
+    /// admission re-scatter bumps the epoch), which installs the joiner's
+    /// new ownership; until its first `Status` report the balancer sees it
+    /// as rate-unknown, exactly like a slave at start-up.
+    pub fn admit(&mut self, s: usize) {
+        self.dead[s] = false;
+        self.filters[s] = RateFilter::default();
+        self.reported[s] = 0;
+        self.acc[s] = (0, SimDuration::ZERO);
+        self.pending_in[s].clear();
+        self.pending_out[s].clear();
+        for row in &mut self.last_received_from {
+            row[s] = 0;
+        }
+        self.last_received_from[s].iter_mut().for_each(|v| *v = 0);
+    }
+
     /// Rollback: adopt a new epoch (stamped into every instruction so
     /// stale orders are discarded), discard all in-flight accounting, and
     /// install the post-rollback distribution.

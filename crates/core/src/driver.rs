@@ -110,6 +110,13 @@ pub struct RunConfig {
     /// `dlb-lint --conform` input). Election messages are tagged via
     /// [`Msg::trace_tag`]; off by default — traces grow with every send.
     pub record_trace: bool,
+    /// Latecomers: `(slave index, join time)` pairs. A listed slave starts
+    /// with an empty assignment (its slot is carved out of the initial
+    /// distribution), idles until the given instant, then joins the running
+    /// pool via the [`Msg::Join`] handshake — the master admits it at the
+    /// next barrier and re-scatters work onto it. Requires fault mode and
+    /// `fault_tolerance.rejoin_attempts > 0`.
+    pub late_joiners: Vec<(usize, SimTime)>,
 }
 
 impl RunConfig {
@@ -127,6 +134,7 @@ impl RunConfig {
             fault_plan: None,
             fault_tolerance: FaultToleranceConfig::default(),
             record_trace: false,
+            late_joiners: Vec::new(),
         }
     }
 }
@@ -207,11 +215,36 @@ pub fn try_run(
     assert!(n_units >= n_slaves, "fewer units than slaves");
     let fault_mode = cfg.fault_plan.is_some();
 
-    // Initial block distribution.
-    let assignment: Vec<(usize, usize)> = match cfg.startup {
-        StartupDistribution::Equal => block_ranges(n_units, n_slaves),
+    // Latecomer slots: carved out of the initial distribution, parked until
+    // their join time, admitted mid-run through the elastic-membership
+    // handshake.
+    let late_at: Vec<Option<SimTime>> = {
+        let mut v = vec![None; n_slaves];
+        for &(i, at) in &cfg.late_joiners {
+            assert!(i < n_slaves, "late joiner index {i} out of range");
+            v[i] = Some(at);
+        }
+        v
+    };
+    if !cfg.late_joiners.is_empty() {
+        assert!(fault_mode, "late joiners require fault mode");
+        assert!(
+            cfg.fault_tolerance.rejoin_attempts > 0,
+            "late joiners require rejoin_attempts > 0"
+        );
+    }
+    let active: Vec<usize> = (0..n_slaves).filter(|&i| late_at[i].is_none()).collect();
+    assert!(
+        !active.is_empty(),
+        "need at least one slave present at start"
+    );
+
+    // Initial block distribution over the slaves present at start; late
+    // slots get an empty range at the boundary they sit on.
+    let active_ranges: Vec<(usize, usize)> = match cfg.startup {
+        StartupDistribution::Equal => block_ranges(n_units, active.len()),
         StartupDistribution::SpeedProportional => {
-            let speeds: Vec<f64> = cfg.slave_nodes.iter().map(|n| n.speed).collect();
+            let speeds: Vec<f64> = active.iter().map(|&i| cfg.slave_nodes[i].speed).collect();
             let shares = crate::alloc::proportional_allocation(n_units as u64, &speeds, 1);
             let mut lo = 0usize;
             shares
@@ -223,6 +256,22 @@ pub fn try_run(
                 })
                 .collect()
         }
+    };
+    let assignment: Vec<(usize, usize)> = {
+        let mut out = Vec::with_capacity(n_slaves);
+        let mut k = 0usize;
+        let mut cursor = 0usize;
+        for late in late_at.iter().take(n_slaves) {
+            if late.is_none() {
+                let r = active_ranges[k];
+                k += 1;
+                cursor = r.1;
+                out.push(r);
+            } else {
+                out.push((cursor, cursor));
+            }
+        }
+        out
     };
     let initial_owned: Vec<u64> = assignment.iter().map(|&(l, h)| (h - l) as u64).collect();
 
@@ -454,6 +503,7 @@ pub fn try_run(
                     kernel: Arc::clone(k),
                     ft,
                     takeover,
+                    join_at: late_at[i],
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -466,6 +516,7 @@ pub fn try_run(
                     kernel: Arc::clone(k),
                     ft,
                     takeover,
+                    join_at: late_at[i],
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }
@@ -478,6 +529,7 @@ pub fn try_run(
                     kernel: Arc::clone(k),
                     ft,
                     takeover,
+                    join_at: late_at[i],
                 };
                 sim.spawn(node, format!("slave{i}"), move |ctx| slave.run(ctx));
             }

@@ -59,6 +59,10 @@ pub struct IndependentSlave {
     /// Everything a promoted deputy needs to rebuild the master role
     /// (config factory, outcome slot, topology). `None` outside fault mode.
     pub takeover: Option<Arc<crate::master::TakeoverKit>>,
+    /// Latecomer start time: when set, this slave starts with no units,
+    /// idles until the given instant, then joins the running pool via the
+    /// [`Msg::Join`] handshake.
+    pub join_at: Option<dlb_sim::SimTime>,
 }
 
 impl IndependentSlave {
@@ -67,7 +71,10 @@ impl IndependentSlave {
     pub fn run(self, ctx: ActorCtx<Msg>) {
         let (idx, master) = (self.idx, self.master);
         match self.run_inner(&ctx) {
-            Ok(()) | Err(ProtocolError::Aborted) | Err(ProtocolError::Evicted { .. }) => {}
+            Ok(())
+            | Err(ProtocolError::Aborted)
+            | Err(ProtocolError::Evicted { .. })
+            | Err(ProtocolError::JoinRefused { .. }) => {}
             Err(error) => {
                 let msg = Msg::SlaveError { slave: idx, error };
                 let bytes = msg.wire_bytes();
@@ -107,56 +114,79 @@ impl IndependentSlave {
         let mut spec: SpecBuffers = BTreeMap::new();
         let mut start_inv = 0u64;
         let mut need_release = true;
-        // Reboot loop: a master-failover rollback restarts the work loop at
-        // the replicated invocation with a wholly re-scattered unit set; an
-        // election win turns this slave into the new master.
+        if let Some(at) = self.join_at {
+            // Latecomer: the parked Start taught us the topology; idle to
+            // the join instant, then announce. The admission rollback is
+            // stashed by the handshake and adopted at the top of the loop.
+            common.park_then_join(ctx, at)?;
+        }
+        // Reboot loop: a rollback (master failover, or an admission after a
+        // join) restarts the work loop at the rolled-back invocation with a
+        // wholly re-scattered unit set; an election win turns this slave
+        // into the new master; an eviction turns into a rejoin when the
+        // fault config allows it.
         loop {
-            match work_loop(
-                ctx,
-                &mut common,
-                &mut units,
-                &mut spec,
-                &*kernel,
-                start_inv,
-                need_release,
-            ) {
-                Err(ProtocolError::RolledBack) => {
-                    let rb = common
-                        .pending_rollback
-                        .take()
-                        .expect("RolledBack pairs with a stashed rollback");
-                    if !rb.survivors.contains(&common.idx) {
-                        return Err(ProtocolError::Evicted { slave: common.idx });
-                    }
-                    for s in 0..common.dead.len() {
-                        if s != common.idx && !rb.survivors.contains(&s) {
-                            common.peer_evicted(s);
+            let result = match common.pending_rollback.take() {
+                Some(rb) if !rb.survivors.contains(&common.idx) => {
+                    Err(ProtocolError::Evicted { slave: common.idx })
+                }
+                maybe_rb => {
+                    if let Some(rb) = maybe_rb {
+                        for s in 0..common.dead.len() {
+                            if s == common.idx {
+                                continue;
+                            }
+                            if !rb.survivors.contains(&s) {
+                                common.peer_evicted(s);
+                            } else if common.dead[s] {
+                                // A rejoined peer comes back to life; clearing
+                                // the flag lets the rebase below reopen its
+                                // transfer channel at sequence zero.
+                                common.dead[s] = false;
+                            }
                         }
+                        // The rollback re-scatters every unit from the
+                        // master's replica: nothing reclaimed from closed
+                        // channels (and no ownership report) survives it.
+                        common.reclaimed.clear();
+                        common.own_report_due.clear();
+                        common.rebase_epoch(rb.epoch);
+                        common.ckpt_stride = rb.ckpt_stride;
+                        spec.clear();
+                        units = rb
+                            .units
+                            .into_iter()
+                            .map(|(id, data)| {
+                                (
+                                    id,
+                                    Unit {
+                                        data,
+                                        done_in: None,
+                                    },
+                                )
+                            })
+                            .collect();
+                        start_inv = rb.invocation;
+                        // The Rollback doubles as the barrier release.
+                        need_release = false;
                     }
-                    // The rollback re-scatters every unit from the master's
-                    // replica: nothing reclaimed from closed channels (and no
-                    // ownership report) survives it.
-                    common.reclaimed.clear();
-                    common.own_report_due.clear();
-                    common.rebase_epoch(rb.epoch);
-                    common.ckpt_stride = rb.ckpt_stride;
-                    spec.clear();
-                    units = rb
-                        .units
-                        .into_iter()
-                        .map(|(id, data)| {
-                            (
-                                id,
-                                Unit {
-                                    data,
-                                    done_in: None,
-                                },
-                            )
-                        })
-                        .collect();
-                    start_inv = rb.invocation;
-                    // The Rollback doubles as the barrier release.
-                    need_release = false;
+                    work_loop(
+                        ctx,
+                        &mut common,
+                        &mut units,
+                        &mut spec,
+                        &*kernel,
+                        start_inv,
+                        need_release,
+                    )
+                }
+            };
+            match result {
+                Err(ProtocolError::RolledBack) => {
+                    debug_assert!(
+                        common.pending_rollback.is_some(),
+                        "RolledBack pairs with a stashed rollback"
+                    );
                 }
                 Err(ProtocolError::Elected { .. }) => {
                     let seed = common
@@ -172,6 +202,30 @@ impl IndependentSlave {
                         });
                     };
                     return crate::master::run_takeover(ctx, kit, seed, common.idx);
+                }
+                Err(ProtocolError::Evicted { .. })
+                    if self.ft.as_ref().is_some_and(|ft| ft.rejoin_attempts > 0) =>
+                {
+                    // Eviction is no longer the end of the line: come back
+                    // as a fresh incarnation and ask to be re-admitted. The
+                    // rebuilt common starts with clean channel/epoch state;
+                    // the old life's windows and clocks die with it.
+                    let incarnation = common.incarnation + 1;
+                    let (master, peers) = (common.master, common.slaves.clone());
+                    common = SlaveCommon::new(
+                        self.idx,
+                        master,
+                        peers,
+                        self.mode,
+                        self.hook_check_cpu,
+                        self.ft.clone(),
+                        ctx.now(),
+                    );
+                    common.incarnation = incarnation;
+                    common.enable_deputy(false, ctx.now());
+                    units.clear();
+                    spec.clear();
+                    common.join_handshake(ctx)?;
                 }
                 r => return r,
             }

@@ -59,6 +59,10 @@ pub struct PipelinedSlave {
     /// Master-failover kit (fault mode): lets this slave rebuild the master
     /// role in place if it wins a deputy election.
     pub takeover: Option<Arc<crate::master::TakeoverKit>>,
+    /// Latecomer start time: when set, this slave starts with no columns,
+    /// idles until the given instant, then joins the running pool via the
+    /// [`Msg::Join`] handshake.
+    pub join_at: Option<dlb_sim::SimTime>,
 }
 
 struct State {
@@ -133,7 +137,10 @@ impl PipelinedSlave {
     pub fn run(self, ctx: ActorCtx<Msg>) {
         let (idx, master) = (self.idx, self.master);
         match self.run_inner(&ctx) {
-            Ok(()) | Err(ProtocolError::Aborted) | Err(ProtocolError::Evicted { .. }) => {}
+            Ok(())
+            | Err(ProtocolError::Aborted)
+            | Err(ProtocolError::Evicted { .. })
+            | Err(ProtocolError::JoinRefused { .. }) => {}
             Err(error) => {
                 let msg = Msg::SlaveError { slave: idx, error };
                 let bytes = msg.wire_bytes();
@@ -144,7 +151,15 @@ impl PipelinedSlave {
 
     fn run_inner(self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
         let (slaves, assignment, block_rows) = recv_start(ctx, self.idx, self.ft.as_ref())?;
-        let n_slaves = slaves.len();
+        // Pipeline neighbours skip deferred (latecomer) slots — an empty
+        // range marks a slave that is not part of the pool yet.
+        let live: Vec<usize> = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.0 < r.1)
+            .map(|(i, _)| i)
+            .collect();
+        let pos = live.iter().position(|&s| s == self.idx);
         let range = assignment[self.idx];
         let kernel = self.kernel;
         let mut common = SlaveCommon::new(
@@ -181,32 +196,69 @@ impl PipelinedSlave {
             col_len,
             left_halo: vec![0.0; col_len],
             sweep: 0,
-            left: (self.idx > 0).then(|| self.idx - 1),
-            right: (self.idx + 1 < n_slaves).then_some(self.idx + 1),
+            left: pos.and_then(|p| p.checked_sub(1)).map(|p| live[p]),
+            right: pos.and_then(|p| live.get(p + 1).copied()),
         };
-        if st.cols.is_empty() {
+        if st.cols.is_empty() && self.join_at.is_none() {
             return Err(st.inconsistent("started with zero columns".into()));
         }
         let mut strategy = PipelinedStrategy { st, kernel };
-        match session_slave::run(ctx, &mut common, &mut strategy) {
-            Err(ProtocolError::Elected { .. }) => {
-                // This deputy won the master election: drop the slave role
-                // and rebuild the master in place from the replicated seed.
-                let seed = common
-                    .takeover
-                    .take()
-                    .ok_or_else(|| ProtocolError::Inconsistent {
-                        detail: format!("slave {}: elected with no takeover seed", common.idx),
-                    })?;
-                let kit = self
-                    .takeover
-                    .as_deref()
-                    .ok_or_else(|| ProtocolError::Inconsistent {
-                        detail: format!("slave {}: elected with no takeover kit", common.idx),
-                    })?;
-                crate::master::run_takeover(ctx, kit, seed, common.idx)
+        if let Some(at) = self.join_at {
+            // Latecomer: the parked Start taught us the topology; idle to
+            // the join instant, then announce. The admission rollback lands
+            // in `pending_rollback` and is adopted by the session runner.
+            common.park_then_join(ctx, at)?;
+        }
+        loop {
+            match session_slave::run(ctx, &mut common, &mut strategy) {
+                Err(ProtocolError::Elected { .. }) => {
+                    // This deputy won the master election: drop the slave role
+                    // and rebuild the master in place from the replicated seed.
+                    let seed =
+                        common
+                            .takeover
+                            .take()
+                            .ok_or_else(|| ProtocolError::Inconsistent {
+                                detail: format!(
+                                    "slave {}: elected with no takeover seed",
+                                    common.idx
+                                ),
+                            })?;
+                    let kit =
+                        self.takeover
+                            .as_deref()
+                            .ok_or_else(|| ProtocolError::Inconsistent {
+                                detail: format!(
+                                    "slave {}: elected with no takeover kit",
+                                    common.idx
+                                ),
+                            })?;
+                    return crate::master::run_takeover(ctx, kit, seed, common.idx);
+                }
+                Err(ProtocolError::Evicted { .. })
+                    if self.ft.as_ref().is_some_and(|ft| ft.rejoin_attempts > 0) =>
+                {
+                    // Eviction is no longer the end of the line: come back
+                    // as a fresh incarnation and ask to be re-admitted. The
+                    // rebuilt common starts with clean channel/epoch state;
+                    // the old life's windows and clocks die with it.
+                    let incarnation = common.incarnation + 1;
+                    let (master, slaves) = (common.master, common.slaves.clone());
+                    common = SlaveCommon::new(
+                        self.idx,
+                        master,
+                        slaves,
+                        self.mode,
+                        self.hook_check_cpu,
+                        self.ft.clone(),
+                        ctx.now(),
+                    );
+                    common.incarnation = incarnation;
+                    common.enable_deputy(true, ctx.now());
+                    common.join_handshake(ctx)?;
+                }
+                r => return r,
             }
-            r => r,
         }
     }
 }

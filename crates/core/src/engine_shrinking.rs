@@ -44,6 +44,10 @@ pub struct ShrinkingSlave {
     /// Master-failover kit (fault mode): lets this slave rebuild the master
     /// role in place if it wins a deputy election.
     pub takeover: Option<Arc<crate::master::TakeoverKit>>,
+    /// Latecomer start time: when set, this slave starts with no columns,
+    /// idles until the given instant, then joins the running pool via the
+    /// [`Msg::Join`] handshake.
+    pub join_at: Option<dlb_sim::SimTime>,
 }
 
 struct State {
@@ -58,7 +62,10 @@ impl ShrinkingSlave {
     pub fn run(self, ctx: ActorCtx<Msg>) {
         let (idx, master) = (self.idx, self.master);
         match self.run_inner(&ctx) {
-            Ok(()) | Err(ProtocolError::Aborted) | Err(ProtocolError::Evicted { .. }) => {}
+            Ok(())
+            | Err(ProtocolError::Aborted)
+            | Err(ProtocolError::Evicted { .. })
+            | Err(ProtocolError::JoinRefused { .. }) => {}
             Err(error) => {
                 let msg = Msg::SlaveError { slave: idx, error };
                 let bytes = msg.wire_bytes();
@@ -100,25 +107,62 @@ impl ShrinkingSlave {
             pivots: vec![None; n],
         };
         let mut strategy = ShrinkingStrategy { st, kernel };
-        match session_slave::run(ctx, &mut common, &mut strategy) {
-            Err(ProtocolError::Elected { .. }) => {
-                // This deputy won the master election: drop the slave role
-                // and rebuild the master in place from the replicated seed.
-                let seed = common
-                    .takeover
-                    .take()
-                    .ok_or_else(|| ProtocolError::Inconsistent {
-                        detail: format!("slave {}: elected with no takeover seed", common.idx),
-                    })?;
-                let kit = self
-                    .takeover
-                    .as_deref()
-                    .ok_or_else(|| ProtocolError::Inconsistent {
-                        detail: format!("slave {}: elected with no takeover kit", common.idx),
-                    })?;
-                crate::master::run_takeover(ctx, kit, seed, common.idx)
+        if let Some(at) = self.join_at {
+            // Latecomer: the parked Start taught us the topology; idle to
+            // the join instant, then announce. The admission rollback lands
+            // in `pending_rollback` and is adopted by the session runner.
+            common.park_then_join(ctx, at)?;
+        }
+        loop {
+            match session_slave::run(ctx, &mut common, &mut strategy) {
+                Err(ProtocolError::Elected { .. }) => {
+                    // This deputy won the master election: drop the slave role
+                    // and rebuild the master in place from the replicated seed.
+                    let seed =
+                        common
+                            .takeover
+                            .take()
+                            .ok_or_else(|| ProtocolError::Inconsistent {
+                                detail: format!(
+                                    "slave {}: elected with no takeover seed",
+                                    common.idx
+                                ),
+                            })?;
+                    let kit =
+                        self.takeover
+                            .as_deref()
+                            .ok_or_else(|| ProtocolError::Inconsistent {
+                                detail: format!(
+                                    "slave {}: elected with no takeover kit",
+                                    common.idx
+                                ),
+                            })?;
+                    return crate::master::run_takeover(ctx, kit, seed, common.idx);
+                }
+                Err(ProtocolError::Evicted { .. })
+                    if self.ft.as_ref().is_some_and(|ft| ft.rejoin_attempts > 0) =>
+                {
+                    // Eviction is no longer the end of the line: come back
+                    // as a fresh incarnation and ask to be re-admitted. The
+                    // rebuilt common starts with clean channel/epoch state;
+                    // the old life's windows and clocks die with it.
+                    let incarnation = common.incarnation + 1;
+                    let (master, slaves) = (common.master, common.slaves.clone());
+                    common = SlaveCommon::new(
+                        self.idx,
+                        master,
+                        slaves,
+                        self.mode,
+                        self.hook_check_cpu,
+                        self.ft.clone(),
+                        ctx.now(),
+                    );
+                    common.incarnation = incarnation;
+                    common.enable_deputy(true, ctx.now());
+                    common.join_handshake(ctx)?;
+                }
+                r => return r,
             }
-            r => r,
         }
     }
 }

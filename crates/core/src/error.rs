@@ -52,6 +52,10 @@ pub enum ProtocolError {
     Aborted,
     /// The master evicted this slave after (possibly false) suspicion.
     Evicted { slave: usize },
+    /// This slave exhausted its rejoin budget: every `Msg::Join` attempt
+    /// was refused, dropped, or outlived its backoff window. The slave
+    /// exits silently, like an eviction it could not reverse.
+    JoinRefused { slave: usize, attempts: u32 },
     /// Internal control flow, never surfaced to the driver: a
     /// [`crate::msg::Msg::Rollback`] arrived inside a blocking receive and
     /// the checkpointed engine must unwind to its restart loop to apply it
@@ -109,6 +113,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Aborted => write!(f, "aborted by master"),
             ProtocolError::Evicted { slave } => write!(f, "slave {slave} evicted"),
+            ProtocolError::JoinRefused { slave, attempts } => {
+                write!(f, "slave {slave}: join refused after {attempts} attempts")
+            }
             ProtocolError::RolledBack => {
                 write!(f, "rollback in progress (internal control flow)")
             }
@@ -146,6 +153,7 @@ impl ProtocolError {
             ProtocolError::SlaveFailed { error, .. } => 8 + error.payload_bytes(),
             ProtocolError::Aborted | ProtocolError::RolledBack => 0,
             ProtocolError::Evicted { .. } => 8,
+            ProtocolError::JoinRefused { .. } => 12,
             ProtocolError::Elected { .. } | ProtocolError::Superseded { .. } => 8,
             ProtocolError::Inconsistent { detail } => detail.len() as u64,
         }
@@ -226,6 +234,16 @@ pub struct FaultToleranceConfig {
     /// (1 = every barrier; larger values trade replication bytes for a
     /// staler takeover point).
     pub replicate_every: u64,
+    /// Elastic membership: how many times an evicted (or late-starting)
+    /// slave re-sends `Msg::Join` before giving up with
+    /// [`ProtocolError::JoinRefused`]. Zero disables rejoin entirely —
+    /// eviction stays final and joiners never form (the default, matching
+    /// the fail-stop model).
+    pub rejoin_attempts: u32,
+    /// Elastic membership: base delay between join attempts. Doubles each
+    /// retry (with deterministic per-slave jitter) so refused joiners
+    /// cannot hot-loop the master; capped at 8× the base.
+    pub rejoin_backoff: SimDuration,
 }
 
 impl Default for FaultToleranceConfig {
@@ -247,6 +265,8 @@ impl Default for FaultToleranceConfig {
             master_suspicion: SimDuration::from_secs(8),
             election_stagger: SimDuration::from_secs(2),
             replicate_every: 1,
+            rejoin_attempts: 0,
+            rejoin_backoff: SimDuration::from_secs(2),
         }
     }
 }
@@ -315,6 +335,11 @@ mod tests {
         );
         assert!(t.deputies >= 1);
         assert!(t.replicate_every >= 1);
+        assert_eq!(t.rejoin_attempts, 0, "rejoin is opt-in");
+        assert!(
+            t.rejoin_backoff >= t.nudge,
+            "joiners must not out-chatter the master's own nudge cadence"
+        );
     }
 
     #[test]

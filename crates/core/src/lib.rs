@@ -91,7 +91,8 @@ pub use protocol::{AckTracker, SenderWindow, TransferWindow};
 pub use rate::RateFilter;
 pub use recovery::{RecoveryStats, SlaveFaultStats};
 pub use session::model::{
-    DeputyModel, EStep, EWire, ElectionModel, ElectionState, ReceiverSlot, RestoreModel,
-    RestoreState, Step, TStep, TWire, TransferModel, TransferState, Wire,
+    DeputyModel, EStep, EWire, ElectionModel, ElectionState, JStep, JWire, JoinModel, JoinPhase,
+    JoinSlotMaster, JoinSlotSlave, JoinState, ReceiverSlot, RestoreModel, RestoreState, Step,
+    TStep, TWire, TransferModel, TransferState, Wire,
 };
 pub use session::replica::{DeputyState, TakeoverSeed};

@@ -609,6 +609,111 @@ fn run_plain(
     Ok(())
 }
 
+/// Admit every queued joiner into a settled recoverable session: the exact
+/// inverse of an eviction. Each joiner is readmitted with its announced
+/// incarnation (fresh two-clock state, fresh sender window — the previous
+/// life's contiguous-ack watermark died with it), the balancer's accounting
+/// for its slot is zeroed, and the whole unit set is re-ranged over the
+/// enlarged survivor set with a takeover-style windowed `Rollback` — which
+/// doubles as the joiners' state transfer *and* the barrier release. The
+/// epoch bump fences every pre-admission message (including the joiners'
+/// previous-life traffic) as stale.
+#[allow(clippy::too_many_arguments)]
+fn admit_recoverable(
+    ctx: &ActorCtx<Msg>,
+    cfg: &mut MasterConfig,
+    ft: &MasterFt,
+    slaves: &[ActorId],
+    n_units: usize,
+    inv: u64,
+    tol: &FaultToleranceConfig,
+    memb: &mut Membership,
+    deferred: &mut [bool],
+    pending_joins: &mut Vec<(usize, u64)>,
+    owned: &mut [BTreeSet<usize>],
+    win: &mut [SenderWindow<Msg>],
+    unacked_instr: &mut [Option<(u64, Instructions, u32)>],
+    last_hook_seq: &mut [u64],
+    sent: &mut [Vec<u64>],
+    recv: &mut [Vec<u64>],
+    cur_epoch: &mut u64,
+    released: &mut bool,
+    rec: &mut RecoveryStats,
+) {
+    let recompute = ft
+        .recompute_unit
+        .as_ref()
+        .expect("recoverable loop needs recompute_unit");
+    let joiners = std::mem::take(pending_joins);
+    let mut joined: Vec<usize> = Vec::new();
+    let mut rejoined_any = false;
+    for &(j, jinc) in &joiners {
+        if memb.alive[j] || jinc < memb.incarnation[j] {
+            continue; // raced an earlier admission, or a newer life exists
+        }
+        memb.readmit(j, jinc, ctx.now(), tol.nudge);
+        cfg.balancer.admit(j);
+        win[j] = SenderWindow::new();
+        unacked_instr[j] = None;
+        last_hook_seq[j] = 0;
+        rec.joins_admitted += 1;
+        if deferred[j] {
+            deferred[j] = false;
+        } else {
+            rec.rejoins_after_eviction += 1;
+            rejoined_any = true;
+        }
+        joined.push(j);
+    }
+    if joined.is_empty() {
+        return;
+    }
+    if rejoined_any {
+        rec.partitions_healed += 1;
+    }
+    *cur_epoch += 1;
+    let survivors = memb.survivors();
+    let ranges = crate::driver::block_ranges(n_units, survivors.len());
+    let mut counts = vec![0u64; slaves.len()];
+    for o in owned.iter_mut() {
+        o.clear();
+    }
+    for (k, &sv) in survivors.iter().enumerate() {
+        let (lo, hi) = ranges[k];
+        counts[sv] = (hi - lo) as u64;
+        owned[sv] = (lo..hi).collect();
+        let units: Vec<(usize, UnitData)> = (lo..hi).map(|u| (u, recompute(u, inv))).collect();
+        let epoch = *cur_epoch;
+        let survivors_c = survivors.clone();
+        let msg = win[sv]
+            .send_with(|seq| Msg::Rollback {
+                seq,
+                epoch,
+                invocation: inv,
+                survivors: survivors_c,
+                ckpt_stride: 1,
+                units,
+            })
+            .clone();
+        if joined.contains(&sv) {
+            rec.join_snapshot_bytes += msg.wire_bytes();
+        }
+        send(ctx, slaves[sv], msg);
+    }
+    rec.rollbacks += 1;
+    rec.units_rolled_back += n_units as u64;
+    cfg.balancer.rebase(*cur_epoch, counts);
+    // The slaves reset their channels when they rebase onto the new epoch,
+    // so the settlement matrices restart from zero; everything tracked
+    // under the old epoch is void (stale reports are epoch-fenced before
+    // they can re-merge old maxima).
+    for row in sent.iter_mut().chain(recv.iter_mut()) {
+        row.iter_mut().for_each(|v| *v = 0);
+    }
+    // The Rollback doubles as the barrier release for `inv`.
+    *released = true;
+}
+
 /// Recoverable control loop (independent pattern): silence-based failure
 /// detection, channel-fenced eviction, speculative re-execution, and unit
 /// re-scattering — with the dynamic balancer live throughout.
@@ -665,6 +770,15 @@ fn run_recoverable(
     let mut evictions: Vec<Eviction> = Vec::new();
     let mut spec: Option<RestartSpec> = None;
     let mut fo = Failover::new(n, takeover.map_or(0, |(s, _)| s.term), &tol, ctx.now());
+    // Mid-run admission queue: (slave, incarnation) of joiners waiting for
+    // the next settled barrier. Admission never races an open eviction —
+    // settlement requires the eviction set to be empty.
+    let mut pending_joins: Vec<(usize, u64)> = Vec::new();
+    // Slots whose initial assignment is empty are *deferred*: reserved for
+    // latecomers. They start evicted (no death counted, no channel fence
+    // broadcast — peers simply never hear from them) and enter through the
+    // same admission path as a rejoiner.
+    let mut deferred: Vec<bool> = assignment.iter().map(|&(lo, hi)| lo >= hi).collect();
 
     let mut inv = 0;
     // Epoch in force: 0 for an original reign. A takeover fences its reign
@@ -680,12 +794,20 @@ fn run_recoverable(
             .recompute_unit
             .as_ref()
             .expect("recoverable loop needs recompute_unit");
-        for i in 0..n {
+        for (i, d) in deferred.iter_mut().enumerate().take(n) {
             if !seed.replica.alive[i] || i == me {
                 memb.evict(i);
                 cfg.balancer.mark_dead(i);
             }
+            if seed.replica.alive[i] {
+                // Admitted before the crash: a later rejoin is a rejoin,
+                // not a first-time (deferred) admission.
+                *d = false;
+            }
         }
+        // Incarnation fencing survives the failover: the replica carries
+        // the admitted-life table, so a pre-crash zombie stays fenced.
+        memb.incarnation.clone_from(&seed.replica.incarnations);
         let survivors = memb.survivors();
         if survivors.is_empty() {
             return Err(ProtocolError::AllSlavesDead);
@@ -725,12 +847,43 @@ fn run_recoverable(
         // The Rollback doubles as the barrier release for `inv`.
         released = true;
     } else {
+        for (i, &d) in deferred.iter().enumerate().take(n) {
+            if d {
+                memb.evict(i);
+                cfg.balancer.mark_dead(i);
+            }
+        }
+        // Deferred slots get the Start too: it parks in their mailbox and
+        // teaches the latecomer the topology when it wakes to join.
         for &s in slaves {
             send(ctx, s, start_msg(slaves));
         }
     }
 
     'invocations: while inv < cfg.invocations {
+        if !pending_joins.is_empty() {
+            admit_recoverable(
+                ctx,
+                cfg,
+                ft,
+                slaves,
+                n_units,
+                inv,
+                &tol,
+                &mut memb,
+                &mut deferred,
+                &mut pending_joins,
+                &mut owned,
+                &mut win,
+                &mut unacked_instr,
+                &mut last_hook_seq,
+                &mut sent,
+                &mut recv,
+                &mut cur_epoch,
+                &mut released,
+                &mut sc.recovery,
+            );
+        }
         cfg.balancer
             .set_remaining_invocations(cfg.invocations - inv);
         if let Some(uph) = &cfg.units_per_hook {
@@ -760,6 +913,7 @@ fn run_recoverable(
             let term = fo.term;
             let rec_snap = sc.recovery.clone();
             let alive = &memb.alive;
+            let incarnations = &memb.incarnation;
             fo.publish(
                 ctx,
                 slaves,
@@ -771,6 +925,7 @@ fn run_recoverable(
                     invocation: inv,
                     ckpt_stride: 1,
                     alive: alive.clone(),
+                    incarnations: incarnations.clone(),
                     fresh: inv,
                     snapshot: None,
                     best_banked: 0,
@@ -867,6 +1022,11 @@ fn run_recoverable(
                         replica_inv,
                     } => {
                         if !memb.alive[slave] {
+                            // A non-member still reporting (its Evict was
+                            // lost, e.g. dropped by a partition): repeat the
+                            // verdict so it can exit — or rejoin as a fresh
+                            // incarnation when elastic membership is on.
+                            send(ctx, slaves[slave], Msg::Evict);
                             sc.recovery.done_dups_ignored += 1;
                             continue;
                         }
@@ -988,15 +1148,59 @@ fn run_recoverable(
                     }
                     // A slave blocked on a peer (not the master) pings so
                     // the suspicion timer cannot mistake it for a crash.
-                    Msg::Alive { slave } => {
-                        if memb.alive[slave] {
+                    // Pings are incarnation-stamped: a rejoined slot only
+                    // credits its *current* life, so a zombie's leftover
+                    // heartbeats cannot vouch for the new one (E111).
+                    Msg::Alive { slave, incarnation } => {
+                        if memb.alive[slave] && incarnation == memb.incarnation[slave] {
                             memb.ping(slave, ctx.now());
                             if spec.as_ref().is_some_and(|sp| sp.suspect == slave) {
                                 cancel_spec(ctx, slaves, &mut win, &mut spec, &mut sc.recovery);
                             }
+                        } else if !memb.alive[slave] && incarnation >= memb.incarnation[slave] {
+                            // The latest life of an evicted slot is still
+                            // heartbeating — its Evict was lost. Repeat it so
+                            // the slave can exit or rejoin. (Older
+                            // incarnations are zombies; the Evict would reach
+                            // the current life, so they get nothing.)
+                            send(ctx, slaves[slave], Msg::Evict);
+                        }
+                    }
+                    Msg::Join { slave, incarnation } => {
+                        if tol.rejoin_attempts == 0 {
+                            // Elastic membership is opt-in; without it every
+                            // join is refused so the joiner cannot hot-loop.
+                            send(ctx, slaves[slave], Msg::JoinRefuse { slave });
+                        } else if memb.alive[slave] {
+                            // Already admitted: its admission Rollback (the
+                            // handshake's exit signal) must have been lost.
+                            // Replay the window; zombies (older incarnation)
+                            // are ignored outright.
+                            if incarnation == memb.incarnation[slave]
+                                && memb.nudge_due(slave, ctx.now(), tol.nudge)
+                            {
+                                for (_, msg) in win[slave].unacked() {
+                                    send(ctx, slaves[slave], msg.clone());
+                                    sc.recovery.restore_resends += 1;
+                                }
+                            }
+                        } else if incarnation >= memb.incarnation[slave] {
+                            // Queue for the next settled barrier; dedup on
+                            // the newest announced life.
+                            match pending_joins.iter_mut().find(|(s, _)| *s == slave) {
+                                Some(p) => p.1 = p.1.max(incarnation),
+                                None => pending_joins.push((slave, incarnation)),
+                            }
                         }
                     }
                     Msg::SlaveError { slave, error } => {
+                        if !memb.alive[slave] {
+                            // A non-member's dying report (it wedged inside a
+                            // partition we evicted it across): not fatal to
+                            // the run — repeat the eviction verdict instead.
+                            send(ctx, slaves[slave], Msg::Evict);
+                            continue;
+                        }
                         return Err(ProtocolError::SlaveFailed {
                             slave,
                             error: Box::new(error),
@@ -1031,7 +1235,13 @@ fn run_recoverable(
                 if !memb.alive[s] {
                     continue;
                 }
-                let settled_s = memb.done[s] && win[s].fully_acked();
+                // A settled slave is exempt from suspicion — unless a
+                // pending eviction is waiting on its OwnReport. A survivor
+                // that dies *after* settling would otherwise stall the
+                // eviction forever: nothing re-arms its timer, and the
+                // awaiting set never drains.
+                let awaited = evictions.iter().any(|ev| ev.awaiting.contains(&s));
+                let settled_s = memb.done[s] && win[s].fully_acked() && !awaited;
                 if settled_s {
                     continue;
                 }
@@ -1180,6 +1390,12 @@ fn run_recoverable(
 
     sc.compute_done = ctx.now();
 
+    // Too late to admit once the run is gathering: refuse queued joiners so
+    // their bounded handshake exits instead of retrying into silence.
+    for (j, _) in pending_joins.drain(..) {
+        send(ctx, slaves[j], Msg::JoinRefuse { slave: j });
+    }
+
     // Gather from the survivors; a slave dying here gets its units
     // recomputed locally from the retained initial data (safety net).
     let recompute = ft
@@ -1253,15 +1469,26 @@ fn run_recoverable(
                     }
                 }
                 Msg::InvocationDone {
-                    slave, restore_seq, ..
+                    slave,
+                    restore_seq,
+                    epoch,
+                    ..
                 } => {
                     if memb.alive[slave] {
                         memb.last_heard[slave] = ctx.now();
-                        win[slave].ack(restore_seq);
+                        // A stale report (pre-takeover or a rejoiner's
+                        // previous life) acknowledges an older window, not
+                        // the one in force.
+                        if epoch >= cur_epoch {
+                            win[slave].ack(restore_seq);
+                        }
                         if !got[slave] && memb.nudge_due(slave, ctx.now(), tol.nudge) {
                             send(ctx, slaves[slave], Msg::Gather);
                             sc.recovery.gather_resends += 1;
                         }
+                    } else {
+                        // Non-member still reporting: its Evict was lost.
+                        send(ctx, slaves[slave], Msg::Evict);
                     }
                 }
                 // A duplicated Evicted delivery can make a survivor repeat
@@ -1276,14 +1503,25 @@ fn run_recoverable(
                         }
                     }
                 }
-                Msg::Alive { slave } => {
-                    if memb.alive[slave] {
+                Msg::Alive { slave, incarnation } => {
+                    if memb.alive[slave] && incarnation == memb.incarnation[slave] {
                         // Defers suspicion only; the timer sweep below still
                         // re-sends Gather on protocol silence.
                         memb.ping(slave, ctx.now());
+                    } else if !memb.alive[slave] && incarnation >= memb.incarnation[slave] {
+                        // Latest life of a non-member: repeat the lost Evict.
+                        send(ctx, slaves[slave], Msg::Evict);
                     }
                 }
+                // The run is gathering: no more admissions this run.
+                Msg::Join { slave, .. } => {
+                    send(ctx, slaves[slave], Msg::JoinRefuse { slave });
+                }
                 Msg::SlaveError { slave, error } => {
+                    if !memb.alive[slave] {
+                        send(ctx, slaves[slave], Msg::Evict);
+                        continue;
+                    }
                     return Err(ProtocolError::SlaveFailed {
                         slave,
                         error: Box::new(error),
@@ -1376,17 +1614,31 @@ fn run_checkpointed(
     // Window-acknowledgement floor: reports from epochs below the reign
     // floor acknowledge the *crashed* master's window, never ours.
     let reign = takeover.map_or(0, |(s, _)| s.term << 32);
+    // Per-slave refinement of the floor: a rejoined slot's fresh window
+    // must not be acknowledged by the previous life's in-flight reports,
+    // so admission raises the slot's floor to the admission epoch (E112
+    // guards the same boundary on the snapshot side).
+    let mut join_epoch = vec![reign; n];
+    // See the recoverable loop: queued joiners + latecomer slots.
+    let mut pending_joins: Vec<(usize, u64)> = Vec::new();
+    let mut deferred: Vec<bool> = assignment.iter().map(|&(lo, hi)| lo >= hi).collect();
     if let Some((seed, me)) = takeover {
         // Seed the session from the replica instead of broadcasting Start.
         // The reign's epochs live above `term << 32`, strictly newer than
         // anything the old master (or a previous reign) ever issued.
         st.epoch = seed.term << 32;
-        for i in 0..n {
+        for (i, d) in deferred.iter_mut().enumerate().take(n) {
             if !seed.replica.alive[i] || i == me {
                 st.memb.evict(i);
                 cfg.balancer.mark_dead(i);
             }
+            if seed.replica.alive[i] {
+                *d = false;
+            }
         }
+        // Incarnation fencing survives the failover (see the recoverable
+        // takeover seeding).
+        st.memb.incarnation.clone_from(&seed.replica.incarnations);
         if !st.memb.any_alive() {
             return Err(ProtocolError::AllSlavesDead);
         }
@@ -1411,6 +1663,14 @@ fn run_checkpointed(
             &mut sc.recovery,
         )?;
     } else {
+        for (i, &d) in deferred.iter().enumerate().take(n) {
+            if d {
+                st.memb.evict(i);
+                cfg.balancer.mark_dead(i);
+            }
+        }
+        // Deferred slots get the Start too: it parks in their mailbox and
+        // teaches the latecomer the topology when it wakes to join.
         for &s in slaves {
             send(ctx, s, start_msg(slaves));
         }
@@ -1421,6 +1681,54 @@ fn run_checkpointed(
 
     'run: loop {
         'invocations: while st.inv < target {
+            if !pending_joins.is_empty() {
+                // Admission barrier, checkpointed flavor: readmit the
+                // joiners, then roll *everyone* back to the newest banked
+                // checkpoint — the rollback's windowed broadcast is both
+                // the joiners' state transfer and the barrier release,
+                // and its epoch bump fences their previous lives.
+                let joiners = std::mem::take(&mut pending_joins);
+                let mut joined: Vec<usize> = Vec::new();
+                let mut rejoined_any = false;
+                for &(j, jinc) in &joiners {
+                    if st.memb.alive[j] || jinc < st.memb.incarnation[j] {
+                        continue;
+                    }
+                    st.memb.readmit(j, jinc, ctx.now(), tol.nudge);
+                    cfg.balancer.admit(j);
+                    st.win[j] = SenderWindow::new();
+                    st.unacked_instr[j] = None;
+                    st.last_hook_seq[j] = 0;
+                    sc.recovery.joins_admitted += 1;
+                    if deferred[j] {
+                        deferred[j] = false;
+                    } else {
+                        sc.recovery.rejoins_after_eviction += 1;
+                        rejoined_any = true;
+                    }
+                    joined.push(j);
+                }
+                if !joined.is_empty() {
+                    if rejoined_any {
+                        sc.recovery.partitions_healed += 1;
+                    }
+                    st.rollback(
+                        ctx,
+                        slaves,
+                        &mut cfg.balancer,
+                        ck_init,
+                        n_units,
+                        &tol,
+                        &mut sc.recovery,
+                    )?;
+                    for &j in &joined {
+                        join_epoch[j] = st.epoch;
+                        for (_, msg) in st.win[j].unacked() {
+                            sc.recovery.join_snapshot_bytes += msg.wire_bytes();
+                        }
+                    }
+                }
+            }
             cfg.balancer.set_remaining_invocations(target - st.inv);
             if let Some(uph) = &cfg.units_per_hook {
                 cfg.balancer.set_units_per_hook(uph(st.inv));
@@ -1452,6 +1760,7 @@ fn run_checkpointed(
                 let (epoch, invocation, ckpt_stride) = (st.epoch, st.inv, st.ckpt_stride);
                 let rec_snap = sc.recovery.clone();
                 let (alive, bank) = (&st.memb.alive, &st.bank);
+                let incarnations = &st.memb.incarnation;
                 fo.publish(
                     ctx,
                     slaves,
@@ -1463,6 +1772,7 @@ fn run_checkpointed(
                         invocation,
                         ckpt_stride,
                         alive: alive.clone(),
+                        incarnations: incarnations.clone(),
                         fresh,
                         snapshot: if with_snap {
                             bank.best_snapshot()
@@ -1555,6 +1865,11 @@ fn run_checkpointed(
                             ..
                         } => {
                             if !st.memb.alive[slave] {
+                                // A non-member still reporting (its Evict was
+                                // lost, e.g. dropped by a partition): repeat
+                                // the verdict so it can exit — or rejoin as a
+                                // fresh incarnation under elastic membership.
+                                send(ctx, slaves[slave], Msg::Evict);
                                 sc.recovery.done_dups_ignored += 1;
                                 continue;
                             }
@@ -1563,10 +1878,11 @@ fn run_checkpointed(
                             // Ack before the epoch fence: the master-channel
                             // watermark is not epoch-scoped within a reign,
                             // and a stale report still proves what the slave
-                            // applied. Below the reign floor the watermark
-                            // belongs to the crashed master's window — never
-                            // ack.
-                            if epoch >= reign {
+                            // applied. Below the slot's floor the watermark
+                            // belongs to an older window — the crashed
+                            // master's (reign) or a previous life's (raised
+                            // at admission) — never ack.
+                            if epoch >= join_epoch[slave] {
                                 st.win[slave].ack(restore_seq);
                             }
                             if epoch < st.epoch {
@@ -1665,6 +1981,9 @@ fn run_checkpointed(
                         }
                         Msg::SlaveError { slave, error } => {
                             if !st.memb.alive[slave] {
+                                // Repeat the lost eviction verdict; the slave
+                                // exits or rejoins instead of wedging.
+                                send(ctx, slaves[slave], Msg::Evict);
                                 continue;
                             }
                             if !st.win[slave].fully_acked() {
@@ -1695,10 +2014,40 @@ fn run_checkpointed(
                         // A slave blocked on a peer (a halo or pivot from a
                         // crashed neighbour) pings so the suspicion timer
                         // cannot mistake the stall for a second crash.
-                        Msg::Alive { slave } => {
-                            if st.memb.alive[slave] {
+                        // Incarnation-stamped: a zombie's leftover pings
+                        // cannot vouch for a rejoined life (E111).
+                        Msg::Alive { slave, incarnation } => {
+                            if st.memb.alive[slave] && incarnation == st.memb.incarnation[slave] {
                                 st.memb.ping(slave, ctx.now());
                                 st.cancel_speculation_for(slave, &mut sc.recovery);
+                            } else if !st.memb.alive[slave]
+                                && incarnation >= st.memb.incarnation[slave]
+                            {
+                                // Latest life of a non-member heartbeating:
+                                // repeat the lost Evict so it can exit or
+                                // rejoin.
+                                send(ctx, slaves[slave], Msg::Evict);
+                            }
+                        }
+                        Msg::Join { slave, incarnation } => {
+                            if tol.rejoin_attempts == 0 {
+                                send(ctx, slaves[slave], Msg::JoinRefuse { slave });
+                            } else if st.memb.alive[slave] {
+                                // Admitted, but its admission Rollback was
+                                // lost: replay the window (zombies ignored).
+                                if incarnation == st.memb.incarnation[slave]
+                                    && st.memb.nudge_due(slave, ctx.now(), tol.nudge)
+                                {
+                                    for (_, msg) in st.win[slave].unacked() {
+                                        send(ctx, slaves[slave], msg.clone());
+                                        sc.recovery.restore_resends += 1;
+                                    }
+                                }
+                            } else if incarnation >= st.memb.incarnation[slave] {
+                                match pending_joins.iter_mut().find(|(s, _)| *s == slave) {
+                                    Some(p) => p.1 = p.1.max(incarnation),
+                                    None => pending_joins.push((slave, incarnation)),
+                                }
                             }
                         }
                         // A still-newer reign fenced us out: exit silently,
@@ -1824,6 +2173,12 @@ fn run_checkpointed(
 
         sc.compute_done = ctx.now();
 
+        // Too late to admit once the run is gathering: refuse queued
+        // joiners so their bounded handshake exits.
+        for (j, _) in pending_joins.drain(..) {
+            send(ctx, slaves[j], Msg::JoinRefuse { slave: j });
+        }
+
         // Gather with *deferred* acknowledgement: slaves must stay resident
         // until the whole result is in hand, because a death mid-gather
         // forces a rollback and a redo — a slave released early could not
@@ -1886,15 +2241,25 @@ fn run_checkpointed(
                         }
                     }
                     Msg::InvocationDone {
-                        slave, restore_seq, ..
+                        slave,
+                        restore_seq,
+                        epoch,
+                        ..
                     } => {
                         if st.memb.alive[slave] {
                             st.memb.last_heard[slave] = ctx.now();
-                            st.win[slave].ack(restore_seq);
+                            // Same per-slot floor as the invocation loop: a
+                            // previous life's report never acks this window.
+                            if epoch >= join_epoch[slave] {
+                                st.win[slave].ack(restore_seq);
+                            }
                             if !got[slave] && st.memb.nudge_due(slave, ctx.now(), tol.nudge) {
                                 send(ctx, slaves[slave], Msg::Gather);
                                 sc.recovery.gather_resends += 1;
                             }
+                        } else {
+                            // Non-member still reporting: its Evict was lost.
+                            send(ctx, slaves[slave], Msg::Evict);
                         }
                     }
                     // A late checkpoint racing the gather is only a
@@ -1905,7 +2270,11 @@ fn run_checkpointed(
                         }
                     }
                     Msg::SlaveError { slave, error } => {
-                        if !st.memb.alive[slave] || !st.win[slave].fully_acked() {
+                        if !st.memb.alive[slave] {
+                            send(ctx, slaves[slave], Msg::Evict);
+                            continue;
+                        }
+                        if !st.win[slave].fully_acked() {
                             continue;
                         }
                         if !slave_recoverable(&error) {
@@ -1922,12 +2291,21 @@ fn run_checkpointed(
                         )?;
                         continue 'run;
                     }
-                    Msg::Alive { slave } => {
-                        if st.memb.alive[slave] {
+                    Msg::Alive { slave, incarnation } => {
+                        if st.memb.alive[slave] && incarnation == st.memb.incarnation[slave] {
                             // Defers suspicion only; the timer sweep below
                             // still re-sends Gather on protocol silence.
                             st.memb.ping(slave, ctx.now());
+                        } else if !st.memb.alive[slave] && incarnation >= st.memb.incarnation[slave]
+                        {
+                            // Latest life of a non-member: repeat the lost
+                            // Evict so it can exit (joins are refused here).
+                            send(ctx, slaves[slave], Msg::Evict);
                         }
+                    }
+                    // The run is gathering: no more admissions this run.
+                    Msg::Join { slave, .. } => {
+                        send(ctx, slaves[slave], Msg::JoinRefuse { slave });
                     }
                     Msg::Promoted { term, .. } => {
                         if term > fo.term {

@@ -164,6 +164,11 @@ pub struct ReplicaMsg {
     /// The master's cumulative recovery counters, so a takeover's final
     /// report covers the whole run, not just the post-failover part.
     pub recovery: RecoveryStats,
+    /// Per-slave admission incarnations (see [`Msg::Join`]). Replicated so
+    /// a promoted deputy keeps fencing a rejoiner's earlier life: without
+    /// it the new master would refuse a live rejoiner's pings (wrongly
+    /// re-evicting it) and credit its zombie's.
+    pub incarnations: Vec<u64>,
 }
 
 /// All runtime messages.
@@ -349,8 +354,33 @@ pub enum Msg {
     /// is blocked waiting on a *peer* (e.g. a pipeline halo from a crashed
     /// neighbour) and therefore has no protocol message of its own to
     /// re-send. Refreshes the master's suspicion timer and cancels any
-    /// speculation on the sender; carries no other state.
+    /// speculation on the sender; carries no other state. `incarnation` is
+    /// the sender's admission incarnation (see [`Msg::Join`]): the master
+    /// credits the ping only when it matches its membership table, so a
+    /// delayed or duplicated ping from a rejoiner's *earlier* life cannot
+    /// keep the new life looking alive (zombie fencing).
     Alive {
+        slave: usize,
+        incarnation: u64,
+    },
+    // ---- elastic membership ----
+    /// Slave → master: admission request — a newcomer joining mid-run, or a
+    /// previously evicted slave rejoining after a heal. `incarnation` is
+    /// the proposed admission incarnation (one past the joiner's previous
+    /// life; newcomers propose 1). The master queues the request and admits
+    /// at the next settled barrier with an epoch-bumping windowed
+    /// re-scatter ([`Msg::Rollback`]); the Rollback doubles as the
+    /// admission acknowledgement. Re-sent under the joiner's bounded
+    /// backoff until admitted or refused.
+    Join {
+        slave: usize,
+        incarnation: u64,
+    },
+    /// Master → joiner: the admission request was refused (the run is
+    /// gathering, finished, or the proposal was stale). The joiner backs
+    /// off and retries until its attempt budget runs out
+    /// ([`crate::error::ProtocolError::JoinRefused`]).
+    JoinRefuse {
         slave: usize,
     },
     /// Master → slaves: the run failed; terminate quietly.
@@ -443,16 +473,18 @@ impl Msg {
             Msg::Evict
             | Msg::Evicted { .. }
             | Msg::Abort
-            | Msg::Alive { .. }
             | Msg::GatherAck
             | Msg::TransferAck { .. }
             | Msg::SpecCancel { .. } => HDR,
+            Msg::Alive { .. } | Msg::JoinRefuse { .. } => HDR + 8,
+            Msg::Join { .. } => HDR + 16,
             Msg::SlaveError { error, .. } => HDR + 8 + error.payload_bytes(),
             Msg::Replica(r) => {
-                // Fixed scalars + membership bitmap + counters block +
-                // the snapshot payload when one rides along.
+                // Fixed scalars + membership bitmap + incarnation table +
+                // counters block + the snapshot payload when one rides along.
                 HDR + 48
                     + r.alive.len() as u64
+                    + 8 * r.incarnations.len() as u64
                     + RecoveryStats::WIRE_BYTES
                     + r.snapshot
                         .as_ref()
@@ -602,6 +634,7 @@ mod tests {
             snapshot: None,
             best_banked: 2,
             recovery: RecoveryStats::default(),
+            incarnations: vec![0; 16],
         }));
         let with_snap = Msg::Replica(Box::new(ReplicaMsg {
             term: 0,
@@ -616,8 +649,9 @@ mod tests {
             )),
             best_banked: 2,
             recovery: RecoveryStats::default(),
+            incarnations: vec![0; 16],
         }));
-        assert!(bare.wire_bytes() >= 32 + 48 + 16 + RecoveryStats::WIRE_BYTES);
+        assert!(bare.wire_bytes() >= 32 + 48 + 16 + 128 + RecoveryStats::WIRE_BYTES);
         assert_eq!(
             with_snap.wire_bytes(),
             bare.wire_bytes() + 8 + 2 * (8 + 800)

@@ -60,6 +60,19 @@ pub struct RecoveryStats {
     /// dead sender's transfer was still in flight can briefly have two
     /// owners; both copies are fully computed and identical by gather).
     pub gather_dup_units_dropped: u64,
+    // ---- elastic membership ----
+    /// Slaves admitted mid-run through the `Join` handshake (latecomers
+    /// and rejoiners alike; each admission counts once).
+    pub joins_admitted: u64,
+    /// Admissions that readmitted a previously evicted slave (a heal after
+    /// a false suspicion, crash restart, or network partition).
+    pub rejoins_after_eviction: u64,
+    /// Bytes of state the master shipped to joiners at admission (the
+    /// windowed rollback/re-scatter that seeds the newcomer).
+    pub join_snapshot_bytes: u64,
+    /// Admission rounds that included at least one rejoining slave — each
+    /// corresponds to a healed partition or recovered pool of nodes.
+    pub partitions_healed: u64,
     // ---- slave-reported (folded in at gather) ----
     /// Transfer messages re-sent by slaves because they went unacked.
     pub transfer_resends: u64,
@@ -105,7 +118,7 @@ impl RecoveryStats {
 
     /// Approximate wire size when these counters travel inside a
     /// [`crate::msg::ReplicaMsg`].
-    pub const WIRE_BYTES: u64 = 272;
+    pub const WIRE_BYTES: u64 = 304;
 
     /// Fold one slave's locally-counted fault statistics in (at gather).
     pub fn absorb(&mut self, s: &SlaveFaultStats) {

@@ -10,13 +10,21 @@ use dlb_sim::{SimDuration, SimTime};
 
 /// Per-slave liveness and barrier state as seen by the master.
 ///
-/// Indices are slave indices (`0..n`), not node ids. Eviction is
-/// irreversible: a false suspicion is resolved by the evicted slave
-/// exiting, never by resurrection (fail-stop model).
+/// Indices are slave indices (`0..n`), not node ids. Eviction removes a
+/// slave from the computation; a false suspicion is resolved either by the
+/// evicted slave exiting, or — when rejoin is enabled — by it coming back
+/// through the [`crate::msg::Msg::Join`] handshake with a fresh incarnation
+/// ([`Self::readmit`]). Traffic stamped with an older incarnation belongs to
+/// the slave's previous life and must be fenced, never credited.
 #[derive(Clone, Debug)]
 pub struct Membership {
     /// Still part of the computation.
     pub alive: Vec<bool>,
+    /// Admission incarnation of each slave's current (or, if evicted, most
+    /// recent) life. Bumped by [`Self::readmit`]; a liveness ping is only
+    /// credited when its stamped incarnation matches this table, so a
+    /// zombie from before the rejoin cannot defer suspicion of the new life.
+    pub incarnation: Vec<u64>,
     /// Ever heard from at all (distinguishes "lost the Start" from
     /// "went silent mid-run").
     pub heard_any: Vec<bool>,
@@ -37,6 +45,7 @@ impl Membership {
     pub fn new(n: usize, now: SimTime, nudge: SimDuration) -> Membership {
         Membership {
             alive: vec![true; n],
+            incarnation: vec![0; n],
             heard_any: vec![false; n],
             last_heard: vec![now; n],
             last_ping: vec![now; n],
@@ -109,9 +118,26 @@ impl Membership {
         (0..self.n()).all(|s| !self.alive[s] || self.done[s])
     }
 
-    /// Evict slave `s`: irreversible removal from the computation.
+    /// Evict slave `s`: removal from the computation (reversed only by
+    /// [`Self::readmit`]).
     pub fn evict(&mut self, s: usize) {
         self.alive[s] = false;
+        self.done[s] = false;
+    }
+
+    /// Readmit slave `s` under a new incarnation: fresh liveness clocks,
+    /// alive again, barrier not yet satisfied. The incarnation comes from
+    /// the joiner's `Msg::Join` so both sides agree on which life is
+    /// current; it must be newer than the one on record (callers fence
+    /// duplicate/stale joins before admitting).
+    pub fn readmit(&mut self, s: usize, incarnation: u64, now: SimTime, nudge: SimDuration) {
+        debug_assert!(incarnation >= self.incarnation[s]);
+        self.alive[s] = true;
+        self.incarnation[s] = incarnation;
+        self.heard_any[s] = true;
+        self.last_heard[s] = now;
+        self.last_ping[s] = now;
+        self.next_nudge[s] = now + nudge;
         self.done[s] = false;
     }
 
@@ -175,7 +201,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_is_irreversible_and_drops_done() {
+    fn eviction_drops_done_and_removes_from_survivors() {
         let mut m = Membership::new(3, t(0), SimDuration::from_secs(1));
         m.done[1] = true;
         m.evict(1);
@@ -185,6 +211,45 @@ mod tests {
         m.evict(0);
         m.evict(2);
         assert!(!m.any_alive());
+    }
+
+    #[test]
+    fn readmit_reverses_eviction_with_fresh_clocks() {
+        let nudge = SimDuration::from_secs(1);
+        let mut m = Membership::new(3, t(0), nudge);
+        m.heard(1, t(1_000));
+        m.done[1] = true;
+        m.evict(1);
+        assert_eq!(m.survivors(), vec![0, 2]);
+        m.readmit(1, 1, t(10_000_000), nudge);
+        assert_eq!(m.survivors(), vec![0, 1, 2]);
+        assert_eq!(m.incarnation[1], 1);
+        assert!(!m.done[1], "rejoiner has not satisfied the new barrier");
+        assert!(m.heard_any[1]);
+        // Both clocks restart at the admission instant: the ten virtual
+        // seconds the slave spent dead must not read as suspicion.
+        assert_eq!(m.silent_for(1, t(10_000_000)), SimDuration::ZERO);
+        assert_eq!(m.unheard_for(1, t(10_000_000)), SimDuration::ZERO);
+        assert!(!m.nudge_due(1, t(10_000_001), nudge), "nudge re-armed");
+    }
+
+    /// A join racing the eviction of the same slave id: the eviction lands
+    /// first (the table is settled state — the master queues joins until no
+    /// eviction is pending), then the readmit flips it back under a newer
+    /// incarnation. The old incarnation's traffic is fenceable afterwards.
+    #[test]
+    fn readmit_after_racing_eviction_bumps_incarnation() {
+        let nudge = SimDuration::from_secs(1);
+        let mut m = Membership::new(2, t(0), nudge);
+        assert_eq!(m.incarnation[0], 0);
+        m.evict(0);
+        m.readmit(0, 3, t(500), nudge);
+        assert!(m.alive[0]);
+        // A zombie ping stamped with the old incarnation fails the table
+        // match (the caller checks `incarnation[s] == stamped`), so only
+        // the new life can defer suspicion.
+        assert_ne!(m.incarnation[0], 0);
+        assert_eq!(m.incarnation[0], 3);
     }
 
     /// Deputies reuse a one-row table to watch the *master* under the same

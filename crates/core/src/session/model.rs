@@ -1824,6 +1824,589 @@ impl Ample for ElectionModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Mid-run join / rejoin (elastic membership)
+// ---------------------------------------------------------------------------
+
+/// A message in flight in the [`JoinModel`]'s network.
+///
+/// `Evict`, `Join`, and `Admit` carry the incarnation they speak for; the
+/// runtime gets the same effect from the sim's per-(src, dst) FIFO channels
+/// (a stale `Evict` is always drained by the join handshake before the
+/// admission `Rollback` arrives), which the unordered model wire cannot
+/// express — so the stamp makes the FIFO guarantee explicit. `Ack` carries
+/// only an epoch: the runtime's checkpoint acknowledgements are *not*
+/// incarnation-stamped, which is exactly why the master keeps a per-slot
+/// `join_epoch` ack floor — the property the [`JoinModel`] checks.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JWire {
+    /// Slave life `inc` → master: heartbeat ([`crate::msg::Msg::Alive`]).
+    Alive { slot: usize, inc: u64 },
+    /// Master → slot: eviction verdict for life `inc`
+    /// ([`crate::msg::Msg::Evict`], including the self-healing re-reply
+    /// to a non-member's traffic).
+    Evict { slot: usize, inc: u64 },
+    /// Slave life `inc` → master: admission request
+    /// ([`crate::msg::Msg::Join`]).
+    Join { slot: usize, inc: u64 },
+    /// Master → slot: admission for life `inc`, shipping the snapshot of
+    /// admission epoch `epoch` (the windowed `Rollback` that ends the
+    /// join handshake).
+    Admit { slot: usize, inc: u64, epoch: u64 },
+    /// Slot → master: checkpoint acknowledgement stamped with the epoch
+    /// the slave computes at — deliberately *not* incarnation-stamped,
+    /// as in the runtime.
+    Ack { slot: usize, epoch: u64 },
+}
+
+/// One enabled step of the [`JoinModel`]. Same idempotent-wire reduction
+/// as [`Step`]: re-sending an identical message merges with the in-flight
+/// copy, duplicates apply without consuming.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JStep {
+    /// The master's suspicion timer fires for live slot `s`: evict it
+    /// (bounded budget).
+    Suspect(usize),
+    /// Deliver the `i`-th in-flight message (and consume it).
+    Deliver(usize),
+    /// Deliver a duplicate of the `i`-th message (bounded budget).
+    DeliverCopy(usize),
+    /// Drop the `i`-th message (bounded budget).
+    Drop(usize),
+    /// Slot `s` heartbeats while the master disagrees with it (evicted or
+    /// superseded): re-send `Alive` until the verdict lands. Quiescent
+    /// agreement disables it, keeping accepting states terminal.
+    Heartbeat(usize),
+    /// Slot `s`'s join retry timer fires: re-send the unanswered `Join`
+    /// (the handshake's bounded backoff loop).
+    RejoinNudge(usize),
+    /// The master's nudge timer fires for slot `s`: re-send the
+    /// unacknowledged admission window.
+    AdmitNudge(usize),
+}
+
+/// Master-side view of one slot — the pure subset of
+/// [`crate::session::membership::Membership`] plus the checkpointed
+/// master's per-slave ack floor that decide join admission and fencing.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JoinSlotMaster {
+    pub alive: bool,
+    /// Latest admitted life of this slot.
+    pub incarnation: u64,
+    /// Admission epoch of the snapshot shipped at the latest admission —
+    /// the ack floor (`join_epoch` in the checkpointed master).
+    pub join_epoch: u64,
+    /// Highest credited checkpoint-ack epoch.
+    pub acked: u64,
+}
+
+/// Slave-side lifecycle of one slot.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JoinPhase {
+    /// Computing from the snapshot of admission epoch `epoch`.
+    Member { epoch: u64 },
+    /// Evicted and handshaking a new life in.
+    Joining,
+    /// Evicted with the rejoin budget exhausted (the runtime's
+    /// `JoinRefused` exit).
+    Dead,
+}
+
+/// Slave-side view of one slot.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JoinSlotSlave {
+    /// Current incarnation (previous lives are zombies).
+    pub life: u64,
+    pub phase: JoinPhase,
+}
+
+/// Full [`JoinModel`] state.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JoinState {
+    pub master: Vec<JoinSlotMaster>,
+    pub slaves: Vec<JoinSlotSlave>,
+    pub wire: Vec<JWire>,
+    /// Sticky first fencing violation, as `(detail)` — the E111/E112
+    /// invariants read this.
+    pub violated: Option<String>,
+    pub evicts_used: u32,
+    pub rejoins_used: u32,
+    pub drops_used: u32,
+    pub dups_used: u32,
+}
+
+/// The abstracted master/slots/network system around the elastic-membership
+/// rules: epoch-fenced mid-run admission, bounded rejoin, and zombie
+/// fencing.
+///
+/// Each slot starts as an admitted member. The master may evict it
+/// (suspicion), the evicted life learns its verdict — possibly only
+/// through the self-healing `Evict` re-reply after a heal — and its
+/// successor life handshakes back in; the network may drop or duplicate a
+/// bounded number of messages. Two production fences are switchable to
+/// deliberately broken variants:
+///
+/// * `fence_incarnation = false` credits heartbeats without the
+///   incarnation check — a zombie (pre-eviction life) can then vouch for
+///   the slot after a newer life was admitted, the **double-incarnation**
+///   bug (E111).
+/// * `fence_epoch = false` credits checkpoint acks below the admission
+///   ack floor — a pre-eviction checkpoint then counts as the rejoined
+///   life's progress, the **stale-snapshot-join** bug (E112): a later
+///   rollback would source state the new life never had.
+///
+/// Admission mirrors the runtime's `pending_joins` max-dedup: a strictly
+/// newer life's `Join` supersedes whatever the slot held, an equal life's
+/// `Join` re-admits only a non-member (lost-`Admit` replay otherwise), and
+/// older lives are fenced outright.
+#[derive(Clone, Debug)]
+pub struct JoinModel {
+    pub slots: usize,
+    /// Total evictions allowed across all slots (bounds the life space).
+    pub max_evicts: u32,
+    /// Total rejoins allowed across all slots.
+    pub max_rejoins: u32,
+    pub max_drops: u32,
+    pub max_dups: u32,
+    /// True = the real protocol (heartbeats credited only for the current
+    /// incarnation).
+    pub fence_incarnation: bool,
+    /// True = the real protocol (checkpoint acks credited only at or above
+    /// the admission ack floor).
+    pub fence_epoch: bool,
+}
+
+impl JoinModel {
+    /// The standard checked configuration: two slots, two evictions and
+    /// two rejoins (enough for an evict → rejoin → evict → rejoin chain on
+    /// one slot, or one cycle on each), one drop and one duplication
+    /// budget.
+    pub fn standard() -> JoinModel {
+        JoinModel {
+            slots: 2,
+            max_evicts: 2,
+            max_rejoins: 2,
+            max_drops: 1,
+            max_dups: 1,
+            fence_incarnation: true,
+            fence_epoch: true,
+        }
+    }
+
+    /// The broken variant without the incarnation fence: a zombie's
+    /// heartbeat is credited to the slot after a newer life was admitted
+    /// (E111).
+    pub fn broken_double_incarnation() -> JoinModel {
+        JoinModel {
+            fence_incarnation: false,
+            ..JoinModel::standard()
+        }
+    }
+
+    /// The broken variant without the admission ack floor: a pre-eviction
+    /// checkpoint ack is credited as the rejoined life's progress (E112).
+    pub fn broken_stale_snapshot() -> JoinModel {
+        JoinModel {
+            fence_epoch: false,
+            ..JoinModel::standard()
+        }
+    }
+
+    /// A runtime-width instance: `n` identical slots (one symmetry class),
+    /// the standard eviction/rejoin/fault budgets. This is what the
+    /// `lint-wide` CI job checks at n = 16.
+    pub fn wide(n: usize) -> JoinModel {
+        JoinModel {
+            slots: n,
+            ..JoinModel::standard()
+        }
+    }
+
+    /// Receiver/sender effects of one message delivery (shared by
+    /// [`JStep::Deliver`] and [`JStep::DeliverCopy`]).
+    fn deliver(&self, n: &mut JoinState, msg: JWire) {
+        match msg {
+            JWire::Alive { slot, inc } => {
+                let m = &mut n.master[slot];
+                if m.alive {
+                    // A credited heartbeat only refreshes the suspicion
+                    // timer; the fence rejects non-current lives. Without
+                    // it, a zombie's heartbeat is credited to the slot —
+                    // the double-incarnation violation.
+                    if inc != m.incarnation && !self.fence_incarnation && n.violated.is_none() {
+                        n.violated = Some(format!(
+                            "double incarnation: slot {slot} credited life {inc} while life {} \
+                             is the member",
+                            m.incarnation
+                        ));
+                    }
+                } else if inc >= m.incarnation {
+                    // The latest life of an evicted slot is still
+                    // heartbeating — its Evict was lost (e.g. across a
+                    // partition). Repeat the verdict so it can rejoin or
+                    // exit: the self-healing reply.
+                    insert_unique_j(&mut n.wire, JWire::Evict { slot, inc });
+                }
+            }
+            JWire::Join { slot, inc } => {
+                let m = &mut n.master[slot];
+                if inc > m.incarnation || (inc == m.incarnation && !m.alive) {
+                    // Admit (or supersede a stale admitted life): fresh
+                    // two-clock state, bumped admission epoch, snapshot
+                    // shipped via the ack-gated window.
+                    m.alive = true;
+                    m.incarnation = inc;
+                    m.join_epoch += 1;
+                    let epoch = m.join_epoch;
+                    insert_unique_j(&mut n.wire, JWire::Admit { slot, inc, epoch });
+                } else if inc == m.incarnation && m.alive {
+                    // Already admitted: the Admit must have been lost.
+                    let epoch = m.join_epoch;
+                    insert_unique_j(&mut n.wire, JWire::Admit { slot, inc, epoch });
+                }
+                // Older lives are zombies: fenced outright.
+            }
+            JWire::Ack { slot, epoch } => {
+                let m = &mut n.master[slot];
+                if m.alive && (epoch >= m.join_epoch || !self.fence_epoch) {
+                    if epoch < m.join_epoch && n.violated.is_none() {
+                        n.violated = Some(format!(
+                            "stale snapshot: slot {slot} checkpoint ack for epoch {epoch} \
+                             credited after admission shipped epoch {}",
+                            m.join_epoch
+                        ));
+                    }
+                    m.acked = m.acked.max(epoch);
+                }
+            }
+            JWire::Evict { slot, inc } => {
+                let sl = &mut n.slaves[slot];
+                if sl.life == inc && !matches!(sl.phase, JoinPhase::Dead) {
+                    if n.rejoins_used < self.max_rejoins {
+                        n.rejoins_used += 1;
+                        sl.life += 1;
+                        sl.phase = JoinPhase::Joining;
+                        let inc = sl.life;
+                        insert_unique_j(&mut n.wire, JWire::Join { slot, inc });
+                    } else {
+                        sl.phase = JoinPhase::Dead;
+                    }
+                }
+                // A verdict for another life is stale (FIFO in the
+                // runtime): ignored.
+            }
+            JWire::Admit { slot, inc, epoch } => {
+                let sl = &mut n.slaves[slot];
+                if sl.life == inc && !matches!(sl.phase, JoinPhase::Dead) {
+                    // Epoch-fenced like the runtime's rollback adoption: a
+                    // duplicated older admission must not regress the
+                    // member; an equal one re-acks (lost-ack replay).
+                    let stale = matches!(sl.phase, JoinPhase::Member { epoch: e } if epoch < e);
+                    if !stale {
+                        sl.phase = JoinPhase::Member { epoch };
+                        insert_unique_j(&mut n.wire, JWire::Ack { slot, epoch });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Master and slave agree on slot `s` and nothing remains to settle.
+    fn slot_settled(&self, s: &JoinState, i: usize) -> bool {
+        let (m, sl) = (&s.master[i], &s.slaves[i]);
+        match sl.phase {
+            JoinPhase::Member { epoch } => {
+                m.alive && m.incarnation == sl.life && epoch == m.join_epoch && m.acked >= epoch
+            }
+            JoinPhase::Joining => false,
+            JoinPhase::Dead => !m.alive,
+        }
+    }
+
+    fn quiescent(&self, s: &JoinState) -> bool {
+        s.wire.is_empty() && (0..self.slots).all(|i| self.slot_settled(s, i))
+    }
+}
+
+fn insert_unique_j(wire: &mut Vec<JWire>, msg: JWire) {
+    if let Err(at) = wire.binary_search(&msg) {
+        wire.insert(at, msg);
+    }
+}
+
+impl TransitionSystem for JoinModel {
+    type State = JoinState;
+    type Action = JStep;
+
+    fn initial(&self) -> JoinState {
+        JoinState {
+            master: vec![
+                JoinSlotMaster {
+                    alive: true,
+                    incarnation: 1,
+                    join_epoch: 0,
+                    acked: 0,
+                };
+                self.slots
+            ],
+            slaves: vec![
+                JoinSlotSlave {
+                    life: 1,
+                    phase: JoinPhase::Member { epoch: 0 },
+                };
+                self.slots
+            ],
+            wire: Vec::new(),
+            violated: None,
+            evicts_used: 0,
+            rejoins_used: 0,
+            drops_used: 0,
+            dups_used: 0,
+        }
+    }
+
+    fn actions(&self, s: &JoinState) -> Vec<JStep> {
+        let mut out = Vec::new();
+        for i in 0..s.wire.len() {
+            out.push(JStep::Deliver(i));
+            if s.drops_used < self.max_drops {
+                out.push(JStep::Drop(i));
+            }
+            if s.dups_used < self.max_dups {
+                out.push(JStep::DeliverCopy(i));
+            }
+        }
+        for t in 0..self.slots {
+            let (m, sl) = (&s.master[t], &s.slaves[t]);
+            if m.alive && s.evicts_used < self.max_evicts {
+                out.push(JStep::Suspect(t));
+            }
+            // Heartbeat while it carries news (the master disagrees): in
+            // the runtime a slave heartbeats until settled, so the model
+            // stops at agreement too — quiescent states stay terminal.
+            if matches!(sl.phase, JoinPhase::Member { .. })
+                && (!m.alive || m.incarnation != sl.life)
+                && !s.wire.contains(&JWire::Alive {
+                    slot: t,
+                    inc: sl.life,
+                })
+            {
+                out.push(JStep::Heartbeat(t));
+            }
+            // Join retry: at most one copy in flight (the backoff timer
+            // refires, so this loses no behaviours).
+            if matches!(sl.phase, JoinPhase::Joining)
+                && !s.wire.contains(&JWire::Join {
+                    slot: t,
+                    inc: sl.life,
+                })
+            {
+                out.push(JStep::RejoinNudge(t));
+            }
+            // Admission-window replay while unacknowledged.
+            if m.alive
+                && m.acked < m.join_epoch
+                && !s.wire.contains(&JWire::Admit {
+                    slot: t,
+                    inc: m.incarnation,
+                    epoch: m.join_epoch,
+                })
+            {
+                out.push(JStep::AdmitNudge(t));
+            }
+        }
+        out
+    }
+
+    fn apply(&self, s: &JoinState, a: &JStep) -> JoinState {
+        let mut n = s.clone();
+        match a {
+            JStep::Suspect(t) => {
+                n.evicts_used += 1;
+                let m = &mut n.master[*t];
+                m.alive = false;
+                let inc = m.incarnation;
+                insert_unique_j(&mut n.wire, JWire::Evict { slot: *t, inc });
+            }
+            JStep::Deliver(i) => {
+                let msg = n.wire.remove(*i);
+                self.deliver(&mut n, msg);
+            }
+            JStep::DeliverCopy(i) => {
+                let msg = n.wire[*i].clone();
+                n.dups_used += 1;
+                self.deliver(&mut n, msg);
+            }
+            JStep::Drop(i) => {
+                n.wire.remove(*i);
+                n.drops_used += 1;
+            }
+            JStep::Heartbeat(t) => {
+                let inc = n.slaves[*t].life;
+                insert_unique_j(&mut n.wire, JWire::Alive { slot: *t, inc });
+            }
+            JStep::RejoinNudge(t) => {
+                let inc = n.slaves[*t].life;
+                insert_unique_j(&mut n.wire, JWire::Join { slot: *t, inc });
+            }
+            JStep::AdmitNudge(t) => {
+                let m = &n.master[*t];
+                let (inc, epoch) = (m.incarnation, m.join_epoch);
+                insert_unique_j(
+                    &mut n.wire,
+                    JWire::Admit {
+                        slot: *t,
+                        inc,
+                        epoch,
+                    },
+                );
+            }
+        }
+        n
+    }
+
+    fn violation(&self, s: &JoinState) -> Option<String> {
+        s.violated.clone()
+    }
+
+    fn is_accepting(&self, s: &JoinState) -> bool {
+        self.quiescent(s)
+    }
+}
+
+/// Permutation-invariant rendering of one slot's entire view of a
+/// [`JoinState`]: master slot, slave slot, and the slot's wire messages.
+/// Join state never crosses slots (budgets are slot-independent
+/// counters), so equal signatures mean interchangeable slots.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct JoinSlotSig {
+    master: JoinSlotMaster,
+    slave: JoinSlotSlave,
+    wire: Vec<JWire>,
+}
+
+impl JoinModel {
+    fn slot_of(m: &JWire) -> usize {
+        match m {
+            JWire::Alive { slot, .. }
+            | JWire::Evict { slot, .. }
+            | JWire::Join { slot, .. }
+            | JWire::Admit { slot, .. }
+            | JWire::Ack { slot, .. } => *slot,
+        }
+    }
+
+    fn slot_sig(&self, s: &JoinState, t: usize) -> JoinSlotSig {
+        let retag = |m: &JWire| -> JWire {
+            let mut m = m.clone();
+            match &mut m {
+                JWire::Alive { slot, .. }
+                | JWire::Evict { slot, .. }
+                | JWire::Join { slot, .. }
+                | JWire::Admit { slot, .. }
+                | JWire::Ack { slot, .. } => *slot = 0,
+            }
+            m
+        };
+        let mut wire: Vec<JWire> = s
+            .wire
+            .iter()
+            .filter(|m| Self::slot_of(m) == t)
+            .map(retag)
+            .collect();
+        wire.sort();
+        JoinSlotSig {
+            master: s.master[t].clone(),
+            slave: s.slaves[t].clone(),
+            wire,
+        }
+    }
+
+    /// Relabel slots by `sigma` (`sigma[t]` is `t`'s new index). All slots
+    /// are role-identical, so any permutation is admissible.
+    pub fn permute(&self, s: &JoinState, sigma: &[usize]) -> JoinState {
+        let mut n = s.clone();
+        for (t, &to) in sigma.iter().enumerate().take(self.slots) {
+            n.master[to] = s.master[t].clone();
+            n.slaves[to] = s.slaves[t].clone();
+        }
+        n.wire = s
+            .wire
+            .iter()
+            .map(|m| {
+                let mut m = m.clone();
+                match &mut m {
+                    JWire::Alive { slot, .. }
+                    | JWire::Evict { slot, .. }
+                    | JWire::Join { slot, .. }
+                    | JWire::Admit { slot, .. }
+                    | JWire::Ack { slot, .. } => *slot = sigma[*slot],
+                }
+                m
+            })
+            .collect();
+        n.wire.sort();
+        n
+    }
+}
+
+impl Symmetric for JoinModel {
+    fn canonical(&self, s: &JoinState) -> JoinState {
+        let mut order: Vec<usize> = (0..self.slots).collect();
+        order.sort_by_cached_key(|&t| self.slot_sig(s, t));
+        let mut sigma = vec![0usize; self.slots];
+        let mut moved = false;
+        for (rank, &t) in order.iter().enumerate() {
+            sigma[t] = rank;
+            moved |= t != rank;
+        }
+        if moved {
+            self.permute(s, &sigma)
+        } else {
+            s.clone()
+        }
+    }
+}
+
+impl Ample for JoinModel {
+    fn ample(&self, s: &JoinState, enabled: Vec<JStep>) -> Vec<JStep> {
+        // Serialize wire handling per slot lane. A slot-`t` message
+        // touches only slot `t`'s master and slave views (the self-healing
+        // Evict reply and the re-ack it may insert stay in lane `t`), so
+        // wire actions in *different* lanes are independent: expanding
+        // only the first message's lane preserves all verdicts. Local
+        // actions (Suspect / Heartbeat / RejoinNudge / AdmitNudge) race
+        // with deliveries through the shared budgets and the slot views,
+        // so they stay in. Every action strictly consumes wire occupancy
+        // or a monotone budget/lifecycle resource, so the transition graph
+        // is a DAG and the ignoring proviso is vacuous. Soundness is
+        // continuously re-validated by the reduced-vs-full agreement
+        // tests, including both broken variants' counterexamples.
+        let Some(first) = s.wire.first() else {
+            return enabled;
+        };
+        let d = Self::slot_of(first);
+        let ample: Vec<JStep> = enabled
+            .iter()
+            .filter(|a| match a {
+                JStep::Deliver(j) | JStep::DeliverCopy(j) | JStep::Drop(j) => {
+                    Self::slot_of(&s.wire[*j]) == d
+                }
+                JStep::Suspect(_)
+                | JStep::Heartbeat(_)
+                | JStep::RejoinNudge(_)
+                | JStep::AdmitNudge(_) => true,
+            })
+            .cloned()
+            .collect();
+        if ample.is_empty() {
+            enabled
+        } else {
+            ample
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2185,6 +2768,8 @@ mod tests {
             "lost work",
             "split brain",
             "stale replica",
+            "double incarnation",
+            "stale snapshot",
         ] {
             if detail.contains(k) {
                 return k;
@@ -2254,6 +2839,188 @@ mod tests {
         assert_reduced_agrees(&ElectionModel::broken_split_brain());
         assert_reduced_agrees(&ElectionModel::broken_fresh_blind());
         assert_reduced_agrees(&ElectionModel::wide(2));
+    }
+
+    /// Drive the join model through one eviction + rejoin by hand,
+    /// returning the state right after the new life was admitted, with the
+    /// old life's heartbeat still in flight.
+    fn evict_and_rejoin_with_zombie_alive(m: &JoinModel) -> JoinState {
+        let mut s = m.initial();
+        s = m.apply(&s, &JStep::Suspect(0)); // wire: Evict{0,1}
+        s = m.apply(&s, &JStep::Heartbeat(0)); // wire: + Alive{0,1} (zombie-to-be)
+        let evict = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, JWire::Evict { .. }))
+            .unwrap();
+        s = m.apply(&s, &JStep::Deliver(evict)); // life 2 joins
+        let join = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, JWire::Join { .. }))
+            .unwrap();
+        s = m.apply(&s, &JStep::Deliver(join)); // admitted: epoch 1
+        let admit = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, JWire::Admit { .. }))
+            .unwrap();
+        s = m.apply(&s, &JStep::Deliver(admit)); // member at epoch 1
+        assert!(s.master[0].alive);
+        assert_eq!(s.master[0].incarnation, 2);
+        assert_eq!(s.master[0].join_epoch, 1);
+        assert_eq!(s.slaves[0].phase, JoinPhase::Member { epoch: 1 });
+        s
+    }
+
+    #[test]
+    fn join_model_quiesces_after_evict_and_rejoin() {
+        let m = JoinModel::standard();
+        let mut s = evict_and_rejoin_with_zombie_alive(&m);
+        // Drain the wire (the zombie Alive and the fresh Ack) FIFO-style.
+        while !s.wire.is_empty() {
+            s = m.apply(&s, &JStep::Deliver(0));
+            assert_eq!(m.violation(&s), None, "fenced model must stay clean");
+        }
+        assert!(m.is_accepting(&s), "settled after rejoin: {s:?}");
+        assert_eq!(s.master[0].acked, 1);
+    }
+
+    #[test]
+    fn zombie_heartbeat_is_fenced_after_rejoin() {
+        let m = JoinModel::standard();
+        let mut s = evict_and_rejoin_with_zombie_alive(&m);
+        let zombie = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, JWire::Alive { inc: 1, .. }))
+            .unwrap();
+        s = m.apply(&s, &JStep::Deliver(zombie));
+        assert_eq!(m.violation(&s), None, "incarnation fence must hold");
+    }
+
+    #[test]
+    fn broken_variant_credits_the_zombie_heartbeat() {
+        let m = JoinModel::broken_double_incarnation();
+        let mut s = evict_and_rejoin_with_zombie_alive(&m);
+        let zombie = s
+            .wire
+            .iter()
+            .position(|w| matches!(w, JWire::Alive { inc: 1, .. }))
+            .unwrap();
+        s = m.apply(&s, &JStep::Deliver(zombie));
+        let v = m.violation(&s).expect("zombie credit must be detected");
+        assert!(v.contains("double incarnation"), "{v}");
+    }
+
+    #[test]
+    fn stale_checkpoint_ack_is_floored_after_readmission() {
+        // Two admission cycles: the first life's Ack (epoch 1) is still in
+        // flight when the second eviction and readmission raise the floor
+        // to epoch 2.
+        for (model, expect_violation) in [
+            (JoinModel::standard(), false),
+            (JoinModel::broken_stale_snapshot(), true),
+        ] {
+            let m = model;
+            let mut s = evict_and_rejoin_with_zombie_alive(&m);
+            // Don't deliver the epoch-1 Ack; evict life 2 and admit life 3.
+            s = m.apply(&s, &JStep::Suspect(0));
+            let evict = s
+                .wire
+                .iter()
+                .position(|w| matches!(w, JWire::Evict { inc: 2, .. }))
+                .unwrap();
+            s = m.apply(&s, &JStep::Deliver(evict));
+            let join = s
+                .wire
+                .iter()
+                .position(|w| matches!(w, JWire::Join { inc: 3, .. }))
+                .unwrap();
+            s = m.apply(&s, &JStep::Deliver(join));
+            assert_eq!(s.master[0].join_epoch, 2);
+            let stale = s
+                .wire
+                .iter()
+                .position(|w| matches!(w, JWire::Ack { epoch: 1, .. }))
+                .unwrap();
+            s = m.apply(&s, &JStep::Deliver(stale));
+            match m.violation(&s) {
+                Some(v) => {
+                    assert!(expect_violation, "fenced model flagged: {v}");
+                    assert!(v.contains("stale snapshot"), "{v}");
+                }
+                None => {
+                    assert!(!expect_violation, "broken model must flag the stale ack");
+                    assert_eq!(s.master[0].acked, 0, "floored ack must not be credited");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_healing_evict_reply_recovers_a_lost_verdict() {
+        // The Evict is dropped (partition): the slave's heartbeat must
+        // regenerate the verdict, and the slot still rejoins and settles.
+        let m = JoinModel::standard();
+        let mut s = m.initial();
+        s = m.apply(&s, &JStep::Suspect(0));
+        s = m.apply(&s, &JStep::Drop(0)); // the Evict is lost
+        assert!(s.wire.is_empty());
+        s = m.apply(&s, &JStep::Heartbeat(0)); // slave still thinks it is a member
+        s = m.apply(&s, &JStep::Deliver(0)); // master re-replies Evict
+        assert!(
+            s.wire
+                .iter()
+                .any(|w| matches!(w, JWire::Evict { inc: 1, .. })),
+            "self-healing reply must regenerate the verdict: {:?}",
+            s.wire
+        );
+        while !s.wire.is_empty() {
+            s = m.apply(&s, &JStep::Deliver(0));
+            assert_eq!(m.violation(&s), None);
+        }
+        assert!(m.is_accepting(&s), "must settle after the heal: {s:?}");
+        assert_eq!(s.slaves[0].life, 2);
+    }
+
+    #[test]
+    fn rejoin_budget_exhaustion_parks_the_slot_dead() {
+        let m = JoinModel {
+            max_rejoins: 0,
+            ..JoinModel::standard()
+        };
+        let mut s = m.initial();
+        s = m.apply(&s, &JStep::Suspect(0));
+        s = m.apply(&s, &JStep::Deliver(0));
+        assert_eq!(s.slaves[0].phase, JoinPhase::Dead);
+        assert!(
+            m.slot_settled(&s, 0),
+            "a dead slot with a dead master view is settled"
+        );
+    }
+
+    #[test]
+    fn join_permute_roundtrips_and_canonical_is_stable() {
+        let m = JoinModel::wide(3);
+        let mut s = m.initial();
+        s = m.apply(&s, &JStep::Suspect(2));
+        s = m.apply(&s, &JStep::Heartbeat(2));
+        // A 3-cycle and its inverse round-trip.
+        let sigma = vec![1, 2, 0];
+        let inv = vec![2, 0, 1];
+        let p = m.permute(&s, &sigma);
+        assert_eq!(m.permute(&p, &inv), s);
+        // Canonicalization is permutation-invariant.
+        assert_eq!(m.canonical(&s), m.canonical(&p));
+    }
+
+    #[test]
+    fn reduced_exploration_agrees_with_full_join() {
+        assert_reduced_agrees(&JoinModel::standard());
+        assert_reduced_agrees(&JoinModel::broken_double_incarnation());
+        assert_reduced_agrees(&JoinModel::broken_stale_snapshot());
+        assert_reduced_agrees(&JoinModel::wide(3));
     }
 
     #[test]

@@ -118,6 +118,7 @@ impl DeputyState {
                 snapshot: None,
                 best_banked: 0,
                 recovery: RecoveryStats::default(),
+                incarnations: vec![0; n_slaves],
             },
             term_seen: 0,
             voted_in: 0,
@@ -301,6 +302,7 @@ mod tests {
             snapshot: snapshot.map(|inv| (inv, vec![(0, vec![vec![1.0]])])),
             best_banked: snapshot.unwrap_or(0),
             recovery: RecoveryStats::default(),
+            incarnations: vec![0; 16],
         }
     }
 

@@ -28,6 +28,13 @@ pub fn run<S: DistributionStrategy>(
     let total = strategy.invocations();
     let mut start = 0u64;
     let mut need_release = true;
+    // Rejoin entry: a rejoiner arrives with the admission rollback already
+    // stashed by the join handshake — adopt it instead of waiting for the
+    // (never-sent) initial release.
+    if let Some(rb) = common.pending_rollback.take() {
+        start = apply_rollback(common, strategy, rb)?;
+        need_release = false;
+    }
     loop {
         // The gather reply lives *inside* the restart loop: a peer can die
         // while the master is collecting results, and the resulting
@@ -90,7 +97,13 @@ fn rescue_wait(ctx: &ActorCtx<Msg>, common: &mut SlaveCommon) -> Result<(), Prot
                 // Keep the suspicion timer fed while waiting to be rescued:
                 // the error report may have been dropped, and a silent wait
                 // here reads as a second death.
-                common.send_master(ctx, Msg::Alive { slave: common.idx });
+                common.send_master(
+                    ctx,
+                    Msg::Alive {
+                        slave: common.idx,
+                        incarnation: common.incarnation,
+                    },
+                );
             }
             Some(env) => match env.msg {
                 Msg::Abort => return Err(ProtocolError::Aborted),

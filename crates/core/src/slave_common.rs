@@ -75,10 +75,29 @@ pub fn recv_start(
     }
 }
 
+/// Deterministic jitter for join-retry backoff: slaves have no RNG stream
+/// of their own (randomness is owned by the simulator's fault layer), so
+/// the jitter is a hash of `(slave, attempt)` — distinct per slave and per
+/// retry, identical across runs. Bounded to a quarter of the base backoff.
+fn join_jitter(idx: usize, attempt: u32, base: SimDuration) -> SimDuration {
+    let mut x = ((idx as u64) << 32) ^ (attempt as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    SimDuration::from_micros((x % 256) * (base.micros() / 4) / 256)
+}
+
 /// Per-slave hook/interaction state.
 pub struct SlaveCommon {
     /// This slave's index (0-based, slave order = unit order).
     pub idx: usize,
+    /// This slave's admission incarnation: 0 for a first life admitted by
+    /// the initial `Start`, bumped by each rejoin. Stamped into every
+    /// [`Msg::Alive`] ping and the [`Msg::Join`] handshake so the master
+    /// can fence traffic from an earlier life (zombie fencing).
+    pub incarnation: u64,
     /// The master's actor id.
     pub master: ActorId,
     /// All slave actor ids, indexed by slave index.
@@ -160,6 +179,7 @@ impl SlaveCommon {
         let n = slaves.len();
         SlaveCommon {
             idx,
+            incarnation: 0,
             master,
             slaves,
             mode,
@@ -664,7 +684,13 @@ impl SlaveCommon {
                                             ctx.now(),
                                         );
                                     }
-                                    self.send_master(ctx, Msg::Alive { slave: self.idx });
+                                    self.send_master(
+                                        ctx,
+                                        Msg::Alive {
+                                            slave: self.idx,
+                                            incarnation: self.incarnation,
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -683,6 +709,91 @@ impl SlaveCommon {
                 }
             }
         }
+    }
+
+    /// The joiner's half of the elastic-membership handshake: announce this
+    /// incarnation with [`Msg::Join`] and wait for the admission rollback,
+    /// which doubles as the admission acknowledgement (stashed in
+    /// [`SlaveCommon::pending_rollback`] on success, exactly as a mid-run
+    /// rollback would be).
+    ///
+    /// Attempts are bounded by `rejoin_attempts` and spaced by exponential
+    /// backoff (base `rejoin_backoff`, doubling per retry, capped at 8×)
+    /// plus deterministic per-(slave, attempt) jitter, so a pool of
+    /// refused joiners cannot hot-loop the master in lockstep. While
+    /// waiting, stale traffic addressed to this slave's previous life —
+    /// `Evict`, old transfers, instructions — is drained and discarded (it
+    /// must not survive into the new life's mailbox); `Promoted` repoints
+    /// the master and re-announces immediately; `Abort` ends the run.
+    /// Exhaustion yields [`ProtocolError::JoinRefused`], which engines
+    /// treat like an eviction: exit silently, never ship a `SlaveError`.
+    pub fn join_handshake(&mut self, ctx: &ActorCtx<Msg>) -> Result<(), ProtocolError> {
+        let ft = self.ft.clone().ok_or(ProtocolError::JoinRefused {
+            slave: self.idx,
+            attempts: 0,
+        })?;
+        let join = Msg::Join {
+            slave: self.idx,
+            incarnation: self.incarnation,
+        };
+        for attempt in 0..ft.rejoin_attempts {
+            self.send_master(ctx, join.clone());
+            let backoff = ft.rejoin_backoff * (1u64 << attempt.min(3));
+            let deadline = ctx.now() + backoff + join_jitter(self.idx, attempt, ft.rejoin_backoff);
+            // Catch-all receive until the backoff expires: everything in
+            // the mailbox predates the admission (or is the admission), so
+            // anything not handled below is stale previous-life traffic and
+            // is dropped here.
+            while let Some(env) = ctx.recv_match_deadline(|_| true, deadline) {
+                match &env.msg {
+                    Msg::Abort => return Err(ProtocolError::Aborted),
+                    Msg::JoinRefuse { .. } => break,
+                    Msg::Promoted { .. } => {
+                        self.election(ctx, &env.msg)?;
+                        self.send_master(ctx, join.clone());
+                    }
+                    m @ Msg::Rollback { .. } => {
+                        // Anything else is a stale epoch or duplicate —
+                        // keep waiting.
+                        if let Err(ProtocolError::RolledBack) = self.control(m) {
+                            return Ok(());
+                        }
+                    }
+                    _ => {
+                        self.fault_stats.stale_epoch_dropped += 1;
+                    }
+                }
+            }
+        }
+        Err(ProtocolError::JoinRefused {
+            slave: self.idx,
+            attempts: ft.rejoin_attempts,
+        })
+    }
+
+    /// Latecomer entry: idle until `at` (discarding any traffic that
+    /// predates this slave's existence in the pool), then run
+    /// [`join_handshake`](Self::join_handshake). Promotions are serviced
+    /// while parked so the eventual announcement targets whichever master
+    /// is current; `Abort` ends the run before it begins.
+    pub fn park_then_join(
+        &mut self,
+        ctx: &ActorCtx<Msg>,
+        at: SimTime,
+    ) -> Result<(), ProtocolError> {
+        while ctx.now() < at {
+            let Some(env) = ctx.recv_match_deadline(|_| true, at) else {
+                break;
+            };
+            match &env.msg {
+                Msg::Abort => return Err(ProtocolError::Aborted),
+                Msg::Promoted { .. } => {
+                    self.election(ctx, &env.msg)?;
+                }
+                _ => {} // traffic of a pool we have not joined yet
+            }
+        }
+        self.join_handshake(ctx)
     }
 
     /// Build the typed error for a message the protocol cannot accept here.

@@ -24,6 +24,10 @@
 //!   addressed to it are discarded (and counted).
 //! - **freeze**: events targeting the node inside a window `[from, until)`
 //!   are deferred to `until`, preserving their relative order.
+//! - **partition**: the node set splits into groups for a window
+//!   `[from, until)`; every message crossing a group boundary is dropped
+//!   (deterministically — no RNG draw), then the network heals. Nodes not
+//!   listed in any group stay in group 0.
 
 use crate::rng::Pcg32;
 use crate::time::{SimDuration, SimTime};
@@ -57,6 +61,35 @@ pub struct NodeFaults {
     pub freezes: Vec<(SimTime, SimTime)>,
 }
 
+/// A network partition window: for `[from, until)` the node set splits into
+/// `groups` and every message crossing a group boundary is dropped. Nodes
+/// not listed in any group form one implicit group of their own — so
+/// `partition(from, until, vec![vec![3, 4]])` splits `{3, 4}` off from the
+/// rest of the cluster (with `dlb-core`'s node layout the unlisted side
+/// keeps the master at node 0).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub from: SimTime,
+    pub until: SimTime,
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Group index of `node`: listed groups are `1..`, the implicit
+    /// remainder group is `0`.
+    fn group_of(&self, node: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&node))
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Whether `src → dst` traffic is severed by this window at time `t`.
+    pub fn severs(&self, src: usize, dst: usize, t: SimTime) -> bool {
+        t >= self.from && t < self.until && self.group_of(src) != self.group_of(dst)
+    }
+}
+
 /// A seeded, deterministic description of everything that goes wrong.
 ///
 /// Node indices refer to simulation [`crate::NodeId`]s (spawn order). In
@@ -67,6 +100,7 @@ pub struct FaultPlan {
     default_link: LinkFaults,
     links: BTreeMap<(usize, usize), LinkFaults>,
     nodes: BTreeMap<usize, NodeFaults>,
+    partitions: Vec<Partition>,
 }
 
 impl FaultPlan {
@@ -78,6 +112,7 @@ impl FaultPlan {
             default_link: LinkFaults::default(),
             links: BTreeMap::new(),
             nodes: BTreeMap::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -131,6 +166,27 @@ impl FaultPlan {
         self
     }
 
+    /// Partition the node set into `groups` for the window `[from, until)`.
+    /// All cross-group traffic in the window is dropped deterministically;
+    /// at `until` the network heals. Nodes not listed in any group form one
+    /// implicit group of their own, so a single listed group splits it off
+    /// from the rest of the cluster. Windows may overlap (a message is
+    /// dropped if *any* active window severs the link).
+    pub fn partition(mut self, from: SimTime, until: SimTime, groups: Vec<Vec<usize>>) -> Self {
+        assert!(from < until, "partition window must be non-empty");
+        self.partitions.push(Partition {
+            from,
+            until,
+            groups,
+        });
+        self
+    }
+
+    /// Whether an active partition window severs `src → dst` at time `t`.
+    pub fn partitioned(&self, src: usize, dst: usize, t: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(src, dst, t))
+    }
+
     /// Effective faults for the directed link `src → dst`.
     pub fn link_faults(&self, src: usize, dst: usize) -> LinkFaults {
         self.links
@@ -179,6 +235,8 @@ pub struct FaultStats {
     pub msgs_duplicated: u64,
     /// Messages that suffered extra jitter delay.
     pub msgs_delayed: u64,
+    /// Messages dropped because an active partition severed the link.
+    pub partition_dropped: u64,
     /// Messages discarded because the destination node had crashed.
     pub deliveries_to_crashed: u64,
     /// Nodes that crashed, in crash order.
@@ -192,6 +250,7 @@ impl FaultStats {
         self.msgs_dropped > 0
             || self.msgs_duplicated > 0
             || self.msgs_delayed > 0
+            || self.partition_dropped > 0
             || self.deliveries_to_crashed > 0
             || !self.crashed_nodes.is_empty()
             || self.freeze_deferrals > 0
@@ -250,6 +309,41 @@ mod tests {
             .crash(3, SimTime(500))
             .crash(1, SimTime(100));
         assert_eq!(plan.crashes(), vec![(1, SimTime(100)), (3, SimTime(500))]);
+    }
+
+    #[test]
+    fn partition_severs_cross_group_traffic_in_window_only() {
+        // Nodes 3 and 4 split off; everyone else (incl. the unlisted
+        // master at node 0) forms the implicit remainder group.
+        let plan = FaultPlan::new(0).partition(SimTime(100), SimTime(200), vec![vec![3, 4]]);
+        assert!(plan.partitioned(0, 3, SimTime(100)));
+        assert!(plan.partitioned(3, 0, SimTime(199)));
+        assert!(!plan.partitioned(3, 4, SimTime(150)), "same group");
+        assert!(!plan.partitioned(0, 1, SimTime(150)), "same group");
+        assert!(!plan.partitioned(0, 3, SimTime(99)), "before the window");
+        assert!(!plan.partitioned(0, 3, SimTime(200)), "healed");
+        // The explicit two-group spelling is equivalent.
+        let plan2 = FaultPlan::new(0).partition(
+            SimTime(100),
+            SimTime(200),
+            vec![vec![0, 1, 2], vec![3, 4]],
+        );
+        assert!(plan2.partitioned(0, 3, SimTime(150)));
+        assert!(!plan2.partitioned(0, 1, SimTime(150)));
+    }
+
+    #[test]
+    fn overlapping_partitions_compose() {
+        let plan = FaultPlan::new(0)
+            .partition(SimTime(100), SimTime(200), vec![vec![1, 2], vec![3]])
+            .partition(SimTime(150), SimTime(300), vec![vec![1], vec![2]]);
+        assert!(plan.partitioned(1, 3, SimTime(120)), "first window");
+        assert!(plan.partitioned(1, 2, SimTime(250)), "second window");
+        assert!(plan.partitioned(1, 2, SimTime(160)), "both active");
+        assert!(
+            !plan.partitioned(3, 4, SimTime(250)),
+            "first healed; 3 and 4 share the second window's implicit group"
+        );
     }
 
     #[test]

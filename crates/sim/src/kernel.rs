@@ -425,6 +425,13 @@ impl<M: Send + Clone + 'static> ActorCtx<M> {
         let src_node = inner.actor_nodes[self.id.0].0;
         let dst_node = inner.actor_nodes[dst.0].0;
         if let Some(f) = inner.fault.as_mut() {
+            // Partition check first, and with no RNG draw: a severed link is
+            // deterministic, so adding or removing a partition window does
+            // not perturb the fault RNG stream of unrelated links.
+            if f.plan.partitioned(src_node, dst_node, now) {
+                f.stats.partition_dropped += 1;
+                return;
+            }
             let lf = f.plan.link_faults(src_node, dst_node);
             if !lf.is_quiet() {
                 if f.rng.chance(lf.drop_p) {

@@ -55,7 +55,7 @@ pub mod work;
 
 pub use cpu::{advance, Advance, NodeConfig};
 pub use explore::{explore, random_walks, Exploration, TransitionSystem, Verdict};
-pub use fault::{FaultPlan, FaultStats, LinkFaults, NodeFaults};
+pub use fault::{FaultPlan, FaultStats, LinkFaults, NodeFaults, Partition};
 pub use kernel::{ActorCtx, ActorId, ActorMetrics, NodeId, NodeMetrics, SimBuilder, SimReport};
 pub use load::LoadModel;
 pub use net::{Envelope, NetConfig};
